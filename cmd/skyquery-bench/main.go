@@ -1,0 +1,60 @@
+// Command skyquery-bench regenerates every table of EXPERIMENTS.md: the
+// reproductions of the paper's Figures 1-3 and of its quantified claims
+// (count-star ordering, chunking, HTM range search, SOAP overhead,
+// chain-vs-pull, scaling, performance-query cost).
+//
+//	skyquery-bench            # run everything
+//	skyquery-bench -run C1,C5 # run selected experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"skyquery/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	all := experiments.All()
+	if *list {
+		for _, e := range all {
+			fmt.Println(e.ID)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*run, ",") {
+		id = strings.TrimSpace(strings.ToUpper(id))
+		if id != "" {
+			want[id] = true
+		}
+	}
+
+	failed := 0
+	for _, e := range all {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		start := time.Now()
+		table, err := e.Run()
+		if err != nil {
+			log.Printf("%s FAILED: %v", e.ID, err)
+			failed++
+			continue
+		}
+		fmt.Println(table)
+		fmt.Printf("(%s completed in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,137 @@
+// Command skyquery-node runs one SkyNode: a synthetic sky-survey archive
+// wrapped behind the four SkyQuery web services (Information, Metadata,
+// Query, CrossMatch). With -portal it registers itself with a running
+// Portal on startup, completing the Figure 1 topology.
+//
+//	skyquery-node -name SDSS -sigma 0.1 -completeness 0.95 \
+//	    -addr :8081 -url http://localhost:8081 -portal http://localhost:8080
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"skyquery/internal/client"
+	"skyquery/internal/skynode"
+	"skyquery/internal/sphere"
+	"skyquery/internal/survey"
+)
+
+func main() {
+	name := flag.String("name", "SDSS", "archive name")
+	sigma := flag.Float64("sigma", 0.1, "positional error in arc seconds")
+	completeness := flag.Float64("completeness", 0.9, "detection probability per body")
+	extra := flag.Float64("extra", 0, "spurious detections per true body")
+	fluxOffset := flag.Float64("flux-offset", 0, "flux offset of this band")
+	bodies := flag.Int("bodies", 5000, "true bodies in the field")
+	region := flag.String("region", "185.0,-0.5,0.25", "field as ra,dec,radiusDeg")
+	seed := flag.Int64("seed", 1, "field seed (share across nodes for overlapping surveys)")
+	nodeSeed := flag.Int64("node-seed", 0, "observation seed (defaults to a hash of -name)")
+	addr := flag.String("addr", ":8081", "listen address")
+	publicURL := flag.String("url", "", "public URL for WSDL and registration (defaults to http://<host>:<port>)")
+	portalURL := flag.String("portal", "", "portal endpoint to register with on startup")
+	verbose := flag.Bool("v", false, "log service trace events")
+	flag.Parse()
+
+	reg, err := parseRegion(*region)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *nodeSeed == 0 {
+		*nodeSeed = int64(hash(*name))
+	}
+
+	log.Printf("generating field: %d bodies in %s", *bodies, reg)
+	field := survey.GenerateField(reg, *bodies, 0.4, *seed)
+	arch := survey.Observe(field, survey.Config{
+		Name:         *name,
+		SigmaArcsec:  *sigma,
+		Completeness: *completeness,
+		ExtraDensity: *extra,
+		FluxOffset:   *fluxOffset,
+		Seed:         *nodeSeed,
+	})
+	db, err := arch.BuildDB()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%s", arch)
+
+	cfg := skynode.Config{
+		Name: *name, DB: db, PrimaryTable: survey.TableName,
+		RACol: "ra", DecCol: "dec", SigmaArcsec: *sigma,
+	}
+	if *verbose {
+		cfg.OnEvent = func(e skynode.Event) { log.Printf("[%s] %s", e.Kind, e.Detail) }
+	}
+	node, err := skynode.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	url := *publicURL
+	if url == "" {
+		host := *addr
+		if strings.HasPrefix(host, ":") {
+			host = "localhost" + host
+		}
+		url = "http://" + host
+	}
+	if err := node.SetWSDL(url); err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		log.Printf("SkyNode %s listening on %s (WSDL at %s?wsdl)", *name, *addr, url)
+		if err := http.Serve(ln, node.Server()); err != nil {
+			log.Fatal(err)
+		}
+	}()
+
+	if *portalURL != "" {
+		c := client.New(*portalURL)
+		if err := c.Register(*name, url); err != nil {
+			log.Fatalf("registration with %s failed: %v", *portalURL, err)
+		}
+		log.Printf("registered with portal %s", *portalURL)
+	}
+	select {} // serve forever
+}
+
+// parseRegion parses "ra,dec,radiusDeg".
+func parseRegion(s string) (sphere.Cap, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return sphere.Cap{}, fmt.Errorf("bad -region %q, want ra,dec,radiusDeg", s)
+	}
+	var vals [3]float64
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return sphere.Cap{}, fmt.Errorf("bad -region %q: %v", s, err)
+		}
+		vals[i] = f
+	}
+	if vals[2] <= 0 {
+		return sphere.Cap{}, fmt.Errorf("bad -region %q: radius must be positive", s)
+	}
+	return sphere.NewCap(vals[0], vals[1], vals[2]), nil
+}
+
+func hash(s string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

@@ -1,0 +1,57 @@
+// Command skyquery-portal runs a SkyQuery Portal: the federation mediator
+// serving the Registration and SkyQuery SOAP services (§5.1).
+//
+// SkyNodes join by calling the Registration service (see skyquery-node's
+// -portal flag); clients submit cross-match queries with the skyquery CLI
+// or any SOAP client.
+//
+//	skyquery-portal -addr :8080
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"skyquery/internal/portal"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	publicURL := flag.String("url", "", "public URL for the WSDL (defaults to http://<addr>)")
+	chunkRows := flag.Int("chunk-rows", 5000, "rows per SOAP message for large results")
+	matchCols := flag.Bool("match-columns", false, "append _matchRA/_matchDec/_logLikelihood/_nObs to results")
+	verbose := flag.Bool("v", false, "log query trace events")
+	flag.Parse()
+
+	cfg := portal.Config{ChunkRows: *chunkRows, IncludeMatchColumns: *matchCols}
+	if *verbose {
+		cfg.OnEvent = func(e portal.Event) { log.Printf("[%s] %s", e.Kind, e.Detail) }
+	}
+	p := portal.New(cfg)
+
+	url := *publicURL
+	if url == "" {
+		url = "http://" + *addr
+	}
+	if err := p.SetWSDL(url); err != nil {
+		log.Fatal(err)
+	}
+
+	log.Printf("SkyQuery portal listening on %s (WSDL at %s?wsdl)", *addr, url)
+	log.Printf("waiting for SkyNode registrations...")
+	if err := http.ListenAndServe(*addr, logRegistrations(p)); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// logRegistrations wraps the portal handler to log federation growth.
+func logRegistrations(p *portal.Portal) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		before := p.Registry().Len()
+		p.Server().ServeHTTP(w, r)
+		if after := p.Registry().Len(); after != before {
+			log.Printf("federation now has %d member(s): %v", after, p.Archives())
+		}
+	})
+}

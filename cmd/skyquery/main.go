@@ -1,0 +1,103 @@
+// Command skyquery is the command-line client of a SkyQuery Portal: it
+// submits a cross-match query (from arguments or stdin) through the SOAP
+// SkyQuery service and prints the result as a table.
+//
+//	skyquery -portal http://localhost:8080 \
+//	  "SELECT O.object_id, T.object_id
+//	   FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T
+//	   WHERE AREA(185.0, -0.5, 900) AND XMATCH(O, T) < 3.5"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"skyquery/internal/client"
+	"skyquery/internal/value"
+)
+
+func main() {
+	portalURL := flag.String("portal", "http://localhost:8080", "portal SOAP endpoint")
+	maxRows := flag.Int("max-rows", 0, "print at most this many rows (0 = all)")
+	flag.Parse()
+
+	sql := strings.TrimSpace(strings.Join(flag.Args(), " "))
+	if sql == "" {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sql = strings.TrimSpace(string(data))
+	}
+	if sql == "" {
+		fmt.Fprintln(os.Stderr, "usage: skyquery -portal URL \"SELECT ...\" (or pipe the query on stdin)")
+		os.Exit(2)
+	}
+
+	c := client.New(*portalURL)
+	res, err := c.Query(sql)
+	if err != nil {
+		log.Fatalf("query failed: %v", err)
+	}
+
+	// Column widths from header + data.
+	widths := make([]int, len(res.Columns))
+	header := make([]string, len(res.Columns))
+	for i, col := range res.Columns {
+		header[i] = col.Name
+		widths[i] = len(col.Name)
+	}
+	cells := make([][]string, 0, res.NumRows())
+	for ri, row := range res.Rows {
+		if *maxRows > 0 && ri >= *maxRows {
+			break
+		}
+		line := make([]string, len(row))
+		for i, v := range row {
+			line[i] = render(v)
+			if len(line[i]) > widths[i] {
+				widths[i] = len(line[i])
+			}
+		}
+		cells = append(cells, line)
+	}
+
+	printRow(header, widths)
+	sep := make([]string, len(widths))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	printRow(sep, widths)
+	for _, line := range cells {
+		printRow(line, widths)
+	}
+	if *maxRows > 0 && res.NumRows() > *maxRows {
+		fmt.Printf("... (%d more rows)\n", res.NumRows()-*maxRows)
+	}
+	fmt.Fprintf(os.Stderr, "%d row(s)\n", res.NumRows())
+}
+
+func render(v value.Value) string {
+	if v.IsNull() {
+		return "NULL"
+	}
+	if v.Type() == value.StringType {
+		return v.AsString()
+	}
+	if f, ok := v.AsFloat(); ok && v.Type() == value.FloatType {
+		return fmt.Sprintf("%.6g", f)
+	}
+	return fmt.Sprintf("%v", v)
+}
+
+func printRow(cells []string, widths []int) {
+	parts := make([]string, len(cells))
+	for i, c := range cells {
+		parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+	}
+	fmt.Println(strings.Join(parts, "  "))
+}

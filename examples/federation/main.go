@@ -1,0 +1,98 @@
+// Federation: Figure 1 end to end, assembled by hand — build two archive
+// databases with the storage API, wrap each in a SkyNode behind a real
+// HTTP endpoint, register them with the Portal through the SOAP
+// Registration service, and query through the SOAP SkyQuery service like
+// a remote astronomer would.
+//
+//	go run ./examples/federation
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"skyquery"
+)
+
+// buildArchive creates a hand-made archive: n objects scattered around
+// (ra0, dec0) with per-object positional noise sigma (arcsec).
+func buildArchive(name string, n int, sigma float64, seed int64) (*skyquery.DB, error) {
+	db := skyquery.NewDB()
+	tab, err := db.Create("Sources", skyquery.Schema{
+		{Name: "src_id", Type: skyquery.IntType},
+		{Name: "ra", Type: skyquery.FloatType},
+		{Name: "dec", Type: skyquery.FloatType},
+		{Name: "mag", Type: skyquery.FloatType},
+	})
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		// A shared grid of true positions so the two archives overlap.
+		ra := 185.0 + float64(i%40)*0.002
+		dec := -0.5 + float64(i/40)*0.002
+		ra += rng.NormFloat64() * skyquery.Arcsec(sigma)
+		dec += rng.NormFloat64() * skyquery.Arcsec(sigma)
+		row, err := skyquery.Values(i, ra, dec, 15+rng.Float64()*5)
+		if err != nil {
+			return nil, err
+		}
+		if err := tab.Append(row...); err != nil {
+			return nil, err
+		}
+	}
+	if err := tab.EnableSpatial(skyquery.SpatialConfig{RACol: "ra", DecCol: "dec"}); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+func main() {
+	dbA, err := buildArchive("OPTICAL", 800, 0.1, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dbB, err := buildArchive("INFRARED", 800, 0.3, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fed, err := skyquery.Launch(skyquery.Options{
+		Surveys: []skyquery.SurveySpec{}, // no generated surveys
+		Nodes: []skyquery.NodeSpec{
+			{Name: "OPTICAL", DB: dbA, PrimaryTable: "Sources",
+				RACol: "ra", DecCol: "dec", SigmaArcsec: 0.1},
+			{Name: "INFRARED", DB: dbB, PrimaryTable: "Sources",
+				RACol: "ra", DecCol: "dec", SigmaArcsec: 0.3},
+		},
+		RecordCalls: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fed.Close()
+
+	fmt.Println("Federation members:", fed.Portal.Archives())
+	for _, e := range fed.Portal.Registry().List() {
+		fmt.Printf("  %-9s %s  (sigma=%s\", objects=%s)\n",
+			e.Name, e.Endpoint, e.Metadata["sigmaArcsec"], e.Metadata["objectCount"])
+	}
+
+	// Query through the SOAP client — the full web-service path.
+	c := fed.Client()
+	res, err := c.Query(`
+		SELECT a.src_id, a.mag, b.src_id, b.mag
+		FROM OPTICAL:Sources a, INFRARED:Sources b
+		WHERE AREA(185.04, -0.48, 600) AND XMATCH(a, b) < 3.0 AND a.mag < 18`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d bright optical sources with infrared counterparts\n", res.NumRows())
+
+	fmt.Println("\nSOAP calls on the wire:")
+	for _, call := range fed.Transport.Calls() {
+		fmt.Printf("  %-32s -> %5d B out, %6d B in\n", call.Action, call.BytesSent, call.BytesReceived)
+	}
+}

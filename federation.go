@@ -1,0 +1,279 @@
+package skyquery
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"skyquery/internal/nettrace"
+	"skyquery/internal/portal"
+	"skyquery/internal/skynode"
+	"skyquery/internal/soap"
+	"skyquery/internal/survey"
+)
+
+// NodeSpec attaches a hand-built archive database to a federation, for
+// callers that do not want a generated synthetic survey.
+type NodeSpec struct {
+	// Name is the archive name used in queries.
+	Name string
+	// DB is the archive database; its PrimaryTable must exist and have a
+	// spatial index (EnableSpatial).
+	DB *DB
+	// PrimaryTable, RACol, DecCol locate the object positions.
+	PrimaryTable, RACol, DecCol string
+	// SigmaArcsec is the archive's positional error.
+	SigmaArcsec float64
+}
+
+// Options configures Launch.
+type Options struct {
+	// Region is the sky field synthetic surveys populate. The zero value
+	// means the paper's example field: a 0.25 degree cap at (185, -0.5).
+	Region Cap
+	// Bodies is the number of true bodies to generate (default 1000).
+	Bodies int
+	// GalaxyFraction is the fraction of generated bodies that are
+	// galaxies (default 0.4).
+	GalaxyFraction float64
+	// Seed drives field generation (default 1).
+	Seed int64
+	// Surveys configures the synthetic archives. When empty and no Nodes
+	// are given, a three-survey default modeled on SDSS/2MASS/FIRST is
+	// used.
+	Surveys []SurveySpec
+	// Nodes attaches hand-built archives in addition to Surveys.
+	Nodes []NodeSpec
+	// WANLatency and WANBandwidthBps shape all federation traffic through
+	// the instrumented transport (0 = off).
+	WANLatency time.Duration
+	// WANBandwidthBps simulates link bandwidth in bytes/second (0 = off).
+	WANBandwidthBps int64
+	// RecordCalls enables the transport's per-call log.
+	RecordCalls bool
+	// ChunkRows bounds rows per SOAP message (0 = 5000).
+	ChunkRows int
+	// MessageLimit bounds SOAP message sizes on every server and client
+	// (0 = the 10 MB default; negative = unlimited).
+	MessageLimit int64
+	// IncludeMatchColumns adds _matchRA/_matchDec/_logLikelihood/_nObs to
+	// cross-match results.
+	IncludeMatchColumns bool
+	// PortalEvents and NodeEvents receive trace events when set.
+	PortalEvents func(kind, detail string)
+	NodeEvents   func(node, kind, detail string)
+}
+
+// DefaultSurveys mirrors the three archives of the paper's example query:
+// a deep optical survey (SDSS-like), an infrared survey (2MASS-like), and
+// a shallow radio survey (FIRST-like).
+func DefaultSurveys() []SurveySpec {
+	return []SurveySpec{
+		{Name: "SDSS", SigmaArcsec: 0.1, Completeness: 0.95, FluxOffset: 3, Seed: 101},
+		{Name: "TWOMASS", SigmaArcsec: 0.2, Completeness: 0.85, ExtraDensity: 0.1, Seed: 102},
+		{Name: "FIRST", SigmaArcsec: 0.4, Completeness: 0.5, FluxOffset: -1, Seed: 103},
+	}
+}
+
+// Federation is a running in-process federation: a Portal plus SkyNodes,
+// all served over loopback HTTP and speaking SOAP to each other.
+type Federation struct {
+	// Portal is the mediator.
+	Portal *portal.Portal
+	// PortalURL is the Portal's SOAP endpoint.
+	PortalURL string
+	// Nodes maps archive names to their running SkyNodes.
+	Nodes map[string]*skynode.Node
+	// NodeURLs maps archive names to their SOAP endpoints.
+	NodeURLs map[string]string
+	// Field is the generated population (nil when only NodeSpecs were
+	// given).
+	Field *Field
+	// Archives holds the generated synthetic archives by name.
+	Archives map[string]*survey.Archive
+	// Transport carries all traffic; read its Stats for bytes-on-wire.
+	Transport *Transport
+
+	mu      sync.Mutex
+	servers []*http.Server
+	lns     []net.Listener
+}
+
+// Launch builds and starts a federation.
+func Launch(opts Options) (*Federation, error) {
+	if opts.Region.Radius == 0 {
+		opts.Region = NewCap(185, -0.5, 0.25)
+	}
+	if opts.Bodies == 0 {
+		opts.Bodies = 1000
+	}
+	if opts.GalaxyFraction == 0 {
+		opts.GalaxyFraction = 0.4
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if len(opts.Surveys) == 0 && len(opts.Nodes) == 0 {
+		opts.Surveys = DefaultSurveys()
+	}
+
+	tr := &nettrace.Transport{
+		Latency:      opts.WANLatency,
+		BandwidthBps: opts.WANBandwidthBps,
+		RecordCalls:  opts.RecordCalls,
+	}
+	soapClient := &soap.Client{HTTPClient: tr.Client(), MessageLimit: opts.MessageLimit}
+
+	f := &Federation{
+		Nodes:     map[string]*skynode.Node{},
+		NodeURLs:  map[string]string{},
+		Archives:  map[string]*survey.Archive{},
+		Transport: tr,
+	}
+
+	var portalEvents func(portal.Event)
+	if opts.PortalEvents != nil {
+		fn := opts.PortalEvents
+		portalEvents = func(e portal.Event) { fn(e.Kind, e.Detail) }
+	}
+	f.Portal = portal.New(portal.Config{
+		Client:              soapClient,
+		ChunkRows:           opts.ChunkRows,
+		MessageLimit:        opts.MessageLimit,
+		IncludeMatchColumns: opts.IncludeMatchColumns,
+		OnEvent:             portalEvents,
+	})
+	portalURL, err := f.serve(f.Portal.Server())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	f.PortalURL = portalURL
+	if err := f.Portal.SetWSDL(portalURL); err != nil {
+		f.Close()
+		return nil, err
+	}
+
+	var nodeEvents func(skynode.Event)
+	if opts.NodeEvents != nil {
+		fn := opts.NodeEvents
+		nodeEvents = func(e skynode.Event) { fn(e.Node, e.Kind, e.Detail) }
+	}
+
+	// Generated surveys.
+	if len(opts.Surveys) > 0 {
+		f.Field = GenerateField(opts.Region, opts.Bodies, opts.GalaxyFraction, opts.Seed)
+		for _, cfg := range opts.Surveys {
+			a := survey.Observe(f.Field, cfg)
+			db, err := a.BuildDB()
+			if err != nil {
+				f.Close()
+				return nil, err
+			}
+			f.Archives[cfg.Name] = a
+			spec := NodeSpec{
+				Name: cfg.Name, DB: db, PrimaryTable: survey.TableName,
+				RACol: "ra", DecCol: "dec", SigmaArcsec: cfg.SigmaArcsec,
+			}
+			if err := f.attach(spec, soapClient, opts, nodeEvents); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+	}
+	// Hand-built archives.
+	for _, spec := range opts.Nodes {
+		if err := f.attach(spec, soapClient, opts, nodeEvents); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+func (f *Federation) attach(spec NodeSpec, soapClient *soap.Client, opts Options, onEvent func(skynode.Event)) error {
+	n, err := skynode.New(skynode.Config{
+		Name:         spec.Name,
+		DB:           spec.DB,
+		PrimaryTable: spec.PrimaryTable,
+		RACol:        spec.RACol,
+		DecCol:       spec.DecCol,
+		SigmaArcsec:  spec.SigmaArcsec,
+		Client:       soapClient,
+		ChunkRows:    opts.ChunkRows,
+		MessageLimit: opts.MessageLimit,
+		OnEvent:      onEvent,
+	})
+	if err != nil {
+		return err
+	}
+	url, err := f.serve(n.Server())
+	if err != nil {
+		return err
+	}
+	if err := n.SetWSDL(url); err != nil {
+		return err
+	}
+	f.Nodes[spec.Name] = n
+	f.NodeURLs[spec.Name] = url
+	return f.Portal.Register(spec.Name, url)
+}
+
+// serve starts an HTTP server for the handler on a loopback port and
+// returns its URL.
+func (f *Federation) serve(h http.Handler) (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", fmt.Errorf("skyquery: listen: %w", err)
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(ln)
+	f.mu.Lock()
+	f.servers = append(f.servers, srv)
+	f.lns = append(f.lns, ln)
+	f.mu.Unlock()
+	return "http://" + ln.Addr().String(), nil
+}
+
+// Query submits a query to the federation's Portal (in-process; for the
+// SOAP path use Client()).
+func (f *Federation) Query(sql string) (*Result, error) {
+	return f.Portal.Query(sql)
+}
+
+// PullQuery runs the pull-to-portal baseline executor for comparison
+// experiments.
+func (f *Federation) PullQuery(sql string) (*Result, error) {
+	return f.Portal.PullQuery(sql)
+}
+
+// BuildPlan constructs (but does not execute) the plan for a cross-match
+// query, including the count-star probes.
+func (f *Federation) BuildPlan(sql string) (*Plan, error) {
+	return f.Portal.BuildPlan(sql)
+}
+
+// Client returns a SOAP client bound to the Portal endpoint, exercising
+// the full web-service path a remote astronomer would use.
+func (f *Federation) Client() *Client {
+	c := Dial(f.PortalURL)
+	c.SOAP = &soap.Client{HTTPClient: f.Transport.Client()}
+	return c
+}
+
+// Close shuts down all HTTP servers.
+func (f *Federation) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var firstErr error
+	for _, srv := range f.servers {
+		if err := srv.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	f.servers = nil
+	f.lns = nil
+	return firstErr
+}

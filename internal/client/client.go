@@ -1,0 +1,61 @@
+// Package client is the Go client of a SkyQuery Portal: it plays the role
+// of the paper's "Clients" tier (§5.1), submitting cross-match queries to
+// the Portal's SkyQuery service over SOAP and reassembling chunked
+// results. It also exposes the registration call SkyNodes use to join.
+package client
+
+import (
+	"fmt"
+
+	"skyquery/internal/dataset"
+	"skyquery/internal/portal"
+	"skyquery/internal/soap"
+)
+
+// Client talks to one Portal.
+type Client struct {
+	// PortalURL is the Portal's SOAP endpoint.
+	PortalURL string
+	// SOAP is the underlying SOAP client; nil gets a default.
+	SOAP *soap.Client
+}
+
+// New returns a client for the given Portal endpoint.
+func New(portalURL string) *Client {
+	return &Client{PortalURL: portalURL, SOAP: &soap.Client{}}
+}
+
+func (c *Client) soapClient() *soap.Client {
+	if c.SOAP != nil {
+		return c.SOAP
+	}
+	return &soap.Client{}
+}
+
+// Query submits a query and returns the full result set.
+func (c *Client) Query(sql string) (*dataset.DataSet, error) {
+	if c.PortalURL == "" {
+		return nil, fmt.Errorf("client: no portal URL configured")
+	}
+	sc := c.soapClient()
+	var first soap.ChunkedData
+	if err := sc.Call(c.PortalURL, portal.ActionSkyQuery, &portal.SkyQueryRequest{SQL: sql}, &first); err != nil {
+		return nil, err
+	}
+	return soap.FetchAll(sc, c.PortalURL, &first)
+}
+
+// Register announces a SkyNode to the Portal's Registration service on
+// behalf of the node (the node could equally call this itself).
+func (c *Client) Register(name, endpoint string) error {
+	var resp portal.RegisterResponse
+	err := c.soapClient().Call(c.PortalURL, portal.ActionRegister,
+		&portal.RegisterRequest{Name: name, Endpoint: endpoint}, &resp)
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("client: registration of %q rejected", name)
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package client
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"skyquery/internal/portal"
+	"skyquery/internal/skynode"
+	"skyquery/internal/sphere"
+	"skyquery/internal/survey"
+)
+
+// startFederation brings up a portal and one node, returning the portal
+// URL and the unregistered node's name and URL.
+func startFederation(t *testing.T) (portalURL, nodeName, nodeURL string) {
+	t.Helper()
+	p := portal.New(portal.Config{})
+	pts := httptest.NewServer(p.Server())
+	t.Cleanup(pts.Close)
+
+	region := sphere.NewCap(185, -0.5, 0.25)
+	field := survey.GenerateField(region, 400, 0.4, 7)
+	arch := survey.Observe(field, survey.Config{Name: "SDSS", SigmaArcsec: 0.1, Completeness: 1, Seed: 8})
+	db, err := arch.BuildDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := skynode.New(skynode.Config{
+		Name: "SDSS", DB: db, PrimaryTable: survey.TableName,
+		RACol: "ra", DecCol: "dec", SigmaArcsec: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nts := httptest.NewServer(n.Server())
+	t.Cleanup(nts.Close)
+	return pts.URL, "SDSS", nts.URL
+}
+
+func TestRegisterAndQuery(t *testing.T) {
+	portalURL, name, nodeURL := startFederation(t)
+	c := New(portalURL)
+	if err := c.Register(name, nodeURL); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Query(`SELECT TOP 3 O.object_id FROM SDSS:PhotoObject O WHERE O.type = 'GALAXY'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 3 {
+		t.Errorf("rows = %d", res.NumRows())
+	}
+}
+
+func TestQueryErrorsSurfaceAsFaults(t *testing.T) {
+	portalURL, name, nodeURL := startFederation(t)
+	c := New(portalURL)
+	if err := c.Register(name, nodeURL); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Query(`SELECT O.object_id FROM GHOST:PhotoObject O`)
+	if err == nil || !strings.Contains(err.Error(), "not part of the federation") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRegisterUnreachableNode(t *testing.T) {
+	portalURL, _, _ := startFederation(t)
+	c := New(portalURL)
+	if err := c.Register("DEAD", "http://127.0.0.1:1/none"); err == nil {
+		t.Error("registering an unreachable node should fail")
+	}
+}
+
+func TestClientWithoutPortal(t *testing.T) {
+	c := &Client{}
+	if _, err := c.Query("SELECT 1"); err == nil {
+		t.Error("query without portal URL should fail")
+	}
+}
+
+func TestClientDefaultSOAP(t *testing.T) {
+	portalURL, name, nodeURL := startFederation(t)
+	c := &Client{PortalURL: portalURL} // nil SOAP field
+	if err := c.Register(name, nodeURL); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"skyquery/internal/dataset"
+	"skyquery/internal/eval"
+	"skyquery/internal/plan"
+	"skyquery/internal/sphere"
+	"skyquery/internal/sqlparse"
+	"skyquery/internal/value"
+	"skyquery/internal/xmatch"
+)
+
+// PullExecute runs a cross-match query with the architecture the paper
+// rejects (§5.1): every archive's qualifying rows are pulled to the Portal
+// ("Many federations, based on the wrapper-mediator architecture, pull
+// results from each database to the Portal"), and the probabilistic join
+// is computed centrally. It returns the same result as Execute and exists
+// as the baseline for the chain-vs-pull experiment (C5): the chain ships
+// partial results whose size shrinks with match selectivity, while the
+// pull ships every candidate row regardless.
+func (e *Engine) PullExecute(sql string) (*dataset.DataSet, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if err := sqlparse.Validate(q); err != nil {
+		return nil, err
+	}
+	if q.XMatch == nil {
+		return e.passThrough(q)
+	}
+	// Reuse the planner for validation, archive resolution and ordering.
+	// The pull baseline still needs count-star probes to pick the same
+	// join order, so the comparison isolates the data-movement strategy.
+	p, err := e.BuildPlan(q)
+	if err != nil {
+		return nil, err
+	}
+	d := sqlparse.Decompose(q)
+
+	// Pull each archive's qualifying rows (position columns included).
+	pulled := make(map[string]*dataset.DataSet, len(p.Steps))
+	for _, step := range p.Steps {
+		a, err := e.Catalog.Archive(step.Archive)
+		if err != nil {
+			return nil, err
+		}
+		sqlText := pullQuery(a, step, q)
+		ds, err := e.Services.TableQuery(a, sqlText)
+		if err != nil {
+			return nil, fmt.Errorf("core: pull from %s: %w", step.Archive, err)
+		}
+		pulled[step.Archive] = ds
+	}
+
+	// Local chain over the pulled sets, in execution order (reverse call
+	// order), mirroring the distributed algorithm exactly.
+	var tuples *dataset.DataSet
+	for i := len(p.Steps) - 1; i >= 0; i-- {
+		step := p.Steps[i]
+		a, err := e.Catalog.Archive(step.Archive)
+		if err != nil {
+			return nil, err
+		}
+		rows := pulled[step.Archive]
+		if tuples == nil {
+			tuples, err = seedLocal(a, step, rows)
+		} else if step.DropOut {
+			tuples, err = dropOutLocal(a, step, rows, tuples, p.Threshold)
+		} else {
+			tuples, err = extendLocal(a, step, rows, tuples, p.Threshold, d)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return e.project(q, tuples)
+}
+
+// pullQuery builds the per-archive query the baseline sends: the needed
+// columns plus the archive's position columns, restricted by AREA and the
+// local predicate.
+func pullQuery(a *Archive, step plan.Step, q *sqlparse.Query) string {
+	cols := []string{step.Alias + "." + a.RACol, step.Alias + "." + a.DecCol}
+	for _, c := range step.Columns {
+		if c == a.RACol || c == a.DecCol {
+			continue
+		}
+		cols = append(cols, step.Alias+"."+c)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "SELECT %s FROM %s %s WHERE %s",
+		strings.Join(cols, ", "), step.Table, step.Alias, q.Area.String())
+	if step.LocalWhere != "" {
+		fmt.Fprintf(&sb, " AND %s", step.LocalWhere)
+	}
+	return sb.String()
+}
+
+// pulledPos extracts the position of row i of a pulled set; the first two
+// columns are RA and Dec by construction of pullQuery.
+func pulledPos(rows *dataset.DataSet, i int) (raDec [2]float64, err error) {
+	if len(rows.Columns) < 2 {
+		return raDec, fmt.Errorf("core: pulled set has no position columns")
+	}
+	ra, ok1 := rows.Rows[i][0].AsFloat()
+	dec, ok2 := rows.Rows[i][1].AsFloat()
+	if !ok1 || !ok2 {
+		return raDec, fmt.Errorf("core: pulled row %d has non-numeric position", i)
+	}
+	return [2]float64{ra, dec}, nil
+}
+
+// payloadColumns renames the pulled payload columns (dropping the two
+// leading position columns) for the tuple schema.
+func payloadColumns(step plan.Step, rows *dataset.DataSet) []dataset.Column {
+	out := make([]dataset.Column, 0, len(step.Columns))
+	for _, c := range step.Columns {
+		// Nodes name result columns by their bare column name; the tuple
+		// schema re-qualifies them with the step's alias.
+		name := step.Alias + "." + c
+		if ci := rows.ColumnIndex(c); ci >= 0 {
+			out = append(out, dataset.Column{Name: name, Type: rows.Columns[ci].Type})
+		} else {
+			out = append(out, dataset.Column{Name: name, Type: value.FloatType})
+		}
+	}
+	return out
+}
+
+func payloadCells(step plan.Step, rows *dataset.DataSet, i int) []value.Value {
+	out := make([]value.Value, 0, len(step.Columns))
+	for _, c := range step.Columns {
+		ci := rows.ColumnIndex(c)
+		if ci < 0 {
+			out = append(out, value.Null)
+			continue
+		}
+		out = append(out, rows.Rows[i][ci])
+	}
+	return out
+}
+
+func seedLocal(a *Archive, step plan.Step, rows *dataset.DataSet) (*dataset.DataSet, error) {
+	cols := xmatch.AccColumns()
+	cols = append(cols, payloadColumns(step, rows)...)
+	out := &dataset.DataSet{Columns: cols}
+	for i := range rows.Rows {
+		rd, err := pulledPos(rows, i)
+		if err != nil {
+			return nil, err
+		}
+		acc := xmatch.Accumulator{}.Add(vecOf(rd), step.SigmaArcsec)
+		cells := xmatch.AccToCells(acc)
+		cells = append(cells, payloadCells(step, rows, i)...)
+		out.Rows = append(out.Rows, cells)
+	}
+	return out, nil
+}
+
+func extendLocal(a *Archive, step plan.Step, rows *dataset.DataSet, tuples *dataset.DataSet,
+	threshold float64, d sqlparse.Decomposition) (*dataset.DataSet, error) {
+
+	var crossExprs []sqlparse.Expr
+	for _, src := range step.CrossWhere {
+		ex, err := sqlparse.ParseExpr(src)
+		if err != nil {
+			return nil, err
+		}
+		crossExprs = append(crossExprs, ex)
+	}
+
+	cols := append([]dataset.Column(nil), tuples.Columns...)
+	cols = append(cols, payloadColumns(step, rows)...)
+	out := &dataset.DataSet{Columns: cols}
+	payload := tuples.Columns[xmatch.NumAccCols:]
+
+	for _, trow := range tuples.Rows {
+		acc, err := xmatch.CellsToAcc(trow)
+		if err != nil {
+			return nil, err
+		}
+		radius := acc.SearchRadius(threshold, step.SigmaArcsec)
+		if radius <= 0 {
+			continue
+		}
+		best := acc.Best()
+		env := eval.MapEnv{}
+		for i, c := range payload {
+			env[c.Name] = trow[xmatch.NumAccCols+i]
+		}
+		for i := range rows.Rows {
+			rd, err := pulledPos(rows, i)
+			if err != nil {
+				return nil, err
+			}
+			pos := vecOf(rd)
+			if best.Sep(pos) > radius {
+				continue
+			}
+			next := acc.Add(pos, step.SigmaArcsec)
+			if !next.Matches(threshold) {
+				continue
+			}
+			if len(crossExprs) > 0 {
+				candEnv := eval.MapEnv{}
+				for k, v := range env {
+					candEnv[k] = v
+				}
+				for ci, c := range rows.Columns {
+					candEnv[c.Name] = rows.Rows[i][ci]
+				}
+				ok := true
+				for _, ex := range crossExprs {
+					pass, err := eval.EvalBool(ex, candEnv)
+					if err != nil {
+						return nil, err
+					}
+					if !pass {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+			}
+			cells := xmatch.AccToCells(next)
+			cells = append(cells, trow[xmatch.NumAccCols:]...)
+			cells = append(cells, payloadCells(step, rows, i)...)
+			out.Rows = append(out.Rows, cells)
+		}
+	}
+	return out, nil
+}
+
+func dropOutLocal(a *Archive, step plan.Step, rows *dataset.DataSet, tuples *dataset.DataSet,
+	threshold float64) (*dataset.DataSet, error) {
+
+	out := &dataset.DataSet{Columns: tuples.Columns}
+	for _, trow := range tuples.Rows {
+		acc, err := xmatch.CellsToAcc(trow)
+		if err != nil {
+			return nil, err
+		}
+		radius := acc.SearchRadius(threshold, step.SigmaArcsec)
+		vetoed := false
+		if radius > 0 {
+			best := acc.Best()
+			for i := range rows.Rows {
+				rd, err := pulledPos(rows, i)
+				if err != nil {
+					return nil, err
+				}
+				pos := vecOf(rd)
+				if best.Sep(pos) > radius {
+					continue
+				}
+				if acc.Add(pos, step.SigmaArcsec).Matches(threshold) {
+					vetoed = true
+					break
+				}
+			}
+		}
+		if !vetoed {
+			out.Rows = append(out.Rows, trow)
+		}
+	}
+	return out, nil
+}
+
+// vecOf converts an (ra, dec) pair to a unit vector.
+func vecOf(rd [2]float64) sphere.Vec {
+	return sphere.FromRaDec(rd[0], rd[1])
+}

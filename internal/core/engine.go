@@ -1,0 +1,167 @@
+// Package core is the paper's primary contribution assembled into one
+// engine: federated cross-match query processing. It parses the dialect,
+// validates a query against the federation catalog, decomposes the WHERE
+// clause (§5.3), fans out count-star performance queries, builds the
+// count-ordered execution plan (drop-outs first in call order, mandatory
+// archives by decreasing count), launches the daisy chain, and projects
+// the final tuples into the client-visible result.
+//
+// The engine is transport-agnostic: the Portal provides SOAP-backed
+// implementations of Catalog and Services, while tests and benchmarks can
+// plug in in-process fakes. The pull-to-portal baseline executor — the
+// design the paper explicitly rejects ("Many federations ... pull results
+// from each database to the Portal. SkyQuery, instead, moves the partial
+// results ... along a chain") — lives in baseline.go for the comparison
+// experiments.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"skyquery/internal/dataset"
+	"skyquery/internal/plan"
+	"skyquery/internal/sqlparse"
+)
+
+// TableInfo describes one table of an archive as known to the catalog.
+type TableInfo struct {
+	Name    string
+	Rows    int64
+	Columns map[string]string // column name -> type name
+}
+
+// Archive is the catalog's view of one federated SkyNode.
+type Archive struct {
+	Name         string
+	Endpoint     string
+	PrimaryTable string
+	RACol        string
+	DecCol       string
+	SigmaArcsec  float64
+	Tables       map[string]TableInfo
+}
+
+// Catalog resolves archive names to metadata. The Portal's registration
+// catalog implements it.
+type Catalog interface {
+	Archive(name string) (*Archive, error)
+}
+
+// Services performs the remote operations of the federation.
+type Services interface {
+	// CountStar runs a performance query (SELECT COUNT(*) ...) at the
+	// archive and returns the bound.
+	CountStar(a *Archive, sql string) (int64, error)
+	// CrossMatch hands the plan to the first step's node and returns the
+	// final partial-tuple set that flowed back up the chain.
+	CrossMatch(p *plan.Plan) (*dataset.DataSet, error)
+	// TableQuery runs a complete single-archive query and returns its
+	// rows (used for pass-through queries and the pull baseline).
+	TableQuery(a *Archive, sql string) (*dataset.DataSet, error)
+}
+
+// Event is a trace point; kinds follow Figure 3's numbered steps.
+type Event struct {
+	// Kind is one of "submit", "decompose", "perfquery.send",
+	// "perfquery.recv", "plan", "execute", "relay".
+	Kind string
+	// Detail is a human-readable annotation.
+	Detail string
+}
+
+// Engine executes federated queries.
+type Engine struct {
+	// Catalog resolves archives. Required.
+	Catalog Catalog
+	// Services performs remote calls. Required.
+	Services Services
+	// ChunkRows is the per-message row bound written into plans; 0 means
+	// 5000.
+	ChunkRows int
+	// IncludeMatchColumns appends _matchRA, _matchDec, _logLikelihood,
+	// _nObs diagnostics to cross-match results.
+	IncludeMatchColumns bool
+	// OnEvent, when set, receives trace events.
+	OnEvent func(Event)
+
+	querySeq atomic.Int64
+}
+
+func (e *Engine) emit(kind, format string, args ...interface{}) {
+	if e.OnEvent == nil {
+		return
+	}
+	e.OnEvent(Event{Kind: kind, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Execute parses and runs a query, returning the final result set.
+func (e *Engine) Execute(sql string) (*dataset.DataSet, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	e.emit("submit", "%s", strings.TrimSpace(sql))
+	if err := sqlparse.Validate(q); err != nil {
+		return nil, err
+	}
+	if q.XMatch == nil {
+		return e.passThrough(q)
+	}
+	p, err := e.BuildPlan(q)
+	if err != nil {
+		return nil, err
+	}
+	e.emit("execute", "chain: %s", p)
+	tuples, err := e.Services.CrossMatch(p)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.project(q, tuples)
+	if err != nil {
+		return nil, err
+	}
+	e.emit("relay", "%d rows to client", res.NumRows())
+	return res, nil
+}
+
+// passThrough relays a non-XMATCH query to its single archive.
+func (e *Engine) passThrough(q *sqlparse.Query) (*dataset.DataSet, error) {
+	if len(q.From) != 1 {
+		return nil, fmt.Errorf("core: queries over multiple archives need an XMATCH clause")
+	}
+	ref := q.From[0]
+	if ref.Archive == "" {
+		return nil, fmt.Errorf("core: federated tables are written archive:table, got %q", ref.Table)
+	}
+	a, err := e.Catalog.Archive(ref.Archive)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := a.Tables[ref.Table]; !ok {
+		return nil, fmt.Errorf("core: archive %s has no table %q", a.Name, ref.Table)
+	}
+	// Strip the archive qualifier: the node sees its local table name.
+	local := *q
+	local.From = []sqlparse.TableRef{{Table: ref.Table, Alias: ref.Alias}}
+	e.emit("execute", "pass-through to %s", a.Name)
+	res, err := e.Services.TableQuery(a, local.String())
+	if err != nil {
+		return nil, err
+	}
+	e.emit("relay", "%d rows to client", res.NumRows())
+	return res, nil
+}
+
+// queryID returns a fresh plan identifier.
+func (e *Engine) queryID() string {
+	return fmt.Sprintf("q-%d", e.querySeq.Add(1))
+}
+
+func (e *Engine) chunkRows() int {
+	if e.ChunkRows == 0 {
+		return 5000
+	}
+	return e.ChunkRows
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+
+	"skyquery/internal/dataset"
+	"skyquery/internal/eval"
+	"skyquery/internal/sqlparse"
+	"skyquery/internal/value"
+	"skyquery/internal/xmatch"
+)
+
+// project evaluates the query's select list over the final partial tuples
+// returned by the chain, producing the client-visible result. COUNT(*)
+// queries return the match count. When IncludeMatchColumns is set, the
+// diagnostic columns _matchRA, _matchDec, _logLikelihood and _nObs are
+// appended from each tuple's accumulator.
+func (e *Engine) project(q *sqlparse.Query, tuples *dataset.DataSet) (*dataset.DataSet, error) {
+	if len(tuples.Columns) < xmatch.NumAccCols {
+		return nil, fmt.Errorf("core: malformed tuple set: %d columns", len(tuples.Columns))
+	}
+	if q.Count {
+		out := dataset.New(dataset.Column{Name: "count", Type: value.IntType})
+		out.Rows = append(out.Rows, []value.Value{value.Int(int64(tuples.NumRows()))})
+		return out, nil
+	}
+
+	// Result schema from the select list.
+	out := &dataset.DataSet{}
+	for _, item := range q.Select {
+		name := item.Alias
+		if name == "" {
+			name = item.Expr.String()
+			if cr, ok := item.Expr.(*sqlparse.ColumnRef); ok {
+				name = cr.String()
+			}
+		}
+		out.Columns = append(out.Columns, dataset.Column{Name: name, Type: projType(item.Expr, tuples)})
+	}
+	if e.IncludeMatchColumns {
+		out.Columns = append(out.Columns,
+			dataset.Column{Name: "_matchRA", Type: value.FloatType},
+			dataset.Column{Name: "_matchDec", Type: value.FloatType},
+			dataset.Column{Name: "_logLikelihood", Type: value.FloatType},
+			dataset.Column{Name: "_nObs", Type: value.IntType},
+		)
+	}
+
+	payload := tuples.Columns[xmatch.NumAccCols:]
+	var sortKeys [][]value.Value
+	for _, row := range tuples.Rows {
+		env := eval.MapEnv{}
+		for i, c := range payload {
+			env[c.Name] = row[xmatch.NumAccCols+i]
+		}
+		cells := make([]value.Value, 0, len(out.Columns))
+		for _, item := range q.Select {
+			v, err := eval.Eval(item.Expr, env)
+			if err != nil {
+				return nil, fmt.Errorf("core: projecting %s: %w", item.Expr, err)
+			}
+			cells = append(cells, v)
+		}
+		if e.IncludeMatchColumns {
+			acc, err := xmatch.CellsToAcc(row)
+			if err != nil {
+				return nil, err
+			}
+			ra, dec := acc.Best().RaDec()
+			cells = append(cells,
+				value.Float(ra), value.Float(dec),
+				value.Float(acc.LogLikelihood()), value.Int(int64(acc.N)))
+		}
+		out.Rows = append(out.Rows, cells)
+		if len(q.OrderBy) > 0 {
+			keys := make([]value.Value, len(q.OrderBy))
+			for i, o := range q.OrderBy {
+				v, err := eval.Eval(o.Expr, env)
+				if err != nil {
+					return nil, fmt.Errorf("core: ORDER BY %s: %w", o.Expr, err)
+				}
+				keys[i] = v
+			}
+			sortKeys = append(sortKeys, keys)
+			continue
+		}
+		if q.Top > 0 && len(out.Rows) >= q.Top {
+			break
+		}
+	}
+	if len(q.OrderBy) > 0 {
+		sorted, err := eval.SortRows(out.Rows, sortKeys, q.OrderBy)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = sorted
+		if q.Top > 0 && len(out.Rows) > q.Top {
+			out.Rows = out.Rows[:q.Top]
+		}
+	}
+	return out, nil
+}
+
+// projType infers a column type for a projected expression from the tuple
+// schema, defaulting to FLOAT.
+func projType(e sqlparse.Expr, tuples *dataset.DataSet) value.Type {
+	if cr, ok := e.(*sqlparse.ColumnRef); ok {
+		if ci := tuples.ColumnIndex(cr.String()); ci >= 0 {
+			return tuples.Columns[ci].Type
+		}
+	}
+	switch n := e.(type) {
+	case *sqlparse.StringLit:
+		return value.StringType
+	case *sqlparse.BoolLit:
+		return value.BoolType
+	case *sqlparse.BinaryExpr:
+		switch n.Op {
+		case "AND", "OR", "=", "<>", "<", "<=", ">", ">=", "LIKE":
+			return value.BoolType
+		}
+	}
+	return value.FloatType
+}

@@ -1,0 +1,344 @@
+// Package dataset defines the tabular payload exchanged between the
+// Portal and the SkyNodes: an XML-serializable result set ("a serialized
+// XML encoded SOAP message", §5.3). It supports splitting large sets into
+// chunks — the workaround the paper describes for XML parsers dying on
+// ~10 MB messages (§6) — and a compact binary encoding used only as the
+// baseline in the serialization-overhead experiment.
+package dataset
+
+import (
+	"encoding/gob"
+	"encoding/xml"
+	"fmt"
+	"io"
+
+	"skyquery/internal/value"
+)
+
+// Column describes one column of a data set.
+type Column struct {
+	Name string
+	Type value.Type
+}
+
+// DataSet is an ordered, typed, nullable table of values.
+type DataSet struct {
+	Columns []Column
+	Rows    [][]value.Value
+}
+
+// New returns an empty data set with the given columns.
+func New(cols ...Column) *DataSet {
+	return &DataSet{Columns: cols}
+}
+
+// ColumnIndex returns the position of the named column or -1.
+func (d *DataSet) ColumnIndex(name string) int {
+	for i, c := range d.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Append adds a row. The row is not copied.
+func (d *DataSet) Append(row []value.Value) error {
+	if len(row) != len(d.Columns) {
+		return fmt.Errorf("dataset: row has %d values, want %d", len(row), len(d.Columns))
+	}
+	d.Rows = append(d.Rows, row)
+	return nil
+}
+
+// NumRows returns the number of rows.
+func (d *DataSet) NumRows() int { return len(d.Rows) }
+
+// SchemaEqual reports whether two data sets have identical column lists.
+func (d *DataSet) SchemaEqual(o *DataSet) bool {
+	if len(d.Columns) != len(o.Columns) {
+		return false
+	}
+	for i := range d.Columns {
+		if d.Columns[i] != o.Columns[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Split partitions the data set into chunks of at most maxRows rows each,
+// all sharing the schema. An empty set yields one empty chunk so that the
+// receiver still learns the schema. maxRows <= 0 means no splitting.
+func (d *DataSet) Split(maxRows int) []*DataSet {
+	if maxRows <= 0 || len(d.Rows) <= maxRows {
+		return []*DataSet{d}
+	}
+	var out []*DataSet
+	for start := 0; start < len(d.Rows); start += maxRows {
+		end := start + maxRows
+		if end > len(d.Rows) {
+			end = len(d.Rows)
+		}
+		out = append(out, &DataSet{Columns: d.Columns, Rows: d.Rows[start:end]})
+	}
+	return out
+}
+
+// Join concatenates chunks produced by Split. All chunks must share the
+// schema of the first.
+func Join(chunks []*DataSet) (*DataSet, error) {
+	if len(chunks) == 0 {
+		return nil, fmt.Errorf("dataset: no chunks to join")
+	}
+	out := &DataSet{Columns: chunks[0].Columns}
+	for i, c := range chunks {
+		if !out.SchemaEqual(c) {
+			return nil, fmt.Errorf("dataset: chunk %d schema mismatch", i)
+		}
+		out.Rows = append(out.Rows, c.Rows...)
+	}
+	return out, nil
+}
+
+// xmlDataSet is the wire representation. Cell values are rendered with
+// value.Encode; NULLs carry a null attribute instead of text.
+type xmlDataSet struct {
+	XMLName xml.Name    `xml:"DataSet"`
+	Columns []xmlColumn `xml:"Columns>Column"`
+	Rows    []xmlRow    `xml:"Rows>R"`
+}
+
+type xmlColumn struct {
+	Name string `xml:"name,attr"`
+	Type string `xml:"type,attr"`
+}
+
+type xmlRow struct {
+	Cells []xmlCell `xml:"C"`
+}
+
+type xmlCell struct {
+	Null  bool   `xml:"null,attr,omitempty"`
+	Value string `xml:",chardata"`
+}
+
+// toWire builds the XML wire representation.
+func (d *DataSet) toWire() xmlDataSet {
+	x := xmlDataSet{}
+	for _, c := range d.Columns {
+		x.Columns = append(x.Columns, xmlColumn{Name: c.Name, Type: c.Type.String()})
+	}
+	x.Rows = make([]xmlRow, len(d.Rows))
+	for i, row := range d.Rows {
+		cells := make([]xmlCell, len(row))
+		for j, v := range row {
+			if v.IsNull() {
+				cells[j] = xmlCell{Null: true}
+			} else {
+				cells[j] = xmlCell{Value: v.Encode()}
+			}
+		}
+		x.Rows[i] = xmlRow{Cells: cells}
+	}
+	return x
+}
+
+// EncodeXML writes the data set as XML.
+func (d *DataSet) EncodeXML(w io.Writer) error {
+	enc := xml.NewEncoder(w)
+	if err := enc.Encode(d.toWire()); err != nil {
+		return fmt.Errorf("dataset: encode: %w", err)
+	}
+	return enc.Flush()
+}
+
+// MarshalXML implements xml.Marshaler so a *DataSet embeds directly in
+// SOAP bodies. The data set always serializes as its canonical <DataSet>
+// element regardless of the suggested start element.
+func (d *DataSet) MarshalXML(e *xml.Encoder, start xml.StartElement) error {
+	return e.Encode(d.toWire())
+}
+
+// UnmarshalXML implements xml.Unmarshaler.
+func (d *DataSet) UnmarshalXML(dec *xml.Decoder, start xml.StartElement) error {
+	var x xmlDataSet
+	if err := dec.DecodeElement(&x, &start); err != nil {
+		return err
+	}
+	return d.fromWire(&x)
+}
+
+// DecodeXML reads a data set written by EncodeXML.
+func DecodeXML(r io.Reader) (*DataSet, error) {
+	var x xmlDataSet
+	if err := xml.NewDecoder(r).Decode(&x); err != nil {
+		return nil, fmt.Errorf("dataset: decode: %w", err)
+	}
+	d := &DataSet{}
+	if err := d.fromWire(&x); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (d *DataSet) fromWire(x *xmlDataSet) error {
+	d.Columns = d.Columns[:0]
+	d.Rows = d.Rows[:0]
+	for _, c := range x.Columns {
+		t, err := value.ParseType(c.Type)
+		if err != nil {
+			return fmt.Errorf("dataset: column %q: %w", c.Name, err)
+		}
+		d.Columns = append(d.Columns, Column{Name: c.Name, Type: t})
+	}
+	for i, row := range x.Rows {
+		if len(row.Cells) != len(d.Columns) {
+			return fmt.Errorf("dataset: row %d has %d cells, want %d", i, len(row.Cells), len(d.Columns))
+		}
+		vals := make([]value.Value, len(row.Cells))
+		for j, cell := range row.Cells {
+			if cell.Null {
+				vals[j] = value.Null
+				continue
+			}
+			v, err := value.Decode(cell.Value, d.Columns[j].Type)
+			if err != nil {
+				return fmt.Errorf("dataset: row %d col %d: %w", i, j, err)
+			}
+			vals[j] = v
+		}
+		d.Rows = append(d.Rows, vals)
+	}
+	return nil
+}
+
+// gobDataSet is the columnar binary wire form used by the serialization
+// benchmark as the "CORBA-style" baseline the paper compares SOAP against.
+type gobDataSet struct {
+	Names  []string
+	Types  []uint8
+	NRows  int
+	Ints   map[int][]int64
+	Floats map[int][]float64
+	Strs   map[int][]string
+	Bools  map[int][]bool
+	Nulls  map[int][]bool
+}
+
+// EncodeBinary writes a compact gob encoding of the data set.
+func (d *DataSet) EncodeBinary(w io.Writer) error {
+	g := gobDataSet{
+		NRows:  len(d.Rows),
+		Ints:   map[int][]int64{},
+		Floats: map[int][]float64{},
+		Strs:   map[int][]string{},
+		Bools:  map[int][]bool{},
+		Nulls:  map[int][]bool{},
+	}
+	for i, c := range d.Columns {
+		g.Names = append(g.Names, c.Name)
+		g.Types = append(g.Types, uint8(c.Type))
+		nulls := make([]bool, len(d.Rows))
+		switch c.Type {
+		case value.IntType:
+			col := make([]int64, len(d.Rows))
+			for r, row := range d.Rows {
+				if row[i].IsNull() {
+					nulls[r] = true
+				} else {
+					col[r] = row[i].AsInt()
+				}
+			}
+			g.Ints[i] = col
+		case value.FloatType:
+			col := make([]float64, len(d.Rows))
+			for r, row := range d.Rows {
+				if row[i].IsNull() {
+					nulls[r] = true
+				} else {
+					col[r], _ = row[i].AsFloat()
+				}
+			}
+			g.Floats[i] = col
+		case value.StringType:
+			col := make([]string, len(d.Rows))
+			for r, row := range d.Rows {
+				if row[i].IsNull() {
+					nulls[r] = true
+				} else {
+					col[r] = row[i].AsString()
+				}
+			}
+			g.Strs[i] = col
+		case value.BoolType:
+			col := make([]bool, len(d.Rows))
+			for r, row := range d.Rows {
+				if row[i].IsNull() {
+					nulls[r] = true
+				} else {
+					col[r] = row[i].AsBool()
+				}
+			}
+			g.Bools[i] = col
+		default:
+			return fmt.Errorf("dataset: cannot binary-encode column type %v", c.Type)
+		}
+		g.Nulls[i] = nulls
+	}
+	return gob.NewEncoder(w).Encode(g)
+}
+
+// DecodeBinary reads an EncodeBinary stream.
+func DecodeBinary(r io.Reader) (*DataSet, error) {
+	var g gobDataSet
+	if err := gob.NewDecoder(r).Decode(&g); err != nil {
+		return nil, fmt.Errorf("dataset: binary decode: %w", err)
+	}
+	d := &DataSet{}
+	for i, name := range g.Names {
+		d.Columns = append(d.Columns, Column{Name: name, Type: value.Type(g.Types[i])})
+	}
+	d.Rows = make([][]value.Value, g.NRows)
+	for r := 0; r < g.NRows; r++ {
+		d.Rows[r] = make([]value.Value, len(d.Columns))
+	}
+	for i, c := range d.Columns {
+		nulls := g.Nulls[i]
+		for r := 0; r < g.NRows; r++ {
+			if nulls != nil && nulls[r] {
+				d.Rows[r][i] = value.Null
+				continue
+			}
+			switch c.Type {
+			case value.IntType:
+				d.Rows[r][i] = value.Int(g.Ints[i][r])
+			case value.FloatType:
+				d.Rows[r][i] = value.Float(g.Floats[i][r])
+			case value.StringType:
+				d.Rows[r][i] = value.String(g.Strs[i][r])
+			case value.BoolType:
+				d.Rows[r][i] = value.Bool(g.Bools[i][r])
+			default:
+				return nil, fmt.Errorf("dataset: bad column type %v", c.Type)
+			}
+		}
+	}
+	return d, nil
+}
+
+// XMLSize returns the exact size in bytes of the XML encoding.
+func (d *DataSet) XMLSize() int {
+	var n countWriter
+	if err := d.EncodeXML(&n); err != nil {
+		return 0
+	}
+	return int(n)
+}
+
+type countWriter int64
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	*c += countWriter(len(p))
+	return len(p), nil
+}

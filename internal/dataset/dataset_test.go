@@ -1,0 +1,255 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"skyquery/internal/value"
+)
+
+func sample(nRows int, seed int64) *DataSet {
+	rng := rand.New(rand.NewSource(seed))
+	d := New(
+		Column{Name: "object_id", Type: value.IntType},
+		Column{Name: "ra", Type: value.FloatType},
+		Column{Name: "type", Type: value.StringType},
+		Column{Name: "flagged", Type: value.BoolType},
+	)
+	for i := 0; i < nRows; i++ {
+		row := []value.Value{
+			value.Int(int64(i)),
+			value.Float(rng.Float64() * 360),
+			value.String("GALAXY"),
+			value.Bool(i%2 == 0),
+		}
+		if i%5 == 3 {
+			row[2] = value.Null
+		}
+		if err := d.Append(row); err != nil {
+			panic(err)
+		}
+	}
+	return d
+}
+
+func equal(a, b *DataSet) bool {
+	if !a.SchemaEqual(b) || len(a.Rows) != len(b.Rows) {
+		return false
+	}
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if !value.Equal(a.Rows[i][j], b.Rows[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestAppendArity(t *testing.T) {
+	d := New(Column{Name: "a", Type: value.IntType})
+	if err := d.Append([]value.Value{value.Int(1), value.Int(2)}); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if err := d.Append([]value.Value{value.Int(1)}); err != nil {
+		t.Error(err)
+	}
+	if d.NumRows() != 1 {
+		t.Errorf("NumRows = %d", d.NumRows())
+	}
+}
+
+func TestColumnIndex(t *testing.T) {
+	d := sample(1, 1)
+	if d.ColumnIndex("ra") != 1 {
+		t.Errorf("ColumnIndex(ra) = %d", d.ColumnIndex("ra"))
+	}
+	if d.ColumnIndex("nope") != -1 {
+		t.Error("missing column should be -1")
+	}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	d := sample(57, 2)
+	var buf bytes.Buffer
+	if err := d.EncodeXML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeXML(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equal(d, got) {
+		t.Error("XML round trip mismatch")
+	}
+}
+
+func TestXMLEmpty(t *testing.T) {
+	d := New(Column{Name: "x", Type: value.IntType})
+	var buf bytes.Buffer
+	if err := d.EncodeXML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeXML(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Columns) != 1 || got.NumRows() != 0 {
+		t.Errorf("empty round trip: %+v", got)
+	}
+}
+
+func TestXMLSpecialCharacters(t *testing.T) {
+	d := New(Column{Name: "s", Type: value.StringType})
+	nasty := []string{"<tag>", "a&b", "quote\"inside", "new\nline", "ümlaut 星"}
+	for _, s := range nasty {
+		d.Append([]value.Value{value.String(s)})
+	}
+	var buf bytes.Buffer
+	if err := d.EncodeXML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeXML(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range nasty {
+		if got.Rows[i][0].AsString() != s {
+			t.Errorf("row %d = %q, want %q", i, got.Rows[i][0].AsString(), s)
+		}
+	}
+}
+
+func TestXMLNullVsEmptyString(t *testing.T) {
+	d := New(Column{Name: "s", Type: value.StringType})
+	d.Append([]value.Value{value.Null})
+	d.Append([]value.Value{value.String("")})
+	var buf bytes.Buffer
+	if err := d.EncodeXML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeXML(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Rows[0][0].IsNull() {
+		t.Error("NULL lost in round trip")
+	}
+	if got.Rows[1][0].IsNull() || got.Rows[1][0].AsString() != "" {
+		t.Error("empty string became NULL")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := DecodeXML(strings.NewReader("not xml at all")); err == nil {
+		t.Error("garbage should fail")
+	}
+	badType := `<DataSet><Columns><Column name="x" type="NOPE"/></Columns><Rows/></DataSet>`
+	if _, err := DecodeXML(strings.NewReader(badType)); err == nil {
+		t.Error("bad type should fail")
+	}
+	badArity := `<DataSet><Columns><Column name="x" type="INT"/></Columns><Rows><R><C>1</C><C>2</C></R></Rows></DataSet>`
+	if _, err := DecodeXML(strings.NewReader(badArity)); err == nil {
+		t.Error("cell arity mismatch should fail")
+	}
+	badCell := `<DataSet><Columns><Column name="x" type="INT"/></Columns><Rows><R><C>notanint</C></R></Rows></DataSet>`
+	if _, err := DecodeXML(strings.NewReader(badCell)); err == nil {
+		t.Error("bad cell should fail")
+	}
+}
+
+func TestSplitJoin(t *testing.T) {
+	d := sample(103, 3)
+	chunks := d.Split(25)
+	if len(chunks) != 5 {
+		t.Fatalf("chunks = %d, want 5", len(chunks))
+	}
+	for i, c := range chunks[:4] {
+		if c.NumRows() != 25 {
+			t.Errorf("chunk %d rows = %d", i, c.NumRows())
+		}
+	}
+	if chunks[4].NumRows() != 3 {
+		t.Errorf("last chunk rows = %d", chunks[4].NumRows())
+	}
+	joined, err := Join(chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equal(d, joined) {
+		t.Error("split/join round trip mismatch")
+	}
+}
+
+func TestSplitEdgeCases(t *testing.T) {
+	d := sample(10, 4)
+	if got := d.Split(0); len(got) != 1 || got[0] != d {
+		t.Error("maxRows<=0 should not split")
+	}
+	if got := d.Split(10); len(got) != 1 {
+		t.Error("exact fit should not split")
+	}
+	empty := New(Column{Name: "x", Type: value.IntType})
+	if got := empty.Split(5); len(got) != 1 {
+		t.Error("empty set should yield one chunk")
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	if _, err := Join(nil); err == nil {
+		t.Error("joining nothing should fail")
+	}
+	a := New(Column{Name: "x", Type: value.IntType})
+	b := New(Column{Name: "y", Type: value.IntType})
+	if _, err := Join([]*DataSet{a, b}); err == nil {
+		t.Error("schema mismatch should fail")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	d := sample(64, 5)
+	var buf bytes.Buffer
+	if err := d.EncodeBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equal(d, got) {
+		t.Error("binary round trip mismatch")
+	}
+}
+
+func TestBinarySmallerThanXML(t *testing.T) {
+	d := sample(2000, 6)
+	var xmlBuf, binBuf bytes.Buffer
+	if err := d.EncodeXML(&xmlBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.EncodeBinary(&binBuf); err != nil {
+		t.Fatal(err)
+	}
+	if binBuf.Len() >= xmlBuf.Len() {
+		t.Errorf("binary (%d) should be smaller than XML (%d)", binBuf.Len(), xmlBuf.Len())
+	}
+}
+
+func TestXMLSize(t *testing.T) {
+	d := sample(10, 7)
+	var buf bytes.Buffer
+	if err := d.EncodeXML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.XMLSize(); got != buf.Len() {
+		t.Errorf("XMLSize = %d, want %d", got, buf.Len())
+	}
+}
+
+func TestDecodeBinaryGarbage(t *testing.T) {
+	if _, err := DecodeBinary(strings.NewReader("junk")); err == nil {
+		t.Error("garbage binary should fail")
+	}
+}

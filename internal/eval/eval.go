@@ -1,0 +1,486 @@
+// Package eval evaluates parsed SQL expressions (internal/sqlparse) over an
+// environment that resolves column references to values. It is shared by
+// the storage engine (row predicates, projections) and the cross-match
+// chain executor (cross-archive predicates over partial tuples).
+package eval
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+
+	"skyquery/internal/sqlparse"
+	"skyquery/internal/value"
+)
+
+// Env resolves column references during evaluation.
+type Env interface {
+	// Lookup returns the value of table.column. table may be empty for
+	// unqualified references in single-table contexts.
+	Lookup(table, column string) (value.Value, error)
+}
+
+// EnvFunc adapts a function to the Env interface.
+type EnvFunc func(table, column string) (value.Value, error)
+
+// Lookup implements Env.
+func (f EnvFunc) Lookup(table, column string) (value.Value, error) { return f(table, column) }
+
+// MapEnv is an Env backed by a map from "table.column" (or "column" for
+// unqualified names) to values.
+type MapEnv map[string]value.Value
+
+// Lookup implements Env.
+func (m MapEnv) Lookup(table, column string) (value.Value, error) {
+	key := column
+	if table != "" {
+		key = table + "." + column
+	}
+	if v, ok := m[key]; ok {
+		return v, nil
+	}
+	// Fall back to the bare column for single-table contexts.
+	if table != "" {
+		if v, ok := m[column]; ok {
+			return v, nil
+		}
+	}
+	return value.Null, fmt.Errorf("eval: unknown column %q", key)
+}
+
+// Eval evaluates the expression in the environment. Errors indicate type
+// mismatches or unknown columns/functions; SQL NULL is a value, not an
+// error.
+func Eval(e sqlparse.Expr, env Env) (value.Value, error) {
+	switch n := e.(type) {
+	case *sqlparse.NumberLit:
+		// Integral literals become INTs so that int columns compare and
+		// group naturally; anything with a fraction or exponent is FLOAT.
+		if n.Value == math.Trunc(n.Value) && !strings.ContainsAny(n.Text, ".eE") && math.Abs(n.Value) < 1e15 {
+			return value.Int(int64(n.Value)), nil
+		}
+		return value.Float(n.Value), nil
+
+	case *sqlparse.StringLit:
+		return value.String(n.Value), nil
+
+	case *sqlparse.BoolLit:
+		return value.Bool(n.Value), nil
+
+	case *sqlparse.NullLit:
+		return value.Null, nil
+
+	case *sqlparse.ColumnRef:
+		return env.Lookup(n.Table, n.Column)
+
+	case *sqlparse.UnaryExpr:
+		x, err := Eval(n.X, env)
+		if err != nil {
+			return value.Null, err
+		}
+		if n.Op == "NOT" {
+			return value.Not(x), nil
+		}
+		return value.Neg(x)
+
+	case *sqlparse.BinaryExpr:
+		return evalBinary(n, env)
+
+	case *sqlparse.IsNull:
+		x, err := Eval(n.X, env)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.Bool(x.IsNull() != n.Negated), nil
+
+	case *sqlparse.InList:
+		return evalIn(n, env)
+
+	case *sqlparse.Between:
+		return evalBetween(n, env)
+
+	case *sqlparse.FuncCall:
+		return evalFunc(n, env)
+
+	case *sqlparse.Star:
+		return value.Null, fmt.Errorf("eval: * is not valid in an expression")
+	}
+	return value.Null, fmt.Errorf("eval: unsupported expression %T", e)
+}
+
+// EvalBool evaluates a predicate; NULL (SQL UNKNOWN) counts as false, as in
+// a WHERE clause.
+func EvalBool(e sqlparse.Expr, env Env) (bool, error) {
+	if e == nil {
+		return true, nil
+	}
+	v, err := Eval(e, env)
+	if err != nil {
+		return false, err
+	}
+	return v.IsTrue(), nil
+}
+
+func evalBinary(n *sqlparse.BinaryExpr, env Env) (value.Value, error) {
+	// AND short-circuits around errors on the other side only when the
+	// decided side already forces the result, matching SQL engines that
+	// evaluate lazily.
+	switch n.Op {
+	case "AND":
+		l, err := Eval(n.L, env)
+		if err != nil {
+			return value.Null, err
+		}
+		if l.Type() == value.BoolType && !l.AsBool() {
+			return value.Bool(false), nil
+		}
+		r, err := Eval(n.R, env)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.And(l, r), nil
+	case "OR":
+		l, err := Eval(n.L, env)
+		if err != nil {
+			return value.Null, err
+		}
+		if l.IsTrue() {
+			return value.Bool(true), nil
+		}
+		r, err := Eval(n.R, env)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.Or(l, r), nil
+	}
+
+	l, err := Eval(n.L, env)
+	if err != nil {
+		return value.Null, err
+	}
+	r, err := Eval(n.R, env)
+	if err != nil {
+		return value.Null, err
+	}
+	switch n.Op {
+	case "+", "-", "*", "/", "%":
+		return value.Arith(n.Op, l, r)
+	case "=", "<>", "<", "<=", ">", ">=":
+		cmp, ok, err := value.Compare(l, r)
+		if err != nil {
+			return value.Null, err
+		}
+		if !ok {
+			return value.Null, nil // NULL comparison → UNKNOWN
+		}
+		var b bool
+		switch n.Op {
+		case "=":
+			b = cmp == 0
+		case "<>":
+			b = cmp != 0
+		case "<":
+			b = cmp < 0
+		case "<=":
+			b = cmp <= 0
+		case ">":
+			b = cmp > 0
+		case ">=":
+			b = cmp >= 0
+		}
+		return value.Bool(b), nil
+	case "LIKE":
+		return evalLike(l, r)
+	}
+	return value.Null, fmt.Errorf("eval: unknown operator %q", n.Op)
+}
+
+func evalIn(n *sqlparse.InList, env Env) (value.Value, error) {
+	x, err := Eval(n.X, env)
+	if err != nil {
+		return value.Null, err
+	}
+	if x.IsNull() {
+		return value.Null, nil
+	}
+	sawNull := false
+	for _, item := range n.List {
+		v, err := Eval(item, env)
+		if err != nil {
+			return value.Null, err
+		}
+		cmp, ok, err := value.Compare(x, v)
+		if err != nil {
+			return value.Null, err
+		}
+		if !ok {
+			sawNull = true
+			continue
+		}
+		if cmp == 0 {
+			return value.Bool(!n.Negated), nil
+		}
+	}
+	if sawNull {
+		return value.Null, nil
+	}
+	return value.Bool(n.Negated), nil
+}
+
+func evalBetween(n *sqlparse.Between, env Env) (value.Value, error) {
+	x, err := Eval(n.X, env)
+	if err != nil {
+		return value.Null, err
+	}
+	lo, err := Eval(n.Lo, env)
+	if err != nil {
+		return value.Null, err
+	}
+	hi, err := Eval(n.Hi, env)
+	if err != nil {
+		return value.Null, err
+	}
+	cmpLo, okLo, err := value.Compare(x, lo)
+	if err != nil {
+		return value.Null, err
+	}
+	cmpHi, okHi, err := value.Compare(x, hi)
+	if err != nil {
+		return value.Null, err
+	}
+	if !okLo || !okHi {
+		return value.Null, nil
+	}
+	in := cmpLo >= 0 && cmpHi <= 0
+	return value.Bool(in != n.Negated), nil
+}
+
+// likeCache caches compiled LIKE patterns; federated predicates re-evaluate
+// the same pattern per row.
+var likeCache sync.Map // string -> *regexp.Regexp
+
+func evalLike(l, r value.Value) (value.Value, error) {
+	if l.IsNull() || r.IsNull() {
+		return value.Null, nil
+	}
+	if l.Type() != value.StringType || r.Type() != value.StringType {
+		return value.Null, fmt.Errorf("eval: LIKE requires strings, got %v and %v", l.Type(), r.Type())
+	}
+	pat := r.AsString()
+	rx, ok := likeCache.Load(pat)
+	if !ok {
+		compiled, err := compileLike(pat)
+		if err != nil {
+			return value.Null, err
+		}
+		rx, _ = likeCache.LoadOrStore(pat, compiled)
+	}
+	return value.Bool(rx.(*regexp.Regexp).MatchString(l.AsString())), nil
+}
+
+// compileLike translates a SQL LIKE pattern (% and _) into an anchored
+// regular expression.
+func compileLike(pat string) (*regexp.Regexp, error) {
+	var sb strings.Builder
+	sb.WriteString("(?s)^")
+	for _, r := range pat {
+		switch r {
+		case '%':
+			sb.WriteString(".*")
+		case '_':
+			sb.WriteString(".")
+		default:
+			sb.WriteString(regexp.QuoteMeta(string(r)))
+		}
+	}
+	sb.WriteString("$")
+	return regexp.Compile(sb.String())
+}
+
+// evalFunc dispatches scalar functions. The set mirrors what astronomy
+// predicates in the paper's examples need, plus common numeric helpers.
+func evalFunc(n *sqlparse.FuncCall, env Env) (value.Value, error) {
+	name := strings.ToUpper(n.Name)
+	args := make([]value.Value, len(n.Args))
+	for i, a := range n.Args {
+		v, err := Eval(a, env)
+		if err != nil {
+			return value.Null, err
+		}
+		args[i] = v
+	}
+	num := func(i int) (float64, bool) {
+		if i >= len(args) {
+			return 0, false
+		}
+		return args[i].AsFloat()
+	}
+	arity := func(want int) error {
+		if len(args) != want {
+			return fmt.Errorf("eval: %s expects %d argument(s), got %d", name, want, len(args))
+		}
+		return nil
+	}
+	oneNum := func(f func(float64) float64) (value.Value, error) {
+		if err := arity(1); err != nil {
+			return value.Null, err
+		}
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		x, ok := num(0)
+		if !ok {
+			return value.Null, fmt.Errorf("eval: %s expects a number, got %v", name, args[0].Type())
+		}
+		return value.Float(f(x)), nil
+	}
+	switch name {
+	case "ABS":
+		if err := arity(1); err != nil {
+			return value.Null, err
+		}
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		if args[0].Type() == value.IntType {
+			i := args[0].AsInt()
+			if i < 0 {
+				i = -i
+			}
+			return value.Int(i), nil
+		}
+		return oneNum(math.Abs)
+	case "SQRT":
+		return oneNum(math.Sqrt)
+	case "FLOOR":
+		return oneNum(math.Floor)
+	case "CEIL", "CEILING":
+		return oneNum(math.Ceil)
+	case "LOG":
+		return oneNum(math.Log)
+	case "LOG10":
+		return oneNum(math.Log10)
+	case "EXP":
+		return oneNum(math.Exp)
+	case "SIN":
+		return oneNum(math.Sin)
+	case "COS":
+		return oneNum(math.Cos)
+	case "RADIANS":
+		return oneNum(func(x float64) float64 { return x * math.Pi / 180 })
+	case "DEGREES":
+		return oneNum(func(x float64) float64 { return x * 180 / math.Pi })
+	case "POWER", "POW":
+		if err := arity(2); err != nil {
+			return value.Null, err
+		}
+		if args[0].IsNull() || args[1].IsNull() {
+			return value.Null, nil
+		}
+		x, okX := num(0)
+		y, okY := num(1)
+		if !okX || !okY {
+			return value.Null, fmt.Errorf("eval: POWER expects numbers")
+		}
+		return value.Float(math.Pow(x, y)), nil
+	case "UPPER":
+		if err := arity(1); err != nil {
+			return value.Null, err
+		}
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		return value.String(strings.ToUpper(args[0].AsString())), nil
+	case "LOWER":
+		if err := arity(1); err != nil {
+			return value.Null, err
+		}
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		return value.String(strings.ToLower(args[0].AsString())), nil
+	case "LEN", "LENGTH":
+		if err := arity(1); err != nil {
+			return value.Null, err
+		}
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		return value.Int(int64(len(args[0].AsString()))), nil
+	case "COALESCE":
+		for _, a := range args {
+			if !a.IsNull() {
+				return a, nil
+			}
+		}
+		return value.Null, nil
+	}
+	return value.Null, fmt.Errorf("eval: unknown function %q", n.Name)
+}
+
+// CompareForSort orders two values for ORDER BY: NULLs sort first, then
+// value comparison; incomparable types are an error.
+func CompareForSort(a, b value.Value) (int, error) {
+	switch {
+	case a.IsNull() && b.IsNull():
+		return 0, nil
+	case a.IsNull():
+		return -1, nil
+	case b.IsNull():
+		return 1, nil
+	}
+	cmp, ok, err := value.Compare(a, b)
+	if err != nil {
+		return 0, fmt.Errorf("eval: ORDER BY: %w", err)
+	}
+	if !ok {
+		return 0, nil
+	}
+	return cmp, nil
+}
+
+// SortRows stable-sorts rows by the given sort keys (keys[i] are the
+// evaluated ORDER BY values of rows[i]) honoring each item's direction.
+// The sorted rows are returned; keys and rows are not modified.
+func SortRows(rows [][]value.Value, keys [][]value.Value, items []sqlparse.OrderItem) ([][]value.Value, error) {
+	if len(rows) != len(keys) {
+		return nil, fmt.Errorf("eval: SortRows: %d rows but %d key rows", len(rows), len(keys))
+	}
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	var sortErr error
+	sort.SliceStable(idx, func(a, b int) bool {
+		if sortErr != nil {
+			return false
+		}
+		ka, kb := keys[idx[a]], keys[idx[b]]
+		for k := range items {
+			cmp, err := CompareForSort(ka[k], kb[k])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			if cmp == 0 {
+				continue
+			}
+			if items[k].Desc {
+				return cmp > 0
+			}
+			return cmp < 0
+		}
+		return false
+	})
+	if sortErr != nil {
+		return nil, sortErr
+	}
+	out := make([][]value.Value, len(rows))
+	for i, j := range idx {
+		out[i] = rows[j]
+	}
+	return out, nil
+}

@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"skyquery"
+	"skyquery/internal/value"
+)
+
+// paperQuery is the §5.2 example adapted to the synthetic schema (the
+// AREA radius 900" spans the generated 0.25° field).
+const paperQuery = `
+	SELECT O.object_id, T.object_id, P.object_id
+	FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T, FIRST:PhotoObject P
+	WHERE AREA(185.0, -0.5, 900) AND XMATCH(O, T, P) < 3.5
+	AND O.type = 'GALAXY' AND (O.flux - T.flux) > 2`
+
+// F1Federation reproduces Figure 1: the full architecture live over HTTP
+// sockets — registration handshake, the four node services, chunked SOAP
+// transport, and a client query through the Portal.
+func F1Federation() (*Table, error) {
+	fed, err := skyquery.Launch(skyquery.Options{Bodies: 2000, RecordCalls: true})
+	if err != nil {
+		return nil, err
+	}
+	defer fed.Close()
+
+	t := &Table{
+		ID:     "F1",
+		Title:  "Figure 1 — federation architecture live over HTTP",
+		Header: []string{"phase", "metric", "value"},
+	}
+	// Registration handshake traffic (Register -> Metadata + Information
+	// call-backs happened during Launch).
+	calls := fed.Transport.Calls()
+	handshake := map[string]int{}
+	for _, c := range calls {
+		handshake[short(c.Action)]++
+	}
+	t.Add("join", "federation members", fmt.Sprint(fed.Portal.Archives()))
+	t.Add("join", "Metadata call-backs", handshake["Metadata"])
+	t.Add("join", "Information call-backs", handshake["Information"])
+
+	fed.Transport.Reset()
+	res, err := fed.Client().Query(paperQuery)
+	if err != nil {
+		return nil, err
+	}
+	stats := fed.Transport.Stats()
+	t.Add("query", "cross matches", res.NumRows())
+	t.Add("query", "SOAP requests", stats.Requests)
+	t.Add("query", "bytes sent", stats.BytesSent)
+	t.Add("query", "bytes received", stats.BytesReceived)
+	perAction := map[string]int{}
+	for _, c := range fed.Transport.Calls() {
+		perAction[short(c.Action)]++
+	}
+	for _, action := range []string{"SkyQuery", "Query", "CrossMatch", "Fetch"} {
+		t.Add("query", action+" calls", perAction[action])
+	}
+	t.Notes = append(t.Notes,
+		"every component interoperates only through SOAP envelopes over HTTP, as in Figure 1")
+	return t, nil
+}
+
+func short(action string) string {
+	if i := strings.LastIndexByte(action, ':'); i >= 0 {
+		return action[i+1:]
+	}
+	return action
+}
+
+// F2XMatchSemantics reproduces Figure 2 exactly: bodies a and b, three
+// archives O, T, P; the set {aO,aT,aP} satisfies XMATCH(O,T,P) while
+// {bO,bT} satisfies XMATCH(O,T,!P) because bP is out of range.
+func F2XMatchSemantics() (*Table, error) {
+	fed, err := figure2Federation()
+	if err != nil {
+		return nil, err
+	}
+	defer fed.Close()
+
+	t := &Table{
+		ID:     "F2",
+		Title:  "Figure 2 — XMATCH selection with and without drop-out",
+		Header: []string{"clause", "selected set", "interpretation"},
+	}
+	all, err := fed.Query(`SELECT O.body, T.body, P.body
+		FROM O:Obs O, T:Obs T, P:Obs P
+		WHERE AREA(185.0, -0.5, 60) AND XMATCH(O, T, P) < 3.5`)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range all.Rows {
+		t.Add("XMATCH(O,T,P) < 3.5",
+			fmt.Sprintf("{%sO, %sT, %sP}", row[0].AsString(), row[1].AsString(), row[2].AsString()),
+			"all three observations within the error bound")
+	}
+	drop, err := fed.Query(`SELECT O.body, T.body
+		FROM O:Obs O, T:Obs T, P:Obs P
+		WHERE AREA(185.0, -0.5, 60) AND XMATCH(O, T, !P) < 3.5`)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range drop.Rows {
+		t.Add("XMATCH(O,T,!P) < 3.5",
+			fmt.Sprintf("{%sO, %sT}", row[0].AsString(), row[1].AsString()),
+			"no matching P observation (P is a drop out)")
+	}
+	t.Notes = append(t.Notes,
+		"paper: set {aO,aT,aP} selected by XMATCH(O,T,P); {bO,bT} selected by XMATCH(O,T,!P)")
+	if len(all.Rows) != 1 || all.Rows[0][0].AsString() != "a" {
+		t.Notes = append(t.Notes, "UNEXPECTED: mandatory selection deviates from the figure")
+	}
+	if len(drop.Rows) != 1 || drop.Rows[0][0].AsString() != "b" {
+		t.Notes = append(t.Notes, "UNEXPECTED: drop-out selection deviates from the figure")
+	}
+	return t, nil
+}
+
+// figure2Federation hand-places the observations of Figure 2.
+func figure2Federation() (*skyquery.Federation, error) {
+	sigma := map[string]float64{"O": 0.10, "T": 0.15, "P": 0.20}
+	// Body a: all three observations tightly clustered.
+	// Body b: O and T agree, P is ~30 arcsec away (out of range).
+	obs := map[string][][3]interface{}{
+		"O": {{"a", 184.999, -0.499}, {"b", 185.001, -0.501}},
+		"T": {{"a", 184.999 + skyquery.Arcsec(0.10), -0.499}, {"b", 185.001 - skyquery.Arcsec(0.12), -0.501}},
+		"P": {{"a", 184.999, -0.499 + skyquery.Arcsec(0.15)}, {"b", 185.001, -0.501 + skyquery.Arcsec(30)}},
+	}
+	var nodes []skyquery.NodeSpec
+	for _, name := range []string{"O", "T", "P"} {
+		db := skyquery.NewDB()
+		tab, err := db.Create("Obs", skyquery.Schema{
+			{Name: "body", Type: value.StringType},
+			{Name: "ra", Type: value.FloatType},
+			{Name: "dec", Type: value.FloatType},
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, o := range obs[name] {
+			row, err := skyquery.Values(o[0], o[1], o[2])
+			if err != nil {
+				return nil, err
+			}
+			if err := tab.Append(row...); err != nil {
+				return nil, err
+			}
+		}
+		if err := tab.EnableSpatial(skyquery.SpatialConfig{RACol: "ra", DecCol: "dec"}); err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, skyquery.NodeSpec{
+			Name: name, DB: db, PrimaryTable: "Obs",
+			RACol: "ra", DecCol: "dec", SigmaArcsec: sigma[name],
+		})
+	}
+	return skyquery.Launch(skyquery.Options{Nodes: nodes})
+}
+
+// F3ExecutionTrace reproduces Figure 3: the numbered execution steps of a
+// cross-match query, captured from live trace events.
+func F3ExecutionTrace() (*Table, error) {
+	var mu sync.Mutex
+	var trace []string
+	fed, err := skyquery.Launch(skyquery.Options{
+		Bodies: 1200,
+		PortalEvents: func(kind, detail string) {
+			mu.Lock()
+			trace = append(trace, "portal  "+kind+"  "+detail)
+			mu.Unlock()
+		},
+		NodeEvents: func(node, kind, detail string) {
+			mu.Lock()
+			trace = append(trace, node+"  "+kind+"  "+detail)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer fed.Close()
+
+	if _, err := fed.Query(paperQuery); err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:     "F3",
+		Title:  "Figure 3 — execution steps of a cross-match query",
+		Header: []string{"#", "actor", "event", "detail"},
+	}
+	step := map[string]string{
+		"submit":         "1-2",
+		"decompose":      "2",
+		"perfquery.send": "3",
+		"perfquery.recv": "4",
+		"plan":           "5",
+		"execute":        "6",
+		"xmatch.recv":    "6",
+		"xmatch.forward": "6",
+		"xmatch.seed":    "6",
+		"xmatch.step":    "7",
+		"xmatch.dropout": "7",
+		"xmatch.return":  "7",
+		"relay":          "8",
+	}
+	for _, line := range trace {
+		parts := strings.SplitN(line, "  ", 3)
+		for len(parts) < 3 {
+			parts = append(parts, "")
+		}
+		t.Add(step[parts[1]], parts[0], parts[1], parts[2])
+	}
+	t.Notes = append(t.Notes,
+		"steps follow Figure 3: submit -> async performance queries -> plan -> daisy chain -> relay")
+	return t, nil
+}

@@ -1,0 +1,416 @@
+// Package htm implements the Hierarchical Triangular Mesh, the spatial
+// index the paper's SkyNodes use for range searches (§5.4): a quad tree on
+// the sky whose nodes are spherical triangles ("trixels").
+//
+// The sphere is split into 8 root trixels (4 per hemisphere). Each trixel
+// splits into 4 children by joining the normalized midpoints of its edges.
+// A trixel at level L is named by a 64-bit ID: roots are 8..15 and each
+// descent appends two bits, so the ID of a child is parent<<2 | k. IDs of
+// all descendants of a trixel form one contiguous range, which is what
+// makes the index useful: a sky region "covers" to a short list of ID
+// ranges, and objects stored sorted by leaf-level ID are fetched with a few
+// range scans.
+//
+// To retrieve objects in a circular range the paper's recipe is followed
+// exactly: trixels entirely inside the circle contribute all their objects,
+// trixels that merely intersect contribute candidates that are then tested
+// individually.
+package htm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"skyquery/internal/sphere"
+)
+
+// ID names a trixel. The root trixels are 8..15; a child ID is
+// parent<<2|k for k in 0..3. The zero ID is invalid.
+type ID uint64
+
+// MaxLevel is the deepest supported subdivision. At level 24 a trixel is
+// about 0.01 arc seconds across, far below survey astrometric error, and
+// the ID still fits comfortably in 52 bits.
+const MaxLevel = 24
+
+// rootVertices are the 6 octahedron corners the standard HTM starts from.
+var rootVertices = [6]sphere.Vec{
+	{X: 0, Y: 0, Z: 1},  // v0: north pole
+	{X: 1, Y: 0, Z: 0},  // v1
+	{X: 0, Y: 1, Z: 0},  // v2
+	{X: -1, Y: 0, Z: 0}, // v3
+	{X: 0, Y: -1, Z: 0}, // v4
+	{X: 0, Y: 0, Z: -1}, // v5: south pole
+}
+
+// roots lists the vertex indices of the 8 root trixels S0..S3, N0..N3 in
+// ID order (8..15), matching the published HTM layout.
+var roots = [8][3]int{
+	{1, 5, 2}, // S0 = 8
+	{2, 5, 3}, // S1 = 9
+	{3, 5, 4}, // S2 = 10
+	{4, 5, 1}, // S3 = 11
+	{1, 0, 4}, // N0 = 12
+	{4, 0, 3}, // N1 = 13
+	{3, 0, 2}, // N2 = 14
+	{2, 0, 1}, // N3 = 15
+}
+
+// Triangle is the geometry of a trixel: three unit vectors in
+// counter-clockwise order seen from outside the sphere.
+type Triangle [3]sphere.Vec
+
+// rootTriangle returns the geometry of root trixel i (0..7).
+func rootTriangle(i int) Triangle {
+	r := roots[i]
+	return Triangle{rootVertices[r[0]], rootVertices[r[1]], rootVertices[r[2]]}
+}
+
+// child returns the k-th child of t (k in 0..3).
+func (t Triangle) child(k int) Triangle {
+	w0 := t[1].Add(t[2]).Normalize()
+	w1 := t[0].Add(t[2]).Normalize()
+	w2 := t[0].Add(t[1]).Normalize()
+	switch k {
+	case 0:
+		return Triangle{t[0], w2, w1}
+	case 1:
+		return Triangle{t[1], w0, w2}
+	case 2:
+		return Triangle{t[2], w1, w0}
+	default:
+		return Triangle{w0, w1, w2}
+	}
+}
+
+// containsEps is the tolerance for point-in-triangle sign tests. Boundary
+// points may fall in either adjacent trixel; what matters is that they fall
+// in at least one, so the test is made slightly generous.
+const containsEps = 1e-14
+
+// Contains reports whether the unit vector v is inside the triangle.
+func (t Triangle) Contains(v sphere.Vec) bool {
+	return t[0].Cross(t[1]).Dot(v) >= -containsEps &&
+		t[1].Cross(t[2]).Dot(v) >= -containsEps &&
+		t[2].Cross(t[0]).Dot(v) >= -containsEps
+}
+
+// Center returns the normalized centroid of the triangle.
+func (t Triangle) Center() sphere.Vec {
+	return t[0].Add(t[1]).Add(t[2]).Normalize()
+}
+
+// Level returns the subdivision level of id: 0 for roots, increasing by
+// one per descent. It returns -1 for invalid IDs.
+func (id ID) Level() int {
+	if id < 8 {
+		return -1
+	}
+	bits := 64 - leadingZeros(uint64(id))
+	if (bits-4)%2 != 0 {
+		return -1
+	}
+	return (bits - 4) / 2
+}
+
+func leadingZeros(x uint64) int {
+	n := 0
+	for i := 63; i >= 0; i-- {
+		if x&(1<<uint(i)) != 0 {
+			return n
+		}
+		n++
+	}
+	return 64
+}
+
+// Valid reports whether id names a trixel.
+func (id ID) Valid() bool { return id.Level() >= 0 && id.Level() <= MaxLevel }
+
+// Parent returns the parent trixel of id. Roots return themselves.
+func (id ID) Parent() ID {
+	if id.Level() <= 0 {
+		return id
+	}
+	return id >> 2
+}
+
+// Child returns the k-th child (0..3) of id.
+func (id ID) Child(k int) ID { return id<<2 | ID(k&3) }
+
+// AtLevel returns the ID range (inclusive) of all descendants of id at the
+// given deeper level. If level equals id's level the range is {id, id}.
+func (id ID) AtLevel(level int) Range {
+	shift := uint(2 * (level - id.Level()))
+	return Range{Lo: id << shift, Hi: (id+1)<<shift - 1}
+}
+
+// Triangle returns the geometry of the trixel named by id.
+func (id ID) Triangle() Triangle {
+	level := id.Level()
+	if level < 0 {
+		return Triangle{}
+	}
+	// Extract the path: top 4 bits are 8+root, then 2 bits per level.
+	t := rootTriangle(int(id>>(2*uint(level))) - 8)
+	for i := level - 1; i >= 0; i-- {
+		k := int(id>>(2*uint(i))) & 3
+		t = t.child(k)
+	}
+	return t
+}
+
+// String implements fmt.Stringer using the conventional N/S path notation.
+func (id ID) String() string {
+	level := id.Level()
+	if level < 0 {
+		return fmt.Sprintf("htm.ID(invalid %d)", uint64(id))
+	}
+	names := [8]string{"S0", "S1", "S2", "S3", "N0", "N1", "N2", "N3"}
+	s := names[int(id>>(2*uint(level)))-8]
+	for i := level - 1; i >= 0; i-- {
+		s += fmt.Sprintf("%d", int(id>>(2*uint(i)))&3)
+	}
+	return s
+}
+
+// Lookup returns the ID of the trixel at the given level containing the
+// unit vector v.
+func Lookup(v sphere.Vec, level int) ID {
+	if level < 0 {
+		level = 0
+	}
+	if level > MaxLevel {
+		level = MaxLevel
+	}
+	ri := -1
+	for i := 0; i < 8; i++ {
+		if rootTriangle(i).Contains(v) {
+			ri = i
+			break
+		}
+	}
+	if ri < 0 {
+		// Cannot happen for a genuine unit vector, but be safe for
+		// degenerate input.
+		ri = 0
+	}
+	id := ID(8 + ri)
+	t := rootTriangle(ri)
+	for l := 0; l < level; l++ {
+		found := false
+		for k := 0; k < 4; k++ {
+			c := t.child(k)
+			if c.Contains(v) {
+				id = id.Child(k)
+				t = c
+				found = true
+				break
+			}
+		}
+		if !found {
+			// Numerical corner case on a shared edge: fall into the
+			// middle child, which borders all others.
+			id = id.Child(3)
+			t = t.child(3)
+		}
+	}
+	return id
+}
+
+// Range is an inclusive range of trixel IDs at a common level.
+type Range struct {
+	Lo, Hi ID
+}
+
+// Contains reports whether id falls within the range.
+func (r Range) Contains(id ID) bool { return id >= r.Lo && id <= r.Hi }
+
+// Count returns the number of IDs in the range.
+func (r Range) Count() uint64 { return uint64(r.Hi-r.Lo) + 1 }
+
+// Cover is the result of covering a region: Inner ranges are entirely
+// inside the region (objects there need no further test), Partial ranges
+// merely intersect it (objects there must be tested individually). All
+// ranges are expressed at leaf Level.
+type Cover struct {
+	Level   int
+	Inner   []Range
+	Partial []Range
+}
+
+// Ranges returns the union of inner and partial ranges, merged and sorted.
+// This is the set of index scans needed to enumerate all candidates.
+func (c Cover) Ranges() []Range {
+	all := make([]Range, 0, len(c.Inner)+len(c.Partial))
+	all = append(all, c.Inner...)
+	all = append(all, c.Partial...)
+	return MergeRanges(all)
+}
+
+// MergeRanges sorts ranges and merges overlapping or adjacent ones.
+func MergeRanges(rs []Range) []Range {
+	if len(rs) <= 1 {
+		return rs
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Lo < rs[j].Lo })
+	out := rs[:1]
+	for _, r := range rs[1:] {
+		last := &out[len(out)-1]
+		if r.Lo <= last.Hi+1 {
+			if r.Hi > last.Hi {
+				last.Hi = r.Hi
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// CoverCap computes the trixels covering a spherical cap, descending at
+// most to subdivideLevel and reporting ranges at leafLevel (the level at
+// which objects are indexed). subdivideLevel must be <= leafLevel.
+//
+// The classification follows the paper: a trixel whose vertices all lie in
+// the cap is inner; a trixel that intersects the cap boundary is split
+// until subdivideLevel and then reported as partial; disjoint trixels are
+// dropped.
+func CoverCap(c sphere.Cap, subdivideLevel, leafLevel int) Cover {
+	if leafLevel > MaxLevel {
+		leafLevel = MaxLevel
+	}
+	if subdivideLevel > leafLevel {
+		subdivideLevel = leafLevel
+	}
+	if subdivideLevel < 0 {
+		subdivideLevel = 0
+	}
+	cov := Cover{Level: leafLevel}
+	for i := 0; i < 8; i++ {
+		coverRecurse(ID(8+i), rootTriangle(i), c, subdivideLevel, leafLevel, &cov)
+	}
+	cov.Inner = MergeRanges(cov.Inner)
+	cov.Partial = MergeRanges(cov.Partial)
+	return cov
+}
+
+func coverRecurse(id ID, t Triangle, c sphere.Cap, subdivideLevel, leafLevel int, cov *Cover) {
+	switch classify(t, c) {
+	case disjoint:
+		return
+	case inside:
+		cov.Inner = append(cov.Inner, id.AtLevel(leafLevel))
+	case partial:
+		if id.Level() >= subdivideLevel {
+			cov.Partial = append(cov.Partial, id.AtLevel(leafLevel))
+			return
+		}
+		for k := 0; k < 4; k++ {
+			coverRecurse(id.Child(k), t.child(k), c, subdivideLevel, leafLevel, cov)
+		}
+	}
+}
+
+type classification int
+
+const (
+	disjoint classification = iota
+	partial
+	inside
+)
+
+// classify determines the relation of a trixel to a cap.
+func classify(t Triangle, c sphere.Cap) classification {
+	in := 0
+	for _, v := range t {
+		if c.Contains(v) {
+			in++
+		}
+	}
+	if in == 3 {
+		if c.Radius <= 90 {
+			// A cap of radius <= 90° is geodesically convex, so a
+			// triangle with all vertices inside lies entirely inside.
+			return inside
+		}
+		// Larger caps are not convex; the triangle may poke out the far
+		// side. Treat conservatively as partial: candidates are
+		// re-tested individually anyway.
+		if !capBoundaryNearTriangle(t, c) {
+			return inside
+		}
+		return partial
+	}
+	if in > 0 {
+		return partial
+	}
+	// No vertex inside. The cap may still poke through an edge or sit
+	// entirely within the triangle.
+	if t.Contains(c.Center) {
+		return partial
+	}
+	if capBoundaryNearTriangle(t, c) {
+		return partial
+	}
+	return disjoint
+}
+
+// capBoundaryNearTriangle reports whether the cap boundary circle comes
+// within the triangle's edges, i.e. whether the angular distance from the
+// cap center to any edge segment is at most the cap radius.
+func capBoundaryNearTriangle(t Triangle, c sphere.Cap) bool {
+	for i := 0; i < 3; i++ {
+		a, b := t[i], t[(i+1)%3]
+		if distToArc(c.Center, a, b) <= c.Radius {
+			return true
+		}
+	}
+	return false
+}
+
+// distToArc returns the angular distance in degrees from the unit vector p
+// to the geodesic arc segment from a to b.
+func distToArc(p, a, b sphere.Vec) float64 {
+	n := a.Cross(b)
+	if n.Norm() == 0 {
+		// Degenerate arc.
+		return p.Sep(a)
+	}
+	n = n.Normalize()
+	// Closest point on the full great circle.
+	cp := p.Sub(n.Scale(n.Dot(p)))
+	if cp.Norm() < 1e-15 {
+		// p is at the circle's pole: equidistant from the whole circle.
+		return 90
+	}
+	cp = cp.Normalize()
+	// Is cp within the segment? It is iff it lies on the arc side of both
+	// endpoints: (a × cp)·n >= 0 and (cp × b)·n >= 0.
+	if a.Cross(cp).Dot(n) >= 0 && cp.Cross(b).Dot(n) >= 0 {
+		return p.Sep(cp)
+	}
+	return math.Min(p.Sep(a), p.Sep(b))
+}
+
+// TrixelSize returns the approximate angular side length in degrees of a
+// trixel at the given level (the root edge is 90° and each level halves it).
+func TrixelSize(level int) float64 {
+	return 90 / math.Pow(2, float64(level))
+}
+
+// LevelForRadius returns a subdivision level whose trixels are commensurate
+// with a search radius: fine enough that partial trixels do not dominate,
+// coarse enough that the cover stays short.
+func LevelForRadius(radiusDeg float64) int {
+	level := 0
+	for TrixelSize(level) > radiusDeg && level < MaxLevel {
+		level++
+	}
+	// One extra level tightens the cover boundary considerably.
+	if level < MaxLevel {
+		level++
+	}
+	return level
+}

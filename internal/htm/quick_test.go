@@ -1,0 +1,136 @@
+package htm
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"skyquery/internal/sphere"
+)
+
+// unitVec makes sphere.Vec quick-generable as a uniform point on the
+// sphere.
+type unitVec sphere.Vec
+
+// Generate implements quick.Generator.
+func (unitVec) Generate(rng *rand.Rand, size int) reflect.Value {
+	for {
+		x := 2*rng.Float64() - 1
+		y := 2*rng.Float64() - 1
+		s := x*x + y*y
+		if s >= 1 {
+			continue
+		}
+		f := 2 * math.Sqrt(1-s)
+		return reflect.ValueOf(unitVec{X: x * f, Y: y * f, Z: 1 - 2*s})
+	}
+}
+
+func TestQuickLookupContainment(t *testing.T) {
+	f := func(v unitVec, rawLevel uint8) bool {
+		level := int(rawLevel) % (MaxLevel + 1)
+		id := Lookup(sphere.Vec(v), level)
+		return id.Level() == level && id.Triangle().Contains(sphere.Vec(v))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPrefixProperty(t *testing.T) {
+	f := func(v unitVec, a, b uint8) bool {
+		l1 := int(a) % 15
+		l2 := int(b) % 15
+		if l1 > l2 {
+			l1, l2 = l2, l1
+		}
+		deep := Lookup(sphere.Vec(v), l2)
+		shallow := Lookup(sphere.Vec(v), l1)
+		return deep>>(2*uint(l2-l1)) == shallow
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIDAlgebra(t *testing.T) {
+	f := func(v unitVec, raw uint8) bool {
+		level := 1 + int(raw)%12
+		id := Lookup(sphere.Vec(v), level)
+		// Child/Parent inverse; AtLevel covers exactly 4^d descendants.
+		for k := 0; k < 4; k++ {
+			if id.Child(k).Parent() != id {
+				return false
+			}
+		}
+		r := id.AtLevel(level + 3)
+		return r.Count() == 1<<(2*3) && id.Valid()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCoverSoundness(t *testing.T) {
+	// Any point inside a random cap must fall in the cap's cover; any
+	// point in an inner range must be inside the cap.
+	f := func(center unitVec, rRaw uint16, probe unitVec) bool {
+		radius := 0.01 + float64(rRaw%9000)/100 // 0.01..90 degrees
+		c := sphere.CapAround(sphere.Vec(center), radius)
+		leaf := 10
+		cov := CoverCap(c, LevelForRadius(radius), leaf)
+		id := Lookup(sphere.Vec(probe), leaf)
+		inInner := rangesContain(cov.Inner, id)
+		inPartial := rangesContain(cov.Partial, id)
+		if c.Contains(sphere.Vec(probe)) && !inInner && !inPartial {
+			return false
+		}
+		if inInner && !c.Contains(sphere.Vec(probe)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func rangesContain(rs []Range, id ID) bool {
+	for _, r := range rs {
+		if r.Contains(id) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestQuickMergeRangesInvariants(t *testing.T) {
+	f := func(raw []uint32) bool {
+		var rs []Range
+		for i := 0; i+1 < len(raw); i += 2 {
+			lo := ID(raw[i]%10000) + 8
+			hi := lo + ID(raw[i+1]%50)
+			rs = append(rs, Range{Lo: lo, Hi: hi})
+		}
+		orig := append([]Range(nil), rs...)
+		merged := MergeRanges(rs)
+		// Sorted, disjoint, non-adjacent.
+		for i := 1; i < len(merged); i++ {
+			if merged[i].Lo <= merged[i-1].Hi+1 {
+				return false
+			}
+		}
+		// Every original ID is covered.
+		for _, r := range orig {
+			if !rangesContain(merged, r.Lo) || !rangesContain(merged, r.Hi) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

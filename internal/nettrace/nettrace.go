@@ -1,0 +1,168 @@
+// Package nettrace instruments HTTP transports for the federation
+// experiments: it counts exact request/response bytes (the quantity the
+// count-star optimizer of §5.3 is designed to minimize) and can shape
+// traffic like a 2002-era Internet path — fixed per-request latency plus a
+// bandwidth-proportional delay — so that wall-clock benchmarks reflect
+// transmission costs dominating processing costs, the regime the paper
+// argues distinguishes federated joins from LAN distributed joins (§4).
+package nettrace
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stats is a snapshot of transport counters.
+type Stats struct {
+	Requests      int64
+	BytesSent     int64 // request body bytes
+	BytesReceived int64 // response body bytes
+	// SimulatedWait is the total artificial delay injected.
+	SimulatedWait time.Duration
+}
+
+// Total returns bytes sent plus received.
+func (s Stats) Total() int64 { return s.BytesSent + s.BytesReceived }
+
+// Call records one observed request for per-call inspection.
+type Call struct {
+	URL           string
+	Action        string // SOAPAction header, unquoted
+	BytesSent     int64
+	BytesReceived int64
+}
+
+// Transport is an http.RoundTripper that counts and optionally shapes
+// traffic. The zero value is usable and delegates to
+// http.DefaultTransport.
+type Transport struct {
+	// Base is the underlying transport; nil means http.DefaultTransport.
+	Base http.RoundTripper
+	// Latency is added once per request (round-trip time).
+	Latency time.Duration
+	// BandwidthBps, when > 0, adds len(payload)/bandwidth delay for both
+	// directions.
+	BandwidthBps int64
+	// RecordCalls enables the per-call log returned by Calls.
+	RecordCalls bool
+
+	requests      atomic.Int64
+	bytesSent     atomic.Int64
+	bytesReceived atomic.Int64
+	waitNanos     atomic.Int64
+
+	mu    sync.Mutex
+	calls []Call
+}
+
+func (t *Transport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+// RoundTrip implements http.RoundTripper. The response body is fully
+// buffered so that byte counts and bandwidth delays are exact at return
+// time.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	var reqBytes int64
+	if req.Body != nil {
+		data, err := io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		reqBytes = int64(len(data))
+		req.Body = io.NopCloser(bytes.NewReader(data))
+		req.ContentLength = reqBytes
+	}
+
+	t.requests.Add(1)
+	t.bytesSent.Add(reqBytes)
+	t.sleepFor(reqBytes, true)
+
+	resp, err := t.base().RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	respBytes := int64(len(data))
+	t.bytesReceived.Add(respBytes)
+	t.sleepFor(respBytes, false)
+	resp.Body = io.NopCloser(bytes.NewReader(data))
+	resp.ContentLength = respBytes
+
+	if t.RecordCalls {
+		action := req.Header.Get("SOAPAction")
+		if len(action) >= 2 && action[0] == '"' && action[len(action)-1] == '"' {
+			action = action[1 : len(action)-1]
+		}
+		t.mu.Lock()
+		t.calls = append(t.calls, Call{
+			URL:           req.URL.String(),
+			Action:        action,
+			BytesSent:     reqBytes,
+			BytesReceived: respBytes,
+		})
+		t.mu.Unlock()
+	}
+	return resp, nil
+}
+
+// sleepFor injects the shaped delay for a payload of n bytes; the
+// per-request latency is charged with the request direction only.
+func (t *Transport) sleepFor(n int64, withLatency bool) {
+	var d time.Duration
+	if withLatency {
+		d += t.Latency
+	}
+	if t.BandwidthBps > 0 {
+		d += time.Duration(float64(n) / float64(t.BandwidthBps) * float64(time.Second))
+	}
+	if d > 0 {
+		t.waitNanos.Add(int64(d))
+		time.Sleep(d)
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (t *Transport) Stats() Stats {
+	return Stats{
+		Requests:      t.requests.Load(),
+		BytesSent:     t.bytesSent.Load(),
+		BytesReceived: t.bytesReceived.Load(),
+		SimulatedWait: time.Duration(t.waitNanos.Load()),
+	}
+}
+
+// Reset zeroes the counters and the call log.
+func (t *Transport) Reset() {
+	t.requests.Store(0)
+	t.bytesSent.Store(0)
+	t.bytesReceived.Store(0)
+	t.waitNanos.Store(0)
+	t.mu.Lock()
+	t.calls = nil
+	t.mu.Unlock()
+}
+
+// Calls returns a copy of the per-call log (empty unless RecordCalls).
+func (t *Transport) Calls() []Call {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Call(nil), t.calls...)
+}
+
+// Client returns an *http.Client using this transport.
+func (t *Transport) Client() *http.Client {
+	return &http.Client{Transport: t}
+}

@@ -1,0 +1,208 @@
+package nettrace
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newEchoHTTP(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		w.Write(body)
+		w.Write([]byte("-pong"))
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestByteCounting(t *testing.T) {
+	ts := newEchoHTTP(t)
+	tr := &Transport{}
+	c := tr.Client()
+	resp, err := c.Post(ts.URL, "text/plain", strings.NewReader("ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ping-pong" {
+		t.Errorf("body = %q", body)
+	}
+	s := tr.Stats()
+	if s.Requests != 1 {
+		t.Errorf("requests = %d", s.Requests)
+	}
+	if s.BytesSent != 4 {
+		t.Errorf("sent = %d, want 4", s.BytesSent)
+	}
+	if s.BytesReceived != 9 {
+		t.Errorf("received = %d, want 9", s.BytesReceived)
+	}
+	if s.Total() != 13 {
+		t.Errorf("total = %d", s.Total())
+	}
+}
+
+func TestEmptyBodyRequest(t *testing.T) {
+	ts := newEchoHTTP(t)
+	tr := &Transport{}
+	resp, err := tr.Client().Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.ReadAll(resp.Body)
+	resp.Body.Close()
+	s := tr.Stats()
+	if s.BytesSent != 0 {
+		t.Errorf("sent = %d", s.BytesSent)
+	}
+	if s.BytesReceived != 5 { // "-pong"
+		t.Errorf("received = %d", s.BytesReceived)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	ts := newEchoHTTP(t)
+	tr := &Transport{Latency: 30 * time.Millisecond}
+	start := time.Now()
+	resp, err := tr.Client().Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.ReadAll(resp.Body)
+	resp.Body.Close()
+	elapsed := time.Since(start)
+	if elapsed < 30*time.Millisecond {
+		t.Errorf("elapsed %v < injected latency", elapsed)
+	}
+	if tr.Stats().SimulatedWait < 30*time.Millisecond {
+		t.Errorf("SimulatedWait = %v", tr.Stats().SimulatedWait)
+	}
+}
+
+func TestBandwidthInjection(t *testing.T) {
+	ts := newEchoHTTP(t)
+	// 1 KB/s: a 100-byte request+response should cost ~0.2s of simulated wait.
+	tr := &Transport{BandwidthBps: 1 << 10}
+	payload := strings.Repeat("x", 100)
+	start := time.Now()
+	resp, err := tr.Client().Post(ts.URL, "text/plain", strings.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Errorf("elapsed %v, want >= ~200ms of bandwidth delay", elapsed)
+	}
+}
+
+func TestReset(t *testing.T) {
+	ts := newEchoHTTP(t)
+	tr := &Transport{RecordCalls: true}
+	resp, _ := tr.Client().Post(ts.URL, "text/plain", strings.NewReader("abc"))
+	io.ReadAll(resp.Body)
+	resp.Body.Close()
+	tr.Reset()
+	s := tr.Stats()
+	if s.Requests != 0 || s.BytesSent != 0 || s.BytesReceived != 0 {
+		t.Errorf("stats after reset = %+v", s)
+	}
+	if len(tr.Calls()) != 0 {
+		t.Error("calls not cleared")
+	}
+}
+
+func TestCallLog(t *testing.T) {
+	ts := newEchoHTTP(t)
+	tr := &Transport{RecordCalls: true}
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/svc", strings.NewReader("hello"))
+	req.Header.Set("SOAPAction", `"urn:test:Op"`)
+	resp, err := tr.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.ReadAll(resp.Body)
+	resp.Body.Close()
+	calls := tr.Calls()
+	if len(calls) != 1 {
+		t.Fatalf("calls = %d", len(calls))
+	}
+	if calls[0].Action != "urn:test:Op" {
+		t.Errorf("action = %q (quotes should be stripped)", calls[0].Action)
+	}
+	if calls[0].BytesSent != 5 {
+		t.Errorf("call bytes sent = %d", calls[0].BytesSent)
+	}
+	if !strings.HasSuffix(calls[0].URL, "/svc") {
+		t.Errorf("url = %q", calls[0].URL)
+	}
+}
+
+func TestCallsWithoutRecording(t *testing.T) {
+	ts := newEchoHTTP(t)
+	tr := &Transport{}
+	resp, _ := tr.Client().Get(ts.URL)
+	io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if len(tr.Calls()) != 0 {
+		t.Error("calls recorded despite RecordCalls=false")
+	}
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	ts := newEchoHTTP(t)
+	tr := &Transport{RecordCalls: true}
+	c := tr.Client()
+	var wg sync.WaitGroup
+	const n = 20
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := c.Post(ts.URL, "text/plain", strings.NewReader("zz"))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.ReadAll(resp.Body)
+			resp.Body.Close()
+		}()
+	}
+	wg.Wait()
+	s := tr.Stats()
+	if s.Requests != n {
+		t.Errorf("requests = %d", s.Requests)
+	}
+	if s.BytesSent != 2*n {
+		t.Errorf("sent = %d", s.BytesSent)
+	}
+	if len(tr.Calls()) != n {
+		t.Errorf("calls = %d", len(tr.Calls()))
+	}
+}
+
+func TestResponseStillReadable(t *testing.T) {
+	// Buffering must not break callers that read the body twice via
+	// ContentLength checks.
+	ts := newEchoHTTP(t)
+	tr := &Transport{}
+	resp, err := tr.Client().Post(ts.URL, "text/plain", strings.NewReader("abc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.ContentLength != 8 {
+		t.Errorf("ContentLength = %d, want 8", resp.ContentLength)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "abc-pong" {
+		t.Errorf("body = %q", body)
+	}
+}

@@ -1,0 +1,119 @@
+package portal
+
+import (
+	"fmt"
+
+	"skyquery/internal/core"
+	"skyquery/internal/dataset"
+	"skyquery/internal/plan"
+	"skyquery/internal/skynode"
+	"skyquery/internal/soap"
+	"skyquery/internal/value"
+)
+
+// engine lazily builds the core engine wired to this Portal's catalog and
+// SOAP client.
+func (p *Portal) engine() *core.Engine {
+	p.engineOnce.Do(func() {
+		p.coreEngine = &core.Engine{
+			Catalog:             (*portalCatalog)(p),
+			Services:            &portalServices{p: p},
+			ChunkRows:           p.cfg.ChunkRows,
+			IncludeMatchColumns: p.cfg.IncludeMatchColumns,
+			OnEvent: func(ev core.Event) {
+				p.emit(ev.Kind, "%s", ev.Detail)
+			},
+		}
+	})
+	return p.coreEngine
+}
+
+// Query executes a query (cross-match or single-archive) and returns the
+// final result set.
+func (p *Portal) Query(sql string) (*dataset.DataSet, error) {
+	return p.engine().Execute(sql)
+}
+
+// PullQuery executes a cross-match with the pull-to-portal baseline
+// strategy (see core.PullExecute); used by the comparison experiments.
+func (p *Portal) PullQuery(sql string) (*dataset.DataSet, error) {
+	return p.engine().PullExecute(sql)
+}
+
+// BuildPlan parses the query and constructs (but does not execute) its
+// plan, including the count-star probes. Useful for tools and tests.
+func (p *Portal) BuildPlan(sql string) (*plan.Plan, error) {
+	return p.engine().BuildPlanSQL(sql)
+}
+
+// portalCatalog adapts the Portal's registration catalog to core.Catalog.
+type portalCatalog Portal
+
+// Archive implements core.Catalog.
+func (pc *portalCatalog) Archive(name string) (*core.Archive, error) {
+	p := (*Portal)(pc)
+	a, err := p.archive(name)
+	if err != nil {
+		return nil, err
+	}
+	out := &core.Archive{
+		Name:         a.Name,
+		Endpoint:     a.Endpoint,
+		PrimaryTable: a.Info.PrimaryTable,
+		RACol:        a.Info.RACol,
+		DecCol:       a.Info.DecCol,
+		SigmaArcsec:  a.Info.SigmaArcsec,
+		Tables:       map[string]core.TableInfo{},
+	}
+	for name, t := range a.Tables {
+		ti := core.TableInfo{Name: name, Rows: t.Rows, Columns: map[string]string{}}
+		for _, c := range t.Columns {
+			ti.Columns[c.Name] = c.Type
+		}
+		out.Tables[name] = ti
+	}
+	return out, nil
+}
+
+// portalServices adapts SOAP calls to core.Services.
+type portalServices struct {
+	p *Portal
+}
+
+// CountStar implements core.Services via the node's Query service.
+func (s *portalServices) CountStar(a *core.Archive, sql string) (int64, error) {
+	ds, err := s.TableQuery(a, sql)
+	if err != nil {
+		return 0, err
+	}
+	if ds.NumRows() != 1 || len(ds.Columns) != 1 {
+		return 0, fmt.Errorf("portal: performance query returned %dx%d, want 1x1", ds.NumRows(), len(ds.Columns))
+	}
+	v := ds.Rows[0][0]
+	if v.Type() != value.IntType {
+		return 0, fmt.Errorf("portal: performance query returned %v, want INT", v.Type())
+	}
+	return v.AsInt(), nil
+}
+
+// TableQuery implements core.Services via the node's Query service,
+// draining chunked responses.
+func (s *portalServices) TableQuery(a *core.Archive, sql string) (*dataset.DataSet, error) {
+	var first soap.ChunkedData
+	if err := s.p.client.Call(a.Endpoint, skynode.ActionQuery, &skynode.QueryRequest{SQL: sql}, &first); err != nil {
+		return nil, err
+	}
+	return soap.FetchAll(s.p.client, a.Endpoint, &first)
+}
+
+// CrossMatch implements core.Services: it sends the plan to the first
+// step's node and drains the chunked tuple response.
+func (s *portalServices) CrossMatch(pl *plan.Plan) (*dataset.DataSet, error) {
+	firstStep := pl.Steps[0]
+	var first soap.ChunkedData
+	if err := s.p.client.Call(firstStep.Endpoint, skynode.ActionCrossMatch,
+		&skynode.CrossMatchRequest{Plan: *pl}, &first); err != nil {
+		return nil, err
+	}
+	return soap.FetchAll(s.p.client, firstStep.Endpoint, &first)
+}

@@ -1,0 +1,243 @@
+// Package portal implements the SkyQuery Portal (§5.1): the mediator
+// between clients and SkyNodes. It provides the Registration service
+// nodes use to join the federation (cataloging their metadata and
+// archive constants via call-backs to their Metadata and Information
+// services) and the SkyQuery service that accepts cross-match queries,
+// decomposes them, optimizes the execution order with count-star
+// performance queries (§5.3), kicks off the daisy chain, and relays the
+// final result to the client.
+package portal
+
+import (
+	"encoding/xml"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"skyquery/internal/core"
+	"skyquery/internal/registry"
+	"skyquery/internal/skynode"
+	"skyquery/internal/soap"
+	"skyquery/internal/wsdl"
+)
+
+// SOAPAction names of the Portal services.
+const (
+	ActionRegister = "urn:skyquery:Register"
+	ActionSkyQuery = "urn:skyquery:SkyQuery"
+)
+
+// Event is a trace point emitted through Config.OnEvent; the F3
+// experiment uses it to verify Figure 3's step order.
+type Event struct {
+	// Kind is one of "submit", "perfquery.send", "perfquery.recv",
+	// "plan", "execute", "relay".
+	Kind string
+	// Detail is a human-readable annotation.
+	Detail string
+}
+
+// Config assembles a Portal.
+type Config struct {
+	// Client is used for calls to SkyNodes; nil gets a default client.
+	Client *soap.Client
+	// ChunkRows bounds rows per response message; 0 means 5000.
+	ChunkRows int
+	// MessageLimit configures the SOAP server's accepted message size.
+	MessageLimit int64
+	// IncludeMatchColumns appends _matchRA, _matchDec, _logLikelihood and
+	// _nObs diagnostic columns to cross-match results.
+	IncludeMatchColumns bool
+	// OnEvent, when set, receives trace events; must be fast and
+	// concurrency-safe.
+	OnEvent func(Event)
+}
+
+// archiveInfo is the Portal's catalog entry for one registered SkyNode.
+type archiveInfo struct {
+	Name     string
+	Endpoint string
+	Info     skynode.InformationResponse
+	Tables   map[string]skynode.TableMeta
+}
+
+// Portal is a running mediator.
+type Portal struct {
+	cfg    Config
+	client *soap.Client
+	server *soap.Server
+	chunks soap.ChunkStore
+	reg    *registry.Registry
+
+	mu       sync.RWMutex
+	catalog  map[string]*archiveInfo
+	querySeq atomic.Int64
+
+	engineOnce sync.Once
+	coreEngine *core.Engine
+}
+
+// New builds a Portal.
+func New(cfg Config) *Portal {
+	if cfg.ChunkRows == 0 {
+		cfg.ChunkRows = 5000
+	}
+	p := &Portal{
+		cfg:     cfg,
+		client:  cfg.Client,
+		reg:     registry.New(),
+		catalog: map[string]*archiveInfo{},
+	}
+	if p.client == nil {
+		p.client = &soap.Client{}
+	}
+	p.server = soap.NewServer()
+	p.server.MessageLimit = cfg.MessageLimit
+	p.server.Handle(ActionRegister, p.handleRegister)
+	p.server.Handle(ActionSkyQuery, p.handleSkyQuery)
+	p.server.Handle(soap.FetchAction, p.chunks.FetchHandler())
+	return p
+}
+
+// Server returns the Portal's SOAP server (an http.Handler).
+func (p *Portal) Server() *soap.Server { return p.server }
+
+// Registry exposes the service registry (read-mostly; useful for tools).
+func (p *Portal) Registry() *registry.Registry { return p.reg }
+
+// SetWSDL generates and installs the Portal's WSDL for its public URL.
+func (p *Portal) SetWSDL(endpoint string) error {
+	doc, err := wsdl.Document(wsdl.Service{
+		Name:     "SkyQueryPortal",
+		Endpoint: endpoint,
+		Operations: []wsdl.Operation{
+			{Name: "Register", Action: ActionRegister, Doc: "join the federation"},
+			{Name: "SkyQuery", Action: ActionSkyQuery, Doc: "submit a federated cross-match query"},
+			{Name: "Fetch", Action: soap.FetchAction, Doc: "continuation fetch for chunked results"},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	p.server.WSDL = doc
+	return nil
+}
+
+func (p *Portal) emit(kind, format string, args ...interface{}) {
+	if p.cfg.OnEvent == nil {
+		return
+	}
+	p.cfg.OnEvent(Event{Kind: kind, Detail: fmt.Sprintf(format, args...)})
+}
+
+// RegisterRequest is the wire form of the Registration service call: the
+// joining node announces its name, endpoint, and available services.
+type RegisterRequest struct {
+	XMLName  xml.Name `xml:"Register"`
+	Name     string   `xml:"name,attr"`
+	Endpoint string   `xml:"endpoint,attr"`
+	Services []string `xml:"Service,omitempty"`
+}
+
+// RegisterResponse acknowledges a registration.
+type RegisterResponse struct {
+	XMLName xml.Name `xml:"RegisterResponse"`
+	OK      bool     `xml:"ok,attr"`
+	// Members is the federation size after the registration.
+	Members int `xml:"members,attr"`
+}
+
+// SkyQueryRequest is the wire form of a query submission.
+type SkyQueryRequest struct {
+	XMLName xml.Name `xml:"SkyQuery"`
+	SQL     string   `xml:"SQL"`
+}
+
+func (p *Portal) handleRegister(r *soap.Request) (interface{}, error) {
+	var req RegisterRequest
+	if err := r.Decode(&req); err != nil {
+		return nil, err
+	}
+	if err := p.Register(req.Name, req.Endpoint); err != nil {
+		return nil, err
+	}
+	return &RegisterResponse{OK: true, Members: p.reg.Len()}, nil
+}
+
+func (p *Portal) handleSkyQuery(r *soap.Request) (interface{}, error) {
+	var req SkyQueryRequest
+	if err := r.Decode(&req); err != nil {
+		return nil, err
+	}
+	res, err := p.Query(req.SQL)
+	if err != nil {
+		return nil, err
+	}
+	return p.chunks.Respond(res, p.cfg.ChunkRows), nil
+}
+
+// Register adds a SkyNode to the federation. Following §5.1, the Portal
+// responds to the registration request by calling the node's Metadata
+// service (cataloging its schema) and then its Information service
+// (fetching the archive constants).
+func (p *Portal) Register(name, endpoint string) error {
+	if name == "" || endpoint == "" {
+		return fmt.Errorf("portal: registration needs a name and an endpoint")
+	}
+	var meta skynode.MetadataResponse
+	if err := p.client.Call(endpoint, skynode.ActionMetadata, &skynode.MetadataRequest{}, &meta); err != nil {
+		return fmt.Errorf("portal: metadata call-back to %s: %w", name, err)
+	}
+	var info skynode.InformationResponse
+	if err := p.client.Call(endpoint, skynode.ActionInformation, &skynode.InformationRequest{}, &info); err != nil {
+		return fmt.Errorf("portal: information call-back to %s: %w", name, err)
+	}
+	if info.Name != name {
+		return fmt.Errorf("portal: node at %s says it is %q, registration claims %q", endpoint, info.Name, name)
+	}
+	if info.SigmaArcsec <= 0 {
+		return fmt.Errorf("portal: node %s reports non-positive sigma %v", name, info.SigmaArcsec)
+	}
+	tables := map[string]skynode.TableMeta{}
+	for _, t := range meta.Tables {
+		tables[t.Name] = t
+	}
+	if _, ok := tables[info.PrimaryTable]; !ok {
+		return fmt.Errorf("portal: node %s primary table %q missing from its metadata", name, info.PrimaryTable)
+	}
+
+	p.mu.Lock()
+	p.catalog[name] = &archiveInfo{Name: name, Endpoint: endpoint, Info: info, Tables: tables}
+	p.mu.Unlock()
+	return p.reg.Register(registry.Entry{
+		Name:     name,
+		Endpoint: endpoint,
+		Services: skynode.Actions,
+		Metadata: map[string]string{
+			"sigmaArcsec":  fmt.Sprintf("%g", info.SigmaArcsec),
+			"primaryTable": info.PrimaryTable,
+			"objectCount":  fmt.Sprintf("%d", info.ObjectCount),
+		},
+	})
+}
+
+// archive returns the catalog entry for a registered archive.
+func (p *Portal) archive(name string) (*archiveInfo, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	a, ok := p.catalog[name]
+	if !ok {
+		return nil, fmt.Errorf("portal: archive %q is not part of the federation", name)
+	}
+	return a, nil
+}
+
+// Archives returns the names of the registered archives, sorted.
+func (p *Portal) Archives() []string {
+	entries := p.reg.List()
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.Name
+	}
+	return out
+}

@@ -1,0 +1,577 @@
+package portal
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"skyquery/internal/skynode"
+	"skyquery/internal/soap"
+	"skyquery/internal/sphere"
+	"skyquery/internal/survey"
+	"skyquery/internal/value"
+	"skyquery/internal/xmatch"
+)
+
+func testRegion() sphere.Cap { return sphere.NewCap(185, -0.5, 0.25) }
+
+// fed is a complete test federation: portal + three synthetic archives.
+type fed struct {
+	portal    *Portal
+	portalURL string
+	field     *survey.Field
+	archives  map[string]*survey.Archive
+	endpoints map[string]string
+
+	mu     sync.Mutex
+	events []string
+}
+
+func (f *fed) recordEvent(kind string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.events = append(f.events, kind)
+}
+
+func (f *fed) eventLog() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.events...)
+}
+
+func (f *fed) clearEvents() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.events = nil
+}
+
+func surveyConfigs() []survey.Config {
+	return []survey.Config{
+		{Name: "SDSS", SigmaArcsec: 0.1, Completeness: 0.95, Seed: 21, FluxOffset: 3},
+		{Name: "TWOMASS", SigmaArcsec: 0.2, Completeness: 0.85, Seed: 22, ExtraDensity: 0.1},
+		{Name: "FIRST", SigmaArcsec: 0.4, Completeness: 0.5, Seed: 23, FluxOffset: -1},
+	}
+}
+
+func newFed(t *testing.T, nBodies int, cfgs []survey.Config) *fed {
+	t.Helper()
+	f := &fed{
+		field:     survey.GenerateField(testRegion(), nBodies, 0.4, 2001),
+		archives:  map[string]*survey.Archive{},
+		endpoints: map[string]string{},
+	}
+	f.portal = New(Config{OnEvent: func(e Event) { f.recordEvent(e.Kind) }})
+	pts := httptest.NewServer(f.portal.Server())
+	t.Cleanup(pts.Close)
+	f.portalURL = pts.URL
+	for _, cfg := range cfgs {
+		a := survey.Observe(f.field, cfg)
+		db, err := a.BuildDB()
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := skynode.New(skynode.Config{
+			Name: cfg.Name, DB: db, PrimaryTable: survey.TableName,
+			RACol: "ra", DecCol: "dec", SigmaArcsec: cfg.SigmaArcsec,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(n.Server())
+		t.Cleanup(ts.Close)
+		f.archives[cfg.Name] = a
+		f.endpoints[cfg.Name] = ts.URL
+		if err := f.portal.Register(cfg.Name, ts.URL); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+// paperStyleQuery builds the §5.2 query against the synthetic schema.
+func paperStyleQuery(extra string) string {
+	reg := testRegion()
+	ra, dec := reg.Center.RaDec()
+	q := fmt.Sprintf(`SELECT O.object_id, T.object_id, P.object_id
+		FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T, FIRST:PhotoObject P
+		WHERE AREA(%g, %g, %g) AND XMATCH(O, T, P) < 3.0`,
+		ra, dec, sphere.ToArcsec(reg.Radius))
+	if extra != "" {
+		q += " AND " + extra
+	}
+	return q
+}
+
+func (f *fed) oracle(t *testing.T, mandatory []string, dropOuts []string, threshold float64,
+	keep func(keys map[string]int64) bool) []string {
+	t.Helper()
+	region := testRegion()
+	var sets []xmatch.ArchiveSet
+	var order []string
+	for _, name := range mandatory {
+		sets = append(sets, filteredSet(f.archives[name], region, false))
+		order = append(order, name)
+	}
+	for _, name := range dropOuts {
+		sets = append(sets, filteredSet(f.archives[name], region, true))
+	}
+	matches := xmatch.BruteForce(sets, threshold)
+	var keys []string
+	for _, m := range matches {
+		kv := map[string]int64{}
+		for i, name := range order {
+			kv[name] = m.Keys[i]
+		}
+		if keep != nil && !keep(kv) {
+			continue
+		}
+		keys = append(keys, renderKeys(kv))
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func filteredSet(a *survey.Archive, region sphere.Cap, dropOut bool) xmatch.ArchiveSet {
+	set := xmatch.ArchiveSet{Sigma: a.Config.SigmaArcsec, DropOut: dropOut}
+	for _, o := range a.Obs {
+		if region.Contains(o.Pos) {
+			set.Obs = append(set.Obs, xmatch.Observation{Pos: o.Pos, Key: o.ObjectID})
+		}
+	}
+	return set
+}
+
+func renderKeys(kv map[string]int64) string {
+	names := make([]string, 0, len(kv))
+	for n := range kv {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%s=%d", n, kv[n])
+	}
+	return strings.Join(parts, ",")
+}
+
+func TestRegistration(t *testing.T) {
+	f := newFed(t, 100, surveyConfigs())
+	got := f.portal.Archives()
+	want := []string{"FIRST", "SDSS", "TWOMASS"}
+	if len(got) != 3 {
+		t.Fatalf("archives = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("archives[%d] = %q", i, got[i])
+		}
+	}
+	e, ok := f.portal.Registry().Find("SDSS")
+	if !ok {
+		t.Fatal("SDSS not in registry")
+	}
+	if e.Metadata["primaryTable"] != survey.TableName {
+		t.Errorf("registry metadata = %v", e.Metadata)
+	}
+}
+
+func TestRegistrationErrors(t *testing.T) {
+	f := newFed(t, 10, surveyConfigs()[:1])
+	if err := f.portal.Register("", ""); err == nil {
+		t.Error("empty registration accepted")
+	}
+	if err := f.portal.Register("GHOST", "http://127.0.0.1:1/nope"); err == nil {
+		t.Error("unreachable node accepted")
+	}
+	// Name mismatch: register the SDSS endpoint under a different name.
+	if err := f.portal.Register("IMPOSTOR", f.endpoints["SDSS"]); err == nil ||
+		!strings.Contains(err.Error(), "says it is") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFederatedQueryMatchesOracle(t *testing.T) {
+	f := newFed(t, 300, surveyConfigs())
+	res, err := f.portal.Query(paperStyleQuery(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, row := range res.Rows {
+		got = append(got, renderKeys(map[string]int64{
+			"SDSS": row[0].AsInt(), "TWOMASS": row[1].AsInt(), "FIRST": row[2].AsInt(),
+		}))
+	}
+	sort.Strings(got)
+	want := f.oracle(t, []string{"SDSS", "TWOMASS", "FIRST"}, nil, 3.0, nil)
+	compare(t, got, want)
+	if len(got) == 0 {
+		t.Error("degenerate: no matches")
+	}
+}
+
+func TestFederatedDropOutMatchesOracle(t *testing.T) {
+	f := newFed(t, 300, surveyConfigs())
+	reg := testRegion()
+	ra, dec := reg.Center.RaDec()
+	sql := fmt.Sprintf(`SELECT O.object_id, T.object_id
+		FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T, FIRST:PhotoObject P
+		WHERE AREA(%g, %g, %g) AND XMATCH(O, T, !P) < 3.0`,
+		ra, dec, sphere.ToArcsec(reg.Radius))
+	res, err := f.portal.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, row := range res.Rows {
+		got = append(got, renderKeys(map[string]int64{
+			"SDSS": row[0].AsInt(), "TWOMASS": row[1].AsInt(),
+		}))
+	}
+	sort.Strings(got)
+	want := f.oracle(t, []string{"SDSS", "TWOMASS"}, []string{"FIRST"}, 3.0, nil)
+	compare(t, got, want)
+	if len(got) == 0 {
+		t.Error("degenerate: no drop-out matches")
+	}
+}
+
+func TestFederatedQueryWithPredicates(t *testing.T) {
+	f := newFed(t, 300, surveyConfigs())
+	res, err := f.portal.Query(paperStyleQuery("O.type = 'GALAXY' AND (O.flux - T.flux) > 3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build oracle: same matches filtered by the two predicates.
+	galaxies := map[int64]bool{}
+	fluxO := map[int64]float64{}
+	for _, o := range f.archives["SDSS"].Obs {
+		galaxies[o.ObjectID] = o.Galaxy
+		fluxO[o.ObjectID] = o.Flux
+	}
+	fluxT := map[int64]float64{}
+	for _, o := range f.archives["TWOMASS"].Obs {
+		fluxT[o.ObjectID] = o.Flux
+	}
+	want := f.oracle(t, []string{"SDSS", "TWOMASS", "FIRST"}, nil, 3.0, func(kv map[string]int64) bool {
+		return galaxies[kv["SDSS"]] && fluxO[kv["SDSS"]]-fluxT[kv["TWOMASS"]] > 3
+	})
+	var got []string
+	for _, row := range res.Rows {
+		got = append(got, renderKeys(map[string]int64{
+			"SDSS": row[0].AsInt(), "TWOMASS": row[1].AsInt(), "FIRST": row[2].AsInt(),
+		}))
+	}
+	sort.Strings(got)
+	compare(t, got, want)
+	if len(got) == 0 {
+		t.Error("degenerate: no predicate matches")
+	}
+}
+
+func TestFederatedCount(t *testing.T) {
+	f := newFed(t, 200, surveyConfigs())
+	reg := testRegion()
+	ra, dec := reg.Center.RaDec()
+	sql := fmt.Sprintf(`SELECT COUNT(*)
+		FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T, FIRST:PhotoObject P
+		WHERE AREA(%g, %g, %g) AND XMATCH(O, T, P) < 3.0`,
+		ra, dec, sphere.ToArcsec(reg.Radius))
+	res, err := f.portal.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(f.oracle(t, []string{"SDSS", "TWOMASS", "FIRST"}, nil, 3.0, nil))
+	if res.NumRows() != 1 || res.Rows[0][0].AsInt() != int64(want) {
+		t.Errorf("count = %v, want %d", res.Rows, want)
+	}
+}
+
+func TestPlanOrderingByCounts(t *testing.T) {
+	f := newFed(t, 300, surveyConfigs())
+	// Selective predicate on SDSS shrinks its count below the others.
+	p, err := f.portal.BuildPlan(paperStyleQuery("O.type = 'GALAXY'"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Steps) != 3 {
+		t.Fatalf("steps = %d", len(p.Steps))
+	}
+	// Counts must be in decreasing call order (no drop-outs here).
+	for i := 1; i < len(p.Steps); i++ {
+		if p.Steps[i-1].Count < p.Steps[i].Count {
+			t.Errorf("call order not by decreasing count: %s", p)
+		}
+	}
+	// The seed (last in call order) must be the smallest count.
+	last := p.Steps[len(p.Steps)-1]
+	for _, s := range p.Steps {
+		if s.Count < last.Count {
+			t.Errorf("seed %s (count=%d) is not the smallest", last.Archive, last.Count)
+		}
+	}
+}
+
+func TestPlanDropOutsFirst(t *testing.T) {
+	f := newFed(t, 200, surveyConfigs())
+	reg := testRegion()
+	ra, dec := reg.Center.RaDec()
+	sql := fmt.Sprintf(`SELECT O.object_id
+		FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T, FIRST:PhotoObject P
+		WHERE AREA(%g, %g, %g) AND XMATCH(O, !T, !P) < 3.0`,
+		ra, dec, sphere.ToArcsec(reg.Radius))
+	p, err := f.portal.BuildPlan(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Steps[0].DropOut || !p.Steps[1].DropOut || p.Steps[2].DropOut {
+		t.Errorf("drop-outs not first: %s", p)
+	}
+}
+
+func TestPassThroughQuery(t *testing.T) {
+	f := newFed(t, 200, surveyConfigs()[:1])
+	res, err := f.portal.Query(`SELECT TOP 5 O.object_id, O.flux FROM SDSS:PhotoObject O WHERE O.type = 'GALAXY'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 5 {
+		t.Errorf("rows = %d", res.NumRows())
+	}
+	if res.Columns[0].Name != "object_id" {
+		t.Errorf("columns = %v", res.Columns)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	f := newFed(t, 50, surveyConfigs()[:2])
+	reg := testRegion()
+	ra, dec := reg.Center.RaDec()
+	area := fmt.Sprintf("AREA(%g, %g, %g)", ra, dec, sphere.ToArcsec(reg.Radius))
+	cases := []struct {
+		sql, wantSub string
+	}{
+		{"garbage", "sqlparse"},
+		{`SELECT O.x FROM GHOST:PhotoObject O, SDSS:PhotoObject S WHERE ` + area + ` AND XMATCH(O, S) < 3`, "not part of the federation"},
+		{`SELECT O.object_id FROM SDSS:Missing O, TWOMASS:PhotoObject T WHERE ` + area + ` AND XMATCH(O, T) < 3`, "no table"},
+		{`SELECT O.nope FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T WHERE ` + area + ` AND XMATCH(O, T) < 3`, "no column"},
+		{`SELECT * FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T WHERE ` + area + ` AND XMATCH(O, T) < 3`, "SELECT *"},
+		{`SELECT O.object_id FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T WHERE XMATCH(O, T) < 3`, "AREA"},
+		{`SELECT O.object_id, T.object_id FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T WHERE ` + area + ` AND XMATCH(O, !T) < 3`, "drop-out"},
+		{`SELECT O.object_id FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T WHERE ` + area + ` AND XMATCH(O, !T) < 3 AND (O.flux - T.flux) > 1`, "drop-out"},
+		{`SELECT O.object_id, T.object_id FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T WHERE ` + area + ` AND O.flux > 1`, "XMATCH"},
+		{`SELECT O.object_id FROM PhotoObject O, TWOMASS:PhotoObject T WHERE ` + area + ` AND XMATCH(O, T) < 3`, "archive qualifier"},
+	}
+	for _, c := range cases {
+		_, err := f.portal.Query(c.sql)
+		if err == nil {
+			t.Errorf("Query(%.60q) succeeded, want error %q", c.sql, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Query(%.60q) error = %v, want substring %q", c.sql, err, c.wantSub)
+		}
+	}
+}
+
+func TestPortalEventsFigure3Order(t *testing.T) {
+	f := newFed(t, 150, surveyConfigs())
+	f.clearEvents()
+	if _, err := f.portal.Query(paperStyleQuery("")); err != nil {
+		t.Fatal(err)
+	}
+	ev := f.eventLog()
+	// Figure 3 step order: submit(1-2) → perf queries(3-4) → plan(5) →
+	// execute(6) → relay(7-8).
+	idx := func(kind string) int {
+		for i, e := range ev {
+			if e == kind {
+				return i
+			}
+		}
+		return -1
+	}
+	lastIdx := func(kind string) int {
+		last := -1
+		for i, e := range ev {
+			if e == kind {
+				last = i
+			}
+		}
+		return last
+	}
+	if idx("submit") == -1 || idx("plan") == -1 || idx("execute") == -1 || idx("relay") == -1 {
+		t.Fatalf("missing events: %v", ev)
+	}
+	if !(idx("submit") < idx("perfquery.send") &&
+		lastIdx("perfquery.recv") < idx("plan") &&
+		idx("plan") < idx("execute") &&
+		idx("execute") < idx("relay")) {
+		t.Errorf("event order wrong: %v", ev)
+	}
+	// Three mandatory archives → three perf queries.
+	n := 0
+	for _, e := range ev {
+		if e == "perfquery.recv" {
+			n++
+		}
+	}
+	if n != 3 {
+		t.Errorf("perf queries = %d, want 3", n)
+	}
+}
+
+func TestSkyQueryServiceOverSOAP(t *testing.T) {
+	f := newFed(t, 200, surveyConfigs())
+	c := &soap.Client{}
+	var first soap.ChunkedData
+	err := c.Call(f.portalURL, ActionSkyQuery, &SkyQueryRequest{SQL: paperStyleQuery("")}, &first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := soap.FetchAll(c, f.portalURL, &first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := f.portal.Query(paperStyleQuery(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumRows() != direct.NumRows() {
+		t.Errorf("SOAP rows = %d, direct = %d", ds.NumRows(), direct.NumRows())
+	}
+}
+
+func TestRegisterOverSOAP(t *testing.T) {
+	f := newFed(t, 50, surveyConfigs()[:1])
+	// Add TWOMASS via the SOAP Registration service.
+	cfg := surveyConfigs()[1]
+	a := survey.Observe(f.field, cfg)
+	db, _ := a.BuildDB()
+	n, err := skynode.New(skynode.Config{Name: cfg.Name, DB: db, PrimaryTable: survey.TableName,
+		RACol: "ra", DecCol: "dec", SigmaArcsec: cfg.SigmaArcsec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(n.Server())
+	defer ts.Close()
+	c := &soap.Client{}
+	var resp RegisterResponse
+	err = c.Call(f.portalURL, ActionRegister, &RegisterRequest{Name: cfg.Name, Endpoint: ts.URL}, &resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || resp.Members != 2 {
+		t.Errorf("resp = %+v", resp)
+	}
+}
+
+func TestIncludeMatchColumns(t *testing.T) {
+	f := newFed(t, 150, surveyConfigs()[:2])
+	f2 := New(Config{IncludeMatchColumns: true})
+	for name, ep := range f.endpoints {
+		if err := f2.Register(name, ep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := testRegion()
+	ra, dec := reg.Center.RaDec()
+	sql := fmt.Sprintf(`SELECT O.object_id, T.object_id
+		FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T
+		WHERE AREA(%g, %g, %g) AND XMATCH(O, T) < 3.5`,
+		ra, dec, sphere.ToArcsec(reg.Radius))
+	res, err := f2.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 6 {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+	if res.Columns[2].Name != "_matchRA" || res.Columns[5].Name != "_nObs" {
+		t.Errorf("match columns = %v", res.Columns)
+	}
+	if res.NumRows() == 0 {
+		t.Fatal("no rows")
+	}
+	row := res.Rows[0]
+	raV, _ := row[2].AsFloat()
+	decV, _ := row[3].AsFloat()
+	if !reg.Expand(0.01).Contains(sphere.FromRaDec(raV, decV)) {
+		t.Errorf("match position (%g, %g) outside the query area", raV, decV)
+	}
+	ll, _ := row[4].AsFloat()
+	if ll > 0 || ll < -10 {
+		t.Errorf("log likelihood = %g out of expected range", ll)
+	}
+	if row[5].AsInt() != 2 {
+		t.Errorf("nObs = %v", row[5])
+	}
+}
+
+func TestTopOnFederatedQuery(t *testing.T) {
+	f := newFed(t, 300, surveyConfigs()[:2])
+	reg := testRegion()
+	ra, dec := reg.Center.RaDec()
+	sql := fmt.Sprintf(`SELECT TOP 4 O.object_id, T.object_id
+		FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T
+		WHERE AREA(%g, %g, %g) AND XMATCH(O, T) < 3.5`,
+		ra, dec, sphere.ToArcsec(reg.Radius))
+	res, err := f.portal.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 4 {
+		t.Errorf("TOP 4 returned %d rows", res.NumRows())
+	}
+}
+
+func TestPullQueryMatchesChain(t *testing.T) {
+	f := newFed(t, 250, surveyConfigs())
+	sql := paperStyleQuery("O.type = 'GALAXY'")
+	chain, err := f.portal.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pull, err := f.portal.PullQuery(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := func(row []value.Value) string {
+		return fmt.Sprintf("%d|%d|%d", row[0].AsInt(), row[1].AsInt(), row[2].AsInt())
+	}
+	var a, b []string
+	for _, r := range chain.Rows {
+		a = append(a, key(r))
+	}
+	for _, r := range pull.Rows {
+		b = append(b, key(r))
+	}
+	sort.Strings(a)
+	sort.Strings(b)
+	compare(t, a, b)
+	if len(a) == 0 {
+		t.Error("degenerate: no matches")
+	}
+}
+
+func compare(t *testing.T, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d, want %d\n got: %v\nwant: %v", len(got), len(want), trunc(got), trunc(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("item %d: got %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func trunc(s []string) []string {
+	if len(s) > 6 {
+		return s[:6]
+	}
+	return s
+}

@@ -1,0 +1,135 @@
+// Package registry is the service-discovery substrate of the federation: a
+// UDDI-style repository (§3.1) "where services can register themselves and
+// be discovered". The Portal keeps one and fills it through its
+// Registration service; clients and tools can enumerate it.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Entry describes one registered service provider (a SkyNode).
+type Entry struct {
+	// Name is the unique archive name, e.g. "SDSS".
+	Name string
+	// Endpoint is the base URL of the provider's SOAP endpoint.
+	Endpoint string
+	// Services lists the SOAP actions or service names offered.
+	Services []string
+	// Metadata holds free-form descriptive pairs.
+	Metadata map[string]string
+	// Registered is when the entry was created or last replaced.
+	Registered time.Time
+}
+
+// clone returns a deep copy so callers cannot mutate stored state.
+func (e Entry) clone() Entry {
+	c := e
+	c.Services = append([]string(nil), e.Services...)
+	if e.Metadata != nil {
+		c.Metadata = make(map[string]string, len(e.Metadata))
+		for k, v := range e.Metadata {
+			c.Metadata[k] = v
+		}
+	}
+	return c
+}
+
+// Registry is an in-memory service repository, safe for concurrent use.
+// The zero value is ready to use.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]Entry
+	// now is replaceable for tests.
+	now func() time.Time
+}
+
+// New returns an empty registry.
+func New() *Registry { return &Registry{} }
+
+func (r *Registry) clock() time.Time {
+	if r.now != nil {
+		return r.now()
+	}
+	return time.Now()
+}
+
+// Register adds or replaces an entry keyed by Name.
+func (r *Registry) Register(e Entry) error {
+	if e.Name == "" {
+		return fmt.Errorf("registry: entry needs a name")
+	}
+	if e.Endpoint == "" {
+		return fmt.Errorf("registry: entry %q needs an endpoint", e.Name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.entries == nil {
+		r.entries = map[string]Entry{}
+	}
+	e.Registered = r.clock()
+	r.entries[e.Name] = e.clone()
+	return nil
+}
+
+// Unregister removes an entry.
+func (r *Registry) Unregister(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; !ok {
+		return fmt.Errorf("registry: %q is not registered", name)
+	}
+	delete(r.entries, name)
+	return nil
+}
+
+// Find returns the entry with the given name.
+func (r *Registry) Find(name string) (Entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return Entry{}, false
+	}
+	return e.clone(), true
+}
+
+// List returns all entries sorted by name.
+func (r *Registry) List() []Entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e.clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// FindByService returns the entries advertising the given service name,
+// sorted by name.
+func (r *Registry) FindByService(service string) []Entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []Entry
+	for _, e := range r.entries {
+		for _, s := range e.Services {
+			if s == service {
+				out = append(out, e.clone())
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of registered entries.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}

@@ -1,0 +1,170 @@
+package registry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func entry(name string) Entry {
+	return Entry{
+		Name:     name,
+		Endpoint: "http://" + name + ".example/soap",
+		Services: []string{"Query", "CrossMatch"},
+		Metadata: map[string]string{"sigma": "0.1"},
+	}
+}
+
+func TestRegisterFind(t *testing.T) {
+	r := New()
+	if err := r.Register(entry("SDSS")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := r.Find("SDSS")
+	if !ok {
+		t.Fatal("not found")
+	}
+	if got.Endpoint != "http://SDSS.example/soap" {
+		t.Errorf("endpoint = %q", got.Endpoint)
+	}
+	if got.Registered.IsZero() {
+		t.Error("Registered timestamp not set")
+	}
+	if _, ok := r.Find("NOPE"); ok {
+		t.Error("found a ghost")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	r := New()
+	if err := r.Register(Entry{Endpoint: "http://x"}); err == nil {
+		t.Error("nameless entry should fail")
+	}
+	if err := r.Register(Entry{Name: "X"}); err == nil {
+		t.Error("endpointless entry should fail")
+	}
+}
+
+func TestRegisterReplaces(t *testing.T) {
+	r := New()
+	r.Register(entry("SDSS"))
+	e := entry("SDSS")
+	e.Endpoint = "http://new.example/soap"
+	r.Register(e)
+	got, _ := r.Find("SDSS")
+	if got.Endpoint != "http://new.example/soap" {
+		t.Error("replace did not take")
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	r := New()
+	r.Register(entry("SDSS"))
+	if err := r.Unregister("SDSS"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Unregister("SDSS"); err == nil {
+		t.Error("double unregister should fail")
+	}
+	if r.Len() != 0 {
+		t.Error("entry not removed")
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	r := New()
+	for _, n := range []string{"TWOMASS", "FIRST", "SDSS"} {
+		r.Register(entry(n))
+	}
+	got := r.List()
+	want := []string{"FIRST", "SDSS", "TWOMASS"}
+	if len(got) != len(want) {
+		t.Fatalf("List len = %d", len(got))
+	}
+	for i, e := range got {
+		if e.Name != want[i] {
+			t.Errorf("List[%d] = %q, want %q", i, e.Name, want[i])
+		}
+	}
+}
+
+func TestFindByService(t *testing.T) {
+	r := New()
+	a := entry("A")
+	b := entry("B")
+	b.Services = []string{"Query"}
+	r.Register(a)
+	r.Register(b)
+	got := r.FindByService("CrossMatch")
+	if len(got) != 1 || got[0].Name != "A" {
+		t.Errorf("FindByService = %+v", got)
+	}
+	if got := r.FindByService("Nope"); len(got) != 0 {
+		t.Errorf("FindByService(Nope) = %+v", got)
+	}
+}
+
+func TestIsolationFromCallerMutation(t *testing.T) {
+	r := New()
+	e := entry("SDSS")
+	r.Register(e)
+	e.Services[0] = "HACKED"
+	e.Metadata["sigma"] = "HACKED"
+	got, _ := r.Find("SDSS")
+	if got.Services[0] == "HACKED" || got.Metadata["sigma"] == "HACKED" {
+		t.Error("registry stored caller-mutable state")
+	}
+	// And the other direction.
+	got.Services[0] = "ALSO HACKED"
+	again, _ := r.Find("SDSS")
+	if again.Services[0] == "ALSO HACKED" {
+		t.Error("registry returned shared state")
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var r Registry
+	if err := r.Register(entry("X")); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 {
+		t.Error("zero-value registry broken")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			names := []string{"A", "B", "C", "D"}
+			for j := 0; j < 200; j++ {
+				n := names[(i+j)%len(names)]
+				r.Register(entry(n))
+				r.Find(n)
+				r.List()
+				r.FindByService("Query")
+			}
+		}(i)
+	}
+	wg.Wait()
+	if r.Len() != 4 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestClockInjection(t *testing.T) {
+	r := New()
+	fixed := time.Date(2003, 1, 5, 0, 0, 0, 0, time.UTC) // CIDR 2003
+	r.now = func() time.Time { return fixed }
+	r.Register(entry("SDSS"))
+	got, _ := r.Find("SDSS")
+	if !got.Registered.Equal(fixed) {
+		t.Errorf("Registered = %v", got.Registered)
+	}
+}

@@ -1,0 +1,200 @@
+// Package skynode implements a SkyNode (§5.1): an autonomous archive
+// wrapped behind the four SkyQuery web services — Information, Metadata,
+// Query, and CrossMatch — plus the chunk-fetch operation used for large
+// results. The wrapper hides the archive's internals (here the
+// internal/storage engine with its HTM index) and presents the uniform
+// SOAP surface the Portal expects.
+//
+// The CrossMatch service realizes the daisy chain of §5.3: a node that is
+// not last in the plan's call order forwards the plan to the next node
+// first, then folds its own observations into the partial tuples that flow
+// back, and finally returns the extended tuples to its caller.
+package skynode
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"skyquery/internal/dataset"
+	"skyquery/internal/soap"
+	"skyquery/internal/storage"
+	"skyquery/internal/value"
+	"skyquery/internal/wsdl"
+)
+
+// SOAPAction names of the SkyNode services.
+const (
+	ActionInformation = "urn:skyquery:Information"
+	ActionMetadata    = "urn:skyquery:Metadata"
+	ActionQuery       = "urn:skyquery:Query"
+	ActionCrossMatch  = "urn:skyquery:CrossMatch"
+)
+
+// Actions lists every SOAP action a SkyNode serves.
+var Actions = []string{
+	ActionInformation, ActionMetadata, ActionQuery, ActionCrossMatch, soap.FetchAction,
+}
+
+// Event is a trace point emitted through Config.OnEvent; the F3 experiment
+// uses it to verify the execution order of Figure 3.
+type Event struct {
+	// Node is the emitting archive's name.
+	Node string
+	// Kind is one of "query", "xmatch.recv", "xmatch.forward",
+	// "xmatch.seed", "xmatch.step", "xmatch.dropout", "xmatch.return".
+	Kind string
+	// Detail is a human-readable annotation (row counts etc).
+	Detail string
+}
+
+// Config assembles a SkyNode.
+type Config struct {
+	// Name is the archive name used in queries (e.g. "SDSS"). Required.
+	Name string
+	// DB is the wrapped database. Required.
+	DB *storage.DB
+	// PrimaryTable is the table holding one row per object with its sky
+	// position (§5.1: "A primary table stores the unique sky position for
+	// each astronomical object"). Required, must exist and have a
+	// spatial index.
+	PrimaryTable string
+	// RACol and DecCol name the position columns of the primary table.
+	RACol, DecCol string
+	// SigmaArcsec is the survey's positional standard error, reported by
+	// the Information service. Required, > 0.
+	SigmaArcsec float64
+	// Client is used for daisy-chain calls to other nodes; nil gets a
+	// default SOAP client.
+	Client *soap.Client
+	// ChunkRows bounds rows per response message; 0 means 5000.
+	ChunkRows int
+	// MessageLimit configures the server's accepted message size;
+	// 0 means soap.DefaultMessageLimit.
+	MessageLimit int64
+	// OnEvent, when set, receives trace events. It must be fast and
+	// concurrency-safe.
+	OnEvent func(Event)
+}
+
+// Node is a running SkyNode.
+type Node struct {
+	cfg    Config
+	client *soap.Client
+	server *soap.Server
+	chunks soap.ChunkStore
+
+	// queriesServed counts Query service calls (cache-warming metric).
+	queriesServed atomic.Int64
+	// tuplesIn/tuplesOut count cross-match rows received and emitted.
+	tuplesIn  atomic.Int64
+	tuplesOut atomic.Int64
+}
+
+// New validates the configuration and builds a node.
+func New(cfg Config) (*Node, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("skynode: config needs a Name")
+	}
+	if cfg.DB == nil {
+		return nil, fmt.Errorf("skynode %s: config needs a DB", cfg.Name)
+	}
+	if cfg.SigmaArcsec <= 0 {
+		return nil, fmt.Errorf("skynode %s: SigmaArcsec must be positive", cfg.Name)
+	}
+	primary, ok := cfg.DB.Table(cfg.PrimaryTable)
+	if !ok {
+		return nil, fmt.Errorf("skynode %s: primary table %q does not exist", cfg.Name, cfg.PrimaryTable)
+	}
+	if !primary.HasSpatial() {
+		return nil, fmt.Errorf("skynode %s: primary table %q has no spatial index", cfg.Name, cfg.PrimaryTable)
+	}
+	if cfg.RACol == "" || cfg.DecCol == "" {
+		return nil, fmt.Errorf("skynode %s: RACol and DecCol are required", cfg.Name)
+	}
+	if primary.Schema().Index(cfg.RACol) < 0 || primary.Schema().Index(cfg.DecCol) < 0 {
+		return nil, fmt.Errorf("skynode %s: position columns %q/%q not in %q",
+			cfg.Name, cfg.RACol, cfg.DecCol, cfg.PrimaryTable)
+	}
+	if cfg.ChunkRows == 0 {
+		cfg.ChunkRows = 5000
+	}
+	n := &Node{cfg: cfg, client: cfg.Client}
+	if n.client == nil {
+		n.client = &soap.Client{}
+	}
+	n.server = soap.NewServer()
+	n.server.MessageLimit = cfg.MessageLimit
+	n.server.Handle(ActionInformation, n.handleInformation)
+	n.server.Handle(ActionMetadata, n.handleMetadata)
+	n.server.Handle(ActionQuery, n.handleQuery)
+	n.server.Handle(ActionCrossMatch, n.handleCrossMatch)
+	n.server.Handle(soap.FetchAction, n.chunks.FetchHandler())
+	return n, nil
+}
+
+// Name returns the archive name.
+func (n *Node) Name() string { return n.cfg.Name }
+
+// Server returns the SOAP server; it implements http.Handler.
+func (n *Node) Server() *soap.Server { return n.server }
+
+// SetWSDL generates and installs the node's WSDL document for the given
+// public endpoint URL.
+func (n *Node) SetWSDL(endpoint string) error {
+	doc, err := wsdl.Document(wsdl.Service{
+		Name:     "SkyNode." + n.cfg.Name,
+		Endpoint: endpoint,
+		Operations: []wsdl.Operation{
+			{Name: "Information", Action: ActionInformation, Doc: "archive constants: positional error, primary table"},
+			{Name: "Metadata", Action: ActionMetadata, Doc: "complete schema information"},
+			{Name: "Query", Action: ActionQuery, Doc: "general-purpose database querying"},
+			{Name: "CrossMatch", Action: ActionCrossMatch, Doc: "one step of the federated cross match"},
+			{Name: "Fetch", Action: soap.FetchAction, Doc: "continuation fetch for chunked results"},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	n.server.WSDL = doc
+	return nil
+}
+
+// Stats reports service counters.
+func (n *Node) Stats() (queries, tuplesIn, tuplesOut int64) {
+	return n.queriesServed.Load(), n.tuplesIn.Load(), n.tuplesOut.Load()
+}
+
+func (n *Node) emit(kind, format string, args ...interface{}) {
+	if n.cfg.OnEvent == nil {
+		return
+	}
+	n.cfg.OnEvent(Event{Node: n.cfg.Name, Kind: kind, Detail: fmt.Sprintf(format, args...)})
+}
+
+// resultToDataSet converts a storage result to the wire data set.
+func resultToDataSet(res *storage.Result) *dataset.DataSet {
+	d := &dataset.DataSet{}
+	for _, c := range res.Columns {
+		d.Columns = append(d.Columns, dataset.Column{Name: c.Name, Type: c.Type})
+	}
+	d.Rows = res.Rows
+	return d
+}
+
+// datasetSchema converts wire columns to a storage schema.
+func datasetSchema(d *dataset.DataSet) storage.Schema {
+	s := make(storage.Schema, len(d.Columns))
+	for i, c := range d.Columns {
+		s[i] = storage.ColumnDef{Name: c.Name, Type: c.Type}
+	}
+	return s
+}
+
+// typeOfCell returns a column type for a schema derived from values,
+// defaulting NULL cells to FLOAT.
+func typeOfCell(v value.Value) value.Type {
+	if v.IsNull() {
+		return value.FloatType
+	}
+	return v.Type()
+}

@@ -1,0 +1,167 @@
+package skynode
+
+import (
+	"encoding/xml"
+	"fmt"
+
+	"skyquery/internal/dataset"
+	"skyquery/internal/plan"
+	"skyquery/internal/soap"
+	"skyquery/internal/sqlparse"
+)
+
+// InformationRequest asks for the archive constants (§5.1: "astronomy
+// specific constants of that SkyNode such as the object position
+// estimation errors, the name of primary table ...").
+type InformationRequest struct {
+	XMLName xml.Name `xml:"Information"`
+}
+
+// InformationResponse carries the archive constants.
+type InformationResponse struct {
+	XMLName      xml.Name `xml:"InformationResponse"`
+	Name         string   `xml:"name,attr"`
+	SigmaArcsec  float64  `xml:"sigma,attr"`
+	PrimaryTable string   `xml:"primaryTable,attr"`
+	RACol        string   `xml:"raCol,attr"`
+	DecCol       string   `xml:"decCol,attr"`
+	ObjectCount  int64    `xml:"objectCount,attr"`
+	SpatialLevel int      `xml:"spatialLevel,attr"`
+}
+
+// MetadataRequest asks for complete schema information.
+type MetadataRequest struct {
+	XMLName xml.Name `xml:"Metadata"`
+}
+
+// ColumnMeta describes one column.
+type ColumnMeta struct {
+	Name string `xml:"name,attr"`
+	Type string `xml:"type,attr"`
+}
+
+// TableMeta describes one table.
+type TableMeta struct {
+	Name    string       `xml:"name,attr"`
+	Rows    int64        `xml:"rows,attr"`
+	Spatial bool         `xml:"spatial,attr"`
+	Columns []ColumnMeta `xml:"Column"`
+}
+
+// MetadataResponse carries the full catalog.
+type MetadataResponse struct {
+	XMLName xml.Name    `xml:"MetadataResponse"`
+	Tables  []TableMeta `xml:"Table"`
+}
+
+// QueryRequest is the general-purpose query service request: a query in
+// the SkyQuery dialect restricted to this node's tables.
+type QueryRequest struct {
+	XMLName xml.Name `xml:"Query"`
+	SQL     string   `xml:"SQL"`
+}
+
+// CrossMatchRequest carries the federated execution plan.
+type CrossMatchRequest struct {
+	XMLName xml.Name  `xml:"CrossMatch"`
+	Plan    plan.Plan `xml:"Plan"`
+}
+
+func (n *Node) handleInformation(r *soap.Request) (interface{}, error) {
+	var req InformationRequest
+	if err := r.Decode(&req); err != nil {
+		return nil, err
+	}
+	primary, _ := n.cfg.DB.Table(n.cfg.PrimaryTable)
+	return &InformationResponse{
+		Name:         n.cfg.Name,
+		SigmaArcsec:  n.cfg.SigmaArcsec,
+		PrimaryTable: n.cfg.PrimaryTable,
+		RACol:        n.cfg.RACol,
+		DecCol:       n.cfg.DecCol,
+		ObjectCount:  int64(primary.RowCount()),
+		SpatialLevel: primary.SpatialLevel(),
+	}, nil
+}
+
+func (n *Node) handleMetadata(r *soap.Request) (interface{}, error) {
+	var req MetadataRequest
+	if err := r.Decode(&req); err != nil {
+		return nil, err
+	}
+	resp := &MetadataResponse{}
+	for _, name := range n.cfg.DB.Names() {
+		t, ok := n.cfg.DB.Table(name)
+		if !ok {
+			continue
+		}
+		tm := TableMeta{Name: name, Rows: int64(t.RowCount()), Spatial: t.HasSpatial()}
+		for _, c := range t.Schema() {
+			tm.Columns = append(tm.Columns, ColumnMeta{Name: c.Name, Type: c.Type.String()})
+		}
+		resp.Tables = append(resp.Tables, tm)
+	}
+	return resp, nil
+}
+
+func (n *Node) handleQuery(r *soap.Request) (interface{}, error) {
+	var req QueryRequest
+	if err := r.Decode(&req); err != nil {
+		return nil, err
+	}
+	q, err := sqlparse.Parse(req.SQL)
+	if err != nil {
+		return nil, fmt.Errorf("skynode %s: %w", n.cfg.Name, err)
+	}
+	res, err := n.cfg.DB.Execute(q)
+	if err != nil {
+		return nil, fmt.Errorf("skynode %s: %w", n.cfg.Name, err)
+	}
+	n.queriesServed.Add(1)
+	n.emit("query", "%d rows for %q", len(res.Rows), req.SQL)
+	return n.chunks.Respond(resultToDataSet(res), n.cfg.ChunkRows), nil
+}
+
+func (n *Node) handleCrossMatch(r *soap.Request) (interface{}, error) {
+	var req CrossMatchRequest
+	if err := r.Decode(&req); err != nil {
+		return nil, err
+	}
+	p := &req.Plan
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("skynode %s: %w", n.cfg.Name, err)
+	}
+	idx := p.StepIndex(n.cfg.Name)
+	if idx < 0 {
+		return nil, fmt.Errorf("skynode %s: not part of plan %s", n.cfg.Name, p.QueryID)
+	}
+	step := p.Steps[idx]
+	n.emit("xmatch.recv", "plan %s step %d/%d", p.QueryID, idx+1, len(p.Steps))
+
+	var incoming *dataset.DataSet
+	if next := p.Next(n.cfg.Name); next != nil {
+		n.emit("xmatch.forward", "-> %s", next.Archive)
+		var first soap.ChunkedData
+		if err := n.client.Call(next.Endpoint, ActionCrossMatch, &CrossMatchRequest{Plan: *p}, &first); err != nil {
+			return nil, fmt.Errorf("skynode %s: chain call to %s: %w", n.cfg.Name, next.Archive, err)
+		}
+		ds, err := soap.FetchAll(n.client, next.Endpoint, &first)
+		if err != nil {
+			return nil, fmt.Errorf("skynode %s: fetch from %s: %w", n.cfg.Name, next.Archive, err)
+		}
+		n.tuplesIn.Add(int64(ds.NumRows()))
+		incoming = ds
+	}
+
+	out, err := n.localStep(p, step, incoming)
+	if err != nil {
+		return nil, fmt.Errorf("skynode %s: %w", n.cfg.Name, err)
+	}
+	n.tuplesOut.Add(int64(out.NumRows()))
+	n.emit("xmatch.return", "%d tuples", out.NumRows())
+	chunkRows := p.ChunkRows
+	if chunkRows == 0 {
+		chunkRows = n.cfg.ChunkRows
+	}
+	return n.chunks.Respond(out, chunkRows), nil
+}

@@ -1,0 +1,322 @@
+package skynode
+
+import (
+	"fmt"
+
+	"skyquery/internal/dataset"
+	"skyquery/internal/eval"
+	"skyquery/internal/plan"
+	"skyquery/internal/sphere"
+	"skyquery/internal/sqlparse"
+	"skyquery/internal/storage"
+	"skyquery/internal/value"
+	"skyquery/internal/xmatch"
+)
+
+// The wire form of partial tuples (accumulator columns followed by
+// carried "alias.column" payload columns) is defined in internal/xmatch;
+// this file consumes it via xmatch.AccColumns, AccToCells and CellsToAcc.
+
+// localStep performs this node's part of the cross match. For the seed
+// node (incoming == nil) it selects its objects in the AREA satisfying the
+// local predicate and emits 1-tuples. For a mandatory archive it extends
+// each incoming tuple with every nearby candidate that keeps the
+// chi-square within threshold. For a drop-out archive it vetoes tuples
+// that have such a candidate and passes the rest through unchanged.
+func (n *Node) localStep(p *plan.Plan, step plan.Step, incoming *dataset.DataSet) (*dataset.DataSet, error) {
+	table, ok := n.cfg.DB.Table(step.Table)
+	if !ok {
+		return nil, fmt.Errorf("table %q does not exist", step.Table)
+	}
+	if !table.HasSpatial() {
+		return nil, fmt.Errorf("table %q has no spatial index", step.Table)
+	}
+	area, err := p.Area.Region()
+	if err != nil {
+		return nil, err
+	}
+
+	var localWhere sqlparse.Expr
+	if step.LocalWhere != "" {
+		e, err := sqlparse.ParseExpr(step.LocalWhere)
+		if err != nil {
+			return nil, fmt.Errorf("bad local predicate %q: %w", step.LocalWhere, err)
+		}
+		localWhere = e
+	}
+	var crossWhere []sqlparse.Expr
+	for _, src := range step.CrossWhere {
+		e, err := sqlparse.ParseExpr(src)
+		if err != nil {
+			return nil, fmt.Errorf("bad cross predicate %q: %w", src, err)
+		}
+		crossWhere = append(crossWhere, e)
+	}
+
+	if incoming == nil {
+		if step.DropOut {
+			return nil, fmt.Errorf("drop-out archive cannot seed the chain")
+		}
+		n.emit("xmatch.seed", "table %s", step.Table)
+		return n.seedStep(table, step, area, localWhere)
+	}
+	if step.DropOut {
+		n.emit("xmatch.dropout", "%d tuples in", incoming.NumRows())
+		return n.dropOutStep(p, table, step, area, localWhere, incoming)
+	}
+	n.emit("xmatch.step", "%d tuples in", incoming.NumRows())
+	return n.extendStep(p, table, step, area, localWhere, crossWhere, incoming)
+}
+
+// seedStep runs the first (innermost) query of the chain: all objects in
+// the area passing the local predicate become 1-tuples.
+func (n *Node) seedStep(table *storage.Table, step plan.Step, area sphere.Region, localWhere sqlparse.Expr) (*dataset.DataSet, error) {
+	out := dataset.New(n.tupleColumns(nil, table, step)...)
+	var stepErr error
+	err := table.SearchRegion(area, func(row int) bool {
+		env := table.Env(step.Alias, row)
+		ok, err := eval.EvalBool(localWhere, env)
+		if err != nil {
+			stepErr = err
+			return false
+		}
+		if !ok {
+			return true
+		}
+		pos, err := table.Position(row)
+		if err != nil {
+			stepErr = err
+			return false
+		}
+		acc := xmatch.Accumulator{}.Add(pos, step.SigmaArcsec)
+		cells := xmatch.AccToCells(acc)
+		cells = append(cells, n.columnCells(table, step, row)...)
+		out.Rows = append(out.Rows, cells)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if stepErr != nil {
+		return nil, stepErr
+	}
+	return out, nil
+}
+
+// extendStep is the mandatory-archive chain step: §5.3's temporary-table
+// spatial join. The incoming partial tuples are first inserted into a
+// temporary table (as the paper's stored procedure does), then each tuple
+// searches this archive's primary table around its current best position.
+func (n *Node) extendStep(p *plan.Plan, table *storage.Table, step plan.Step, area sphere.Region,
+	localWhere sqlparse.Expr, crossWhere []sqlparse.Expr, incoming *dataset.DataSet) (*dataset.DataSet, error) {
+
+	tmp, err := n.cfg.DB.CreateTemp("xm_"+step.Alias, datasetSchema(incoming))
+	if err != nil {
+		return nil, err
+	}
+	defer n.cfg.DB.Drop(tmp.Name())
+	for _, row := range incoming.Rows {
+		if err := tmp.Append(row...); err != nil {
+			return nil, err
+		}
+	}
+
+	out := dataset.New(n.tupleColumns(incoming, table, step)...)
+	priorCols := incoming.Columns[xmatch.NumAccCols:]
+
+	var stepErr error
+	tmp.Scan(func(tRow int) bool {
+		row := tmp.Row(tRow)
+		acc, err := xmatch.CellsToAcc(row)
+		if err != nil {
+			stepErr = err
+			return false
+		}
+		radius := acc.SearchRadius(p.Threshold, step.SigmaArcsec)
+		if radius <= 0 {
+			return true
+		}
+		// Prior tuple values, for cross-archive predicates.
+		env := eval.MapEnv{}
+		for i, c := range priorCols {
+			env[c.Name] = row[xmatch.NumAccCols+i]
+		}
+		searchCap := sphere.CapAround(acc.Best(), radius)
+		err = table.SearchCap(searchCap, func(cand int) bool {
+			pos, err := table.Position(cand)
+			if err != nil {
+				stepErr = err
+				return false
+			}
+			// Every observation in the result must lie in the query AREA.
+			if !area.Contains(pos) {
+				return true
+			}
+			candEnv := table.Env(step.Alias, cand)
+			ok, err := eval.EvalBool(localWhere, candEnv)
+			if err != nil {
+				stepErr = err
+				return false
+			}
+			if !ok {
+				return true
+			}
+			next := acc.Add(pos, step.SigmaArcsec)
+			if !next.Matches(p.Threshold) {
+				return true
+			}
+			// Cross-archive predicates that became evaluable here.
+			if len(crossWhere) > 0 {
+				combined := combinedEnv{prior: env, alias: step.Alias, table: table, row: cand}
+				for _, cw := range crossWhere {
+					ok, err := eval.EvalBool(cw, combined)
+					if err != nil {
+						stepErr = err
+						return false
+					}
+					if !ok {
+						return true
+					}
+				}
+			}
+			cells := xmatch.AccToCells(next)
+			cells = append(cells, row[xmatch.NumAccCols:]...)
+			cells = append(cells, n.columnCells(table, step, cand)...)
+			out.Rows = append(out.Rows, cells)
+			return true
+		})
+		if err != nil {
+			stepErr = err
+		}
+		return stepErr == nil
+	})
+	if stepErr != nil {
+		return nil, stepErr
+	}
+	return out, nil
+}
+
+// dropOutStep vetoes tuples with a matching observation in this archive:
+// the "exclusive outer join" of §5.2. Surviving tuples pass through with
+// their schema unchanged.
+func (n *Node) dropOutStep(p *plan.Plan, table *storage.Table, step plan.Step, area sphere.Region,
+	localWhere sqlparse.Expr, incoming *dataset.DataSet) (*dataset.DataSet, error) {
+
+	tmp, err := n.cfg.DB.CreateTemp("xd_"+step.Alias, datasetSchema(incoming))
+	if err != nil {
+		return nil, err
+	}
+	defer n.cfg.DB.Drop(tmp.Name())
+	for _, row := range incoming.Rows {
+		if err := tmp.Append(row...); err != nil {
+			return nil, err
+		}
+	}
+
+	out := &dataset.DataSet{Columns: incoming.Columns}
+	var stepErr error
+	tmp.Scan(func(tRow int) bool {
+		row := tmp.Row(tRow)
+		acc, err := xmatch.CellsToAcc(row)
+		if err != nil {
+			stepErr = err
+			return false
+		}
+		radius := acc.SearchRadius(p.Threshold, step.SigmaArcsec)
+		vetoed := false
+		if radius > 0 {
+			searchCap := sphere.CapAround(acc.Best(), radius)
+			err = table.SearchCap(searchCap, func(cand int) bool {
+				pos, err := table.Position(cand)
+				if err != nil {
+					stepErr = err
+					return false
+				}
+				if !area.Contains(pos) {
+					return true
+				}
+				ok, err := eval.EvalBool(localWhere, table.Env(step.Alias, cand))
+				if err != nil {
+					stepErr = err
+					return false
+				}
+				if !ok {
+					return true
+				}
+				if acc.Add(pos, step.SigmaArcsec).Matches(p.Threshold) {
+					vetoed = true
+					return false
+				}
+				return true
+			})
+			if err != nil {
+				stepErr = err
+			}
+		}
+		if stepErr != nil {
+			return false
+		}
+		if !vetoed {
+			out.Rows = append(out.Rows, row)
+		}
+		return true
+	})
+	if stepErr != nil {
+		return nil, stepErr
+	}
+	return out, nil
+}
+
+// tupleColumns builds the output tuple schema: accumulator columns, the
+// incoming tuple's carried columns, then this step's contributed columns
+// qualified as "alias.column".
+func (n *Node) tupleColumns(incoming *dataset.DataSet, table *storage.Table, step plan.Step) []dataset.Column {
+	cols := xmatch.AccColumns()
+	if incoming != nil {
+		cols = append(cols, incoming.Columns[xmatch.NumAccCols:]...)
+	}
+	schema := table.Schema()
+	for _, c := range step.Columns {
+		typ := value.FloatType
+		if ci := schema.Index(c); ci >= 0 {
+			typ = schema[ci].Type
+		}
+		cols = append(cols, dataset.Column{Name: step.Alias + "." + c, Type: typ})
+	}
+	return cols
+}
+
+// columnCells extracts this step's contributed column values for a row of
+// the primary table. Unknown columns yield NULL (they would have failed
+// validation at the Portal already).
+func (n *Node) columnCells(table *storage.Table, step plan.Step, row int) []value.Value {
+	schema := table.Schema()
+	out := make([]value.Value, 0, len(step.Columns))
+	for _, c := range step.Columns {
+		ci := schema.Index(c)
+		if ci < 0 {
+			out = append(out, value.Null)
+			continue
+		}
+		out = append(out, table.Value(row, ci))
+	}
+	return out
+}
+
+// combinedEnv resolves cross-archive predicates during a chain step:
+// references to this step's alias read from the candidate row; everything
+// else reads from the carried tuple columns.
+type combinedEnv struct {
+	prior eval.MapEnv
+	alias string
+	table *storage.Table
+	row   int
+}
+
+// Lookup implements eval.Env.
+func (e combinedEnv) Lookup(tableName, column string) (value.Value, error) {
+	if tableName == e.alias {
+		return e.table.Env(e.alias, e.row).Lookup(tableName, column)
+	}
+	return e.prior.Lookup(tableName, column)
+}

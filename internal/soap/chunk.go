@@ -1,0 +1,133 @@
+package soap
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"skyquery/internal/dataset"
+)
+
+// This file implements the chunked transfer of large data sets: the
+// workaround of §6 for XML parsers failing on ~10 MB messages. The callee
+// splits its result with dataset.Split, returns the first chunk together
+// with a continuation token, and the caller pulls the remaining chunks
+// with Fetch calls until none remain.
+
+// FetchAction is the SOAPAction under which servers using chunked
+// responses serve continuation fetches.
+const FetchAction = "urn:skyquery:Fetch"
+
+// ChunkedData is one chunk of a large data set on the wire.
+type ChunkedData struct {
+	XMLName xml.Name `xml:"ChunkedData"`
+	// Token identifies the transfer for follow-up Fetch calls; empty when
+	// no chunks remain.
+	Token string `xml:"token,attr,omitempty"`
+	// Seq is the zero-based chunk number.
+	Seq int `xml:"seq,attr"`
+	// Remaining counts the chunks still waiting after this one.
+	Remaining int `xml:"remaining,attr"`
+	// Data is the chunk payload.
+	Data *dataset.DataSet `xml:"DataSet"`
+}
+
+// FetchRequest asks for the next chunk of a pending transfer.
+type FetchRequest struct {
+	XMLName xml.Name `xml:"Fetch"`
+	Token   string   `xml:"token,attr"`
+}
+
+// ChunkStore holds the pending tail chunks of in-flight transfers on the
+// server side. The zero value is ready to use.
+type ChunkStore struct {
+	mu      sync.Mutex
+	seq     int64
+	pending map[string][]*dataset.DataSet
+	nextSeq map[string]int
+}
+
+// Respond prepares a possibly chunked response for a data set: the
+// returned ChunkedData is the first chunk; any remainder is parked in the
+// store under the embedded token. maxRows <= 0 disables chunking.
+func (cs *ChunkStore) Respond(d *dataset.DataSet, maxRows int) *ChunkedData {
+	chunks := d.Split(maxRows)
+	first := &ChunkedData{Seq: 0, Remaining: len(chunks) - 1, Data: chunks[0]}
+	if len(chunks) > 1 {
+		cs.mu.Lock()
+		cs.seq++
+		token := "xfer-" + strconv.FormatInt(cs.seq, 10)
+		if cs.pending == nil {
+			cs.pending = map[string][]*dataset.DataSet{}
+			cs.nextSeq = map[string]int{}
+		}
+		cs.pending[token] = chunks[1:]
+		cs.nextSeq[token] = 1
+		cs.mu.Unlock()
+		first.Token = token
+	}
+	return first
+}
+
+// Fetch pops the next chunk of a transfer. The final chunk carries no
+// token; fetching an unknown token is an error.
+func (cs *ChunkStore) Fetch(token string) (*ChunkedData, error) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	chunks, ok := cs.pending[token]
+	if !ok {
+		return nil, fmt.Errorf("soap: unknown or exhausted transfer token %q", token)
+	}
+	out := &ChunkedData{Seq: cs.nextSeq[token], Remaining: len(chunks) - 1, Data: chunks[0]}
+	if len(chunks) == 1 {
+		delete(cs.pending, token)
+		delete(cs.nextSeq, token)
+	} else {
+		cs.pending[token] = chunks[1:]
+		cs.nextSeq[token]++
+		out.Token = token
+	}
+	return out, nil
+}
+
+// Pending returns the number of in-flight transfers (for tests and
+// monitoring).
+func (cs *ChunkStore) Pending() int {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return len(cs.pending)
+}
+
+// FetchHandler returns the SOAP handler serving FetchAction for the store.
+func (cs *ChunkStore) FetchHandler() Handler {
+	return func(r *Request) (interface{}, error) {
+		var req FetchRequest
+		if err := r.Decode(&req); err != nil {
+			return nil, err
+		}
+		return cs.Fetch(req.Token)
+	}
+}
+
+// FetchAll drains a chunked response: given the first chunk, it pulls the
+// remaining ones from url via the client and returns the joined data set.
+func FetchAll(c *Client, url string, first *ChunkedData) (*dataset.DataSet, error) {
+	if first == nil || first.Data == nil {
+		return nil, fmt.Errorf("soap: empty chunked response")
+	}
+	chunks := []*dataset.DataSet{first.Data}
+	token := first.Token
+	for token != "" {
+		var next ChunkedData
+		if err := c.Call(url, FetchAction, &FetchRequest{Token: token}, &next); err != nil {
+			return nil, fmt.Errorf("soap: fetch chunk: %w", err)
+		}
+		if next.Data == nil {
+			return nil, fmt.Errorf("soap: fetch returned no data")
+		}
+		chunks = append(chunks, next.Data)
+		token = next.Token
+	}
+	return dataset.Join(chunks)
+}

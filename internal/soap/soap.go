@@ -1,0 +1,335 @@
+// Package soap implements the SOAP 1.1 subset SkyQuery runs on (§3.1):
+// XML envelopes POSTed over HTTP with a SOAPAction header identifying the
+// target operation, request-response and fault semantics, and a
+// configurable message-size limit that reproduces the production failure
+// described in §6 — "the XML parser at the SkyNode would run out of memory
+// while parsing SOAP messages of about 10 MB". Callers avoid the limit the
+// same way the paper did: by chunking large data sets (see
+// internal/dataset.Split and the chunked transfer helpers here).
+package soap
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// EnvelopeNS is the SOAP 1.1 envelope namespace.
+const EnvelopeNS = "http://schemas.xmlsoap.org/soap/envelope/"
+
+// DefaultMessageLimit mirrors the ~10 MB ceiling of the paper's XML parser.
+const DefaultMessageLimit = 10 << 20
+
+// Fault is a SOAP fault, used both on the wire and as a Go error.
+type Fault struct {
+	XMLName xml.Name `xml:"http://schemas.xmlsoap.org/soap/envelope/ Fault"`
+	Code    string   `xml:"faultcode"`
+	String  string   `xml:"faultstring"`
+	Detail  string   `xml:"detail,omitempty"`
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("soap fault %s: %s", f.Code, f.String)
+}
+
+// ErrMessageTooLarge reports a message that exceeded the configured limit,
+// standing in for the paper's parser running out of memory.
+type ErrMessageTooLarge struct {
+	Size, Limit int64
+}
+
+// Error implements the error interface.
+func (e *ErrMessageTooLarge) Error() string {
+	return fmt.Sprintf("soap: message of %d bytes exceeds the XML parser limit of %d bytes", e.Size, e.Limit)
+}
+
+// envelope is the encode-side wire structure.
+type envelope struct {
+	XMLName xml.Name   `xml:"soap:Envelope"`
+	NS      string     `xml:"xmlns:soap,attr"`
+	Body    bodyEncode `xml:"soap:Body"`
+}
+
+type bodyEncode struct {
+	Payload interface{}
+}
+
+// decodeEnvelope is the decode-side wire structure; the body is captured
+// raw so the payload type can be chosen after fault inspection.
+type decodeEnvelope struct {
+	XMLName xml.Name `xml:"Envelope"`
+	Body    struct {
+		Inner []byte `xml:",innerxml"`
+	} `xml:"Body"`
+}
+
+// Marshal wraps a payload in a SOAP envelope.
+func Marshal(payload interface{}) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(xml.Header)
+	env := envelope{NS: EnvelopeNS, Body: bodyEncode{Payload: payload}}
+	if err := xml.NewEncoder(&buf).Encode(env); err != nil {
+		return nil, fmt.Errorf("soap: marshal: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal extracts the body payload of a SOAP envelope into out. If the
+// body carries a fault, it is returned as a *Fault error. out may be nil
+// for empty responses.
+func Unmarshal(data []byte, out interface{}) error {
+	var env decodeEnvelope
+	if err := xml.Unmarshal(data, &env); err != nil {
+		return fmt.Errorf("soap: bad envelope: %w", err)
+	}
+	inner := bytes.TrimSpace(env.Body.Inner)
+	if isFault(inner) {
+		var f Fault
+		if err := xml.Unmarshal(inner, &f); err != nil {
+			return fmt.Errorf("soap: bad fault: %w", err)
+		}
+		return &f
+	}
+	if out == nil || len(inner) == 0 {
+		return nil
+	}
+	if err := xml.Unmarshal(inner, out); err != nil {
+		return fmt.Errorf("soap: bad body: %w", err)
+	}
+	return nil
+}
+
+// isFault sniffs whether the body's first element is a SOAP fault.
+func isFault(inner []byte) bool {
+	dec := xml.NewDecoder(bytes.NewReader(inner))
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return false
+		}
+		if se, ok := tok.(xml.StartElement); ok {
+			return se.Name.Local == "Fault"
+		}
+	}
+}
+
+// Handler processes one SOAP operation: it decodes its typed request from
+// the raw body XML and returns a payload to ship back (or an error, which
+// becomes a fault).
+type Handler func(r *Request) (interface{}, error)
+
+// Request carries the decoded-envelope body and HTTP metadata to handlers.
+type Request struct {
+	// Action is the SOAPAction header value, unquoted.
+	Action string
+	// RemoteAddr is the caller's address as reported by HTTP.
+	RemoteAddr string
+	body       []byte
+}
+
+// Decode unmarshals the request payload into the given struct.
+func (r *Request) Decode(into interface{}) error {
+	if err := xml.Unmarshal(r.body, into); err != nil {
+		return fmt.Errorf("soap: decode request for %q: %w", r.Action, err)
+	}
+	return nil
+}
+
+// Server dispatches SOAP calls to handlers by SOAPAction. It implements
+// http.Handler. The zero value is usable.
+type Server struct {
+	// MessageLimit bounds accepted request sizes; 0 means
+	// DefaultMessageLimit, negative means unlimited.
+	MessageLimit int64
+	// WSDL, if non-empty, is served for GET requests with a ?wsdl query.
+	WSDL string
+
+	mu       sync.RWMutex
+	handlers map[string]Handler
+}
+
+// NewServer returns a server with the default message limit.
+func NewServer() *Server {
+	return &Server{handlers: map[string]Handler{}}
+}
+
+// Handle registers a handler for a SOAPAction.
+func (s *Server) Handle(action string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.handlers == nil {
+		s.handlers = map[string]Handler{}
+	}
+	s.handlers[action] = h
+}
+
+// Actions returns the registered SOAPAction names, unsorted.
+func (s *Server) Actions() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.handlers))
+	for a := range s.handlers {
+		out = append(out, a)
+	}
+	return out
+}
+
+func (s *Server) limit() int64 {
+	switch {
+	case s.MessageLimit == 0:
+		return DefaultMessageLimit
+	case s.MessageLimit < 0:
+		return 1 << 62
+	default:
+		return s.MessageLimit
+	}
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet {
+		if s.WSDL != "" && r.URL.RawQuery == "wsdl" {
+			w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+			io.WriteString(w, s.WSDL)
+			return
+		}
+		http.Error(w, "soap endpoint: POST with SOAPAction required", http.StatusMethodNotAllowed)
+		return
+	}
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	action := strings.Trim(r.Header.Get("SOAPAction"), `"`)
+	s.mu.RLock()
+	h, ok := s.handlers[action]
+	s.mu.RUnlock()
+	if !ok {
+		s.writeFault(w, &Fault{Code: "soap:Client", String: fmt.Sprintf("unknown SOAPAction %q", action)})
+		return
+	}
+
+	limit := s.limit()
+	data, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
+	if err != nil {
+		s.writeFault(w, &Fault{Code: "soap:Server", String: "read error: " + err.Error()})
+		return
+	}
+	if int64(len(data)) > limit {
+		// The paper's parser died here; surface it as a distinguishable
+		// server fault.
+		tooBig := &ErrMessageTooLarge{Size: int64(len(data)), Limit: limit}
+		s.writeFault(w, &Fault{Code: "soap:Server", String: tooBig.Error(), Detail: "MessageTooLarge"})
+		return
+	}
+
+	var env decodeEnvelope
+	if err := xml.Unmarshal(data, &env); err != nil {
+		s.writeFault(w, &Fault{Code: "soap:Client", String: "bad envelope: " + err.Error()})
+		return
+	}
+	resp, err := h(&Request{Action: action, RemoteAddr: r.RemoteAddr, body: bytes.TrimSpace(env.Body.Inner)})
+	if err != nil {
+		if f, ok := err.(*Fault); ok {
+			s.writeFault(w, f)
+			return
+		}
+		s.writeFault(w, &Fault{Code: "soap:Server", String: err.Error()})
+		return
+	}
+	out, err := Marshal(resp)
+	if err != nil {
+		s.writeFault(w, &Fault{Code: "soap:Server", String: "marshal response: " + err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	w.Write(out)
+}
+
+func (s *Server) writeFault(w http.ResponseWriter, f *Fault) {
+	out, err := Marshal(f)
+	if err != nil {
+		http.Error(w, f.String, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	w.WriteHeader(http.StatusInternalServerError)
+	w.Write(out)
+}
+
+// Client issues SOAP calls.
+type Client struct {
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// MessageLimit bounds response sizes the client will parse; 0 means
+	// DefaultMessageLimit, negative means unlimited.
+	MessageLimit int64
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) limit() int64 {
+	switch {
+	case c.MessageLimit == 0:
+		return DefaultMessageLimit
+	case c.MessageLimit < 0:
+		return 1 << 62
+	default:
+		return c.MessageLimit
+	}
+}
+
+// Call POSTs req as a SOAP envelope to url with the given SOAPAction and
+// decodes the response payload into resp (which may be nil). SOAP faults
+// come back as *Fault errors; oversized requests or responses come back as
+// *ErrMessageTooLarge.
+func (c *Client) Call(url, action string, req, resp interface{}) error {
+	payload, err := Marshal(req)
+	if err != nil {
+		return err
+	}
+	if int64(len(payload)) > c.limit() {
+		// The sender's own serializer refuses, like the paper's workaround
+		// logic did before chunking was added.
+		return &ErrMessageTooLarge{Size: int64(len(payload)), Limit: c.limit()}
+	}
+	httpReq, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("soap: %w", err)
+	}
+	httpReq.Header.Set("Content-Type", "text/xml; charset=utf-8")
+	httpReq.Header.Set("SOAPAction", `"`+action+`"`)
+	httpResp, err := c.httpClient().Do(httpReq)
+	if err != nil {
+		return fmt.Errorf("soap: call %s %s: %w", url, action, err)
+	}
+	defer httpResp.Body.Close()
+	limit := c.limit()
+	data, err := io.ReadAll(io.LimitReader(httpResp.Body, limit+1))
+	if err != nil {
+		return fmt.Errorf("soap: read response: %w", err)
+	}
+	if int64(len(data)) > limit {
+		return &ErrMessageTooLarge{Size: int64(len(data)), Limit: limit}
+	}
+	return Unmarshal(data, resp)
+}
+
+// Go issues Call on a new goroutine and delivers the error on the returned
+// channel: the "asynchronous SOAP messages" of §5.3 used for fanning out
+// performance queries.
+func (c *Client) Go(url, action string, req, resp interface{}) <-chan error {
+	ch := make(chan error, 1)
+	go func() { ch <- c.Call(url, action, req, resp) }()
+	return ch
+}

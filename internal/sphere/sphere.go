@@ -1,0 +1,255 @@
+// Package sphere provides the spherical-geometry primitives used throughout
+// SkyQuery: equatorial coordinates (right ascension and declination, in
+// degrees), unit vectors on the celestial sphere, angular separations, and
+// circular regions ("caps") such as the ones named by the AREA clause of a
+// cross-match query.
+//
+// Astronomical positions in the paper are points on the unit sphere. All
+// trigonometry is done on unit vectors because the cross-match accumulator
+// (see internal/xmatch) is defined in Cartesian terms.
+package sphere
+
+import (
+	"fmt"
+	"math"
+)
+
+const (
+	// DegPerRad converts radians to degrees.
+	DegPerRad = 180 / math.Pi
+	// RadPerDeg converts degrees to radians.
+	RadPerDeg = math.Pi / 180
+	// ArcsecPerDeg is the number of arc seconds in one degree.
+	ArcsecPerDeg = 3600
+)
+
+// Arcsec converts an angle in arc seconds to degrees.
+func Arcsec(a float64) float64 { return a / ArcsecPerDeg }
+
+// ToArcsec converts an angle in degrees to arc seconds.
+func ToArcsec(deg float64) float64 { return deg * ArcsecPerDeg }
+
+// Vec is a point on (or vector in) the celestial sphere in Cartesian
+// coordinates. Positions are unit vectors; intermediate sums (such as
+// cross-match accumulators) need not be.
+type Vec struct {
+	X, Y, Z float64
+}
+
+// FromRaDec converts equatorial coordinates in degrees to a unit vector.
+// RA is measured in [0, 360), Dec in [-90, +90].
+func FromRaDec(ra, dec float64) Vec {
+	raR := ra * RadPerDeg
+	decR := dec * RadPerDeg
+	cd := math.Cos(decR)
+	return Vec{
+		X: math.Cos(raR) * cd,
+		Y: math.Sin(raR) * cd,
+		Z: math.Sin(decR),
+	}
+}
+
+// RaDec converts a vector back to equatorial coordinates in degrees.
+// RA is normalized to [0, 360). The vector need not be normalized.
+func (v Vec) RaDec() (ra, dec float64) {
+	n := v.Norm()
+	if n == 0 {
+		return 0, 0
+	}
+	dec = math.Asin(v.Z/n) * DegPerRad
+	ra = math.Atan2(v.Y, v.X) * DegPerRad
+	if ra < 0 {
+		ra += 360
+	}
+	return ra, dec
+}
+
+// Add returns v + w.
+func (v Vec) Add(w Vec) Vec { return Vec{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec) Sub(w Vec) Vec { return Vec{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns v scaled by s.
+func (v Vec) Scale(s float64) Vec { return Vec{v.X * s, v.Y * s, v.Z * s} }
+
+// Dot returns the dot product of v and w.
+func (v Vec) Dot(w Vec) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v × w.
+func (v Vec) Cross(w Vec) Vec {
+	return Vec{
+		X: v.Y*w.Z - v.Z*w.Y,
+		Y: v.Z*w.X - v.X*w.Z,
+		Z: v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vec) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Normalize returns v scaled to unit length. The zero vector is returned
+// unchanged.
+func (v Vec) Normalize() Vec {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Sep returns the angular separation between two unit vectors in degrees.
+// It uses the atan2 formulation, which is numerically stable for both very
+// small and near-antipodal separations (acos of a dot product loses all
+// precision below ~1e-8 rad, far coarser than survey astrometry).
+func (v Vec) Sep(w Vec) float64 {
+	cross := v.Cross(w).Norm()
+	dot := v.Dot(w)
+	return math.Atan2(cross, dot) * DegPerRad
+}
+
+// String implements fmt.Stringer.
+func (v Vec) String() string {
+	return fmt.Sprintf("(%.9g, %.9g, %.9g)", v.X, v.Y, v.Z)
+}
+
+// Region is a subset of the sky that can report membership. The AREA clause
+// of a cross-match query names a Region; the paper uses circles and lists
+// arbitrary polygons as an extension (§6), so both are provided.
+type Region interface {
+	// Contains reports whether the unit vector v lies inside the region.
+	Contains(v Vec) bool
+	// Bounding returns a cap that encloses the region, used by spatial
+	// indexes to prune the search.
+	Bounding() Cap
+}
+
+// Cap is a circular region of the sky: all points within Radius degrees of
+// Center. It is the region named by AREA(ra, dec, radiusArcsec) — note the
+// paper's example passes the radius in arc seconds; parsing converts.
+type Cap struct {
+	Center Vec     // unit vector of the center
+	Radius float64 // angular radius in degrees
+	// cosRadius caches cos(Radius) for containment tests.
+	cosRadius float64
+}
+
+// NewCap returns a cap centered at (ra, dec) degrees with the given angular
+// radius in degrees.
+func NewCap(ra, dec, radiusDeg float64) Cap {
+	return CapAround(FromRaDec(ra, dec), radiusDeg)
+}
+
+// CapAround returns a cap around the given unit vector with the given
+// angular radius in degrees.
+func CapAround(center Vec, radiusDeg float64) Cap {
+	return Cap{
+		Center:    center.Normalize(),
+		Radius:    radiusDeg,
+		cosRadius: math.Cos(radiusDeg * RadPerDeg),
+	}
+}
+
+// Contains reports whether v lies inside the cap.
+func (c Cap) Contains(v Vec) bool {
+	if c.Radius >= 180 {
+		// The full sphere; the dot-product test would reject exactly
+		// antipodal points due to rounding below -1.
+		return true
+	}
+	// Direct dot-product comparison: v·center >= cos(radius).
+	return c.Center.Dot(v) >= c.cosThreshold()
+}
+
+func (c Cap) cosThreshold() float64 {
+	if c.cosRadius == 0 && c.Radius != 90 {
+		// Zero value or hand-constructed Cap: compute on the fly.
+		return math.Cos(c.Radius * RadPerDeg)
+	}
+	return c.cosRadius
+}
+
+// Bounding returns the cap itself.
+func (c Cap) Bounding() Cap { return c }
+
+// Expand returns a cap with the radius grown by extraDeg degrees, clamped
+// to the full sphere. Cross-match range searches expand the query cap by a
+// few σ so that objects whose measured position scattered just outside the
+// AREA are still considered.
+func (c Cap) Expand(extraDeg float64) Cap {
+	r := c.Radius + extraDeg
+	if r > 180 {
+		r = 180
+	}
+	return CapAround(c.Center, r)
+}
+
+// String implements fmt.Stringer.
+func (c Cap) String() string {
+	ra, dec := c.Center.RaDec()
+	return fmt.Sprintf("AREA(%.6g, %.6g, %.6g\")", ra, dec, ToArcsec(c.Radius))
+}
+
+// Polygon is a convex spherical polygon given by its vertices in
+// counter-clockwise order as seen from outside the sphere. It implements
+// the "arbitrary polygon AREA" extension the paper lists as future work.
+type Polygon struct {
+	Vertices []Vec
+	// edges caches the inward-pointing edge normals.
+	edges []Vec
+}
+
+// NewPolygon builds a convex polygon from vertices given as (ra, dec)
+// pairs in degrees, in counter-clockwise order. It returns an error if
+// fewer than three vertices are supplied or the polygon is not convex.
+func NewPolygon(raDec ...[2]float64) (*Polygon, error) {
+	if len(raDec) < 3 {
+		return nil, fmt.Errorf("sphere: polygon needs at least 3 vertices, got %d", len(raDec))
+	}
+	p := &Polygon{}
+	for _, rd := range raDec {
+		p.Vertices = append(p.Vertices, FromRaDec(rd[0], rd[1]))
+	}
+	n := len(p.Vertices)
+	p.edges = make([]Vec, n)
+	for i := range p.Vertices {
+		a, b := p.Vertices[i], p.Vertices[(i+1)%n]
+		p.edges[i] = a.Cross(b).Normalize()
+	}
+	// Convexity: every vertex must be on the inner side of every edge.
+	for _, v := range p.Vertices {
+		for _, e := range p.edges {
+			if e.Dot(v) < -1e-12 {
+				return nil, fmt.Errorf("sphere: polygon is not convex (or vertices not counter-clockwise)")
+			}
+		}
+	}
+	return p, nil
+}
+
+// Contains reports whether v lies inside the polygon.
+func (p *Polygon) Contains(v Vec) bool {
+	for _, e := range p.edges {
+		if e.Dot(v) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Bounding returns a cap that encloses the polygon: centered at the
+// normalized vertex centroid with radius reaching the farthest vertex.
+func (p *Polygon) Bounding() Cap {
+	var sum Vec
+	for _, v := range p.Vertices {
+		sum = sum.Add(v)
+	}
+	center := sum.Normalize()
+	var maxSep float64
+	for _, v := range p.Vertices {
+		if s := center.Sep(v); s > maxSep {
+			maxSep = s
+		}
+	}
+	return CapAround(center, maxSep)
+}

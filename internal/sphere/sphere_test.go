@@ -1,0 +1,307 @@
+package sphere
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestFromRaDecCardinalPoints(t *testing.T) {
+	cases := []struct {
+		ra, dec float64
+		want    Vec
+	}{
+		{0, 0, Vec{1, 0, 0}},
+		{90, 0, Vec{0, 1, 0}},
+		{180, 0, Vec{-1, 0, 0}},
+		{270, 0, Vec{0, -1, 0}},
+		{0, 90, Vec{0, 0, 1}},
+		{0, -90, Vec{0, 0, -1}},
+	}
+	for _, c := range cases {
+		got := FromRaDec(c.ra, c.dec)
+		if !almostEq(got.X, c.want.X, 1e-15) || !almostEq(got.Y, c.want.Y, 1e-15) || !almostEq(got.Z, c.want.Z, 1e-15) {
+			t.Errorf("FromRaDec(%v,%v) = %v, want %v", c.ra, c.dec, got, c.want)
+		}
+	}
+}
+
+func TestRaDecRoundTrip(t *testing.T) {
+	f := func(ra, dec float64) bool {
+		ra = math.Mod(math.Abs(ra), 360)
+		dec = math.Mod(dec, 89) // avoid the poles where RA is degenerate
+		v := FromRaDec(ra, dec)
+		ra2, dec2 := v.RaDec()
+		return almostEq(ra, ra2, 1e-9) && almostEq(dec, dec2, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRaDecZeroVector(t *testing.T) {
+	ra, dec := (Vec{}).RaDec()
+	if ra != 0 || dec != 0 {
+		t.Errorf("zero vector RaDec = (%v,%v), want (0,0)", ra, dec)
+	}
+}
+
+func TestUnitNorm(t *testing.T) {
+	f := func(ra, dec float64) bool {
+		ra = math.Mod(ra, 360)
+		dec = math.Mod(dec, 90)
+		return almostEq(FromRaDec(ra, dec).Norm(), 1, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSepKnownAngles(t *testing.T) {
+	cases := []struct {
+		a, b Vec
+		want float64
+	}{
+		{FromRaDec(0, 0), FromRaDec(90, 0), 90},
+		{FromRaDec(0, 0), FromRaDec(180, 0), 180},
+		{FromRaDec(0, 0), FromRaDec(0, 0), 0},
+		{FromRaDec(10, 20), FromRaDec(10, 21), 1},
+		{FromRaDec(0, 90), FromRaDec(0, -90), 180},
+	}
+	for _, c := range cases {
+		if got := c.a.Sep(c.b); !almostEq(got, c.want, 1e-9) {
+			t.Errorf("Sep(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSepSmallAngleStability(t *testing.T) {
+	// One milliarcsecond separation must survive the math; acos-based
+	// formulations lose it entirely.
+	const mas = 1.0 / 3600 / 1000
+	a := FromRaDec(185, -0.5)
+	b := FromRaDec(185, -0.5+mas)
+	got := a.Sep(b)
+	if !almostEq(got, mas, mas*1e-6) {
+		t.Errorf("Sep at 1 mas = %v, want %v", got, mas)
+	}
+}
+
+func TestSepSymmetry(t *testing.T) {
+	f := func(ra1, dec1, ra2, dec2 float64) bool {
+		a := FromRaDec(math.Mod(ra1, 360), math.Mod(dec1, 90))
+		b := FromRaDec(math.Mod(ra2, 360), math.Mod(dec2, 90))
+		return almostEq(a.Sep(b), b.Sep(a), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSepTriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		a := randUnit(rng)
+		b := randUnit(rng)
+		c := randUnit(rng)
+		if a.Sep(c) > a.Sep(b)+b.Sep(c)+1e-9 {
+			t.Fatalf("triangle inequality violated: %v %v %v", a, b, c)
+		}
+	}
+}
+
+func randUnit(rng *rand.Rand) Vec {
+	// Marsaglia method for a uniform point on the sphere.
+	for {
+		x := 2*rng.Float64() - 1
+		y := 2*rng.Float64() - 1
+		s := x*x + y*y
+		if s >= 1 {
+			continue
+		}
+		f := 2 * math.Sqrt(1-s)
+		return Vec{x * f, y * f, 1 - 2*s}
+	}
+}
+
+func TestCapContains(t *testing.T) {
+	c := NewCap(185.0, -0.5, Arcsec(4.5))
+	if !c.Contains(FromRaDec(185.0, -0.5)) {
+		t.Error("cap does not contain its own center")
+	}
+	inside := FromRaDec(185.0, -0.5+Arcsec(4.0))
+	if !c.Contains(inside) {
+		t.Error("point 4 arcsec from center should be inside a 4.5 arcsec cap")
+	}
+	outside := FromRaDec(185.0, -0.5+Arcsec(5.0))
+	if c.Contains(outside) {
+		t.Error("point 5 arcsec from center should be outside a 4.5 arcsec cap")
+	}
+}
+
+func TestCapContainsMatchesSep(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := NewCap(40, 10, 3)
+	for i := 0; i < 2000; i++ {
+		v := randUnit(rng)
+		sep := c.Center.Sep(v)
+		if math.Abs(sep-c.Radius) < 1e-9 {
+			continue // boundary: either answer acceptable
+		}
+		if got, want := c.Contains(v), sep < c.Radius; got != want {
+			t.Fatalf("Contains=%v but sep=%v vs radius=%v", got, sep, c.Radius)
+		}
+	}
+}
+
+func TestCapZeroValueContains(t *testing.T) {
+	// A zero-value cap (radius 0) contains only its center direction.
+	var c Cap
+	c.Center = Vec{1, 0, 0}
+	if !c.Contains(Vec{1, 0, 0}) {
+		t.Error("zero-radius cap should contain its center")
+	}
+	if c.Contains(Vec{0, 1, 0}) {
+		t.Error("zero-radius cap should not contain a perpendicular point")
+	}
+}
+
+func TestCapExpand(t *testing.T) {
+	c := NewCap(10, 10, 1)
+	e := c.Expand(0.5)
+	if !almostEq(e.Radius, 1.5, 1e-12) {
+		t.Errorf("expanded radius = %v, want 1.5", e.Radius)
+	}
+	full := c.Expand(400)
+	if full.Radius != 180 {
+		t.Errorf("expansion should clamp at 180, got %v", full.Radius)
+	}
+	if !full.Contains(FromRaDec(190, -10)) {
+		t.Error("full-sphere cap should contain everything")
+	}
+}
+
+func TestCapString(t *testing.T) {
+	s := NewCap(185, -0.5, Arcsec(4.5)).String()
+	if s == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestVectorAlgebra(t *testing.T) {
+	a := Vec{1, 2, 3}
+	b := Vec{4, 5, 6}
+	if got := a.Add(b); got != (Vec{5, 7, 9}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (Vec{-3, -3, -3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != (Vec{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 32 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Cross(b); got != (Vec{-3, 6, -3}) {
+		t.Errorf("Cross = %v", got)
+	}
+}
+
+func TestCrossOrthogonality(t *testing.T) {
+	f := func(x1, y1, z1, x2, y2, z2 float64) bool {
+		a := Vec{x1, y1, z1}
+		b := Vec{x2, y2, z2}
+		c := a.Cross(b)
+		scale := a.Norm() * b.Norm()
+		if scale == 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
+			return true
+		}
+		return math.Abs(c.Dot(a))/scale < 1e-9*(1+c.Norm()) && math.Abs(c.Dot(b))/scale < 1e-9*(1+c.Norm())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := Vec{3, 4, 0}.Normalize()
+	if !almostEq(v.Norm(), 1, 1e-12) {
+		t.Errorf("normalized norm = %v", v.Norm())
+	}
+	z := Vec{}.Normalize()
+	if z != (Vec{}) {
+		t.Errorf("normalizing zero vector changed it: %v", z)
+	}
+}
+
+func TestArcsecConversions(t *testing.T) {
+	if got := Arcsec(3600); got != 1 {
+		t.Errorf("Arcsec(3600) = %v, want 1", got)
+	}
+	if got := ToArcsec(1); got != 3600 {
+		t.Errorf("ToArcsec(1) = %v, want 3600", got)
+	}
+	f := func(a float64) bool { return almostEq(ToArcsec(Arcsec(a)), a, math.Abs(a)*1e-12) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolygonContains(t *testing.T) {
+	// A small square around (10, 10), counter-clockwise.
+	p, err := NewPolygon([2]float64{9, 9}, [2]float64{11, 9}, [2]float64{11, 11}, [2]float64{9, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Contains(FromRaDec(10, 10)) {
+		t.Error("polygon should contain its center")
+	}
+	if p.Contains(FromRaDec(20, 10)) {
+		t.Error("polygon should not contain a far point")
+	}
+	if p.Contains(FromRaDec(10, -10)) {
+		t.Error("polygon should not contain the mirror point")
+	}
+}
+
+func TestPolygonErrors(t *testing.T) {
+	if _, err := NewPolygon([2]float64{0, 0}, [2]float64{1, 0}); err == nil {
+		t.Error("expected error for 2-vertex polygon")
+	}
+	// Clockwise (i.e. inverted) square must be rejected.
+	if _, err := NewPolygon([2]float64{9, 11}, [2]float64{11, 11}, [2]float64{11, 9}, [2]float64{9, 9}); err == nil {
+		t.Error("expected error for clockwise polygon")
+	}
+}
+
+func TestPolygonBounding(t *testing.T) {
+	p, err := NewPolygon([2]float64{9, 9}, [2]float64{11, 9}, [2]float64{11, 11}, [2]float64{9, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := p.Bounding()
+	for _, v := range p.Vertices {
+		if !b.Expand(1e-9).Contains(v) {
+			t.Errorf("bounding cap misses vertex %v", v)
+		}
+	}
+	// Every point inside the polygon must be inside the bounding cap.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		ra := 8 + 4*rng.Float64()
+		dec := 8 + 4*rng.Float64()
+		v := FromRaDec(ra, dec)
+		if p.Contains(v) && !b.Expand(1e-9).Contains(v) {
+			t.Fatalf("point %v inside polygon but outside bounding cap", v)
+		}
+	}
+}
+
+func TestRegionInterface(t *testing.T) {
+	var _ Region = Cap{}
+	var _ Region = (*Polygon)(nil)
+}

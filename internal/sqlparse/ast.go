@@ -1,0 +1,461 @@
+package sqlparse
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Query is a parsed cross-match (or plain) query.
+type Query struct {
+	// Count is true for SELECT COUNT(*) queries (the Portal's
+	// "performance queries" are of this form).
+	Count bool
+	// Select lists the projected items; empty when Count is true.
+	Select []SelectItem
+	// From lists the archive-qualified tables.
+	From []TableRef
+	// Area is the AREA clause, if present.
+	Area *AreaClause
+	// XMatch is the XMATCH clause, if present.
+	XMatch *XMatchClause
+	// Where holds the remaining (non-spatial) predicate as a single
+	// expression, or nil. AREA and XMATCH have already been stripped out.
+	Where Expr
+	// OrderBy sorts the result before TOP is applied.
+	OrderBy []OrderItem
+	// Top limits the result to the first N tuples when > 0.
+	Top int
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// SelectItem is one projected expression with an optional alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// TableRef names a table inside a federated archive, e.g. SDSS:PhotoObject O.
+type TableRef struct {
+	Archive string // empty for unqualified (single local database) queries
+	Table   string
+	Alias   string // defaults to the table name
+}
+
+// Name returns the alias if set, else the table name.
+func (t TableRef) Name() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// AreaClause is the sky range of a query. The paper's form is
+// AREA(ra, dec, radiusArcsec) — a circle centered at (ra, dec) degrees
+// with the radius in arc seconds. The polygon extension the paper lists
+// as future work (§6) is AREA(ra1, dec1, ra2, dec2, ra3, dec3, ...):
+// at least three (ra, dec) vertex pairs in degrees, counter-clockwise,
+// forming a convex spherical polygon. Vertices is nil for circles.
+type AreaClause struct {
+	RA, Dec      float64
+	RadiusArcsec float64
+	// Vertices holds the polygon corners as (ra, dec) degree pairs; nil
+	// means the circular form.
+	Vertices [][2]float64
+}
+
+// IsPolygon reports whether the clause uses the polygon extension.
+func (a *AreaClause) IsPolygon() bool { return len(a.Vertices) > 0 }
+
+// String renders the clause in dialect syntax.
+func (a *AreaClause) String() string {
+	if a.IsPolygon() {
+		var sb strings.Builder
+		sb.WriteString("AREA(")
+		for i, v := range a.Vertices {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "%s, %s", formatFloat(v[0]), formatFloat(v[1]))
+		}
+		sb.WriteString(")")
+		return sb.String()
+	}
+	return fmt.Sprintf("AREA(%s, %s, %s)",
+		formatFloat(a.RA), formatFloat(a.Dec), formatFloat(a.RadiusArcsec))
+}
+
+// XMatchArchive is one entry of an XMATCH clause: an alias, possibly
+// negated ("!P") to mark a drop-out archive.
+type XMatchArchive struct {
+	Alias   string
+	DropOut bool
+}
+
+// XMatchClause is XMATCH(a, b, !c) < t: the tuple of archives joined
+// probabilistically, and the threshold in units of standard deviations.
+type XMatchClause struct {
+	Archives  []XMatchArchive
+	Threshold float64
+}
+
+// Mandatory returns the aliases of the non-drop-out archives in clause order.
+func (x *XMatchClause) Mandatory() []string {
+	var out []string
+	for _, a := range x.Archives {
+		if !a.DropOut {
+			out = append(out, a.Alias)
+		}
+	}
+	return out
+}
+
+// DropOuts returns the aliases of the drop-out archives in clause order.
+func (x *XMatchClause) DropOuts() []string {
+	var out []string
+	for _, a := range x.Archives {
+		if a.DropOut {
+			out = append(out, a.Alias)
+		}
+	}
+	return out
+}
+
+// Expr is a node of an expression tree.
+type Expr interface {
+	fmt.Stringer
+	// exprNode restricts implementations to this package.
+	exprNode()
+}
+
+// BinaryExpr is a binary operation: arithmetic, comparison, AND/OR, LIKE.
+type BinaryExpr struct {
+	Op   string // "+", "-", "*", "/", "%", "=", "<>", "<", "<=", ">", ">=", "AND", "OR", "LIKE"
+	L, R Expr
+}
+
+// UnaryExpr is NOT x or -x.
+type UnaryExpr struct {
+	Op string // "NOT" or "-"
+	X  Expr
+}
+
+// ColumnRef references table.column (Table may be empty in single-table
+// contexts).
+type ColumnRef struct {
+	Table  string
+	Column string
+}
+
+// NumberLit is a numeric literal.
+type NumberLit struct {
+	Value float64
+	// Text preserves the source spelling for faithful round-tripping.
+	Text string
+}
+
+// StringLit is a string literal.
+type StringLit struct{ Value string }
+
+// BoolLit is TRUE or FALSE.
+type BoolLit struct{ Value bool }
+
+// NullLit is NULL.
+type NullLit struct{}
+
+// FuncCall is a function application, e.g. ABS(x). COUNT(*) is represented
+// at the Query level, not as a FuncCall.
+type FuncCall struct {
+	Name string
+	Args []Expr
+}
+
+// IsNull is "x IS NULL" (Negated: IS NOT NULL).
+type IsNull struct {
+	X       Expr
+	Negated bool
+}
+
+// InList is "x IN (a, b, c)" (Negated: NOT IN).
+type InList struct {
+	X       Expr
+	List    []Expr
+	Negated bool
+}
+
+// Between is "x BETWEEN lo AND hi" (Negated: NOT BETWEEN).
+type Between struct {
+	X, Lo, Hi Expr
+	Negated   bool
+}
+
+// Star is the "*" projection (only valid in select lists).
+type Star struct{}
+
+func (*BinaryExpr) exprNode() {}
+func (*UnaryExpr) exprNode()  {}
+func (*ColumnRef) exprNode()  {}
+func (*NumberLit) exprNode()  {}
+func (*StringLit) exprNode()  {}
+func (*BoolLit) exprNode()    {}
+func (*NullLit) exprNode()    {}
+func (*FuncCall) exprNode()   {}
+func (*IsNull) exprNode()     {}
+func (*InList) exprNode()     {}
+func (*Between) exprNode()    {}
+func (*Star) exprNode()       {}
+
+func (e *BinaryExpr) String() string {
+	switch e.Op {
+	case "AND", "OR", "LIKE":
+		return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R)
+	default:
+		return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R)
+	}
+}
+
+func (e *UnaryExpr) String() string {
+	if e.Op == "NOT" {
+		return fmt.Sprintf("(NOT %s)", e.X)
+	}
+	return fmt.Sprintf("(%s%s)", e.Op, e.X)
+}
+
+func (e *ColumnRef) String() string {
+	if e.Table == "" {
+		return e.Column
+	}
+	return e.Table + "." + e.Column
+}
+
+func (e *NumberLit) String() string {
+	if e.Text != "" {
+		return e.Text
+	}
+	return strconv.FormatFloat(e.Value, 'g', -1, 64)
+}
+
+func (e *StringLit) String() string {
+	return "'" + strings.ReplaceAll(e.Value, "'", "''") + "'"
+}
+
+func (e *BoolLit) String() string {
+	if e.Value {
+		return "TRUE"
+	}
+	return "FALSE"
+}
+
+func (*NullLit) String() string { return "NULL" }
+
+func (e *FuncCall) String() string {
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", e.Name, strings.Join(args, ", "))
+}
+
+func (e *IsNull) String() string {
+	if e.Negated {
+		return fmt.Sprintf("(%s IS NOT NULL)", e.X)
+	}
+	return fmt.Sprintf("(%s IS NULL)", e.X)
+}
+
+func (e *InList) String() string {
+	items := make([]string, len(e.List))
+	for i, a := range e.List {
+		items[i] = a.String()
+	}
+	not := ""
+	if e.Negated {
+		not = "NOT "
+	}
+	return fmt.Sprintf("(%s %sIN (%s))", e.X, not, strings.Join(items, ", "))
+}
+
+func (e *Between) String() string {
+	not := ""
+	if e.Negated {
+		not = "NOT "
+	}
+	return fmt.Sprintf("(%s %sBETWEEN %s AND %s)", e.X, not, e.Lo, e.Hi)
+}
+
+func (*Star) String() string { return "*" }
+
+// String renders the query back into dialect syntax. Parsing the result
+// yields an equivalent query (tested as a fixpoint).
+func (q *Query) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if q.Top > 0 {
+		fmt.Fprintf(&sb, "TOP %d ", q.Top)
+	}
+	if q.Count {
+		sb.WriteString("COUNT(*)")
+	} else {
+		for i, s := range q.Select {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(s.Expr.String())
+			if s.Alias != "" {
+				sb.WriteString(" AS " + s.Alias)
+			}
+		}
+	}
+	sb.WriteString(" FROM ")
+	for i, t := range q.From {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		if t.Archive != "" {
+			sb.WriteString(t.Archive + ":")
+		}
+		sb.WriteString(t.Table)
+		if t.Alias != "" {
+			sb.WriteString(" " + t.Alias)
+		}
+	}
+	var conds []string
+	if q.Area != nil {
+		conds = append(conds, q.Area.String())
+	}
+	if q.XMatch != nil {
+		var names []string
+		for _, a := range q.XMatch.Archives {
+			if a.DropOut {
+				names = append(names, "!"+a.Alias)
+			} else {
+				names = append(names, a.Alias)
+			}
+		}
+		conds = append(conds, fmt.Sprintf("XMATCH(%s) < %s",
+			strings.Join(names, ", "), formatFloat(q.XMatch.Threshold)))
+	}
+	if q.Where != nil {
+		conds = append(conds, q.Where.String())
+	}
+	if len(conds) > 0 {
+		sb.WriteString(" WHERE " + strings.Join(conds, " AND "))
+	}
+	if len(q.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY ")
+		for i, o := range q.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(o.Expr.String())
+			if o.Desc {
+				sb.WriteString(" DESC")
+			}
+		}
+	}
+	return sb.String()
+}
+
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// Walk calls fn for every node of the expression tree rooted at e,
+// parents before children. It tolerates nil expressions.
+func Walk(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch n := e.(type) {
+	case *BinaryExpr:
+		Walk(n.L, fn)
+		Walk(n.R, fn)
+	case *UnaryExpr:
+		Walk(n.X, fn)
+	case *FuncCall:
+		for _, a := range n.Args {
+			Walk(a, fn)
+		}
+	case *IsNull:
+		Walk(n.X, fn)
+	case *InList:
+		Walk(n.X, fn)
+		for _, a := range n.List {
+			Walk(a, fn)
+		}
+	case *Between:
+		Walk(n.X, fn)
+		Walk(n.Lo, fn)
+		Walk(n.Hi, fn)
+	}
+}
+
+// Tables returns the sorted set of table qualifiers referenced by the
+// expression. An empty qualifier (bare column) is reported as "".
+func Tables(e Expr) []string {
+	set := map[string]bool{}
+	Walk(e, func(n Expr) {
+		if c, ok := n.(*ColumnRef); ok {
+			set[c.Table] = true
+		}
+	})
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Columns returns the sorted distinct column references in the expression.
+func Columns(e Expr) []ColumnRef {
+	set := map[ColumnRef]bool{}
+	Walk(e, func(n Expr) {
+		if c, ok := n.(*ColumnRef); ok {
+			set[*c] = true
+		}
+	})
+	out := make([]ColumnRef, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Table != out[j].Table {
+			return out[i].Table < out[j].Table
+		}
+		return out[i].Column < out[j].Column
+	})
+	return out
+}
+
+// SplitConjuncts flattens a tree of AND nodes into its conjuncts.
+func SplitConjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*BinaryExpr); ok && b.Op == "AND" {
+		return append(SplitConjuncts(b.L), SplitConjuncts(b.R)...)
+	}
+	return []Expr{e}
+}
+
+// Conjoin joins expressions with AND; nil for an empty list.
+func Conjoin(es []Expr) Expr {
+	var out Expr
+	for _, e := range es {
+		if e == nil {
+			continue
+		}
+		if out == nil {
+			out = e
+		} else {
+			out = &BinaryExpr{Op: "AND", L: out, R: e}
+		}
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+package sqlparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Decomposition is the Portal-side split of a cross-match query (§5.3):
+// which predicate runs where, and which columns each archive must ship
+// along the daisy chain.
+type Decomposition struct {
+	// Local maps an alias to the conjunction of predicates that reference
+	// only that alias (nil if none). These run entirely at that SkyNode,
+	// both in its performance query and in its chain step.
+	Local map[string]Expr
+	// Cross lists predicates referencing two or more aliases. Each is
+	// evaluated at the chain step where its last referenced alias becomes
+	// available.
+	Cross []CrossPredicate
+}
+
+// CrossPredicate is a predicate spanning archives.
+type CrossPredicate struct {
+	Expr    Expr
+	Aliases []string // sorted aliases referenced
+}
+
+// Validate checks a federated query for semantic errors: unknown aliases,
+// duplicate aliases, missing XMATCH archives, bare columns.
+func Validate(q *Query) error {
+	aliases := map[string]bool{}
+	for _, t := range q.From {
+		name := t.Name()
+		if aliases[name] {
+			return fmt.Errorf("sqlparse: duplicate table alias %q", name)
+		}
+		aliases[name] = true
+	}
+	if q.XMatch != nil {
+		seen := map[string]bool{}
+		mandatory := 0
+		for _, a := range q.XMatch.Archives {
+			if !aliases[a.Alias] {
+				return fmt.Errorf("sqlparse: XMATCH references unknown alias %q", a.Alias)
+			}
+			if seen[a.Alias] {
+				return fmt.Errorf("sqlparse: XMATCH lists alias %q twice", a.Alias)
+			}
+			seen[a.Alias] = true
+			if !a.DropOut {
+				mandatory++
+			}
+		}
+		if mandatory == 0 {
+			return fmt.Errorf("sqlparse: XMATCH needs at least one mandatory (non drop-out) archive")
+		}
+	}
+	check := func(e Expr, where string) error {
+		var err error
+		Walk(e, func(n Expr) {
+			if err != nil {
+				return
+			}
+			if c, ok := n.(*ColumnRef); ok {
+				if c.Table == "" {
+					if len(q.From) == 1 {
+						return // unambiguous single-table query
+					}
+					err = fmt.Errorf("sqlparse: column %q in %s must be qualified with a table alias", c.Column, where)
+					return
+				}
+				if !aliases[c.Table] {
+					err = fmt.Errorf("sqlparse: %s references unknown alias %q", where, c.Table)
+				}
+			}
+		})
+		return err
+	}
+	for _, s := range q.Select {
+		if _, ok := s.Expr.(*Star); ok {
+			continue
+		}
+		if err := check(s.Expr, "select list"); err != nil {
+			return err
+		}
+	}
+	if err := check(q.Where, "WHERE clause"); err != nil {
+		return err
+	}
+	for _, o := range q.OrderBy {
+		if err := check(o.Expr, "ORDER BY"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decompose splits the residual WHERE clause into per-archive local
+// predicates and cross-archive predicates. Validate should have succeeded
+// first.
+func Decompose(q *Query) Decomposition {
+	d := Decomposition{Local: map[string]Expr{}}
+	var local = map[string][]Expr{}
+	for _, c := range SplitConjuncts(q.Where) {
+		tables := Tables(c)
+		// An unqualified column in a single-table query belongs to that table.
+		if len(tables) == 1 && tables[0] == "" && len(q.From) == 1 {
+			tables[0] = q.From[0].Name()
+		}
+		switch len(tables) {
+		case 0:
+			// A constant predicate; attach it to the first archive so it is
+			// still enforced (cheaply, once).
+			if len(q.From) > 0 {
+				name := q.From[0].Name()
+				local[name] = append(local[name], c)
+			}
+		case 1:
+			local[tables[0]] = append(local[tables[0]], c)
+		default:
+			d.Cross = append(d.Cross, CrossPredicate{Expr: c, Aliases: tables})
+		}
+	}
+	for alias, preds := range local {
+		d.Local[alias] = Conjoin(preds)
+	}
+	return d
+}
+
+// SelectColumnsFor returns the sorted distinct columns of the given alias
+// used anywhere in the select list or ORDER BY keys.
+func SelectColumnsFor(q *Query, alias string) []string {
+	set := map[string]bool{}
+	collect := func(e Expr) {
+		Walk(e, func(n Expr) {
+			if c, ok := n.(*ColumnRef); ok && c.Table == alias {
+				set[c.Column] = true
+			}
+		})
+	}
+	for _, s := range q.Select {
+		collect(s.Expr)
+	}
+	for _, o := range q.OrderBy {
+		collect(o.Expr)
+	}
+	return sortedKeys(set)
+}
+
+// ColumnsFor returns the sorted distinct columns of the given alias that
+// the archive must ship: select-list columns plus columns used by
+// cross-archive predicates.
+func (d Decomposition) ColumnsFor(q *Query, alias string) []string {
+	set := map[string]bool{}
+	for _, c := range SelectColumnsFor(q, alias) {
+		set[c] = true
+	}
+	for _, cp := range d.Cross {
+		Walk(cp.Expr, func(n Expr) {
+			if c, ok := n.(*ColumnRef); ok && c.Table == alias {
+				set[c.Column] = true
+			}
+		})
+	}
+	return sortedKeys(set)
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CrossPredicatesReadyAt returns the cross predicates whose referenced
+// aliases are all contained in the available set — i.e. the predicates that
+// can be evaluated once `alias` joins the chain, given the aliases seen so
+// far (available must already include alias).
+func (d Decomposition) CrossPredicatesReadyAt(alias string, available map[string]bool) []Expr {
+	var out []Expr
+	for _, cp := range d.Cross {
+		uses := false
+		ready := true
+		for _, a := range cp.Aliases {
+			if a == alias {
+				uses = true
+			}
+			if !available[a] {
+				ready = false
+			}
+		}
+		if uses && ready {
+			out = append(out, cp.Expr)
+		}
+	}
+	return out
+}

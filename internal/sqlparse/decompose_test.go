@@ -1,0 +1,157 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Query {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestValidateOK(t *testing.T) {
+	q := mustParse(t, paperQuery)
+	if err := Validate(q); err != nil {
+		t.Errorf("paper query should validate: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		{`SELECT a.x FROM A:T a, B:T a WHERE a.x = 1`, "duplicate table alias"},
+		{`SELECT a.x FROM A:T a WHERE XMATCH(z) < 2`, "unknown alias"},
+		{`SELECT a.x FROM A:T a, B:T b WHERE XMATCH(a, a) < 2`, "twice"},
+		{`SELECT a.x FROM A:T a, B:T b WHERE XMATCH(!a, !b) < 2`, "at least one mandatory"},
+		{`SELECT z.x FROM A:T a, B:T b`, "unknown alias"},
+		{`SELECT x FROM A:T a, B:T b`, "must be qualified"},
+		{`SELECT a.x FROM A:T a, B:T b WHERE z.q = 1`, "unknown alias"},
+		{`SELECT a.x FROM A:T a, B:T b WHERE q = 1`, "must be qualified"},
+	}
+	for _, c := range cases {
+		q, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.src, err)
+		}
+		err = Validate(q)
+		if err == nil {
+			t.Errorf("Validate(%q) succeeded, want error with %q", c.src, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Validate(%q) error = %q, want substring %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestDecomposePaperQuery(t *testing.T) {
+	q := mustParse(t, paperQuery)
+	d := Decompose(q)
+	// O.type = 'GALAXY' is local to O.
+	oLocal, ok := d.Local["O"]
+	if !ok || oLocal == nil {
+		t.Fatal("expected local predicate for O")
+	}
+	if tabs := Tables(oLocal); len(tabs) != 1 || tabs[0] != "O" {
+		t.Errorf("O local predicate references %v", tabs)
+	}
+	if _, ok := d.Local["T"]; ok {
+		t.Error("T should have no local predicate")
+	}
+	// (O.i_flux - T.i_flux) > 2 is a cross predicate on O and T.
+	if len(d.Cross) != 1 {
+		t.Fatalf("cross predicates = %d, want 1", len(d.Cross))
+	}
+	if a := d.Cross[0].Aliases; len(a) != 2 || a[0] != "O" || a[1] != "T" {
+		t.Errorf("cross aliases = %v", a)
+	}
+}
+
+func TestDecomposeConstantPredicate(t *testing.T) {
+	q := mustParse(t, `SELECT a.x FROM A:T a, B:T b WHERE 1 = 1 AND a.x > 0`)
+	d := Decompose(q)
+	// The constant conjunct attaches to the first archive.
+	if d.Local["a"] == nil {
+		t.Fatal("expected predicates on a")
+	}
+	if got := len(SplitConjuncts(d.Local["a"])); got != 2 {
+		t.Errorf("a conjuncts = %d, want 2 (constant + local)", got)
+	}
+}
+
+func TestDecomposeUnqualifiedSingleTable(t *testing.T) {
+	q := mustParse(t, `SELECT id FROM T WHERE flux > 3`)
+	d := Decompose(q)
+	if d.Local["T"] == nil {
+		t.Error("unqualified predicate should be local to the only table")
+	}
+}
+
+func TestColumnsFor(t *testing.T) {
+	q := mustParse(t, paperQuery)
+	d := Decompose(q)
+	oCols := d.ColumnsFor(q, "O")
+	// Select list: object_id, right_ascension; cross predicate: i_flux.
+	want := []string{"i_flux", "object_id", "right_ascension"}
+	if len(oCols) != len(want) {
+		t.Fatalf("ColumnsFor(O) = %v, want %v", oCols, want)
+	}
+	for i := range want {
+		if oCols[i] != want[i] {
+			t.Errorf("ColumnsFor(O)[%d] = %q, want %q", i, oCols[i], want[i])
+		}
+	}
+	tCols := d.ColumnsFor(q, "T")
+	wantT := []string{"i_flux", "object_id"}
+	if len(tCols) != len(wantT) {
+		t.Fatalf("ColumnsFor(T) = %v, want %v", tCols, wantT)
+	}
+	// P contributes nothing to the select list and no cross predicates.
+	if pCols := d.ColumnsFor(q, "P"); len(pCols) != 0 {
+		t.Errorf("ColumnsFor(P) = %v, want empty", pCols)
+	}
+}
+
+func TestSelectColumnsFor(t *testing.T) {
+	q := mustParse(t, `SELECT a.x + a.y AS s, b.z FROM A:T a, B:T b`)
+	if got := SelectColumnsFor(q, "a"); len(got) != 2 || got[0] != "x" || got[1] != "y" {
+		t.Errorf("SelectColumnsFor(a) = %v", got)
+	}
+	if got := SelectColumnsFor(q, "b"); len(got) != 1 || got[0] != "z" {
+		t.Errorf("SelectColumnsFor(b) = %v", got)
+	}
+}
+
+func TestCrossPredicatesReadyAt(t *testing.T) {
+	q := mustParse(t, `SELECT a.x FROM A:T a, B:T b, C:T c
+		WHERE XMATCH(a, b, c) < 3 AND a.x - b.x > 1 AND b.y - c.y > 2`)
+	d := Decompose(q)
+	if len(d.Cross) != 2 {
+		t.Fatalf("cross = %d", len(d.Cross))
+	}
+	// After only a: nothing ready.
+	if got := d.CrossPredicatesReadyAt("a", map[string]bool{"a": true}); len(got) != 0 {
+		t.Errorf("ready at a = %v", got)
+	}
+	// b joins after a: the a-b predicate fires at b.
+	got := d.CrossPredicatesReadyAt("b", map[string]bool{"a": true, "b": true})
+	if len(got) != 1 {
+		t.Fatalf("ready at b = %d exprs", len(got))
+	}
+	// c joins last: the b-c predicate fires at c.
+	got = d.CrossPredicatesReadyAt("c", map[string]bool{"a": true, "b": true, "c": true})
+	if len(got) != 1 {
+		t.Fatalf("ready at c = %d exprs", len(got))
+	}
+	// Chain in reverse order: at a (last), only the a-b predicate fires.
+	got = d.CrossPredicatesReadyAt("a", map[string]bool{"a": true, "b": true, "c": true})
+	if len(got) != 1 {
+		t.Fatalf("ready at a (all available) = %d exprs", len(got))
+	}
+}

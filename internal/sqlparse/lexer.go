@@ -1,0 +1,167 @@
+// Package sqlparse implements the SkyQuery SQL dialect: standard
+// single-block SELECT syntax extended with the two spatial clauses the
+// paper introduces in §5.2 — AREA (a circular sky range) and XMATCH (a
+// probabilistic spatial join across archives, with "!" marking drop-out
+// archives). Tables are qualified by archive, SDSS:PhotoObject style.
+//
+// The package also performs the query decomposition the Portal needs
+// (§5.3): splitting the WHERE clause into per-archive local predicates,
+// cross-archive predicates, and the two spatial clauses.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokKeyword
+	tokOp    // operators and punctuation: + - * / % = <> != < <= > >= ( ) , . : !
+	tokError // lexer error; text holds the message
+)
+
+// token is a single lexical token with its position for error messages.
+type token struct {
+	kind tokenKind
+	text string
+	pos  int // byte offset in the input
+}
+
+// keywords of the dialect, all matched case-insensitively.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true,
+	"AND": true, "OR": true, "NOT": true,
+	"AS": true, "NULL": true, "TRUE": true, "FALSE": true,
+	"LIKE": true, "IN": true, "IS": true, "BETWEEN": true,
+	"AREA": true, "XMATCH": true, "COUNT": true, "TOP": true,
+	"ORDER": true, "BY": true, "ASC": true, "DESC": true, "REGION": true,
+}
+
+// lexer produces tokens from an input string.
+type lexer struct {
+	input string
+	pos   int
+}
+
+func newLexer(input string) *lexer { return &lexer{input: input} }
+
+func (l *lexer) errorf(pos int, format string, args ...interface{}) token {
+	return token{kind: tokError, text: fmt.Sprintf(format, args...), pos: pos}
+}
+
+// next returns the next token.
+func (l *lexer) next() token {
+	// Skip whitespace and comments.
+	for l.pos < len(l.input) {
+		c := l.input[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.input) && l.input[l.pos+1] == '-':
+			// -- line comment
+			for l.pos < len(l.input) && l.input[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+scan:
+	if l.pos >= len(l.input) {
+		return token{kind: tokEOF, pos: l.pos}
+	}
+	start := l.pos
+	c := l.input[l.pos]
+	switch {
+	case isIdentStart(rune(c)):
+		for l.pos < len(l.input) && isIdentPart(rune(l.input[l.pos])) {
+			l.pos++
+		}
+		text := l.input[start:l.pos]
+		if keywords[strings.ToUpper(text)] {
+			return token{kind: tokKeyword, text: strings.ToUpper(text), pos: start}
+		}
+		return token{kind: tokIdent, text: text, pos: start}
+
+	case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.input) && l.input[l.pos+1] >= '0' && l.input[l.pos+1] <= '9':
+		seenDot := false
+		seenExp := false
+		for l.pos < len(l.input) {
+			d := l.input[l.pos]
+			switch {
+			case d >= '0' && d <= '9':
+				l.pos++
+			case d == '.' && !seenDot && !seenExp:
+				seenDot = true
+				l.pos++
+			case (d == 'e' || d == 'E') && !seenExp && l.pos+1 < len(l.input) &&
+				(isDigit(l.input[l.pos+1]) || ((l.input[l.pos+1] == '+' || l.input[l.pos+1] == '-') && l.pos+2 < len(l.input) && isDigit(l.input[l.pos+2]))):
+				seenExp = true
+				l.pos++
+				if l.input[l.pos] == '+' || l.input[l.pos] == '-' {
+					l.pos++
+				}
+			default:
+				goto doneNum
+			}
+		}
+	doneNum:
+		return token{kind: tokNumber, text: l.input[start:l.pos], pos: start}
+
+	case c == '\'':
+		l.pos++
+		var sb strings.Builder
+		for l.pos < len(l.input) {
+			if l.input[l.pos] == '\'' {
+				// '' escapes a quote, SQL style.
+				if l.pos+1 < len(l.input) && l.input[l.pos+1] == '\'' {
+					sb.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return token{kind: tokString, text: sb.String(), pos: start}
+			}
+			sb.WriteByte(l.input[l.pos])
+			l.pos++
+		}
+		return l.errorf(start, "unterminated string literal")
+
+	default:
+		// Multi-character operators first.
+		two := ""
+		if l.pos+1 < len(l.input) {
+			two = l.input[l.pos : l.pos+2]
+		}
+		switch two {
+		case "<>", "!=", "<=", ">=":
+			l.pos += 2
+			return token{kind: tokOp, text: two, pos: start}
+		}
+		switch c {
+		case '+', '-', '*', '/', '%', '=', '<', '>', '(', ')', ',', '.', ':', '!':
+			l.pos++
+			return token{kind: tokOp, text: string(c), pos: start}
+		}
+		l.pos++
+		return l.errorf(start, "unexpected character %q", c)
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func isDigit(b byte) bool { return b >= '0' && b <= '9' }

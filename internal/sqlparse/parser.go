@@ -1,0 +1,683 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ParseError describes a syntax error with its byte offset in the query.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("sqlparse: at offset %d: %s", e.Pos, e.Msg)
+}
+
+// Parse parses a query in the SkyQuery dialect.
+func Parse(input string) (*Query, error) {
+	p := &parser{lex: newLexer(input)}
+	p.advance()
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errf("unexpected %q after end of query", p.tok.text)
+	}
+	return q, nil
+}
+
+// ParseExpr parses a standalone expression (used for filters in tests and
+// for local predicates shipped inside execution plans).
+func ParseExpr(input string) (Expr, error) {
+	p := &parser{lex: newLexer(input)}
+	p.advance()
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errf("unexpected %q after end of expression", p.tok.text)
+	}
+	return e, nil
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) advance() {
+	p.tok = p.lex.next()
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return &ParseError{Pos: p.tok.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// expectKeyword consumes the given keyword or fails.
+func (p *parser) expectKeyword(kw string) error {
+	if p.tok.kind != tokKeyword || p.tok.text != kw {
+		return p.errf("expected %s, got %q", kw, p.tok.text)
+	}
+	p.advance()
+	return nil
+}
+
+// expectOp consumes the given operator or fails.
+func (p *parser) expectOp(op string) error {
+	if p.tok.kind != tokOp || p.tok.text != op {
+		return p.errf("expected %q, got %q", op, p.tok.text)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	return p.tok.kind == tokKeyword && p.tok.text == kw
+}
+
+func (p *parser) atOp(op string) bool {
+	return p.tok.kind == tokOp && p.tok.text == op
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if p.tok.kind == tokError {
+		return nil, p.errf("%s", p.tok.text)
+	}
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	if p.atKeyword("TOP") {
+		p.advance()
+		if p.tok.kind != tokNumber {
+			return nil, p.errf("expected number after TOP")
+		}
+		n, err := strconv.Atoi(p.tok.text)
+		if err != nil || n <= 0 {
+			return nil, p.errf("invalid TOP count %q", p.tok.text)
+		}
+		q.Top = n
+		p.advance()
+	}
+	if p.atKeyword("COUNT") {
+		p.advance()
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("*"); err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		q.Count = true
+	} else {
+		for {
+			item, err := p.parseSelectItem()
+			if err != nil {
+				return nil, err
+			}
+			q.Select = append(q.Select, item)
+			if !p.atOp(",") {
+				break
+			}
+			p.advance()
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		t, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		q.From = append(q.From, t)
+		if !p.atOp(",") {
+			break
+		}
+		p.advance()
+	}
+	if p.atKeyword("WHERE") {
+		p.advance()
+		where, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := extractSpatial(q, where); err != nil {
+			return nil, err
+		}
+	}
+	if p.atKeyword("ORDER") {
+		p.advance()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			switch {
+			case p.atKeyword("ASC"):
+				p.advance()
+			case p.atKeyword("DESC"):
+				item.Desc = true
+				p.advance()
+			}
+			q.OrderBy = append(q.OrderBy, item)
+			if !p.atOp(",") {
+				break
+			}
+			p.advance()
+		}
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.atOp("*") {
+		p.advance()
+		return SelectItem{Expr: &Star{}}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.atKeyword("AS") {
+		p.advance()
+		if p.tok.kind != tokIdent {
+			return SelectItem{}, p.errf("expected identifier after AS")
+		}
+		item.Alias = p.tok.text
+		p.advance()
+	} else if p.tok.kind == tokIdent {
+		item.Alias = p.tok.text
+		p.advance()
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	if p.tok.kind != tokIdent {
+		return TableRef{}, p.errf("expected table name, got %q", p.tok.text)
+	}
+	t := TableRef{Table: p.tok.text}
+	p.advance()
+	if p.atOp(":") {
+		p.advance()
+		if p.tok.kind != tokIdent {
+			return TableRef{}, p.errf("expected table name after %q:", t.Table)
+		}
+		t.Archive = t.Table
+		t.Table = p.tok.text
+		p.advance()
+	}
+	if p.tok.kind == tokIdent {
+		t.Alias = p.tok.text
+		p.advance()
+	} else if p.atKeyword("AS") {
+		p.advance()
+		if p.tok.kind != tokIdent {
+			return TableRef{}, p.errf("expected alias after AS")
+		}
+		t.Alias = p.tok.text
+		p.advance()
+	}
+	return t, nil
+}
+
+// Expression grammar, loosest to tightest binding:
+// OR, AND, NOT, comparison/IS/IN/BETWEEN/LIKE, +-, */%, unary -, primary.
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("OR") {
+		p.advance()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("AND") {
+		p.advance()
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.atKeyword("NOT") {
+		p.advance()
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", X: x}, nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *parser) parsePredicate() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	// Optional NOT before IN / BETWEEN / LIKE.
+	negated := false
+	if p.atKeyword("NOT") {
+		negated = true
+		p.advance()
+		switch {
+		case p.atKeyword("IN"), p.atKeyword("BETWEEN"), p.atKeyword("LIKE"):
+		default:
+			return nil, p.errf("expected IN, BETWEEN or LIKE after NOT")
+		}
+	}
+	switch {
+	case p.tok.kind == tokOp && isCompareOp(p.tok.text):
+		op := p.tok.text
+		if op == "!=" {
+			op = "<>"
+		}
+		p.advance()
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Op: op, L: l, R: r}, nil
+
+	case p.atKeyword("IS"):
+		p.advance()
+		neg := false
+		if p.atKeyword("NOT") {
+			neg = true
+			p.advance()
+		}
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNull{X: l, Negated: neg}, nil
+
+	case p.atKeyword("IN"):
+		p.advance()
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var list []Expr
+		for {
+			e, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.atOp(",") {
+				break
+			}
+			p.advance()
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &InList{X: l, List: list, Negated: negated}, nil
+
+	case p.atKeyword("BETWEEN"):
+		p.advance()
+		lo, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &Between{X: l, Lo: lo, Hi: hi, Negated: negated}, nil
+
+	case p.atKeyword("LIKE"):
+		p.advance()
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		like := Expr(&BinaryExpr{Op: "LIKE", L: l, R: r})
+		if negated {
+			like = &UnaryExpr{Op: "NOT", X: like}
+		}
+		return like, nil
+	}
+	if negated {
+		return nil, p.errf("dangling NOT")
+	}
+	return l, nil
+}
+
+func isCompareOp(op string) bool {
+	switch op {
+	case "=", "<>", "!=", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.atOp("+") || p.atOp("-") {
+		op := p.tok.text
+		p.advance()
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.atOp("*") || p.atOp("/") || p.atOp("%") {
+		op := p.tok.text
+		p.advance()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.atOp("-") {
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", X: x}, nil
+	}
+	if p.atOp("+") {
+		p.advance()
+		return p.parseUnary()
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	switch {
+	case p.tok.kind == tokError:
+		return nil, p.errf("%s", p.tok.text)
+
+	case p.tok.kind == tokNumber:
+		v, err := strconv.ParseFloat(p.tok.text, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", p.tok.text)
+		}
+		e := &NumberLit{Value: v, Text: p.tok.text}
+		p.advance()
+		return e, nil
+
+	case p.tok.kind == tokString:
+		e := &StringLit{Value: p.tok.text}
+		p.advance()
+		return e, nil
+
+	case p.atKeyword("TRUE"):
+		p.advance()
+		return &BoolLit{Value: true}, nil
+
+	case p.atKeyword("FALSE"):
+		p.advance()
+		return &BoolLit{Value: false}, nil
+
+	case p.atKeyword("NULL"):
+		p.advance()
+		return &NullLit{}, nil
+
+	case p.atKeyword("AREA"):
+		return p.parseAreaCall()
+
+	case p.atKeyword("XMATCH"):
+		return p.parseXMatchCall()
+
+	case p.tok.kind == tokIdent:
+		name := p.tok.text
+		p.advance()
+		if p.atOp("(") {
+			p.advance()
+			var args []Expr
+			if !p.atOp(")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if !p.atOp(",") {
+						break
+					}
+					p.advance()
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &FuncCall{Name: name, Args: args}, nil
+		}
+		if p.atOp(".") {
+			p.advance()
+			if p.tok.kind != tokIdent {
+				return nil, p.errf("expected column after %q.", name)
+			}
+			col := p.tok.text
+			p.advance()
+			return &ColumnRef{Table: name, Column: col}, nil
+		}
+		return &ColumnRef{Column: name}, nil
+
+	case p.atOp("("):
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errf("unexpected %q", p.tok.text)
+}
+
+// areaExpr and xmatchExpr are transient markers produced while parsing a
+// WHERE clause; extractSpatial hoists them into Query.Area / Query.XMatch
+// and rejects them anywhere but as top-level conjuncts.
+type areaExpr struct{ clause AreaClause }
+
+type xmatchExpr struct{ clause XMatchClause }
+
+func (*areaExpr) exprNode()   {}
+func (*xmatchExpr) exprNode() {}
+
+func (a *areaExpr) String() string { return a.clause.String() }
+
+func (x *xmatchExpr) String() string {
+	s := "XMATCH("
+	for i, a := range x.clause.Archives {
+		if i > 0 {
+			s += ", "
+		}
+		if a.DropOut {
+			s += "!"
+		}
+		s += a.Alias
+	}
+	return s + ")"
+}
+
+func (p *parser) parseAreaCall() (Expr, error) {
+	p.advance() // AREA
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	var vals []float64
+	for {
+		if len(vals) > 0 {
+			if !p.atOp(",") {
+				break
+			}
+			p.advance()
+		}
+		neg := false
+		if p.atOp("-") {
+			neg = true
+			p.advance()
+		}
+		if p.tok.kind != tokNumber {
+			return nil, p.errf("AREA expects numeric arguments, got %q", p.tok.text)
+		}
+		v, err := strconv.ParseFloat(p.tok.text, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", p.tok.text)
+		}
+		if neg {
+			v = -v
+		}
+		vals = append(vals, v)
+		p.advance()
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	switch {
+	case len(vals) == 3:
+		// The paper's circular form: center degrees, radius arc seconds.
+		if vals[2] <= 0 {
+			return nil, p.errf("AREA radius must be positive, got %v", vals[2])
+		}
+		return &areaExpr{clause: AreaClause{RA: vals[0], Dec: vals[1], RadiusArcsec: vals[2]}}, nil
+	case len(vals) >= 6 && len(vals)%2 == 0:
+		// The polygon extension: (ra, dec) vertex pairs.
+		clause := AreaClause{}
+		for i := 0; i < len(vals); i += 2 {
+			clause.Vertices = append(clause.Vertices, [2]float64{vals[i], vals[i+1]})
+		}
+		return &areaExpr{clause: clause}, nil
+	}
+	return nil, p.errf("AREA takes (ra, dec, radiusArcsec) or at least three (ra, dec) vertex pairs; got %d arguments", len(vals))
+}
+
+func (p *parser) parseXMatchCall() (Expr, error) {
+	p.advance() // XMATCH
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	var clause XMatchClause
+	for {
+		drop := false
+		if p.atOp("!") {
+			drop = true
+			p.advance()
+		}
+		if p.tok.kind != tokIdent {
+			return nil, p.errf("XMATCH expects archive aliases, got %q", p.tok.text)
+		}
+		clause.Archives = append(clause.Archives, XMatchArchive{Alias: p.tok.text, DropOut: drop})
+		p.advance()
+		if !p.atOp(",") {
+			break
+		}
+		p.advance()
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return &xmatchExpr{clause: clause}, nil
+}
+
+// extractSpatial pulls AREA and XMATCH out of the parsed WHERE expression.
+// They are only legal as top-level conjuncts; XMATCH must be compared
+// against a numeric threshold with < or <=.
+func extractSpatial(q *Query, where Expr) error {
+	var rest []Expr
+	for _, c := range SplitConjuncts(where) {
+		switch n := c.(type) {
+		case *areaExpr:
+			if q.Area != nil {
+				return &ParseError{Msg: "duplicate AREA clause"}
+			}
+			a := n.clause
+			q.Area = &a
+			continue
+		case *xmatchExpr:
+			return &ParseError{Msg: "XMATCH must be compared to a threshold, e.g. XMATCH(O, T) < 3.5"}
+		case *BinaryExpr:
+			if x, ok := n.L.(*xmatchExpr); ok {
+				if n.Op != "<" && n.Op != "<=" {
+					return &ParseError{Msg: fmt.Sprintf("XMATCH threshold must use < or <=, got %s", n.Op)}
+				}
+				num, ok := n.R.(*NumberLit)
+				if !ok {
+					return &ParseError{Msg: "XMATCH threshold must be a number"}
+				}
+				if num.Value <= 0 {
+					return &ParseError{Msg: fmt.Sprintf("XMATCH threshold must be positive, got %v", num.Value)}
+				}
+				if q.XMatch != nil {
+					return &ParseError{Msg: "duplicate XMATCH clause"}
+				}
+				cl := x.clause
+				cl.Threshold = num.Value
+				q.XMatch = &cl
+				continue
+			}
+		}
+		// Reject spatial markers anywhere deeper in the tree.
+		var nested error
+		Walk(c, func(e Expr) {
+			switch e.(type) {
+			case *areaExpr, *xmatchExpr:
+				nested = &ParseError{Msg: "AREA/XMATCH may only appear as top-level AND conditions"}
+			}
+		})
+		if nested != nil {
+			return nested
+		}
+		rest = append(rest, c)
+	}
+	q.Where = Conjoin(rest)
+	return nil
+}

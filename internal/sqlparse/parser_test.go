@@ -1,0 +1,381 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// paperQuery is the example cross-match query from §5.2 of the paper
+// (with the OCR artifacts of the original text repaired).
+const paperQuery = `
+SELECT O.object_id, O.right_ascension, T.object_id
+FROM SDSS:Photo_Object O, TWOMASS:Photo_Primary T, FIRST:Primary_Object P
+WHERE AREA(185.0, -0.5, 4.5)
+  AND XMATCH(O, T, P) < 3.5
+  AND O.type = 'GALAXY'
+  AND (O.i_flux - T.i_flux) > 2`
+
+func TestParsePaperQuery(t *testing.T) {
+	q, err := Parse(paperQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Select) != 3 {
+		t.Errorf("select items = %d, want 3", len(q.Select))
+	}
+	if len(q.From) != 3 {
+		t.Fatalf("from tables = %d, want 3", len(q.From))
+	}
+	want := []TableRef{
+		{Archive: "SDSS", Table: "Photo_Object", Alias: "O"},
+		{Archive: "TWOMASS", Table: "Photo_Primary", Alias: "T"},
+		{Archive: "FIRST", Table: "Primary_Object", Alias: "P"},
+	}
+	for i, w := range want {
+		if q.From[i] != w {
+			t.Errorf("From[%d] = %+v, want %+v", i, q.From[i], w)
+		}
+	}
+	if q.Area == nil {
+		t.Fatal("missing AREA clause")
+	}
+	if q.Area.RA != 185.0 || q.Area.Dec != -0.5 || q.Area.RadiusArcsec != 4.5 {
+		t.Errorf("AREA = %+v", *q.Area)
+	}
+	if q.XMatch == nil {
+		t.Fatal("missing XMATCH clause")
+	}
+	if q.XMatch.Threshold != 3.5 {
+		t.Errorf("threshold = %v", q.XMatch.Threshold)
+	}
+	if len(q.XMatch.Archives) != 3 {
+		t.Fatalf("xmatch archives = %d", len(q.XMatch.Archives))
+	}
+	for _, a := range q.XMatch.Archives {
+		if a.DropOut {
+			t.Errorf("archive %s should not be a drop-out", a.Alias)
+		}
+	}
+	if q.Where == nil {
+		t.Fatal("residual WHERE should hold the two non-spatial predicates")
+	}
+	if n := len(SplitConjuncts(q.Where)); n != 2 {
+		t.Errorf("residual conjuncts = %d, want 2", n)
+	}
+}
+
+func TestParseDropOut(t *testing.T) {
+	q, err := Parse(`SELECT O.id FROM SDSS:PhotoObject O, TWOMASS:PhotoPrimary T, FIRST:PrimaryObject P
+		WHERE AREA(185.0, -0.5, 4.5) AND XMATCH(O, T, !P) < 3.5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.XMatch.DropOuts(); len(got) != 1 || got[0] != "P" {
+		t.Errorf("DropOuts = %v, want [P]", got)
+	}
+	if got := q.XMatch.Mandatory(); len(got) != 2 || got[0] != "O" || got[1] != "T" {
+		t.Errorf("Mandatory = %v, want [O T]", got)
+	}
+}
+
+func TestParseCount(t *testing.T) {
+	q, err := Parse(`SELECT count(*) FROM SDSS:Photo_Object O WHERE AREA(185.0, 0.5, 4.5) AND O.type = 'GALAXY'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Count {
+		t.Error("Count not set")
+	}
+	if q.Area == nil {
+		t.Error("missing AREA")
+	}
+	if q.Where == nil {
+		t.Error("missing residual predicate")
+	}
+}
+
+func TestParseTop(t *testing.T) {
+	q, err := Parse(`SELECT TOP 10 O.id FROM SDSS:T O`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Top != 10 {
+		t.Errorf("Top = %d", q.Top)
+	}
+}
+
+func TestParseStringFixpoint(t *testing.T) {
+	queries := []string{
+		paperQuery,
+		`SELECT a.x FROM A:T1 a, B:T2 b WHERE XMATCH(a, !b) < 2 AND AREA(10, 20, 30)`,
+		`SELECT count(*) FROM X:T u WHERE u.flux > 5 AND u.type = 'STAR'`,
+		`SELECT a.x AS y FROM A:T1 a WHERE a.x BETWEEN 1 AND 2 OR a.x IN (5, 6, 7)`,
+		`SELECT a.x FROM A:T1 a WHERE a.name LIKE 'NGC%' AND a.flag IS NOT NULL`,
+		`SELECT TOP 3 a.x FROM A:T1 a WHERE NOT (a.x > 1) AND -a.y < 2e-3`,
+		`SELECT a.x FROM A:T1 a WHERE ABS(a.x - 3) * 2 >= a.y % 4 / 2`,
+	}
+	for _, src := range queries {
+		q1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		s1 := q1.String()
+		q2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", s1, err)
+		}
+		s2 := q2.String()
+		if s1 != s2 {
+			t.Errorf("String not a fixpoint:\n first: %s\nsecond: %s", s1, s2)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		{`FROM X`, "expected SELECT"},
+		{`SELECT`, "unexpected"},
+		{`SELECT a.x`, "expected FROM"},
+		{`SELECT a.x FROM`, "expected table name"},
+		{`SELECT a.x FROM A: `, "expected table name after"},
+		{`SELECT a.x FROM A:T a WHERE`, "unexpected"},
+		{`SELECT a.x FROM A:T a WHERE AREA(1,2)`, "AREA takes"},
+		{`SELECT a.x FROM A:T a WHERE AREA(1,2,-3)`, "radius must be positive"},
+		{`SELECT a.x FROM A:T a WHERE AREA(1,2,'x')`, "numeric"},
+		{`SELECT a.x FROM A:T a WHERE XMATCH(a) > 3`, "< or <="},
+		{`SELECT a.x FROM A:T a WHERE XMATCH(a)`, "threshold"},
+		{`SELECT a.x FROM A:T a WHERE XMATCH(a) < a.x`, "must be a number"},
+		{`SELECT a.x FROM A:T a WHERE XMATCH(a) < 0`, "positive"},
+		{`SELECT a.x FROM A:T a WHERE XMATCH(a) < 2 AND XMATCH(a) < 3`, "duplicate XMATCH"},
+		{`SELECT a.x FROM A:T a WHERE AREA(1,2,3) AND AREA(1,2,3)`, "duplicate AREA"},
+		{`SELECT a.x FROM A:T a WHERE AREA(1,2,3) OR a.x = 1`, "top-level"},
+		{`SELECT a.x FROM A:T a WHERE NOT (XMATCH(a) < 3)`, "top-level"},
+		{`SELECT a.x FROM A:T a WHERE a.x = 'unterminated`, "unterminated"},
+		{`SELECT a.x FROM A:T a WHERE a.x NOT 5`, "expected IN, BETWEEN or LIKE"},
+		{`SELECT a.x FROM A:T a; DROP TABLE`, "unexpected"},
+		{`SELECT TOP 0 a.x FROM A:T a`, "invalid TOP"},
+		{`SELECT TOP x a.x FROM A:T a`, "expected number"},
+		{`SELECT a.x FROM A:T a WHERE a.x = #`, "unexpected character"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", c.src, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Parse(%q) error = %q, want substring %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestParseExprStandalone(t *testing.T) {
+	e, err := ParseExpr(`(O.i_flux - T.i_flux) > 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Tables(e); len(got) != 2 || got[0] != "O" || got[1] != "T" {
+		t.Errorf("Tables = %v", got)
+	}
+	if _, err := ParseExpr(`a.x +`); err == nil {
+		t.Error("expected error for truncated expression")
+	}
+	if _, err := ParseExpr(`a.x = 1 garbage`); err == nil {
+		t.Error("expected error for trailing tokens")
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	e, err := ParseExpr(`1 + 2 * 3 = 7 AND 2 < 3 OR FALSE`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `(((1 + (2 * 3)) = 7) AND (2 < 3)) OR FALSE`
+	if got := e.String(); got != "("+want+")" {
+		t.Errorf("precedence tree = %s", got)
+	}
+}
+
+func TestStringEscaping(t *testing.T) {
+	e, err := ParseExpr(`a.name = 'O''Neill'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := e.(*BinaryExpr)
+	if got := b.R.(*StringLit).Value; got != "O'Neill" {
+		t.Errorf("string value = %q", got)
+	}
+	// Round trip.
+	e2, err := ParseExpr(e.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.String() != e.String() {
+		t.Errorf("escape round trip: %s vs %s", e.String(), e2.String())
+	}
+}
+
+func TestComments(t *testing.T) {
+	q, err := Parse("SELECT a.x -- comment here\nFROM A:T a -- trailing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.From) != 1 {
+		t.Errorf("From = %+v", q.From)
+	}
+}
+
+func TestCaseInsensitiveKeywords(t *testing.T) {
+	q, err := Parse(`select a.x from A:T a where area(1, 2, 3) and xmatch(a) < 2.5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Area == nil || q.XMatch == nil {
+		t.Error("lower-case keywords not recognized")
+	}
+}
+
+func TestNotEqualsNormalization(t *testing.T) {
+	e, err := ParseExpr(`a.x != 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.(*BinaryExpr).Op != "<>" {
+		t.Errorf("!= should normalize to <>, got %s", e.(*BinaryExpr).Op)
+	}
+}
+
+func TestWalkAndColumns(t *testing.T) {
+	e, err := ParseExpr(`ABS(O.a + T.b) > 1 AND O.c IS NULL AND T.d IN (1, O.e) AND O.f BETWEEN 1 AND 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := Columns(e)
+	want := []ColumnRef{{"O", "a"}, {"O", "c"}, {"O", "e"}, {"O", "f"}, {"T", "b"}, {"T", "d"}}
+	if len(cols) != len(want) {
+		t.Fatalf("Columns = %v, want %v", cols, want)
+	}
+	for i := range want {
+		if cols[i] != want[i] {
+			t.Errorf("Columns[%d] = %v, want %v", i, cols[i], want[i])
+		}
+	}
+	n := 0
+	Walk(e, func(Expr) { n++ })
+	if n < 15 {
+		t.Errorf("Walk visited only %d nodes", n)
+	}
+	Walk(nil, func(Expr) { t.Error("Walk(nil) should not call fn") })
+}
+
+func TestConjoin(t *testing.T) {
+	if Conjoin(nil) != nil {
+		t.Error("Conjoin(nil) should be nil")
+	}
+	a, _ := ParseExpr(`x = 1`)
+	b, _ := ParseExpr(`y = 2`)
+	e := Conjoin([]Expr{a, nil, b})
+	if got := len(SplitConjuncts(e)); got != 2 {
+		t.Errorf("conjuncts = %d", got)
+	}
+	single := Conjoin([]Expr{a})
+	if single != a {
+		t.Error("Conjoin of one expr should be that expr")
+	}
+}
+
+func TestUnqualifiedSingleTable(t *testing.T) {
+	q, err := Parse(`SELECT id FROM T WHERE flux > 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(q); err != nil {
+		t.Errorf("single-table unqualified columns should validate: %v", err)
+	}
+	if q.From[0].Archive != "" {
+		t.Errorf("Archive = %q, want empty", q.From[0].Archive)
+	}
+}
+
+func TestParsePolygonArea(t *testing.T) {
+	q, err := Parse(`SELECT a.x FROM A:T a WHERE AREA(10, 10, 20, 10, 20, 20, 10, 20) AND XMATCH(a) < 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Area == nil || !q.Area.IsPolygon() {
+		t.Fatalf("Area = %+v", q.Area)
+	}
+	if len(q.Area.Vertices) != 4 {
+		t.Errorf("vertices = %d", len(q.Area.Vertices))
+	}
+	if q.Area.Vertices[0] != [2]float64{10, 10} || q.Area.Vertices[2] != [2]float64{20, 20} {
+		t.Errorf("vertices = %v", q.Area.Vertices)
+	}
+	// Fixpoint through String().
+	s1 := q.String()
+	q2, err := Parse(s1)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", s1, err)
+	}
+	if q2.String() != s1 {
+		t.Errorf("polygon AREA not a String fixpoint: %s vs %s", s1, q2.String())
+	}
+}
+
+func TestParsePolygonAreaNegatives(t *testing.T) {
+	q, err := Parse(`SELECT a.x FROM A:T a WHERE AREA(-10, -5, 10, -5, 10, 5, -10, 5)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Area.Vertices[0] != [2]float64{-10, -5} {
+		t.Errorf("vertices = %v", q.Area.Vertices)
+	}
+}
+
+func TestParsePolygonAreaErrors(t *testing.T) {
+	for _, src := range []string{
+		`SELECT a.x FROM A:T a WHERE AREA(1, 2, 3, 4)`,    // 2 pairs
+		`SELECT a.x FROM A:T a WHERE AREA(1, 2, 3, 4, 5)`, // odd > 3
+		`SELECT a.x FROM A:T a WHERE AREA()`,              // empty
+		`SELECT a.x FROM A:T a WHERE AREA(1)`,             // single
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseOrderBy(t *testing.T) {
+	q, err := Parse(`SELECT a.x FROM A:T a WHERE a.x > 0 ORDER BY a.y DESC, a.x, ABS(a.z) ASC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.OrderBy) != 3 {
+		t.Fatalf("order items = %d", len(q.OrderBy))
+	}
+	if !q.OrderBy[0].Desc || q.OrderBy[1].Desc || q.OrderBy[2].Desc {
+		t.Errorf("directions = %+v", q.OrderBy)
+	}
+	// Fixpoint through String().
+	s1 := q.String()
+	q2, err := Parse(s1)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", s1, err)
+	}
+	if q2.String() != s1 {
+		t.Errorf("ORDER BY not a String fixpoint: %s vs %s", s1, q2.String())
+	}
+}
+
+func TestParseOrderByErrors(t *testing.T) {
+	for _, src := range []string{
+		`SELECT a.x FROM A:T a ORDER a.x`,
+		`SELECT a.x FROM A:T a ORDER BY`,
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package storage
+
+import (
+	"fmt"
+
+	"skyquery/internal/eval"
+	"skyquery/internal/sphere"
+	"skyquery/internal/sqlparse"
+	"skyquery/internal/value"
+)
+
+// Result is the output of a query: a schema plus rows. It is the native
+// currency between the executor and the web-service layer.
+type Result struct {
+	Columns Schema
+	Rows    [][]value.Value
+}
+
+// rowEnv resolves column references against a table row. It accepts the
+// table's alias, its real name, or no qualifier at all, so both portal
+// queries ("O.type") and node-local queries ("type") evaluate.
+type rowEnv struct {
+	t     *Table
+	alias string
+	row   int
+}
+
+// Lookup implements eval.Env.
+func (e rowEnv) Lookup(table, column string) (value.Value, error) {
+	if table != "" && table != e.alias && table != e.t.name {
+		return value.Null, fmt.Errorf("storage: unknown table %q in query against %q", table, e.t.name)
+	}
+	ci := e.t.schema.Index(column)
+	if ci < 0 {
+		return value.Null, fmt.Errorf("storage: unknown column %q in table %q", column, e.t.name)
+	}
+	return e.t.cols[ci].get(e.row), nil
+}
+
+// Env returns an eval.Env bound to one row of the table, resolving
+// references qualified by alias, the table name, or nothing.
+func (t *Table) Env(alias string, row int) eval.Env {
+	return rowEnv{t: t, alias: alias, row: row}
+}
+
+// Execute runs a single-table query against the database. The query's FROM
+// clause must name exactly one table that exists here (the archive
+// qualifier, if any, is ignored: by the time a query reaches a SkyNode it
+// is local). The AREA clause, if present, restricts rows via the HTM index.
+//
+// Supported shapes are exactly what the federation needs from a component
+// database: SELECT COUNT(*) (performance queries), and projections with
+// expressions, aliases, *, and TOP.
+func (db *DB) Execute(q *sqlparse.Query) (*Result, error) {
+	if len(q.From) != 1 {
+		return nil, fmt.Errorf("storage: node queries must reference exactly one table, got %d", len(q.From))
+	}
+	if q.XMatch != nil {
+		return nil, fmt.Errorf("storage: XMATCH cannot be evaluated by a single node; it is a federated clause")
+	}
+	ref := q.From[0]
+	t, ok := db.Table(ref.Table)
+	if !ok {
+		return nil, fmt.Errorf("storage: table %q does not exist", ref.Table)
+	}
+	var region sphere.Region
+	if q.Area != nil {
+		if q.Area.IsPolygon() {
+			poly, err := sphere.NewPolygon(q.Area.Vertices...)
+			if err != nil {
+				return nil, fmt.Errorf("storage: AREA polygon: %w", err)
+			}
+			region = poly
+		} else {
+			region = sphere.NewCap(q.Area.RA, q.Area.Dec, sphere.Arcsec(q.Area.RadiusArcsec))
+		}
+	}
+	return t.Select(ref.Name(), q, region)
+}
+
+// Select evaluates the query against this table, with an optional region
+// constraint (which may also come from q.Area via DB.Execute). alias is
+// the name column references may use.
+func (t *Table) Select(alias string, q *sqlparse.Query, region sphere.Region) (*Result, error) {
+	// Pre-validate referenced columns so errors do not depend on data.
+	if err := t.checkColumns(alias, q); err != nil {
+		return nil, err
+	}
+
+	res := &Result{}
+	var projections []sqlparse.Expr
+	if q.Count {
+		res.Columns = Schema{{Name: "count", Type: value.IntType}}
+	} else {
+		for _, item := range q.Select {
+			if _, ok := item.Expr.(*sqlparse.Star); ok {
+				for _, def := range t.schema {
+					res.Columns = append(res.Columns, def)
+					projections = append(projections, &sqlparse.ColumnRef{Table: alias, Column: def.Name})
+				}
+				continue
+			}
+			name := item.Alias
+			if name == "" {
+				if cr, ok := item.Expr.(*sqlparse.ColumnRef); ok {
+					name = cr.Column
+				} else {
+					name = item.Expr.String()
+				}
+			}
+			res.Columns = append(res.Columns, ColumnDef{Name: name, Type: exprType(t, item.Expr)})
+			projections = append(projections, item.Expr)
+		}
+	}
+
+	count := int64(0)
+	var evalErr error
+	// With ORDER BY the scan cannot stop at TOP rows: all matches are
+	// collected with their sort keys, sorted, then truncated.
+	var sortKeys [][]value.Value
+	visit := func(row int) bool {
+		env := t.Env(alias, row)
+		ok, err := eval.EvalBool(q.Where, env)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		if !ok {
+			return true
+		}
+		if q.Count {
+			count++
+			return true
+		}
+		vals := make([]value.Value, len(projections))
+		for i, p := range projections {
+			v, err := eval.Eval(p, env)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			vals[i] = v
+		}
+		res.Rows = append(res.Rows, vals)
+		if len(q.OrderBy) > 0 {
+			keys := make([]value.Value, len(q.OrderBy))
+			for i, o := range q.OrderBy {
+				v, err := eval.Eval(o.Expr, env)
+				if err != nil {
+					evalErr = err
+					return false
+				}
+				keys[i] = v
+			}
+			sortKeys = append(sortKeys, keys)
+			return true
+		}
+		return q.Top == 0 || len(res.Rows) < q.Top
+	}
+
+	if region != nil && t.HasSpatial() {
+		if err := t.SearchRegion(region, visit); err != nil {
+			return nil, err
+		}
+	} else if region != nil {
+		// No index: fall back to a full scan with an explicit position test.
+		ra := t.schema.Index("ra")
+		de := t.schema.Index("dec")
+		if ra < 0 || de < 0 {
+			return nil, fmt.Errorf("storage: table %q has no spatial index and no ra/dec columns for AREA", t.name)
+		}
+		t.Scan(func(row int) bool {
+			raf, _ := t.cols[ra].get(row).AsFloat()
+			def, _ := t.cols[de].get(row).AsFloat()
+			if !region.Contains(sphere.FromRaDec(raf, def)) {
+				return true
+			}
+			return visit(row)
+		})
+	} else {
+		t.Scan(visit)
+	}
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	if q.Count {
+		res.Rows = append(res.Rows, []value.Value{value.Int(count)})
+	}
+	if len(q.OrderBy) > 0 {
+		sorted, err := eval.SortRows(res.Rows, sortKeys, q.OrderBy)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = sorted
+		if q.Top > 0 && len(res.Rows) > q.Top {
+			res.Rows = res.Rows[:q.Top]
+		}
+	}
+	return res, nil
+}
+
+// checkColumns verifies every column reference in the query resolves.
+func (t *Table) checkColumns(alias string, q *sqlparse.Query) error {
+	check := func(e sqlparse.Expr) error {
+		var err error
+		sqlparse.Walk(e, func(n sqlparse.Expr) {
+			if err != nil {
+				return
+			}
+			if c, ok := n.(*sqlparse.ColumnRef); ok {
+				if c.Table != "" && c.Table != alias && c.Table != t.name {
+					err = fmt.Errorf("storage: unknown table %q in query against %q", c.Table, t.name)
+					return
+				}
+				if t.schema.Index(c.Column) < 0 {
+					err = fmt.Errorf("storage: unknown column %q in table %q", c.Column, t.name)
+				}
+			}
+		})
+		return err
+	}
+	for _, item := range q.Select {
+		if _, ok := item.Expr.(*sqlparse.Star); ok {
+			continue
+		}
+		if err := check(item.Expr); err != nil {
+			return err
+		}
+	}
+	return check(q.Where)
+}
+
+// exprType infers a static result type for a projection, defaulting to
+// FLOAT for computed numerics. It is advisory: the dataset layer carries
+// per-cell types anyway.
+func exprType(t *Table, e sqlparse.Expr) value.Type {
+	switch n := e.(type) {
+	case *sqlparse.ColumnRef:
+		if ci := t.schema.Index(n.Column); ci >= 0 {
+			return t.schema[ci].Type
+		}
+	case *sqlparse.NumberLit:
+		return value.FloatType
+	case *sqlparse.StringLit:
+		return value.StringType
+	case *sqlparse.BoolLit:
+		return value.BoolType
+	case *sqlparse.BinaryExpr:
+		switch n.Op {
+		case "AND", "OR", "=", "<>", "<", "<=", ">", ">=", "LIKE":
+			return value.BoolType
+		}
+		return value.FloatType
+	case *sqlparse.UnaryExpr:
+		if n.Op == "NOT" {
+			return value.BoolType
+		}
+		return value.FloatType
+	case *sqlparse.IsNull, *sqlparse.InList, *sqlparse.Between:
+		return value.BoolType
+	}
+	return value.FloatType
+}
+
+// InsertResult bulk-appends the rows of a result into the table. Schemas
+// must be compatible (same arity; values are checked per cell).
+func (t *Table) InsertResult(res *Result) error {
+	if len(res.Columns) != len(t.schema) {
+		return fmt.Errorf("storage: insert arity mismatch: table %q has %d columns, result has %d",
+			t.name, len(t.schema), len(res.Columns))
+	}
+	for _, row := range res.Rows {
+		if err := t.Append(row...); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,463 @@
+// Package storage is the embedded database engine behind each SkyNode: a
+// columnar in-memory store with typed columns, predicate scans, an HTM
+// spatial index for the range searches of §5.4, temporary tables for the
+// cross-match chain (§5.3), and a small single-table SQL executor that
+// answers the Portal's performance queries.
+//
+// The paper treats component DBMSs as black boxes; this package is the
+// concrete box the reproduction ships so the federation is self-contained.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"skyquery/internal/htm"
+	"skyquery/internal/sphere"
+	"skyquery/internal/value"
+)
+
+// ColumnDef describes one column of a table.
+type ColumnDef struct {
+	Name string
+	Type value.Type
+}
+
+// Schema is an ordered list of column definitions.
+type Schema []ColumnDef
+
+// Index returns the position of the named column, or -1.
+func (s Schema) Index(name string) int {
+	for i, c := range s {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the column names in order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s))
+	for i, c := range s {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// column is typed columnar storage with per-cell null flags.
+type column interface {
+	append(v value.Value) error
+	get(i int) value.Value
+	len() int
+}
+
+type intColumn struct {
+	vals  []int64
+	nulls []bool
+}
+
+func (c *intColumn) append(v value.Value) error {
+	if v.IsNull() {
+		c.vals = append(c.vals, 0)
+		c.nulls = append(c.nulls, true)
+		return nil
+	}
+	if v.Type() != value.IntType {
+		return fmt.Errorf("storage: cannot store %v in INT column", v.Type())
+	}
+	c.vals = append(c.vals, v.AsInt())
+	c.nulls = append(c.nulls, false)
+	return nil
+}
+
+func (c *intColumn) get(i int) value.Value {
+	if c.nulls[i] {
+		return value.Null
+	}
+	return value.Int(c.vals[i])
+}
+
+func (c *intColumn) len() int { return len(c.vals) }
+
+type floatColumn struct {
+	vals  []float64
+	nulls []bool
+}
+
+func (c *floatColumn) append(v value.Value) error {
+	if v.IsNull() {
+		c.vals = append(c.vals, 0)
+		c.nulls = append(c.nulls, true)
+		return nil
+	}
+	f, ok := v.AsFloat()
+	if !ok {
+		return fmt.Errorf("storage: cannot store %v in FLOAT column", v.Type())
+	}
+	c.vals = append(c.vals, f)
+	c.nulls = append(c.nulls, false)
+	return nil
+}
+
+func (c *floatColumn) get(i int) value.Value {
+	if c.nulls[i] {
+		return value.Null
+	}
+	return value.Float(c.vals[i])
+}
+
+func (c *floatColumn) len() int { return len(c.vals) }
+
+type stringColumn struct {
+	vals  []string
+	nulls []bool
+}
+
+func (c *stringColumn) append(v value.Value) error {
+	if v.IsNull() {
+		c.vals = append(c.vals, "")
+		c.nulls = append(c.nulls, true)
+		return nil
+	}
+	if v.Type() != value.StringType {
+		return fmt.Errorf("storage: cannot store %v in STRING column", v.Type())
+	}
+	c.vals = append(c.vals, v.AsString())
+	c.nulls = append(c.nulls, false)
+	return nil
+}
+
+func (c *stringColumn) get(i int) value.Value {
+	if c.nulls[i] {
+		return value.Null
+	}
+	return value.String(c.vals[i])
+}
+
+func (c *stringColumn) len() int { return len(c.vals) }
+
+type boolColumn struct {
+	vals  []bool
+	nulls []bool
+}
+
+func (c *boolColumn) append(v value.Value) error {
+	if v.IsNull() {
+		c.vals = append(c.vals, false)
+		c.nulls = append(c.nulls, true)
+		return nil
+	}
+	if v.Type() != value.BoolType {
+		return fmt.Errorf("storage: cannot store %v in BOOL column", v.Type())
+	}
+	c.vals = append(c.vals, v.AsBool())
+	c.nulls = append(c.nulls, false)
+	return nil
+}
+
+func (c *boolColumn) get(i int) value.Value {
+	if c.nulls[i] {
+		return value.Null
+	}
+	return value.Bool(c.vals[i])
+}
+
+func (c *boolColumn) len() int { return len(c.vals) }
+
+func newColumn(t value.Type) (column, error) {
+	switch t {
+	case value.IntType:
+		return &intColumn{}, nil
+	case value.FloatType:
+		return &floatColumn{}, nil
+	case value.StringType:
+		return &stringColumn{}, nil
+	case value.BoolType:
+		return &boolColumn{}, nil
+	}
+	return nil, fmt.Errorf("storage: unsupported column type %v", t)
+}
+
+// Table is a columnar table. Concurrent readers are safe with each other;
+// Append must not run concurrently with reads of the same table. That is
+// the federation's natural pattern: survey tables are bulk-loaded once and
+// then only read, while each chain step writes to its own private
+// temporary table.
+type Table struct {
+	name   string
+	schema Schema
+
+	mu      sync.RWMutex
+	cols    []column
+	rows    int
+	spatial *spatialIndex
+}
+
+// NewTable creates a detached table (not registered in any DB).
+func NewTable(name string, schema Schema) (*Table, error) {
+	if len(schema) == 0 {
+		return nil, fmt.Errorf("storage: table %q needs at least one column", name)
+	}
+	seen := map[string]bool{}
+	t := &Table{name: name, schema: append(Schema(nil), schema...)}
+	for _, def := range schema {
+		if seen[def.Name] {
+			return nil, fmt.Errorf("storage: duplicate column %q in table %q", def.Name, name)
+		}
+		seen[def.Name] = true
+		c, err := newColumn(def.Type)
+		if err != nil {
+			return nil, err
+		}
+		t.cols = append(t.cols, c)
+	}
+	return t, nil
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns a copy of the table schema.
+func (t *Table) Schema() Schema {
+	return append(Schema(nil), t.schema...)
+}
+
+// RowCount returns the number of rows.
+func (t *Table) RowCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows
+}
+
+// Append adds one row; vals must match the schema arity and types
+// (NULL is accepted in any column).
+func (t *Table) Append(vals ...value.Value) error {
+	if len(vals) != len(t.schema) {
+		return fmt.Errorf("storage: table %q expects %d values, got %d", t.name, len(t.schema), len(vals))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, v := range vals {
+		if err := t.cols[i].append(v); err != nil {
+			// Roll back the partial row to keep columns aligned.
+			for j := 0; j < i; j++ {
+				t.truncateColumnLocked(j, t.rows)
+			}
+			return fmt.Errorf("storage: table %q column %q: %w", t.name, t.schema[i].Name, err)
+		}
+	}
+	t.rows++
+	if t.spatial != nil {
+		t.spatial.dirty = true
+	}
+	return nil
+}
+
+func (t *Table) truncateColumnLocked(i, n int) {
+	switch c := t.cols[i].(type) {
+	case *intColumn:
+		c.vals = c.vals[:n]
+		c.nulls = c.nulls[:n]
+	case *floatColumn:
+		c.vals = c.vals[:n]
+		c.nulls = c.nulls[:n]
+	case *stringColumn:
+		c.vals = c.vals[:n]
+		c.nulls = c.nulls[:n]
+	case *boolColumn:
+		c.vals = c.vals[:n]
+		c.nulls = c.nulls[:n]
+	}
+}
+
+// Value returns the cell at (row, col).
+func (t *Table) Value(row, col int) value.Value {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.cols[col].get(row)
+}
+
+// Row returns a copy of row i.
+func (t *Table) Row(i int) []value.Value {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]value.Value, len(t.cols))
+	for c := range t.cols {
+		out[c] = t.cols[c].get(i)
+	}
+	return out
+}
+
+// Scan calls fn for each row index in order until fn returns false.
+// The callback must not mutate the table.
+func (t *Table) Scan(fn func(row int) bool) {
+	t.mu.RLock()
+	n := t.rows
+	t.mu.RUnlock()
+	for i := 0; i < n; i++ {
+		if !fn(i) {
+			return
+		}
+	}
+}
+
+// SpatialConfig designates the position columns of a table and the HTM
+// leaf level at which objects are indexed.
+type SpatialConfig struct {
+	RACol, DecCol string
+	// Level is the HTM leaf level; 0 picks a sensible default (level 14,
+	// about 5.5 milli-degree trixels).
+	Level int
+}
+
+// DefaultSpatialLevel is used when SpatialConfig.Level is zero.
+const DefaultSpatialLevel = 14
+
+type spatialIndex struct {
+	cfg   SpatialConfig
+	raIdx int
+	deIdx int
+	ids   []htm.ID // per-row leaf trixel, in row order
+	order []int32  // row indices sorted by ids
+	dirty bool
+}
+
+// EnableSpatial builds an HTM index over the given position columns.
+// Subsequent appends mark the index dirty; it is rebuilt on first use.
+func (t *Table) EnableSpatial(cfg SpatialConfig) error {
+	if cfg.Level == 0 {
+		cfg.Level = DefaultSpatialLevel
+	}
+	if cfg.Level < 1 || cfg.Level > htm.MaxLevel {
+		return fmt.Errorf("storage: spatial level %d out of range", cfg.Level)
+	}
+	ra := t.schema.Index(cfg.RACol)
+	de := t.schema.Index(cfg.DecCol)
+	if ra < 0 || de < 0 {
+		return fmt.Errorf("storage: spatial columns %q/%q not in table %q", cfg.RACol, cfg.DecCol, t.name)
+	}
+	if t.schema[ra].Type != value.FloatType || t.schema[de].Type != value.FloatType {
+		return fmt.Errorf("storage: spatial columns must be FLOAT")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.spatial = &spatialIndex{cfg: cfg, raIdx: ra, deIdx: de, dirty: true}
+	t.rebuildSpatialLocked()
+	return nil
+}
+
+// HasSpatial reports whether the table has an HTM index.
+func (t *Table) HasSpatial() bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.spatial != nil
+}
+
+// SpatialLevel returns the HTM leaf level of the index, or 0.
+func (t *Table) SpatialLevel() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.spatial == nil {
+		return 0
+	}
+	return t.spatial.cfg.Level
+}
+
+func (t *Table) rebuildSpatialLocked() {
+	s := t.spatial
+	s.ids = make([]htm.ID, t.rows)
+	s.order = make([]int32, t.rows)
+	for i := 0; i < t.rows; i++ {
+		v := t.positionLocked(i)
+		s.ids[i] = htm.Lookup(v, s.cfg.Level)
+		s.order[i] = int32(i)
+	}
+	sort.Slice(s.order, func(a, b int) bool {
+		return s.ids[s.order[a]] < s.ids[s.order[b]]
+	})
+	s.dirty = false
+}
+
+func (t *Table) positionLocked(row int) sphere.Vec {
+	ra, _ := t.cols[t.spatial.raIdx].get(row).AsFloat()
+	de, _ := t.cols[t.spatial.deIdx].get(row).AsFloat()
+	return sphere.FromRaDec(ra, de)
+}
+
+// Position returns the unit vector of a row's position. It requires a
+// spatial index.
+func (t *Table) Position(row int) (sphere.Vec, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.spatial == nil {
+		return sphere.Vec{}, fmt.Errorf("storage: table %q has no spatial index", t.name)
+	}
+	return t.positionLocked(row), nil
+}
+
+// SearchCap calls fn with each row whose position lies inside the cap,
+// using the HTM index: inner cover trixels are accepted wholesale, partial
+// trixels are tested individually (§5.4). fn returning false stops the
+// search. Rows arrive in index (trixel) order, not row order.
+func (t *Table) SearchCap(c sphere.Cap, fn func(row int) bool) error {
+	t.mu.Lock()
+	if t.spatial == nil {
+		t.mu.Unlock()
+		return fmt.Errorf("storage: table %q has no spatial index", t.name)
+	}
+	if t.spatial.dirty {
+		t.rebuildSpatialLocked()
+	}
+	s := t.spatial
+	t.mu.Unlock()
+
+	// Size the cover subdivision to the cap and clamp it to the leaf level.
+	sub := htm.LevelForRadius(c.Radius)
+	if sub > s.cfg.Level {
+		sub = s.cfg.Level
+	}
+	cov := htm.CoverCap(c, sub, s.cfg.Level)
+
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	emit := func(ranges []htm.Range, test bool) bool {
+		for _, r := range ranges {
+			lo := sort.Search(len(s.order), func(i int) bool { return s.ids[s.order[i]] >= r.Lo })
+			for i := lo; i < len(s.order) && s.ids[s.order[i]] <= r.Hi; i++ {
+				row := int(s.order[i])
+				if test && !c.Contains(t.positionLocked(row)) {
+					continue
+				}
+				if !fn(row) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if !emit(cov.Inner, false) {
+		return nil
+	}
+	emit(cov.Partial, true)
+	return nil
+}
+
+// SearchRegion is SearchCap generalized to any region: candidates come
+// from the cover of the region's bounding cap and every candidate is
+// tested against the region itself.
+func (t *Table) SearchRegion(reg sphere.Region, fn func(row int) bool) error {
+	if c, ok := reg.(sphere.Cap); ok {
+		return t.SearchCap(c, fn)
+	}
+	bound := reg.Bounding()
+	return t.SearchCap(bound, func(row int) bool {
+		// SearchCap holds the read lock while invoking the callback, so
+		// the unlocked position accessor is safe here.
+		if !reg.Contains(t.positionLocked(row)) {
+			return true
+		}
+		return fn(row)
+	})
+}

@@ -1,0 +1,227 @@
+// Package survey generates the synthetic sky surveys this reproduction
+// uses in place of the paper's production archives (SDSS, 2MASS, FIRST).
+// A set of "true" astronomical bodies is drawn inside a region; each
+// archive then observes a body with probability Completeness (so
+// drop-outs occur naturally), scattering the measured position around the
+// true one with the archive's Gaussian error σ and attaching fluxes and a
+// morphological type. Everything is deterministic given the seed, so
+// experiments are repeatable and results can be checked against the known
+// ground truth.
+package survey
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"skyquery/internal/sphere"
+	"skyquery/internal/storage"
+	"skyquery/internal/value"
+	"skyquery/internal/xmatch"
+)
+
+// Body is a true astronomical object.
+type Body struct {
+	ID  int64
+	Pos sphere.Vec
+	// BaseFlux is the intrinsic brightness; archives observe it with
+	// band-dependent offsets.
+	BaseFlux float64
+	// Galaxy marks extended (vs point) sources.
+	Galaxy bool
+}
+
+// Field is a population of bodies inside a region.
+type Field struct {
+	Region sphere.Cap
+	Bodies []Body
+}
+
+// GenerateField draws n bodies uniformly inside the cap. The fraction of
+// galaxies is galaxyFrac.
+func GenerateField(region sphere.Cap, n int, galaxyFrac float64, seed int64) *Field {
+	rng := rand.New(rand.NewSource(seed))
+	f := &Field{Region: region}
+	for i := 0; i < n; i++ {
+		f.Bodies = append(f.Bodies, Body{
+			ID:       int64(i + 1),
+			Pos:      randInCap(rng, region),
+			BaseFlux: 1 + rng.ExpFloat64()*20,
+			Galaxy:   rng.Float64() < galaxyFrac,
+		})
+	}
+	return f
+}
+
+// randInCap draws a uniform point inside a cap: uniform in azimuth and in
+// cos(theta) between cos(radius) and 1 around the cap axis.
+func randInCap(rng *rand.Rand, c sphere.Cap) sphere.Vec {
+	cosR := math.Cos(c.Radius * sphere.RadPerDeg)
+	z := cosR + (1-cosR)*rng.Float64() // cos of polar angle from axis
+	phi := 2 * math.Pi * rng.Float64()
+	s := math.Sqrt(1 - z*z)
+	local := sphere.Vec{X: s * math.Cos(phi), Y: s * math.Sin(phi), Z: z}
+	return rotateToAxis(local, c.Center)
+}
+
+// rotateToAxis rotates a vector expressed around the +Z axis so that +Z
+// maps to the given axis.
+func rotateToAxis(v, axis sphere.Vec) sphere.Vec {
+	z := sphere.Vec{Z: 1}
+	a := axis.Normalize()
+	if a.Sub(z).Norm() < 1e-12 {
+		return v
+	}
+	if a.Add(z).Norm() < 1e-12 { // antipodal: flip
+		return sphere.Vec{X: v.X, Y: -v.Y, Z: -v.Z}
+	}
+	// Rodrigues rotation about k = z × a by the angle between z and a.
+	k := z.Cross(a).Normalize()
+	cos := z.Dot(a)
+	sin := z.Cross(a).Norm()
+	return v.Scale(cos).Add(k.Cross(v).Scale(sin)).Add(k.Scale(k.Dot(v) * (1 - cos)))
+}
+
+// Config describes one synthetic archive drawn over a field.
+type Config struct {
+	// Name is the archive name (e.g. "SDSS").
+	Name string
+	// SigmaArcsec is the positional error.
+	SigmaArcsec float64
+	// Completeness is the per-body detection probability in [0, 1].
+	Completeness float64
+	// FluxOffset shifts observed fluxes (different wavelength bands).
+	FluxOffset float64
+	// ExtraDensity adds this many spurious (unmatched) objects per true
+	// body, uniformly in the field: noise detections unique to the archive.
+	ExtraDensity float64
+	// Seed drives the archive's private randomness.
+	Seed int64
+	// SpatialLevel overrides the HTM leaf level (0 = default).
+	SpatialLevel int
+}
+
+// Observation is one archive row before storage.
+type Observation struct {
+	ObjectID int64 // unique within the archive
+	BodyID   int64 // 0 for spurious detections
+	Pos      sphere.Vec
+	Flux     float64
+	Galaxy   bool
+}
+
+// Archive is a generated synthetic archive.
+type Archive struct {
+	Config Config
+	Obs    []Observation
+}
+
+// Observe generates the archive's observations of a field.
+func Observe(f *Field, cfg Config) *Archive {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	a := &Archive{Config: cfg}
+	next := int64(1)
+	for _, b := range f.Bodies {
+		if rng.Float64() >= cfg.Completeness {
+			continue
+		}
+		a.Obs = append(a.Obs, Observation{
+			ObjectID: next,
+			BodyID:   b.ID,
+			Pos:      scatter(rng, b.Pos, cfg.SigmaArcsec),
+			Flux:     b.BaseFlux + cfg.FluxOffset + rng.NormFloat64()*0.1,
+			Galaxy:   b.Galaxy,
+		})
+		next++
+	}
+	extra := int(cfg.ExtraDensity * float64(len(f.Bodies)))
+	for i := 0; i < extra; i++ {
+		a.Obs = append(a.Obs, Observation{
+			ObjectID: next,
+			BodyID:   0,
+			Pos:      randInCap(rng, f.Region),
+			Flux:     1 + rng.ExpFloat64()*20 + cfg.FluxOffset,
+			Galaxy:   rng.Float64() < 0.3,
+		})
+		next++
+	}
+	return a
+}
+
+// scatter displaces a unit vector by a 2-D Gaussian with the given sigma
+// in arc seconds, isotropic on the tangent plane.
+func scatter(rng *rand.Rand, pos sphere.Vec, sigmaArcsec float64) sphere.Vec {
+	s := sphere.Arcsec(sigmaArcsec) * sphere.RadPerDeg
+	// Tangent-plane basis at pos.
+	ref := sphere.Vec{Z: 1}
+	if math.Abs(pos.Z) > 0.9 {
+		ref = sphere.Vec{X: 1}
+	}
+	e1 := pos.Cross(ref).Normalize()
+	e2 := pos.Cross(e1).Normalize()
+	dx := rng.NormFloat64() * s
+	dy := rng.NormFloat64() * s
+	return pos.Add(e1.Scale(dx)).Add(e2.Scale(dy)).Normalize()
+}
+
+// TableName is the conventional primary-table name of generated archives.
+const TableName = "PhotoObject"
+
+// Schema is the primary-table schema of generated archives.
+func Schema() storage.Schema {
+	return storage.Schema{
+		{Name: "object_id", Type: value.IntType},
+		{Name: "body_id", Type: value.IntType}, // ground truth, for verification
+		{Name: "ra", Type: value.FloatType},
+		{Name: "dec", Type: value.FloatType},
+		{Name: "flux", Type: value.FloatType},
+		{Name: "type", Type: value.StringType},
+	}
+}
+
+// BuildDB loads the archive into a fresh storage database with an HTM
+// index on the primary table.
+func (a *Archive) BuildDB() (*storage.DB, error) {
+	db := storage.NewDB()
+	t, err := db.Create(TableName, Schema())
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range a.Obs {
+		ra, dec := o.Pos.RaDec()
+		typ := "STAR"
+		if o.Galaxy {
+			typ = "GALAXY"
+		}
+		err := t.Append(
+			value.Int(o.ObjectID),
+			value.Int(o.BodyID),
+			value.Float(ra),
+			value.Float(dec),
+			value.Float(o.Flux),
+			value.String(typ),
+		)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := t.EnableSpatial(storage.SpatialConfig{RACol: "ra", DecCol: "dec", Level: a.Config.SpatialLevel}); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// ObservationSet converts the archive to the brute-force matcher's input.
+func (a *Archive) ObservationSet(dropOut bool) xmatch.ArchiveSet {
+	set := xmatch.ArchiveSet{Sigma: a.Config.SigmaArcsec, DropOut: dropOut}
+	for _, o := range a.Obs {
+		set.Obs = append(set.Obs, xmatch.Observation{Pos: o.Pos, Key: o.ObjectID})
+	}
+	return set
+}
+
+// String summarizes the archive.
+func (a *Archive) String() string {
+	return fmt.Sprintf("%s: %d observations, sigma=%.2g\", completeness=%.2f",
+		a.Config.Name, len(a.Obs), a.Config.SigmaArcsec, a.Config.Completeness)
+}

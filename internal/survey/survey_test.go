@@ -1,0 +1,195 @@
+package survey
+
+import (
+	"math"
+	"testing"
+
+	"skyquery/internal/sphere"
+)
+
+func testRegion() sphere.Cap { return sphere.NewCap(185, -0.5, 0.5) }
+
+func TestGenerateFieldDeterministic(t *testing.T) {
+	f1 := GenerateField(testRegion(), 100, 0.3, 42)
+	f2 := GenerateField(testRegion(), 100, 0.3, 42)
+	if len(f1.Bodies) != 100 || len(f2.Bodies) != 100 {
+		t.Fatal("wrong body count")
+	}
+	for i := range f1.Bodies {
+		if f1.Bodies[i] != f2.Bodies[i] {
+			t.Fatalf("body %d differs between same-seed runs", i)
+		}
+	}
+	f3 := GenerateField(testRegion(), 100, 0.3, 43)
+	same := 0
+	for i := range f3.Bodies {
+		if f3.Bodies[i].Pos == f1.Bodies[i].Pos {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Error("different seeds produced identical fields")
+	}
+}
+
+func TestBodiesInsideRegion(t *testing.T) {
+	reg := testRegion()
+	f := GenerateField(reg, 2000, 0.3, 1)
+	for _, b := range f.Bodies {
+		if !reg.Contains(b.Pos) {
+			t.Fatalf("body %d outside region: sep=%g", b.ID, reg.Center.Sep(b.Pos))
+		}
+		if math.Abs(b.Pos.Norm()-1) > 1e-9 {
+			t.Fatalf("body %d position not unit: %g", b.ID, b.Pos.Norm())
+		}
+	}
+}
+
+func TestBodiesRoughlyUniform(t *testing.T) {
+	// Split the cap into an inner half-area cap and the rest; counts
+	// should be roughly equal.
+	reg := testRegion()
+	f := GenerateField(reg, 10000, 0.3, 2)
+	// Half the cap's area: 1-cos(r') = (1-cos(r))/2.
+	cosR := math.Cos(reg.Radius * sphere.RadPerDeg)
+	rHalf := math.Acos((1+cosR)/2) * sphere.DegPerRad
+	inner := sphere.CapAround(reg.Center, rHalf)
+	n := 0
+	for _, b := range f.Bodies {
+		if inner.Contains(b.Pos) {
+			n++
+		}
+	}
+	if n < 4700 || n > 5300 {
+		t.Errorf("inner half-area holds %d of 10000 bodies; distribution not uniform", n)
+	}
+}
+
+func TestGenerateFieldAtPole(t *testing.T) {
+	reg := sphere.NewCap(0, 90, 1)
+	f := GenerateField(reg, 500, 0.3, 3)
+	for _, b := range f.Bodies {
+		if !reg.Contains(b.Pos) {
+			t.Fatal("body outside polar region")
+		}
+	}
+	// Antipodal region too.
+	reg = sphere.NewCap(0, -90, 1)
+	f = GenerateField(reg, 500, 0.3, 4)
+	for _, b := range f.Bodies {
+		if !reg.Contains(b.Pos) {
+			t.Fatal("body outside south polar region")
+		}
+	}
+}
+
+func TestObserveCompleteness(t *testing.T) {
+	f := GenerateField(testRegion(), 5000, 0.3, 5)
+	a := Observe(f, Config{Name: "A", SigmaArcsec: 0.1, Completeness: 0.8, Seed: 6})
+	got := float64(len(a.Obs)) / 5000
+	if got < 0.76 || got > 0.84 {
+		t.Errorf("completeness 0.8 produced %d/5000 = %.3f", len(a.Obs), got)
+	}
+	full := Observe(f, Config{Name: "B", SigmaArcsec: 0.1, Completeness: 1, Seed: 7})
+	if len(full.Obs) != 5000 {
+		t.Errorf("completeness 1 produced %d/5000", len(full.Obs))
+	}
+	none := Observe(f, Config{Name: "C", SigmaArcsec: 0.1, Completeness: 0, Seed: 8})
+	if len(none.Obs) != 0 {
+		t.Errorf("completeness 0 produced %d", len(none.Obs))
+	}
+}
+
+func TestObserveScatterMagnitude(t *testing.T) {
+	f := GenerateField(testRegion(), 4000, 0.3, 9)
+	const sigma = 0.5
+	a := Observe(f, Config{Name: "A", SigmaArcsec: sigma, Completeness: 1, Seed: 10})
+	byID := map[int64]Body{}
+	for _, b := range f.Bodies {
+		byID[b.ID] = b
+	}
+	var sum2 float64
+	for _, o := range a.Obs {
+		sep := sphere.ToArcsec(o.Pos.Sep(byID[o.BodyID].Pos))
+		sum2 += sep * sep
+	}
+	// E[sep²] = 2σ² for a 2-D Gaussian.
+	rms := math.Sqrt(sum2 / float64(len(a.Obs)))
+	want := sigma * math.Sqrt2
+	if rms < want*0.93 || rms > want*1.07 {
+		t.Errorf("scatter rms = %.3g arcsec, want ~%.3g", rms, want)
+	}
+}
+
+func TestObserveExtraDensity(t *testing.T) {
+	f := GenerateField(testRegion(), 1000, 0.3, 11)
+	a := Observe(f, Config{Name: "A", SigmaArcsec: 0.1, Completeness: 1, ExtraDensity: 0.5, Seed: 12})
+	spurious := 0
+	for _, o := range a.Obs {
+		if o.BodyID == 0 {
+			spurious++
+		}
+	}
+	if spurious != 500 {
+		t.Errorf("spurious = %d, want 500", spurious)
+	}
+}
+
+func TestObjectIDsUnique(t *testing.T) {
+	f := GenerateField(testRegion(), 1000, 0.3, 13)
+	a := Observe(f, Config{Name: "A", SigmaArcsec: 0.1, Completeness: 0.7, ExtraDensity: 0.3, Seed: 14})
+	seen := map[int64]bool{}
+	for _, o := range a.Obs {
+		if seen[o.ObjectID] {
+			t.Fatalf("duplicate object id %d", o.ObjectID)
+		}
+		seen[o.ObjectID] = true
+	}
+}
+
+func TestBuildDB(t *testing.T) {
+	f := GenerateField(testRegion(), 500, 0.4, 15)
+	a := Observe(f, Config{Name: "A", SigmaArcsec: 0.1, Completeness: 0.9, Seed: 16})
+	db, err := a.BuildDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, ok := db.Table(TableName)
+	if !ok {
+		t.Fatal("primary table missing")
+	}
+	if tab.RowCount() != len(a.Obs) {
+		t.Errorf("rows = %d, want %d", tab.RowCount(), len(a.Obs))
+	}
+	if !tab.HasSpatial() {
+		t.Error("spatial index missing")
+	}
+	// Spot check a row's position survives the round trip through ra/dec.
+	ra, _ := tab.Value(0, 2).AsFloat()
+	dec, _ := tab.Value(0, 3).AsFloat()
+	if sep := sphere.FromRaDec(ra, dec).Sep(a.Obs[0].Pos); sep > 1e-9 {
+		t.Errorf("position round trip off by %g deg", sep)
+	}
+	// Types must be the GALAXY/STAR vocabulary.
+	typ := tab.Value(0, 5).AsString()
+	if typ != "GALAXY" && typ != "STAR" {
+		t.Errorf("type = %q", typ)
+	}
+}
+
+func TestObservationSet(t *testing.T) {
+	f := GenerateField(testRegion(), 100, 0.4, 17)
+	a := Observe(f, Config{Name: "A", SigmaArcsec: 0.25, Completeness: 1, Seed: 18})
+	set := a.ObservationSet(true)
+	if !set.DropOut || set.Sigma != 0.25 || len(set.Obs) != len(a.Obs) {
+		t.Errorf("set = %+v", set)
+	}
+}
+
+func TestArchiveString(t *testing.T) {
+	f := GenerateField(testRegion(), 10, 0.4, 19)
+	a := Observe(f, Config{Name: "SDSS", SigmaArcsec: 0.1, Completeness: 1, Seed: 20})
+	if a.String() == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,345 @@
+// Package value defines the dynamically typed SQL values that flow through
+// the SkyQuery engine: table cells, expression results, and the fields of
+// datasets shipped between SkyNodes. SQL three-valued logic is honored:
+// NULL propagates through arithmetic and comparisons, and AND/OR follow
+// Kleene semantics.
+package value
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Type enumerates value types.
+type Type uint8
+
+const (
+	// NullType is the type of the SQL NULL.
+	NullType Type = iota
+	// IntType is a 64-bit signed integer.
+	IntType
+	// FloatType is a 64-bit float.
+	FloatType
+	// StringType is a UTF-8 string.
+	StringType
+	// BoolType is a boolean.
+	BoolType
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case NullType:
+		return "NULL"
+	case IntType:
+		return "INT"
+	case FloatType:
+		return "FLOAT"
+	case StringType:
+		return "STRING"
+	case BoolType:
+		return "BOOL"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// ParseType parses the names produced by Type.String.
+func ParseType(s string) (Type, error) {
+	switch s {
+	case "NULL":
+		return NullType, nil
+	case "INT":
+		return IntType, nil
+	case "FLOAT":
+		return FloatType, nil
+	case "STRING":
+		return StringType, nil
+	case "BOOL":
+		return BoolType, nil
+	}
+	return NullType, fmt.Errorf("value: unknown type %q", s)
+}
+
+// Value is a single dynamically typed SQL value. The zero Value is NULL.
+type Value struct {
+	typ Type
+	i   int64
+	f   float64
+	s   string
+	b   bool
+}
+
+// Null is the SQL NULL.
+var Null = Value{}
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{typ: IntType, i: i} }
+
+// Float returns a float value.
+func Float(f float64) Value { return Value{typ: FloatType, f: f} }
+
+// String returns a string value.
+func String(s string) Value { return Value{typ: StringType, s: s} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value { return Value{typ: BoolType, b: b} }
+
+// Type returns the value's type.
+func (v Value) Type() Type { return v.typ }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.typ == NullType }
+
+// AsInt returns the integer payload. It is only meaningful for IntType.
+func (v Value) AsInt() int64 { return v.i }
+
+// AsFloat returns the value as a float64 with int→float coercion; ok is
+// false for non-numeric values.
+func (v Value) AsFloat() (f float64, ok bool) {
+	switch v.typ {
+	case IntType:
+		return float64(v.i), true
+	case FloatType:
+		return v.f, true
+	}
+	return 0, false
+}
+
+// AsString returns the string payload. It is only meaningful for StringType.
+func (v Value) AsString() string { return v.s }
+
+// AsBool returns the boolean payload. It is only meaningful for BoolType.
+func (v Value) AsBool() bool { return v.b }
+
+// IsTrue reports whether the value is boolean TRUE (NULL and FALSE are not).
+func (v Value) IsTrue() bool { return v.typ == BoolType && v.b }
+
+// String implements fmt.Stringer with SQL-ish rendering.
+func (v Value) String() string {
+	switch v.typ {
+	case NullType:
+		return "NULL"
+	case IntType:
+		return strconv.FormatInt(v.i, 10)
+	case FloatType:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case StringType:
+		return "'" + v.s + "'"
+	case BoolType:
+		if v.b {
+			return "TRUE"
+		}
+		return "FALSE"
+	}
+	return "?"
+}
+
+// Encode renders the value for wire transport (no quoting); Decode with
+// the matching type restores it. NULL encodes to the empty string and is
+// distinguished by the null flag in the container format.
+func (v Value) Encode() string {
+	switch v.typ {
+	case IntType:
+		return strconv.FormatInt(v.i, 10)
+	case FloatType:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case StringType:
+		return v.s
+	case BoolType:
+		if v.b {
+			return "true"
+		}
+		return "false"
+	}
+	return ""
+}
+
+// Decode parses an Encode result given the target type.
+func Decode(s string, t Type) (Value, error) {
+	switch t {
+	case NullType:
+		return Null, nil
+	case IntType:
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Null, fmt.Errorf("value: bad int %q: %v", s, err)
+		}
+		return Int(i), nil
+	case FloatType:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return Null, fmt.Errorf("value: bad float %q: %v", s, err)
+		}
+		return Float(f), nil
+	case StringType:
+		return String(s), nil
+	case BoolType:
+		switch s {
+		case "true", "TRUE", "1":
+			return Bool(true), nil
+		case "false", "FALSE", "0":
+			return Bool(false), nil
+		}
+		return Null, fmt.Errorf("value: bad bool %q", s)
+	}
+	return Null, fmt.Errorf("value: bad type %v", t)
+}
+
+// Compare orders two values: -1, 0, +1. NULL compared with anything
+// returns ok=false (SQL UNKNOWN). Numeric types compare across int/float;
+// other type mixes are an error.
+func Compare(a, b Value) (cmp int, ok bool, err error) {
+	if a.IsNull() || b.IsNull() {
+		return 0, false, nil
+	}
+	af, aNum := a.AsFloat()
+	bf, bNum := b.AsFloat()
+	switch {
+	case aNum && bNum:
+		switch {
+		case af < bf:
+			return -1, true, nil
+		case af > bf:
+			return 1, true, nil
+		default:
+			return 0, true, nil
+		}
+	case a.typ == StringType && b.typ == StringType:
+		switch {
+		case a.s < b.s:
+			return -1, true, nil
+		case a.s > b.s:
+			return 1, true, nil
+		default:
+			return 0, true, nil
+		}
+	case a.typ == BoolType && b.typ == BoolType:
+		ai, bi := 0, 0
+		if a.b {
+			ai = 1
+		}
+		if b.b {
+			bi = 1
+		}
+		return ai - bi, true, nil
+	}
+	return 0, false, fmt.Errorf("value: cannot compare %v with %v", a.typ, b.typ)
+}
+
+// Arith applies a binary arithmetic operator. Integer operands stay
+// integers for + - * %; division always yields a float; NULL propagates.
+func Arith(op string, a, b Value) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null, nil
+	}
+	if op == "%" {
+		if a.typ != IntType || b.typ != IntType {
+			return Null, fmt.Errorf("value: %% requires integers, got %v %v", a.typ, b.typ)
+		}
+		if b.i == 0 {
+			return Null, fmt.Errorf("value: division by zero")
+		}
+		return Int(a.i % b.i), nil
+	}
+	af, aNum := a.AsFloat()
+	bf, bNum := b.AsFloat()
+	if !aNum || !bNum {
+		if op == "+" && a.typ == StringType && b.typ == StringType {
+			return String(a.s + b.s), nil
+		}
+		return Null, fmt.Errorf("value: %s requires numbers, got %v %v", op, a.typ, b.typ)
+	}
+	bothInt := a.typ == IntType && b.typ == IntType
+	switch op {
+	case "+":
+		if bothInt {
+			return Int(a.i + b.i), nil
+		}
+		return Float(af + bf), nil
+	case "-":
+		if bothInt {
+			return Int(a.i - b.i), nil
+		}
+		return Float(af - bf), nil
+	case "*":
+		if bothInt {
+			return Int(a.i * b.i), nil
+		}
+		return Float(af * bf), nil
+	case "/":
+		if bf == 0 {
+			return Null, fmt.Errorf("value: division by zero")
+		}
+		return Float(af / bf), nil
+	}
+	return Null, fmt.Errorf("value: unknown operator %q", op)
+}
+
+// Neg negates a numeric value; NULL propagates.
+func Neg(v Value) (Value, error) {
+	switch v.typ {
+	case NullType:
+		return Null, nil
+	case IntType:
+		return Int(-v.i), nil
+	case FloatType:
+		return Float(-v.f), nil
+	}
+	return Null, fmt.Errorf("value: cannot negate %v", v.typ)
+}
+
+// And implements Kleene three-valued AND.
+func And(a, b Value) Value {
+	if a.typ == BoolType && !a.b || b.typ == BoolType && !b.b {
+		return Bool(false)
+	}
+	if a.IsNull() || b.IsNull() {
+		return Null
+	}
+	return Bool(a.IsTrue() && b.IsTrue())
+}
+
+// Or implements Kleene three-valued OR.
+func Or(a, b Value) Value {
+	if a.IsTrue() || b.IsTrue() {
+		return Bool(true)
+	}
+	if a.IsNull() || b.IsNull() {
+		return Null
+	}
+	return Bool(false)
+}
+
+// Not implements three-valued NOT.
+func Not(v Value) Value {
+	if v.IsNull() {
+		return Null
+	}
+	return Bool(!v.IsTrue())
+}
+
+// Equal reports strict equality used for hashing/dedup (NULL equals NULL
+// here, unlike SQL comparison).
+func Equal(a, b Value) bool {
+	if a.typ != b.typ {
+		// Allow int/float cross-equality for numerics.
+		af, aNum := a.AsFloat()
+		bf, bNum := b.AsFloat()
+		return aNum && bNum && af == bf
+	}
+	switch a.typ {
+	case NullType:
+		return true
+	case IntType:
+		return a.i == b.i
+	case FloatType:
+		return a.f == b.f || (math.IsNaN(a.f) && math.IsNaN(b.f))
+	case StringType:
+		return a.s == b.s
+	case BoolType:
+		return a.b == b.b
+	}
+	return false
+}

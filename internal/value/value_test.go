@@ -1,0 +1,271 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if !Null.IsNull() || Null.Type() != NullType {
+		t.Error("zero Value must be NULL")
+	}
+	if v := Int(42); v.Type() != IntType || v.AsInt() != 42 {
+		t.Errorf("Int: %v", v)
+	}
+	if v := Float(2.5); v.Type() != FloatType {
+		t.Errorf("Float: %v", v)
+	} else if f, ok := v.AsFloat(); !ok || f != 2.5 {
+		t.Errorf("AsFloat: %v %v", f, ok)
+	}
+	if v := String("x"); v.Type() != StringType || v.AsString() != "x" {
+		t.Errorf("String: %v", v)
+	}
+	if v := Bool(true); v.Type() != BoolType || !v.AsBool() || !v.IsTrue() {
+		t.Errorf("Bool: %v", v)
+	}
+	if Bool(false).IsTrue() || Null.IsTrue() {
+		t.Error("IsTrue must be false for FALSE and NULL")
+	}
+	if f, ok := Int(3).AsFloat(); !ok || f != 3 {
+		t.Error("int should coerce to float")
+	}
+	if _, ok := String("x").AsFloat(); ok {
+		t.Error("string should not coerce to float")
+	}
+}
+
+func TestTypeStringRoundTrip(t *testing.T) {
+	for _, typ := range []Type{NullType, IntType, FloatType, StringType, BoolType} {
+		got, err := ParseType(typ.String())
+		if err != nil || got != typ {
+			t.Errorf("ParseType(%v.String()) = %v, %v", typ, got, err)
+		}
+	}
+	if _, err := ParseType("NOPE"); err == nil {
+		t.Error("expected error for unknown type name")
+	}
+	if s := Type(99).String(); s == "" {
+		t.Error("unknown type should still render")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	vals := []Value{
+		Int(0), Int(-5), Int(math.MaxInt64),
+		Float(0), Float(-2.5e-7), Float(1e300),
+		String(""), String("hello world"), String("with 'quotes' & <xml>"),
+		Bool(true), Bool(false),
+	}
+	for _, v := range vals {
+		got, err := Decode(v.Encode(), v.Type())
+		if err != nil {
+			t.Errorf("Decode(%v): %v", v, err)
+			continue
+		}
+		if !Equal(got, v) {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+	}
+	if v, err := Decode("anything", NullType); err != nil || !v.IsNull() {
+		t.Errorf("Decode null = %v, %v", v, err)
+	}
+	for _, bad := range []struct {
+		s string
+		t Type
+	}{{"x", IntType}, {"x", FloatType}, {"maybe", BoolType}, {"1", Type(99)}} {
+		if _, err := Decode(bad.s, bad.t); err == nil {
+			t.Errorf("Decode(%q, %v) should fail", bad.s, bad.t)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		cmp  int
+		ok   bool
+	}{
+		{Int(1), Int(2), -1, true},
+		{Int(2), Int(2), 0, true},
+		{Float(2.5), Int(2), 1, true},
+		{Int(2), Float(2.0), 0, true},
+		{String("a"), String("b"), -1, true},
+		{String("b"), String("b"), 0, true},
+		{Bool(false), Bool(true), -1, true},
+		{Bool(true), Bool(true), 0, true},
+		{Null, Int(1), 0, false},
+		{Int(1), Null, 0, false},
+	}
+	for _, c := range cases {
+		cmp, ok, err := Compare(c.a, c.b)
+		if err != nil {
+			t.Errorf("Compare(%v,%v): %v", c.a, c.b, err)
+			continue
+		}
+		if ok != c.ok || (ok && sign(cmp) != c.cmp) {
+			t.Errorf("Compare(%v,%v) = %d,%v want %d,%v", c.a, c.b, cmp, ok, c.cmp, c.ok)
+		}
+	}
+	if _, _, err := Compare(Int(1), String("x")); err == nil {
+		t.Error("comparing int with string should error")
+	}
+	if _, _, err := Compare(Bool(true), Int(1)); err == nil {
+		t.Error("comparing bool with int should error")
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	}
+	return 0
+}
+
+func TestArith(t *testing.T) {
+	cases := []struct {
+		op   string
+		a, b Value
+		want Value
+	}{
+		{"+", Int(2), Int(3), Int(5)},
+		{"-", Int(2), Int(3), Int(-1)},
+		{"*", Int(2), Int(3), Int(6)},
+		{"+", Int(2), Float(0.5), Float(2.5)},
+		{"/", Int(7), Int(2), Float(3.5)},
+		{"%", Int(7), Int(2), Int(1)},
+		{"+", String("a"), String("b"), String("ab")},
+		{"+", Null, Int(1), Null},
+		{"*", Int(1), Null, Null},
+	}
+	for _, c := range cases {
+		got, err := Arith(c.op, c.a, c.b)
+		if err != nil {
+			t.Errorf("Arith(%s,%v,%v): %v", c.op, c.a, c.b, err)
+			continue
+		}
+		if !Equal(got, c.want) || got.Type() != c.want.Type() {
+			t.Errorf("Arith(%s,%v,%v) = %v, want %v", c.op, c.a, c.b, got, c.want)
+		}
+	}
+	for _, bad := range []struct {
+		op   string
+		a, b Value
+	}{
+		{"/", Int(1), Int(0)},
+		{"%", Int(1), Int(0)},
+		{"%", Float(1), Int(1)},
+		{"-", String("a"), String("b")},
+		{"?", Int(1), Int(1)},
+	} {
+		if _, err := Arith(bad.op, bad.a, bad.b); err == nil {
+			t.Errorf("Arith(%s,%v,%v) should fail", bad.op, bad.a, bad.b)
+		}
+	}
+}
+
+func TestNeg(t *testing.T) {
+	if v, err := Neg(Int(3)); err != nil || v.AsInt() != -3 {
+		t.Errorf("Neg int: %v %v", v, err)
+	}
+	if v, err := Neg(Float(2.5)); err != nil {
+		t.Error(err)
+	} else if f, _ := v.AsFloat(); f != -2.5 {
+		t.Errorf("Neg float: %v", v)
+	}
+	if v, err := Neg(Null); err != nil || !v.IsNull() {
+		t.Errorf("Neg null: %v %v", v, err)
+	}
+	if _, err := Neg(String("x")); err == nil {
+		t.Error("Neg string should fail")
+	}
+}
+
+func TestKleeneLogic(t *testing.T) {
+	T, F, N := Bool(true), Bool(false), Null
+	andTable := []struct{ a, b, want Value }{
+		{T, T, T}, {T, F, F}, {F, T, F}, {F, F, F},
+		{T, N, N}, {N, T, N}, {F, N, F}, {N, F, F}, {N, N, N},
+	}
+	for _, c := range andTable {
+		if got := And(c.a, c.b); !Equal(got, c.want) {
+			t.Errorf("And(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	orTable := []struct{ a, b, want Value }{
+		{T, T, T}, {T, F, T}, {F, T, T}, {F, F, F},
+		{T, N, T}, {N, T, T}, {F, N, N}, {N, F, N}, {N, N, N},
+	}
+	for _, c := range orTable {
+		if got := Or(c.a, c.b); !Equal(got, c.want) {
+			t.Errorf("Or(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	if !Equal(Not(T), F) || !Equal(Not(F), T) || !Not(N).IsNull() {
+		t.Error("Not table wrong")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(Int(2), Float(2)) {
+		t.Error("numeric cross-type equality")
+	}
+	if Equal(Int(2), Float(2.5)) {
+		t.Error("2 != 2.5")
+	}
+	if !Equal(Null, Null) {
+		t.Error("Null equals Null for dedup purposes")
+	}
+	if Equal(Null, Int(0)) {
+		t.Error("Null != 0")
+	}
+	if !Equal(Float(math.NaN()), Float(math.NaN())) {
+		t.Error("NaN equals NaN for dedup purposes")
+	}
+	if Equal(String("a"), Bool(true)) {
+		t.Error("string != bool")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := map[string]Value{
+		"NULL":  Null,
+		"42":    Int(42),
+		"2.5":   Float(2.5),
+		"'hi'":  String("hi"),
+		"TRUE":  Bool(true),
+		"FALSE": Bool(false),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestCompareAntisymmetry(t *testing.T) {
+	f := func(a, b int64) bool {
+		c1, ok1, _ := Compare(Int(a), Int(b))
+		c2, ok2, _ := Compare(Int(b), Int(a))
+		return ok1 && ok2 && sign(c1) == -sign(c2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArithIntFloatConsistency(t *testing.T) {
+	f := func(a, b int32) bool {
+		ai, _ := Arith("+", Int(int64(a)), Int(int64(b)))
+		af, _ := Arith("+", Float(float64(a)), Float(float64(b)))
+		x, _ := ai.AsFloat()
+		y, _ := af.AsFloat()
+		return x == y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,141 @@
+// Package wsdl generates the service descriptions (§3.1) SkyQuery
+// endpoints publish: a deliberately minimal WSDL 1.1 document with the two
+// parts the paper highlights — the service definition (abstract operations
+// and messages) and the service implementation (SOAP-over-HTTP binding and
+// endpoint address).
+package wsdl
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"sort"
+)
+
+// Operation is one SOAP operation of a service.
+type Operation struct {
+	// Name is the operation name, e.g. "CrossMatch".
+	Name string
+	// Action is the SOAPAction the operation is dispatched on.
+	Action string
+	// Doc is a human-readable description.
+	Doc string
+}
+
+// Service describes one endpoint.
+type Service struct {
+	// Name is the service name, e.g. "SkyNode.SDSS".
+	Name string
+	// Endpoint is the HTTP URL the service is bound to.
+	Endpoint string
+	// Namespace qualifies the service's messages; a default is derived
+	// from the name when empty.
+	Namespace string
+	// Operations lists the operations, serialized in name order.
+	Operations []Operation
+}
+
+type definitions struct {
+	XMLName   xml.Name  `xml:"definitions"`
+	Name      string    `xml:"name,attr"`
+	TargetNS  string    `xml:"targetNamespace,attr"`
+	XMLNSSoap string    `xml:"xmlns:soap,attr"`
+	PortType  portType  `xml:"portType"`
+	Binding   binding   `xml:"binding"`
+	Service   serviceEl `xml:"service"`
+}
+
+type portType struct {
+	Name string `xml:"name,attr"`
+	Ops  []ptOp `xml:"operation"`
+}
+
+type ptOp struct {
+	Name string `xml:"name,attr"`
+	Doc  string `xml:"documentation,omitempty"`
+	In   ioMsg  `xml:"input"`
+	Out  ioMsg  `xml:"output"`
+}
+
+type ioMsg struct {
+	Message string `xml:"message,attr"`
+}
+
+type binding struct {
+	Name string  `xml:"name,attr"`
+	Type string  `xml:"type,attr"`
+	Ops  []bndOp `xml:"operation"`
+}
+
+type bndOp struct {
+	Name string `xml:"name,attr"`
+	Soap soapOp `xml:"soap:operation"`
+}
+
+type soapOp struct {
+	Action string `xml:"soapAction,attr"`
+}
+
+type serviceEl struct {
+	Name string `xml:"name,attr"`
+	Port port   `xml:"port"`
+}
+
+type port struct {
+	Name    string   `xml:"name,attr"`
+	Binding string   `xml:"binding,attr"`
+	Address soapAddr `xml:"soap:address"`
+}
+
+type soapAddr struct {
+	Location string `xml:"location,attr"`
+}
+
+// Document renders the WSDL document for the service.
+func Document(s Service) (string, error) {
+	if s.Name == "" {
+		return "", fmt.Errorf("wsdl: service needs a name")
+	}
+	ns := s.Namespace
+	if ns == "" {
+		ns = "urn:skyquery:" + s.Name
+	}
+	ops := append([]Operation(nil), s.Operations...)
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Name < ops[j].Name })
+
+	d := definitions{
+		Name:      s.Name,
+		TargetNS:  ns,
+		XMLNSSoap: "http://schemas.xmlsoap.org/wsdl/soap/",
+		PortType:  portType{Name: s.Name + "PortType"},
+		Binding:   binding{Name: s.Name + "Binding", Type: s.Name + "PortType"},
+		Service: serviceEl{
+			Name: s.Name,
+			Port: port{
+				Name:    s.Name + "Port",
+				Binding: s.Name + "Binding",
+				Address: soapAddr{Location: s.Endpoint},
+			},
+		},
+	}
+	for _, op := range ops {
+		d.PortType.Ops = append(d.PortType.Ops, ptOp{
+			Name: op.Name,
+			Doc:  op.Doc,
+			In:   ioMsg{Message: op.Name + "Request"},
+			Out:  ioMsg{Message: op.Name + "Response"},
+		})
+		d.Binding.Ops = append(d.Binding.Ops, bndOp{
+			Name: op.Name,
+			Soap: soapOp{Action: op.Action},
+		})
+	}
+	var buf bytes.Buffer
+	buf.WriteString(xml.Header)
+	enc := xml.NewEncoder(&buf)
+	enc.Indent("", "  ")
+	if err := enc.Encode(d); err != nil {
+		return "", fmt.Errorf("wsdl: %w", err)
+	}
+	return buf.String(), nil
+}

@@ -1,0 +1,91 @@
+package wsdl
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func sampleService() Service {
+	return Service{
+		Name:     "SkyNode.SDSS",
+		Endpoint: "http://sdss.example/soap",
+		Operations: []Operation{
+			{Name: "Query", Action: "urn:skyquery:Query", Doc: "general-purpose querying"},
+			{Name: "CrossMatch", Action: "urn:skyquery:CrossMatch", Doc: "cross match step"},
+			{Name: "Metadata", Action: "urn:skyquery:Metadata"},
+			{Name: "Information", Action: "urn:skyquery:Information"},
+		},
+	}
+}
+
+func TestDocumentWellFormed(t *testing.T) {
+	doc, err := Document(sampleService())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var any struct{}
+	if err := xml.Unmarshal([]byte(doc), &any); err != nil {
+		t.Fatalf("document is not well-formed XML: %v\n%s", err, doc)
+	}
+}
+
+func TestDocumentContents(t *testing.T) {
+	doc, err := Document(sampleService())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`name="SkyNode.SDSS"`,
+		`targetNamespace="urn:skyquery:SkyNode.SDSS"`,
+		`location="http://sdss.example/soap"`,
+		`soapAction="urn:skyquery:CrossMatch"`,
+		`<operation name="Query">`,
+		`message="QueryRequest"`,
+		`message="QueryResponse"`,
+		"general-purpose querying",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("document missing %q", want)
+		}
+	}
+}
+
+func TestDocumentOperationsSorted(t *testing.T) {
+	doc, err := Document(sampleService())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CrossMatch must come before Query in the portType.
+	if strings.Index(doc, `name="CrossMatch"`) > strings.Index(doc, `name="Query"`) {
+		t.Error("operations not sorted by name")
+	}
+}
+
+func TestDocumentCustomNamespace(t *testing.T) {
+	s := sampleService()
+	s.Namespace = "urn:custom:ns"
+	doc, err := Document(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(doc, `targetNamespace="urn:custom:ns"`) {
+		t.Error("custom namespace not honored")
+	}
+}
+
+func TestDocumentRequiresName(t *testing.T) {
+	if _, err := Document(Service{Endpoint: "http://x"}); err == nil {
+		t.Error("expected error for unnamed service")
+	}
+}
+
+func TestDocumentNoOperations(t *testing.T) {
+	doc, err := Document(Service{Name: "Empty", Endpoint: "http://x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(doc, `name="Empty"`) {
+		t.Error("empty service should still render")
+	}
+}

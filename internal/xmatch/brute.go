@@ -1,0 +1,96 @@
+package xmatch
+
+import "skyquery/internal/sphere"
+
+// Observation is one archive's measurement of a body: its position, the
+// archive's positional error, and an opaque key (typically the row index
+// or object id) used to report matches.
+type Observation struct {
+	Pos   sphere.Vec
+	Sigma float64 // positional error in arc seconds
+	Key   int64
+}
+
+// ArchiveSet is the input to the brute-force matcher: the observations of
+// one archive plus whether the XMATCH clause marks it as a drop-out.
+type ArchiveSet struct {
+	Obs     []Observation
+	DropOut bool
+	Sigma   float64 // archive-wide positional error in arc seconds
+}
+
+// Match is one cross-match result from the brute-force matcher: the keys
+// of the mandatory observations in archive order, and the final tuple
+// statistics.
+type Match struct {
+	Keys []int64
+	Acc  Accumulator
+}
+
+// BruteForce computes the exact answer of an XMATCH clause over in-memory
+// observation sets by enumerating every combination of mandatory
+// observations and then applying the drop-out (anti-join) rule: a tuple
+// survives only if no drop-out archive holds an observation that would
+// still match within the same threshold (§5.2).
+//
+// It is O(Πᵢ|archiveᵢ|) and exists as the oracle the distributed chain is
+// verified against, and as the naive baseline for benchmarks.
+func BruteForce(archives []ArchiveSet, threshold float64) []Match {
+	var mandatory, dropouts []ArchiveSet
+	for _, a := range archives {
+		if a.DropOut {
+			dropouts = append(dropouts, a)
+		} else {
+			mandatory = append(mandatory, a)
+		}
+	}
+	if len(mandatory) == 0 {
+		return nil
+	}
+	var out []Match
+	keys := make([]int64, len(mandatory))
+	var rec func(i int, acc Accumulator)
+	rec = func(i int, acc Accumulator) {
+		if i == len(mandatory) {
+			if !acc.Matches(threshold) {
+				return
+			}
+			for _, d := range dropouts {
+				if hasDropOutMatch(acc, d, threshold) {
+					return
+				}
+			}
+			out = append(out, Match{Keys: append([]int64(nil), keys...), Acc: acc})
+			return
+		}
+		for _, o := range mandatory[i].Obs {
+			next := acc.Add(o.Pos, sigmaFor(mandatory[i], o))
+			// Prune: chi-square only grows as observations are added.
+			if !next.Matches(threshold) {
+				continue
+			}
+			keys[i] = o.Key
+			rec(i+1, next)
+		}
+	}
+	rec(0, Accumulator{})
+	return out
+}
+
+// hasDropOutMatch reports whether any observation of the drop-out archive
+// would extend the tuple within the threshold, which vetoes the tuple.
+func hasDropOutMatch(acc Accumulator, d ArchiveSet, threshold float64) bool {
+	for _, o := range d.Obs {
+		if acc.Add(o.Pos, sigmaFor(d, o)).Matches(threshold) {
+			return true
+		}
+	}
+	return false
+}
+
+func sigmaFor(a ArchiveSet, o Observation) float64 {
+	if o.Sigma > 0 {
+		return o.Sigma
+	}
+	return a.Sigma
+}

@@ -1,0 +1,149 @@
+package xmatch
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"skyquery/internal/sphere"
+)
+
+// obsCluster is a quick-generable cluster of 2-5 observations scattered
+// within a few arc seconds of a random point, with survey-like sigmas.
+type obsCluster struct {
+	Obs []struct {
+		Pos   sphere.Vec
+		Sigma float64
+	}
+}
+
+// Generate implements quick.Generator.
+func (obsCluster) Generate(rng *rand.Rand, size int) reflect.Value {
+	c := obsCluster{}
+	ra := rng.Float64() * 360
+	dec := rng.Float64()*160 - 80
+	base := sphere.FromRaDec(ra, dec)
+	n := 2 + rng.Intn(4)
+	for i := 0; i < n; i++ {
+		dra := sphere.Arcsec((rng.Float64() - 0.5) * 4)
+		ddec := sphere.Arcsec((rng.Float64() - 0.5) * 4)
+		_ = base
+		c.Obs = append(c.Obs, struct {
+			Pos   sphere.Vec
+			Sigma float64
+		}{
+			Pos:   sphere.FromRaDec(ra+dra, dec+ddec),
+			Sigma: 0.05 + rng.Float64(),
+		})
+	}
+	return reflect.ValueOf(c)
+}
+
+// TestQuickFoldOrderIndependence checks §5.4's symmetry claim on random
+// clusters: any fold order yields the same chi-square, weight sum, and
+// best position.
+func TestQuickFoldOrderIndependence(t *testing.T) {
+	f := func(c obsCluster, seed int64) bool {
+		fold := func(perm []int) Accumulator {
+			acc := Accumulator{}
+			for _, i := range perm {
+				acc = acc.Add(c.Obs[i].Pos, c.Obs[i].Sigma)
+			}
+			return acc
+		}
+		base := make([]int, len(c.Obs))
+		for i := range base {
+			base[i] = i
+		}
+		ref := fold(base)
+		rng := rand.New(rand.NewSource(seed))
+		perm := rng.Perm(len(c.Obs))
+		got := fold(perm)
+		return math.Abs(got.Chi2-ref.Chi2) <= 1e-9*(1+ref.Chi2) &&
+			math.Abs(got.A-ref.A) <= 1e-9*ref.A &&
+			got.Best().Sep(ref.Best()) <= 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickChi2Monotone checks that adding observations never decreases
+// the chi-square (the pruning assumption of the chain and BruteForce).
+func TestQuickChi2Monotone(t *testing.T) {
+	f := func(c obsCluster) bool {
+		acc := Accumulator{}
+		prev := 0.0
+		for _, o := range c.Obs {
+			acc = acc.Add(o.Pos, o.Sigma)
+			if acc.Chi2 < prev-1e-12 {
+				return false
+			}
+			prev = acc.Chi2
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSearchRadiusSound checks the exact search-radius bound: an
+// observation beyond the radius can never match; one comfortably inside
+// always can.
+func TestQuickSearchRadiusSound(t *testing.T) {
+	f := func(c obsCluster, tRaw uint8) bool {
+		threshold := 1 + float64(tRaw%5)
+		acc := Accumulator{}
+		for _, o := range c.Obs {
+			acc = acc.Add(o.Pos, o.Sigma)
+		}
+		if !acc.Matches(threshold) {
+			return true // exhausted tuples are excluded by the caller
+		}
+		sigma := 0.2
+		r := acc.SearchRadius(threshold, sigma)
+		bra, bdec := acc.Best().RaDec()
+		if r < 179 {
+			outside := sphere.FromRaDec(bra, clampDec(bdec+1.05*r))
+			if acc.Add(outside, sigma).Matches(threshold) {
+				return false
+			}
+		}
+		inside := sphere.FromRaDec(bra, clampDec(bdec+0.5*r))
+		return acc.Add(inside, sigma).Matches(threshold)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clampDec(d float64) float64 {
+	if d > 89.9 {
+		return 89.9
+	}
+	if d < -89.9 {
+		return -89.9
+	}
+	return d
+}
+
+// TestQuickWireRoundTrip checks AccToCells/CellsToAcc identity.
+func TestQuickWireRoundTrip(t *testing.T) {
+	f := func(c obsCluster) bool {
+		acc := Accumulator{}
+		for _, o := range c.Obs {
+			acc = acc.Add(o.Pos, o.Sigma)
+		}
+		got, err := CellsToAcc(AccToCells(acc))
+		if err != nil {
+			return false
+		}
+		return got == acc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

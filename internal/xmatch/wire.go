@@ -1,0 +1,78 @@
+package xmatch
+
+import (
+	"fmt"
+
+	"skyquery/internal/dataset"
+	"skyquery/internal/sphere"
+	"skyquery/internal/value"
+)
+
+// This file defines the wire form of partial cross-match tuples: every
+// data set shipped along the daisy chain starts with the accumulator
+// columns (the paper's cumulative values a, ax, ay, az plus the running
+// chi-square and observation count), followed by the carried
+// "alias.column" payload columns.
+
+// Accumulator column names.
+const (
+	ColA    = "_a"
+	ColVx   = "_vx"
+	ColVy   = "_vy"
+	ColVz   = "_vz"
+	ColChi2 = "_chi2"
+	ColN    = "_n"
+)
+
+// NumAccCols is the number of accumulator columns at the front of every
+// partial-tuple data set.
+const NumAccCols = 6
+
+// AccColumns returns the accumulator column definitions in wire order.
+func AccColumns() []dataset.Column {
+	return []dataset.Column{
+		{Name: ColA, Type: value.FloatType},
+		{Name: ColVx, Type: value.FloatType},
+		{Name: ColVy, Type: value.FloatType},
+		{Name: ColVz, Type: value.FloatType},
+		{Name: ColChi2, Type: value.FloatType},
+		{Name: ColN, Type: value.IntType},
+	}
+}
+
+// AccToCells renders an accumulator into its wire cells.
+func AccToCells(acc Accumulator) []value.Value {
+	return []value.Value{
+		value.Float(acc.A),
+		value.Float(acc.V.X),
+		value.Float(acc.V.Y),
+		value.Float(acc.V.Z),
+		value.Float(acc.Chi2),
+		value.Int(int64(acc.N)),
+	}
+}
+
+// CellsToAcc parses the accumulator from the first NumAccCols cells of a
+// tuple row.
+func CellsToAcc(row []value.Value) (Accumulator, error) {
+	if len(row) < NumAccCols {
+		return Accumulator{}, fmt.Errorf("xmatch: tuple row has %d cells, need at least %d", len(row), NumAccCols)
+	}
+	var f [5]float64
+	for i := 0; i < 5; i++ {
+		v, ok := row[i].AsFloat()
+		if !ok {
+			return Accumulator{}, fmt.Errorf("xmatch: accumulator cell %d is %v, want number", i, row[i].Type())
+		}
+		f[i] = v
+	}
+	if row[5].Type() != value.IntType {
+		return Accumulator{}, fmt.Errorf("xmatch: accumulator count cell is %v, want INT", row[5].Type())
+	}
+	return Accumulator{
+		A:    f[0],
+		V:    sphere.Vec{X: f[1], Y: f[2], Z: f[3]},
+		Chi2: f[4],
+		N:    int(row[5].AsInt()),
+	}, nil
+}

@@ -1,0 +1,327 @@
+package xmatch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"skyquery/internal/sphere"
+)
+
+const (
+	sigmaSDSS  = 0.1 // arcsec, typical optical survey
+	sigma2MASS = 0.2
+	sigmaFIRST = 0.5 // radio survey, coarser
+)
+
+func TestSigmaWeight(t *testing.T) {
+	w := SigmaWeight(1)
+	s := 1.0 / 3600 * math.Pi / 180
+	want := 1 / (s * s)
+	if math.Abs(w-want)/want > 1e-12 {
+		t.Errorf("SigmaWeight(1) = %g, want %g", w, want)
+	}
+}
+
+func TestPerfectCoincidence(t *testing.T) {
+	p := sphere.FromRaDec(185, -0.5)
+	acc := Accumulator{}.Add(p, sigmaSDSS).Add(p, sigma2MASS).Add(p, sigmaFIRST)
+	if acc.N != 3 {
+		t.Errorf("N = %d", acc.N)
+	}
+	if acc.Chi2 > 1e-15 {
+		t.Errorf("chi2 of identical observations = %g, want ~0", acc.Chi2)
+	}
+	if ll := acc.LogLikelihood(); ll < -1e-15 {
+		t.Errorf("log likelihood = %g, want ~0", ll)
+	}
+	if !acc.Matches(0.001) {
+		t.Error("identical observations must match any positive threshold")
+	}
+	best := acc.Best()
+	if best.Sep(p) > 1e-12 {
+		t.Errorf("best position off by %g deg", best.Sep(p))
+	}
+}
+
+func TestTwoArchiveClassicRule(t *testing.T) {
+	// For two observations χ² = d²/(σ₁²+σ₂²); the match condition
+	// χ² ≤ t² is d ≤ t·sqrt(σ₁²+σ₂²).
+	const tThresh = 3.5
+	limit := PairRadius(tThresh, sigmaSDSS, sigma2MASS) // degrees
+	base := sphere.FromRaDec(185, -0.5)
+	for _, frac := range []float64{0.1, 0.5, 0.9, 0.99} {
+		sep := limit * frac
+		p2 := sphere.FromRaDec(185, -0.5+sep)
+		acc := Accumulator{}.Add(base, sigmaSDSS).Add(p2, sigma2MASS)
+		if !acc.Matches(tThresh) {
+			t.Errorf("separation %.3g×limit should match", frac)
+		}
+	}
+	for _, frac := range []float64{1.01, 1.5, 10} {
+		sep := limit * frac
+		p2 := sphere.FromRaDec(185, -0.5+sep)
+		acc := Accumulator{}.Add(base, sigmaSDSS).Add(p2, sigma2MASS)
+		if acc.Matches(tThresh) {
+			t.Errorf("separation %.3g×limit should not match", frac)
+		}
+	}
+}
+
+func TestChi2TwoPointClosedForm(t *testing.T) {
+	// χ² for two points must equal d²/(σ₁²+σ₂²) with d the chord distance.
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		sepArcsec := rng.Float64() * 2
+		p1 := sphere.FromRaDec(10, 20)
+		p2 := sphere.FromRaDec(10, 20+sphere.Arcsec(sepArcsec))
+		s1 := 0.05 + rng.Float64()
+		s2 := 0.05 + rng.Float64()
+		acc := Accumulator{}.Add(p1, s1).Add(p2, s2)
+		dRad := p1.Sub(p2).Norm()
+		s1r := sphere.Arcsec(s1) * sphere.RadPerDeg
+		s2r := sphere.Arcsec(s2) * sphere.RadPerDeg
+		want := dRad * dRad / (s1r*s1r + s2r*s2r)
+		if math.Abs(acc.Chi2-want) > 1e-9*want+1e-18 {
+			t.Fatalf("chi2 = %g, want %g (sep %g arcsec)", acc.Chi2, want, sepArcsec)
+		}
+	}
+}
+
+func TestOrderIndependence(t *testing.T) {
+	// §5.4: "This XMATCH scheme is fully symmetric; the particular order
+	// of the archives considered doesn't matter."
+	obs := []struct {
+		ra, dec, sigma float64
+	}{
+		{185.0, -0.5, sigmaSDSS},
+		{185.0 + sphere.Arcsec(0.15), -0.5, sigma2MASS},
+		{185.0, -0.5 + sphere.Arcsec(0.3), sigmaFIRST},
+		{185.0 - sphere.Arcsec(0.1), -0.5 - sphere.Arcsec(0.2), 0.3},
+	}
+	perms := [][]int{
+		{0, 1, 2, 3}, {3, 2, 1, 0}, {1, 3, 0, 2}, {2, 0, 3, 1},
+	}
+	var ref Accumulator
+	for pi, perm := range perms {
+		acc := Accumulator{}
+		for _, i := range perm {
+			acc = acc.Add(sphere.FromRaDec(obs[i].ra, obs[i].dec), obs[i].sigma)
+		}
+		if pi == 0 {
+			ref = acc
+			continue
+		}
+		if math.Abs(acc.Chi2-ref.Chi2) > 1e-9*(1+ref.Chi2) {
+			t.Errorf("perm %v: chi2 = %.15g, want %.15g", perm, acc.Chi2, ref.Chi2)
+		}
+		if math.Abs(acc.A-ref.A) > 1e-6*ref.A {
+			t.Errorf("perm %v: A differs", perm)
+		}
+		if acc.Best().Sep(ref.Best()) > 1e-9 {
+			t.Errorf("perm %v: best position differs", perm)
+		}
+	}
+}
+
+func TestIncrementalMatchesConstrainedForm(t *testing.T) {
+	// For moderate errors (≥ ~5 arcsec) the closed-form 2(a−|a⃗|) is still
+	// numerically alive; the incremental chi2 must agree with it.
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 100; i++ {
+		acc := Accumulator{}
+		base := sphere.FromRaDec(rng.Float64()*360, rng.Float64()*120-60)
+		for k := 0; k < 4; k++ {
+			off := sphere.Arcsec((rng.Float64() - 0.5) * 30)
+			ra, dec := base.RaDec()
+			p := sphere.FromRaDec(ra+off, dec+sphere.Arcsec((rng.Float64()-0.5)*30))
+			acc = acc.Add(p, 5+5*rng.Float64())
+		}
+		closed := acc.Chi2Constrained()
+		if math.Abs(acc.Chi2-closed) > 1e-6*(1+closed) {
+			t.Fatalf("incremental %g vs constrained %g", acc.Chi2, closed)
+		}
+	}
+}
+
+func TestBestPositionIsWeightedMean(t *testing.T) {
+	// With one tight and one loose observation, the best position must sit
+	// close to the tight one, at the weighted-mean split.
+	p1 := sphere.FromRaDec(100, 10)                    // σ = 0.1
+	p2 := sphere.FromRaDec(100, 10+sphere.Arcsec(1.0)) // σ = 0.5
+	acc := Accumulator{}.Add(p1, 0.1).Add(p2, 0.5)
+	best := acc.Best()
+	d1 := sphere.ToArcsec(best.Sep(p1))
+	d2 := sphere.ToArcsec(best.Sep(p2))
+	// Weights 100:4, so the split is 1/26 vs 25/26 of the 1" separation.
+	if math.Abs(d1-1.0/26) > 1e-6 {
+		t.Errorf("distance to tight obs = %g, want %g", d1, 1.0/26)
+	}
+	if math.Abs(d2-25.0/26) > 1e-6 {
+		t.Errorf("distance to loose obs = %g, want %g", d2, 25.0/26)
+	}
+}
+
+func TestPosError(t *testing.T) {
+	acc := Accumulator{}.Add(sphere.FromRaDec(0, 0), 1.0)
+	if got := sphere.ToArcsec(acc.PosError()); math.Abs(got-1) > 1e-9 {
+		t.Errorf("PosError of single σ=1 obs = %g arcsec", got)
+	}
+	// Four equal observations halve the error.
+	p := sphere.FromRaDec(0, 0)
+	acc4 := Accumulator{}.Add(p, 1).Add(p, 1).Add(p, 1).Add(p, 1)
+	if got := sphere.ToArcsec(acc4.PosError()); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("PosError of 4 obs = %g arcsec, want 0.5", got)
+	}
+	if (Accumulator{}).PosError() != 180 {
+		t.Error("empty accumulator PosError should be 180")
+	}
+}
+
+func TestSearchRadiusIsExact(t *testing.T) {
+	// An observation exactly at the search-radius boundary must sit at
+	// χ² = t²; inside matches, outside does not.
+	const thr = 3.5
+	acc := Accumulator{}.Add(sphere.FromRaDec(50, 20), sigmaSDSS).
+		Add(sphere.FromRaDec(50, 20+sphere.Arcsec(0.2)), sigma2MASS)
+	r := acc.SearchRadius(thr, sigmaFIRST)
+	if r <= 0 {
+		t.Fatalf("radius = %g", r)
+	}
+	bra, bdec := acc.Best().RaDec()
+	inside := sphere.FromRaDec(bra, bdec+0.999*r)
+	outside := sphere.FromRaDec(bra, bdec+1.001*r)
+	if !acc.Add(inside, sigmaFIRST).Matches(thr) {
+		t.Error("observation just inside the search radius should match")
+	}
+	if acc.Add(outside, sigmaFIRST).Matches(thr) {
+		t.Error("observation just outside the search radius should not match")
+	}
+}
+
+func TestSearchRadiusEdgeCases(t *testing.T) {
+	if got := (Accumulator{}).SearchRadius(3, 1); got != 180 {
+		t.Errorf("empty accumulator radius = %g, want 180", got)
+	}
+	// Exhausted budget.
+	acc := Accumulator{}.Add(sphere.FromRaDec(0, 0), 0.1).
+		Add(sphere.FromRaDec(0, sphere.Arcsec(10)), 0.1)
+	if acc.Matches(3.5) {
+		t.Fatal("10 arcsec apart at σ=0.1 must not match")
+	}
+	if got := acc.SearchRadius(3.5, 1); got != 0 {
+		t.Errorf("exhausted budget radius = %g, want 0", got)
+	}
+	// A huge sigma clamps at 180.
+	one := Accumulator{}.Add(sphere.FromRaDec(0, 0), 0.1)
+	if got := one.SearchRadius(1e9, 1e9); got != 180 {
+		t.Errorf("huge radius should clamp at 180, got %g", got)
+	}
+}
+
+func TestFigure2Semantics(t *testing.T) {
+	// Reconstruction of Figure 2: body a is observed by all three
+	// archives within the error bound; body b's observation in archive P
+	// is out of range. XMATCH(O,T,P) selects only a; XMATCH(O,T,!P)
+	// selects only b.
+	const thr = 3.5
+	sig := map[string]float64{"O": 0.1, "T": 0.15, "P": 0.2}
+	aO := sphere.FromRaDec(184.9990, -0.4990)
+	aT := sphere.FromRaDec(184.9990+sphere.Arcsec(0.1), -0.4990)
+	aP := sphere.FromRaDec(184.9990, -0.4990+sphere.Arcsec(0.15))
+	bO := sphere.FromRaDec(185.0010, -0.5010)
+	bT := sphere.FromRaDec(185.0010-sphere.Arcsec(0.12), -0.5010)
+	bP := sphere.FromRaDec(185.0010, -0.5010+sphere.Arcsec(30)) // way off
+
+	O := ArchiveSet{Obs: []Observation{{Pos: aO, Key: 1}, {Pos: bO, Key: 2}}, Sigma: sig["O"]}
+	T := ArchiveSet{Obs: []Observation{{Pos: aT, Key: 1}, {Pos: bT, Key: 2}}, Sigma: sig["T"]}
+	P := ArchiveSet{Obs: []Observation{{Pos: aP, Key: 1}, {Pos: bP, Key: 2}}, Sigma: sig["P"]}
+
+	// XMATCH(O, T, P): only body a.
+	got := BruteForce([]ArchiveSet{O, T, P}, thr)
+	if len(got) != 1 {
+		t.Fatalf("XMATCH(O,T,P) matches = %d, want 1", len(got))
+	}
+	if got[0].Keys[0] != 1 || got[0].Keys[1] != 1 || got[0].Keys[2] != 1 {
+		t.Errorf("XMATCH(O,T,P) keys = %v, want [1 1 1]", got[0].Keys)
+	}
+
+	// XMATCH(O, T, !P): only body b (a is vetoed by its P observation).
+	P.DropOut = true
+	got = BruteForce([]ArchiveSet{O, T, P}, thr)
+	if len(got) != 1 {
+		t.Fatalf("XMATCH(O,T,!P) matches = %d, want 1", len(got))
+	}
+	if got[0].Keys[0] != 2 || got[0].Keys[1] != 2 {
+		t.Errorf("XMATCH(O,T,!P) keys = %v, want [2 2]", got[0].Keys)
+	}
+}
+
+func TestBruteForceNoMandatory(t *testing.T) {
+	d := ArchiveSet{Obs: []Observation{{Pos: sphere.FromRaDec(0, 0)}}, Sigma: 1, DropOut: true}
+	if got := BruteForce([]ArchiveSet{d}, 3); got != nil {
+		t.Errorf("drop-out-only input should yield nil, got %v", got)
+	}
+}
+
+func TestBruteForcePerObservationSigma(t *testing.T) {
+	// Observation.Sigma overrides the archive-wide sigma.
+	p := sphere.FromRaDec(10, 10)
+	q := sphere.FromRaDec(10, 10+sphere.Arcsec(3))
+	a := ArchiveSet{Obs: []Observation{{Pos: p, Key: 1}}, Sigma: 0.01}
+	// Archive sigma 0.01 would reject a 3" separation at t=3.5, but the
+	// per-observation sigma of 2" accepts it.
+	b := ArchiveSet{Obs: []Observation{{Pos: q, Key: 2, Sigma: 2}}, Sigma: 0.01}
+	got := BruteForce([]ArchiveSet{a, b}, 3.5)
+	if len(got) != 1 {
+		t.Fatalf("per-observation sigma not honored: %d matches", len(got))
+	}
+}
+
+func TestBruteForceDense(t *testing.T) {
+	// Random field: every emitted match must satisfy the threshold, and a
+	// direct O(n²) pair check must agree for the 2-archive case.
+	rng := rand.New(rand.NewSource(77))
+	const n = 60
+	const thr = 3.0
+	mk := func(sigma float64, seed int64) ArchiveSet {
+		r := rand.New(rand.NewSource(seed))
+		set := ArchiveSet{Sigma: sigma}
+		for i := 0; i < n; i++ {
+			ra := 180 + r.Float64()*0.01
+			dec := r.Float64() * 0.01
+			set.Obs = append(set.Obs, Observation{Pos: sphere.FromRaDec(ra, dec), Key: int64(i)})
+		}
+		return set
+	}
+	a := mk(0.3, 1)
+	b := mk(0.4, 2)
+	_ = rng
+	got := BruteForce([]ArchiveSet{a, b}, thr)
+	want := 0
+	limit := PairRadius(thr, 0.3, 0.4)
+	for _, oa := range a.Obs {
+		for _, ob := range b.Obs {
+			if oa.Pos.Sep(ob.Pos) <= limit {
+				want++
+			}
+		}
+	}
+	if len(got) != want {
+		t.Errorf("BruteForce pairs = %d, pairwise rule = %d", len(got), want)
+	}
+	for _, m := range got {
+		if !m.Acc.Matches(thr) {
+			t.Errorf("emitted match fails threshold: chi2 = %g", m.Acc.Chi2)
+		}
+	}
+}
+
+func TestAddDoesNotMutateReceiver(t *testing.T) {
+	base := Accumulator{}.Add(sphere.FromRaDec(0, 0), 1)
+	before := base
+	_ = base.Add(sphere.FromRaDec(0, 1), 1)
+	if base != before {
+		t.Error("Add mutated its receiver")
+	}
+}

@@ -1,0 +1,178 @@
+package skyquery
+
+// Tests for ORDER BY across the stack: node-local queries, federated
+// cross-match projection, and interaction with TOP.
+
+import (
+	"testing"
+
+	"skyquery/internal/value"
+)
+
+func TestOrderByPassThrough(t *testing.T) {
+	f := launch(t, Options{Bodies: 200, Surveys: DefaultSurveys()[:1]})
+	res, err := f.Query(`SELECT O.object_id, O.flux FROM SDSS:PhotoObject O
+		WHERE O.type = 'GALAXY' ORDER BY O.flux DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() < 10 {
+		t.Fatalf("rows = %d", res.NumRows())
+	}
+	prev, _ := res.Rows[0][1].AsFloat()
+	for _, row := range res.Rows[1:] {
+		f, _ := row[1].AsFloat()
+		if f > prev {
+			t.Fatalf("not descending: %g after %g", f, prev)
+		}
+		prev = f
+	}
+}
+
+func TestOrderByAscendingDefault(t *testing.T) {
+	f := launch(t, Options{Bodies: 150, Surveys: DefaultSurveys()[:1]})
+	res, err := f.Query(`SELECT O.flux FROM SDSS:PhotoObject O ORDER BY O.flux`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1e300
+	for _, row := range res.Rows {
+		v, _ := row[0].AsFloat()
+		if v < prev {
+			t.Fatalf("not ascending: %g after %g", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestOrderByWithTopIsSortThenLimit(t *testing.T) {
+	f := launch(t, Options{Bodies: 300, Surveys: DefaultSurveys()[:1]})
+	all, err := f.Query(`SELECT O.flux FROM SDSS:PhotoObject O ORDER BY O.flux DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := f.Query(`SELECT TOP 5 O.flux FROM SDSS:PhotoObject O ORDER BY O.flux DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.NumRows() != 5 {
+		t.Fatalf("TOP rows = %d", top.NumRows())
+	}
+	for i := 0; i < 5; i++ {
+		a, _ := all.Rows[i][0].AsFloat()
+		b, _ := top.Rows[i][0].AsFloat()
+		if a != b {
+			t.Fatalf("TOP 5 row %d = %g, want global maximum %g (TOP must apply after ORDER BY)", i, b, a)
+		}
+	}
+}
+
+func TestOrderByFederated(t *testing.T) {
+	f := launch(t, Options{Bodies: 300})
+	res, err := f.Query(`
+		SELECT O.object_id, O.flux
+		FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T
+		WHERE AREA(185.0, -0.5, 900) AND XMATCH(O, T) < 3.5
+		ORDER BY O.flux DESC, O.object_id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() < 20 {
+		t.Fatalf("rows = %d", res.NumRows())
+	}
+	prevFlux := 1e300
+	prevID := int64(-1)
+	for _, row := range res.Rows {
+		fl, _ := row[1].AsFloat()
+		if fl > prevFlux {
+			t.Fatalf("not descending by flux")
+		}
+		if fl == prevFlux && row[0].AsInt() < prevID {
+			t.Fatalf("tie not broken by object_id")
+		}
+		prevFlux = fl
+		prevID = row[0].AsInt()
+	}
+}
+
+func TestOrderByColumnNotInSelect(t *testing.T) {
+	// Sorting by a column that is not projected: the planner must ship it
+	// along the chain anyway.
+	f := launch(t, Options{Bodies: 200})
+	res, err := f.Query(`
+		SELECT O.object_id
+		FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T
+		WHERE AREA(185.0, -0.5, 900) AND XMATCH(O, T) < 3.5
+		ORDER BY O.flux DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() == 0 {
+		t.Fatal("no rows")
+	}
+	// Verify against the archive's actual fluxes.
+	flux := map[int64]float64{}
+	for _, o := range f.Archives["SDSS"].Obs {
+		flux[o.ObjectID] = o.Flux
+	}
+	prev := 1e300
+	for _, row := range res.Rows {
+		fl := flux[row[0].AsInt()]
+		if fl > prev+1e-9 {
+			t.Fatalf("not sorted by the unprojected flux column")
+		}
+		prev = fl
+	}
+}
+
+func TestOrderByValidationErrors(t *testing.T) {
+	f := launch(t, Options{Bodies: 100, Surveys: DefaultSurveys()[:2]})
+	if _, err := f.Query(`SELECT O.object_id FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T
+		WHERE AREA(185.0, -0.5, 900) AND XMATCH(O, T) < 3.5 ORDER BY z.q`); err == nil {
+		t.Error("ORDER BY with unknown alias should fail")
+	}
+	if _, err := f.Query(`SELECT O.object_id FROM SDSS:PhotoObject O
+		ORDER BY O.nosuch`); err == nil {
+		t.Error("ORDER BY with unknown column should fail")
+	}
+}
+
+func TestOrderByNullsFirst(t *testing.T) {
+	db := NewDB()
+	tab, err := db.Create("T", Schema{
+		{Name: "id", Type: value.IntType},
+		{Name: "ra", Type: value.FloatType},
+		{Name: "dec", Type: value.FloatType},
+		{Name: "v", Type: value.FloatType},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []Value{value.Float(3), value.Null, value.Float(1), value.Null, value.Float(2)}
+	for i, v := range vals {
+		if err := tab.Append(value.Int(int64(i)), value.Float(10), value.Float(10), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tab.EnableSpatial(SpatialConfig{RACol: "ra", DecCol: "dec"}); err != nil {
+		t.Fatal(err)
+	}
+	f := launch(t, Options{
+		Surveys: []SurveySpec{},
+		Nodes: []NodeSpec{{Name: "N", DB: db, PrimaryTable: "T",
+			RACol: "ra", DecCol: "dec", SigmaArcsec: 0.1}},
+	})
+	res, err := f.Query(`SELECT n.id, n.v FROM N:T n ORDER BY n.v`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rows[0][1].IsNull() || !res.Rows[1][1].IsNull() {
+		t.Fatalf("NULLs must sort first: %v", res.Rows)
+	}
+	if got, _ := res.Rows[2][1].AsFloat(); got != 1 {
+		t.Fatalf("first non-null = %v, want 1", res.Rows[2][1])
+	}
+	if got, _ := res.Rows[4][1].AsFloat(); got != 3 {
+		t.Fatalf("last = %v, want 3", res.Rows[4][1])
+	}
+}

@@ -1,0 +1,138 @@
+package skyquery
+
+// Tests for the polygon AREA extension (§6 future work: "The AREA clause
+// can also be extended to specify arbitrary polygons rather than just
+// simple circles").
+
+import (
+	"strings"
+	"testing"
+
+	"skyquery/internal/sphere"
+)
+
+// polyQuery selects matches inside a square around the field center.
+const polyQuery = `
+	SELECT O.object_id, T.object_id
+	FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T
+	WHERE AREA(184.9, -0.6, 185.1, -0.6, 185.1, -0.4, 184.9, -0.4)
+	  AND XMATCH(O, T) < 3.5`
+
+func TestPolygonAreaEndToEnd(t *testing.T) {
+	f := launch(t, Options{Bodies: 600})
+	res, err := f.Query(polyQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() == 0 {
+		t.Fatal("no matches inside the polygon")
+	}
+	// Every match's SDSS observation must lie inside the polygon.
+	poly, err := sphere.NewPolygon(
+		[2]float64{184.9, -0.6}, [2]float64{185.1, -0.6},
+		[2]float64{185.1, -0.4}, [2]float64{184.9, -0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	posByID := map[int64]sphere.Vec{}
+	for _, o := range f.Archives["SDSS"].Obs {
+		posByID[o.ObjectID] = o.Pos
+	}
+	for _, row := range res.Rows {
+		pos, ok := posByID[row[0].AsInt()]
+		if !ok {
+			t.Fatalf("unknown SDSS object %d", row[0].AsInt())
+		}
+		if !poly.Contains(pos) {
+			t.Fatalf("object %d outside the polygon", row[0].AsInt())
+		}
+	}
+}
+
+func TestPolygonSubsetOfBoundingCircle(t *testing.T) {
+	f := launch(t, Options{Bodies: 600})
+	polyRes, err := f.Query(polyQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A circle that covers the square must match at least as much.
+	circleRes, err := f.Query(`
+		SELECT O.object_id, T.object_id
+		FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T
+		WHERE AREA(185.0, -0.5, 900) AND XMATCH(O, T) < 3.5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if polyRes.NumRows() > circleRes.NumRows() {
+		t.Errorf("polygon (%d) matched more than its bounding circle (%d)",
+			polyRes.NumRows(), circleRes.NumRows())
+	}
+	if polyRes.NumRows() == circleRes.NumRows() {
+		t.Log("warning: polygon selected everything; field may be too small to discriminate")
+	}
+}
+
+func TestPolygonCountStarProbes(t *testing.T) {
+	// Performance queries must carry the polygon AREA verbatim so counts
+	// reflect the true region.
+	f := launch(t, Options{Bodies: 400})
+	p, err := f.BuildPlan(polyQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Area.IsPolygon() {
+		t.Fatalf("plan area is not a polygon: %+v", p.Area)
+	}
+	if len(p.Area.Vertices) != 4 {
+		t.Errorf("vertices = %d", len(p.Area.Vertices))
+	}
+	for _, s := range p.Steps {
+		if s.Count <= 0 {
+			t.Errorf("step %s count = %d; polygon probe failed", s.Archive, s.Count)
+		}
+	}
+}
+
+func TestPolygonRejectsBadShapes(t *testing.T) {
+	f := launch(t, Options{Bodies: 100, Surveys: DefaultSurveys()[:2]})
+	cases := []struct{ sql, wantSub string }{
+		// Clockwise (inverted) square.
+		{`SELECT O.object_id FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T
+			WHERE AREA(184.9, -0.4, 185.1, -0.4, 185.1, -0.6, 184.9, -0.6)
+			AND XMATCH(O, T) < 3.5`, "convex"},
+		// Odd argument count.
+		{`SELECT O.object_id FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T
+			WHERE AREA(184.9, -0.4, 185.1, -0.4, 185.1) AND XMATCH(O, T) < 3.5`, "AREA takes"},
+		// Two pairs only.
+		{`SELECT O.object_id FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T
+			WHERE AREA(184.9, -0.4, 185.1, -0.4) AND XMATCH(O, T) < 3.5`, "AREA takes"},
+	}
+	for _, c := range cases {
+		_, err := f.Query(c.sql)
+		if err == nil {
+			t.Errorf("Query(%.50q) succeeded, want %q", c.sql, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("err = %v, want %q", err, c.wantSub)
+		}
+	}
+}
+
+func TestPolygonRoundTripThroughDialect(t *testing.T) {
+	// The polygon clause must survive String() -> Parse (used when local
+	// queries are shipped in plans).
+	f := launch(t, Options{Bodies: 100, Surveys: DefaultSurveys()[:2]})
+	p, err := f.BuildPlan(polyQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run the same plan again from its serialized form.
+	data, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<Vertex") {
+		t.Errorf("serialized plan lacks vertices: %s", data)
+	}
+}

@@ -1,0 +1,161 @@
+// Package skyquery is a from-scratch reproduction of "SkyQuery: A Web
+// Service Approach to Federate Databases" (Malik, Szalay, Budavari,
+// Thakar): a federation of autonomous astronomy archives that answers
+// probabilistic federated spatial join ("cross match") queries through
+// SOAP web services over HTTP.
+//
+// The package is a facade over the internal engine. It lets you:
+//
+//   - launch a complete in-process federation (Portal + SkyNodes served on
+//     loopback HTTP) over synthetic sky surveys with Launch;
+//
+//   - attach hand-built archives via NodeSpec and the storage API
+//     (NewDB, Schema, ...);
+//
+//   - submit cross-match queries in the paper's dialect:
+//
+//     SELECT O.object_id, T.object_id
+//     FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T, FIRST:PhotoObject P
+//     WHERE AREA(185.0, -0.5, 900)
+//     AND XMATCH(O, T, !P) < 3.5
+//     AND O.type = 'GALAXY' AND (O.flux - T.flux) > 2
+//
+//   - talk to a remote Portal with Dial;
+//
+//   - run the pull-to-portal baseline and inspect execution plans, for
+//     the experiments in EXPERIMENTS.md.
+package skyquery
+
+import (
+	"fmt"
+
+	"skyquery/internal/client"
+	"skyquery/internal/dataset"
+	"skyquery/internal/nettrace"
+	"skyquery/internal/plan"
+	"skyquery/internal/sphere"
+	"skyquery/internal/storage"
+	"skyquery/internal/survey"
+	"skyquery/internal/value"
+)
+
+// Result is a query result set: typed columns plus rows of values.
+type Result = dataset.DataSet
+
+// Column describes one column of a Result.
+type Column = dataset.Column
+
+// Value is a dynamically typed SQL value.
+type Value = value.Value
+
+// ValueType enumerates SQL value types.
+type ValueType = value.Type
+
+// Column type constants for building schemas.
+const (
+	NullType   = value.NullType
+	IntType    = value.IntType
+	FloatType  = value.FloatType
+	StringType = value.StringType
+	BoolType   = value.BoolType
+)
+
+// Plan is a federated execution plan (exposed for inspection and the
+// optimizer experiments).
+type Plan = plan.Plan
+
+// DB is an embedded archive database (the storage engine each SkyNode
+// wraps).
+type DB = storage.DB
+
+// Schema describes the columns of a table.
+type Schema = storage.Schema
+
+// ColumnDef is one column definition of a Schema.
+type ColumnDef = storage.ColumnDef
+
+// SpatialConfig designates a table's position columns for HTM indexing.
+type SpatialConfig = storage.SpatialConfig
+
+// SurveySpec configures one synthetic sky survey (see internal/survey).
+type SurveySpec = survey.Config
+
+// Field is a synthetic population of true astronomical bodies.
+type Field = survey.Field
+
+// Transport is the instrumented HTTP transport used to count bytes on the
+// wire and simulate WAN latency/bandwidth.
+type Transport = nettrace.Transport
+
+// TransportStats is a snapshot of Transport counters.
+type TransportStats = nettrace.Stats
+
+// Cap is a circular sky region.
+type Cap = sphere.Cap
+
+// NewDB returns an empty archive database.
+func NewDB() *DB { return storage.NewDB() }
+
+// NewCap returns the circular region centered at (ra, dec) degrees with
+// the given radius in degrees.
+func NewCap(ra, dec, radiusDeg float64) Cap { return sphere.NewCap(ra, dec, radiusDeg) }
+
+// Arcsec converts arc seconds to degrees.
+func Arcsec(a float64) float64 { return sphere.Arcsec(a) }
+
+// ToArcsec converts degrees to arc seconds.
+func ToArcsec(deg float64) float64 { return sphere.ToArcsec(deg) }
+
+// GenerateField draws n true bodies uniformly inside the region;
+// galaxyFrac of them are galaxies. Deterministic in seed.
+func GenerateField(region Cap, n int, galaxyFrac float64, seed int64) *Field {
+	return survey.GenerateField(region, n, galaxyFrac, seed)
+}
+
+// SurveyTableName is the primary-table name of generated synthetic
+// archives.
+const SurveyTableName = survey.TableName
+
+// Client talks to a (possibly remote) Portal over SOAP.
+type Client = client.Client
+
+// Dial returns a client for the Portal at the given SOAP endpoint URL.
+func Dial(portalURL string) *Client { return client.New(portalURL) }
+
+// Values builds a row of values from Go primitives: int/int64 become INT,
+// float64 FLOAT, string STRING, bool BOOL, nil NULL.
+func Values(vals ...interface{}) ([]Value, error) {
+	out := make([]Value, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case nil:
+			out[i] = value.Null
+		case int:
+			out[i] = value.Int(int64(x))
+		case int64:
+			out[i] = value.Int(x)
+		case float64:
+			out[i] = value.Float(x)
+		case string:
+			out[i] = value.String(x)
+		case bool:
+			out[i] = value.Bool(x)
+		case Value:
+			out[i] = x
+		default:
+			return nil, &UnsupportedValueError{Index: i, Value: v}
+		}
+	}
+	return out, nil
+}
+
+// UnsupportedValueError reports a Go value Values could not convert.
+type UnsupportedValueError struct {
+	Index int
+	Value interface{}
+}
+
+// Error implements the error interface.
+func (e *UnsupportedValueError) Error() string {
+	return fmt.Sprintf("skyquery: unsupported value type %T at index %d", e.Value, e.Index)
+}

@@ -1,0 +1,207 @@
+package skyquery
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"skyquery/internal/value"
+)
+
+const testQuery = `
+	SELECT O.object_id, T.object_id
+	FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T, FIRST:PhotoObject P
+	WHERE AREA(185.0, -0.5, 900) AND XMATCH(O, T, !P) < 3.5
+	AND O.type = 'GALAXY'`
+
+func launch(t *testing.T, opts Options) *Federation {
+	t.Helper()
+	f, err := Launch(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestLaunchDefaults(t *testing.T) {
+	f := launch(t, Options{Bodies: 300})
+	if len(f.Nodes) != 3 {
+		t.Fatalf("nodes = %d", len(f.Nodes))
+	}
+	if f.PortalURL == "" || !strings.HasPrefix(f.PortalURL, "http://127.0.0.1:") {
+		t.Errorf("portal url = %q", f.PortalURL)
+	}
+	got := f.Portal.Archives()
+	if len(got) != 3 {
+		t.Errorf("archives = %v", got)
+	}
+}
+
+func TestQueryPaperExample(t *testing.T) {
+	f := launch(t, Options{Bodies: 400})
+	res, err := f.Query(testQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() == 0 {
+		t.Error("paper-style query returned nothing")
+	}
+	if len(res.Columns) != 2 {
+		t.Errorf("columns = %v", res.Columns)
+	}
+	if res.Columns[0].Name != "O.object_id" {
+		t.Errorf("column 0 = %q", res.Columns[0].Name)
+	}
+}
+
+func TestClientSOAPPath(t *testing.T) {
+	f := launch(t, Options{Bodies: 300})
+	c := f.Client()
+	res, err := c.Query(testQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := f.Query(testQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != direct.NumRows() {
+		t.Errorf("SOAP rows = %d, direct = %d", res.NumRows(), direct.NumRows())
+	}
+	// The transport must have observed traffic.
+	if f.Transport.Stats().Total() == 0 {
+		t.Error("transport saw no bytes")
+	}
+}
+
+func TestChainVsPullAgreement(t *testing.T) {
+	f := launch(t, Options{Bodies: 300})
+	chain, err := f.Query(testQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pull, err := f.PullQuery(testQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chain.NumRows() != pull.NumRows() {
+		t.Errorf("chain = %d rows, pull = %d rows", chain.NumRows(), pull.NumRows())
+	}
+}
+
+func TestBuildPlanExposed(t *testing.T) {
+	f := launch(t, Options{Bodies: 200})
+	p, err := f.BuildPlan(testQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Steps) != 3 {
+		t.Fatalf("steps = %d", len(p.Steps))
+	}
+	if !p.Steps[0].DropOut {
+		t.Errorf("drop-out not first: %s", p)
+	}
+}
+
+func TestCustomNodeSpec(t *testing.T) {
+	db := NewDB()
+	tab, err := db.Create("Objects", Schema{
+		{Name: "id", Type: value.IntType},
+		{Name: "ra", Type: value.FloatType},
+		{Name: "dec", Type: value.FloatType},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		row, err := Values(i, 185.0+float64(i)*0.001, -0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tab.Append(row...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tab.EnableSpatial(SpatialConfig{RACol: "ra", DecCol: "dec"}); err != nil {
+		t.Fatal(err)
+	}
+	f := launch(t, Options{
+		Surveys: []SurveySpec{{Name: "SDSS", SigmaArcsec: 0.1, Completeness: 1, Seed: 7}},
+		Bodies:  100,
+		Nodes: []NodeSpec{{
+			Name: "CUSTOM", DB: db, PrimaryTable: "Objects",
+			RACol: "ra", DecCol: "dec", SigmaArcsec: 0.3,
+		}},
+	})
+	res, err := f.Query(`SELECT c.id FROM CUSTOM:Objects c, SDSS:PhotoObject s
+		WHERE AREA(185.0, -0.5, 900) AND XMATCH(c, s) < 3.5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res // matches depend on random overlap; the call itself must work
+}
+
+func TestWANShaping(t *testing.T) {
+	f := launch(t, Options{
+		Bodies:     100,
+		WANLatency: 5 * time.Millisecond,
+	})
+	start := time.Now()
+	if _, err := f.Query(testQuery); err != nil {
+		t.Fatal(err)
+	}
+	// At least registration + perf queries + chain calls each paid 5ms.
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Errorf("elapsed %v: latency shaping seems inactive", elapsed)
+	}
+	if f.Transport.Stats().SimulatedWait == 0 {
+		t.Error("no simulated wait recorded")
+	}
+}
+
+func TestValuesConversion(t *testing.T) {
+	row, err := Values(1, int64(2), 2.5, "x", true, nil, value.Int(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(row) != 7 || row[5].Type() != value.NullType || row[6].AsInt() != 9 {
+		t.Errorf("row = %v", row)
+	}
+	if _, err := Values(struct{}{}); err == nil {
+		t.Error("unsupported type accepted")
+	}
+	if !strings.Contains((&UnsupportedValueError{Index: 3, Value: struct{}{}}).Error(), "index 3") {
+		t.Error("error message missing index")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	f := launch(t, Options{Bodies: 50, Surveys: DefaultSurveys()[:1]})
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWSDLServedOnAllEndpoints(t *testing.T) {
+	f := launch(t, Options{Bodies: 50, Surveys: DefaultSurveys()[:1]})
+	urls := []string{f.PortalURL}
+	for _, u := range f.NodeURLs {
+		urls = append(urls, u)
+	}
+	for _, u := range urls {
+		resp, err := f.Transport.Client().Get(u + "?wsdl")
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 1<<16)
+		n, _ := resp.Body.Read(buf)
+		resp.Body.Close()
+		if !strings.Contains(string(buf[:n]), "<definitions") {
+			t.Errorf("endpoint %s served no WSDL", u)
+		}
+	}
+}
