@@ -154,8 +154,9 @@ func orderingFixture(b *testing.B) (*Federation, *Plan) {
 	return planFixture.fed, planFixture.base
 }
 
-// runPlan executes a plan by calling the first step's CrossMatch service.
-func runPlan(b *testing.B, fed *Federation, p *Plan) int {
+// runPlanData executes a plan by calling the first step's CrossMatch
+// service and returns the tuple set that flowed back.
+func runPlanData(b *testing.B, fed *Federation, p *Plan) *dataset.DataSet {
 	b.Helper()
 	c := &soap.Client{HTTPClient: fed.Transport.Client()}
 	var first soap.ChunkedData
@@ -167,7 +168,13 @@ func runPlan(b *testing.B, fed *Federation, p *Plan) int {
 	if err != nil {
 		b.Fatal(err)
 	}
-	return ds.NumRows()
+	return ds
+}
+
+// runPlan executes a plan and returns its row count.
+func runPlan(b *testing.B, fed *Federation, p *Plan) int {
+	b.Helper()
+	return runPlanData(b, fed, p).NumRows()
 }
 
 // BenchmarkC1_PlanOrdering measures the chain under the optimizer's
@@ -403,6 +410,70 @@ func BenchmarkC5_ChainVsPull(b *testing.B) {
 		}
 		b.ReportMetric(float64(fed.Transport.Stats().Total())/float64(b.N), "wire-bytes/op")
 	})
+}
+
+// parallelChainFixture is the heavier federation for the parallel-chain
+// worker sweep: the Figure 3 three-survey pipeline, enough bodies that the
+// chain-step compute (predicate evaluation, HTM searches, accumulator
+// folds) dominates the SOAP plumbing.
+var parallelChainFixture = struct {
+	once sync.Once
+	fed  *Federation
+	base *Plan
+	err  error
+}{}
+
+func parallelFixture(b *testing.B) (*Federation, *Plan) {
+	b.Helper()
+	parallelChainFixture.once.Do(func() {
+		// Nodes are launched with Parallelism unset so each plan's hint
+		// (set per sub-benchmark below) picks the worker count. A dense
+		// field makes the per-tuple search-and-evaluate work (which
+		// parallelizes) dominate the per-tuple SOAP serialization (which
+		// does not); large chunks cut fetch round-trips.
+		parallelChainFixture.fed, parallelChainFixture.err = Launch(Options{Bodies: 24000, ChunkRows: 50000})
+		if parallelChainFixture.err != nil {
+			return
+		}
+		parallelChainFixture.base, parallelChainFixture.err = parallelChainFixture.fed.BuildPlan(benchQuery)
+	})
+	if parallelChainFixture.err != nil {
+		b.Fatal(parallelChainFixture.err)
+	}
+	return parallelChainFixture.fed, parallelChainFixture.base
+}
+
+// BenchmarkC5_ParallelChain sweeps the chain-step worker count over the
+// Figure 3 pipeline via the plan's Parallelism hint. Before timing, each
+// setting's output is verified row-for-row identical (including order) to
+// the sequential run, so the speedup is measured on provably equivalent
+// work. The sweep needs real cores: on a single-CPU host every setting
+// runs in the same wall time (which bounds the executor's scheduling
+// overhead — it should be within noise of workers-1).
+func BenchmarkC5_ParallelChain(b *testing.B) {
+	fed, base := parallelFixture(b)
+	seqPlan := *base
+	seqPlan.Parallelism = 1
+	seq := runPlanData(b, fed, &seqPlan)
+	if seq.NumRows() == 0 {
+		b.Fatal("no matches; the sweep would measure nothing")
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			p := *base
+			p.Parallelism = workers
+			got := runPlanData(b, fed, &p)
+			if d := diffDataSets(seq, got); d != "" {
+				b.Fatalf("workers=%d output differs from sequential: %s", workers, d)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if n := runPlan(b, fed, &p); n != seq.NumRows() {
+					b.Fatalf("rows = %d, want %d", n, seq.NumRows())
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkC6_Scaling measures query cost as archives are added.

@@ -32,6 +32,7 @@ func main() {
 	region := flag.String("region", "185.0,-0.5,0.25", "field as ra,dec,radiusDeg")
 	seed := flag.Int64("seed", 1, "field seed (share across nodes for overlapping surveys)")
 	nodeSeed := flag.Int64("node-seed", 0, "observation seed (defaults to a hash of -name)")
+	parallelism := flag.Int("parallelism", 0, "chain-step worker pool size (0 = plan hint, then GOMAXPROCS; 1 = sequential)")
 	addr := flag.String("addr", ":8081", "listen address")
 	publicURL := flag.String("url", "", "public URL for WSDL and registration (defaults to http://<host>:<port>)")
 	portalURL := flag.String("portal", "", "portal endpoint to register with on startup")
@@ -65,6 +66,7 @@ func main() {
 	cfg := skynode.Config{
 		Name: *name, DB: db, PrimaryTable: survey.TableName,
 		RACol: "ra", DecCol: "dec", SigmaArcsec: *sigma,
+		Parallelism: *parallelism,
 	}
 	if *verbose {
 		cfg.OnEvent = func(e skynode.Event) { log.Printf("[%s] %s", e.Kind, e.Detail) }

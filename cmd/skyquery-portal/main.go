@@ -21,10 +21,11 @@ func main() {
 	publicURL := flag.String("url", "", "public URL for the WSDL (defaults to http://<addr>)")
 	chunkRows := flag.Int("chunk-rows", 5000, "rows per SOAP message for large results")
 	matchCols := flag.Bool("match-columns", false, "append _matchRA/_matchDec/_logLikelihood/_nObs to results")
+	parallelism := flag.Int("parallelism", 0, "chain-step worker hint written into plans (0 = node default, 1 = sequential)")
 	verbose := flag.Bool("v", false, "log query trace events")
 	flag.Parse()
 
-	cfg := portal.Config{ChunkRows: *chunkRows, IncludeMatchColumns: *matchCols}
+	cfg := portal.Config{ChunkRows: *chunkRows, IncludeMatchColumns: *matchCols, Parallelism: *parallelism}
 	if *verbose {
 		cfg.OnEvent = func(e portal.Event) { log.Printf("[%s] %s", e.Kind, e.Detail) }
 	}

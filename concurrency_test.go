@@ -1,0 +1,141 @@
+package skyquery
+
+// End-to-end concurrency coverage for the parallel chain executor: many
+// simultaneous Portal.Query calls against one federation must produce
+// exactly the results of serial execution, and the executor itself must be
+// deterministic (row-for-row, including order) at every Parallelism
+// setting. Both tests are meaningful mainly under the race detector:
+//
+//	go test -race -run 'Concurrent|Determinism' .
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"skyquery/internal/value"
+)
+
+// concurrencyQueries mixes the three workload shapes the Portal serves:
+// a mandatory-only cross match, a drop-out cross match, and a
+// single-archive pass-through query.
+var concurrencyQueries = []string{
+	`SELECT O.object_id, T.object_id, P.object_id
+	 FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T, FIRST:PhotoObject P
+	 WHERE AREA(185.0, -0.5, 900) AND XMATCH(O, T, P) < 3.5
+	 AND O.type = 'GALAXY' AND (O.flux - T.flux) > 2`,
+
+	`SELECT O.object_id, T.object_id
+	 FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T, FIRST:PhotoObject P
+	 WHERE AREA(185.0, -0.5, 900) AND XMATCH(O, T, !P) < 3.5
+	 AND O.type = 'GALAXY'`,
+
+	`SELECT TOP 50 O.object_id, O.flux
+	 FROM SDSS:PhotoObject O
+	 WHERE AREA(185.0, -0.5, 900) AND O.type = 'GALAXY'`,
+}
+
+// diffDataSets returns a description of the first difference between two
+// result sets (schema, row count, or cell), or "" when they are identical
+// including row order.
+func diffDataSets(want, got *Result) string {
+	if !want.SchemaEqual(got) {
+		return fmt.Sprintf("schema %v != %v", got.Columns, want.Columns)
+	}
+	if got.NumRows() != want.NumRows() {
+		return fmt.Sprintf("rows = %d, want %d", got.NumRows(), want.NumRows())
+	}
+	for i := range want.Rows {
+		for j := range want.Rows[i] {
+			if !value.Equal(want.Rows[i][j], got.Rows[i][j]) {
+				return fmt.Sprintf("row %d col %d = %v, want %v", i, j, got.Rows[i][j], want.Rows[i][j])
+			}
+		}
+	}
+	return ""
+}
+
+// TestConcurrentQueriesMatchSerial launches one in-process federation and
+// fires many concurrent Portal.Query calls, asserting every response is
+// identical to the serial answer.
+func TestConcurrentQueriesMatchSerial(t *testing.T) {
+	f := launch(t, Options{Bodies: 500})
+
+	want := make([]*Result, len(concurrencyQueries))
+	for i, q := range concurrencyQueries {
+		res, err := f.Query(q)
+		if err != nil {
+			t.Fatalf("serial query %d: %v", i, err)
+		}
+		want[i] = res
+	}
+
+	const clients = 8
+	const rounds = 3
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*rounds*len(concurrencyQueries))
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// Stagger which query each client starts with so distinct
+				// shapes overlap in flight.
+				for i := range concurrencyQueries {
+					q := (c + r + i) % len(concurrencyQueries)
+					res, err := f.Query(concurrencyQueries[q])
+					if err != nil {
+						errs <- fmt.Errorf("client %d query %d: %v", c, q, err)
+						return
+					}
+					if d := diffDataSets(want[q], res); d != "" {
+						errs <- fmt.Errorf("client %d query %d: %s", c, q, d)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestParallelExecutorDeterminism asserts the parallel chain executor is
+// bit-identical to the sequential one: federations over the same seeded
+// surveys, differing only in Parallelism, return row-for-row identical
+// results (including order) for every workload shape.
+func TestParallelExecutorDeterminism(t *testing.T) {
+	opts := func(parallelism int) Options {
+		return Options{Bodies: 500, Seed: 7, Parallelism: parallelism}
+	}
+	serial := launch(t, opts(1))
+	want := make([]*Result, len(concurrencyQueries))
+	for i, q := range concurrencyQueries {
+		res, err := serial.Query(q)
+		if err != nil {
+			t.Fatalf("sequential query %d: %v", i, err)
+		}
+		want[i] = res
+		if i < 2 && res.NumRows() == 0 {
+			t.Fatalf("query %d matched nothing; the comparison would be vacuous", i)
+		}
+	}
+
+	for _, parallelism := range []int{2, 4, 8} {
+		t.Run(fmt.Sprintf("parallelism-%d", parallelism), func(t *testing.T) {
+			f := launch(t, opts(parallelism))
+			for i, q := range concurrencyQueries {
+				res, err := f.Query(q)
+				if err != nil {
+					t.Fatalf("query %d: %v", i, err)
+				}
+				if d := diffDataSets(want[i], res); d != "" {
+					t.Errorf("query %d: parallel output differs from sequential: %s", i, d)
+				}
+			}
+		})
+	}
+}

@@ -61,6 +61,11 @@ type Options struct {
 	// IncludeMatchColumns adds _matchRA/_matchDec/_logLikelihood/_nObs to
 	// cross-match results.
 	IncludeMatchColumns bool
+	// Parallelism bounds the worker pool every node's cross-match chain
+	// step partitions its tuples across, and is also written into plans
+	// as the Portal's hint. 0 means GOMAXPROCS; 1 recovers the sequential
+	// executor. Results are bit-identical at every setting.
+	Parallelism int
 	// PortalEvents and NodeEvents receive trace events when set.
 	PortalEvents func(kind, detail string)
 	NodeEvents   func(node, kind, detail string)
@@ -143,6 +148,7 @@ func Launch(opts Options) (*Federation, error) {
 		ChunkRows:           opts.ChunkRows,
 		MessageLimit:        opts.MessageLimit,
 		IncludeMatchColumns: opts.IncludeMatchColumns,
+		Parallelism:         opts.Parallelism,
 		OnEvent:             portalEvents,
 	})
 	portalURL, err := f.serve(f.Portal.Server())
@@ -204,6 +210,7 @@ func (f *Federation) attach(spec NodeSpec, soapClient *soap.Client, opts Options
 		Client:       soapClient,
 		ChunkRows:    opts.ChunkRows,
 		MessageLimit: opts.MessageLimit,
+		Parallelism:  opts.Parallelism,
 		OnEvent:      onEvent,
 	})
 	if err != nil {

@@ -1,0 +1,3 @@
+module skyquery
+
+go 1.24

@@ -80,6 +80,10 @@ type Engine struct {
 	// ChunkRows is the per-message row bound written into plans; 0 means
 	// 5000.
 	ChunkRows int
+	// Parallelism is the chain-step worker-count hint written into plans;
+	// 0 lets each node choose (GOMAXPROCS), 1 requests the sequential
+	// path.
+	Parallelism int
 	// IncludeMatchColumns appends _matchRA, _matchDec, _logLikelihood,
 	// _nObs diagnostics to cross-match results.
 	IncludeMatchColumns bool

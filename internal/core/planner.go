@@ -163,11 +163,12 @@ func (e *Engine) BuildPlan(q *sqlparse.Query) (*plan.Plan, error) {
 		return nil, err
 	}
 	p := &plan.Plan{
-		QueryID:   e.queryID(),
-		Threshold: q.XMatch.Threshold,
-		Area:      area,
-		Steps:     ordered,
-		ChunkRows: e.chunkRows(),
+		QueryID:     e.queryID(),
+		Threshold:   q.XMatch.Threshold,
+		Area:        area,
+		Steps:       ordered,
+		ChunkRows:   e.chunkRows(),
+		Parallelism: e.Parallelism,
 	}
 	for _, item := range q.Select {
 		p.SelectList = append(p.SelectList, item.Expr.String())

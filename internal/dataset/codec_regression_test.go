@@ -1,0 +1,29 @@
+package dataset
+
+// Regression coverage for the hand-rolled XML codec's compatibility with
+// what the old reflection decoder accepted and rejected.
+
+import (
+	"strings"
+	"testing"
+
+	"skyquery/internal/value"
+)
+
+func TestDecodeRejectsWrongRootElement(t *testing.T) {
+	if _, err := DecodeXML(strings.NewReader(`<Fault><Code>oops</Code></Fault>`)); err == nil {
+		t.Fatal("mis-framed document decoded as a dataset instead of erroring")
+	}
+}
+
+func TestDecodeIgnoresCommentsInsideCells(t *testing.T) {
+	src := `<DataSet><Columns><Column name="x" type="INT"></Column></Columns>` +
+		`<Rows><R><C>1<!-- split -->2</C></R></Rows></DataSet>`
+	d, err := DecodeXML(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRows() != 1 || !value.Equal(d.Rows[0][0], value.Int(12)) {
+		t.Fatalf("got %v, want one row with 12", d.Rows)
+	}
+}

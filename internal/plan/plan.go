@@ -103,6 +103,11 @@ type Plan struct {
 	// ChunkRows bounds rows per SOAP message for partial-result
 	// transfers; 0 disables chunking.
 	ChunkRows int `xml:"chunkRows,attr,omitempty"`
+	// Parallelism is the Portal's worker-count hint for each node's chain
+	// step. A node honors it unless its own configuration overrides it;
+	// 0 leaves the choice to the node (GOMAXPROCS), 1 forces the
+	// sequential path.
+	Parallelism int `xml:"parallelism,attr,omitempty"`
 }
 
 // StepIndex returns the position of the step for the given archive, or -1.
@@ -132,6 +137,9 @@ func (p *Plan) Validate() error {
 	}
 	if p.Threshold <= 0 {
 		return fmt.Errorf("plan: threshold must be positive, got %v", p.Threshold)
+	}
+	if p.Parallelism < 0 {
+		return fmt.Errorf("plan: parallelism must be non-negative, got %d", p.Parallelism)
 	}
 	if _, err := p.Area.Region(); err != nil {
 		return err

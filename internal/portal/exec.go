@@ -19,6 +19,7 @@ func (p *Portal) engine() *core.Engine {
 			Catalog:             (*portalCatalog)(p),
 			Services:            &portalServices{p: p},
 			ChunkRows:           p.cfg.ChunkRows,
+			Parallelism:         p.cfg.Parallelism,
 			IncludeMatchColumns: p.cfg.IncludeMatchColumns,
 			OnEvent: func(ev core.Event) {
 				p.emit(ev.Kind, "%s", ev.Detail)

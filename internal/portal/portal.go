@@ -48,6 +48,11 @@ type Config struct {
 	// IncludeMatchColumns appends _matchRA, _matchDec, _logLikelihood and
 	// _nObs diagnostic columns to cross-match results.
 	IncludeMatchColumns bool
+	// Parallelism is written into every execution plan as the per-node
+	// worker-count hint for chain steps. 0 lets each node choose
+	// (GOMAXPROCS); 1 requests the sequential path. A node's own
+	// configuration overrides the hint.
+	Parallelism int
 	// OnEvent, when set, receives trace events; must be fast and
 	// concurrency-safe.
 	OnEvent func(Event)

@@ -71,6 +71,11 @@ type Config struct {
 	// MessageLimit configures the server's accepted message size;
 	// 0 means soap.DefaultMessageLimit.
 	MessageLimit int64
+	// Parallelism bounds the worker pool each cross-match chain step
+	// partitions its tuples across. 0 defers to the plan's hint and then
+	// to GOMAXPROCS; 1 recovers the sequential executor. Output is
+	// bit-identical at every setting.
+	Parallelism int
 	// OnEvent, when set, receives trace events. It must be fast and
 	// concurrency-safe.
 	OnEvent func(Event)

@@ -1,0 +1,105 @@
+package skynode
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"skyquery/internal/value"
+)
+
+// parallelism resolves the worker count for a chain step: the node's own
+// configuration wins, then the plan's hint, then GOMAXPROCS. The result is
+// always at least 1; 1 selects the sequential path.
+func (n *Node) parallelism(planHint int) int {
+	p := n.cfg.Parallelism
+	if p == 0 {
+		p = planHint
+	}
+	if p == 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// forEachOrdered evaluates fn(i) for every i in [0, total) using up to
+// workers goroutines and returns the produced row groups concatenated in
+// input order, so a parallel run is row-for-row identical to a sequential
+// one. fn must be safe for concurrent invocation on distinct indices; a
+// nil group contributes nothing.
+//
+// Indices are handed out through an atomic cursor rather than fixed-size
+// shards: tuples whose search radius collapsed to zero are orders of
+// magnitude cheaper than tuples with many candidates, and dynamic
+// scheduling keeps the workers balanced under that skew. Every index is
+// always evaluated (no early abort on error) so the reported error is
+// deterministically the one from the lowest failing index, exactly as the
+// sequential loop would surface it.
+func forEachOrdered(total, workers int, fn func(i int) ([][]value.Value, error)) ([][]value.Value, error) {
+	if total == 0 {
+		return nil, nil
+	}
+	if workers > total {
+		workers = total
+	}
+	// A panic in a bare worker goroutine would crash the whole process;
+	// inside an HTTP handler it only drops one request. Recover to an
+	// error so the parallel path keeps the sequential path's per-request
+	// failure domain.
+	safeCall := func(i int) (rows [][]value.Value, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("skynode: chain step panicked on tuple %d: %v", i, r)
+			}
+		}()
+		return fn(i)
+	}
+
+	if workers <= 1 {
+		var out [][]value.Value
+		for i := 0; i < total; i++ {
+			rows, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, rows...)
+		}
+		return out, nil
+	}
+
+	groups := make([][][]value.Value, total)
+	errs := make([]error, total)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				groups[i], errs[i] = safeCall(i)
+			}
+		}()
+	}
+	wg.Wait()
+
+	n := 0
+	for i := range groups {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		n += len(groups[i])
+	}
+	out := make([][]value.Value, 0, n)
+	for _, g := range groups {
+		out = append(out, g...)
+	}
+	return out, nil
+}

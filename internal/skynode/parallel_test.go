@@ -1,0 +1,107 @@
+package skynode
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"skyquery/internal/value"
+)
+
+// groupsFor builds the expected output of forEachOrdered for the fan-out
+// fixture: index i contributes i%3 rows tagged (i, k).
+func groupsFor(total int) [][]value.Value {
+	var out [][]value.Value
+	for i := 0; i < total; i++ {
+		for k := 0; k < i%3; k++ {
+			out = append(out, []value.Value{value.Int(int64(i)), value.Int(int64(k))})
+		}
+	}
+	return out
+}
+
+func TestForEachOrderedMatchesSequential(t *testing.T) {
+	const total = 500
+	want := groupsFor(total)
+	for _, workers := range []int{1, 2, 3, 8, 64, total + 10} {
+		t.Run(fmt.Sprintf("workers-%d", workers), func(t *testing.T) {
+			got, err := forEachOrdered(total, workers, func(i int) ([][]value.Value, error) {
+				var rows [][]value.Value
+				for k := 0; k < i%3; k++ {
+					rows = append(rows, []value.Value{value.Int(int64(i)), value.Int(int64(k))})
+				}
+				return rows, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("rows = %d, want %d", len(got), len(want))
+			}
+			for i := range want {
+				for j := range want[i] {
+					if !value.Equal(got[i][j], want[i][j]) {
+						t.Fatalf("row %d col %d = %v, want %v", i, j, got[i][j], want[i][j])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestForEachOrderedReturnsLowestIndexError(t *testing.T) {
+	// Regardless of scheduling, the surfaced error must be the one the
+	// sequential loop would have hit first.
+	for _, workers := range []int{1, 4, 16} {
+		_, err := forEachOrdered(100, workers, func(i int) ([][]value.Value, error) {
+			if i%7 == 3 { // fails at 3, 10, 17, ...
+				return nil, fmt.Errorf("boom at %d", i)
+			}
+			return nil, nil
+		})
+		if err == nil || err.Error() != "boom at 3" {
+			t.Errorf("workers=%d: err = %v, want boom at 3", workers, err)
+		}
+	}
+}
+
+func TestForEachOrderedRecoversWorkerPanic(t *testing.T) {
+	// A panic inside a worker goroutine must surface as an error, not
+	// crash the process (in an HTTP handler only net/http's recovery
+	// protects the sequential path; bare goroutines have none).
+	_, err := forEachOrdered(50, 8, func(i int) ([][]value.Value, error) {
+		if i == 17 {
+			panic("boom")
+		}
+		return nil, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "panicked on tuple 17") {
+		t.Fatalf("err = %v, want panic surfaced as error", err)
+	}
+}
+
+func TestForEachOrderedEmpty(t *testing.T) {
+	rows, err := forEachOrdered(0, 8, func(int) ([][]value.Value, error) {
+		t.Fatal("fn called for empty input")
+		return nil, nil
+	})
+	if err != nil || rows != nil {
+		t.Fatalf("got %v, %v", rows, err)
+	}
+}
+
+func TestNodeParallelismResolution(t *testing.T) {
+	mk := func(cfg int) *Node { return &Node{cfg: Config{Parallelism: cfg}} }
+	if got := mk(3).parallelism(8); got != 3 {
+		t.Errorf("config beats hint: got %d, want 3", got)
+	}
+	if got := mk(0).parallelism(8); got != 8 {
+		t.Errorf("hint when config unset: got %d, want 8", got)
+	}
+	if got := mk(0).parallelism(0); got < 1 {
+		t.Errorf("GOMAXPROCS fallback: got %d, want >= 1", got)
+	}
+	if got := mk(-5).parallelism(0); got != 1 {
+		t.Errorf("negative clamps to sequential: got %d, want 1", got)
+	}
+}

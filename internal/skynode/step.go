@@ -58,7 +58,7 @@ func (n *Node) localStep(p *plan.Plan, step plan.Step, incoming *dataset.DataSet
 			return nil, fmt.Errorf("drop-out archive cannot seed the chain")
 		}
 		n.emit("xmatch.seed", "table %s", step.Table)
-		return n.seedStep(table, step, area, localWhere)
+		return n.seedStep(p, table, step, area, localWhere)
 	}
 	if step.DropOut {
 		n.emit("xmatch.dropout", "%d tuples in", incoming.NumRows())
@@ -69,37 +69,36 @@ func (n *Node) localStep(p *plan.Plan, step plan.Step, incoming *dataset.DataSet
 }
 
 // seedStep runs the first (innermost) query of the chain: all objects in
-// the area passing the local predicate become 1-tuples.
-func (n *Node) seedStep(table *storage.Table, step plan.Step, area sphere.Region, localWhere sqlparse.Expr) (*dataset.DataSet, error) {
+// the area passing the local predicate become 1-tuples. The HTM region
+// walk collects candidate rows in index order; predicate evaluation and
+// tuple construction — the expensive part — is sharded across the worker
+// pool, with results merged back in scan order.
+func (n *Node) seedStep(p *plan.Plan, table *storage.Table, step plan.Step, area sphere.Region, localWhere sqlparse.Expr) (*dataset.DataSet, error) {
 	out := dataset.New(n.tupleColumns(nil, table, step)...)
-	var stepErr error
-	err := table.SearchRegion(area, func(row int) bool {
-		env := table.Env(step.Alias, row)
-		ok, err := eval.EvalBool(localWhere, env)
-		if err != nil {
-			stepErr = err
-			return false
+	var cand []int
+	var candPos []sphere.Vec
+	if err := table.SearchRegionPos(area, func(row int, pos sphere.Vec) bool {
+		cand = append(cand, row)
+		candPos = append(candPos, pos)
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	rows, err := forEachOrdered(len(cand), n.parallelism(p.Parallelism), func(i int) ([][]value.Value, error) {
+		row := cand[i]
+		ok, err := eval.EvalBool(localWhere, table.Env(step.Alias, row))
+		if err != nil || !ok {
+			return nil, err
 		}
-		if !ok {
-			return true
-		}
-		pos, err := table.Position(row)
-		if err != nil {
-			stepErr = err
-			return false
-		}
-		acc := xmatch.Accumulator{}.Add(pos, step.SigmaArcsec)
+		acc := xmatch.Accumulator{}.Add(candPos[i], step.SigmaArcsec)
 		cells := xmatch.AccToCells(acc)
 		cells = append(cells, n.columnCells(table, step, row)...)
-		out.Rows = append(out.Rows, cells)
-		return true
+		return [][]value.Value{cells}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	if stepErr != nil {
-		return nil, stepErr
-	}
+	out.Rows = rows
 	return out, nil
 }
 
@@ -124,30 +123,29 @@ func (n *Node) extendStep(p *plan.Plan, table *storage.Table, step plan.Step, ar
 	out := dataset.New(n.tupleColumns(incoming, table, step)...)
 	priorCols := incoming.Columns[xmatch.NumAccCols:]
 
-	var stepErr error
-	tmp.Scan(func(tRow int) bool {
+	// Each incoming tuple extends independently (§5.3 is embarrassingly
+	// parallel per partial tuple); workers each take whole tuples and the
+	// per-tuple extension groups are merged in input order, so the output
+	// is identical to the sequential scan's.
+	rows, err := forEachOrdered(tmp.RowCount(), n.parallelism(p.Parallelism), func(tRow int) ([][]value.Value, error) {
 		row := tmp.Row(tRow)
 		acc, err := xmatch.CellsToAcc(row)
 		if err != nil {
-			stepErr = err
-			return false
+			return nil, err
 		}
 		radius := acc.SearchRadius(p.Threshold, step.SigmaArcsec)
 		if radius <= 0 {
-			return true
+			return nil, nil
 		}
 		// Prior tuple values, for cross-archive predicates.
 		env := eval.MapEnv{}
 		for i, c := range priorCols {
 			env[c.Name] = row[xmatch.NumAccCols+i]
 		}
+		var ext [][]value.Value
+		var stepErr error
 		searchCap := sphere.CapAround(acc.Best(), radius)
-		err = table.SearchCap(searchCap, func(cand int) bool {
-			pos, err := table.Position(cand)
-			if err != nil {
-				stepErr = err
-				return false
-			}
+		err = table.SearchCapPos(searchCap, func(cand int, pos sphere.Vec) bool {
 			// Every observation in the result must lie in the query AREA.
 			if !area.Contains(pos) {
 				return true
@@ -182,17 +180,21 @@ func (n *Node) extendStep(p *plan.Plan, table *storage.Table, step plan.Step, ar
 			cells := xmatch.AccToCells(next)
 			cells = append(cells, row[xmatch.NumAccCols:]...)
 			cells = append(cells, n.columnCells(table, step, cand)...)
-			out.Rows = append(out.Rows, cells)
+			ext = append(ext, cells)
 			return true
 		})
 		if err != nil {
-			stepErr = err
+			return nil, err
 		}
-		return stepErr == nil
+		if stepErr != nil {
+			return nil, stepErr
+		}
+		return ext, nil
 	})
-	if stepErr != nil {
-		return nil, stepErr
+	if err != nil {
+		return nil, err
 	}
+	out.Rows = rows
 	return out, nil
 }
 
@@ -214,24 +216,20 @@ func (n *Node) dropOutStep(p *plan.Plan, table *storage.Table, step plan.Step, a
 	}
 
 	out := &dataset.DataSet{Columns: incoming.Columns}
-	var stepErr error
-	tmp.Scan(func(tRow int) bool {
+	// Veto checks are independent per tuple; survivors are merged back in
+	// input order (see extendStep).
+	rows, err := forEachOrdered(tmp.RowCount(), n.parallelism(p.Parallelism), func(tRow int) ([][]value.Value, error) {
 		row := tmp.Row(tRow)
 		acc, err := xmatch.CellsToAcc(row)
 		if err != nil {
-			stepErr = err
-			return false
+			return nil, err
 		}
 		radius := acc.SearchRadius(p.Threshold, step.SigmaArcsec)
 		vetoed := false
 		if radius > 0 {
+			var stepErr error
 			searchCap := sphere.CapAround(acc.Best(), radius)
-			err = table.SearchCap(searchCap, func(cand int) bool {
-				pos, err := table.Position(cand)
-				if err != nil {
-					stepErr = err
-					return false
-				}
+			err = table.SearchCapPos(searchCap, func(cand int, pos sphere.Vec) bool {
 				if !area.Contains(pos) {
 					return true
 				}
@@ -250,20 +248,21 @@ func (n *Node) dropOutStep(p *plan.Plan, table *storage.Table, step plan.Step, a
 				return true
 			})
 			if err != nil {
-				stepErr = err
+				return nil, err
+			}
+			if stepErr != nil {
+				return nil, stepErr
 			}
 		}
-		if stepErr != nil {
-			return false
+		if vetoed {
+			return nil, nil
 		}
-		if !vetoed {
-			out.Rows = append(out.Rows, row)
-		}
-		return true
+		return [][]value.Value{row}, nil
 	})
-	if stepErr != nil {
-		return nil, stepErr
+	if err != nil {
+		return nil, err
 	}
+	out.Rows = rows
 	return out, nil
 }
 
@@ -298,7 +297,9 @@ func (n *Node) columnCells(table *storage.Table, step plan.Step, row int) []valu
 			out = append(out, value.Null)
 			continue
 		}
-		out = append(out, table.Value(row, ci))
+		// Unlocked read: columnCells runs inside the chain step's
+		// read-only phase (often under a Search* callback).
+		out = append(out, table.ValueUnlocked(row, ci))
 	}
 	return out
 }

@@ -1,0 +1,65 @@
+package skynode
+
+import (
+	"fmt"
+	"testing"
+
+	"skyquery/internal/dataset"
+	"skyquery/internal/plan"
+	"skyquery/internal/sphere"
+	"skyquery/internal/survey"
+)
+
+// BenchmarkLocalStep isolates one extendStep from the SOAP plumbing: the
+// seed tuples are produced once, then the mandatory step over the densest
+// archive is timed at several worker counts.
+func BenchmarkLocalStep(b *testing.B) {
+	field := survey.GenerateField(sphere.NewCap(185, -0.5, 0.25), 24000, 0.4, 1001)
+	var nodes []*Node
+	for _, cfg := range defaultConfigs() {
+		a := survey.Observe(field, cfg)
+		db, err := a.BuildDB()
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, err := New(Config{Name: cfg.Name, DB: db, PrimaryTable: survey.TableName,
+			RACol: "ra", DecCol: "dec", SigmaArcsec: cfg.SigmaArcsec})
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	p := &plan.Plan{
+		QueryID:   "bench",
+		Threshold: 3.5,
+		Area:      plan.Area{RA: 185, Dec: -0.5, RadiusArcsec: 900},
+		Steps: []plan.Step{
+			{Archive: "SDSS", Alias: "O", Endpoint: "x", Table: survey.TableName, SigmaArcsec: 0.1, Columns: []string{"object_id", "flux"}},
+			{Archive: "TWOMASS", Alias: "T", Endpoint: "x", Table: survey.TableName, SigmaArcsec: 0.2, Columns: []string{"object_id", "flux"}},
+		},
+	}
+	var seed *dataset.DataSet
+	{
+		var err error
+		seed, err = nodes[1].localStep(p, p.Steps[1], nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Logf("seed tuples: %d", seed.NumRows())
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			p2 := *p
+			p2.Parallelism = workers
+			for i := 0; i < b.N; i++ {
+				out, err := nodes[0].localStep(&p2, p2.Steps[0], seed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if out.NumRows() == 0 {
+					b.Fatal("no tuples")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,92 @@
+package sqlparse
+
+// Native Go fuzz targets for the dialect parser. The parser is the
+// federation's outermost attack surface — the Portal hands it raw strings
+// straight off the SOAP wire — so it must return errors, never panic, on
+// arbitrary input. Seeds mirror the hand-written corpus in parser_test.go;
+// additional regression inputs live in testdata/fuzz/.
+//
+//	go test -fuzz=FuzzParse -fuzztime=30s ./internal/sqlparse
+//	go test -fuzz=FuzzParseExpr -fuzztime=30s ./internal/sqlparse
+
+import (
+	"testing"
+)
+
+var fuzzQuerySeeds = []string{
+	paperQuery,
+	`SELECT O.id FROM SDSS:PhotoObject O, TWOMASS:PhotoPrimary T, FIRST:PrimaryObject P
+	 WHERE AREA(185, -0.5, 120) AND XMATCH(O, T, !P) < 2.5`,
+	`SELECT count(*) FROM SDSS:Photo_Object O WHERE AREA(185.0, 0.5, 4.5) AND O.type = 'GALAXY'`,
+	`SELECT TOP 10 O.id FROM SDSS:T O`,
+	`SELECT a.x FROM A:T a WHERE AREA(10, 10, 20, 10, 20, 20, 10, 20) AND XMATCH(a) < 2`,
+	`select a.x from A:T a where area(1, 2, 3) and xmatch(a) < 2.5`,
+	"SELECT a.x -- comment here\nFROM A:T a -- trailing",
+	`SELECT id FROM T WHERE flux > 3`,
+	`SELECT * FROM`,
+	`SELECT O.id FROM SDSS:T O WHERE O.name = 'O''Neill'`,
+	``,
+	`'unterminated`,
+	`SELECT O.id FROM SDSS:T O WHERE O.x BETWEEN 1 AND`,
+	"\x00\xff\xfe",
+}
+
+var fuzzExprSeeds = []string{
+	`(O.i_flux - T.i_flux) > 2`,
+	`1 + 2 * 3 = 7 AND 2 < 3 OR FALSE`,
+	`a.name = 'O''Neill'`,
+	`a.x != 1`,
+	`ABS(O.a + T.b) > 1 AND O.c IS NULL AND T.d IN (1, O.e) AND O.f BETWEEN 1 AND 2`,
+	`a.x +`,
+	`a.x = 1 garbage`,
+	`NOT NOT NOT x`,
+	`((((((((((1))))))))))`,
+	`x LIKE '%''%'`,
+	``,
+	`-`,
+	`1e999`,
+}
+
+// FuzzParse asserts Parse returns a query or an error — never a panic —
+// and that anything it accepts round-trips through String back into a
+// parseable query (the fixpoint property TestParseStringFixpoint checks
+// for the curated corpus).
+func FuzzParse(f *testing.F) {
+	for _, seed := range fuzzQuerySeeds {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if q == nil {
+			t.Fatalf("Parse(%q) returned nil query and nil error", src)
+		}
+		printed := q.String()
+		if _, err := Parse(printed); err != nil {
+			t.Fatalf("accepted %q but rejected its own rendering %q: %v", src, printed, err)
+		}
+	})
+}
+
+// FuzzParseExpr is the standalone-expression variant used for the plan's
+// LocalWhere/CrossWhere strings, which nodes re-parse off the wire.
+func FuzzParseExpr(f *testing.F) {
+	for _, seed := range fuzzExprSeeds {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := ParseExpr(src)
+		if err != nil {
+			return
+		}
+		if e == nil {
+			t.Fatalf("ParseExpr(%q) returned nil expr and nil error", src)
+		}
+		printed := e.String()
+		if _, err := ParseExpr(printed); err != nil {
+			t.Fatalf("accepted %q but rejected its own rendering %q: %v", src, printed, err)
+		}
+	})
+}

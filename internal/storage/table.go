@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"skyquery/internal/htm"
 	"skyquery/internal/sphere"
@@ -250,7 +251,7 @@ func (t *Table) Append(vals ...value.Value) error {
 	}
 	t.rows++
 	if t.spatial != nil {
-		t.spatial.dirty = true
+		t.spatial.dirty.Store(true)
 	}
 	return nil
 }
@@ -276,6 +277,14 @@ func (t *Table) truncateColumnLocked(i, n int) {
 func (t *Table) Value(row, col int) value.Value {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	return t.cols[col].get(row)
+}
+
+// ValueUnlocked is Value without the read lock, for code that is already
+// inside a read context — a Search* callback, or the bulk-load-then-read
+// phase discipline the federation follows (row environments created by Env
+// read the same way). Callers outside such a context must use Value.
+func (t *Table) ValueUnlocked(row, col int) value.Value {
 	return t.cols[col].get(row)
 }
 
@@ -321,7 +330,14 @@ type spatialIndex struct {
 	deIdx int
 	ids   []htm.ID // per-row leaf trixel, in row order
 	order []int32  // row indices sorted by ids
-	dirty bool
+
+	// dirty marks the index stale after appends. It is rebuilt lazily on
+	// the next search, under rebuildMu rather than the table's write lock:
+	// a search queuing a write lock while sibling searches hold read locks
+	// would deadlock against their nested read acquisitions (Position,
+	// Value, Row inside search callbacks).
+	dirty     atomic.Bool
+	rebuildMu sync.Mutex
 }
 
 // EnableSpatial builds an HTM index over the given position columns.
@@ -343,7 +359,7 @@ func (t *Table) EnableSpatial(cfg SpatialConfig) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.spatial = &spatialIndex{cfg: cfg, raIdx: ra, deIdx: de, dirty: true}
+	t.spatial = &spatialIndex{cfg: cfg, raIdx: ra, deIdx: de}
 	t.rebuildSpatialLocked()
 	return nil
 }
@@ -365,6 +381,10 @@ func (t *Table) SpatialLevel() int {
 	return t.spatial.cfg.Level
 }
 
+// rebuildSpatialLocked rebuilds the index from the table's current rows.
+// The caller must hold t.mu (either mode suffices: the read lock excludes
+// appends, and writers to the index itself serialize on rebuildMu or hold
+// the write lock as EnableSpatial does).
 func (t *Table) rebuildSpatialLocked() {
 	s := t.spatial
 	s.ids = make([]htm.ID, t.rows)
@@ -377,7 +397,7 @@ func (t *Table) rebuildSpatialLocked() {
 	sort.Slice(s.order, func(a, b int) bool {
 		return s.ids[s.order[a]] < s.ids[s.order[b]]
 	})
-	s.dirty = false
+	s.dirty.Store(false)
 }
 
 func (t *Table) positionLocked(row int) sphere.Vec {
@@ -401,17 +421,41 @@ func (t *Table) Position(row int) (sphere.Vec, error) {
 // using the HTM index: inner cover trixels are accepted wholesale, partial
 // trixels are tested individually (§5.4). fn returning false stops the
 // search. Rows arrive in index (trixel) order, not row order.
+//
+// Searches are safe for concurrent use with other readers, including
+// callbacks that read the table (Position, Value, Row, Env lookups); the
+// parallel chain executor relies on this. Appends must not run
+// concurrently with searches (the table-level contract above).
 func (t *Table) SearchCap(c sphere.Cap, fn func(row int) bool) error {
-	t.mu.Lock()
-	if t.spatial == nil {
-		t.mu.Unlock()
+	return t.searchCap(c, false, func(row int, _ sphere.Vec) bool { return fn(row) })
+}
+
+// SearchCapPos is SearchCap but hands the callback each row's unit-vector
+// position as well. Chain steps use it on their hot path: the search
+// already computes positions for partial-trixel containment tests, and
+// per-candidate Position calls from inside callbacks would re-take the
+// read lock for every candidate — a shared-cache-line cost that throttles
+// the parallel executor.
+func (t *Table) SearchCapPos(c sphere.Cap, fn func(row int, pos sphere.Vec) bool) error {
+	return t.searchCap(c, true, fn)
+}
+
+func (t *Table) searchCap(c sphere.Cap, needPos bool, fn func(row int, pos sphere.Vec) bool) error {
+	t.mu.RLock()
+	s := t.spatial
+	t.mu.RUnlock()
+	if s == nil {
 		return fmt.Errorf("storage: table %q has no spatial index", t.name)
 	}
-	if t.spatial.dirty {
-		t.rebuildSpatialLocked()
+	if s.dirty.Load() {
+		s.rebuildMu.Lock()
+		if s.dirty.Load() {
+			t.mu.RLock()
+			t.rebuildSpatialLocked()
+			t.mu.RUnlock()
+		}
+		s.rebuildMu.Unlock()
 	}
-	s := t.spatial
-	t.mu.Unlock()
 
 	// Size the cover subdivision to the cap and clamp it to the leaf level.
 	sub := htm.LevelForRadius(c.Radius)
@@ -427,10 +471,14 @@ func (t *Table) SearchCap(c sphere.Cap, fn func(row int) bool) error {
 			lo := sort.Search(len(s.order), func(i int) bool { return s.ids[s.order[i]] >= r.Lo })
 			for i := lo; i < len(s.order) && s.ids[s.order[i]] <= r.Hi; i++ {
 				row := int(s.order[i])
-				if test && !c.Contains(t.positionLocked(row)) {
+				var pos sphere.Vec
+				if test || needPos {
+					pos = t.positionLocked(row)
+				}
+				if test && !c.Contains(pos) {
 					continue
 				}
-				if !fn(row) {
+				if !fn(row, pos) {
 					return false
 				}
 			}
@@ -448,16 +496,20 @@ func (t *Table) SearchCap(c sphere.Cap, fn func(row int) bool) error {
 // from the cover of the region's bounding cap and every candidate is
 // tested against the region itself.
 func (t *Table) SearchRegion(reg sphere.Region, fn func(row int) bool) error {
+	return t.SearchRegionPos(reg, func(row int, _ sphere.Vec) bool { return fn(row) })
+}
+
+// SearchRegionPos is SearchRegion with the position-passing callback of
+// SearchCapPos.
+func (t *Table) SearchRegionPos(reg sphere.Region, fn func(row int, pos sphere.Vec) bool) error {
 	if c, ok := reg.(sphere.Cap); ok {
-		return t.SearchCap(c, fn)
+		return t.SearchCapPos(c, fn)
 	}
 	bound := reg.Bounding()
-	return t.SearchCap(bound, func(row int) bool {
-		// SearchCap holds the read lock while invoking the callback, so
-		// the unlocked position accessor is safe here.
-		if !reg.Contains(t.positionLocked(row)) {
+	return t.searchCap(bound, true, func(row int, pos sphere.Vec) bool {
+		if !reg.Contains(pos) {
 			return true
 		}
-		return fn(row)
+		return fn(row, pos)
 	})
 }

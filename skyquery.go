@@ -24,6 +24,16 @@
 //
 //   - run the pull-to-portal baseline and inspect execution plans, for
 //     the experiments in EXPERIMENTS.md.
+//
+// # Parallelism
+//
+// Each node's cross-match chain step (§5.3) partitions its partial tuples
+// across a bounded worker pool; per-worker output is merged in input
+// order, so results are bit-identical at every setting. The worker count
+// is Options.Parallelism (and, underneath, portal.Config.Parallelism as a
+// plan-carried hint plus skynode.Config.Parallelism as each node's
+// override; the daemons expose it as -parallelism). 0 means GOMAXPROCS;
+// 1 recovers the sequential executor.
 package skyquery
 
 import (
