@@ -164,19 +164,35 @@ func seedLocal(a *Archive, step plan.Step, rows *dataset.DataSet) (*dataset.Data
 func extendLocal(a *Archive, step plan.Step, rows *dataset.DataSet, tuples *dataset.DataSet,
 	threshold float64, d sqlparse.Decomposition) (*dataset.DataSet, error) {
 
-	var crossExprs []sqlparse.Expr
+	// Compile the cross predicates once against the combined layout: the
+	// tuple's carried columns first, then the pulled archive's columns
+	// (which win name collisions, as the per-candidate map rebuild used
+	// to).
+	payload := tuples.Columns[xmatch.NumAccCols:]
+	layout := eval.MapLayout{}
+	for i, c := range payload {
+		layout[c.Name] = i
+	}
+	for ci, c := range rows.Columns {
+		layout[c.Name] = len(payload) + ci
+	}
+	var crossProgs []*eval.Program
 	for _, src := range step.CrossWhere {
 		ex, err := sqlparse.ParseExpr(src)
 		if err != nil {
 			return nil, err
 		}
-		crossExprs = append(crossExprs, ex)
+		prog, err := eval.Compile(ex, layout)
+		if err != nil {
+			return nil, fmt.Errorf("core: compiling cross predicate %q: %w", src, err)
+		}
+		crossProgs = append(crossProgs, prog)
 	}
 
 	cols := append([]dataset.Column(nil), tuples.Columns...)
 	cols = append(cols, payloadColumns(step, rows)...)
 	out := &dataset.DataSet{Columns: cols}
-	payload := tuples.Columns[xmatch.NumAccCols:]
+	buf := make([]value.Value, len(payload)+len(rows.Columns))
 
 	for _, trow := range tuples.Rows {
 		acc, err := xmatch.CellsToAcc(trow)
@@ -188,10 +204,7 @@ func extendLocal(a *Archive, step plan.Step, rows *dataset.DataSet, tuples *data
 			continue
 		}
 		best := acc.Best()
-		env := eval.MapEnv{}
-		for i, c := range payload {
-			env[c.Name] = trow[xmatch.NumAccCols+i]
-		}
+		copy(buf, trow[xmatch.NumAccCols:])
 		for i := range rows.Rows {
 			rd, err := pulledPos(rows, i)
 			if err != nil {
@@ -205,17 +218,11 @@ func extendLocal(a *Archive, step plan.Step, rows *dataset.DataSet, tuples *data
 			if !next.Matches(threshold) {
 				continue
 			}
-			if len(crossExprs) > 0 {
-				candEnv := eval.MapEnv{}
-				for k, v := range env {
-					candEnv[k] = v
-				}
-				for ci, c := range rows.Columns {
-					candEnv[c.Name] = rows.Rows[i][ci]
-				}
+			if len(crossProgs) > 0 {
+				copy(buf[len(payload):], rows.Rows[i])
 				ok := true
-				for _, ex := range crossExprs {
-					pass, err := eval.EvalBool(ex, candEnv)
+				for _, prog := range crossProgs {
+					pass, err := prog.EvalBool(buf)
 					if err != nil {
 						return nil, err
 					}

@@ -46,18 +46,40 @@ func (e *Engine) project(q *sqlparse.Query, tuples *dataset.DataSet) (*dataset.D
 		)
 	}
 
+	// Compile the select list and sort keys once against the payload
+	// layout; the payload slice of each tuple row is itself the program
+	// row, so projection is map-free and allocation-free per tuple. Bad
+	// references fail here, before any tuple is projected.
 	payload := tuples.Columns[xmatch.NumAccCols:]
+	layout := eval.MapLayout{}
+	for i, c := range payload {
+		layout[c.Name] = i
+	}
+	selProgs := make([]*eval.Program, len(q.Select))
+	for i, item := range q.Select {
+		p, err := eval.Compile(item.Expr, layout)
+		if err != nil {
+			return nil, fmt.Errorf("core: projecting %s: %w", item.Expr, err)
+		}
+		selProgs[i] = p
+	}
+	orderProgs := make([]*eval.Program, len(q.OrderBy))
+	for i, o := range q.OrderBy {
+		p, err := eval.Compile(o.Expr, layout)
+		if err != nil {
+			return nil, fmt.Errorf("core: ORDER BY %s: %w", o.Expr, err)
+		}
+		orderProgs[i] = p
+	}
+
 	var sortKeys [][]value.Value
 	for _, row := range tuples.Rows {
-		env := eval.MapEnv{}
-		for i, c := range payload {
-			env[c.Name] = row[xmatch.NumAccCols+i]
-		}
+		progRow := row[xmatch.NumAccCols:]
 		cells := make([]value.Value, 0, len(out.Columns))
-		for _, item := range q.Select {
-			v, err := eval.Eval(item.Expr, env)
+		for i, p := range selProgs {
+			v, err := p.Eval(progRow)
 			if err != nil {
-				return nil, fmt.Errorf("core: projecting %s: %w", item.Expr, err)
+				return nil, fmt.Errorf("core: projecting %s: %w", q.Select[i].Expr, err)
 			}
 			cells = append(cells, v)
 		}
@@ -73,11 +95,11 @@ func (e *Engine) project(q *sqlparse.Query, tuples *dataset.DataSet) (*dataset.D
 		}
 		out.Rows = append(out.Rows, cells)
 		if len(q.OrderBy) > 0 {
-			keys := make([]value.Value, len(q.OrderBy))
-			for i, o := range q.OrderBy {
-				v, err := eval.Eval(o.Expr, env)
+			keys := make([]value.Value, len(orderProgs))
+			for i, p := range orderProgs {
+				v, err := p.Eval(progRow)
 				if err != nil {
-					return nil, fmt.Errorf("core: ORDER BY %s: %w", o.Expr, err)
+					return nil, fmt.Errorf("core: ORDER BY %s: %w", q.OrderBy[i].Expr, err)
 				}
 				keys[i] = v
 			}
@@ -119,6 +141,11 @@ func projType(e sqlparse.Expr, tuples *dataset.DataSet) value.Type {
 		case "AND", "OR", "=", "<>", "<", "<=", ">", ">=", "LIKE":
 			return value.BoolType
 		}
+	case *sqlparse.FuncCall:
+		// Function results must be typed correctly or the wire codec
+		// rejects their cells (UPPER in a select list used to relay a
+		// STRING cell under a FLOAT column).
+		return eval.FuncResultType(n, func(arg sqlparse.Expr) value.Type { return projType(arg, tuples) })
 	}
 	return value.FloatType
 }

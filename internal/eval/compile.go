@@ -1,0 +1,664 @@
+package eval
+
+// This file is the compiled half of the expression engine. Eval (eval.go)
+// walks the AST per row through Env interface lookups; Compile resolves
+// every column reference to an integer slot against a Layout once, at plan
+// time, type-checks what can be checked statically (function names,
+// arities, column bindings), folds constant subtrees, precompiles constant
+// LIKE patterns, and returns a closure-tree Program evaluated as
+// prog.Eval(row []value.Value) with no maps, no string lookups, and no
+// per-row allocation.
+//
+// The interpreter remains the reference semantics: every Program node
+// mirrors the corresponding Eval case (including AND/OR short-circuiting
+// around errors and NULL propagation), both paths share the scalar
+// function kernels, and the differential tests in compile_test.go assert
+// agreement over random rows. The one deliberate divergence is error
+// timing: a predicate that can never evaluate (unknown column, unknown
+// function, wrong arity) fails at Compile time — before a scan or chain
+// step starts — where the interpreter would fail on the first row it
+// touches. Constant subtrees whose evaluation errors (e.g. 1/0) keep
+// failing at Eval time so that data-dependent behavior, such as a scan
+// over zero matching rows, is unchanged.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"skyquery/internal/sqlparse"
+	"skyquery/internal/value"
+)
+
+// Layout resolves column references to slots of the row passed to
+// Program.Eval. Implementations decide qualifier semantics (alias
+// matching, bare-name fallback) and own the error messages for unknown
+// references.
+type Layout interface {
+	// Slot returns the row index holding table.column (table may be
+	// empty), or an error if the reference does not resolve.
+	Slot(table, column string) (int, error)
+}
+
+// LayoutFunc adapts a function to the Layout interface.
+type LayoutFunc func(table, column string) (int, error)
+
+// Slot implements Layout.
+func (f LayoutFunc) Slot(table, column string) (int, error) { return f(table, column) }
+
+// MapLayout is a Layout backed by a map from "table.column" (or "column"
+// for unqualified names) to slots, with MapEnv's resolution semantics: a
+// qualified reference falls back to the bare column name.
+type MapLayout map[string]int
+
+// Slot implements Layout.
+func (m MapLayout) Slot(table, column string) (int, error) {
+	key := column
+	if table != "" {
+		key = table + "." + column
+	}
+	if s, ok := m[key]; ok {
+		return s, nil
+	}
+	if table != "" {
+		if s, ok := m[column]; ok {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("eval: unknown column %q", key)
+}
+
+// node is one compiled expression node: a closure evaluated against a row.
+type node func(row []value.Value) (value.Value, error)
+
+// Program is a compiled expression. It is immutable after Compile and safe
+// for concurrent use from multiple goroutines (the parallel chain executor
+// shares one Program per step across its workers).
+type Program struct {
+	root  node
+	refs  []int
+	width int
+}
+
+// Compile compiles the expression against the layout. A nil expression
+// compiles to a nil Program, whose EvalBool is true (the usual semantics
+// of an absent WHERE clause).
+func Compile(e sqlparse.Expr, layout Layout) (*Program, error) {
+	if e == nil {
+		return nil, nil
+	}
+	c := &compiler{layout: layout, refs: map[int]bool{}}
+	root, _, err := c.compile(e)
+	if err != nil {
+		return nil, err
+	}
+	p := &Program{root: root}
+	for s := range c.refs {
+		p.refs = append(p.refs, s)
+		if s+1 > p.width {
+			p.width = s + 1
+		}
+	}
+	sort.Ints(p.refs)
+	return p, nil
+}
+
+// Refs returns the sorted row slots the program reads. Callers that
+// assemble rows from wider storage can fill only these slots.
+func (p *Program) Refs() []int { return p.refs }
+
+// Eval evaluates the program over the row. The row must cover every slot
+// in Refs; unreferenced slots may hold anything (including the zero Value).
+func (p *Program) Eval(row []value.Value) (value.Value, error) {
+	if p == nil {
+		return value.Null, fmt.Errorf("eval: nil program")
+	}
+	if len(row) < p.width {
+		return value.Null, fmt.Errorf("eval: row has %d slots, program reads slot %d", len(row), p.width-1)
+	}
+	return p.root(row)
+}
+
+// EvalBool evaluates the program as a predicate; NULL (SQL UNKNOWN) counts
+// as false, and a nil Program is true, both as in a WHERE clause.
+func (p *Program) EvalBool(row []value.Value) (bool, error) {
+	if p == nil {
+		return true, nil
+	}
+	v, err := p.Eval(row)
+	if err != nil {
+		return false, err
+	}
+	return v.IsTrue(), nil
+}
+
+type compiler struct {
+	layout Layout
+	refs   map[int]bool
+}
+
+// constNode returns a node yielding a fixed value, and constErrNode one
+// yielding a fixed error (a constant subtree whose evaluation fails must
+// keep failing at Eval time, not at Compile time — see the file comment).
+func constNode(v value.Value) node {
+	return func([]value.Value) (value.Value, error) { return v, nil }
+}
+
+func constErrNode(err error) node {
+	return func([]value.Value) (value.Value, error) { return value.Null, err }
+}
+
+// fold evaluates a row-independent node once and caches the outcome.
+func fold(n node) node {
+	v, err := n(nil)
+	if err != nil {
+		return constErrNode(err)
+	}
+	return constNode(v)
+}
+
+// compile returns the node for e and whether it is row-independent
+// (constant), in which case the node is already folded.
+func (c *compiler) compile(e sqlparse.Expr) (node, bool, error) {
+	switch n := e.(type) {
+	case *sqlparse.NumberLit:
+		// Mirror Eval's literal typing: integral spellings become INTs.
+		if n.Value == math.Trunc(n.Value) && !strings.ContainsAny(n.Text, ".eE") && math.Abs(n.Value) < 1e15 {
+			return constNode(value.Int(int64(n.Value))), true, nil
+		}
+		return constNode(value.Float(n.Value)), true, nil
+
+	case *sqlparse.StringLit:
+		return constNode(value.String(n.Value)), true, nil
+
+	case *sqlparse.BoolLit:
+		return constNode(value.Bool(n.Value)), true, nil
+
+	case *sqlparse.NullLit:
+		return constNode(value.Null), true, nil
+
+	case *sqlparse.ColumnRef:
+		slot, err := c.layout.Slot(n.Table, n.Column)
+		if err != nil {
+			return nil, false, err
+		}
+		c.refs[slot] = true
+		return func(row []value.Value) (value.Value, error) {
+			return row[slot], nil
+		}, false, nil
+
+	case *sqlparse.UnaryExpr:
+		x, xc, err := c.compile(n.X)
+		if err != nil {
+			return nil, false, err
+		}
+		var out node
+		if n.Op == "NOT" {
+			out = func(row []value.Value) (value.Value, error) {
+				v, err := x(row)
+				if err != nil {
+					return value.Null, err
+				}
+				return value.Not(v), nil
+			}
+		} else {
+			out = func(row []value.Value) (value.Value, error) {
+				v, err := x(row)
+				if err != nil {
+					return value.Null, err
+				}
+				return value.Neg(v)
+			}
+		}
+		if xc {
+			return fold(out), true, nil
+		}
+		return out, false, nil
+
+	case *sqlparse.BinaryExpr:
+		return c.compileBinary(n)
+
+	case *sqlparse.IsNull:
+		x, xc, err := c.compile(n.X)
+		if err != nil {
+			return nil, false, err
+		}
+		negated := n.Negated
+		out := node(func(row []value.Value) (value.Value, error) {
+			v, err := x(row)
+			if err != nil {
+				return value.Null, err
+			}
+			return value.Bool(v.IsNull() != negated), nil
+		})
+		if xc {
+			return fold(out), true, nil
+		}
+		return out, false, nil
+
+	case *sqlparse.InList:
+		return c.compileIn(n)
+
+	case *sqlparse.Between:
+		return c.compileBetween(n)
+
+	case *sqlparse.FuncCall:
+		return c.compileFunc(n)
+
+	case *sqlparse.Star:
+		return nil, false, fmt.Errorf("eval: * is not valid in an expression")
+	}
+	return nil, false, fmt.Errorf("eval: unsupported expression %T", e)
+}
+
+func (c *compiler) compileBinary(n *sqlparse.BinaryExpr) (node, bool, error) {
+	l, lc, err := c.compile(n.L)
+	if err != nil {
+		return nil, false, err
+	}
+
+	// A constant AND/OR left side can decide the whole expression before
+	// the right side is ever evaluated (the interpreter short-circuits the
+	// same way, so the fold is exact even if the right side would error).
+	// The dead side is still compiled — binding errors there should not
+	// hide behind a constant guard — but into a scratch ref set, so the
+	// program does not report (or fill) slots it never reads.
+	if lc && (n.Op == "AND" || n.Op == "OR") {
+		lv, lerr := l(nil)
+		var decided node
+		switch {
+		case lerr != nil:
+			decided = constErrNode(lerr)
+		case n.Op == "AND" && lv.Type() == value.BoolType && !lv.AsBool():
+			decided = constNode(value.Bool(false))
+		case n.Op == "OR" && lv.IsTrue():
+			decided = constNode(value.Bool(true))
+		}
+		if decided != nil {
+			sub := &compiler{layout: c.layout, refs: map[int]bool{}}
+			if _, _, err := sub.compile(n.R); err != nil {
+				return nil, false, err
+			}
+			return decided, true, nil
+		}
+	}
+
+	r, rc, err := c.compile(n.R)
+	if err != nil {
+		return nil, false, err
+	}
+
+	switch n.Op {
+	case "AND":
+		out := node(func(row []value.Value) (value.Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return value.Null, err
+			}
+			if lv.Type() == value.BoolType && !lv.AsBool() {
+				return value.Bool(false), nil
+			}
+			rv, err := r(row)
+			if err != nil {
+				return value.Null, err
+			}
+			return value.And(lv, rv), nil
+		})
+		if lc && rc {
+			return fold(out), true, nil
+		}
+		return out, false, nil
+
+	case "OR":
+		out := node(func(row []value.Value) (value.Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return value.Null, err
+			}
+			if lv.IsTrue() {
+				return value.Bool(true), nil
+			}
+			rv, err := r(row)
+			if err != nil {
+				return value.Null, err
+			}
+			return value.Or(lv, rv), nil
+		})
+		if lc && rc {
+			return fold(out), true, nil
+		}
+		return out, false, nil
+
+	case "+", "-", "*", "/", "%":
+		op := n.Op
+		out := node(func(row []value.Value) (value.Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return value.Null, err
+			}
+			rv, err := r(row)
+			if err != nil {
+				return value.Null, err
+			}
+			return value.Arith(op, lv, rv)
+		})
+		if lc && rc {
+			return fold(out), true, nil
+		}
+		return out, false, nil
+
+	case "=", "<>", "<", "<=", ">", ">=":
+		cmpFn := cmpPredicate(n.Op)
+		out := node(func(row []value.Value) (value.Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return value.Null, err
+			}
+			rv, err := r(row)
+			if err != nil {
+				return value.Null, err
+			}
+			cmp, ok, err := value.Compare(lv, rv)
+			if err != nil {
+				return value.Null, err
+			}
+			if !ok {
+				return value.Null, nil // NULL comparison → UNKNOWN
+			}
+			return value.Bool(cmpFn(cmp)), nil
+		})
+		if lc && rc {
+			return fold(out), true, nil
+		}
+		return out, false, nil
+
+	case "LIKE":
+		out := c.compileLikeNode(l, r, rc)
+		if lc && rc {
+			return fold(out), true, nil
+		}
+		return out, false, nil
+	}
+	return nil, false, fmt.Errorf("eval: unknown operator %q", n.Op)
+}
+
+func cmpPredicate(op string) func(int) bool {
+	switch op {
+	case "=":
+		return func(c int) bool { return c == 0 }
+	case "<>":
+		return func(c int) bool { return c != 0 }
+	case "<":
+		return func(c int) bool { return c < 0 }
+	case "<=":
+		return func(c int) bool { return c <= 0 }
+	case ">":
+		return func(c int) bool { return c > 0 }
+	default: // ">="
+		return func(c int) bool { return c >= 0 }
+	}
+}
+
+// compileLikeNode builds a LIKE node. A constant pattern is translated to
+// its regexp once here, skipping the shared pattern cache entirely on the
+// hot path; otherwise evaluation falls back to the interpreter's cached
+// path.
+func (c *compiler) compileLikeNode(l, r node, rconst bool) node {
+	if rconst {
+		rv, rerr := r(nil)
+		switch {
+		case rerr != nil:
+			// The interpreter evaluates the left side first, so its error
+			// (if any) would win; but both sides failing is still a
+			// failure, which is all EvalBool and the scan loops observe.
+			return constErrNode(rerr)
+		case rv.IsNull():
+			return func(row []value.Value) (value.Value, error) {
+				if _, err := l(row); err != nil {
+					return value.Null, err
+				}
+				return value.Null, nil
+			}
+		case rv.Type() == value.StringType:
+			match := likeMatcher(rv.AsString())
+			if match == nil {
+				rx, err := compileLike(rv.AsString())
+				if err != nil {
+					break // defer the pattern error to evaluation, like the interpreter
+				}
+				match = rx.MatchString
+			}
+			rt := rv.Type()
+			return func(row []value.Value) (value.Value, error) {
+				lv, err := l(row)
+				if err != nil {
+					return value.Null, err
+				}
+				if lv.IsNull() {
+					return value.Null, nil
+				}
+				if lv.Type() != value.StringType {
+					return value.Null, fmt.Errorf("eval: LIKE requires strings, got %v and %v", lv.Type(), rt)
+				}
+				return value.Bool(match(lv.AsString())), nil
+			}
+		}
+	}
+	return func(row []value.Value) (value.Value, error) {
+		lv, err := l(row)
+		if err != nil {
+			return value.Null, err
+		}
+		rv, err := r(row)
+		if err != nil {
+			return value.Null, err
+		}
+		return evalLike(lv, rv)
+	}
+}
+
+// likeMatcher translates the common simple LIKE shapes — exact ("abc"),
+// prefix ("abc%"), suffix ("%abc"), substring ("%abc%") and match-all
+// ("%", "%%") — into direct string predicates, skipping the regexp engine
+// entirely. Patterns with "_" or interior "%" return nil and fall back to
+// the compiled regexp, whose semantics these shortcuts mirror exactly
+// (the differential fuzzer cross-checks them against the interpreter's
+// regexp path).
+func likeMatcher(pat string) func(string) bool {
+	if strings.ContainsRune(pat, '_') {
+		return nil
+	}
+	switch strings.Count(pat, "%") {
+	case 0:
+		return func(s string) bool { return s == pat }
+	case 1:
+		switch {
+		case strings.HasSuffix(pat, "%"):
+			p := pat[:len(pat)-1]
+			return func(s string) bool { return strings.HasPrefix(s, p) }
+		case strings.HasPrefix(pat, "%"):
+			suf := pat[1:]
+			return func(s string) bool { return strings.HasSuffix(s, suf) }
+		}
+	case 2:
+		if strings.HasPrefix(pat, "%") && strings.HasSuffix(pat, "%") && len(pat) >= 2 {
+			mid := pat[1 : len(pat)-1]
+			return func(s string) bool { return strings.Contains(s, mid) }
+		}
+	}
+	return nil
+}
+
+func (c *compiler) compileIn(n *sqlparse.InList) (node, bool, error) {
+	x, xc, err := c.compile(n.X)
+	if err != nil {
+		return nil, false, err
+	}
+	items := make([]node, len(n.List))
+	allConst := xc
+	for i, item := range n.List {
+		in, ic, err := c.compile(item)
+		if err != nil {
+			return nil, false, err
+		}
+		items[i] = in
+		allConst = allConst && ic
+	}
+	negated := n.Negated
+	out := node(func(row []value.Value) (value.Value, error) {
+		xv, err := x(row)
+		if err != nil {
+			return value.Null, err
+		}
+		if xv.IsNull() {
+			return value.Null, nil
+		}
+		sawNull := false
+		for _, item := range items {
+			v, err := item(row)
+			if err != nil {
+				return value.Null, err
+			}
+			cmp, ok, err := value.Compare(xv, v)
+			if err != nil {
+				return value.Null, err
+			}
+			if !ok {
+				sawNull = true
+				continue
+			}
+			if cmp == 0 {
+				return value.Bool(!negated), nil
+			}
+		}
+		if sawNull {
+			return value.Null, nil
+		}
+		return value.Bool(negated), nil
+	})
+	if allConst {
+		return fold(out), true, nil
+	}
+	return out, false, nil
+}
+
+func (c *compiler) compileBetween(n *sqlparse.Between) (node, bool, error) {
+	x, xc, err := c.compile(n.X)
+	if err != nil {
+		return nil, false, err
+	}
+	lo, loc, err := c.compile(n.Lo)
+	if err != nil {
+		return nil, false, err
+	}
+	hi, hic, err := c.compile(n.Hi)
+	if err != nil {
+		return nil, false, err
+	}
+	negated := n.Negated
+	out := node(func(row []value.Value) (value.Value, error) {
+		xv, err := x(row)
+		if err != nil {
+			return value.Null, err
+		}
+		lov, err := lo(row)
+		if err != nil {
+			return value.Null, err
+		}
+		hiv, err := hi(row)
+		if err != nil {
+			return value.Null, err
+		}
+		cmpLo, okLo, err := value.Compare(xv, lov)
+		if err != nil {
+			return value.Null, err
+		}
+		cmpHi, okHi, err := value.Compare(xv, hiv)
+		if err != nil {
+			return value.Null, err
+		}
+		if !okLo || !okHi {
+			return value.Null, nil
+		}
+		in := cmpLo >= 0 && cmpHi <= 0
+		return value.Bool(in != negated), nil
+	})
+	if xc && loc && hic {
+		return fold(out), true, nil
+	}
+	return out, false, nil
+}
+
+// compileFunc resolves the function name and arity at compile time and
+// dispatches to the same kernels the interpreter uses. Fixed-arity
+// functions evaluate their arguments straight into the kernel with no
+// argument slice.
+func (c *compiler) compileFunc(n *sqlparse.FuncCall) (node, bool, error) {
+	name := strings.ToUpper(n.Name)
+	args := make([]node, len(n.Args))
+	allConst := true
+	for i, a := range n.Args {
+		an, ac, err := c.compile(a)
+		if err != nil {
+			return nil, false, err
+		}
+		args[i] = an
+		allConst = allConst && ac
+	}
+
+	var out node
+	switch {
+	case scalar1[name] != nil:
+		if len(args) != 1 {
+			return nil, false, arityErr(name, 1, len(args))
+		}
+		f, a := scalar1[name], args[0]
+		out = func(row []value.Value) (value.Value, error) {
+			v, err := a(row)
+			if err != nil {
+				return value.Null, err
+			}
+			return f(v)
+		}
+	case scalar2[name] != nil:
+		if len(args) != 2 {
+			return nil, false, arityErr(name, 2, len(args))
+		}
+		f, a, b := scalar2[name], args[0], args[1]
+		out = func(row []value.Value) (value.Value, error) {
+			av, err := a(row)
+			if err != nil {
+				return value.Null, err
+			}
+			bv, err := b(row)
+			if err != nil {
+				return value.Null, err
+			}
+			return f(av, bv)
+		}
+	case name == "COALESCE":
+		// Mirror the interpreter: every argument is evaluated (so a later
+		// argument's error surfaces even after a non-NULL hit), then the
+		// first non-NULL value wins.
+		out = func(row []value.Value) (value.Value, error) {
+			res, found := value.Null, false
+			for _, a := range args {
+				v, err := a(row)
+				if err != nil {
+					return value.Null, err
+				}
+				if !found && !v.IsNull() {
+					res, found = v, true
+				}
+			}
+			return res, nil
+		}
+	default:
+		return nil, false, fmt.Errorf("eval: unknown function %q", n.Name)
+	}
+	if allConst {
+		return fold(out), true, nil
+	}
+	return out, false, nil
+}

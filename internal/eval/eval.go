@@ -258,9 +258,75 @@ func evalBetween(n *sqlparse.Between, env Env) (value.Value, error) {
 	return value.Bool(in != n.Negated), nil
 }
 
-// likeCache caches compiled LIKE patterns; federated predicates re-evaluate
-// the same pattern per row.
-var likeCache sync.Map // string -> *regexp.Regexp
+// likePatternCache is a bounded cache of compiled LIKE patterns. Federated
+// predicates re-evaluate the same pattern per row, so caching pays; but the
+// portal accepts arbitrary query streams, and an unbounded cache keyed by
+// pattern text would grow forever under unique patterns. Two generations of
+// at most likeCacheGen entries each bound the footprint: when the current
+// generation fills up it becomes the previous one, and entries still in use
+// are promoted back on their next hit (a miss only ever recompiles, never
+// breaks correctness).
+type likePatternCache struct {
+	mu   sync.RWMutex
+	cur  map[string]*regexp.Regexp
+	prev map[string]*regexp.Regexp
+}
+
+// likeCacheGen is the per-generation capacity (two generations are live at
+// once, so at most 2*likeCacheGen patterns are retained).
+const likeCacheGen = 256
+
+var likeCache likePatternCache
+
+func (c *likePatternCache) get(pat string) (*regexp.Regexp, error) {
+	// The common case — a current-generation hit — takes only the read
+	// lock, so parallel chain workers evaluating the same dynamic pattern
+	// do not serialize.
+	c.mu.RLock()
+	rx, hit := c.cur[pat]
+	c.mu.RUnlock()
+	if hit {
+		return rx, nil
+	}
+	c.mu.Lock()
+	if rx, ok := c.cur[pat]; ok {
+		c.mu.Unlock()
+		return rx, nil
+	}
+	if rx, ok := c.prev[pat]; ok {
+		c.insertLocked(pat, rx)
+		c.mu.Unlock()
+		return rx, nil
+	}
+	c.mu.Unlock()
+	// Compile outside the lock; a concurrent duplicate compile is harmless.
+	rx, err := compileLike(pat)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.insertLocked(pat, rx)
+	c.mu.Unlock()
+	return rx, nil
+}
+
+func (c *likePatternCache) insertLocked(pat string, rx *regexp.Regexp) {
+	if c.cur == nil {
+		c.cur = make(map[string]*regexp.Regexp, likeCacheGen)
+	}
+	if len(c.cur) >= likeCacheGen {
+		c.prev = c.cur
+		c.cur = make(map[string]*regexp.Regexp, likeCacheGen)
+	}
+	c.cur[pat] = rx
+}
+
+// size reports the number of retained patterns (for tests).
+func (c *likePatternCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cur) + len(c.prev)
+}
 
 func evalLike(l, r value.Value) (value.Value, error) {
 	if l.IsNull() || r.IsNull() {
@@ -269,16 +335,11 @@ func evalLike(l, r value.Value) (value.Value, error) {
 	if l.Type() != value.StringType || r.Type() != value.StringType {
 		return value.Null, fmt.Errorf("eval: LIKE requires strings, got %v and %v", l.Type(), r.Type())
 	}
-	pat := r.AsString()
-	rx, ok := likeCache.Load(pat)
-	if !ok {
-		compiled, err := compileLike(pat)
-		if err != nil {
-			return value.Null, err
-		}
-		rx, _ = likeCache.LoadOrStore(pat, compiled)
+	rx, err := likeCache.get(r.AsString())
+	if err != nil {
+		return value.Null, err
 	}
-	return value.Bool(rx.(*regexp.Regexp).MatchString(l.AsString())), nil
+	return value.Bool(rx.MatchString(l.AsString())), nil
 }
 
 // compileLike translates a SQL LIKE pattern (% and _) into an anchored
@@ -300,8 +361,127 @@ func compileLike(pat string) (*regexp.Regexp, error) {
 	return regexp.Compile(sb.String())
 }
 
-// evalFunc dispatches scalar functions. The set mirrors what astronomy
-// predicates in the paper's examples need, plus common numeric helpers.
+// The scalar function set mirrors what astronomy predicates in the paper's
+// examples need, plus common numeric helpers. Semantics live in per-function
+// kernels over already-evaluated arguments so that the tree-walking
+// interpreter (evalFunc) and the compiler (compileFunc) dispatch to the
+// exact same code and cannot drift.
+
+// kernel1 and kernel2 are unary and binary scalar function kernels.
+type kernel1 func(a value.Value) (value.Value, error)
+type kernel2 func(a, b value.Value) (value.Value, error)
+
+// oneNumKernel wraps a float function with NULL propagation and the numeric
+// type check, naming the function in errors.
+func oneNumKernel(name string, f func(float64) float64) kernel1 {
+	return func(a value.Value) (value.Value, error) {
+		if a.IsNull() {
+			return value.Null, nil
+		}
+		x, ok := a.AsFloat()
+		if !ok {
+			return value.Null, fmt.Errorf("eval: %s expects a number, got %v", name, a.Type())
+		}
+		return value.Float(f(x)), nil
+	}
+}
+
+// oneStrKernel wraps a string function with NULL propagation. Like the
+// historical evaluator it does not type-check: non-string values read as
+// the empty string.
+func oneStrKernel(f func(string) value.Value) kernel1 {
+	return func(a value.Value) (value.Value, error) {
+		if a.IsNull() {
+			return value.Null, nil
+		}
+		return f(a.AsString()), nil
+	}
+}
+
+func absKernel(a value.Value) (value.Value, error) {
+	if a.IsNull() {
+		return value.Null, nil
+	}
+	if a.Type() == value.IntType {
+		i := a.AsInt()
+		if i == math.MinInt64 {
+			// -math.MinInt64 overflows back to itself; the magnitude is
+			// only representable as a float.
+			return value.Float(-float64(math.MinInt64)), nil
+		}
+		if i < 0 {
+			i = -i
+		}
+		return value.Int(i), nil
+	}
+	return oneNumKernel("ABS", math.Abs)(a)
+}
+
+func powerKernel(a, b value.Value) (value.Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return value.Null, nil
+	}
+	x, okX := a.AsFloat()
+	y, okY := b.AsFloat()
+	if !okX || !okY {
+		return value.Null, fmt.Errorf("eval: POWER expects numbers")
+	}
+	return value.Float(math.Pow(x, y)), nil
+}
+
+// scalar1 and scalar2 map upper-cased function names to their kernels.
+var scalar1 = map[string]kernel1{
+	"ABS":     absKernel,
+	"SQRT":    oneNumKernel("SQRT", math.Sqrt),
+	"FLOOR":   oneNumKernel("FLOOR", math.Floor),
+	"CEIL":    oneNumKernel("CEIL", math.Ceil),
+	"CEILING": oneNumKernel("CEILING", math.Ceil),
+	"LOG":     oneNumKernel("LOG", math.Log),
+	"LOG10":   oneNumKernel("LOG10", math.Log10),
+	"EXP":     oneNumKernel("EXP", math.Exp),
+	"SIN":     oneNumKernel("SIN", math.Sin),
+	"COS":     oneNumKernel("COS", math.Cos),
+	"RADIANS": oneNumKernel("RADIANS", func(x float64) float64 { return x * math.Pi / 180 }),
+	"DEGREES": oneNumKernel("DEGREES", func(x float64) float64 { return x * 180 / math.Pi }),
+	"UPPER":   oneStrKernel(func(s string) value.Value { return value.String(strings.ToUpper(s)) }),
+	"LOWER":   oneStrKernel(func(s string) value.Value { return value.String(strings.ToLower(s)) }),
+	"LEN":     oneStrKernel(func(s string) value.Value { return value.Int(int64(len(s))) }),
+	"LENGTH":  oneStrKernel(func(s string) value.Value { return value.Int(int64(len(s))) }),
+}
+
+var scalar2 = map[string]kernel2{
+	"POWER": powerKernel,
+	"POW":   powerKernel,
+}
+
+func arityErr(name string, want, got int) error {
+	return fmt.Errorf("eval: %s expects %d argument(s), got %d", name, want, got)
+}
+
+// FuncResultType infers a scalar function's static result type for
+// projection schema inference. It lives beside the kernel tables above so
+// that adding a function and typing its result happen in one place: a
+// string-producing kernel whose type is left to the FLOAT default makes
+// the wire codec reject its cells. argType types an argument expression
+// (COALESCE is as typed as its first argument); numeric and unknown
+// functions default to FLOAT.
+func FuncResultType(n *sqlparse.FuncCall, argType func(sqlparse.Expr) value.Type) value.Type {
+	switch strings.ToUpper(n.Name) {
+	case "UPPER", "LOWER":
+		return value.StringType
+	case "LEN", "LENGTH":
+		return value.IntType
+	case "COALESCE":
+		if len(n.Args) > 0 {
+			return argType(n.Args[0])
+		}
+	}
+	return value.FloatType
+}
+
+// evalFunc dispatches scalar functions in the interpreter: arguments are
+// evaluated first (matching historical behavior, so an erroring argument
+// wins over an arity error), then handed to the shared kernels.
 func evalFunc(n *sqlparse.FuncCall, env Env) (value.Value, error) {
 	name := strings.ToUpper(n.Name)
 	args := make([]value.Value, len(n.Args))
@@ -312,105 +492,19 @@ func evalFunc(n *sqlparse.FuncCall, env Env) (value.Value, error) {
 		}
 		args[i] = v
 	}
-	num := func(i int) (float64, bool) {
-		if i >= len(args) {
-			return 0, false
+	if f, ok := scalar1[name]; ok {
+		if len(args) != 1 {
+			return value.Null, arityErr(name, 1, len(args))
 		}
-		return args[i].AsFloat()
+		return f(args[0])
 	}
-	arity := func(want int) error {
-		if len(args) != want {
-			return fmt.Errorf("eval: %s expects %d argument(s), got %d", name, want, len(args))
+	if f, ok := scalar2[name]; ok {
+		if len(args) != 2 {
+			return value.Null, arityErr(name, 2, len(args))
 		}
-		return nil
+		return f(args[0], args[1])
 	}
-	oneNum := func(f func(float64) float64) (value.Value, error) {
-		if err := arity(1); err != nil {
-			return value.Null, err
-		}
-		if args[0].IsNull() {
-			return value.Null, nil
-		}
-		x, ok := num(0)
-		if !ok {
-			return value.Null, fmt.Errorf("eval: %s expects a number, got %v", name, args[0].Type())
-		}
-		return value.Float(f(x)), nil
-	}
-	switch name {
-	case "ABS":
-		if err := arity(1); err != nil {
-			return value.Null, err
-		}
-		if args[0].IsNull() {
-			return value.Null, nil
-		}
-		if args[0].Type() == value.IntType {
-			i := args[0].AsInt()
-			if i < 0 {
-				i = -i
-			}
-			return value.Int(i), nil
-		}
-		return oneNum(math.Abs)
-	case "SQRT":
-		return oneNum(math.Sqrt)
-	case "FLOOR":
-		return oneNum(math.Floor)
-	case "CEIL", "CEILING":
-		return oneNum(math.Ceil)
-	case "LOG":
-		return oneNum(math.Log)
-	case "LOG10":
-		return oneNum(math.Log10)
-	case "EXP":
-		return oneNum(math.Exp)
-	case "SIN":
-		return oneNum(math.Sin)
-	case "COS":
-		return oneNum(math.Cos)
-	case "RADIANS":
-		return oneNum(func(x float64) float64 { return x * math.Pi / 180 })
-	case "DEGREES":
-		return oneNum(func(x float64) float64 { return x * 180 / math.Pi })
-	case "POWER", "POW":
-		if err := arity(2); err != nil {
-			return value.Null, err
-		}
-		if args[0].IsNull() || args[1].IsNull() {
-			return value.Null, nil
-		}
-		x, okX := num(0)
-		y, okY := num(1)
-		if !okX || !okY {
-			return value.Null, fmt.Errorf("eval: POWER expects numbers")
-		}
-		return value.Float(math.Pow(x, y)), nil
-	case "UPPER":
-		if err := arity(1); err != nil {
-			return value.Null, err
-		}
-		if args[0].IsNull() {
-			return value.Null, nil
-		}
-		return value.String(strings.ToUpper(args[0].AsString())), nil
-	case "LOWER":
-		if err := arity(1); err != nil {
-			return value.Null, err
-		}
-		if args[0].IsNull() {
-			return value.Null, nil
-		}
-		return value.String(strings.ToLower(args[0].AsString())), nil
-	case "LEN", "LENGTH":
-		if err := arity(1); err != nil {
-			return value.Null, err
-		}
-		if args[0].IsNull() {
-			return value.Null, nil
-		}
-		return value.Int(int64(len(args[0].AsString()))), nil
-	case "COALESCE":
+	if name == "COALESCE" {
 		for _, a := range args {
 			if !a.IsNull() {
 				return a, nil

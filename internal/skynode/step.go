@@ -2,6 +2,8 @@ package skynode
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"skyquery/internal/dataset"
 	"skyquery/internal/eval"
@@ -72,8 +74,21 @@ func (n *Node) localStep(p *plan.Plan, step plan.Step, incoming *dataset.DataSet
 // the area passing the local predicate become 1-tuples. The HTM region
 // walk collects candidate rows in index order; predicate evaluation and
 // tuple construction — the expensive part — is sharded across the worker
-// pool, with results merged back in scan order.
+// pool, with results merged back in scan order. The local predicate is
+// compiled once against the table layout, so each candidate costs only
+// slot reads.
 func (n *Node) seedStep(p *plan.Plan, table *storage.Table, step plan.Step, area sphere.Region, localWhere sqlparse.Expr) (*dataset.DataSet, error) {
+	localProg, err := eval.Compile(localWhere, table.Layout(step.Alias))
+	if err != nil {
+		return nil, fmt.Errorf("compiling local predicate %q: %w", step.LocalWhere, err)
+	}
+	schemaLen := len(table.Schema())
+	// The callback below runs once per candidate; pool the scratch row so
+	// predicate evaluation allocates per worker, not per candidate.
+	bufPool := sync.Pool{New: func() any {
+		b := make([]value.Value, schemaLen)
+		return &b
+	}}
 	out := dataset.New(n.tupleColumns(nil, table, step)...)
 	var cand []int
 	var candPos []sphere.Vec
@@ -86,9 +101,14 @@ func (n *Node) seedStep(p *plan.Plan, table *storage.Table, step plan.Step, area
 	}
 	rows, err := forEachOrdered(len(cand), n.parallelism(p.Parallelism), func(i int) ([][]value.Value, error) {
 		row := cand[i]
-		ok, err := eval.EvalBool(localWhere, table.Env(step.Alias, row))
-		if err != nil || !ok {
-			return nil, err
+		if localProg != nil {
+			bp := bufPool.Get().(*[]value.Value)
+			table.FillRow(*bp, row, localProg.Refs())
+			ok, err := localProg.EvalBool(*bp)
+			bufPool.Put(bp)
+			if err != nil || !ok {
+				return nil, err
+			}
 		}
 		acc := xmatch.Accumulator{}.Add(candPos[i], step.SigmaArcsec)
 		cells := xmatch.AccToCells(acc)
@@ -123,6 +143,46 @@ func (n *Node) extendStep(p *plan.Plan, table *storage.Table, step plan.Step, ar
 	out := dataset.New(n.tupleColumns(incoming, table, step)...)
 	priorCols := incoming.Columns[xmatch.NumAccCols:]
 
+	// Compile the step's predicates once against the combined tuple
+	// layout: slots [0, len(priorCols)) hold the incoming tuple's carried
+	// columns, slots from npc up hold this archive's candidate row in
+	// schema order. References qualified by this step's alias bind to the
+	// candidate; everything else binds to the carried columns (with
+	// MapEnv's bare-name fallback). Binding errors therefore surface here,
+	// before any tuple is touched.
+	npc := len(priorCols)
+	schemaLen := len(table.Schema())
+	width := npc + schemaLen
+	tl := table.Layout(step.Alias)
+	localProg, err := eval.Compile(localWhere, offsetLayout(tl, npc))
+	if err != nil {
+		return nil, fmt.Errorf("compiling local predicate %q: %w", step.LocalWhere, err)
+	}
+	priorLayout := eval.MapLayout{}
+	for i, c := range priorCols {
+		priorLayout[c.Name] = i
+	}
+	combined := eval.LayoutFunc(func(tbl, col string) (int, error) {
+		if tbl == step.Alias {
+			s, err := tl.Slot(tbl, col)
+			if err != nil {
+				return 0, err
+			}
+			return npc + s, nil
+		}
+		return priorLayout.Slot(tbl, col)
+	})
+	crossProgs := make([]*eval.Program, len(crossWhere))
+	for i, cw := range crossWhere {
+		if crossProgs[i], err = eval.Compile(cw, combined); err != nil {
+			return nil, fmt.Errorf("compiling cross predicate %q: %w", step.CrossWhere[i], err)
+		}
+	}
+	// Candidate-table column indices each predicate class reads; filled
+	// lazily per candidate (cross columns only after the chi-square gate).
+	localRefs := candidateRefs(npc, localProg)
+	crossRefs := candidateRefsExcept(npc, crossProgs, localRefs)
+
 	// Each incoming tuple extends independently (§5.3 is embarrassingly
 	// parallel per partial tuple); workers each take whole tuples and the
 	// per-tuple extension groups are merged in input order, so the output
@@ -137,11 +197,10 @@ func (n *Node) extendStep(p *plan.Plan, table *storage.Table, step plan.Step, ar
 		if radius <= 0 {
 			return nil, nil
 		}
-		// Prior tuple values, for cross-archive predicates.
-		env := eval.MapEnv{}
-		for i, c := range priorCols {
-			env[c.Name] = row[xmatch.NumAccCols+i]
-		}
+		// One combined scratch row per tuple: the carried columns are
+		// copied once, candidate slots are refilled per candidate.
+		buf := make([]value.Value, width)
+		copy(buf, row[xmatch.NumAccCols:])
 		var ext [][]value.Value
 		var stepErr error
 		searchCap := sphere.CapAround(acc.Best(), radius)
@@ -150,8 +209,10 @@ func (n *Node) extendStep(p *plan.Plan, table *storage.Table, step plan.Step, ar
 			if !area.Contains(pos) {
 				return true
 			}
-			candEnv := table.Env(step.Alias, cand)
-			ok, err := eval.EvalBool(localWhere, candEnv)
+			for _, ci := range localRefs {
+				buf[npc+ci] = table.ValueUnlocked(cand, ci)
+			}
+			ok, err := localProg.EvalBool(buf)
 			if err != nil {
 				stepErr = err
 				return false
@@ -164,17 +225,17 @@ func (n *Node) extendStep(p *plan.Plan, table *storage.Table, step plan.Step, ar
 				return true
 			}
 			// Cross-archive predicates that became evaluable here.
-			if len(crossWhere) > 0 {
-				combined := combinedEnv{prior: env, alias: step.Alias, table: table, row: cand}
-				for _, cw := range crossWhere {
-					ok, err := eval.EvalBool(cw, combined)
-					if err != nil {
-						stepErr = err
-						return false
-					}
-					if !ok {
-						return true
-					}
+			for _, ci := range crossRefs {
+				buf[npc+ci] = table.ValueUnlocked(cand, ci)
+			}
+			for _, cw := range crossProgs {
+				ok, err := cw.EvalBool(buf)
+				if err != nil {
+					stepErr = err
+					return false
+				}
+				if !ok {
+					return true
 				}
 			}
 			cells := xmatch.AccToCells(next)
@@ -198,6 +259,54 @@ func (n *Node) extendStep(p *plan.Plan, table *storage.Table, step plan.Step, ar
 	return out, nil
 }
 
+// offsetLayout shifts every slot of a layout by off: extendStep compiles
+// the candidate-table predicate against the combined tuple row, whose
+// candidate portion starts at the offset.
+func offsetLayout(l eval.Layout, off int) eval.Layout {
+	return eval.LayoutFunc(func(table, column string) (int, error) {
+		s, err := l.Slot(table, column)
+		if err != nil {
+			return 0, err
+		}
+		return off + s, nil
+	})
+}
+
+// candidateRefs extracts the candidate-table column indices (slots at or
+// beyond the carried-column prefix) a program reads.
+func candidateRefs(npc int, prog *eval.Program) []int {
+	if prog == nil {
+		return nil
+	}
+	var out []int
+	for _, s := range prog.Refs() {
+		if s >= npc {
+			out = append(out, s-npc)
+		}
+	}
+	return out
+}
+
+// candidateRefsExcept is candidateRefs over several programs, minus
+// indices already in the exclude list (they are filled earlier).
+func candidateRefsExcept(npc int, progs []*eval.Program, exclude []int) []int {
+	skip := map[int]bool{}
+	for _, ci := range exclude {
+		skip[ci] = true
+	}
+	var out []int
+	for _, p := range progs {
+		for _, ci := range candidateRefs(npc, p) {
+			if !skip[ci] {
+				skip[ci] = true
+				out = append(out, ci)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
 // dropOutStep vetoes tuples with a matching observation in this archive:
 // the "exclusive outer join" of §5.2. Surviving tuples pass through with
 // their schema unchanged.
@@ -215,6 +324,14 @@ func (n *Node) dropOutStep(p *plan.Plan, table *storage.Table, step plan.Step, a
 		}
 	}
 
+	// The veto predicate only sees this archive's candidate rows, so it
+	// compiles against the plain table layout.
+	localProg, err := eval.Compile(localWhere, table.Layout(step.Alias))
+	if err != nil {
+		return nil, fmt.Errorf("compiling local predicate %q: %w", step.LocalWhere, err)
+	}
+	schemaLen := len(table.Schema())
+
 	out := &dataset.DataSet{Columns: incoming.Columns}
 	// Veto checks are independent per tuple; survivors are merged back in
 	// input order (see extendStep).
@@ -227,19 +344,26 @@ func (n *Node) dropOutStep(p *plan.Plan, table *storage.Table, step plan.Step, a
 		radius := acc.SearchRadius(p.Threshold, step.SigmaArcsec)
 		vetoed := false
 		if radius > 0 {
+			var buf []value.Value
+			if localProg != nil {
+				buf = make([]value.Value, schemaLen)
+			}
 			var stepErr error
 			searchCap := sphere.CapAround(acc.Best(), radius)
 			err = table.SearchCapPos(searchCap, func(cand int, pos sphere.Vec) bool {
 				if !area.Contains(pos) {
 					return true
 				}
-				ok, err := eval.EvalBool(localWhere, table.Env(step.Alias, cand))
-				if err != nil {
-					stepErr = err
-					return false
-				}
-				if !ok {
-					return true
+				if localProg != nil {
+					table.FillRow(buf, cand, localProg.Refs())
+					ok, err := localProg.EvalBool(buf)
+					if err != nil {
+						stepErr = err
+						return false
+					}
+					if !ok {
+						return true
+					}
 				}
 				if acc.Add(pos, step.SigmaArcsec).Matches(p.Threshold) {
 					vetoed = true
@@ -302,22 +426,4 @@ func (n *Node) columnCells(table *storage.Table, step plan.Step, row int) []valu
 		out = append(out, table.ValueUnlocked(row, ci))
 	}
 	return out
-}
-
-// combinedEnv resolves cross-archive predicates during a chain step:
-// references to this step's alias read from the candidate row; everything
-// else reads from the carried tuple columns.
-type combinedEnv struct {
-	prior eval.MapEnv
-	alias string
-	table *storage.Table
-	row   int
-}
-
-// Lookup implements eval.Env.
-func (e combinedEnv) Lookup(tableName, column string) (value.Value, error) {
-	if tableName == e.alias {
-		return e.table.Env(e.alias, e.row).Lookup(tableName, column)
-	}
-	return e.prior.Lookup(tableName, column)
 }

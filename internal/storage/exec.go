@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"sort"
 
 	"skyquery/internal/eval"
 	"skyquery/internal/sphere"
@@ -18,7 +19,9 @@ type Result struct {
 
 // rowEnv resolves column references against a table row. It accepts the
 // table's alias, its real name, or no qualifier at all, so both portal
-// queries ("O.type") and node-local queries ("type") evaluate.
+// queries ("O.type") and node-local queries ("type") evaluate. It is the
+// interpreted reference path: the executor itself runs compiled programs
+// over tableLayout, and tests cross-validate the two.
 type rowEnv struct {
 	t     *Table
 	alias string
@@ -41,6 +44,45 @@ func (e rowEnv) Lookup(table, column string) (value.Value, error) {
 // references qualified by alias, the table name, or nothing.
 func (t *Table) Env(alias string, row int) eval.Env {
 	return rowEnv{t: t, alias: alias, row: row}
+}
+
+// tableLayout resolves column references to schema slots with the same
+// qualifier rules (and error messages) as rowEnv. Programs compiled
+// against it evaluate over rows laid out in schema order.
+type tableLayout struct {
+	t     *Table
+	alias string
+}
+
+// Slot implements eval.Layout.
+func (l tableLayout) Slot(table, column string) (int, error) {
+	if table != "" && table != l.alias && table != l.t.name {
+		return 0, fmt.Errorf("storage: unknown table %q in query against %q", table, l.t.name)
+	}
+	ci := l.t.schema.Index(column)
+	if ci < 0 {
+		return 0, fmt.Errorf("storage: unknown column %q in table %q", column, l.t.name)
+	}
+	return ci, nil
+}
+
+// Layout returns the compile-time column resolver for this table: slots
+// are schema positions, and references may be qualified by alias, the
+// table name, or nothing. The chain executor compiles its per-step
+// predicates against it.
+func (t *Table) Layout(alias string) eval.Layout {
+	return tableLayout{t: t, alias: alias}
+}
+
+// FillRow copies the given schema slots of a row into buf (which must have
+// schema arity), leaving other slots untouched. It is the scratch-row
+// feeder for compiled programs: callers fill only a program's Refs. Like
+// ValueUnlocked it must run inside a read context (a Scan or Search*
+// callback, or the bulk-load-then-read phase discipline).
+func (t *Table) FillRow(buf []value.Value, row int, slots []int) {
+	for _, ci := range slots {
+		buf[ci] = t.cols[ci].get(row)
+	}
 }
 
 // Execute runs a single-table query against the database. The query's FROM
@@ -81,11 +123,13 @@ func (db *DB) Execute(q *sqlparse.Query) (*Result, error) {
 // Select evaluates the query against this table, with an optional region
 // constraint (which may also come from q.Area via DB.Execute). alias is
 // the name column references may use.
+//
+// All expressions — WHERE, projections, ORDER BY keys — are compiled once
+// against the table layout before the scan starts, so binding errors
+// (unknown columns or tables, unknown functions, wrong arities) surface
+// up front, independent of the data, and each row costs only slot reads.
 func (t *Table) Select(alias string, q *sqlparse.Query, region sphere.Region) (*Result, error) {
-	// Pre-validate referenced columns so errors do not depend on data.
-	if err := t.checkColumns(alias, q); err != nil {
-		return nil, err
-	}
+	layout := t.Layout(alias)
 
 	res := &Result{}
 	var projections []sqlparse.Expr
@@ -113,14 +157,38 @@ func (t *Table) Select(alias string, q *sqlparse.Query, region sphere.Region) (*
 		}
 	}
 
+	whereProg, err := eval.Compile(q.Where, layout)
+	if err != nil {
+		return nil, err
+	}
+	projProgs := make([]*eval.Program, len(projections))
+	for i, p := range projections {
+		if projProgs[i], err = eval.Compile(p, layout); err != nil {
+			return nil, err
+		}
+	}
+	orderProgs := make([]*eval.Program, len(q.OrderBy))
+	for i, o := range q.OrderBy {
+		if orderProgs[i], err = eval.Compile(o.Expr, layout); err != nil {
+			return nil, err
+		}
+	}
+
+	// One scratch row in schema order, refilled per visited row at only
+	// the slots some program reads — predicate columns first, the
+	// remaining projection/sort columns only for rows that pass WHERE.
+	rowBuf := make([]value.Value, len(t.schema))
+	whereRefs := unionRefs([]*eval.Program{whereProg})
+	postRefs := subtractRefs(unionRefs(append(projProgs, orderProgs...)), whereRefs)
+
 	count := int64(0)
 	var evalErr error
 	// With ORDER BY the scan cannot stop at TOP rows: all matches are
 	// collected with their sort keys, sorted, then truncated.
 	var sortKeys [][]value.Value
 	visit := func(row int) bool {
-		env := t.Env(alias, row)
-		ok, err := eval.EvalBool(q.Where, env)
+		t.FillRow(rowBuf, row, whereRefs)
+		ok, err := whereProg.EvalBool(rowBuf)
 		if err != nil {
 			evalErr = err
 			return false
@@ -132,9 +200,10 @@ func (t *Table) Select(alias string, q *sqlparse.Query, region sphere.Region) (*
 			count++
 			return true
 		}
-		vals := make([]value.Value, len(projections))
-		for i, p := range projections {
-			v, err := eval.Eval(p, env)
+		t.FillRow(rowBuf, row, postRefs)
+		vals := make([]value.Value, len(projProgs))
+		for i, p := range projProgs {
+			v, err := p.Eval(rowBuf)
 			if err != nil {
 				evalErr = err
 				return false
@@ -143,9 +212,9 @@ func (t *Table) Select(alias string, q *sqlparse.Query, region sphere.Region) (*
 		}
 		res.Rows = append(res.Rows, vals)
 		if len(q.OrderBy) > 0 {
-			keys := make([]value.Value, len(q.OrderBy))
-			for i, o := range q.OrderBy {
-				v, err := eval.Eval(o.Expr, env)
+			keys := make([]value.Value, len(orderProgs))
+			for i, p := range orderProgs {
+				v, err := p.Eval(rowBuf)
 				if err != nil {
 					evalErr = err
 					return false
@@ -199,35 +268,39 @@ func (t *Table) Select(alias string, q *sqlparse.Query, region sphere.Region) (*
 	return res, nil
 }
 
-// checkColumns verifies every column reference in the query resolves.
-func (t *Table) checkColumns(alias string, q *sqlparse.Query) error {
-	check := func(e sqlparse.Expr) error {
-		var err error
-		sqlparse.Walk(e, func(n sqlparse.Expr) {
-			if err != nil {
-				return
-			}
-			if c, ok := n.(*sqlparse.ColumnRef); ok {
-				if c.Table != "" && c.Table != alias && c.Table != t.name {
-					err = fmt.Errorf("storage: unknown table %q in query against %q", c.Table, t.name)
-					return
-				}
-				if t.schema.Index(c.Column) < 0 {
-					err = fmt.Errorf("storage: unknown column %q in table %q", c.Column, t.name)
-				}
-			}
-		})
-		return err
-	}
-	for _, item := range q.Select {
-		if _, ok := item.Expr.(*sqlparse.Star); ok {
+// unionRefs merges the referenced slots of several programs (nil programs
+// contribute nothing) into one sorted list for scratch-row filling.
+func unionRefs(progs []*eval.Program) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, p := range progs {
+		if p == nil {
 			continue
 		}
-		if err := check(item.Expr); err != nil {
-			return err
+		for _, s := range p.Refs() {
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
 		}
 	}
-	return check(q.Where)
+	sort.Ints(out)
+	return out
+}
+
+// subtractRefs returns the slots of a not present in b (both sorted).
+func subtractRefs(a, b []int) []int {
+	skip := map[int]bool{}
+	for _, s := range b {
+		skip[s] = true
+	}
+	var out []int
+	for _, s := range a {
+		if !skip[s] {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // exprType infers a static result type for a projection, defaulting to
@@ -258,6 +331,8 @@ func exprType(t *Table, e sqlparse.Expr) value.Type {
 		return value.FloatType
 	case *sqlparse.IsNull, *sqlparse.InList, *sqlparse.Between:
 		return value.BoolType
+	case *sqlparse.FuncCall:
+		return eval.FuncResultType(n, func(arg sqlparse.Expr) value.Type { return exprType(t, arg) })
 	}
 	return value.FloatType
 }

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"skyquery/internal/eval"
 	"skyquery/internal/sphere"
 	"skyquery/internal/sqlparse"
 	"skyquery/internal/value"
@@ -484,5 +485,154 @@ func TestSelectWithRegionParameterAndNoIndexFallback(t *testing.T) {
 	q, _ := sqlparse.Parse(`SELECT count(*) FROM T WHERE AREA(0, 0, 10)`)
 	if _, err := db2.Execute(q); err == nil {
 		t.Error("AREA without position info should fail")
+	}
+}
+
+// TestSelectCompiledMatchesInterpreter cross-validates the executor's
+// compiled path against the reference interpreter: every query is also
+// evaluated row by row through Table.Env + eval.Eval, and the result sets
+// must be bit-identical (values and types).
+func TestSelectCompiledMatchesInterpreter(t *testing.T) {
+	tab, err := NewTable("obj", objSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillObjects(t, tab, 200, 7)
+	// Sprinkle NULLs so three-valued logic is exercised.
+	if err := tab.Append(value.Int(1000), value.Float(10), value.Float(10), value.Null, value.Null, value.Null); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []string{
+		`SELECT object_id, flux FROM obj O WHERE O.type = 'GALAXY' AND flux > 25`,
+		`SELECT O.object_id, flux * 2 AS f2, UPPER(type) FROM obj O WHERE flux BETWEEN 10 AND 90`,
+		`SELECT COUNT(*) FROM obj WHERE type LIKE 'GAL%' OR flagged`,
+		`SELECT * FROM obj O WHERE ABS(dec) < 45 AND type IN ('GALAXY', 'STAR')`,
+		`SELECT object_id FROM obj WHERE flux IS NULL OR type IS NULL`,
+		`SELECT object_id, flux FROM obj O WHERE COALESCE(flux, 0) < 50 ORDER BY flux DESC, object_id`,
+		`SELECT TOP 7 object_id FROM obj ORDER BY object_id DESC`,
+	}
+	for _, src := range queries {
+		q, err := sqlparse.Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		got, err := tab.Select(q.From[0].Name(), q, nil)
+		if err != nil {
+			t.Fatalf("Select %q: %v", src, err)
+		}
+		want, err := interpretSelect(tab, q.From[0].Name(), q)
+		if err != nil {
+			t.Fatalf("reference %q: %v", src, err)
+		}
+		if len(got.Rows) != len(want) {
+			t.Fatalf("%q: compiled returned %d rows, interpreter %d", src, len(got.Rows), len(want))
+		}
+		for i := range want {
+			for j := range want[i] {
+				g, w := got.Rows[i][j], want[i][j]
+				if !value.Equal(g, w) || g.Type() != w.Type() {
+					t.Fatalf("%q row %d col %d: compiled=%v (%v), interpreter=%v (%v)",
+						src, i, j, g, g.Type(), w, w.Type())
+				}
+			}
+		}
+	}
+}
+
+// interpretSelect re-implements Select's scan loop over the interpreted
+// reference path (Table.Env + eval.Eval), including ORDER BY and TOP.
+func interpretSelect(tab *Table, alias string, q *sqlparse.Query) ([][]value.Value, error) {
+	var projections []sqlparse.Expr
+	if !q.Count {
+		for _, item := range q.Select {
+			if _, ok := item.Expr.(*sqlparse.Star); ok {
+				for _, def := range tab.Schema() {
+					projections = append(projections, &sqlparse.ColumnRef{Table: alias, Column: def.Name})
+				}
+				continue
+			}
+			projections = append(projections, item.Expr)
+		}
+	}
+	var rows [][]value.Value
+	var keys [][]value.Value
+	count := int64(0)
+	var scanErr error
+	tab.Scan(func(row int) bool {
+		env := tab.Env(alias, row)
+		ok, err := eval.EvalBool(q.Where, env)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if !ok {
+			return true
+		}
+		if q.Count {
+			count++
+			return true
+		}
+		vals := make([]value.Value, len(projections))
+		for i, p := range projections {
+			if vals[i], err = eval.Eval(p, env); err != nil {
+				scanErr = err
+				return false
+			}
+		}
+		rows = append(rows, vals)
+		if len(q.OrderBy) > 0 {
+			ks := make([]value.Value, len(q.OrderBy))
+			for i, o := range q.OrderBy {
+				if ks[i], err = eval.Eval(o.Expr, env); err != nil {
+					scanErr = err
+					return false
+				}
+			}
+			keys = append(keys, ks)
+			return true
+		}
+		return q.Top == 0 || len(rows) < q.Top
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	if q.Count {
+		return [][]value.Value{{value.Int(count)}}, nil
+	}
+	if len(q.OrderBy) > 0 {
+		sorted, err := eval.SortRows(rows, keys, q.OrderBy)
+		if err != nil {
+			return nil, err
+		}
+		rows = sorted
+		if q.Top > 0 && len(rows) > q.Top {
+			rows = rows[:q.Top]
+		}
+	}
+	return rows, nil
+}
+
+// TestSelectCompileErrorsBeforeScan asserts binding errors surface even
+// when no row would ever be visited: compilation happens at plan time.
+func TestSelectCompileErrorsBeforeScan(t *testing.T) {
+	tab, err := NewTable("obj", objSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty table: the historical per-row evaluator would have reported
+	// nothing for ORDER BY or function errors.
+	for _, src := range []string{
+		`SELECT object_id FROM obj ORDER BY nosuch`,
+		`SELECT NOSUCHFN(flux) FROM obj`,
+		`SELECT object_id FROM obj WHERE ABS(flux, 2) > 0`,
+	} {
+		q, err := sqlparse.Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, err := tab.Select("obj", q, nil); err == nil {
+			t.Errorf("Select(%q) on empty table succeeded, want compile error", src)
+		}
 	}
 }

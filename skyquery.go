@@ -34,6 +34,24 @@
 // plan-carried hint plus skynode.Config.Parallelism as each node's
 // override; the daemons expose it as -parallelism). 0 means GOMAXPROCS;
 // 1 recovers the sequential executor.
+//
+// # Compiled expressions
+//
+// Every SQL expression the pipeline evaluates per row — storage scan
+// predicates and projections, the chain steps' local and cross-archive
+// predicates, and the Portal's final projection — is compiled once at
+// plan time (internal/eval.Compile): column references resolve to integer
+// slots of a tuple layout, function names and arities are checked,
+// constant subtrees fold, and constant LIKE patterns turn into
+// precompiled matchers. The resulting closure-tree program evaluates with
+// no maps, no string lookups, and no per-row allocation, so each worker's
+// inner loop costs slot reads plus the arithmetic itself. A consequence
+// visible to clients: a bad predicate (unknown column, unknown function,
+// wrong arity) is reported when the plan or chain step is built, before
+// any data is scanned, instead of surfacing from the first row that
+// happens to reach it. The tree-walking interpreter (internal/eval.Eval)
+// remains the reference semantics; differential tests and a fuzz target
+// hold the two paths to identical values and errors.
 package skyquery
 
 import (
