@@ -1,0 +1,153 @@
+package skyquery
+
+// The golden end-to-end query corpus: every testdata/queries/*.sql runs
+// through the full portal path — parse, plan (count-star probes), the
+// distributed cross-match chain or single-archive pass-through, and final
+// projection — and its rows must match the checked-in *.golden file
+// bit-for-bit at every combination of chain parallelism {1, 4} and scan
+// batch size {1, 3, 1024}. The degenerate batch sizes force partial and
+// single-row batches through every batched site (storage scans, chain
+// steps, projection), which is where batch-boundary bugs (dropped last
+// partial batch, off-by-one at a full batch, empty-batch handling) live.
+//
+// Regenerate the goldens after an intended behavior change with:
+//
+//	go test -run TestGoldenQueryCorpus -update-golden
+//
+// (they are written from the parallelism=1, batch-size=1 configuration,
+// the closest to a row-at-a-time reference execution).
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"skyquery/internal/dataset"
+	"skyquery/internal/eval"
+	"skyquery/internal/value"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/queries/*.golden from the current engine")
+
+// goldenCell encodes one value for the golden files: unambiguous across
+// types, with floats at 12 significant digits so the files do not hinge on
+// the last ulp of platform-specific rounding.
+func goldenCell(v value.Value) string {
+	switch v.Type() {
+	case value.NullType:
+		return "NULL"
+	case value.IntType:
+		return "i:" + strconv.FormatInt(v.AsInt(), 10)
+	case value.FloatType:
+		f, _ := v.AsFloat()
+		return "f:" + strconv.FormatFloat(f, 'g', 12, 64)
+	case value.StringType:
+		return "s:" + strconv.Quote(v.AsString())
+	case value.BoolType:
+		return "b:" + strconv.FormatBool(v.AsBool())
+	}
+	return "?"
+}
+
+// goldenEncode renders a result set: a header of name:TYPE columns, then
+// one line per row.
+func goldenEncode(ds *dataset.DataSet) string {
+	var sb strings.Builder
+	var hdr []string
+	for _, c := range ds.Columns {
+		hdr = append(hdr, c.Name+":"+c.Type.String())
+	}
+	sb.WriteString(strings.Join(hdr, " | "))
+	sb.WriteString("\n")
+	for _, row := range ds.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = goldenCell(v)
+		}
+		sb.WriteString(strings.Join(cells, " | "))
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func TestGoldenQueryCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "queries", "*.sql"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no golden queries found: %v", err)
+	}
+	sort.Strings(files)
+
+	defer eval.SetBatchSize(eval.BatchSize())
+	batchSizes := []int{1, 3, eval.DefaultBatchSize}
+
+	if *updateGolden {
+		eval.SetBatchSize(1)
+		f := launch(t, Options{Bodies: 400, Parallelism: 1})
+		for _, file := range files {
+			sql, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := f.Query(string(sql))
+			if err != nil {
+				t.Fatalf("%s: %v", file, err)
+			}
+			golden := strings.TrimSuffix(file, ".sql") + ".golden"
+			if err := os.WriteFile(golden, []byte(goldenEncode(res)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("wrote %s (%d rows)", golden, res.NumRows())
+		}
+		return
+	}
+
+	for _, par := range []int{1, 4} {
+		f := launch(t, Options{Bodies: 400, Parallelism: par})
+		for _, bs := range batchSizes {
+			eval.SetBatchSize(bs)
+			for _, file := range files {
+				name := fmt.Sprintf("%s/par=%d/batch=%d", filepath.Base(file), par, bs)
+				sql, err := os.ReadFile(file)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := os.ReadFile(strings.TrimSuffix(file, ".sql") + ".golden")
+				if err != nil {
+					t.Fatalf("%s: missing golden (run with -update-golden): %v", name, err)
+				}
+				res, err := f.Query(string(sql))
+				if err != nil {
+					t.Errorf("%s: query failed: %v", name, err)
+					continue
+				}
+				if got := goldenEncode(res); got != string(want) {
+					t.Errorf("%s: result diverges from golden\ngot:\n%s\nwant:\n%s", name, got, want)
+				}
+				// The pull-to-portal baseline must agree with the chain on
+				// the ordered queries (row-for-row) and on cardinality for
+				// the rest (tuple order is strategy-dependent).
+				if strings.Contains(strings.ToUpper(string(sql)), "XMATCH") {
+					pull, err := f.PullQuery(string(sql))
+					if err != nil {
+						t.Errorf("%s: pull baseline failed: %v", name, err)
+						continue
+					}
+					if pull.NumRows() != res.NumRows() {
+						t.Errorf("%s: pull baseline returned %d rows, chain %d", name, pull.NumRows(), res.NumRows())
+					}
+					if strings.Contains(strings.ToUpper(string(sql)), "ORDER BY") {
+						if got := goldenEncode(pull); got != string(want) {
+							t.Errorf("%s: pull baseline diverges from golden\ngot:\n%s", name, got)
+						}
+					}
+				}
+			}
+		}
+		f.Close()
+	}
+}

@@ -167,22 +167,26 @@ func extendLocal(a *Archive, step plan.Step, rows *dataset.DataSet, tuples *data
 	// Compile the cross predicates once against the combined layout: the
 	// tuple's carried columns first, then the pulled archive's columns
 	// (which win name collisions, as the per-candidate map rebuild used
-	// to).
+	// to). The predicates run as batch programs: per tuple, the
+	// gate-passing candidates are chunked, the carried columns broadcast
+	// once per chunk, the referenced pulled columns transposed in, and
+	// the selection threaded through the predicate list.
 	payload := tuples.Columns[xmatch.NumAccCols:]
+	npc := len(payload)
 	layout := eval.MapLayout{}
 	for i, c := range payload {
 		layout[c.Name] = i
 	}
 	for ci, c := range rows.Columns {
-		layout[c.Name] = len(payload) + ci
+		layout[c.Name] = npc + ci
 	}
-	var crossProgs []*eval.Program
+	var crossProgs []*eval.BatchProgram
 	for _, src := range step.CrossWhere {
 		ex, err := sqlparse.ParseExpr(src)
 		if err != nil {
 			return nil, err
 		}
-		prog, err := eval.Compile(ex, layout)
+		prog, err := eval.CompileBatch(ex, layout)
 		if err != nil {
 			return nil, fmt.Errorf("core: compiling cross predicate %q: %w", src, err)
 		}
@@ -192,7 +196,29 @@ func extendLocal(a *Archive, step plan.Step, rows *dataset.DataSet, tuples *data
 	cols := append([]dataset.Column(nil), tuples.Columns...)
 	cols = append(cols, payloadColumns(step, rows)...)
 	out := &dataset.DataSet{Columns: cols}
-	buf := make([]value.Value, len(payload)+len(rows.Columns))
+
+	var refLists [][]int
+	for _, p := range crossProgs {
+		refLists = append(refLists, p.Refs())
+	}
+	allRefs := eval.UnionRefs(refLists...)
+	var priorSlots, candSlots []int
+	for _, s := range allRefs {
+		if s < npc {
+			priorSlots = append(priorSlots, s)
+		} else {
+			candSlots = append(candSlots, s)
+		}
+	}
+	bs := eval.BatchSize()
+	batch := eval.NewBatch(npc+len(rows.Columns), bs)
+	crossEvs := make([]*eval.BatchEval, len(crossProgs))
+	for i, p := range crossProgs {
+		crossEvs[i] = p.NewEval(bs)
+	}
+	seqEv := (*eval.BatchProgram)(nil).NewEval(bs)
+	cand := make([]int, 0, bs)             // pulled-row index per batch position
+	accs := make([]xmatch.Accumulator, bs) // gate-passing accumulator per position
 
 	for _, trow := range tuples.Rows {
 		acc, err := xmatch.CellsToAcc(trow)
@@ -204,7 +230,46 @@ func extendLocal(a *Archive, step plan.Step, rows *dataset.DataSet, tuples *data
 			continue
 		}
 		best := acc.Best()
-		copy(buf, trow[xmatch.NumAccCols:])
+		flush := func() error {
+			cn := len(cand)
+			if cn == 0 {
+				return nil
+			}
+			defer func() { cand = cand[:0] }()
+			sel := seqEv.Seq(cn)
+			if len(crossProgs) > 0 {
+				batch.SetLen(cn)
+				for _, s := range priorSlots {
+					col := batch.Col(s)
+					v := trow[xmatch.NumAccCols+s]
+					for k := 0; k < cn; k++ {
+						col[k] = v
+					}
+				}
+				for _, s := range candSlots {
+					col := batch.Col(s)
+					for k, i := range cand {
+						col[k] = rows.Rows[i][s-npc]
+					}
+				}
+				for i, prog := range crossProgs {
+					if len(sel) == 0 {
+						break
+					}
+					var err error
+					if sel, _, err = prog.Filter(crossEvs[i], batch, sel); err != nil {
+						return err
+					}
+				}
+			}
+			for _, k := range sel {
+				cells := xmatch.AccToCells(accs[k])
+				cells = append(cells, trow[xmatch.NumAccCols:]...)
+				cells = append(cells, payloadCells(step, rows, cand[k])...)
+				out.Rows = append(out.Rows, cells)
+			}
+			return nil
+		}
 		for i := range rows.Rows {
 			rd, err := pulledPos(rows, i)
 			if err != nil {
@@ -218,27 +283,16 @@ func extendLocal(a *Archive, step plan.Step, rows *dataset.DataSet, tuples *data
 			if !next.Matches(threshold) {
 				continue
 			}
-			if len(crossProgs) > 0 {
-				copy(buf[len(payload):], rows.Rows[i])
-				ok := true
-				for _, prog := range crossProgs {
-					pass, err := prog.EvalBool(buf)
-					if err != nil {
-						return nil, err
-					}
-					if !pass {
-						ok = false
-						break
-					}
-				}
-				if !ok {
-					continue
+			accs[len(cand)] = next
+			cand = append(cand, i)
+			if len(cand) == bs {
+				if err := flush(); err != nil {
+					return nil, err
 				}
 			}
-			cells := xmatch.AccToCells(next)
-			cells = append(cells, trow[xmatch.NumAccCols:]...)
-			cells = append(cells, payloadCells(step, rows, i)...)
-			out.Rows = append(out.Rows, cells)
+		}
+		if err := flush(); err != nil {
+			return nil, err
 		}
 	}
 	return out, nil

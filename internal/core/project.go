@@ -47,67 +47,115 @@ func (e *Engine) project(q *sqlparse.Query, tuples *dataset.DataSet) (*dataset.D
 	}
 
 	// Compile the select list and sort keys once against the payload
-	// layout; the payload slice of each tuple row is itself the program
-	// row, so projection is map-free and allocation-free per tuple. Bad
-	// references fail here, before any tuple is projected.
+	// layout as vectorized batch programs. Bad references fail here,
+	// before any tuple is projected. Tuples are then projected in chunks
+	// of eval.BatchSize: the referenced payload columns are transposed
+	// into the batch and each program evaluates over the column slices.
+	// TOP without ORDER BY truncates the chunk *before* evaluation, so
+	// tuples past the TOP boundary are never touched — exactly like the
+	// row-at-a-time loop that stopped there.
 	payload := tuples.Columns[xmatch.NumAccCols:]
 	layout := eval.MapLayout{}
 	for i, c := range payload {
 		layout[c.Name] = i
 	}
-	selProgs := make([]*eval.Program, len(q.Select))
+	selProgs := make([]*eval.BatchProgram, len(q.Select))
 	for i, item := range q.Select {
-		p, err := eval.Compile(item.Expr, layout)
+		p, err := eval.CompileBatch(item.Expr, layout)
 		if err != nil {
 			return nil, fmt.Errorf("core: projecting %s: %w", item.Expr, err)
 		}
 		selProgs[i] = p
 	}
-	orderProgs := make([]*eval.Program, len(q.OrderBy))
+	orderProgs := make([]*eval.BatchProgram, len(q.OrderBy))
 	for i, o := range q.OrderBy {
-		p, err := eval.Compile(o.Expr, layout)
+		p, err := eval.CompileBatch(o.Expr, layout)
 		if err != nil {
 			return nil, fmt.Errorf("core: ORDER BY %s: %w", o.Expr, err)
 		}
 		orderProgs[i] = p
 	}
 
+	bs := eval.BatchSize()
+	batch := eval.NewBatch(len(payload), bs)
+	selEvs := make([]*eval.BatchEval, len(selProgs))
+	selOut := make([][]value.Value, len(selProgs))
+	for i, p := range selProgs {
+		selEvs[i] = p.NewEval(bs)
+	}
+	orderEvs := make([]*eval.BatchEval, len(orderProgs))
+	orderOut := make([][]value.Value, len(orderProgs))
+	for i, p := range orderProgs {
+		orderEvs[i] = p.NewEval(bs)
+	}
+	var refLists [][]int
+	for _, p := range selProgs {
+		refLists = append(refLists, p.Refs())
+	}
+	for _, p := range orderProgs {
+		refLists = append(refLists, p.Refs())
+	}
+	refs := eval.UnionRefs(refLists...)
+	seqEv := (*eval.BatchProgram)(nil).NewEval(bs)
+
+	hasOrder := len(q.OrderBy) > 0
 	var sortKeys [][]value.Value
-	for _, row := range tuples.Rows {
-		progRow := row[xmatch.NumAccCols:]
-		cells := make([]value.Value, 0, len(out.Columns))
+	for off := 0; off < len(tuples.Rows); off += bs {
+		cn := min(bs, len(tuples.Rows)-off)
+		if !hasOrder && q.Top > 0 {
+			if need := q.Top - len(out.Rows); cn > need {
+				cn = need
+			}
+		}
+		if cn <= 0 {
+			break
+		}
+		chunk := tuples.Rows[off : off+cn]
+		for _, s := range refs {
+			col := batch.Col(s)
+			for k, row := range chunk {
+				col[k] = row[xmatch.NumAccCols+s]
+			}
+		}
+		batch.SetLen(cn)
+		sel := seqEv.Seq(cn)
 		for i, p := range selProgs {
-			v, err := p.Eval(progRow)
+			vec, _, err := p.EvalVec(selEvs[i], batch, sel)
 			if err != nil {
 				return nil, fmt.Errorf("core: projecting %s: %w", q.Select[i].Expr, err)
 			}
-			cells = append(cells, v)
+			selOut[i] = vec
 		}
-		if e.IncludeMatchColumns {
-			acc, err := xmatch.CellsToAcc(row)
+		for i, p := range orderProgs {
+			vec, _, err := p.EvalVec(orderEvs[i], batch, sel)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("core: ORDER BY %s: %w", q.OrderBy[i].Expr, err)
 			}
-			ra, dec := acc.Best().RaDec()
-			cells = append(cells,
-				value.Float(ra), value.Float(dec),
-				value.Float(acc.LogLikelihood()), value.Int(int64(acc.N)))
+			orderOut[i] = vec
 		}
-		out.Rows = append(out.Rows, cells)
-		if len(q.OrderBy) > 0 {
-			keys := make([]value.Value, len(orderProgs))
-			for i, p := range orderProgs {
-				v, err := p.Eval(progRow)
+		for k, row := range chunk {
+			cells := make([]value.Value, 0, len(out.Columns))
+			for i := range selProgs {
+				cells = append(cells, selOut[i][k])
+			}
+			if e.IncludeMatchColumns {
+				acc, err := xmatch.CellsToAcc(row)
 				if err != nil {
-					return nil, fmt.Errorf("core: ORDER BY %s: %w", q.OrderBy[i].Expr, err)
+					return nil, err
 				}
-				keys[i] = v
+				ra, dec := acc.Best().RaDec()
+				cells = append(cells,
+					value.Float(ra), value.Float(dec),
+					value.Float(acc.LogLikelihood()), value.Int(int64(acc.N)))
 			}
-			sortKeys = append(sortKeys, keys)
-			continue
-		}
-		if q.Top > 0 && len(out.Rows) >= q.Top {
-			break
+			out.Rows = append(out.Rows, cells)
+			if hasOrder {
+				keys := make([]value.Value, len(orderProgs))
+				for i := range orderProgs {
+					keys[i] = orderOut[i][k]
+				}
+				sortKeys = append(sortKeys, keys)
+			}
 		}
 	}
 	if len(q.OrderBy) > 0 {

@@ -1,0 +1,994 @@
+package eval
+
+// This file is the vectorized third engine of the expression stack. Eval
+// (eval.go) interprets the AST row by row; Compile (compile.go) turns it
+// into a closure tree evaluated against one scratch row; CompileBatch turns
+// it into a program evaluated over *column slices* — one []value.Value per
+// row slot — with a selection vector of active row positions. Scan sites
+// gather candidate rows into fixed-size batches (BatchSize, default 1024),
+// run the WHERE program once per batch, and only then materialize the
+// surviving rows, so the per-row cost collapses to tight slice loops
+// instead of a closure call per expression node per row.
+//
+// The execution model:
+//
+//   - A Batch holds up to Cap() rows in column-major order. Callers fill
+//     only the columns in Program.Refs() (Col allocates lazily) and SetLen
+//     to the row count.
+//   - A selection vector is a strictly increasing []int of batch positions.
+//     Filter reduces it to the rows where the predicate is TRUE. AND/OR
+//     spines are flattened into n-ary nodes that carry one accumulator and
+//     a shrinking "live" selection: each conjunct is evaluated only at the
+//     rows still undecided after the previous ones — exactly the rows the
+//     scalar engine's short-circuit would have reached it on — and decided
+//     rows are never rewritten.
+//   - Comparisons and arithmetic run typed kernels: the int64/float64 and
+//     string fast paths are inlined in the batch loop and odd type mixes
+//     fall back to the value package per element. Scalar functions loop
+//     directly over the same kernels the interpreter and scalar compiler
+//     dispatch to (scalar1/scalar2), and LIKE reuses the constant-pattern
+//     specializations. The remaining long tail — IN, BETWEEN, COALESCE —
+//     is compiled with the scalar compiler and evaluated per selected row
+//     over a gathered scratch row, so batch and scalar cannot drift on
+//     kernel semantics.
+//
+// Error semantics mirror the row-at-a-time engines per row: evaluation
+// stops at the first selected row whose scalar evaluation would error, and
+// that row index is reported alongside the error (errRow). Rows before
+// errRow are fully evaluated, which lets scan sites with TOP decide whether
+// the row-at-a-time scan would have stopped before ever reaching the
+// failing row (and suppress the error exactly when it would have). When
+// several rows of a batch would error on different subexpressions, the
+// reported error is the one from the lowest row, like the sequential scan;
+// pipelines of several programs (local predicate, then cross predicates)
+// may surface a different member's error than the interleaved scalar loop
+// did, but never differ on error presence. The three-way differential
+// tests and FuzzBatchDifferential in batch_test.go hold all three engines
+// to agreement on values and on errRow.
+//
+// Programs are immutable after CompileBatch and safe for concurrent use;
+// the per-evaluation scratch (result vectors, selection buffers, the
+// gather row for scalar-tail nodes) lives in a BatchEval, which is NOT
+// concurrency-safe — each goroutine gets its own via NewEval.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"skyquery/internal/sqlparse"
+	"skyquery/internal/value"
+)
+
+// DefaultBatchSize is the number of rows scan sites gather per batch when
+// nothing overrides it. 1024 keeps a batch's working set (a handful of
+// value columns) inside the cache while amortizing per-batch overhead to
+// noise.
+const DefaultBatchSize = 1024
+
+// batchSize is the process-wide batch size knob; see BatchSize.
+var batchSize atomic.Int64
+
+func init() { batchSize.Store(DefaultBatchSize) }
+
+// BatchSize returns the row count scan sites use per evaluation batch.
+func BatchSize() int { return int(batchSize.Load()) }
+
+// SetBatchSize overrides the scan batch size (values < 1 select the
+// default). It exists for tests — the golden query corpus runs the full
+// portal at batch sizes {1, 3, 1024} to shake out batch-boundary bugs —
+// and for tuning experiments. Concurrent queries read it atomically, but
+// changing it mid-query only affects batches created afterwards.
+func SetBatchSize(n int) {
+	if n < 1 {
+		n = DefaultBatchSize
+	}
+	batchSize.Store(int64(n))
+}
+
+// Batch is a column-major buffer of rows: one []value.Value per row slot,
+// indexed by batch position. Callers fill the columns a program reads
+// (Refs), set the length, and reuse the batch for the next chunk of rows.
+type Batch struct {
+	cols [][]value.Value
+	n    int
+	cap  int
+}
+
+// NewBatch creates a batch with the given slot width and row capacity.
+// Columns are allocated lazily by Col, so wide layouts cost only what the
+// programs actually reference.
+func NewBatch(width, capacity int) *Batch {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Batch{cols: make([][]value.Value, width), cap: capacity}
+}
+
+// Width returns the slot width.
+func (b *Batch) Width() int { return len(b.cols) }
+
+// Cap returns the row capacity.
+func (b *Batch) Cap() int { return b.cap }
+
+// Len returns the current row count.
+func (b *Batch) Len() int { return b.n }
+
+// SetLen sets the current row count (at most Cap).
+func (b *Batch) SetLen(n int) {
+	if n < 0 || n > b.cap {
+		panic(fmt.Sprintf("eval: batch length %d out of range [0, %d]", n, b.cap))
+	}
+	b.n = n
+}
+
+// Col returns the column slice for a slot (allocating it on first use),
+// always at full capacity: fill positions [0, Len).
+func (b *Batch) Col(slot int) []value.Value {
+	if b.cols[slot] == nil {
+		b.cols[slot] = make([]value.Value, b.cap)
+	}
+	return b.cols[slot]
+}
+
+// bnodeFunc is a generic batch node body: it evaluates the subexpression
+// for the selected rows, returning a result vector indexed by batch
+// position. out is valid at every selected row below errRow; errRow is -1
+// when err is nil, otherwise the first selected row whose evaluation
+// failed (rows at and beyond it are not evaluated).
+type bnodeFunc func(ev *BatchEval, b *Batch, sel []int) (out []value.Value, errRow int, err error)
+
+// bexpr is one compiled batch node: either a generic node body (fn), or a
+// flattened n-ary conjunction/disjunction whose members are evaluated over
+// a shrinking live selection.
+type bexpr struct {
+	fn   bnodeFunc
+	and  []bexpr
+	or   []bexpr
+	vec  int // accumulator vector id for n-ary nodes
+	live int // live-selection buffer id for n-ary nodes
+}
+
+func (n *bexpr) eval(ev *BatchEval, b *Batch, sel []int) ([]value.Value, int, error) {
+	switch {
+	case n.and != nil:
+		return n.evalAnd(ev, b, sel)
+	case n.or != nil:
+		return n.evalOr(ev, b, sel)
+	default:
+		return n.fn(ev, b, sel)
+	}
+}
+
+// evalAnd evaluates a flattened conjunction. The accumulator starts as the
+// first member's values; each later member is evaluated only at the rows
+// whose accumulated value is not BOOL FALSE — precisely the rows the
+// scalar engine's short-circuit would have reached it on — and folded in
+// with Kleene AND. A member's failure truncates the live set to the rows
+// before it and evaluation continues, so the reported error is the one
+// from the lowest row, exactly as the sequential scan surfaces it.
+func (n *bexpr) evalAnd(ev *BatchEval, b *Batch, sel []int) ([]value.Value, int, error) {
+	acc := ev.vecs[n.vec]
+	live := ev.sels[n.live][:0]
+	c0, errRow, err := n.and[0].eval(ev, b, sel)
+	for _, r := range selBefore(sel, errRow) {
+		v := c0[r]
+		acc[r] = v
+		if v.Type() == value.BoolType && !v.AsBool() {
+			continue
+		}
+		live = append(live, r)
+	}
+	for i := 1; i < len(n.and); i++ {
+		if len(live) == 0 {
+			break
+		}
+		vo, cer, cerr := n.and[i].eval(ev, b, live)
+		if cerr != nil {
+			// cer is a live row, so strictly below any previous bound.
+			errRow, err = cer, cerr
+			live = selBefore(live, cer)
+		}
+		w := 0
+		for _, r := range live {
+			v := value.And(acc[r], vo[r])
+			acc[r] = v
+			if v.Type() == value.BoolType && !v.AsBool() {
+				continue
+			}
+			live[w] = r
+			w++
+		}
+		live = live[:w]
+	}
+	return acc, errRow, err
+}
+
+// evalOr is evalAnd's dual: members run at the rows whose accumulated
+// value is not TRUE, folding in with Kleene OR.
+func (n *bexpr) evalOr(ev *BatchEval, b *Batch, sel []int) ([]value.Value, int, error) {
+	acc := ev.vecs[n.vec]
+	live := ev.sels[n.live][:0]
+	c0, errRow, err := n.or[0].eval(ev, b, sel)
+	for _, r := range selBefore(sel, errRow) {
+		v := c0[r]
+		acc[r] = v
+		if v.IsTrue() {
+			continue
+		}
+		live = append(live, r)
+	}
+	for i := 1; i < len(n.or); i++ {
+		if len(live) == 0 {
+			break
+		}
+		vo, cer, cerr := n.or[i].eval(ev, b, live)
+		if cerr != nil {
+			errRow, err = cer, cerr
+			live = selBefore(live, cer)
+		}
+		w := 0
+		for _, r := range live {
+			v := value.Or(acc[r], vo[r])
+			acc[r] = v
+			if v.IsTrue() {
+				continue
+			}
+			live[w] = r
+			w++
+		}
+		live = live[:w]
+	}
+	return acc, errRow, err
+}
+
+// BatchProgram is a compiled batch expression. Like Program it is
+// immutable and safe for concurrent use; all mutable evaluation state
+// lives in a BatchEval.
+type BatchProgram struct {
+	root   bexpr
+	refs   []int
+	width  int
+	nVec   int
+	nSel   int
+	consts []constFill
+}
+
+// constFill records a constant vector to pre-fill when a BatchEval is
+// created, so constant subtrees cost nothing per batch.
+type constFill struct {
+	vec int
+	v   value.Value
+}
+
+// BatchEval is the per-goroutine scratch for evaluating one BatchProgram:
+// one result vector per node, live-selection buffers for AND/OR, and the
+// gathered row scalar-tail nodes evaluate over. Reuse it across batches;
+// never share it between goroutines.
+type BatchEval struct {
+	vecs [][]value.Value
+	sels [][]int
+	row  []value.Value
+	seq  []int
+	out  []int
+}
+
+// NewEval allocates evaluation scratch for batches of up to capacity rows.
+// It is valid on a nil program (the scratch still provides Seq for
+// callers that batch without a predicate).
+func (p *BatchProgram) NewEval(capacity int) *BatchEval {
+	if capacity < 1 {
+		capacity = 1
+	}
+	ev := &BatchEval{
+		seq: make([]int, capacity),
+		out: make([]int, 0, capacity),
+	}
+	for i := range ev.seq {
+		ev.seq[i] = i
+	}
+	if p == nil {
+		return ev
+	}
+	ev.vecs = make([][]value.Value, p.nVec)
+	for i := range ev.vecs {
+		ev.vecs[i] = make([]value.Value, capacity)
+	}
+	ev.sels = make([][]int, p.nSel)
+	for i := range ev.sels {
+		ev.sels[i] = make([]int, 0, capacity)
+	}
+	ev.row = make([]value.Value, p.width)
+	for _, c := range p.consts {
+		vec := ev.vecs[c.vec]
+		for i := range vec {
+			vec[i] = c.v
+		}
+	}
+	return ev
+}
+
+// Seq returns the identity selection [0, n): every row of a batch active.
+func (ev *BatchEval) Seq(n int) []int { return ev.seq[:n] }
+
+// CompileBatch compiles the expression into a batch program against the
+// layout. A nil expression compiles to a nil program, whose Filter passes
+// every row (the semantics of an absent WHERE clause). Binding errors
+// (unknown columns, functions, arities) surface here, exactly as with
+// Compile.
+func CompileBatch(e sqlparse.Expr, layout Layout) (*BatchProgram, error) {
+	if e == nil {
+		return nil, nil
+	}
+	c := &batchCompiler{layout: layout, refs: map[int]bool{}}
+	root, _, err := c.compile(e)
+	if err != nil {
+		return nil, err
+	}
+	p := &BatchProgram{root: *root, nVec: c.nVec, nSel: c.nSel, consts: c.consts}
+	for s := range c.refs {
+		p.refs = append(p.refs, s)
+		if s+1 > p.width {
+			p.width = s + 1
+		}
+	}
+	sort.Ints(p.refs)
+	return p, nil
+}
+
+// Refs returns the sorted batch slots the program reads; callers fill
+// exactly these columns. It is nil-safe (a nil program reads nothing).
+func (p *BatchProgram) Refs() []int {
+	if p == nil {
+		return nil
+	}
+	return p.refs
+}
+
+// UnionRefs merges slot lists (typically several programs' Refs) into one
+// sorted, duplicate-free list — the gather list for callers that fill one
+// batch for a pipeline of programs.
+func UnionRefs(lists ...[]int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, refs := range lists {
+		for _, s := range refs {
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// checkBatch validates that the batch covers the program's slots and that
+// every referenced column was filled, once per batch instead of per row.
+func (p *BatchProgram) checkBatch(b *Batch) error {
+	if b.Width() < p.width {
+		return fmt.Errorf("eval: batch has %d slots, program reads slot %d", b.Width(), p.width-1)
+	}
+	for _, s := range p.refs {
+		if b.cols[s] == nil {
+			return fmt.Errorf("eval: batch slot %d referenced by program but never filled", s)
+		}
+	}
+	return nil
+}
+
+// Filter evaluates the program as a predicate over the selected rows and
+// returns the rows where it is TRUE (NULL counts as false, as in a WHERE
+// clause). The returned selection is owned by ev and valid until its next
+// use. A nil program passes the selection through unchanged.
+//
+// On error, errRow is the first selected row whose evaluation failed and
+// the returned selection holds the passing rows before it — enough for
+// TOP-style callers to decide whether a row-at-a-time scan would have
+// stopped before the failure. errRow is -1 when err is nil, or when the
+// batch itself was malformed (an unfilled referenced column), which is
+// never suppressible.
+func (p *BatchProgram) Filter(ev *BatchEval, b *Batch, sel []int) (passed []int, errRow int, err error) {
+	if p == nil {
+		return sel, -1, nil
+	}
+	if err := p.checkBatch(b); err != nil {
+		return nil, -1, err
+	}
+	out, errRow, err := p.root.eval(ev, b, sel)
+	passed = ev.out[:0]
+	for _, r := range selBefore(sel, errRow) {
+		if out[r].IsTrue() {
+			passed = append(passed, r)
+		}
+	}
+	return passed, errRow, err
+}
+
+// EvalVec evaluates a value-producing program (projections, sort keys)
+// over the selected rows. The result vector is indexed by batch position
+// and valid at every selected row; on error it is valid at selected rows
+// before errRow. The vector is owned by ev (or aliases a batch column for
+// bare column references) and valid until the next evaluation.
+func (p *BatchProgram) EvalVec(ev *BatchEval, b *Batch, sel []int) (out []value.Value, errRow int, err error) {
+	if p == nil {
+		return nil, -1, fmt.Errorf("eval: nil batch program")
+	}
+	if err := p.checkBatch(b); err != nil {
+		return nil, -1, err
+	}
+	return p.root.eval(ev, b, sel)
+}
+
+// selBefore truncates an ascending selection to the rows before errRow
+// (errRow < 0 means no error: the whole selection is live).
+func selBefore(sel []int, errRow int) []int {
+	if errRow < 0 {
+		return sel
+	}
+	i := sort.SearchInts(sel, errRow)
+	return sel[:i]
+}
+
+// batchCompiler builds the node tree, handing out result-vector and
+// selection-buffer ids that NewEval sizes the scratch arena from.
+type batchCompiler struct {
+	layout Layout
+	refs   map[int]bool
+	nVec   int
+	nSel   int
+	consts []constFill
+}
+
+func (c *batchCompiler) newVec() int { id := c.nVec; c.nVec++; return id }
+func (c *batchCompiler) newSel() int { id := c.nSel; c.nSel++; return id }
+
+// constVal is the folded outcome of a row-independent subtree: a value, or
+// an error that must keep surfacing at evaluation time (first selected
+// row), never at compile time — mirroring the scalar compiler's fold.
+type constVal struct {
+	v   value.Value
+	err error
+}
+
+// constNode materializes a folded constant as a batch node.
+func (c *batchCompiler) constNode(cv constVal) (*bexpr, *constVal, error) {
+	if cv.err != nil {
+		err := cv.err
+		return &bexpr{fn: func(ev *BatchEval, b *Batch, sel []int) ([]value.Value, int, error) {
+			if len(sel) == 0 {
+				return nil, -1, nil
+			}
+			return nil, sel[0], err
+		}}, &cv, nil
+	}
+	id := c.newVec()
+	c.consts = append(c.consts, constFill{vec: id, v: cv.v})
+	return &bexpr{fn: func(ev *BatchEval, b *Batch, sel []int) ([]value.Value, int, error) {
+		return ev.vecs[id], -1, nil
+	}}, &cv, nil
+}
+
+// foldConst evaluates a row-independent subtree once through the scalar
+// compiler (whose fold semantics are the reference) and freezes the
+// outcome.
+func (c *batchCompiler) foldConst(e sqlparse.Expr) (*bexpr, *constVal, error) {
+	sub := &compiler{layout: c.layout, refs: map[int]bool{}}
+	n, _, err := sub.compile(e)
+	if err != nil {
+		return nil, nil, err
+	}
+	v, verr := n(nil)
+	return c.constNode(constVal{v: v, err: verr})
+}
+
+// scalarTail compiles the subtree with the scalar compiler and evaluates
+// it per selected row over a gathered scratch row: the long-tail path
+// (IN, BETWEEN, COALESCE, dynamic-arity functions) reuses the scalar
+// kernels verbatim.
+func (c *batchCompiler) scalarTail(e sqlparse.Expr) (*bexpr, *constVal, error) {
+	sub := &compiler{layout: c.layout, refs: map[int]bool{}}
+	n, isConst, err := sub.compile(e)
+	if err != nil {
+		return nil, nil, err
+	}
+	if isConst {
+		v, verr := n(nil)
+		return c.constNode(constVal{v: v, err: verr})
+	}
+	gather := make([]int, 0, len(sub.refs))
+	for s := range sub.refs {
+		gather = append(gather, s)
+		c.refs[s] = true
+	}
+	sort.Ints(gather)
+	id := c.newVec()
+	return &bexpr{fn: func(ev *BatchEval, b *Batch, sel []int) ([]value.Value, int, error) {
+		out := ev.vecs[id]
+		for _, r := range sel {
+			for _, s := range gather {
+				ev.row[s] = b.cols[s][r]
+			}
+			v, err := n(ev.row)
+			if err != nil {
+				return out, r, err
+			}
+			out[r] = v
+		}
+		return out, -1, nil
+	}}, nil, nil
+}
+
+// compile returns the batch node for e and, when the subtree is
+// row-independent, its folded constant.
+func (c *batchCompiler) compile(e sqlparse.Expr) (*bexpr, *constVal, error) {
+	switch n := e.(type) {
+	case *sqlparse.NumberLit, *sqlparse.StringLit, *sqlparse.BoolLit, *sqlparse.NullLit:
+		return c.foldConst(e)
+
+	case *sqlparse.ColumnRef:
+		slot, err := c.layout.Slot(n.Table, n.Column)
+		if err != nil {
+			return nil, nil, err
+		}
+		c.refs[slot] = true
+		return &bexpr{fn: func(ev *BatchEval, b *Batch, sel []int) ([]value.Value, int, error) {
+			return b.cols[slot], -1, nil
+		}}, nil, nil
+
+	case *sqlparse.UnaryExpr:
+		x, xc, err := c.compile(n.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		if xc != nil {
+			return c.foldConst(e)
+		}
+		id := c.newVec()
+		if n.Op == "NOT" {
+			return &bexpr{fn: func(ev *BatchEval, b *Batch, sel []int) ([]value.Value, int, error) {
+				xo, er, xerr := x.eval(ev, b, sel)
+				out := ev.vecs[id]
+				for _, r := range selBefore(sel, er) {
+					out[r] = value.Not(xo[r])
+				}
+				return out, er, xerr
+			}}, nil, nil
+		}
+		return &bexpr{fn: func(ev *BatchEval, b *Batch, sel []int) ([]value.Value, int, error) {
+			xo, er, xerr := x.eval(ev, b, sel)
+			out := ev.vecs[id]
+			for _, r := range selBefore(sel, er) {
+				v, verr := value.Neg(xo[r])
+				if verr != nil {
+					return out, r, verr
+				}
+				out[r] = v
+			}
+			return out, er, xerr
+		}}, nil, nil
+
+	case *sqlparse.IsNull:
+		x, xc, err := c.compile(n.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		if xc != nil {
+			return c.foldConst(e)
+		}
+		id := c.newVec()
+		negated := n.Negated
+		return &bexpr{fn: func(ev *BatchEval, b *Batch, sel []int) ([]value.Value, int, error) {
+			xo, er, xerr := x.eval(ev, b, sel)
+			out := ev.vecs[id]
+			for _, r := range selBefore(sel, er) {
+				out[r] = value.Bool(xo[r].IsNull() != negated)
+			}
+			return out, er, xerr
+		}}, nil, nil
+
+	case *sqlparse.BinaryExpr:
+		return c.compileBinary(n)
+
+	case *sqlparse.FuncCall:
+		return c.compileFunc(n)
+
+	case *sqlparse.InList, *sqlparse.Between:
+		return c.scalarTail(e)
+
+	case *sqlparse.Star:
+		return nil, nil, fmt.Errorf("eval: * is not valid in an expression")
+	}
+	return nil, nil, fmt.Errorf("eval: unsupported expression %T", e)
+}
+
+func (c *batchCompiler) compileBinary(n *sqlparse.BinaryExpr) (*bexpr, *constVal, error) {
+	l, lc, err := c.compile(n.L)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Mirror the scalar compiler's decided-left AND/OR fold exactly: the
+	// dead side is still compiled (binding errors must not hide behind a
+	// constant guard) but into a scratch ref set.
+	if lc != nil && (n.Op == "AND" || n.Op == "OR") {
+		var decided *constVal
+		switch {
+		case lc.err != nil:
+			decided = &constVal{err: lc.err}
+		case n.Op == "AND" && lc.v.Type() == value.BoolType && !lc.v.AsBool():
+			decided = &constVal{v: value.Bool(false)}
+		case n.Op == "OR" && lc.v.IsTrue():
+			decided = &constVal{v: value.Bool(true)}
+		}
+		if decided != nil {
+			sub := &compiler{layout: c.layout, refs: map[int]bool{}}
+			if _, _, err := sub.compile(n.R); err != nil {
+				return nil, nil, err
+			}
+			return c.constNode(*decided)
+		}
+	}
+
+	r, rc, err := c.compile(n.R)
+	if err != nil {
+		return nil, nil, err
+	}
+	if lc != nil && rc != nil {
+		return c.foldConst(n)
+	}
+
+	switch n.Op {
+	case "AND":
+		// Flatten only the left spine: evalAnd's left fold then reproduces
+		// the scalar engine's nesting exactly. The right side must stay a
+		// single member even when it is itself an AND — value.And is not
+		// associative once non-bool operands mix with NULL (And(5, TRUE) is
+		// FALSE but And(5, NULL) is NULL), so splicing a right-nested AND
+		// would re-associate and diverge from the row-at-a-time engines on
+		// both values and error presence.
+		members := append(flattenAnd(l), *r)
+		return &bexpr{and: members, vec: c.newVec(), live: c.newSel()}, nil, nil
+	case "OR":
+		// OR may flatten both sides: value.Or treats every non-TRUE,
+		// non-NULL operand uniformly as FALSE, so it is associative over
+		// the full value domain, and the flattened evaluation set (rows
+		// whose accumulator is not yet TRUE) is identical to the nested
+		// short-circuit's.
+		members := append(flattenOr(l), flattenOr(r)...)
+		return &bexpr{or: members, vec: c.newVec(), live: c.newSel()}, nil, nil
+	case "+", "-", "*", "/", "%":
+		return c.arithNode(l, r, n.Op), nil, nil
+	case "=", "<>", "<", "<=", ">", ">=":
+		return c.cmpNode(l, r, n.Op), nil, nil
+	case "LIKE":
+		return c.likeNode(l, r, rc), nil, nil
+	}
+	return nil, nil, fmt.Errorf("eval: unknown operator %q", n.Op)
+}
+
+func flattenAnd(n *bexpr) []bexpr {
+	if n.and != nil {
+		return n.and
+	}
+	return []bexpr{*n}
+}
+
+func flattenOr(n *bexpr) []bexpr {
+	if n.or != nil {
+		return n.or
+	}
+	return []bexpr{*n}
+}
+
+// cmpOpKind maps a comparison operator to a loop-invariant discriminator,
+// so the batch loop branches on an integer the predictor locks onto
+// instead of calling a predicate closure per row.
+func cmpOpKind(op string) uint8 {
+	switch op {
+	case "=":
+		return 0
+	case "<>":
+		return 1
+	case "<":
+		return 2
+	case "<=":
+		return 3
+	case ">":
+		return 4
+	default: // ">="
+		return 5
+	}
+}
+
+func cmpKindHolds(kind uint8, c int) bool {
+	switch kind {
+	case 0:
+		return c == 0
+	case 1:
+		return c != 0
+	case 2:
+		return c < 0
+	case 3:
+		return c <= 0
+	case 4:
+		return c > 0
+	default:
+		return c >= 0
+	}
+}
+
+// binOperands evaluates a binary node's operands with the scalar engine's
+// per-row order: the right side runs only at rows where the left side
+// succeeded, and the reported failure is the one from the lowest row.
+func binOperands(ev *BatchEval, b *Batch, sel []int, l, r *bexpr) (lo, ro []value.Value, bounded []int, errRow int, err error) {
+	lo, ler, lerr := l.eval(ev, b, sel)
+	selEval := selBefore(sel, ler)
+	ro, rer, rerr := r.eval(ev, b, selEval)
+	errRow, err = ler, lerr
+	if rerr != nil {
+		// selEval only holds rows before ler, so rer < ler.
+		errRow, err = rer, rerr
+	}
+	return lo, ro, selBefore(sel, errRow), errRow, err
+}
+
+// cmpNode is the typed comparison kernel: the numeric path (int64/float64,
+// mixed) and the string path are inlined — including value.Compare's float
+// widening of int64 operands, NaN-compares-equal behavior and NULL →
+// UNKNOWN — and anything else falls back to value.Compare per element.
+func (c *batchCompiler) cmpNode(l, r *bexpr, op string) *bexpr {
+	kind := cmpOpKind(op)
+	id := c.newVec()
+	return &bexpr{fn: func(ev *BatchEval, b *Batch, sel []int) ([]value.Value, int, error) {
+		lo, ro, rows, errRow, err := binOperands(ev, b, sel, l, r)
+		out := ev.vecs[id]
+		for _, rw := range rows {
+			la, ra := lo[rw], ro[rw]
+			if la.IsNull() || ra.IsNull() {
+				out[rw] = value.Null
+				continue
+			}
+			lf, lok := la.AsFloat()
+			rf, rok := ra.AsFloat()
+			if lok && rok {
+				cv := 0
+				if lf < rf {
+					cv = -1
+				} else if lf > rf {
+					cv = 1
+				}
+				out[rw] = value.Bool(cmpKindHolds(kind, cv))
+				continue
+			}
+			if la.Type() == value.StringType && ra.Type() == value.StringType {
+				ls, rs := la.AsString(), ra.AsString()
+				cv := 0
+				if ls < rs {
+					cv = -1
+				} else if ls > rs {
+					cv = 1
+				}
+				out[rw] = value.Bool(cmpKindHolds(kind, cv))
+				continue
+			}
+			cv, ok, cerr := value.Compare(la, ra)
+			if cerr != nil {
+				return out, rw, cerr
+			}
+			if !ok {
+				out[rw] = value.Null
+				continue
+			}
+			out[rw] = value.Bool(cmpKindHolds(kind, cv))
+		}
+		return out, errRow, err
+	}}
+}
+
+// arithNode is the typed arithmetic kernel: int64 and float64 fast paths
+// inlined (matching value.Arith's typing rules — integer + - * stay
+// integral with wraparound, / is always float and errors on a zero
+// divisor), everything else (NULL propagation, string concatenation, type
+// errors, % domain checks) falls back to value.Arith per element.
+func (c *batchCompiler) arithNode(l, r *bexpr, op string) *bexpr {
+	var kind uint8
+	switch op {
+	case "+":
+		kind = 0
+	case "-":
+		kind = 1
+	case "*":
+		kind = 2
+	case "/":
+		kind = 3
+	default: // "%"
+		kind = 4
+	}
+	id := c.newVec()
+	return &bexpr{fn: func(ev *BatchEval, b *Batch, sel []int) ([]value.Value, int, error) {
+		lo, ro, rows, errRow, err := binOperands(ev, b, sel, l, r)
+		out := ev.vecs[id]
+		for _, rw := range rows {
+			la, ra := lo[rw], ro[rw]
+			bothInt := la.Type() == value.IntType && ra.Type() == value.IntType
+			switch kind {
+			case 0:
+				if bothInt {
+					out[rw] = value.Int(la.AsInt() + ra.AsInt())
+					continue
+				}
+			case 1:
+				if bothInt {
+					out[rw] = value.Int(la.AsInt() - ra.AsInt())
+					continue
+				}
+			case 2:
+				if bothInt {
+					out[rw] = value.Int(la.AsInt() * ra.AsInt())
+					continue
+				}
+			case 4:
+				if bothInt && ra.AsInt() != 0 {
+					out[rw] = value.Int(la.AsInt() % ra.AsInt())
+					continue
+				}
+			}
+			// For + - * an all-int pair was handled above, so reaching here
+			// with bothInt means division — which is always float.
+			if kind <= 3 {
+				lf, lok := la.AsFloat()
+				rf, rok := ra.AsFloat()
+				if lok && rok {
+					switch kind {
+					case 0:
+						out[rw] = value.Float(lf + rf)
+						continue
+					case 1:
+						out[rw] = value.Float(lf - rf)
+						continue
+					case 2:
+						out[rw] = value.Float(lf * rf)
+						continue
+					case 3:
+						if rf != 0 {
+							out[rw] = value.Float(lf / rf)
+							continue
+						}
+					}
+				}
+			}
+			v, aerr := value.Arith(op, la, ra)
+			if aerr != nil {
+				return out, rw, aerr
+			}
+			out[rw] = v
+		}
+		return out, errRow, err
+	}}
+}
+
+// likeNode vectorizes LIKE with the scalar engine's constant-pattern
+// specializations: simple shapes become direct string predicates, other
+// constant patterns a precompiled regexp, and dynamic patterns loop over
+// evalLike (whose bounded pattern cache both row engines share).
+func (c *batchCompiler) likeNode(l, r *bexpr, rc *constVal) *bexpr {
+	if rc != nil {
+		switch {
+		case rc.err != nil:
+			// Matches the scalar compiler: a failing constant pattern makes
+			// every row fail, without evaluating the left side.
+			n, _, _ := c.constNode(constVal{err: rc.err})
+			return n
+		case rc.v.IsNull():
+			id := c.newVec()
+			return &bexpr{fn: func(ev *BatchEval, b *Batch, sel []int) ([]value.Value, int, error) {
+				_, er, lerr := l.eval(ev, b, sel)
+				out := ev.vecs[id]
+				for _, rw := range selBefore(sel, er) {
+					out[rw] = value.Null
+				}
+				return out, er, lerr
+			}}
+		case rc.v.Type() == value.StringType:
+			pat := rc.v.AsString()
+			match := likeMatcher(pat)
+			if match == nil {
+				rx, err := compileLike(pat)
+				if err != nil {
+					break // defer the pattern error to evaluation, like the scalar engine
+				}
+				match = rx.MatchString
+			}
+			rt := rc.v.Type()
+			id := c.newVec()
+			return &bexpr{fn: func(ev *BatchEval, b *Batch, sel []int) ([]value.Value, int, error) {
+				lo, er, lerr := l.eval(ev, b, sel)
+				out := ev.vecs[id]
+				for _, rw := range selBefore(sel, er) {
+					lv := lo[rw]
+					if lv.IsNull() {
+						out[rw] = value.Null
+						continue
+					}
+					if lv.Type() != value.StringType {
+						return out, rw, fmt.Errorf("eval: LIKE requires strings, got %v and %v", lv.Type(), rt)
+					}
+					out[rw] = value.Bool(match(lv.AsString()))
+				}
+				return out, er, lerr
+			}}
+		}
+	}
+	id := c.newVec()
+	return &bexpr{fn: func(ev *BatchEval, b *Batch, sel []int) ([]value.Value, int, error) {
+		lo, ro, rows, errRow, err := binOperands(ev, b, sel, l, r)
+		out := ev.vecs[id]
+		for _, rw := range rows {
+			v, lerr := evalLike(lo[rw], ro[rw])
+			if lerr != nil {
+				return out, rw, lerr
+			}
+			out[rw] = v
+		}
+		return out, errRow, err
+	}}
+}
+
+// compileFunc vectorizes fixed-arity scalar functions by looping the very
+// kernels the interpreter and scalar compiler dispatch to; COALESCE and
+// arity errors fall back to the scalar tail (which reports the identical
+// compile-time arity error).
+func (c *batchCompiler) compileFunc(n *sqlparse.FuncCall) (*bexpr, *constVal, error) {
+	name := strings.ToUpper(n.Name)
+	if k := scalar1[name]; k != nil && len(n.Args) == 1 {
+		a, ac, err := c.compile(n.Args[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		if ac != nil {
+			return c.foldConst(n)
+		}
+		id := c.newVec()
+		return &bexpr{fn: func(ev *BatchEval, b *Batch, sel []int) ([]value.Value, int, error) {
+			ao, er, aerr := a.eval(ev, b, sel)
+			out := ev.vecs[id]
+			for _, rw := range selBefore(sel, er) {
+				v, kerr := k(ao[rw])
+				if kerr != nil {
+					return out, rw, kerr
+				}
+				out[rw] = v
+			}
+			return out, er, aerr
+		}}, nil, nil
+	}
+	if k := scalar2[name]; k != nil && len(n.Args) == 2 {
+		a, ac, err := c.compile(n.Args[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		bb, bc, err := c.compile(n.Args[1])
+		if err != nil {
+			return nil, nil, err
+		}
+		if ac != nil && bc != nil {
+			return c.foldConst(n)
+		}
+		id := c.newVec()
+		return &bexpr{fn: func(ev *BatchEval, b *Batch, sel []int) ([]value.Value, int, error) {
+			ao, bo, rows, errRow, err := binOperands(ev, b, sel, a, bb)
+			out := ev.vecs[id]
+			for _, rw := range rows {
+				v, kerr := k(ao[rw], bo[rw])
+				if kerr != nil {
+					return out, rw, kerr
+				}
+				out[rw] = v
+			}
+			return out, errRow, err
+		}}, nil, nil
+	}
+	return c.scalarTail(n)
+}

@@ -2,6 +2,28 @@
 // environment that resolves column references to values. It is shared by
 // the storage engine (row predicates, projections) and the cross-match
 // chain executor (cross-archive predicates over partial tuples).
+//
+// Three engines share one semantics:
+//
+//   - Eval interprets the AST per row through Env lookups. It is the
+//     reference implementation and the slowest path.
+//   - Compile resolves column references to row slots against a Layout at
+//     plan time and returns a closure-tree Program evaluated per row. See
+//     compile.go.
+//   - CompileBatch returns a BatchProgram evaluated over column slices
+//     ([]value.Value per slot) with a selection vector, in batches of
+//     BatchSize rows (default 1024). All hot scan sites — storage scans,
+//     chain-step local/cross predicates, portal projection — run this
+//     engine; the scalar paths remain for row-at-a-time callers and as
+//     cross-checked references. See batch.go for the execution model,
+//     the typed kernels, and the exact error-semantics contract.
+//
+// The long tail of batch evaluation (IN, BETWEEN, COALESCE) reuses the
+// compiled scalar nodes per row, and every scalar function dispatches to
+// the same kernels from all three engines, so semantics cannot drift; the
+// differential tests and the FuzzCompileDifferential /
+// FuzzBatchDifferential fuzz targets enforce value- and error-agreement
+// row by row.
 package eval
 
 import (

@@ -72,22 +72,27 @@ func (n *Node) localStep(p *plan.Plan, step plan.Step, incoming *dataset.DataSet
 
 // seedStep runs the first (innermost) query of the chain: all objects in
 // the area passing the local predicate become 1-tuples. The HTM region
-// walk collects candidate rows in index order; predicate evaluation and
-// tuple construction — the expensive part — is sharded across the worker
-// pool, with results merged back in scan order. The local predicate is
-// compiled once against the table layout, so each candidate costs only
-// slot reads.
+// walk collects candidate rows in index order; the candidates are then
+// split into batches of eval.BatchSize rows, each batch runs the
+// vectorized local predicate over gathered column slices, and the batches
+// are sharded across the worker pool with results merged back in scan
+// order — bit-identical to a sequential, row-at-a-time pass.
 func (n *Node) seedStep(p *plan.Plan, table *storage.Table, step plan.Step, area sphere.Region, localWhere sqlparse.Expr) (*dataset.DataSet, error) {
-	localProg, err := eval.Compile(localWhere, table.Layout(step.Alias))
+	localProg, err := eval.CompileBatch(localWhere, table.Layout(step.Alias))
 	if err != nil {
 		return nil, fmt.Errorf("compiling local predicate %q: %w", step.LocalWhere, err)
 	}
 	schemaLen := len(table.Schema())
-	// The callback below runs once per candidate; pool the scratch row so
-	// predicate evaluation allocates per worker, not per candidate.
-	bufPool := sync.Pool{New: func() any {
-		b := make([]value.Value, schemaLen)
-		return &b
+	bs := eval.BatchSize()
+	refs := localProg.Refs()
+	// Workers draw whole batches; pool the batch + evaluator scratch so a
+	// worker allocates once, not per batch.
+	type seedScratch struct {
+		batch *eval.Batch
+		ev    *eval.BatchEval
+	}
+	pool := sync.Pool{New: func() any {
+		return &seedScratch{batch: eval.NewBatch(schemaLen, bs), ev: localProg.NewEval(bs)}
 	}}
 	out := dataset.New(n.tupleColumns(nil, table, step)...)
 	var cand []int
@@ -99,21 +104,29 @@ func (n *Node) seedStep(p *plan.Plan, table *storage.Table, step plan.Step, area
 	}); err != nil {
 		return nil, err
 	}
-	rows, err := forEachOrdered(len(cand), n.parallelism(p.Parallelism), func(i int) ([][]value.Value, error) {
-		row := cand[i]
-		if localProg != nil {
-			bp := bufPool.Get().(*[]value.Value)
-			table.FillRow(*bp, row, localProg.Refs())
-			ok, err := localProg.EvalBool(*bp)
-			bufPool.Put(bp)
-			if err != nil || !ok {
-				return nil, err
-			}
+	nBatches := (len(cand) + bs - 1) / bs
+	rows, err := forEachOrdered(nBatches, n.parallelism(p.Parallelism), func(bi int) ([][]value.Value, error) {
+		lo := bi * bs
+		hi := min(lo+bs, len(cand))
+		chunk := cand[lo:hi]
+		sc := pool.Get().(*seedScratch)
+		defer pool.Put(sc)
+		sc.batch.SetLen(len(chunk))
+		for _, ci := range refs {
+			table.FillColumn(sc.batch.Col(ci), ci, chunk)
 		}
-		acc := xmatch.Accumulator{}.Add(candPos[i], step.SigmaArcsec)
-		cells := xmatch.AccToCells(acc)
-		cells = append(cells, n.columnCells(table, step, row)...)
-		return [][]value.Value{cells}, nil
+		sel, _, err := localProg.Filter(sc.ev, sc.batch, sc.ev.Seq(len(chunk)))
+		if err != nil {
+			return nil, err
+		}
+		group := make([][]value.Value, 0, len(sel))
+		for _, i := range sel {
+			acc := xmatch.Accumulator{}.Add(candPos[lo+i], step.SigmaArcsec)
+			cells := xmatch.AccToCells(acc)
+			cells = append(cells, n.columnCells(table, step, chunk[i])...)
+			group = append(group, cells)
+		}
+		return group, nil
 	})
 	if err != nil {
 		return nil, err
@@ -154,7 +167,7 @@ func (n *Node) extendStep(p *plan.Plan, table *storage.Table, step plan.Step, ar
 	schemaLen := len(table.Schema())
 	width := npc + schemaLen
 	tl := table.Layout(step.Alias)
-	localProg, err := eval.Compile(localWhere, offsetLayout(tl, npc))
+	localProg, err := eval.CompileBatch(localWhere, offsetLayout(tl, npc))
 	if err != nil {
 		return nil, fmt.Errorf("compiling local predicate %q: %w", step.LocalWhere, err)
 	}
@@ -172,21 +185,64 @@ func (n *Node) extendStep(p *plan.Plan, table *storage.Table, step plan.Step, ar
 		}
 		return priorLayout.Slot(tbl, col)
 	})
-	crossProgs := make([]*eval.Program, len(crossWhere))
+	crossProgs := make([]*eval.BatchProgram, len(crossWhere))
 	for i, cw := range crossWhere {
-		if crossProgs[i], err = eval.Compile(cw, combined); err != nil {
+		if crossProgs[i], err = eval.CompileBatch(cw, combined); err != nil {
 			return nil, fmt.Errorf("compiling cross predicate %q: %w", step.CrossWhere[i], err)
 		}
 	}
-	// Candidate-table column indices each predicate class reads; filled
-	// lazily per candidate (cross columns only after the chi-square gate).
+	// Slot classes for batch filling: carried-column slots are broadcast
+	// once per chunk (they are constant for a tuple), the local
+	// predicate's candidate columns are gathered for every candidate, and
+	// cross-only candidate columns only for the rows that survived both
+	// the local predicate and the chi-square gate.
 	localRefs := candidateRefs(npc, localProg)
 	crossRefs := candidateRefsExcept(npc, crossProgs, localRefs)
+	var priorSlots []int
+	for _, s := range localProg.Refs() {
+		if s < npc {
+			priorSlots = append(priorSlots, s)
+		}
+	}
+	for _, cp := range crossProgs {
+		for _, s := range cp.Refs() {
+			if s < npc {
+				priorSlots = append(priorSlots, s)
+			}
+		}
+	}
+	priorSlots = eval.UnionRefs(priorSlots)
+
+	bs := eval.BatchSize()
+	type extScratch struct {
+		batch    *eval.Batch
+		localEv  *eval.BatchEval
+		crossEvs []*eval.BatchEval
+		rows     []int
+		poss     []sphere.Vec
+		accs     []xmatch.Accumulator
+		gate     []int
+	}
+	pool := sync.Pool{New: func() any {
+		sc := &extScratch{
+			batch:   eval.NewBatch(width, bs),
+			localEv: localProg.NewEval(bs),
+			rows:    make([]int, 0, bs),
+			poss:    make([]sphere.Vec, 0, bs),
+			accs:    make([]xmatch.Accumulator, bs),
+			gate:    make([]int, 0, bs),
+		}
+		for _, cp := range crossProgs {
+			sc.crossEvs = append(sc.crossEvs, cp.NewEval(bs))
+		}
+		return sc
+	}}
 
 	// Each incoming tuple extends independently (§5.3 is embarrassingly
-	// parallel per partial tuple); workers each take whole tuples and the
-	// per-tuple extension groups are merged in input order, so the output
-	// is identical to the sequential scan's.
+	// parallel per partial tuple); workers each take whole tuples, batch
+	// the tuple's candidates in search order, and the per-tuple extension
+	// groups are merged in input order, so the output is identical to the
+	// sequential, row-at-a-time scan's.
 	rows, err := forEachOrdered(tmp.RowCount(), n.parallelism(p.Parallelism), func(tRow int) ([][]value.Value, error) {
 		row := tmp.Row(tRow)
 		acc, err := xmatch.CellsToAcc(row)
@@ -197,55 +253,85 @@ func (n *Node) extendStep(p *plan.Plan, table *storage.Table, step plan.Step, ar
 		if radius <= 0 {
 			return nil, nil
 		}
-		// One combined scratch row per tuple: the carried columns are
-		// copied once, candidate slots are refilled per candidate.
-		buf := make([]value.Value, width)
-		copy(buf, row[xmatch.NumAccCols:])
+		sc := pool.Get().(*extScratch)
+		defer func() {
+			sc.rows = sc.rows[:0]
+			sc.poss = sc.poss[:0]
+			pool.Put(sc)
+		}()
 		var ext [][]value.Value
 		var stepErr error
+		flush := func() bool {
+			cn := len(sc.rows)
+			if cn == 0 {
+				return true
+			}
+			sc.batch.SetLen(cn)
+			for _, s := range priorSlots {
+				col := sc.batch.Col(s)
+				v := row[xmatch.NumAccCols+s]
+				for k := 0; k < cn; k++ {
+					col[k] = v
+				}
+			}
+			for _, ci := range localRefs {
+				table.FillColumn(sc.batch.Col(npc+ci), ci, sc.rows)
+			}
+			sel, _, err := localProg.Filter(sc.localEv, sc.batch, sc.localEv.Seq(cn))
+			if err != nil {
+				stepErr = err
+				return false
+			}
+			// The chi-square gate sits between the local and the cross
+			// predicates, as in the row-at-a-time loop.
+			gate := sc.gate[:0]
+			for _, i := range sel {
+				next := acc.Add(sc.poss[i], step.SigmaArcsec)
+				if next.Matches(p.Threshold) {
+					sc.accs[i] = next
+					gate = append(gate, i)
+				}
+			}
+			for _, ci := range crossRefs {
+				table.FillColumnSel(sc.batch.Col(npc+ci), ci, sc.rows, gate)
+			}
+			for i, cp := range crossProgs {
+				if len(gate) == 0 {
+					break
+				}
+				if gate, _, err = cp.Filter(sc.crossEvs[i], sc.batch, gate); err != nil {
+					stepErr = err
+					return false
+				}
+			}
+			for _, i := range gate {
+				cells := xmatch.AccToCells(sc.accs[i])
+				cells = append(cells, row[xmatch.NumAccCols:]...)
+				cells = append(cells, n.columnCells(table, step, sc.rows[i])...)
+				ext = append(ext, cells)
+			}
+			sc.rows = sc.rows[:0]
+			sc.poss = sc.poss[:0]
+			return true
+		}
 		searchCap := sphere.CapAround(acc.Best(), radius)
 		err = table.SearchCapPos(searchCap, func(cand int, pos sphere.Vec) bool {
 			// Every observation in the result must lie in the query AREA.
 			if !area.Contains(pos) {
 				return true
 			}
-			for _, ci := range localRefs {
-				buf[npc+ci] = table.ValueUnlocked(cand, ci)
+			sc.rows = append(sc.rows, cand)
+			sc.poss = append(sc.poss, pos)
+			if len(sc.rows) == bs {
+				return flush()
 			}
-			ok, err := localProg.EvalBool(buf)
-			if err != nil {
-				stepErr = err
-				return false
-			}
-			if !ok {
-				return true
-			}
-			next := acc.Add(pos, step.SigmaArcsec)
-			if !next.Matches(p.Threshold) {
-				return true
-			}
-			// Cross-archive predicates that became evaluable here.
-			for _, ci := range crossRefs {
-				buf[npc+ci] = table.ValueUnlocked(cand, ci)
-			}
-			for _, cw := range crossProgs {
-				ok, err := cw.EvalBool(buf)
-				if err != nil {
-					stepErr = err
-					return false
-				}
-				if !ok {
-					return true
-				}
-			}
-			cells := xmatch.AccToCells(next)
-			cells = append(cells, row[xmatch.NumAccCols:]...)
-			cells = append(cells, n.columnCells(table, step, cand)...)
-			ext = append(ext, cells)
 			return true
 		})
 		if err != nil {
 			return nil, err
+		}
+		if stepErr == nil {
+			flush()
 		}
 		if stepErr != nil {
 			return nil, stepErr
@@ -274,10 +360,7 @@ func offsetLayout(l eval.Layout, off int) eval.Layout {
 
 // candidateRefs extracts the candidate-table column indices (slots at or
 // beyond the carried-column prefix) a program reads.
-func candidateRefs(npc int, prog *eval.Program) []int {
-	if prog == nil {
-		return nil
-	}
+func candidateRefs(npc int, prog *eval.BatchProgram) []int {
 	var out []int
 	for _, s := range prog.Refs() {
 		if s >= npc {
@@ -289,7 +372,7 @@ func candidateRefs(npc int, prog *eval.Program) []int {
 
 // candidateRefsExcept is candidateRefs over several programs, minus
 // indices already in the exclude list (they are filled earlier).
-func candidateRefsExcept(npc int, progs []*eval.Program, exclude []int) []int {
+func candidateRefsExcept(npc int, progs []*eval.BatchProgram, exclude []int) []int {
 	skip := map[int]bool{}
 	for _, ci := range exclude {
 		skip[ci] = true
@@ -326,15 +409,35 @@ func (n *Node) dropOutStep(p *plan.Plan, table *storage.Table, step plan.Step, a
 
 	// The veto predicate only sees this archive's candidate rows, so it
 	// compiles against the plain table layout.
-	localProg, err := eval.Compile(localWhere, table.Layout(step.Alias))
+	localProg, err := eval.CompileBatch(localWhere, table.Layout(step.Alias))
 	if err != nil {
 		return nil, fmt.Errorf("compiling local predicate %q: %w", step.LocalWhere, err)
 	}
 	schemaLen := len(table.Schema())
+	refs := localProg.Refs()
+	bs := eval.BatchSize()
+	type vetoScratch struct {
+		batch *eval.Batch
+		ev    *eval.BatchEval
+		rows  []int
+		poss  []sphere.Vec
+	}
+	pool := sync.Pool{New: func() any {
+		return &vetoScratch{
+			batch: eval.NewBatch(schemaLen, bs),
+			ev:    localProg.NewEval(bs),
+			rows:  make([]int, 0, bs),
+			poss:  make([]sphere.Vec, 0, bs),
+		}
+	}}
 
 	out := &dataset.DataSet{Columns: incoming.Columns}
 	// Veto checks are independent per tuple; survivors are merged back in
-	// input order (see extendStep).
+	// input order (see extendStep). Candidates batch in search order; the
+	// first gate-matching candidate vetoes. The row-at-a-time loop stopped
+	// there, so a predicate error at a *later* candidate of the same batch
+	// is suppressed exactly as that loop (which never reached it) would
+	// have — the veto wins, the error does not exist.
 	rows, err := forEachOrdered(tmp.RowCount(), n.parallelism(p.Parallelism), func(tRow int) ([][]value.Value, error) {
 		row := tmp.Row(tRow)
 		acc, err := xmatch.CellsToAcc(row)
@@ -344,33 +447,53 @@ func (n *Node) dropOutStep(p *plan.Plan, table *storage.Table, step plan.Step, a
 		radius := acc.SearchRadius(p.Threshold, step.SigmaArcsec)
 		vetoed := false
 		if radius > 0 {
-			var buf []value.Value
-			if localProg != nil {
-				buf = make([]value.Value, schemaLen)
-			}
+			sc := pool.Get().(*vetoScratch)
 			var stepErr error
+			flush := func() bool {
+				cn := len(sc.rows)
+				if cn == 0 {
+					return true
+				}
+				sc.batch.SetLen(cn)
+				for _, ci := range refs {
+					table.FillColumn(sc.batch.Col(ci), ci, sc.rows)
+				}
+				sel, _, err := localProg.Filter(sc.ev, sc.batch, sc.ev.Seq(cn))
+				// sel holds the candidates before any failing one, in
+				// search order: a gate match among them vetoes before the
+				// failure would have been reached.
+				for _, i := range sel {
+					if acc.Add(sc.poss[i], step.SigmaArcsec).Matches(p.Threshold) {
+						vetoed = true
+						return false
+					}
+				}
+				if err != nil {
+					stepErr = err
+					return false
+				}
+				sc.rows = sc.rows[:0]
+				sc.poss = sc.poss[:0]
+				return true
+			}
 			searchCap := sphere.CapAround(acc.Best(), radius)
 			err = table.SearchCapPos(searchCap, func(cand int, pos sphere.Vec) bool {
 				if !area.Contains(pos) {
 					return true
 				}
-				if localProg != nil {
-					table.FillRow(buf, cand, localProg.Refs())
-					ok, err := localProg.EvalBool(buf)
-					if err != nil {
-						stepErr = err
-						return false
-					}
-					if !ok {
-						return true
-					}
-				}
-				if acc.Add(pos, step.SigmaArcsec).Matches(p.Threshold) {
-					vetoed = true
-					return false
+				sc.rows = append(sc.rows, cand)
+				sc.poss = append(sc.poss, pos)
+				if len(sc.rows) == bs {
+					return flush()
 				}
 				return true
 			})
+			if err == nil && stepErr == nil && !vetoed {
+				flush()
+			}
+			sc.rows = sc.rows[:0]
+			sc.poss = sc.poss[:0]
+			pool.Put(sc)
 			if err != nil {
 				return nil, err
 			}

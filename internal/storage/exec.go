@@ -2,7 +2,7 @@ package storage
 
 import (
 	"fmt"
-	"sort"
+	"sync/atomic"
 
 	"skyquery/internal/eval"
 	"skyquery/internal/sphere"
@@ -120,6 +120,12 @@ func (db *DB) Execute(q *sqlparse.Query) (*Result, error) {
 	return t.Select(ref.Name(), q, region)
 }
 
+// predRowsEvaluated counts rows whose predicate columns were gathered into
+// a scan batch. It is test instrumentation for the empty-selection
+// bailout: a region whose HTM cover yields no candidates must cost zero
+// predicate work (no column gathers, no program evaluation).
+var predRowsEvaluated atomic.Int64
+
 // Select evaluates the query against this table, with an optional region
 // constraint (which may also come from q.Area via DB.Execute). alias is
 // the name column references may use.
@@ -127,7 +133,16 @@ func (db *DB) Execute(q *sqlparse.Query) (*Result, error) {
 // All expressions — WHERE, projections, ORDER BY keys — are compiled once
 // against the table layout before the scan starts, so binding errors
 // (unknown columns or tables, unknown functions, wrong arities) surface
-// up front, independent of the data, and each row costs only slot reads.
+// up front, independent of the data. The scan runs the vectorized batch
+// engine: candidate row indices (from the HTM search or the sequential
+// scan) are collected into batches of eval.BatchSize rows, the WHERE
+// program filters each batch over gathered column slices, and projection
+// and sort-key columns are gathered only for the surviving rows. The
+// result is row-for-row identical to the row-at-a-time scan, including
+// TOP semantics: when TOP is satisfied partway through a batch, rows past
+// the boundary are discarded unprojected, and a predicate error beyond
+// the point where the row-at-a-time scan would have stopped is suppressed
+// exactly as that scan (which never reached the failing row) would have.
 func (t *Table) Select(alias string, q *sqlparse.Query, region sphere.Region) (*Result, error) {
 	layout := t.Layout(alias)
 
@@ -157,74 +172,138 @@ func (t *Table) Select(alias string, q *sqlparse.Query, region sphere.Region) (*
 		}
 	}
 
-	whereProg, err := eval.Compile(q.Where, layout)
+	whereProg, err := eval.CompileBatch(q.Where, layout)
 	if err != nil {
 		return nil, err
 	}
-	projProgs := make([]*eval.Program, len(projections))
+	projProgs := make([]*eval.BatchProgram, len(projections))
 	for i, p := range projections {
-		if projProgs[i], err = eval.Compile(p, layout); err != nil {
+		if projProgs[i], err = eval.CompileBatch(p, layout); err != nil {
 			return nil, err
 		}
 	}
-	orderProgs := make([]*eval.Program, len(q.OrderBy))
+	orderProgs := make([]*eval.BatchProgram, len(q.OrderBy))
 	for i, o := range q.OrderBy {
-		if orderProgs[i], err = eval.Compile(o.Expr, layout); err != nil {
+		if orderProgs[i], err = eval.CompileBatch(o.Expr, layout); err != nil {
 			return nil, err
 		}
 	}
 
-	// One scratch row in schema order, refilled per visited row at only
-	// the slots some program reads — predicate columns first, the
-	// remaining projection/sort columns only for rows that pass WHERE.
-	rowBuf := make([]value.Value, len(t.schema))
-	whereRefs := unionRefs([]*eval.Program{whereProg})
-	postRefs := subtractRefs(unionRefs(append(projProgs, orderProgs...)), whereRefs)
+	// One batch in schema order, regathered per chunk of candidate rows at
+	// only the columns some program reads — predicate columns for every
+	// candidate, the remaining projection/sort columns only at positions
+	// that passed WHERE.
+	bs := eval.BatchSize()
+	batch := eval.NewBatch(len(t.schema), bs)
+	whereEv := whereProg.NewEval(bs)
+	projEvs := make([]*eval.BatchEval, len(projProgs))
+	projOut := make([][]value.Value, len(projProgs))
+	for i, p := range projProgs {
+		projEvs[i] = p.NewEval(bs)
+	}
+	orderEvs := make([]*eval.BatchEval, len(orderProgs))
+	orderOut := make([][]value.Value, len(orderProgs))
+	for i, p := range orderProgs {
+		orderEvs[i] = p.NewEval(bs)
+	}
+	whereRefs := whereProg.Refs()
+	var postLists [][]int
+	for _, p := range projProgs {
+		postLists = append(postLists, p.Refs())
+	}
+	for _, p := range orderProgs {
+		postLists = append(postLists, p.Refs())
+	}
+	postRefs := subtractRefs(eval.UnionRefs(postLists...), whereRefs)
 
 	count := int64(0)
-	var evalErr error
+	hasOrder := len(q.OrderBy) > 0
 	// With ORDER BY the scan cannot stop at TOP rows: all matches are
 	// collected with their sort keys, sorted, then truncated.
 	var sortKeys [][]value.Value
-	visit := func(row int) bool {
-		t.FillRow(rowBuf, row, whereRefs)
-		ok, err := whereProg.EvalBool(rowBuf)
-		if err != nil {
-			evalErr = err
-			return false
+	rowIdx := make([]int, 0, bs)
+	done := false
+
+	flush := func() error {
+		n := len(rowIdx)
+		if n == 0 {
+			// Empty selection (e.g. an AREA whose HTM cover yields no
+			// candidates): bail out before any column gather or predicate
+			// evaluation.
+			return nil
 		}
-		if !ok {
-			return true
+		defer func() { rowIdx = rowIdx[:0] }()
+		predRowsEvaluated.Add(int64(n))
+		batch.SetLen(n)
+		for _, s := range whereRefs {
+			t.FillColumn(batch.Col(s), s, rowIdx)
+		}
+		sel, _, err := whereProg.Filter(whereEv, batch, whereEv.Seq(n))
+		// TOP without ORDER BY stops the scan once enough rows pass. When
+		// that point lies before a failing row, the row-at-a-time scan
+		// never evaluated the failing row — suppress the error just as it
+		// would have; otherwise the error stands.
+		need := -1
+		if !q.Count && !hasOrder && q.Top > 0 {
+			need = q.Top - len(res.Rows)
+		}
+		if err != nil && (need < 0 || len(sel) < need) {
+			return err
+		}
+		if need >= 0 && len(sel) >= need {
+			sel = sel[:need]
+			done = true
 		}
 		if q.Count {
-			count++
-			return true
+			count += int64(len(sel))
+			return nil
 		}
-		t.FillRow(rowBuf, row, postRefs)
-		vals := make([]value.Value, len(projProgs))
+		if len(sel) == 0 {
+			return nil
+		}
+		for _, s := range postRefs {
+			t.FillColumnSel(batch.Col(s), s, rowIdx, sel)
+		}
 		for i, p := range projProgs {
-			v, err := p.Eval(rowBuf)
+			vec, _, err := p.EvalVec(projEvs[i], batch, sel)
 			if err != nil {
-				evalErr = err
+				return err
+			}
+			projOut[i] = vec
+		}
+		for i, p := range orderProgs {
+			vec, _, err := p.EvalVec(orderEvs[i], batch, sel)
+			if err != nil {
+				return err
+			}
+			orderOut[i] = vec
+		}
+		for _, r := range sel {
+			vals := make([]value.Value, len(projProgs))
+			for i := range projProgs {
+				vals[i] = projOut[i][r]
+			}
+			res.Rows = append(res.Rows, vals)
+			if hasOrder {
+				keys := make([]value.Value, len(orderProgs))
+				for i := range orderProgs {
+					keys[i] = orderOut[i][r]
+				}
+				sortKeys = append(sortKeys, keys)
+			}
+		}
+		return nil
+	}
+
+	var evalErr error
+	visit := func(row int) bool {
+		rowIdx = append(rowIdx, row)
+		if len(rowIdx) == bs {
+			if evalErr = flush(); evalErr != nil || done {
 				return false
 			}
-			vals[i] = v
 		}
-		res.Rows = append(res.Rows, vals)
-		if len(q.OrderBy) > 0 {
-			keys := make([]value.Value, len(orderProgs))
-			for i, p := range orderProgs {
-				v, err := p.Eval(rowBuf)
-				if err != nil {
-					evalErr = err
-					return false
-				}
-				keys[i] = v
-			}
-			sortKeys = append(sortKeys, keys)
-			return true
-		}
-		return q.Top == 0 || len(res.Rows) < q.Top
+		return true
 	}
 
 	if region != nil && t.HasSpatial() {
@@ -249,6 +328,9 @@ func (t *Table) Select(alias string, q *sqlparse.Query, region sphere.Region) (*
 	} else {
 		t.Scan(visit)
 	}
+	if evalErr == nil && !done {
+		evalErr = flush()
+	}
 	if evalErr != nil {
 		return nil, evalErr
 	}
@@ -266,26 +348,6 @@ func (t *Table) Select(alias string, q *sqlparse.Query, region sphere.Region) (*
 		}
 	}
 	return res, nil
-}
-
-// unionRefs merges the referenced slots of several programs (nil programs
-// contribute nothing) into one sorted list for scratch-row filling.
-func unionRefs(progs []*eval.Program) []int {
-	seen := map[int]bool{}
-	var out []int
-	for _, p := range progs {
-		if p == nil {
-			continue
-		}
-		for _, s := range p.Refs() {
-			if !seen[s] {
-				seen[s] = true
-				out = append(out, s)
-			}
-		}
-	}
-	sort.Ints(out)
-	return out
 }
 
 // subtractRefs returns the slots of a not present in b (both sorted).

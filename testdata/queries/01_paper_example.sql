@@ -1,0 +1,4 @@
+SELECT O.object_id, T.object_id
+FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T, FIRST:PhotoObject P
+WHERE AREA(185.0, -0.5, 900) AND XMATCH(O, T, !P) < 3.5
+AND O.type = 'GALAXY'

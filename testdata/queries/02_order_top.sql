@@ -1,0 +1,4 @@
+SELECT TOP 10 O.object_id, O.flux + T.flux AS total, UPPER(O.type) AS ty
+FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T
+WHERE AREA(185.0, -0.5, 900) AND XMATCH(O, T) < 3.5 AND O.flux > 5
+ORDER BY O.flux + T.flux DESC, O.object_id

@@ -1,0 +1,4 @@
+SELECT O.object_id, T.object_id
+FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T
+WHERE AREA(185.0, -0.5, 900) AND XMATCH(O, T) < 3.5
+AND ABS(O.flux - T.flux) < 50 AND O.type LIKE 'GAL%'

@@ -1,0 +1,4 @@
+SELECT TOP 15 O.object_id, O.flux, LOWER(O.type) AS ty
+FROM SDSS:PhotoObject O
+WHERE O.flux BETWEEN 10 AND 80 AND O.type IN ('GALAXY', 'STAR')
+ORDER BY O.flux DESC, O.object_id

@@ -1,0 +1,1 @@
+SELECT TOP 1 O.object_id FROM SDSS:PhotoObject O WHERE O.flux > 0

@@ -1,0 +1,4 @@
+SELECT O.object_id, COALESCE(O.flux, -1) + 1 AS fp1, O.flux / 2 AS half
+FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T
+WHERE AREA(185.0, -0.5, 900) AND XMATCH(O, T) < 3.5 AND O.object_id % 2 = 0
+ORDER BY O.object_id
