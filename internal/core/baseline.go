@@ -167,10 +167,10 @@ func extendLocal(a *Archive, step plan.Step, rows *dataset.DataSet, tuples *data
 	// Compile the cross predicates once against the combined layout: the
 	// tuple's carried columns first, then the pulled archive's columns
 	// (which win name collisions, as the per-candidate map rebuild used
-	// to). The predicates run as batch programs: per tuple, the
+	// to). The predicates run as typed batch programs: per tuple, the
 	// gate-passing candidates are chunked, the carried columns broadcast
-	// once per chunk, the referenced pulled columns transposed in, and
-	// the selection threaded through the predicate list.
+	// once per chunk, the referenced pulled columns transposed into typed
+	// vectors, and the selection threaded through the predicate list.
 	payload := tuples.Columns[xmatch.NumAccCols:]
 	npc := len(payload)
 	layout := eval.MapLayout{}
@@ -180,13 +180,13 @@ func extendLocal(a *Archive, step plan.Step, rows *dataset.DataSet, tuples *data
 	for ci, c := range rows.Columns {
 		layout[c.Name] = npc + ci
 	}
-	var crossProgs []*eval.BatchProgram
+	var crossProgs []*eval.TypedProgram
 	for _, src := range step.CrossWhere {
 		ex, err := sqlparse.ParseExpr(src)
 		if err != nil {
 			return nil, err
 		}
-		prog, err := eval.CompileBatch(ex, layout)
+		prog, err := eval.CompileTyped(ex, layout)
 		if err != nil {
 			return nil, fmt.Errorf("core: compiling cross predicate %q: %w", src, err)
 		}
@@ -211,12 +211,15 @@ func extendLocal(a *Archive, step plan.Step, rows *dataset.DataSet, tuples *data
 		}
 	}
 	bs := eval.BatchSize()
-	batch := eval.NewBatch(npc+len(rows.Columns), bs)
-	crossEvs := make([]*eval.BatchEval, len(crossProgs))
+	batch := eval.NewTBatch(npc+len(rows.Columns), bs)
+	defer batch.Release()
+	crossEvs := make([]*eval.TypedEval, len(crossProgs))
 	for i, p := range crossProgs {
 		crossEvs[i] = p.NewEval(bs)
+		defer crossEvs[i].Release()
 	}
-	seqEv := (*eval.BatchProgram)(nil).NewEval(bs)
+	seqEv := (*eval.TypedProgram)(nil).NewEval(bs)
+	defer seqEv.Release()
 	cand := make([]int, 0, bs)             // pulled-row index per batch position
 	accs := make([]xmatch.Accumulator, bs) // gate-passing accumulator per position
 
@@ -240,17 +243,13 @@ func extendLocal(a *Archive, step plan.Step, rows *dataset.DataSet, tuples *data
 			if len(crossProgs) > 0 {
 				batch.SetLen(cn)
 				for _, s := range priorSlots {
-					col := batch.Col(s)
-					v := trow[xmatch.NumAccCols+s]
-					for k := 0; k < cn; k++ {
-						col[k] = v
-					}
+					batch.Col(s).Broadcast(trow[xmatch.NumAccCols+s], cn)
 				}
 				for _, s := range candSlots {
-					col := batch.Col(s)
-					for k, i := range cand {
-						col[k] = rows.Rows[i][s-npc]
-					}
+					ci := s - npc
+					batch.Col(s).FillFromCells(cn, rows.Columns[ci].Type, func(k int) value.Value {
+						return rows.Rows[cand[k]][ci]
+					})
 				}
 				for i, prog := range crossProgs {
 					if len(sel) == 0 {

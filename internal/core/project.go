@@ -47,29 +47,30 @@ func (e *Engine) project(q *sqlparse.Query, tuples *dataset.DataSet) (*dataset.D
 	}
 
 	// Compile the select list and sort keys once against the payload
-	// layout as vectorized batch programs. Bad references fail here,
-	// before any tuple is projected. Tuples are then projected in chunks
-	// of eval.BatchSize: the referenced payload columns are transposed
-	// into the batch and each program evaluates over the column slices.
-	// TOP without ORDER BY truncates the chunk *before* evaluation, so
-	// tuples past the TOP boundary are never touched — exactly like the
-	// row-at-a-time loop that stopped there.
+	// layout as typed batch programs. Bad references fail here, before
+	// any tuple is projected. Tuples are then projected in chunks of
+	// eval.BatchSize: the referenced payload columns are transposed into
+	// typed vectors (native when the cells match the dataset column type,
+	// boxed otherwise) and each program evaluates over them. TOP without
+	// ORDER BY truncates the chunk *before* evaluation, so tuples past
+	// the TOP boundary are never touched — exactly like the row-at-a-time
+	// loop that stopped there.
 	payload := tuples.Columns[xmatch.NumAccCols:]
 	layout := eval.MapLayout{}
 	for i, c := range payload {
 		layout[c.Name] = i
 	}
-	selProgs := make([]*eval.BatchProgram, len(q.Select))
+	selProgs := make([]*eval.TypedProgram, len(q.Select))
 	for i, item := range q.Select {
-		p, err := eval.CompileBatch(item.Expr, layout)
+		p, err := eval.CompileTyped(item.Expr, layout)
 		if err != nil {
 			return nil, fmt.Errorf("core: projecting %s: %w", item.Expr, err)
 		}
 		selProgs[i] = p
 	}
-	orderProgs := make([]*eval.BatchProgram, len(q.OrderBy))
+	orderProgs := make([]*eval.TypedProgram, len(q.OrderBy))
 	for i, o := range q.OrderBy {
-		p, err := eval.CompileBatch(o.Expr, layout)
+		p, err := eval.CompileTyped(o.Expr, layout)
 		if err != nil {
 			return nil, fmt.Errorf("core: ORDER BY %s: %w", o.Expr, err)
 		}
@@ -77,16 +78,25 @@ func (e *Engine) project(q *sqlparse.Query, tuples *dataset.DataSet) (*dataset.D
 	}
 
 	bs := eval.BatchSize()
-	batch := eval.NewBatch(len(payload), bs)
-	selEvs := make([]*eval.BatchEval, len(selProgs))
-	selOut := make([][]value.Value, len(selProgs))
+	batch := eval.NewTBatch(len(payload), bs)
+	defer batch.Release()
+	var evs []*eval.TypedEval
+	defer func() {
+		for _, ev := range evs {
+			ev.Release()
+		}
+	}()
+	selEvs := make([]*eval.TypedEval, len(selProgs))
+	selOut := make([]*eval.Vector, len(selProgs))
 	for i, p := range selProgs {
 		selEvs[i] = p.NewEval(bs)
+		evs = append(evs, selEvs[i])
 	}
-	orderEvs := make([]*eval.BatchEval, len(orderProgs))
-	orderOut := make([][]value.Value, len(orderProgs))
+	orderEvs := make([]*eval.TypedEval, len(orderProgs))
+	orderOut := make([]*eval.Vector, len(orderProgs))
 	for i, p := range orderProgs {
 		orderEvs[i] = p.NewEval(bs)
+		evs = append(evs, orderEvs[i])
 	}
 	var refLists [][]int
 	for _, p := range selProgs {
@@ -96,7 +106,8 @@ func (e *Engine) project(q *sqlparse.Query, tuples *dataset.DataSet) (*dataset.D
 		refLists = append(refLists, p.Refs())
 	}
 	refs := eval.UnionRefs(refLists...)
-	seqEv := (*eval.BatchProgram)(nil).NewEval(bs)
+	seqEv := (*eval.TypedProgram)(nil).NewEval(bs)
+	evs = append(evs, seqEv)
 
 	hasOrder := len(q.OrderBy) > 0
 	var sortKeys [][]value.Value
@@ -112,10 +123,9 @@ func (e *Engine) project(q *sqlparse.Query, tuples *dataset.DataSet) (*dataset.D
 		}
 		chunk := tuples.Rows[off : off+cn]
 		for _, s := range refs {
-			col := batch.Col(s)
-			for k, row := range chunk {
-				col[k] = row[xmatch.NumAccCols+s]
-			}
+			batch.Col(s).FillFromCells(cn, payload[s].Type, func(k int) value.Value {
+				return chunk[k][xmatch.NumAccCols+s]
+			})
 		}
 		batch.SetLen(cn)
 		sel := seqEv.Seq(cn)
@@ -136,7 +146,7 @@ func (e *Engine) project(q *sqlparse.Query, tuples *dataset.DataSet) (*dataset.D
 		for k, row := range chunk {
 			cells := make([]value.Value, 0, len(out.Columns))
 			for i := range selProgs {
-				cells = append(cells, selOut[i][k])
+				cells = append(cells, selOut[i].ValueAt(k))
 			}
 			if e.IncludeMatchColumns {
 				acc, err := xmatch.CellsToAcc(row)
@@ -152,7 +162,7 @@ func (e *Engine) project(q *sqlparse.Query, tuples *dataset.DataSet) (*dataset.D
 			if hasOrder {
 				keys := make([]value.Value, len(orderProgs))
 				for i := range orderProgs {
-					keys[i] = orderOut[i][k]
+					keys[i] = orderOut[i].ValueAt(k)
 				}
 				sortKeys = append(sortKeys, keys)
 			}

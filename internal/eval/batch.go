@@ -4,7 +4,10 @@ package eval
 // (eval.go) interprets the AST row by row; Compile (compile.go) turns it
 // into a closure tree evaluated against one scratch row; CompileBatch turns
 // it into a program evaluated over *column slices* — one []value.Value per
-// row slot — with a selection vector of active row positions. Scan sites
+// row slot — with a selection vector of active row positions. (The typed
+// fourth engine, typed.go, has since taken over the production scan
+// sites; this boxed engine remains the cross-validation reference the
+// four-way differential harness holds it to.) Scan sites
 // gather candidate rows into fixed-size batches (BatchSize, default 1024),
 // run the WHERE program once per batch, and only then materialize the
 // surviving rows, so the per-row cost collapses to tight slice loops

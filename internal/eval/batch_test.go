@@ -43,6 +43,8 @@ func scalarRowResults(prog *Program, rows [][]value.Value) (vals []value.Value, 
 // between scalar and batch — the identical first erroring row. It
 // exercises the batch program both as one full batch and split into
 // chunks of every size from 1 up, to shake out batch-boundary bugs.
+// The typed engine is held to the same contract via typedCompare, making
+// this a four-way differential check.
 func threeWayCompare(t *testing.T, src string, layout MapLayout, rows [][]value.Value) {
 	t.Helper()
 	e, err := sqlparse.ParseExpr(src)
@@ -74,6 +76,9 @@ func threeWayCompare(t *testing.T, src string, layout MapLayout, rows [][]value.
 	// reference row results.
 	compileAndCompare(t, src, layout, rows)
 	want, wantErrRow, wantErr := scalarRowResults(prog, rows)
+
+	// Fourth engine: typed vectors against the same reference.
+	typedCompare(t, src, layout, rows, want, wantErrRow, wantErr)
 
 	for chunk := 1; chunk <= len(rows); chunk++ {
 		ev := bprog.NewEval(chunk)
@@ -326,11 +331,15 @@ func TestBatchFilterSteadyStateAllocs(t *testing.T) {
 	}
 }
 
-// FuzzBatchDifferential is the three-way differential fuzzer: on every
+// FuzzBatchDifferential is the four-way differential fuzzer: on every
 // parseable expression and random row set, the interpreter, the scalar
-// program and the batch program must agree on values, and scalar and batch
-// must fail on the identical first row. Seeds reuse the FuzzParseExpr
-// corpus, like FuzzCompileDifferential.
+// program, the boxed batch program and the typed batch program must agree
+// on values, and the compiled engines must fail on the identical first
+// row. Rows come from two generators: the historical per-cell-random one
+// (mixed-type columns, driving the typed engine's boxed fallbacks) and a
+// NULL-heavy one with a stable type per column (driving the native int64/
+// float64/string/bool kernels, including the 2^53 float-widening edge).
+// Seeds reuse the FuzzParseExpr corpus, like FuzzCompileDifferential.
 func FuzzBatchDifferential(f *testing.F) {
 	seeds := []string{
 		`(O.i_flux - T.i_flux) > 2`,
@@ -341,6 +350,12 @@ func FuzzBatchDifferential(f *testing.F) {
 		`COALESCE(a, b, 1) % 2 = 0`,
 		`NOT NOT NOT x`,
 		`a / b > c OR d % e = 0`,
+		// Typed fast paths and their fallbacks: NULL-heavy mixed int/float
+		// comparisons, widening equality, native AND/OR spines.
+		`a = b AND a <= 9007199254740993 AND b >= -5`,
+		`a IS NULL OR a > 0.5 AND b <> 2`,
+		`a + 0.5 > b AND a % 3 = 0`,
+		`a < b OR b IS NULL AND a * 2 >= b`,
 	}
 	for _, s := range seeds {
 		f.Add(s, int64(1))
@@ -384,59 +399,67 @@ func FuzzBatchDifferential(f *testing.F) {
 		}
 
 		const nRows = 5
+		check := func(rows [][]value.Value) {
+			want, wantErrRow, wantErr := scalarRowResults(prog, rows)
+			// Interpreter vs scalar: error presence and values per row (the
+			// interpreter has no batch, so only rows the scalar scan reaches).
+			for r, row := range rows {
+				if wantErrRow >= 0 && r > wantErrRow {
+					break
+				}
+				iv, ierr := Eval(e, envFromLayout(layout, row))
+				if (ierr != nil) != (wantErrRow == r) {
+					t.Fatalf("%q row %d: interpreter err=%v, scalar err row=%d", src, r, ierr, wantErrRow)
+				}
+				if ierr == nil && (!value.Equal(iv, want[r]) || iv.Type() != want[r].Type()) {
+					t.Fatalf("%q row %d: interpreter=%v (%v), scalar=%v (%v)", src, r, iv, iv.Type(), want[r], want[r].Type())
+				}
+			}
+			// Boxed batch vs scalar, as one full batch and as single-row
+			// batches.
+			for _, chunk := range []int{nRows, 1} {
+				ev := bprog.NewEval(chunk)
+				for off := 0; off < nRows; off += chunk {
+					end := off + chunk
+					if end > nRows {
+						end = nRows
+					}
+					b := batchFromRows(len(cols), chunk, rows[off:end])
+					got, errRow, err := bprog.EvalVec(ev, b, ev.Seq(b.Len()))
+					expErrRow := -1
+					if wantErrRow >= off && wantErrRow < end {
+						expErrRow = wantErrRow - off
+					}
+					if (err != nil) != (expErrRow >= 0) || errRow != expErrRow {
+						t.Fatalf("%q chunk=%d off=%d: batch errRow=%d err=%v, scalar first error row %d",
+							src, chunk, off, errRow, err, wantErrRow)
+					}
+					limit := end - off
+					if expErrRow >= 0 {
+						limit = expErrRow
+					}
+					for i := 0; i < limit; i++ {
+						w := want[off+i]
+						if !value.Equal(w, got[i]) || w.Type() != got[i].Type() {
+							t.Fatalf("%q chunk=%d row %d: scalar=%v (%v), batch=%v (%v)",
+								src, chunk, off+i, w, w.Type(), got[i], got[i].Type())
+						}
+					}
+					if expErrRow >= 0 {
+						break
+					}
+				}
+			}
+			// Typed batch vs the same reference (all chunkings + Filter).
+			typedCompare(t, src, layout, rows, want, wantErrRow, wantErr)
+		}
+
 		rows := make([][]value.Value, nRows)
 		for r := range rows {
 			rows[r] = fuzzRow(len(cols), seed+int64(r))
 		}
-		want, wantErrRow, _ := scalarRowResults(prog, rows)
-		// Interpreter vs scalar: error presence and values per row (the
-		// interpreter has no batch, so only rows the scalar scan reaches).
-		for r, row := range rows {
-			if wantErrRow >= 0 && r > wantErrRow {
-				break
-			}
-			iv, ierr := Eval(e, envFromLayout(layout, row))
-			if (ierr != nil) != (wantErrRow == r) {
-				t.Fatalf("%q row %d: interpreter err=%v, scalar err row=%d", src, r, ierr, wantErrRow)
-			}
-			if ierr == nil && (!value.Equal(iv, want[r]) || iv.Type() != want[r].Type()) {
-				t.Fatalf("%q row %d: interpreter=%v (%v), scalar=%v (%v)", src, r, iv, iv.Type(), want[r], want[r].Type())
-			}
-		}
-		// Batch vs scalar, as one full batch and as single-row batches.
-		for _, chunk := range []int{nRows, 1} {
-			ev := bprog.NewEval(chunk)
-			for off := 0; off < nRows; off += chunk {
-				end := off + chunk
-				if end > nRows {
-					end = nRows
-				}
-				b := batchFromRows(len(cols), chunk, rows[off:end])
-				got, errRow, err := bprog.EvalVec(ev, b, ev.Seq(b.Len()))
-				expErrRow := -1
-				if wantErrRow >= off && wantErrRow < end {
-					expErrRow = wantErrRow - off
-				}
-				if (err != nil) != (expErrRow >= 0) || errRow != expErrRow {
-					t.Fatalf("%q chunk=%d off=%d: batch errRow=%d err=%v, scalar first error row %d",
-						src, chunk, off, errRow, err, wantErrRow)
-				}
-				limit := end - off
-				if expErrRow >= 0 {
-					limit = expErrRow
-				}
-				for i := 0; i < limit; i++ {
-					w := want[off+i]
-					if !value.Equal(w, got[i]) || w.Type() != got[i].Type() {
-						t.Fatalf("%q chunk=%d row %d: scalar=%v (%v), batch=%v (%v)",
-							src, chunk, off+i, w, w.Type(), got[i], got[i].Type())
-					}
-				}
-				if expErrRow >= 0 {
-					break
-				}
-			}
-		}
+		check(rows)
+		check(fuzzTypedRows(len(cols), nRows, seed))
 	})
 }
 

@@ -1,0 +1,227 @@
+package eval
+
+// Zone-map prune analysis: given a WHERE expression, extract the top-level
+// AND conjuncts of the form  column <cmp> numeric-constant  (either
+// operand order) whose per-block min/max statistics can prove whole blocks
+// of a base-table scan irrelevant before any kernel runs. The storage
+// layer owns the block statistics; this file owns the exactness argument,
+// which must match the row engines' evaluation order and error semantics:
+//
+//   - A conjunct that is never TRUE on a block means the AND is never TRUE
+//     there, so no row of the block can pass the WHERE filter. Skipping
+//     the block is value-exact for any conjunct order (AND is TRUE only
+//     when every member is).
+//   - Errors are the subtle part. The row engines evaluate AND left to
+//     right and short-circuit on a strictly-FALSE member, so a skipped
+//     block may hide an error two ways: a conjunct *before* the pruning
+//     one errors on a skipped row, or the pruning conjunct is NULL on a
+//     row (NULL does not short-circuit) and a *later* conjunct errors.
+//     Pruning is therefore allowed when the whole predicate is statically
+//     error-free (Safe) — then only values matter and "never TRUE"
+//     suffices, including all-NULL blocks — or when every conjunct before
+//     the pruning one is error-free (PrefixSafe) *and* the block has no
+//     NULLs in the pruned column, making the conjunct strictly FALSE on
+//     every row so the short-circuit provably kills everything after it.
+//
+// "Error-free" is a conservative static judgment over the expression and
+// the base table's column types: literals, column references, IS NULL,
+// NOT, AND/OR of error-free parts, and comparisons whose two sides are
+// statically same-class (numeric/string/bool, NULL aside) cannot error at
+// evaluation time. Arithmetic (division by zero), LIKE, functions and the
+// scalar-tail forms are treated as potentially erroring.
+//
+// NaN disables pruning of a float block: value.Compare treats NaN as equal
+// to everything (see the cmp kernels), so no range test can bound it.
+
+import (
+	"skyquery/internal/sqlparse"
+	"skyquery/internal/value"
+)
+
+// Pruner is one prunable conjunct: slot <Op> Const (already normalized so
+// the column is on the left; Const is the constant widened to float64,
+// exactly the image the comparison kernels compare against).
+type Pruner struct {
+	Slot       int
+	Op         string
+	Const      float64
+	PrefixSafe bool // every conjunct before this one is statically error-free
+}
+
+// PruneSet is the result of AnalyzePrune.
+type PruneSet struct {
+	Pruners []Pruner
+	// Safe reports that the whole predicate is statically error-free, so a
+	// block may be pruned whenever a pruner is never TRUE on it (NULLs and
+	// conjunct order don't matter).
+	Safe bool
+}
+
+// NeverTrue reports whether v <Op> Const is FALSE-or-NULL for every
+// non-NULL v in [min, max] (both widened to float64). It is the block test
+// the storage layer runs against its zone maps.
+func (p Pruner) NeverTrue(min, max float64) bool {
+	switch p.Op {
+	case "=":
+		return p.Const < min || p.Const > max
+	case "<>":
+		return min == p.Const && max == p.Const
+	case "<":
+		return min >= p.Const
+	case "<=":
+		return min > p.Const
+	case ">":
+		return max <= p.Const
+	default: // ">="
+		return max < p.Const
+	}
+}
+
+// AnalyzePrune extracts the prunable conjuncts of e. layout resolves
+// column references to slots (for a base-table scan these are schema
+// positions) and slotType gives each slot's declared column type. A nil
+// expression has no pruners.
+func AnalyzePrune(e sqlparse.Expr, layout Layout, slotType func(slot int) value.Type) PruneSet {
+	if e == nil {
+		return PruneSet{}
+	}
+	a := pruneAnalyzer{layout: layout, slotType: slotType}
+	conj := andConjuncts(e, nil)
+	ps := PruneSet{Safe: true}
+	prefixSafe := true
+	for _, m := range conj {
+		// A pruner's PrefixSafe is taken before its own conjunct folds into
+		// the running flag: it covers the conjuncts strictly before it.
+		if pr, ok := a.pruner(m); ok {
+			pr.PrefixSafe = prefixSafe
+			ps.Pruners = append(ps.Pruners, pr)
+		}
+		if !a.errFree(m) {
+			prefixSafe = false
+			ps.Safe = false
+		}
+	}
+	return ps
+}
+
+// andConjuncts flattens the left AND spine, mirroring the engines'
+// evaluation order: members(a AND b) = members(a) ++ [b].
+func andConjuncts(e sqlparse.Expr, acc []sqlparse.Expr) []sqlparse.Expr {
+	if b, ok := e.(*sqlparse.BinaryExpr); ok && b.Op == "AND" {
+		return append(andConjuncts(b.L, acc), b.R)
+	}
+	return append(acc, e)
+}
+
+type pruneAnalyzer struct {
+	layout   Layout
+	slotType func(int) value.Type
+}
+
+// pruner matches column-vs-numeric-literal comparisons on numeric columns.
+func (a *pruneAnalyzer) pruner(e sqlparse.Expr) (Pruner, bool) {
+	b, ok := e.(*sqlparse.BinaryExpr)
+	if !ok {
+		return Pruner{}, false
+	}
+	var flip string
+	switch b.Op {
+	case "=", "<>":
+		flip = b.Op
+	case "<":
+		flip = ">"
+	case "<=":
+		flip = ">="
+	case ">":
+		flip = "<"
+	case ">=":
+		flip = "<="
+	default:
+		return Pruner{}, false
+	}
+	if col, lit, ok := a.colAndLit(b.L, b.R); ok {
+		return Pruner{Slot: col, Op: b.Op, Const: lit}, true
+	}
+	if col, lit, ok := a.colAndLit(b.R, b.L); ok {
+		return Pruner{Slot: col, Op: flip, Const: lit}, true
+	}
+	return Pruner{}, false
+}
+
+func (a *pruneAnalyzer) colAndLit(ce, le sqlparse.Expr) (slot int, lit float64, ok bool) {
+	cr, ok := ce.(*sqlparse.ColumnRef)
+	if !ok {
+		return 0, 0, false
+	}
+	nl, ok := le.(*sqlparse.NumberLit)
+	if !ok {
+		return 0, 0, false
+	}
+	s, err := a.layout.Slot(cr.Table, cr.Column)
+	if err != nil {
+		return 0, 0, false
+	}
+	t := a.slotType(s)
+	if t != value.IntType && t != value.FloatType {
+		return 0, 0, false
+	}
+	// The engines' literal typing (INT for integral spellings) widens to
+	// the same float64 either way.
+	return s, nl.Value, true
+}
+
+// staticType returns a subexpression's statically certain value type
+// (NULL aside), or ok=false when it cannot be pinned down.
+func (a *pruneAnalyzer) staticType(e sqlparse.Expr) (value.Type, bool) {
+	switch n := e.(type) {
+	case *sqlparse.NumberLit:
+		return value.FloatType, true // INT vs FLOAT both land in the numeric class
+	case *sqlparse.StringLit:
+		return value.StringType, true
+	case *sqlparse.BoolLit:
+		return value.BoolType, true
+	case *sqlparse.ColumnRef:
+		s, err := a.layout.Slot(n.Table, n.Column)
+		if err != nil {
+			return value.NullType, false
+		}
+		t := a.slotType(s)
+		if t == value.IntType {
+			t = value.FloatType // same comparison class
+		}
+		return t, t != value.NullType
+	}
+	return value.NullType, false
+}
+
+// errFree reports that evaluating e can never return an error, for any
+// row of the table (NULLs included).
+func (a *pruneAnalyzer) errFree(e sqlparse.Expr) bool {
+	switch n := e.(type) {
+	case *sqlparse.NumberLit, *sqlparse.StringLit, *sqlparse.BoolLit, *sqlparse.NullLit:
+		return true
+	case *sqlparse.ColumnRef:
+		_, err := a.layout.Slot(n.Table, n.Column)
+		return err == nil
+	case *sqlparse.IsNull:
+		return a.errFree(n.X)
+	case *sqlparse.UnaryExpr:
+		if n.Op == "NOT" {
+			return a.errFree(n.X)
+		}
+		// Negation errors on strings and bools.
+		t, ok := a.staticType(n.X)
+		return ok && t == value.FloatType && a.errFree(n.X)
+	case *sqlparse.BinaryExpr:
+		switch n.Op {
+		case "AND", "OR":
+			return a.errFree(n.L) && a.errFree(n.R)
+		case "=", "<>", "<", "<=", ">", ">=":
+			lt, lok := a.staticType(n.L)
+			rt, rok := a.staticType(n.R)
+			return lok && rok && lt == rt && a.errFree(n.L) && a.errFree(n.R)
+		}
+		return false // arithmetic can divide by zero or type-error; LIKE can type-error
+	}
+	return false // functions, IN, BETWEEN, COALESCE: conservatively erroring
+}

@@ -1,0 +1,1115 @@
+package eval
+
+// This file is the fourth and fastest engine of the expression stack:
+// CompileTyped compiles an expression into a program evaluated over typed
+// column vectors (vector.go) — []int64 / []float64 / []string / []bool
+// payloads with a null mask — instead of the boxed []value.Value columns
+// the PR-3 batch engine (batch.go) reads. The execution model (selection
+// vectors, flattened AND/OR spines over a shrinking live set, batches of
+// BatchSize rows) and the error contract (evaluation stops at the first
+// selected row whose scalar evaluation would error; errRow reports it) are
+// identical to the boxed engine, which stays alongside the interpreter and
+// the compiled scalar engine as cross-validation references: the four-way
+// differential tests and FuzzBatchDifferential hold all four to agreement
+// on values and on the first erroring row.
+//
+// Kernels dispatch per *batch* on the operand vectors' kinds, so the per-
+// row loops run over raw native slices: comparisons inline the int64/
+// float64/string/bool paths (mirroring value.Compare bug-for-bug,
+// including the float widening of int64 operands and NaN-compares-equal),
+// arithmetic inlines the int64 and float64 paths of value.Arith
+// (wraparound integer + - * %, always-float division, identical
+// division-by-zero errors), AND/OR fold member truth states with exact
+// Kleene semantics over arbitrary operand kinds, and constant-pattern LIKE
+// runs its matcher straight over the string payload. Anything else — a
+// boxed operand column, a mixed-kind pair, scalar functions outside the
+// float fast path, IN/BETWEEN/COALESCE — falls back per element to the
+// very kernels the row engines share, so the typed engine cannot drift
+// from them on the long tail.
+//
+// Programs are immutable after CompileTyped and safe for concurrent use.
+// Per-evaluation scratch lives in a TypedEval (never share one between
+// goroutines); its vectors, selection buffers and state masks come from
+// the slab pools in vector.go and return there on Release.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"skyquery/internal/sqlparse"
+	"skyquery/internal/value"
+)
+
+// tnodeFunc is a typed batch node body: it evaluates the subexpression at
+// the selected rows, returning a vector valid at every selected row below
+// errRow (-1 when err is nil).
+type tnodeFunc func(ev *TypedEval, b *TBatch, sel []int) (*Vector, int, error)
+
+// texpr is one compiled typed node: a generic body, or a flattened n-ary
+// conjunction/disjunction evaluated over a shrinking live selection.
+type texpr struct {
+	fn    tnodeFunc
+	and   []texpr
+	or    []texpr
+	vec   int // output vector id for n-ary nodes
+	state int // truth-state buffer id for n-ary nodes
+	live  int // live-selection buffer id for n-ary nodes
+}
+
+// Truth states the n-ary AND/OR fold tracks per row. sOther is a non-bool,
+// non-NULL accumulator value (only possible after the first member; it
+// folds exactly like value.And/value.Or treat such operands).
+const (
+	sFalse uint8 = iota
+	sTrue
+	sNull
+	sOther
+)
+
+// stateAt classifies one row of a member's result vector.
+func stateAt(v *Vector, r int) uint8 {
+	switch v.Kind {
+	case VecBool:
+		if v.Nulls != nil && v.Nulls[r] {
+			return sNull
+		}
+		if v.Bools[r] {
+			return sTrue
+		}
+		return sFalse
+	case VecBoxed:
+		val := v.Boxed[r]
+		if val.Type() == value.BoolType {
+			if val.AsBool() {
+				return sTrue
+			}
+			return sFalse
+		}
+		if val.IsNull() {
+			return sNull
+		}
+		return sOther
+	default:
+		if v.Nulls != nil && v.Nulls[r] {
+			return sNull
+		}
+		return sOther
+	}
+}
+
+// andFold is value.And over truth states: FALSE dominates, then NULL, and
+// any non-bool operand surviving to the fold acts as FALSE (And(5, TRUE)
+// is FALSE, And(5, NULL) is NULL — see value.And).
+func andFold(a, m uint8) uint8 {
+	switch {
+	case a == sFalse || m == sFalse:
+		return sFalse
+	case a == sNull || m == sNull:
+		return sNull
+	case a == sTrue && m == sTrue:
+		return sTrue
+	default:
+		return sFalse
+	}
+}
+
+// orFold is value.Or over truth states: TRUE dominates, then NULL.
+func orFold(a, m uint8) uint8 {
+	switch {
+	case a == sTrue || m == sTrue:
+		return sTrue
+	case a == sNull || m == sNull:
+		return sNull
+	default:
+		return sFalse
+	}
+}
+
+func (n *texpr) eval(ev *TypedEval, b *TBatch, sel []int) (*Vector, int, error) {
+	switch {
+	case n.and != nil:
+		return n.evalNary(ev, b, sel, n.and, true)
+	case n.or != nil:
+		return n.evalNary(ev, b, sel, n.or, false)
+	default:
+		return n.fn(ev, b, sel)
+	}
+}
+
+// evalNary evaluates a flattened AND (isAnd) or OR spine exactly like the
+// boxed engine's evalAnd/evalOr: the accumulator starts as the first
+// member's truth state, later members run only at still-undecided rows —
+// AND: not strictly FALSE; OR: not TRUE — and a member's failure truncates
+// the live set to the rows before it while evaluation continues, so the
+// reported error is the lowest row's, as the sequential scan surfaces it.
+func (n *texpr) evalNary(ev *TypedEval, b *TBatch, sel []int, members []texpr, isAnd bool) (*Vector, int, error) {
+	st := ev.states[n.state]
+	live := ev.sels[n.live][:0]
+	m0, errRow, err := members[0].eval(ev, b, sel)
+	for _, r := range selBefore(sel, errRow) {
+		s := stateAt(m0, r)
+		st[r] = s
+		if isAnd && s == sFalse || !isAnd && s == sTrue {
+			continue
+		}
+		live = append(live, r)
+	}
+	for i := 1; i < len(members); i++ {
+		if len(live) == 0 {
+			break
+		}
+		mo, cer, cerr := members[i].eval(ev, b, live)
+		if cerr != nil {
+			// cer is a live row, so strictly below any previous bound.
+			errRow, err = cer, cerr
+			live = selBefore(live, cer)
+		}
+		w := 0
+		for _, r := range live {
+			var s uint8
+			if isAnd {
+				s = andFold(st[r], stateAt(mo, r))
+			} else {
+				s = orFold(st[r], stateAt(mo, r))
+			}
+			st[r] = s
+			if isAnd && s == sFalse || !isAnd && s == sTrue {
+				continue
+			}
+			live[w] = r
+			w++
+		}
+		live = live[:w]
+	}
+	// Every row below errRow is decided {FALSE, TRUE, NULL}: a spine has at
+	// least two members, and a row can only leave the live set decided (or
+	// at/after the error bound, where the output is never read).
+	out := &ev.vecs[n.vec]
+	ob, on := out.BoolBuf(ev.cap)
+	for _, r := range selBefore(sel, errRow) {
+		switch st[r] {
+		case sTrue:
+			ob[r], on[r] = true, false
+		case sNull:
+			on[r] = true
+		default:
+			ob[r], on[r] = false, false
+		}
+	}
+	return out, errRow, err
+}
+
+// TypedProgram is a compiled typed batch expression. Like BatchProgram it
+// is immutable and safe for concurrent use; all mutable evaluation state
+// lives in a TypedEval.
+type TypedProgram struct {
+	root   texpr
+	refs   []int
+	width  int
+	nVec   int
+	nSel   int
+	nState int
+	consts []constFill
+}
+
+// TypedEval is the per-goroutine scratch for one TypedProgram: result
+// vectors (one per node), truth-state and live-selection buffers for the
+// AND/OR spines, and the gathered scratch row the scalar-tail nodes
+// evaluate over. All of it comes from the slab pools; Release returns it.
+type TypedEval struct {
+	vecs    []Vector
+	states  [][]uint8
+	sels    [][]int
+	row     []value.Value
+	seq     []int
+	out     []int
+	noNulls []bool
+	cap     int
+}
+
+// NewEval allocates (pool-backed) evaluation scratch for batches of up to
+// capacity rows. It is valid on a nil program (the scratch still provides
+// Seq for callers that batch without a predicate).
+func (p *TypedProgram) NewEval(capacity int) *TypedEval {
+	if capacity < 1 {
+		capacity = 1
+	}
+	ev := &TypedEval{
+		cap: capacity,
+		seq: getSel(capacity),
+		out: getSel(capacity)[:0],
+	}
+	for i := range ev.seq {
+		ev.seq[i] = i
+	}
+	if p == nil {
+		return ev
+	}
+	ev.noNulls = getBools(capacity)
+	for i := range ev.noNulls {
+		ev.noNulls[i] = false
+	}
+	ev.vecs = make([]Vector, p.nVec)
+	ev.states = make([][]uint8, p.nState)
+	for i := range ev.states {
+		ev.states[i] = getStates(capacity)
+	}
+	ev.sels = make([][]int, p.nSel)
+	for i := range ev.sels {
+		ev.sels[i] = getSel(capacity)[:0]
+	}
+	ev.row = getBoxed(p.width)
+	for _, c := range p.consts {
+		ev.vecs[c.vec].Broadcast(c.v, capacity)
+	}
+	return ev
+}
+
+// Seq returns the identity selection [0, n): every row of a batch active.
+func (ev *TypedEval) Seq(n int) []int { return ev.seq[:n] }
+
+// Release returns all scratch to the slab pools. The TypedEval (and any
+// vector an evaluation returned) must not be used afterwards.
+func (ev *TypedEval) Release() {
+	for i := range ev.vecs {
+		ev.vecs[i].Release()
+	}
+	for _, s := range ev.states {
+		putStates(s)
+	}
+	for _, s := range ev.sels {
+		putSel(s)
+	}
+	if ev.seq != nil {
+		putSel(ev.seq)
+	}
+	if ev.out != nil {
+		putSel(ev.out)
+	}
+	if ev.noNulls != nil {
+		putBools(ev.noNulls)
+	}
+	if ev.row != nil {
+		putBoxed(ev.row)
+	}
+	*ev = TypedEval{}
+}
+
+// nullsOf returns a null mask to index for a typed vector (a shared
+// all-false mask when the vector has none).
+func (ev *TypedEval) nullsOf(v *Vector) []bool {
+	if v.Nulls != nil {
+		return v.Nulls
+	}
+	return ev.noNulls
+}
+
+// CompileTyped compiles the expression into a typed batch program against
+// the layout. A nil expression compiles to a nil program, whose Filter
+// passes every row. Binding errors surface here, exactly as with Compile
+// and CompileBatch.
+func CompileTyped(e sqlparse.Expr, layout Layout) (*TypedProgram, error) {
+	if e == nil {
+		return nil, nil
+	}
+	c := &typedCompiler{layout: layout, refs: map[int]bool{}}
+	root, _, err := c.compile(e)
+	if err != nil {
+		return nil, err
+	}
+	p := &TypedProgram{root: *root, nVec: c.nVec, nSel: c.nSel, nState: c.nState, consts: c.consts}
+	for s := range c.refs {
+		p.refs = append(p.refs, s)
+		if s+1 > p.width {
+			p.width = s + 1
+		}
+	}
+	sort.Ints(p.refs)
+	return p, nil
+}
+
+// Refs returns the sorted batch slots the program reads (nil-safe).
+func (p *TypedProgram) Refs() []int {
+	if p == nil {
+		return nil
+	}
+	return p.refs
+}
+
+// checkBatch validates slot coverage and that every referenced column was
+// filled, once per batch.
+func (p *TypedProgram) checkBatch(b *TBatch) error {
+	if b.Width() < p.width {
+		return fmt.Errorf("eval: typed batch has %d slots, program reads slot %d", b.Width(), p.width-1)
+	}
+	for _, s := range p.refs {
+		if !b.filled[s] {
+			return fmt.Errorf("eval: typed batch slot %d referenced by program but never filled", s)
+		}
+	}
+	return nil
+}
+
+// truthAt reports whether a result vector row is boolean TRUE.
+func truthAt(v *Vector, r int) bool {
+	switch v.Kind {
+	case VecBool:
+		return (v.Nulls == nil || !v.Nulls[r]) && v.Bools[r]
+	case VecBoxed:
+		return v.Boxed[r].IsTrue()
+	default:
+		return false
+	}
+}
+
+// Filter evaluates the program as a predicate over the selected rows and
+// returns the rows where it is TRUE, with the boxed engine's exact error
+// contract (see BatchProgram.Filter). The returned selection is owned by
+// ev and valid until its next use.
+func (p *TypedProgram) Filter(ev *TypedEval, b *TBatch, sel []int) (passed []int, errRow int, err error) {
+	if p == nil {
+		return sel, -1, nil
+	}
+	if err := p.checkBatch(b); err != nil {
+		return nil, -1, err
+	}
+	out, errRow, err := p.root.eval(ev, b, sel)
+	passed = ev.out[:0]
+	for _, r := range selBefore(sel, errRow) {
+		if truthAt(out, r) {
+			passed = append(passed, r)
+		}
+	}
+	return passed, errRow, err
+}
+
+// EvalVec evaluates a value-producing program (projections, sort keys)
+// over the selected rows. The vector is owned by ev (or aliases a batch
+// column) and valid until the next evaluation.
+func (p *TypedProgram) EvalVec(ev *TypedEval, b *TBatch, sel []int) (out *Vector, errRow int, err error) {
+	if p == nil {
+		return nil, -1, fmt.Errorf("eval: nil typed program")
+	}
+	if err := p.checkBatch(b); err != nil {
+		return nil, -1, err
+	}
+	return p.root.eval(ev, b, sel)
+}
+
+// typedCompiler builds the node tree, handing out vector, selection and
+// state ids that NewEval sizes the scratch from.
+type typedCompiler struct {
+	layout Layout
+	refs   map[int]bool
+	nVec   int
+	nSel   int
+	nState int
+	consts []constFill
+}
+
+func (c *typedCompiler) newVec() int   { id := c.nVec; c.nVec++; return id }
+func (c *typedCompiler) newSel() int   { id := c.nSel; c.nSel++; return id }
+func (c *typedCompiler) newState() int { id := c.nState; c.nState++; return id }
+
+// constNode materializes a folded constant: a broadcast vector, or an
+// error surfacing at the first selected row (never at compile time).
+func (c *typedCompiler) constNode(cv constVal) (*texpr, *constVal, error) {
+	if cv.err != nil {
+		err := cv.err
+		return &texpr{fn: func(ev *TypedEval, b *TBatch, sel []int) (*Vector, int, error) {
+			if len(sel) == 0 {
+				return nil, -1, nil
+			}
+			return nil, sel[0], err
+		}}, &cv, nil
+	}
+	id := c.newVec()
+	c.consts = append(c.consts, constFill{vec: id, v: cv.v})
+	return &texpr{fn: func(ev *TypedEval, b *TBatch, sel []int) (*Vector, int, error) {
+		return &ev.vecs[id], -1, nil
+	}}, &cv, nil
+}
+
+// foldConst evaluates a row-independent subtree once through the scalar
+// compiler (the reference fold semantics) and freezes the outcome.
+func (c *typedCompiler) foldConst(e sqlparse.Expr) (*texpr, *constVal, error) {
+	sub := &compiler{layout: c.layout, refs: map[int]bool{}}
+	n, _, err := sub.compile(e)
+	if err != nil {
+		return nil, nil, err
+	}
+	v, verr := n(nil)
+	return c.constNode(constVal{v: v, err: verr})
+}
+
+// scalarTail compiles the subtree with the scalar compiler and evaluates
+// it per selected row over a gathered (boxed) scratch row: the long-tail
+// path reuses the scalar kernels verbatim, exactly like the boxed engine.
+func (c *typedCompiler) scalarTail(e sqlparse.Expr) (*texpr, *constVal, error) {
+	sub := &compiler{layout: c.layout, refs: map[int]bool{}}
+	n, isConst, err := sub.compile(e)
+	if err != nil {
+		return nil, nil, err
+	}
+	if isConst {
+		v, verr := n(nil)
+		return c.constNode(constVal{v: v, err: verr})
+	}
+	gather := make([]int, 0, len(sub.refs))
+	for s := range sub.refs {
+		gather = append(gather, s)
+		c.refs[s] = true
+	}
+	sort.Ints(gather)
+	id := c.newVec()
+	return &texpr{fn: func(ev *TypedEval, b *TBatch, sel []int) (*Vector, int, error) {
+		out := &ev.vecs[id]
+		cells := out.BoxedBuf(ev.cap)
+		for _, r := range sel {
+			for _, s := range gather {
+				ev.row[s] = b.cols[s].ValueAt(r)
+			}
+			v, err := n(ev.row)
+			if err != nil {
+				return out, r, err
+			}
+			cells[r] = v
+		}
+		return out, -1, nil
+	}}, nil, nil
+}
+
+// compile returns the typed node for e and, when the subtree is
+// row-independent, its folded constant.
+func (c *typedCompiler) compile(e sqlparse.Expr) (*texpr, *constVal, error) {
+	switch n := e.(type) {
+	case *sqlparse.NumberLit, *sqlparse.StringLit, *sqlparse.BoolLit, *sqlparse.NullLit:
+		return c.foldConst(e)
+
+	case *sqlparse.ColumnRef:
+		slot, err := c.layout.Slot(n.Table, n.Column)
+		if err != nil {
+			return nil, nil, err
+		}
+		c.refs[slot] = true
+		return &texpr{fn: func(ev *TypedEval, b *TBatch, sel []int) (*Vector, int, error) {
+			return &b.cols[slot], -1, nil
+		}}, nil, nil
+
+	case *sqlparse.UnaryExpr:
+		x, xc, err := c.compile(n.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		if xc != nil {
+			return c.foldConst(e)
+		}
+		if n.Op == "NOT" {
+			return c.notNode(x), nil, nil
+		}
+		return c.negNode(x), nil, nil
+
+	case *sqlparse.IsNull:
+		x, xc, err := c.compile(n.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		if xc != nil {
+			return c.foldConst(e)
+		}
+		id := c.newVec()
+		negated := n.Negated
+		return &texpr{fn: func(ev *TypedEval, b *TBatch, sel []int) (*Vector, int, error) {
+			xo, er, xerr := x.eval(ev, b, sel)
+			out := &ev.vecs[id]
+			ob, on := out.BoolBuf(ev.cap)
+			for _, r := range selBefore(sel, er) {
+				ob[r], on[r] = xo.NullAt(r) != negated, false
+			}
+			return out, er, xerr
+		}}, nil, nil
+
+	case *sqlparse.BinaryExpr:
+		return c.compileBinary(n)
+
+	case *sqlparse.FuncCall:
+		return c.compileFunc(n)
+
+	case *sqlparse.InList, *sqlparse.Between:
+		return c.scalarTail(e)
+
+	case *sqlparse.Star:
+		return nil, nil, fmt.Errorf("eval: * is not valid in an expression")
+	}
+	return nil, nil, fmt.Errorf("eval: unsupported expression %T", e)
+}
+
+func (c *typedCompiler) notNode(x *texpr) *texpr {
+	id := c.newVec()
+	return &texpr{fn: func(ev *TypedEval, b *TBatch, sel []int) (*Vector, int, error) {
+		xo, er, xerr := x.eval(ev, b, sel)
+		out := &ev.vecs[id]
+		rows := selBefore(sel, er)
+		if len(rows) == 0 {
+			// An operand that failed on the first selected row returns no
+			// vector; with no rows to fill there is nothing to dispatch on.
+			return out, er, xerr
+		}
+		ob, on := out.BoolBuf(ev.cap)
+		switch xo.Kind {
+		case VecBool:
+			xn := ev.nullsOf(xo)
+			for _, r := range rows {
+				ob[r], on[r] = !xo.Bools[r], xn[r]
+			}
+		case VecBoxed:
+			for _, r := range rows {
+				v := value.Not(xo.Boxed[r])
+				ob[r], on[r] = v.IsTrue(), v.IsNull()
+			}
+		default:
+			// value.Not of a non-bool, non-NULL value is TRUE (!IsTrue).
+			xn := ev.nullsOf(xo)
+			for _, r := range rows {
+				ob[r], on[r] = !xn[r], xn[r]
+			}
+		}
+		return out, er, xerr
+	}}
+}
+
+func (c *typedCompiler) negNode(x *texpr) *texpr {
+	id := c.newVec()
+	return &texpr{fn: func(ev *TypedEval, b *TBatch, sel []int) (*Vector, int, error) {
+		xo, er, xerr := x.eval(ev, b, sel)
+		out := &ev.vecs[id]
+		rows := selBefore(sel, er)
+		if len(rows) == 0 {
+			return out, er, xerr
+		}
+		switch xo.Kind {
+		case VecInt:
+			vals, nulls := out.IntBuf(ev.cap)
+			xn := ev.nullsOf(xo)
+			for _, r := range rows {
+				vals[r], nulls[r] = -xo.Ints[r], xn[r]
+			}
+		case VecFloat:
+			vals, nulls := out.FloatBuf(ev.cap)
+			xn := ev.nullsOf(xo)
+			for _, r := range rows {
+				vals[r], nulls[r] = -xo.Floats[r], xn[r]
+			}
+		default:
+			cells := out.BoxedBuf(ev.cap)
+			for _, r := range rows {
+				v, verr := value.Neg(xo.ValueAt(r))
+				if verr != nil {
+					return out, r, verr
+				}
+				cells[r] = v
+			}
+		}
+		return out, er, xerr
+	}}
+}
+
+func (c *typedCompiler) compileBinary(n *sqlparse.BinaryExpr) (*texpr, *constVal, error) {
+	l, lc, err := c.compile(n.L)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Mirror the scalar compiler's decided-left AND/OR fold exactly: the
+	// dead side is still compiled (binding errors must not hide behind a
+	// constant guard) but into a scratch ref set.
+	if lc != nil && (n.Op == "AND" || n.Op == "OR") {
+		var decided *constVal
+		switch {
+		case lc.err != nil:
+			decided = &constVal{err: lc.err}
+		case n.Op == "AND" && lc.v.Type() == value.BoolType && !lc.v.AsBool():
+			decided = &constVal{v: value.Bool(false)}
+		case n.Op == "OR" && lc.v.IsTrue():
+			decided = &constVal{v: value.Bool(true)}
+		}
+		if decided != nil {
+			sub := &compiler{layout: c.layout, refs: map[int]bool{}}
+			if _, _, err := sub.compile(n.R); err != nil {
+				return nil, nil, err
+			}
+			return c.constNode(*decided)
+		}
+	}
+
+	r, rc, err := c.compile(n.R)
+	if err != nil {
+		return nil, nil, err
+	}
+	if lc != nil && rc != nil {
+		return c.foldConst(n)
+	}
+
+	switch n.Op {
+	case "AND":
+		// Flatten only the left spine (the right side stays one member):
+		// value.And is not associative for non-bool operands, exactly as in
+		// the boxed engine (see batch.go).
+		members := append(tflattenAnd(l), *r)
+		return &texpr{and: members, vec: c.newVec(), state: c.newState(), live: c.newSel()}, nil, nil
+	case "OR":
+		members := append(tflattenOr(l), tflattenOr(r)...)
+		return &texpr{or: members, vec: c.newVec(), state: c.newState(), live: c.newSel()}, nil, nil
+	case "+", "-", "*", "/", "%":
+		return c.arithNode(l, r, n.Op), nil, nil
+	case "=", "<>", "<", "<=", ">", ">=":
+		return c.cmpNode(l, r, n.Op), nil, nil
+	case "LIKE":
+		return c.likeNode(l, r, rc), nil, nil
+	}
+	return nil, nil, fmt.Errorf("eval: unknown operator %q", n.Op)
+}
+
+func tflattenAnd(n *texpr) []texpr {
+	if n.and != nil {
+		return n.and
+	}
+	return []texpr{*n}
+}
+
+func tflattenOr(n *texpr) []texpr {
+	if n.or != nil {
+		return n.or
+	}
+	return []texpr{*n}
+}
+
+// tbinOperands evaluates a binary node's operands with the scalar engine's
+// per-row order: the right side runs only at rows where the left side
+// succeeded, and the reported failure is the one from the lowest row.
+func tbinOperands(ev *TypedEval, b *TBatch, sel []int, l, r *texpr) (lo, ro *Vector, bounded []int, errRow int, err error) {
+	lo, ler, lerr := l.eval(ev, b, sel)
+	selEval := selBefore(sel, ler)
+	ro, rer, rerr := r.eval(ev, b, selEval)
+	errRow, err = ler, lerr
+	if rerr != nil {
+		// selEval only holds rows before ler, so rer < ler.
+		errRow, err = rer, rerr
+	}
+	return lo, ro, selBefore(sel, errRow), errRow, err
+}
+
+// cmpNode is the typed comparison kernel. The int64/float64 pairs (in all
+// four combinations), the string pair and the bool pair run native loops
+// that mirror value.Compare bug-for-bug — int64 operands widen to float64
+// (so values beyond 2^53 compare equal when their float images do) and
+// NaN compares equal to everything — and anything else falls back per
+// element to the boxed comparison.
+func (c *typedCompiler) cmpNode(l, r *texpr, op string) *texpr {
+	kind := cmpOpKind(op)
+	id := c.newVec()
+	return &texpr{fn: func(ev *TypedEval, b *TBatch, sel []int) (*Vector, int, error) {
+		lo, ro, rows, errRow, err := tbinOperands(ev, b, sel, l, r)
+		out := &ev.vecs[id]
+		if len(rows) == 0 {
+			return out, errRow, err
+		}
+		ob, on := out.BoolBuf(ev.cap)
+		switch {
+		case lo.Kind == VecInt && ro.Kind == VecInt:
+			ln, rn := ev.nullsOf(lo), ev.nullsOf(ro)
+			for _, rw := range rows {
+				if ln[rw] || rn[rw] {
+					on[rw] = true
+					continue
+				}
+				lf, rf := float64(lo.Ints[rw]), float64(ro.Ints[rw])
+				cv := 0
+				if lf < rf {
+					cv = -1
+				} else if lf > rf {
+					cv = 1
+				}
+				ob[rw], on[rw] = cmpKindHolds(kind, cv), false
+			}
+		case lo.Kind == VecFloat && ro.Kind == VecFloat:
+			ln, rn := ev.nullsOf(lo), ev.nullsOf(ro)
+			for _, rw := range rows {
+				if ln[rw] || rn[rw] {
+					on[rw] = true
+					continue
+				}
+				lf, rf := lo.Floats[rw], ro.Floats[rw]
+				cv := 0
+				if lf < rf {
+					cv = -1
+				} else if lf > rf {
+					cv = 1
+				}
+				ob[rw], on[rw] = cmpKindHolds(kind, cv), false
+			}
+		case lo.Kind == VecInt && ro.Kind == VecFloat:
+			ln, rn := ev.nullsOf(lo), ev.nullsOf(ro)
+			for _, rw := range rows {
+				if ln[rw] || rn[rw] {
+					on[rw] = true
+					continue
+				}
+				lf, rf := float64(lo.Ints[rw]), ro.Floats[rw]
+				cv := 0
+				if lf < rf {
+					cv = -1
+				} else if lf > rf {
+					cv = 1
+				}
+				ob[rw], on[rw] = cmpKindHolds(kind, cv), false
+			}
+		case lo.Kind == VecFloat && ro.Kind == VecInt:
+			ln, rn := ev.nullsOf(lo), ev.nullsOf(ro)
+			for _, rw := range rows {
+				if ln[rw] || rn[rw] {
+					on[rw] = true
+					continue
+				}
+				lf, rf := lo.Floats[rw], float64(ro.Ints[rw])
+				cv := 0
+				if lf < rf {
+					cv = -1
+				} else if lf > rf {
+					cv = 1
+				}
+				ob[rw], on[rw] = cmpKindHolds(kind, cv), false
+			}
+		case lo.Kind == VecStr && ro.Kind == VecStr:
+			ln, rn := ev.nullsOf(lo), ev.nullsOf(ro)
+			for _, rw := range rows {
+				if ln[rw] || rn[rw] {
+					on[rw] = true
+					continue
+				}
+				ls, rs := lo.Strs[rw], ro.Strs[rw]
+				cv := 0
+				if ls < rs {
+					cv = -1
+				} else if ls > rs {
+					cv = 1
+				}
+				ob[rw], on[rw] = cmpKindHolds(kind, cv), false
+			}
+		case lo.Kind == VecBool && ro.Kind == VecBool:
+			ln, rn := ev.nullsOf(lo), ev.nullsOf(ro)
+			for _, rw := range rows {
+				if ln[rw] || rn[rw] {
+					on[rw] = true
+					continue
+				}
+				li, ri := 0, 0
+				if lo.Bools[rw] {
+					li = 1
+				}
+				if ro.Bools[rw] {
+					ri = 1
+				}
+				ob[rw], on[rw] = cmpKindHolds(kind, li-ri), false
+			}
+		default:
+			for _, rw := range rows {
+				la, ra := lo.ValueAt(rw), ro.ValueAt(rw)
+				if la.IsNull() || ra.IsNull() {
+					on[rw] = true
+					continue
+				}
+				cv, ok, cerr := value.Compare(la, ra)
+				if cerr != nil {
+					return out, rw, cerr
+				}
+				if !ok {
+					on[rw] = true
+					continue
+				}
+				ob[rw], on[rw] = cmpKindHolds(kind, cv), false
+			}
+		}
+		return out, errRow, err
+	}}
+}
+
+// arithNode is the typed arithmetic kernel: the int64 paths of + - * %
+// (wraparound, like value.Arith) and the float64 paths (division always
+// float, identical zero-divisor errors) are inlined per operand-kind pair;
+// everything else — string concatenation, type errors, boxed operands —
+// falls back per element to value.Arith.
+func (c *typedCompiler) arithNode(l, r *texpr, op string) *texpr {
+	id := c.newVec()
+	return &texpr{fn: func(ev *TypedEval, b *TBatch, sel []int) (*Vector, int, error) {
+		lo, ro, rows, errRow, err := tbinOperands(ev, b, sel, l, r)
+		out := &ev.vecs[id]
+		if len(rows) == 0 {
+			return out, errRow, err
+		}
+		bothInt := lo.Kind == VecInt && ro.Kind == VecInt
+		numeric := (lo.Kind == VecInt || lo.Kind == VecFloat) && (ro.Kind == VecInt || ro.Kind == VecFloat)
+		switch {
+		case bothInt && op != "/":
+			vals, nulls := out.IntBuf(ev.cap)
+			ln, rn := ev.nullsOf(lo), ev.nullsOf(ro)
+			for _, rw := range rows {
+				if ln[rw] || rn[rw] {
+					nulls[rw] = true
+					continue
+				}
+				la, ra := lo.Ints[rw], ro.Ints[rw]
+				switch op {
+				case "+":
+					vals[rw] = la + ra
+				case "-":
+					vals[rw] = la - ra
+				case "*":
+					vals[rw] = la * ra
+				default: // "%"
+					if ra == 0 {
+						_, aerr := value.Arith(op, value.Int(la), value.Int(ra))
+						return out, rw, aerr
+					}
+					vals[rw] = la % ra
+				}
+				nulls[rw] = false
+			}
+		case numeric && op != "%":
+			vals, nulls := out.FloatBuf(ev.cap)
+			ln, rn := ev.nullsOf(lo), ev.nullsOf(ro)
+			for _, rw := range rows {
+				if ln[rw] || rn[rw] {
+					nulls[rw] = true
+					continue
+				}
+				var lf, rf float64
+				if lo.Kind == VecInt {
+					lf = float64(lo.Ints[rw])
+				} else {
+					lf = lo.Floats[rw]
+				}
+				if ro.Kind == VecInt {
+					rf = float64(ro.Ints[rw])
+				} else {
+					rf = ro.Floats[rw]
+				}
+				switch op {
+				case "+":
+					vals[rw] = lf + rf
+				case "-":
+					vals[rw] = lf - rf
+				case "*":
+					vals[rw] = lf * rf
+				default: // "/"
+					if rf == 0 {
+						_, aerr := value.Arith(op, lo.ValueAt(rw), ro.ValueAt(rw))
+						return out, rw, aerr
+					}
+					vals[rw] = lf / rf
+				}
+				nulls[rw] = false
+			}
+		default:
+			cells := out.BoxedBuf(ev.cap)
+			for _, rw := range rows {
+				v, aerr := value.Arith(op, lo.ValueAt(rw), ro.ValueAt(rw))
+				if aerr != nil {
+					return out, rw, aerr
+				}
+				cells[rw] = v
+			}
+		}
+		return out, errRow, err
+	}}
+}
+
+// likeNode vectorizes LIKE with the constant-pattern specializations of
+// the row engines; with a string column operand the matcher runs straight
+// over the native payload.
+func (c *typedCompiler) likeNode(l, r *texpr, rc *constVal) *texpr {
+	if rc != nil {
+		switch {
+		case rc.err != nil:
+			n, _, _ := c.constNode(constVal{err: rc.err})
+			return n
+		case rc.v.IsNull():
+			id := c.newVec()
+			return &texpr{fn: func(ev *TypedEval, b *TBatch, sel []int) (*Vector, int, error) {
+				_, er, lerr := l.eval(ev, b, sel)
+				out := &ev.vecs[id]
+				_, on := out.BoolBuf(ev.cap)
+				for _, rw := range selBefore(sel, er) {
+					on[rw] = true
+				}
+				return out, er, lerr
+			}}
+		case rc.v.Type() == value.StringType:
+			pat := rc.v.AsString()
+			match := likeMatcher(pat)
+			if match == nil {
+				rx, err := compileLike(pat)
+				if err != nil {
+					break // defer the pattern error to evaluation, like the row engines
+				}
+				match = rx.MatchString
+			}
+			rt := rc.v.Type()
+			id := c.newVec()
+			return &texpr{fn: func(ev *TypedEval, b *TBatch, sel []int) (*Vector, int, error) {
+				lo, er, lerr := l.eval(ev, b, sel)
+				out := &ev.vecs[id]
+				rows := selBefore(sel, er)
+				if len(rows) == 0 {
+					return out, er, lerr
+				}
+				ob, on := out.BoolBuf(ev.cap)
+				if lo.Kind == VecStr {
+					ln := ev.nullsOf(lo)
+					for _, rw := range rows {
+						if ln[rw] {
+							on[rw] = true
+							continue
+						}
+						ob[rw], on[rw] = match(lo.Strs[rw]), false
+					}
+					return out, er, lerr
+				}
+				for _, rw := range rows {
+					lv := lo.ValueAt(rw)
+					if lv.IsNull() {
+						on[rw] = true
+						continue
+					}
+					if lv.Type() != value.StringType {
+						return out, rw, fmt.Errorf("eval: LIKE requires strings, got %v and %v", lv.Type(), rt)
+					}
+					ob[rw], on[rw] = match(lv.AsString()), false
+				}
+				return out, er, lerr
+			}}
+		}
+	}
+	id := c.newVec()
+	return &texpr{fn: func(ev *TypedEval, b *TBatch, sel []int) (*Vector, int, error) {
+		lo, ro, rows, errRow, err := tbinOperands(ev, b, sel, l, r)
+		out := &ev.vecs[id]
+		cells := out.BoxedBuf(ev.cap)
+		for _, rw := range rows {
+			v, lerr := evalLike(lo.ValueAt(rw), ro.ValueAt(rw))
+			if lerr != nil {
+				return out, rw, lerr
+			}
+			cells[rw] = v
+		}
+		return out, errRow, err
+	}}
+}
+
+// float1 maps the unary scalar functions whose non-NULL numeric result is
+// exactly Float(f(x)) — oneNumKernel semantics — to their float kernels.
+// ABS is included for float operands only (its integer path returns INT
+// and has a MinInt64 special case, so integer ABS stays on the shared
+// kernel).
+var float1 = map[string]func(float64) float64{
+	"ABS":     math.Abs,
+	"SQRT":    math.Sqrt,
+	"FLOOR":   math.Floor,
+	"CEIL":    math.Ceil,
+	"CEILING": math.Ceil,
+	"LOG":     math.Log,
+	"LOG10":   math.Log10,
+	"EXP":     math.Exp,
+	"SIN":     math.Sin,
+	"COS":     math.Cos,
+	"RADIANS": func(x float64) float64 { return x * math.Pi / 180 },
+	"DEGREES": func(x float64) float64 { return x * 180 / math.Pi },
+}
+
+// compileFunc vectorizes fixed-arity scalar functions by looping the
+// shared kernels, with a native float fast path for the numeric unary
+// functions over float (and, except ABS, int) vectors; COALESCE and arity
+// errors fall back to the scalar tail.
+func (c *typedCompiler) compileFunc(n *sqlparse.FuncCall) (*texpr, *constVal, error) {
+	name := strings.ToUpper(n.Name)
+	if k := scalar1[name]; k != nil && len(n.Args) == 1 {
+		a, ac, err := c.compile(n.Args[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		if ac != nil {
+			return c.foldConst(n)
+		}
+		fk := float1[name]
+		id := c.newVec()
+		return &texpr{fn: func(ev *TypedEval, b *TBatch, sel []int) (*Vector, int, error) {
+			ao, er, aerr := a.eval(ev, b, sel)
+			out := &ev.vecs[id]
+			rows := selBefore(sel, er)
+			if len(rows) == 0 {
+				return out, er, aerr
+			}
+			if fk != nil && (ao.Kind == VecFloat || ao.Kind == VecInt && name != "ABS") {
+				vals, nulls := out.FloatBuf(ev.cap)
+				an := ev.nullsOf(ao)
+				if ao.Kind == VecFloat {
+					for _, rw := range rows {
+						if an[rw] {
+							nulls[rw] = true
+							continue
+						}
+						vals[rw], nulls[rw] = fk(ao.Floats[rw]), false
+					}
+				} else {
+					for _, rw := range rows {
+						if an[rw] {
+							nulls[rw] = true
+							continue
+						}
+						vals[rw], nulls[rw] = fk(float64(ao.Ints[rw])), false
+					}
+				}
+				return out, er, aerr
+			}
+			cells := out.BoxedBuf(ev.cap)
+			for _, rw := range rows {
+				v, kerr := k(ao.ValueAt(rw))
+				if kerr != nil {
+					return out, rw, kerr
+				}
+				cells[rw] = v
+			}
+			return out, er, aerr
+		}}, nil, nil
+	}
+	if k := scalar2[name]; k != nil && len(n.Args) == 2 {
+		a, ac, err := c.compile(n.Args[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		bb, bc, err := c.compile(n.Args[1])
+		if err != nil {
+			return nil, nil, err
+		}
+		if ac != nil && bc != nil {
+			return c.foldConst(n)
+		}
+		id := c.newVec()
+		return &texpr{fn: func(ev *TypedEval, b *TBatch, sel []int) (*Vector, int, error) {
+			ao, bo, rows, errRow, err := tbinOperands(ev, b, sel, a, bb)
+			out := &ev.vecs[id]
+			cells := out.BoxedBuf(ev.cap)
+			for _, rw := range rows {
+				v, kerr := k(ao.ValueAt(rw), bo.ValueAt(rw))
+				if kerr != nil {
+					return out, rw, kerr
+				}
+				cells[rw] = v
+			}
+			return out, errRow, err
+		}}, nil, nil
+	}
+	return c.scalarTail(n)
+}

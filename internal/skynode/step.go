@@ -19,6 +19,55 @@ import (
 // carried "alias.column" payload columns) is defined in internal/xmatch;
 // this file consumes it via xmatch.AccColumns, AccToCells and CellsToAcc.
 
+// scratchList is the chain steps' free-list of per-worker batch scratch.
+// Unlike a per-call sync.Pool it tracks every scratch it created, so the
+// step can Release them when it finishes — their typed-vector payloads
+// and evaluator slabs then return to eval's shared pools and the next
+// federated query reuses them instead of re-allocating.
+type scratchList[T any] struct {
+	mu   sync.Mutex
+	news func() T
+	free []T
+	all  []T
+}
+
+func newScratchList[T any](news func() T) *scratchList[T] {
+	return &scratchList[T]{news: news}
+}
+
+func (l *scratchList[T]) get() T {
+	l.mu.Lock()
+	if n := len(l.free); n > 0 {
+		sc := l.free[n-1]
+		l.free = l.free[:n-1]
+		l.mu.Unlock()
+		return sc
+	}
+	l.mu.Unlock()
+	sc := l.news()
+	l.mu.Lock()
+	l.all = append(l.all, sc)
+	l.mu.Unlock()
+	return sc
+}
+
+func (l *scratchList[T]) put(sc T) {
+	l.mu.Lock()
+	l.free = append(l.free, sc)
+	l.mu.Unlock()
+}
+
+// release runs fn over every scratch ever created (idle or not — callers
+// invoke it after the step's workers have finished).
+func (l *scratchList[T]) release(fn func(T)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, sc := range l.all {
+		fn(sc)
+	}
+	l.all, l.free = nil, nil
+}
+
 // localStep performs this node's part of the cross match. For the seed
 // node (incoming == nil) it selects its objects in the AREA satisfying the
 // local predicate and emits 1-tuples. For a mandatory archive it extends
@@ -73,27 +122,29 @@ func (n *Node) localStep(p *plan.Plan, step plan.Step, incoming *dataset.DataSet
 // seedStep runs the first (innermost) query of the chain: all objects in
 // the area passing the local predicate become 1-tuples. The HTM region
 // walk collects candidate rows in index order; the candidates are then
-// split into batches of eval.BatchSize rows, each batch runs the
-// vectorized local predicate over gathered column slices, and the batches
+// split into batches of eval.BatchSize rows, each batch runs the typed
+// local predicate over natively gathered column vectors, and the batches
 // are sharded across the worker pool with results merged back in scan
 // order — bit-identical to a sequential, row-at-a-time pass.
 func (n *Node) seedStep(p *plan.Plan, table *storage.Table, step plan.Step, area sphere.Region, localWhere sqlparse.Expr) (*dataset.DataSet, error) {
-	localProg, err := eval.CompileBatch(localWhere, table.Layout(step.Alias))
+	localProg, err := eval.CompileTyped(localWhere, table.Layout(step.Alias))
 	if err != nil {
 		return nil, fmt.Errorf("compiling local predicate %q: %w", step.LocalWhere, err)
 	}
 	schemaLen := len(table.Schema())
 	bs := eval.BatchSize()
 	refs := localProg.Refs()
-	// Workers draw whole batches; pool the batch + evaluator scratch so a
-	// worker allocates once, not per batch.
+	// Workers draw whole batches; the free-list hands each worker its own
+	// batch + evaluator scratch and releases everything to the shared
+	// slab pools when the step finishes.
 	type seedScratch struct {
-		batch *eval.Batch
-		ev    *eval.BatchEval
+		batch *eval.TBatch
+		ev    *eval.TypedEval
 	}
-	pool := sync.Pool{New: func() any {
-		return &seedScratch{batch: eval.NewBatch(schemaLen, bs), ev: localProg.NewEval(bs)}
-	}}
+	scratch := newScratchList(func() *seedScratch {
+		return &seedScratch{batch: eval.NewTBatch(schemaLen, bs), ev: localProg.NewEval(bs)}
+	})
+	defer scratch.release(func(sc *seedScratch) { sc.batch.Release(); sc.ev.Release() })
 	out := dataset.New(n.tupleColumns(nil, table, step)...)
 	var cand []int
 	var candPos []sphere.Vec
@@ -109,11 +160,11 @@ func (n *Node) seedStep(p *plan.Plan, table *storage.Table, step plan.Step, area
 		lo := bi * bs
 		hi := min(lo+bs, len(cand))
 		chunk := cand[lo:hi]
-		sc := pool.Get().(*seedScratch)
-		defer pool.Put(sc)
+		sc := scratch.get()
+		defer scratch.put(sc)
 		sc.batch.SetLen(len(chunk))
 		for _, ci := range refs {
-			table.FillColumn(sc.batch.Col(ci), ci, chunk)
+			table.GatherColumn(sc.batch.Col(ci), ci, chunk)
 		}
 		sel, _, err := localProg.Filter(sc.ev, sc.batch, sc.ev.Seq(len(chunk)))
 		if err != nil {
@@ -167,7 +218,7 @@ func (n *Node) extendStep(p *plan.Plan, table *storage.Table, step plan.Step, ar
 	schemaLen := len(table.Schema())
 	width := npc + schemaLen
 	tl := table.Layout(step.Alias)
-	localProg, err := eval.CompileBatch(localWhere, offsetLayout(tl, npc))
+	localProg, err := eval.CompileTyped(localWhere, offsetLayout(tl, npc))
 	if err != nil {
 		return nil, fmt.Errorf("compiling local predicate %q: %w", step.LocalWhere, err)
 	}
@@ -185,9 +236,9 @@ func (n *Node) extendStep(p *plan.Plan, table *storage.Table, step plan.Step, ar
 		}
 		return priorLayout.Slot(tbl, col)
 	})
-	crossProgs := make([]*eval.BatchProgram, len(crossWhere))
+	crossProgs := make([]*eval.TypedProgram, len(crossWhere))
 	for i, cw := range crossWhere {
-		if crossProgs[i], err = eval.CompileBatch(cw, combined); err != nil {
+		if crossProgs[i], err = eval.CompileTyped(cw, combined); err != nil {
 			return nil, fmt.Errorf("compiling cross predicate %q: %w", step.CrossWhere[i], err)
 		}
 	}
@@ -215,17 +266,17 @@ func (n *Node) extendStep(p *plan.Plan, table *storage.Table, step plan.Step, ar
 
 	bs := eval.BatchSize()
 	type extScratch struct {
-		batch    *eval.Batch
-		localEv  *eval.BatchEval
-		crossEvs []*eval.BatchEval
+		batch    *eval.TBatch
+		localEv  *eval.TypedEval
+		crossEvs []*eval.TypedEval
 		rows     []int
 		poss     []sphere.Vec
 		accs     []xmatch.Accumulator
 		gate     []int
 	}
-	pool := sync.Pool{New: func() any {
+	scratch := newScratchList(func() *extScratch {
 		sc := &extScratch{
-			batch:   eval.NewBatch(width, bs),
+			batch:   eval.NewTBatch(width, bs),
 			localEv: localProg.NewEval(bs),
 			rows:    make([]int, 0, bs),
 			poss:    make([]sphere.Vec, 0, bs),
@@ -236,7 +287,14 @@ func (n *Node) extendStep(p *plan.Plan, table *storage.Table, step plan.Step, ar
 			sc.crossEvs = append(sc.crossEvs, cp.NewEval(bs))
 		}
 		return sc
-	}}
+	})
+	defer scratch.release(func(sc *extScratch) {
+		sc.batch.Release()
+		sc.localEv.Release()
+		for _, ev := range sc.crossEvs {
+			ev.Release()
+		}
+	})
 
 	// Each incoming tuple extends independently (§5.3 is embarrassingly
 	// parallel per partial tuple); workers each take whole tuples, batch
@@ -253,11 +311,11 @@ func (n *Node) extendStep(p *plan.Plan, table *storage.Table, step plan.Step, ar
 		if radius <= 0 {
 			return nil, nil
 		}
-		sc := pool.Get().(*extScratch)
+		sc := scratch.get()
 		defer func() {
 			sc.rows = sc.rows[:0]
 			sc.poss = sc.poss[:0]
-			pool.Put(sc)
+			scratch.put(sc)
 		}()
 		var ext [][]value.Value
 		var stepErr error
@@ -268,14 +326,13 @@ func (n *Node) extendStep(p *plan.Plan, table *storage.Table, step plan.Step, ar
 			}
 			sc.batch.SetLen(cn)
 			for _, s := range priorSlots {
-				col := sc.batch.Col(s)
-				v := row[xmatch.NumAccCols+s]
-				for k := 0; k < cn; k++ {
-					col[k] = v
-				}
+				// Carried columns are constant per tuple: broadcast the cell
+				// in its own dynamic type, so typed kernels and the boxed
+				// row engines see identical operands.
+				sc.batch.Col(s).Broadcast(row[xmatch.NumAccCols+s], cn)
 			}
 			for _, ci := range localRefs {
-				table.FillColumn(sc.batch.Col(npc+ci), ci, sc.rows)
+				table.GatherColumn(sc.batch.Col(npc+ci), ci, sc.rows)
 			}
 			sel, _, err := localProg.Filter(sc.localEv, sc.batch, sc.localEv.Seq(cn))
 			if err != nil {
@@ -293,7 +350,7 @@ func (n *Node) extendStep(p *plan.Plan, table *storage.Table, step plan.Step, ar
 				}
 			}
 			for _, ci := range crossRefs {
-				table.FillColumnSel(sc.batch.Col(npc+ci), ci, sc.rows, gate)
+				table.GatherColumnSel(sc.batch.Col(npc+ci), ci, sc.rows, gate)
 			}
 			for i, cp := range crossProgs {
 				if len(gate) == 0 {
@@ -360,7 +417,7 @@ func offsetLayout(l eval.Layout, off int) eval.Layout {
 
 // candidateRefs extracts the candidate-table column indices (slots at or
 // beyond the carried-column prefix) a program reads.
-func candidateRefs(npc int, prog *eval.BatchProgram) []int {
+func candidateRefs(npc int, prog *eval.TypedProgram) []int {
 	var out []int
 	for _, s := range prog.Refs() {
 		if s >= npc {
@@ -372,7 +429,7 @@ func candidateRefs(npc int, prog *eval.BatchProgram) []int {
 
 // candidateRefsExcept is candidateRefs over several programs, minus
 // indices already in the exclude list (they are filled earlier).
-func candidateRefsExcept(npc int, progs []*eval.BatchProgram, exclude []int) []int {
+func candidateRefsExcept(npc int, progs []*eval.TypedProgram, exclude []int) []int {
 	skip := map[int]bool{}
 	for _, ci := range exclude {
 		skip[ci] = true
@@ -409,7 +466,7 @@ func (n *Node) dropOutStep(p *plan.Plan, table *storage.Table, step plan.Step, a
 
 	// The veto predicate only sees this archive's candidate rows, so it
 	// compiles against the plain table layout.
-	localProg, err := eval.CompileBatch(localWhere, table.Layout(step.Alias))
+	localProg, err := eval.CompileTyped(localWhere, table.Layout(step.Alias))
 	if err != nil {
 		return nil, fmt.Errorf("compiling local predicate %q: %w", step.LocalWhere, err)
 	}
@@ -417,19 +474,20 @@ func (n *Node) dropOutStep(p *plan.Plan, table *storage.Table, step plan.Step, a
 	refs := localProg.Refs()
 	bs := eval.BatchSize()
 	type vetoScratch struct {
-		batch *eval.Batch
-		ev    *eval.BatchEval
+		batch *eval.TBatch
+		ev    *eval.TypedEval
 		rows  []int
 		poss  []sphere.Vec
 	}
-	pool := sync.Pool{New: func() any {
+	scratch := newScratchList(func() *vetoScratch {
 		return &vetoScratch{
-			batch: eval.NewBatch(schemaLen, bs),
+			batch: eval.NewTBatch(schemaLen, bs),
 			ev:    localProg.NewEval(bs),
 			rows:  make([]int, 0, bs),
 			poss:  make([]sphere.Vec, 0, bs),
 		}
-	}}
+	})
+	defer scratch.release(func(sc *vetoScratch) { sc.batch.Release(); sc.ev.Release() })
 
 	out := &dataset.DataSet{Columns: incoming.Columns}
 	// Veto checks are independent per tuple; survivors are merged back in
@@ -447,7 +505,7 @@ func (n *Node) dropOutStep(p *plan.Plan, table *storage.Table, step plan.Step, a
 		radius := acc.SearchRadius(p.Threshold, step.SigmaArcsec)
 		vetoed := false
 		if radius > 0 {
-			sc := pool.Get().(*vetoScratch)
+			sc := scratch.get()
 			var stepErr error
 			flush := func() bool {
 				cn := len(sc.rows)
@@ -456,7 +514,7 @@ func (n *Node) dropOutStep(p *plan.Plan, table *storage.Table, step plan.Step, a
 				}
 				sc.batch.SetLen(cn)
 				for _, ci := range refs {
-					table.FillColumn(sc.batch.Col(ci), ci, sc.rows)
+					table.GatherColumn(sc.batch.Col(ci), ci, sc.rows)
 				}
 				sel, _, err := localProg.Filter(sc.ev, sc.batch, sc.ev.Seq(cn))
 				// sel holds the candidates before any failing one, in
@@ -493,7 +551,7 @@ func (n *Node) dropOutStep(p *plan.Plan, table *storage.Table, step plan.Step, a
 			}
 			sc.rows = sc.rows[:0]
 			sc.poss = sc.poss[:0]
-			pool.Put(sc)
+			scratch.put(sc)
 			if err != nil {
 				return nil, err
 			}

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"skyquery/internal/eval"
@@ -120,11 +121,59 @@ func (db *DB) Execute(q *sqlparse.Query) (*Result, error) {
 	return t.Select(ref.Name(), q, region)
 }
 
-// predRowsEvaluated counts rows whose predicate columns were gathered into
-// a scan batch. It is test instrumentation for the empty-selection
-// bailout: a region whose HTM cover yields no candidates must cost zero
-// predicate work (no column gathers, no program evaluation).
+// predRowsEvaluated counts rows whose predicate columns were gathered (or
+// viewed) into a scan batch. It is test instrumentation for the
+// empty-selection bailout and for zone-map pruning: a region whose HTM
+// cover yields no candidates, or a block every pruner proves dead, must
+// cost zero predicate work (no column fills, no program evaluation).
 var predRowsEvaluated atomic.Int64
+
+// zoneBlocksPruned counts scan blocks skipped by the zone maps.
+var zoneBlocksPruned atomic.Int64
+
+// PredRowsEvaluated returns the cumulative number of rows whose predicate
+// columns were materialized into scan batches (test instrumentation —
+// callers assert deltas around a query).
+func PredRowsEvaluated() int64 { return predRowsEvaluated.Load() }
+
+// ZoneBlocksPruned returns the cumulative number of base-table scan
+// blocks skipped via zone maps (test instrumentation).
+func ZoneBlocksPruned() int64 { return zoneBlocksPruned.Load() }
+
+// selScratch is the pooled per-Select scan scratch: the typed batch and
+// the candidate-row buffer. Entries are keyed informally by (width,
+// capacity): a mismatched entry is released and rebuilt, so steady-state
+// query streams against the same tables reuse the same slabs.
+type selScratch struct {
+	width, cap int
+	batch      *eval.TBatch
+	rowIdx     []int
+}
+
+var selectPool sync.Pool
+
+func getSelScratch(width, capacity int) *selScratch {
+	if v := selectPool.Get(); v != nil {
+		sc := v.(*selScratch)
+		if sc.cap == capacity && sc.width >= width {
+			sc.rowIdx = sc.rowIdx[:0]
+			sc.batch.ResetFilled()
+			return sc
+		}
+		sc.batch.Release()
+	}
+	return &selScratch{
+		width:  width,
+		cap:    capacity,
+		batch:  eval.NewTBatch(width, capacity),
+		rowIdx: make([]int, 0, capacity),
+	}
+}
+
+func putSelScratch(sc *selScratch) {
+	sc.batch.ResetFilled()
+	selectPool.Put(sc)
+}
 
 // Select evaluates the query against this table, with an optional region
 // constraint (which may also come from q.Area via DB.Execute). alias is
@@ -133,16 +182,26 @@ var predRowsEvaluated atomic.Int64
 // All expressions — WHERE, projections, ORDER BY keys — are compiled once
 // against the table layout before the scan starts, so binding errors
 // (unknown columns or tables, unknown functions, wrong arities) surface
-// up front, independent of the data. The scan runs the vectorized batch
-// engine: candidate row indices (from the HTM search or the sequential
-// scan) are collected into batches of eval.BatchSize rows, the WHERE
-// program filters each batch over gathered column slices, and projection
-// and sort-key columns are gathered only for the surviving rows. The
-// result is row-for-row identical to the row-at-a-time scan, including
-// TOP semantics: when TOP is satisfied partway through a batch, rows past
-// the boundary are discarded unprojected, and a predicate error beyond
-// the point where the row-at-a-time scan would have stopped is suppressed
-// exactly as that scan (which never reached the failing row) would have.
+// up front, independent of the data. The scan runs the typed batch engine
+// (eval.CompileTyped) over native column vectors:
+//
+//   - A base-table scan (no region) walks the table in blocks of
+//     ZoneBlockRows rows. Zone maps prune blocks no comparison conjunct
+//     can match (see zonemap.go), and surviving blocks are fed to the
+//     kernels as zero-copy views straight into the columnar backends — no
+//     gather, no boxing.
+//   - A region scan collects candidate rows (HTM search order) and
+//     gathers only the referenced columns into pooled typed scratch, the
+//     WHERE columns for every candidate and the projection/sort columns
+//     only at positions that passed.
+//
+// The result is row-for-row identical to the row-at-a-time scan,
+// including TOP semantics: when TOP is satisfied partway through a batch,
+// rows past the boundary are discarded unprojected, and a predicate error
+// beyond the point where the row-at-a-time scan would have stopped is
+// suppressed exactly as that scan (which never reached the failing row)
+// would have. Zone-map pruning preserves the same contract (the
+// error-exactness conditions live in eval.AnalyzePrune).
 func (t *Table) Select(alias string, q *sqlparse.Query, region sphere.Region) (*Result, error) {
 	layout := t.Layout(alias)
 
@@ -172,39 +231,51 @@ func (t *Table) Select(alias string, q *sqlparse.Query, region sphere.Region) (*
 		}
 	}
 
-	whereProg, err := eval.CompileBatch(q.Where, layout)
+	whereProg, err := eval.CompileTyped(q.Where, layout)
 	if err != nil {
 		return nil, err
 	}
-	projProgs := make([]*eval.BatchProgram, len(projections))
+	projProgs := make([]*eval.TypedProgram, len(projections))
 	for i, p := range projections {
-		if projProgs[i], err = eval.CompileBatch(p, layout); err != nil {
+		if projProgs[i], err = eval.CompileTyped(p, layout); err != nil {
 			return nil, err
 		}
 	}
-	orderProgs := make([]*eval.BatchProgram, len(q.OrderBy))
+	orderProgs := make([]*eval.TypedProgram, len(q.OrderBy))
 	for i, o := range q.OrderBy {
-		if orderProgs[i], err = eval.CompileBatch(o.Expr, layout); err != nil {
+		if orderProgs[i], err = eval.CompileTyped(o.Expr, layout); err != nil {
 			return nil, err
 		}
 	}
 
-	// One batch in schema order, regathered per chunk of candidate rows at
-	// only the columns some program reads — predicate columns for every
-	// candidate, the remaining projection/sort columns only at positions
-	// that passed WHERE.
+	// One typed batch in schema order, refilled per chunk at only the
+	// columns some program reads — predicate columns for every candidate,
+	// the remaining projection/sort columns only after the filter.
 	bs := eval.BatchSize()
-	batch := eval.NewBatch(len(t.schema), bs)
-	whereEv := whereProg.NewEval(bs)
-	projEvs := make([]*eval.BatchEval, len(projProgs))
-	projOut := make([][]value.Value, len(projProgs))
-	for i, p := range projProgs {
-		projEvs[i] = p.NewEval(bs)
+	sc := getSelScratch(len(t.schema), bs)
+	defer putSelScratch(sc)
+	batch := sc.batch
+	var evs []*eval.TypedEval
+	defer func() {
+		for _, ev := range evs {
+			ev.Release()
+		}
+	}()
+	newEval := func(p *eval.TypedProgram) *eval.TypedEval {
+		ev := p.NewEval(bs)
+		evs = append(evs, ev)
+		return ev
 	}
-	orderEvs := make([]*eval.BatchEval, len(orderProgs))
-	orderOut := make([][]value.Value, len(orderProgs))
+	whereEv := newEval(whereProg)
+	projEvs := make([]*eval.TypedEval, len(projProgs))
+	projOut := make([]*eval.Vector, len(projProgs))
+	for i, p := range projProgs {
+		projEvs[i] = newEval(p)
+	}
+	orderEvs := make([]*eval.TypedEval, len(orderProgs))
+	orderOut := make([]*eval.Vector, len(orderProgs))
 	for i, p := range orderProgs {
-		orderEvs[i] = p.NewEval(bs)
+		orderEvs[i] = newEval(p)
 	}
 	whereRefs := whereProg.Refs()
 	var postLists [][]int
@@ -221,23 +292,14 @@ func (t *Table) Select(alias string, q *sqlparse.Query, region sphere.Region) (*
 	// With ORDER BY the scan cannot stop at TOP rows: all matches are
 	// collected with their sort keys, sorted, then truncated.
 	var sortKeys [][]value.Value
-	rowIdx := make([]int, 0, bs)
 	done := false
 
-	flush := func() error {
-		n := len(rowIdx)
-		if n == 0 {
-			// Empty selection (e.g. an AREA whose HTM cover yields no
-			// candidates): bail out before any column gather or predicate
-			// evaluation.
-			return nil
-		}
-		defer func() { rowIdx = rowIdx[:0] }()
+	// evalBatch filters the filled batch of n rows and materializes the
+	// surviving rows; fillPost supplies the post-predicate columns for the
+	// passing selection (gather or view, per scan mode).
+	evalBatch := func(n int, fillPost func(sel []int)) error {
 		predRowsEvaluated.Add(int64(n))
 		batch.SetLen(n)
-		for _, s := range whereRefs {
-			t.FillColumn(batch.Col(s), s, rowIdx)
-		}
 		sel, _, err := whereProg.Filter(whereEv, batch, whereEv.Seq(n))
 		// TOP without ORDER BY stops the scan once enough rows pass. When
 		// that point lies before a failing row, the row-at-a-time scan
@@ -261,9 +323,7 @@ func (t *Table) Select(alias string, q *sqlparse.Query, region sphere.Region) (*
 		if len(sel) == 0 {
 			return nil
 		}
-		for _, s := range postRefs {
-			t.FillColumnSel(batch.Col(s), s, rowIdx, sel)
-		}
+		fillPost(sel)
 		for i, p := range projProgs {
 			vec, _, err := p.EvalVec(projEvs[i], batch, sel)
 			if err != nil {
@@ -281,13 +341,13 @@ func (t *Table) Select(alias string, q *sqlparse.Query, region sphere.Region) (*
 		for _, r := range sel {
 			vals := make([]value.Value, len(projProgs))
 			for i := range projProgs {
-				vals[i] = projOut[i][r]
+				vals[i] = projOut[i].ValueAt(r)
 			}
 			res.Rows = append(res.Rows, vals)
 			if hasOrder {
 				keys := make([]value.Value, len(orderProgs))
 				for i := range orderProgs {
-					keys[i] = orderOut[i][r]
+					keys[i] = orderOut[i].ValueAt(r)
 				}
 				sortKeys = append(sortKeys, keys)
 			}
@@ -295,41 +355,108 @@ func (t *Table) Select(alias string, q *sqlparse.Query, region sphere.Region) (*
 		return nil
 	}
 
+	// flushGather is the region-scan path: typed gather of the predicate
+	// columns for the collected candidate rows.
+	flushGather := func() error {
+		n := len(sc.rowIdx)
+		if n == 0 {
+			// Empty selection (e.g. an AREA whose HTM cover yields no
+			// candidates): bail out before any column fill or predicate
+			// evaluation.
+			return nil
+		}
+		defer func() { sc.rowIdx = sc.rowIdx[:0] }()
+		for _, s := range whereRefs {
+			t.GatherColumn(batch.Col(s), s, sc.rowIdx)
+		}
+		return evalBatch(n, func(sel []int) {
+			for _, s := range postRefs {
+				t.GatherColumnSel(batch.Col(s), s, sc.rowIdx, sel)
+			}
+		})
+	}
+
 	var evalErr error
 	visit := func(row int) bool {
-		rowIdx = append(rowIdx, row)
-		if len(rowIdx) == bs {
-			if evalErr = flush(); evalErr != nil || done {
+		sc.rowIdx = append(sc.rowIdx, row)
+		if len(sc.rowIdx) == bs {
+			if evalErr = flushGather(); evalErr != nil || done {
 				return false
 			}
 		}
 		return true
 	}
 
-	if region != nil && t.HasSpatial() {
-		if err := t.SearchRegion(region, visit); err != nil {
-			return nil, err
-		}
-	} else if region != nil {
-		// No index: fall back to a full scan with an explicit position test.
-		ra := t.schema.Index("ra")
-		de := t.schema.Index("dec")
-		if ra < 0 || de < 0 {
-			return nil, fmt.Errorf("storage: table %q has no spatial index and no ra/dec columns for AREA", t.name)
-		}
-		t.Scan(func(row int) bool {
-			raf, _ := t.cols[ra].get(row).AsFloat()
-			def, _ := t.cols[de].get(row).AsFloat()
-			if !region.Contains(sphere.FromRaDec(raf, def)) {
-				return true
+	// scanContig is the base-table path: walk the table block-aligned,
+	// skip blocks the zone maps prove dead, and feed surviving ranges to
+	// the kernels as zero-copy column views.
+	scanContig := func() error {
+		n := t.RowCount()
+		var ps eval.PruneSet
+		var zones *zoneSet
+		if q.Where != nil {
+			ps = eval.AnalyzePrune(q.Where, layout, func(s int) value.Type { return t.schema[s].Type })
+			if len(ps.Pruners) > 0 {
+				zones = t.zoneMaps(n)
 			}
-			return visit(row)
-		})
-	} else {
-		t.Scan(visit)
+		}
+		for blkLo := 0; blkLo < n && !done; blkLo += ZoneBlockRows {
+			blkHi := blkLo + ZoneBlockRows
+			if blkHi > n {
+				blkHi = n
+			}
+			if zones != nil && zones.prunable(blkLo/ZoneBlockRows, ps) {
+				zoneBlocksPruned.Add(1)
+				continue
+			}
+			for lo := blkLo; lo < blkHi && !done; lo += bs {
+				hi := lo + bs
+				if hi > blkHi {
+					hi = blkHi
+				}
+				for _, s := range whereRefs {
+					t.ColumnView(batch.Col(s), s, lo, hi)
+				}
+				err := evalBatch(hi-lo, func([]int) {
+					for _, s := range postRefs {
+						t.ColumnView(batch.Col(s), s, lo, hi)
+					}
+				})
+				if err != nil {
+					return err
+				}
+			}
+		}
+		return nil
 	}
-	if evalErr == nil && !done {
-		evalErr = flush()
+
+	if region != nil {
+		if t.HasSpatial() {
+			if err := t.SearchRegion(region, visit); err != nil {
+				return nil, err
+			}
+		} else {
+			// No index: fall back to a full scan with an explicit position
+			// test.
+			ra := t.schema.Index("ra")
+			de := t.schema.Index("dec")
+			if ra < 0 || de < 0 {
+				return nil, fmt.Errorf("storage: table %q has no spatial index and no ra/dec columns for AREA", t.name)
+			}
+			t.Scan(func(row int) bool {
+				raf, _ := t.cols[ra].get(row).AsFloat()
+				def, _ := t.cols[de].get(row).AsFloat()
+				if !region.Contains(sphere.FromRaDec(raf, def)) {
+					return true
+				}
+				return visit(row)
+			})
+		}
+		if evalErr == nil && !done {
+			evalErr = flushGather() // the final partial batch of candidates
+		}
+	} else {
+		evalErr = scanContig()
 	}
 	if evalErr != nil {
 		return nil, evalErr

@@ -6,6 +6,22 @@
 //
 // The paper treats component DBMSs as black boxes; this package is the
 // concrete box the reproduction ships so the federation is self-contained.
+//
+// Scans run the typed batch engine (eval.CompileTyped) straight over the
+// columnar backends. Two disciplines matter:
+//
+//   - Read discipline: the typed column views (Int64Col, ColumnView and
+//     the Gather* helpers in typedcol.go) hand out the live backing
+//     slices. Like ValueUnlocked they must only be used inside a read
+//     context — a Scan/Search* callback or the federation's
+//     bulk-load-then-read phase discipline — and never written through.
+//   - Zone-map discipline (zonemap.go): per-ZoneBlockRows-block min/max +
+//     null-count statistics are built lazily at first scan after load and
+//     invalidated by row-count changes. A base-table scan consults them
+//     through eval.AnalyzePrune before touching a block, so predicates
+//     that exclude whole blocks never gather a cell or run a kernel; the
+//     pruning conditions are exact about values, NULLs, NaN and the row
+//     engines' error order.
 package storage
 
 import (
@@ -194,6 +210,12 @@ type Table struct {
 	cols    []column
 	rows    int
 	spatial *spatialIndex
+
+	// zones caches the zone maps of the first zones.rows rows (see
+	// zonemap.go); append-only tables make row count the only staleness
+	// signal. zoneMu serializes the lazy rebuild across concurrent scans.
+	zoneMu sync.Mutex
+	zones  *zoneSet
 }
 
 // NewTable creates a detached table (not registered in any DB).

@@ -1,0 +1,126 @@
+package storage
+
+// Typed, zero-copy access to the columnar backends. The bulk-loaded
+// tables already store each column as a native slice pair (values +
+// null flags); these helpers hand those slices to the typed batch engine
+// (eval.Vector / eval.CompileTyped) directly — a base-table scan feeds
+// kernels without boxing or copying a single cell — and gather scattered
+// candidate rows (HTM search results, chain-step candidates) into pooled
+// typed scratch instead of boxed values.
+//
+// Everything here follows the ValueUnlocked read discipline: call only
+// inside a read context (a Scan or Search* callback, or the federation's
+// bulk-load-then-read phase discipline), and never write through a view.
+
+import (
+	"skyquery/internal/eval"
+)
+
+// Int64Col returns the value and null slices backing an INT column — a
+// zero-copy view into table storage. ok is false for other column types.
+func (t *Table) Int64Col(ci int) (vals []int64, nulls []bool, ok bool) {
+	if c, isInt := t.cols[ci].(*intColumn); isInt {
+		return c.vals, c.nulls, true
+	}
+	return nil, nil, false
+}
+
+// Float64Col is Int64Col for FLOAT columns.
+func (t *Table) Float64Col(ci int) (vals []float64, nulls []bool, ok bool) {
+	if c, isFloat := t.cols[ci].(*floatColumn); isFloat {
+		return c.vals, c.nulls, true
+	}
+	return nil, nil, false
+}
+
+// StringCol is Int64Col for STRING columns.
+func (t *Table) StringCol(ci int) (vals []string, nulls []bool, ok bool) {
+	if c, isStr := t.cols[ci].(*stringColumn); isStr {
+		return c.vals, c.nulls, true
+	}
+	return nil, nil, false
+}
+
+// BoolCol is Int64Col for BOOL columns.
+func (t *Table) BoolCol(ci int) (vals []bool, nulls []bool, ok bool) {
+	if c, isBool := t.cols[ci].(*boolColumn); isBool {
+		return c.vals, c.nulls, true
+	}
+	return nil, nil, false
+}
+
+// ColumnView points dst at rows [lo, hi) of column ci without copying:
+// the contiguous feeder for block-aligned base-table scans.
+func (t *Table) ColumnView(dst *eval.Vector, ci, lo, hi int) {
+	switch c := t.cols[ci].(type) {
+	case *intColumn:
+		dst.SetIntView(c.vals[lo:hi], c.nulls[lo:hi])
+	case *floatColumn:
+		dst.SetFloatView(c.vals[lo:hi], c.nulls[lo:hi])
+	case *stringColumn:
+		dst.SetStrView(c.vals[lo:hi], c.nulls[lo:hi])
+	case *boolColumn:
+		dst.SetBoolView(c.vals[lo:hi], c.nulls[lo:hi])
+	}
+}
+
+// GatherColumn fills dst by batch position with column ci of the given
+// table rows (dst[k] = cell(rows[k], ci)), natively — the typed
+// counterpart of FillColumn, without boxing a cell.
+func (t *Table) GatherColumn(dst *eval.Vector, ci int, rows []int) {
+	switch c := t.cols[ci].(type) {
+	case *intColumn:
+		vals, nulls := dst.IntBuf(len(rows))
+		for k, r := range rows {
+			vals[k], nulls[k] = c.vals[r], c.nulls[r]
+		}
+	case *floatColumn:
+		vals, nulls := dst.FloatBuf(len(rows))
+		for k, r := range rows {
+			vals[k], nulls[k] = c.vals[r], c.nulls[r]
+		}
+	case *stringColumn:
+		vals, nulls := dst.StrBuf(len(rows))
+		for k, r := range rows {
+			vals[k], nulls[k] = c.vals[r], c.nulls[r]
+		}
+	case *boolColumn:
+		vals, nulls := dst.BoolBuf(len(rows))
+		for k, r := range rows {
+			vals[k], nulls[k] = c.vals[r], c.nulls[r]
+		}
+	}
+}
+
+// GatherColumnSel is GatherColumn restricted to the batch positions in
+// sel: dst[k] = cell(rows[k], ci) for k in sel. Scan sites use it to
+// gather post-predicate columns only for surviving rows; other positions
+// hold stale scratch and must not be read.
+func (t *Table) GatherColumnSel(dst *eval.Vector, ci int, rows []int, sel []int) {
+	switch c := t.cols[ci].(type) {
+	case *intColumn:
+		vals, nulls := dst.IntBuf(len(rows))
+		for _, k := range sel {
+			r := rows[k]
+			vals[k], nulls[k] = c.vals[r], c.nulls[r]
+		}
+	case *floatColumn:
+		vals, nulls := dst.FloatBuf(len(rows))
+		for _, k := range sel {
+			r := rows[k]
+			vals[k], nulls[k] = c.vals[r], c.nulls[r]
+		}
+	case *stringColumn:
+		vals, nulls := dst.StrBuf(len(rows))
+		for _, k := range sel {
+			r := rows[k]
+			vals[k], nulls[k] = c.vals[r], c.nulls[r]
+		}
+	case *boolColumn:
+		vals, nulls := dst.BoolBuf(len(rows))
+		for _, k := range sel {
+			r := rows[k]
+			vals[k], nulls[k] = c.vals[r], c.nulls[r]
+		}
+	}
+}

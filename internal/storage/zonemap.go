@@ -1,0 +1,159 @@
+package storage
+
+// Zone maps: per-block min/max + null-count statistics over the numeric
+// columns, letting compiled comparison predicates (eval.AnalyzePrune) skip
+// whole blocks of a base-table scan before any kernel runs. Statistics are
+// kept per ZoneBlockRows rows, built lazily on first use and invalidated
+// by row-count changes (tables are append-only: a map built at n rows is
+// exact for the first n rows forever).
+//
+// Exactness (see the prune-analysis contract in internal/eval/prune.go):
+// a block is skipped only when the pruning conjunct can never be TRUE on
+// it AND skipping cannot hide an error the row-at-a-time scan would have
+// surfaced — either the whole predicate is statically error-free (then
+// all-NULL blocks prune too), or the conjunct's prefix is error-free and
+// the block has no NULLs in the pruned column (the conjunct is strictly
+// FALSE everywhere, so the AND short-circuit provably killed the rest).
+// Min/max are stored widened to float64, the exact image the comparison
+// kernels compare against (float64 conversion of int64 is monotonic), and
+// a float block containing NaN never prunes: NaN compares equal to
+// everything in this engine.
+
+import (
+	"math"
+
+	"skyquery/internal/eval"
+)
+
+// ZoneBlockRows is the row granularity of the zone maps (and of the
+// block-aligned base-table scan that consults them).
+const ZoneBlockRows = 1024
+
+// zone holds the statistics of one block of one numeric column. min/max
+// cover the non-NULL values only and are meaningless when nulls == rows.
+type zone struct {
+	min, max float64
+	nulls    int32
+	rows     int32
+	hasNaN   bool
+}
+
+// zoneSet is a table's zone maps at a fixed row count.
+type zoneSet struct {
+	rows int
+	cols [][]zone // indexed by column; nil for non-numeric columns
+}
+
+// zoneMaps returns the zone maps covering the table's first n rows,
+// rebuilding when the cached set was built at a different count. It runs
+// under the same read discipline as the scan that calls it (no concurrent
+// appends); concurrent scans serialize the rebuild on zoneMu.
+func (t *Table) zoneMaps(n int) *zoneSet {
+	t.zoneMu.Lock()
+	defer t.zoneMu.Unlock()
+	if t.zones == nil || t.zones.rows != n {
+		t.zones = buildZoneSet(t, n)
+	}
+	return t.zones
+}
+
+func buildZoneSet(t *Table, n int) *zoneSet {
+	zs := &zoneSet{rows: n, cols: make([][]zone, len(t.cols))}
+	nBlocks := (n + ZoneBlockRows - 1) / ZoneBlockRows
+	for ci, col := range t.cols {
+		switch c := col.(type) {
+		case *intColumn:
+			blocks := make([]zone, nBlocks)
+			for b := range blocks {
+				lo := b * ZoneBlockRows
+				hi := min(lo+ZoneBlockRows, n)
+				z := &blocks[b]
+				z.rows = int32(hi - lo)
+				first := true
+				var mn, mx int64
+				for i := lo; i < hi; i++ {
+					if c.nulls[i] {
+						z.nulls++
+						continue
+					}
+					v := c.vals[i]
+					if first {
+						mn, mx, first = v, v, false
+						continue
+					}
+					if v < mn {
+						mn = v
+					}
+					if v > mx {
+						mx = v
+					}
+				}
+				z.min, z.max = float64(mn), float64(mx)
+			}
+			zs.cols[ci] = blocks
+		case *floatColumn:
+			blocks := make([]zone, nBlocks)
+			for b := range blocks {
+				lo := b * ZoneBlockRows
+				hi := min(lo+ZoneBlockRows, n)
+				z := &blocks[b]
+				z.rows = int32(hi - lo)
+				first := true
+				for i := lo; i < hi; i++ {
+					if c.nulls[i] {
+						z.nulls++
+						continue
+					}
+					v := c.vals[i]
+					if math.IsNaN(v) {
+						z.hasNaN = true
+						continue
+					}
+					if first {
+						z.min, z.max, first = v, v, false
+						continue
+					}
+					if v < z.min {
+						z.min = v
+					}
+					if v > z.max {
+						z.max = v
+					}
+				}
+			}
+			zs.cols[ci] = blocks
+		}
+	}
+	return zs
+}
+
+// prunable reports whether block b of the scan can be skipped for the
+// given prune set: some pruner proves its conjunct never TRUE on the
+// block, under the error-exactness conditions documented above.
+func (zs *zoneSet) prunable(b int, ps eval.PruneSet) bool {
+	for _, p := range ps.Pruners {
+		blocks := zs.cols[p.Slot]
+		if blocks == nil || b >= len(blocks) {
+			continue
+		}
+		z := blocks[b]
+		if z.rows == 0 {
+			continue
+		}
+		// allNull implies no NaN: hasNaN is only set for non-NULL cells.
+		allNull := z.nulls == z.rows
+		// A block with NaN values cannot be bounded by a range test (and
+		// its min/max are meaningless when every other cell is NULL).
+		rangeDead := !z.hasNaN && !allNull && p.NeverTrue(z.min, z.max)
+		if ps.Safe {
+			if allNull || rangeDead {
+				return true
+			}
+			continue
+		}
+		if p.PrefixSafe && z.nulls == 0 && rangeDead {
+			return true
+		}
+	}
+	return false
+}

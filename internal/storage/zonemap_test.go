@@ -1,0 +1,182 @@
+package storage
+
+// Zone-map tests: blocks that no comparison conjunct can match are
+// skipped before any predicate work (asserted through the
+// predRowsEvaluated / zoneBlocksPruned instrumentation), pruning is exact
+// about values, NULLs, NaN and error semantics, and the maps rebuild when
+// the table grows.
+
+import (
+	"math"
+	"testing"
+
+	"skyquery/internal/sqlparse"
+	"skyquery/internal/value"
+)
+
+// zoneTable builds a block-aligned table: n rows of monotonically
+// increasing id INT, f FLOAT = id/2 (NaN at nanRows), flags INT all NULL.
+func zoneTable(t *testing.T, n int, nanRows map[int]bool) *Table {
+	t.Helper()
+	tab, err := NewTable("z", Schema{
+		{Name: "id", Type: value.IntType},
+		{Name: "f", Type: value.FloatType},
+		{Name: "flags", Type: value.IntType},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		f := value.Float(float64(i) / 2)
+		if nanRows[i] {
+			f = value.Float(math.NaN())
+		}
+		if err := tab.Append(value.Int(int64(i)), f, value.Null); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tab
+}
+
+// runZoneQuery runs a query against the table, returning the result, the
+// predicate-row and pruned-block deltas, and the query error.
+func runZoneQuery(t *testing.T, tab *Table, src string) (*Result, int64, int64, error) {
+	t.Helper()
+	q, err := sqlparse.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	rowsBefore, prunedBefore := PredRowsEvaluated(), ZoneBlocksPruned()
+	res, qerr := tab.Select("z", q, nil)
+	return res, PredRowsEvaluated() - rowsBefore, ZoneBlocksPruned() - prunedBefore, qerr
+}
+
+func TestZoneMapPrunesDeadBlocks(t *testing.T) {
+	const n = 8 * ZoneBlockRows
+	tab := zoneTable(t, n, nil)
+
+	// Zero selectivity on block-aligned data: every block pruned, zero
+	// predicate rows evaluated.
+	res, rows, pruned, err := runZoneQuery(t, tab, `SELECT id FROM z WHERE id > 1000000000`)
+	if err != nil || len(res.Rows) != 0 {
+		t.Fatalf("zero-selectivity: rows=%d err=%v", len(res.Rows), err)
+	}
+	if rows != 0 || pruned != 8 {
+		t.Fatalf("zero-selectivity evaluated %d rows, pruned %d blocks; want 0 and 8", rows, pruned)
+	}
+
+	// A one-block range: only that block is evaluated, results exact.
+	res, rows, pruned, err = runZoneQuery(t, tab,
+		`SELECT id FROM z WHERE id >= 2048 AND id < 3072`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != ZoneBlockRows || res.Rows[0][0].AsInt() != 2048 {
+		t.Fatalf("range: %d rows, first %v", len(res.Rows), res.Rows[0])
+	}
+	if rows != ZoneBlockRows || pruned != 7 {
+		t.Fatalf("range evaluated %d rows, pruned %d blocks; want %d and 7", rows, pruned, ZoneBlockRows)
+	}
+
+	// Float column prunes the same way (widened bounds).
+	res, rows, _, err = runZoneQuery(t, tab, `SELECT COUNT(*) FROM z WHERE f < 10.0`)
+	if err != nil || res.Rows[0][0].AsInt() != 20 {
+		t.Fatalf("float range: %v err=%v", res.Rows, err)
+	}
+	if rows != ZoneBlockRows {
+		t.Fatalf("float range evaluated %d rows, want one block", rows)
+	}
+
+	// All-NULL column: the predicate is NULL everywhere, no block can
+	// match, and the whole predicate is error-free, so everything prunes.
+	res, rows, pruned, err = runZoneQuery(t, tab, `SELECT id FROM z WHERE flags > 0`)
+	if err != nil || len(res.Rows) != 0 {
+		t.Fatalf("all-NULL: rows=%d err=%v", len(res.Rows), err)
+	}
+	if rows != 0 || pruned != 8 {
+		t.Fatalf("all-NULL evaluated %d rows, pruned %d blocks; want 0 and 8", rows, pruned)
+	}
+
+	// TOP interplay: leading blocks pruned, scan stops at the boundary.
+	res, rows, _, err = runZoneQuery(t, tab, `SELECT TOP 5 id FROM z WHERE id >= 7000`)
+	if err != nil || len(res.Rows) != 5 || res.Rows[0][0].AsInt() != 7000 || res.Rows[4][0].AsInt() != 7004 {
+		t.Fatalf("TOP: %v err=%v", res.Rows, err)
+	}
+	if rows != ZoneBlockRows {
+		t.Fatalf("TOP evaluated %d rows, want one block", rows)
+	}
+}
+
+func TestZoneMapPruningErrorExactness(t *testing.T) {
+	const n = 4 * ZoneBlockRows
+	tab := zoneTable(t, n, nil)
+
+	// The pruning conjunct comes first and is strictly FALSE on every row:
+	// the row-at-a-time AND short-circuits before the erroring conjunct on
+	// every row, so pruning (which skips it entirely) is exact — no error.
+	res, rows, _, err := runZoneQuery(t, tab,
+		`SELECT id FROM z WHERE id > 1000000000 AND 10 / (id - 5) < 0`)
+	if err != nil || len(res.Rows) != 0 || rows != 0 {
+		t.Fatalf("prefix-safe prune: rows=%d evaluated=%d err=%v", len(res.Rows), rows, err)
+	}
+
+	// Flipped order: the erroring conjunct evaluates first row-at-a-time,
+	// so pruning by the second conjunct would hide the division by zero at
+	// id=5. The analysis must refuse, and the scan must error.
+	_, _, pruned, err := runZoneQuery(t, tab,
+		`SELECT id FROM z WHERE 10 / (id - 5) < 0 AND id > 1000000000`)
+	if err == nil {
+		t.Fatal("unsafe-prefix prune suppressed a division by zero")
+	}
+	if pruned != 0 {
+		t.Fatalf("unsafe-prefix query pruned %d blocks", pruned)
+	}
+
+	// NULLs block non-Safe pruning: flags > 0 is NULL (not FALSE) on every
+	// row, so it never short-circuits the erroring conjunct after it.
+	_, _, pruned, err = runZoneQuery(t, tab,
+		`SELECT id FROM z WHERE flags > 0 AND 1 / 0 = 1`)
+	if err == nil {
+		t.Fatal("NULL-conjunct prune suppressed a constant error")
+	}
+	if pruned != 0 {
+		t.Fatalf("NULL-conjunct query pruned %d blocks", pruned)
+	}
+}
+
+func TestZoneMapNaNBlocksNeverPrune(t *testing.T) {
+	const n = 2 * ZoneBlockRows
+	// One NaN in block 0; block 1 is clean.
+	tab := zoneTable(t, n, map[int]bool{17: true})
+
+	// NaN compares equal to everything in this engine, so the NaN row
+	// must survive an equality nothing else matches — block 0 cannot be
+	// pruned, block 1 can.
+	res, rows, pruned, err := runZoneQuery(t, tab, `SELECT id FROM z WHERE f = 123456789.0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].AsInt() != 17 {
+		t.Fatalf("NaN row lost under pruning: %v", res.Rows)
+	}
+	if rows != ZoneBlockRows || pruned != 1 {
+		t.Fatalf("NaN query evaluated %d rows, pruned %d; want %d and 1", rows, pruned, ZoneBlockRows)
+	}
+}
+
+func TestZoneMapRebuildsAfterAppend(t *testing.T) {
+	tab := zoneTable(t, ZoneBlockRows, nil)
+	if res, _, _, err := runZoneQuery(t, tab, `SELECT id FROM z WHERE id >= 5000`); err != nil || len(res.Rows) != 0 {
+		t.Fatalf("before append: %d rows, err=%v", len(res.Rows), err)
+	}
+	if err := tab.Append(value.Int(5000), value.Float(1), value.Null); err != nil {
+		t.Fatal(err)
+	}
+	res, rows, _, err := runZoneQuery(t, tab, `SELECT id FROM z WHERE id >= 5000`)
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].AsInt() != 5000 {
+		t.Fatalf("after append: %v err=%v", res.Rows, err)
+	}
+	if rows == 0 {
+		t.Fatal("stale zone maps pruned the freshly appended row")
+	}
+}

@@ -176,6 +176,11 @@ func Schema() storage.Schema {
 		{Name: "dec", Type: value.FloatType},
 		{Name: "flux", Type: value.FloatType},
 		{Name: "type", Type: value.StringType},
+		// flags is a reserved per-observation quality-flag column that the
+		// synthetic pipeline never populates: every cell is NULL. It mirrors
+		// the sparsely populated columns of real archives and exercises the
+		// all-NULL zone-map path end to end.
+		{Name: "flags", Type: value.IntType},
 	}
 }
 
@@ -200,6 +205,7 @@ func (a *Archive) BuildDB() (*storage.DB, error) {
 			value.Float(dec),
 			value.Float(o.Flux),
 			value.String(typ),
+			value.Null, // flags: unpopulated by the synthetic pipeline
 		)
 		if err != nil {
 			return nil, err

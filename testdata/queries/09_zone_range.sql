@@ -1,0 +1,4 @@
+SELECT O.object_id, O.flux
+FROM SDSS:PhotoObject O
+WHERE O.object_id >= 50 AND O.object_id <= 80
+ORDER BY O.object_id

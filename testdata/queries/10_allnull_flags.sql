@@ -1,0 +1,1 @@
+SELECT O.object_id FROM SDSS:PhotoObject O WHERE O.flags > 0

@@ -1,0 +1,1 @@
+SELECT O.object_id, O.flux FROM SDSS:PhotoObject O WHERE O.flux > 100000.0

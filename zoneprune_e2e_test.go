@@ -1,0 +1,46 @@
+package skyquery
+
+// End-to-end zone-map pruning assertions over the golden corpus queries:
+// the all-NULL-column and zero-selectivity golden queries must reach the
+// node's storage engine and be answered from zone maps alone — zero
+// predicate rows evaluated, at least one block pruned — at every scan
+// batch size. (Their result correctness is pinned by the golden corpus;
+// this test pins that the work was never done.)
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"skyquery/internal/eval"
+	"skyquery/internal/storage"
+)
+
+func TestZoneMapPruningEndToEnd(t *testing.T) {
+	f := launch(t, Options{Bodies: 400})
+	defer eval.SetBatchSize(eval.BatchSize())
+	for _, bs := range []int{1, 3, eval.DefaultBatchSize} {
+		eval.SetBatchSize(bs)
+		for _, file := range []string{"10_allnull_flags.sql", "11_zero_blocks.sql"} {
+			sql, err := os.ReadFile(filepath.Join("testdata", "queries", file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rowsBefore := storage.PredRowsEvaluated()
+			prunedBefore := storage.ZoneBlocksPruned()
+			res, err := f.Query(string(sql))
+			if err != nil {
+				t.Fatalf("%s (batch %d): %v", file, bs, err)
+			}
+			if res.NumRows() != 0 {
+				t.Fatalf("%s (batch %d): %d rows, want 0", file, bs, res.NumRows())
+			}
+			if d := storage.PredRowsEvaluated() - rowsBefore; d != 0 {
+				t.Errorf("%s (batch %d): evaluated predicate columns for %d rows, want 0 (zone maps should prune every block)", file, bs, d)
+			}
+			if storage.ZoneBlocksPruned() == prunedBefore {
+				t.Errorf("%s (batch %d): no blocks pruned", file, bs)
+			}
+		}
+	}
+}
