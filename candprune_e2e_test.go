@@ -1,0 +1,91 @@
+package skyquery
+
+// End-to-end candidate-pruning assertions: on a federation whose archives
+// span several zone blocks (ZoneBlockRows = 1024 rows each), a cross-match
+// whose seed predicate is provably never TRUE must be answered below the
+// HTM search — zero candidate rows gathered anywhere in the chain, blocks
+// pruned — and a partially prunable cross-match must return bit-identical
+// results with pruning on and off, at every combination of chain
+// parallelism {1, 4} and scan batch size {1, 3, 1024}. (The golden corpus
+// query 12 pins the same predicate shape's correctness on the standard
+// 400-body federation; this test pins that the work was never done on a
+// federation big enough to prune.)
+
+import (
+	"testing"
+
+	"skyquery/internal/eval"
+	"skyquery/internal/skynode"
+	"skyquery/internal/storage"
+)
+
+const candPruneZeroQuery = `
+	SELECT O.object_id, T.object_id
+	FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T
+	WHERE AREA(185.0, -0.5, 900) AND XMATCH(O, T) < 3.5
+	AND O.object_id < 1 AND T.object_id < 1`
+
+const candPrunePartialQuery = `
+	SELECT O.object_id, T.object_id, O.flux
+	FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T
+	WHERE AREA(185.0, -0.5, 900) AND XMATCH(O, T) < 3.5
+	AND O.object_id <= 1100 AND T.flux > 0.5`
+
+func TestCandPruningEndToEnd(t *testing.T) {
+	defer eval.SetBatchSize(eval.DefaultBatchSize)
+	defer skynode.SetCandPrune(true)
+	for _, par := range []int{1, 4} {
+		f := launch(t, Options{Bodies: 3000, Parallelism: par})
+		for _, bs := range []int{1, 3, eval.DefaultBatchSize} {
+			eval.SetBatchSize(bs)
+
+			// Never-TRUE local predicates at both archives: object_id
+			// starts at 1, so every block's minimum refutes object_id < 1
+			// and the whole pipeline must run without gathering a single
+			// candidate row — count probes, seed, and extend steps
+			// included.
+			rowsBefore := storage.CandRowsGathered()
+			blocksBefore := storage.CandBlocksPruned()
+			res, err := f.Query(candPruneZeroQuery)
+			if err != nil {
+				t.Fatalf("zero query (par %d, batch %d): %v", par, bs, err)
+			}
+			if res.NumRows() != 0 {
+				t.Fatalf("zero query (par %d, batch %d): %d rows, want 0", par, bs, res.NumRows())
+			}
+			if d := storage.CandRowsGathered() - rowsBefore; d != 0 {
+				t.Errorf("zero query (par %d, batch %d): gathered %d candidate rows, want 0 (pruned blocks must never be gathered)", par, bs, d)
+			}
+			if storage.CandBlocksPruned() == blocksBefore {
+				t.Errorf("zero query (par %d, batch %d): no candidate blocks pruned", par, bs)
+			}
+
+			// The partially prunable chain: pruning on and off must agree
+			// bit-for-bit, and pruning must have cut the gathered rows.
+			prunedRows0 := storage.CandRowsGathered()
+			pruned, err := f.Query(candPrunePartialQuery)
+			if err != nil {
+				t.Fatalf("partial query (par %d, batch %d): %v", par, bs, err)
+			}
+			prunedDelta := storage.CandRowsGathered() - prunedRows0
+			skynode.SetCandPrune(false)
+			unprunedRows0 := storage.CandRowsGathered()
+			unpruned, err := f.Query(candPrunePartialQuery)
+			unprunedDelta := storage.CandRowsGathered() - unprunedRows0
+			skynode.SetCandPrune(true)
+			if err != nil {
+				t.Fatalf("partial query unpruned (par %d, batch %d): %v", par, bs, err)
+			}
+			if pruned.NumRows() == 0 {
+				t.Fatalf("partial query (par %d, batch %d): degenerate empty result", par, bs)
+			}
+			if got, want := goldenEncode(pruned), goldenEncode(unpruned); got != want {
+				t.Errorf("partial query (par %d, batch %d): pruned result diverges from unpruned\npruned:\n%s\nunpruned:\n%s", par, bs, got, want)
+			}
+			if prunedDelta >= unprunedDelta {
+				t.Errorf("partial query (par %d, batch %d): pruning gathered %d rows, unpruned %d — expected a cut", par, bs, prunedDelta, unprunedDelta)
+			}
+		}
+		f.Close()
+	}
+}

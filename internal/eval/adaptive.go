@@ -1,0 +1,83 @@
+package eval
+
+// Adaptive batch sizing for the streaming scan sites. The global
+// BatchSize() knob fixes how many candidate rows a site accumulates
+// before it gathers columns and runs a batch program. That is the right
+// ceiling for sites that drain every batch — amortization improves with
+// size — but sites that regularly *stop inside* a batch pay for the tail
+// they never needed: a drop-out step gathers and evaluates the whole
+// batch even when its first candidate already vetoes the tuple.
+//
+// A BatchSizer is a per-step controller that adapts the flush threshold
+// between a floor and the configured BatchSize() from what the step
+// observes: batches that run full but are mostly wasted (the step stopped
+// early, or almost nothing survived the predicate) halve the threshold;
+// full batches that are mostly useful double it back. Partial batches —
+// the candidate stream ran dry before the threshold — carry no signal,
+// since the threshold was not the binding constraint.
+//
+// Changing the threshold never changes results: scan sites are
+// batch-size invariant (the golden corpus pins this at sizes {1, 3,
+// 1024}), so the sizer is free to move mid-step, and concurrent workers
+// may share one sizer (reads and updates are atomic; a lost update is
+// just a skipped adaptation step).
+
+import "sync/atomic"
+
+// MinAdaptiveBatch is the smallest flush threshold a BatchSizer will
+// select (clamped down further only when BatchSize() itself is smaller).
+// Below ~32 rows the per-batch fixed costs dominate any saved tail.
+const MinAdaptiveBatch = 32
+
+// BatchSizer adapts a scan site's flush threshold to observed batch
+// utilization. The zero value is not usable; construct with NewBatchSizer.
+type BatchSizer struct {
+	size     atomic.Int64
+	min, max int64
+}
+
+// NewBatchSizer returns a sizer starting at the configured BatchSize(),
+// which is also its ceiling; the floor is MinAdaptiveBatch (or the
+// ceiling, when that is smaller).
+func NewBatchSizer() *BatchSizer {
+	s := &BatchSizer{max: int64(BatchSize()), min: MinAdaptiveBatch}
+	if s.min > s.max {
+		s.min = s.max
+	}
+	s.size.Store(s.max)
+	return s
+}
+
+// Size returns the current flush threshold.
+func (s *BatchSizer) Size() int { return int(s.size.Load()) }
+
+// Observe records one flushed batch: filled rows entered it and used rows
+// did useful work — rows consumed before an early stop (a drop-out veto),
+// or rows surviving the filter when the site never stops early. Batches
+// smaller than the current threshold carry no signal and are ignored.
+func (s *BatchSizer) Observe(filled, used int) {
+	cur := s.size.Load()
+	if filled <= 0 || int64(filled) < cur {
+		return
+	}
+	switch {
+	case int64(used)*8 <= int64(filled):
+		// At most 1/8 of a full batch was useful: halve toward the floor.
+		next := cur / 2
+		if next < s.min {
+			next = s.min
+		}
+		if next != cur {
+			s.size.CompareAndSwap(cur, next)
+		}
+	case int64(used)*2 >= int64(filled):
+		// A full batch at least half useful: amortization wins, grow back.
+		next := cur * 2
+		if next > s.max {
+			next = s.max
+		}
+		if next != cur {
+			s.size.CompareAndSwap(cur, next)
+		}
+	}
+}

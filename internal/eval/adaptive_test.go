@@ -1,0 +1,77 @@
+package eval
+
+import "testing"
+
+func TestBatchSizerShrinkAndGrow(t *testing.T) {
+	defer SetBatchSize(DefaultBatchSize)
+	SetBatchSize(1024)
+	s := NewBatchSizer()
+	if s.Size() != 1024 {
+		t.Fatalf("initial size %d, want 1024", s.Size())
+	}
+
+	// Full batches that are mostly wasted shrink geometrically to the floor.
+	for i := 0; i < 20; i++ {
+		s.Observe(s.Size(), 1)
+	}
+	if s.Size() != MinAdaptiveBatch {
+		t.Fatalf("after wasted batches size %d, want floor %d", s.Size(), MinAdaptiveBatch)
+	}
+	// And never below it.
+	s.Observe(s.Size(), 0)
+	if s.Size() != MinAdaptiveBatch {
+		t.Fatalf("size %d fell below the floor", s.Size())
+	}
+
+	// Fully-used full batches grow back to the ceiling.
+	for i := 0; i < 20; i++ {
+		s.Observe(s.Size(), s.Size())
+	}
+	if s.Size() != 1024 {
+		t.Fatalf("after useful batches size %d, want ceiling 1024", s.Size())
+	}
+}
+
+func TestBatchSizerPartialBatchesCarryNoSignal(t *testing.T) {
+	defer SetBatchSize(DefaultBatchSize)
+	SetBatchSize(1024)
+	s := NewBatchSizer()
+	// The candidate stream ran dry below the threshold: the threshold was
+	// not binding, so neither a wasted nor a useful partial batch moves it.
+	s.Observe(10, 0)
+	s.Observe(512, 512)
+	s.Observe(0, 0)
+	if s.Size() != 1024 {
+		t.Fatalf("partial batches moved the size to %d", s.Size())
+	}
+}
+
+func TestBatchSizerMiddlingUtilizationHolds(t *testing.T) {
+	defer SetBatchSize(DefaultBatchSize)
+	SetBatchSize(1024)
+	s := NewBatchSizer()
+	// Between 1/8 and 1/2 useful: neither shrink nor grow.
+	s.Observe(1024, 300)
+	if s.Size() != 1024 {
+		t.Fatalf("middling utilization moved the size to %d", s.Size())
+	}
+}
+
+func TestBatchSizerTinyGlobalBatch(t *testing.T) {
+	defer SetBatchSize(DefaultBatchSize)
+	// The golden corpus runs at batch size 1: the sizer must clamp its
+	// floor to the ceiling instead of growing past the knob.
+	SetBatchSize(1)
+	s := NewBatchSizer()
+	if s.Size() != 1 {
+		t.Fatalf("size %d, want 1", s.Size())
+	}
+	s.Observe(1, 0)
+	if s.Size() != 1 {
+		t.Fatalf("size %d after shrink at ceiling 1", s.Size())
+	}
+	s.Observe(1, 1)
+	if s.Size() != 1 {
+		t.Fatalf("size %d grew past the ceiling", s.Size())
+	}
+}

@@ -42,15 +42,20 @@ type benchScanFile struct {
 	SpeedupVsI map[string]float64         `json:"speedup_vs_interpreted"`
 }
 
-func TestWriteBenchScanJSON(t *testing.T) {
-	if *benchScanJSON == "" {
-		t.Skip("pass -bench-scan-json=PATH to write BENCH_scan.json")
-	}
+// benchScanRowCount is the canonical scan size of the trajectory (and of
+// the perf-regression gate re-measuring it).
+const benchScanRowCount = 10000
+
+// measureScanEngines runs the canonical selective scan through all four
+// engines under testing.Benchmark and returns their measurements. Shared
+// by the trajectory writer and TestPerfRegressionGate.
+func measureScanEngines(t *testing.T) map[string]benchScanEngine {
+	t.Helper()
 	e, err := sqlparse.ParseExpr(benchExpr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	const nRows = 10000
+	const nRows = benchScanRowCount
 	rows := benchScanRows(nRows)
 
 	prog, err := Compile(e, stdLayout)
@@ -127,22 +132,30 @@ func TestWriteBenchScanJSON(t *testing.T) {
 		},
 	}
 
-	out := benchScanFile{
-		Benchmark: "selective WHERE scan, four engines, one op = all rows",
-		Expr:      benchExpr,
-		Rows:      nRows,
-		BatchSize: batchCap,
-		GoVersion: runtime.Version(),
-		Engines:   map[string]benchScanEngine{},
-	}
+	out := map[string]benchScanEngine{}
 	for name, fn := range engines {
 		res := testing.Benchmark(fn)
-		out.Engines[name] = benchScanEngine{
+		out[name] = benchScanEngine{
 			NsPerOp:     res.NsPerOp(),
 			NsPerRow:    float64(res.NsPerOp()) / nRows,
 			AllocsPerOp: res.AllocsPerOp(),
 			BytesPerOp:  res.AllocedBytesPerOp(),
 		}
+	}
+	return out
+}
+
+func TestWriteBenchScanJSON(t *testing.T) {
+	if *benchScanJSON == "" {
+		t.Skip("pass -bench-scan-json=PATH to write BENCH_scan.json")
+	}
+	out := benchScanFile{
+		Benchmark: "selective WHERE scan, four engines, one op = all rows",
+		Expr:      benchExpr,
+		Rows:      benchScanRowCount,
+		BatchSize: DefaultBatchSize,
+		GoVersion: runtime.Version(),
+		Engines:   measureScanEngines(t),
 	}
 	base := out.Engines["interpreted"].NsPerOp
 	out.SpeedupVsI = map[string]float64{}

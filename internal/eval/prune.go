@@ -85,20 +85,63 @@ func AnalyzePrune(e sqlparse.Expr, layout Layout, slotType func(slot int) value.
 	if e == nil {
 		return PruneSet{}
 	}
-	a := pruneAnalyzer{layout: layout, slotType: slotType}
-	conj := andConjuncts(e, nil)
+	return AnalyzeChainPrune([]PruneExpr{{Expr: e, Layout: layout}}, slotType,
+		func(s int) (int, bool) { return s, true })
+}
+
+// PruneExpr pairs one predicate of a chain step's evaluation sequence with
+// the layout it resolves column references against. The layouts of a
+// sequence must map into one shared slot space (the chain steps compile
+// the local predicate and the cross predicates against layouts that agree
+// on every slot both can resolve).
+type PruneExpr struct {
+	Expr   sqlparse.Expr
+	Layout Layout
+}
+
+// AnalyzeChainPrune is AnalyzePrune over a chain step's whole predicate
+// sequence: the local predicate followed by the cross predicates, in the
+// step's evaluation order. It extracts the conjuncts usable *before* the
+// candidate gather — comparisons of a candidate-table column against a
+// numeric constant — and drops everything else (the residual program is
+// the full compiled predicate sequence, unchanged: zone statistics prove
+// blocks dead, they never prove a surviving row's conjunct true).
+//
+// candCol maps a slot of the shared slot space to its candidate-table
+// column index; slots that are not candidate columns (an extend step's
+// carried-tuple columns) report ok=false and never produce pruners.
+//
+// The error-exactness argument extends the single-expression one. The
+// step evaluates: local conjuncts in order, then the chi-square gate, then
+// each cross predicate's conjuncts in order. The gate only filters — it
+// cannot error — so it is transparent to the prefix argument, and a
+// conjunct that is strictly FALSE on every row of a block still proves
+// that no row of the block survives to any later conjunct (the gate can
+// only remove more rows). Safe and PrefixSafe are therefore computed over
+// the concatenated conjunct sequence exactly as for a single expression.
+func AnalyzeChainPrune(seq []PruneExpr, slotType func(slot int) value.Type, candCol func(slot int) (col int, ok bool)) PruneSet {
 	ps := PruneSet{Safe: true}
 	prefixSafe := true
-	for _, m := range conj {
-		// A pruner's PrefixSafe is taken before its own conjunct folds into
-		// the running flag: it covers the conjuncts strictly before it.
-		if pr, ok := a.pruner(m); ok {
-			pr.PrefixSafe = prefixSafe
-			ps.Pruners = append(ps.Pruners, pr)
+	for _, pe := range seq {
+		if pe.Expr == nil {
+			continue
 		}
-		if !a.errFree(m) {
-			prefixSafe = false
-			ps.Safe = false
+		a := pruneAnalyzer{layout: pe.Layout, slotType: slotType}
+		for _, m := range andConjuncts(pe.Expr, nil) {
+			// A pruner's PrefixSafe is taken before its own conjunct folds
+			// into the running flag: it covers the conjuncts strictly
+			// before it, across the whole sequence.
+			if pr, ok := a.pruner(m); ok {
+				if col, isCand := candCol(pr.Slot); isCand {
+					pr.Slot = col
+					pr.PrefixSafe = prefixSafe
+					ps.Pruners = append(ps.Pruners, pr)
+				}
+			}
+			if !a.errFree(m) {
+				prefixSafe = false
+				ps.Safe = false
+			}
 		}
 	}
 	return ps

@@ -1,0 +1,72 @@
+package eval
+
+import (
+	"testing"
+
+	"skyquery/internal/sqlparse"
+	"skyquery/internal/value"
+)
+
+// TestAnalyzeChainPrune exercises the chain-step sequence analysis on an
+// extend-step shaped slot space: carried-tuple columns in slots 0..1,
+// candidate-table columns (id, flux, name) in slots 2..4.
+func TestAnalyzeChainPrune(t *testing.T) {
+	const npc = 2
+	types := []value.Type{value.FloatType, value.FloatType, value.IntType, value.FloatType, value.StringType}
+	combined := MapLayout{"p.a": 0, "p.b": 1, "c.id": 2, "c.flux": 3, "c.name": 4}
+	slotType := func(s int) value.Type { return types[s] }
+	candCol := func(s int) (int, bool) { return s - npc, s >= npc }
+	parse := func(src string) sqlparse.Expr {
+		e, err := sqlparse.ParseExpr(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		return e
+	}
+
+	// Local predicate pruner lands in candidate-column space; the cross
+	// predicate's candidate conjunct prunes too, its carried conjunct not.
+	ps := AnalyzeChainPrune([]PruneExpr{
+		{Expr: parse("c.id > 100"), Layout: combined},
+		{Expr: parse("p.a < 5 AND c.flux <= 2.5"), Layout: combined},
+	}, slotType, candCol)
+	if !ps.Safe || len(ps.Pruners) != 2 {
+		t.Fatalf("prune set = %+v", ps)
+	}
+	if p := ps.Pruners[0]; p.Slot != 0 || p.Op != ">" || p.Const != 100 || !p.PrefixSafe {
+		t.Errorf("local pruner = %+v", p)
+	}
+	if p := ps.Pruners[1]; p.Slot != 1 || p.Op != "<=" || p.Const != 2.5 || !p.PrefixSafe {
+		t.Errorf("cross pruner = %+v", p)
+	}
+
+	// An erroring conjunct in the local predicate clears prefix safety for
+	// every later pruner, across the expression boundary.
+	ps = AnalyzeChainPrune([]PruneExpr{
+		{Expr: parse("c.id > 5 AND c.flux / 0 > 1"), Layout: combined},
+		{Expr: parse("c.flux < 1"), Layout: combined},
+	}, slotType, candCol)
+	if ps.Safe || len(ps.Pruners) != 2 {
+		t.Fatalf("prune set = %+v", ps)
+	}
+	if !ps.Pruners[0].PrefixSafe || ps.Pruners[1].PrefixSafe {
+		t.Errorf("prefix safety across exprs = %+v", ps.Pruners)
+	}
+
+	// Nil members are skipped; a sequence of nils has no pruners and is
+	// vacuously safe (no conjunct can error).
+	ps = AnalyzeChainPrune([]PruneExpr{{Expr: nil, Layout: combined}}, slotType, candCol)
+	if len(ps.Pruners) != 0 || !ps.Safe {
+		t.Errorf("nil sequence prune set = %+v", ps)
+	}
+
+	// A conjunct over a carried column alone produces no pruner but its
+	// error-freedom still feeds the prefix computation.
+	ps = AnalyzeChainPrune([]PruneExpr{
+		{Expr: parse("p.a / 0 > 1"), Layout: combined},
+		{Expr: parse("c.id < 3"), Layout: combined},
+	}, slotType, candCol)
+	if ps.Safe || len(ps.Pruners) != 1 || ps.Pruners[0].PrefixSafe {
+		t.Fatalf("carried-column prefix = %+v", ps)
+	}
+}

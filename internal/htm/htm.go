@@ -240,6 +240,25 @@ type Cover struct {
 	Partial []Range
 }
 
+// Each enumerates the cover's ranges in the emission order of a range
+// search — inner ranges first (objects there need no containment test),
+// then partial ranges (objects must be tested individually) — until fn
+// returns false. It is the block-aligned enumeration protocol behind the
+// storage layer's spatial searches: a consumer drains each contiguous ID
+// range as one index scan instead of re-deriving the inner/partial split.
+func (c Cover) Each(fn func(r Range, needTest bool) bool) {
+	for _, r := range c.Inner {
+		if !fn(r, false) {
+			return
+		}
+	}
+	for _, r := range c.Partial {
+		if !fn(r, true) {
+			return
+		}
+	}
+}
+
 // Ranges returns the union of inner and partial ranges, merged and sorted.
 // This is the set of index scans needed to enumerate all candidates.
 func (c Cover) Ranges() []Range {

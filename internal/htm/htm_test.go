@@ -174,6 +174,41 @@ func TestTriangleRoundTripThroughID(t *testing.T) {
 	}
 }
 
+func TestCoverEach(t *testing.T) {
+	c := sphere.NewCap(185, -0.5, 0.25)
+	cov := CoverCap(c, LevelForRadius(0.25), 14)
+	if len(cov.Inner) == 0 || len(cov.Partial) == 0 {
+		t.Fatalf("degenerate cover: %d inner, %d partial", len(cov.Inner), len(cov.Partial))
+	}
+	var rs []Range
+	var tests []bool
+	cov.Each(func(r Range, needTest bool) bool {
+		rs = append(rs, r)
+		tests = append(tests, needTest)
+		return true
+	})
+	if len(rs) != len(cov.Inner)+len(cov.Partial) {
+		t.Fatalf("Each yielded %d ranges, want %d", len(rs), len(cov.Inner)+len(cov.Partial))
+	}
+	for i, r := range cov.Inner {
+		if rs[i] != r || tests[i] {
+			t.Fatalf("range %d = %v (test=%v), want inner %v", i, rs[i], tests[i], r)
+		}
+	}
+	for i, r := range cov.Partial {
+		j := len(cov.Inner) + i
+		if rs[j] != r || !tests[j] {
+			t.Fatalf("range %d = %v (test=%v), want partial %v", j, rs[j], tests[j], r)
+		}
+	}
+	// Early stop.
+	n := 0
+	cov.Each(func(Range, bool) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("Each continued after false: %d calls", n)
+	}
+}
+
 func TestMergeRanges(t *testing.T) {
 	in := []Range{{10, 12}, {13, 15}, {1, 2}, {11, 14}, {20, 22}}
 	out := MergeRanges(in)

@@ -9,6 +9,35 @@
 // not last in the plan's call order forwards the plan to the next node
 // first, then folds its own observations into the partial tuples that flow
 // back, and finally returns the extended tuples to its caller.
+//
+// # Predicate pushdown below the HTM search
+//
+// Each chain step (seed, extend, drop-out — see step.go) compiles its
+// LocalWhere/CrossWhere predicates once and evaluates them with the typed
+// batch engine over natively gathered candidate columns. Before any of
+// that, the step mines the predicate sequence with eval.AnalyzeChainPrune
+// for conjuncts comparing a candidate-table column against a constant and
+// hands them to the archive table's zone maps (storage.CandPruner): HTM
+// candidates whose per-1024-row block provably cannot satisfy such a
+// conjunct are dropped inside the index walk — before their position is
+// computed, before the AREA containment test, before the chi-square gate,
+// and before a single cell is gathered. The pruning obeys the same
+// error-exactness contract as the base-table zone maps (never hide or
+// invent an error or a drop-out veto w.r.t. the row engines' AND
+// short-circuit order), so results are bit-identical with pruning on or
+// off; SetCandPrune exists only so benchmarks can measure the difference.
+// The surviving candidates flow through the pre-gather prune -> typed
+// gather -> chi2 gate -> residual-program pipeline in unchanged search
+// order, in batches whose flush threshold a per-step eval.BatchSizer
+// adapts to observed selectivity (drop-out steps that veto early shrink
+// their batches; steps draining full useful batches grow back).
+//
+// Two storage counters prove the work was skipped end to end:
+// storage.CandBlocksPruned (zone blocks proven dead below a search) and
+// storage.CandRowsGathered (candidate rows that actually reached a
+// batch). The CI perf-regression gate defends the resulting trajectory:
+// BENCH_scan.json records the pruned vs unpruned chain-step timings and
+// CI fails when any engine regresses >15% against the checked-in file.
 package skynode
 
 import (

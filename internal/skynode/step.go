@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"skyquery/internal/dataset"
 	"skyquery/internal/eval"
@@ -18,6 +19,19 @@ import (
 // The wire form of partial tuples (accumulator columns followed by
 // carried "alias.column" payload columns) is defined in internal/xmatch;
 // this file consumes it via xmatch.AccColumns, AccToCells and CellsToAcc.
+
+// candPruneEnabled gates the pre-gather candidate pruning below the HTM
+// search. On by default; benchmarks flip it off to measure the unpruned
+// (PR 4) path against the pruned one.
+var candPruneEnabled atomic.Bool
+
+func init() { candPruneEnabled.Store(true) }
+
+// SetCandPrune toggles candidate zone pruning in the chain steps and
+// returns the previous setting. It exists for benchmarks and tests;
+// results are identical either way (pruning is exact), only the work
+// performed differs.
+func SetCandPrune(on bool) bool { return candPruneEnabled.Swap(on) }
 
 // scratchList is the chain steps' free-list of per-worker batch scratch.
 // Unlike a per-call sync.Pool it tracks every scratch it created, so the
@@ -121,17 +135,20 @@ func (n *Node) localStep(p *plan.Plan, step plan.Step, incoming *dataset.DataSet
 
 // seedStep runs the first (innermost) query of the chain: all objects in
 // the area passing the local predicate become 1-tuples. The HTM region
-// walk collects candidate rows in index order; the candidates are then
-// split into batches of eval.BatchSize rows, each batch runs the typed
-// local predicate over natively gathered column vectors, and the batches
-// are sharded across the worker pool with results merged back in scan
-// order — bit-identical to a sequential, row-at-a-time pass.
+// walk collects candidate rows in index order — with candidates from zone
+// blocks the local predicate provably kills dropped below the search,
+// before a position is computed or a cell gathered — then the survivors
+// are split into batches of eval.BatchSize rows, each batch runs the
+// typed local predicate over natively gathered column vectors, and the
+// batches are sharded across the worker pool with results merged back in
+// scan order — bit-identical to a sequential, row-at-a-time pass.
 func (n *Node) seedStep(p *plan.Plan, table *storage.Table, step plan.Step, area sphere.Region, localWhere sqlparse.Expr) (*dataset.DataSet, error) {
 	localProg, err := eval.CompileTyped(localWhere, table.Layout(step.Alias))
 	if err != nil {
 		return nil, fmt.Errorf("compiling local predicate %q: %w", step.LocalWhere, err)
 	}
-	schemaLen := len(table.Schema())
+	schema := table.Schema()
+	schemaLen := len(schema)
 	bs := eval.BatchSize()
 	refs := localProg.Refs()
 	// Workers draw whole batches; the free-list hands each worker its own
@@ -146,11 +163,20 @@ func (n *Node) seedStep(p *plan.Plan, table *storage.Table, step plan.Step, area
 	})
 	defer scratch.release(func(sc *seedScratch) { sc.batch.Release(); sc.ev.Release() })
 	out := dataset.New(n.tupleColumns(nil, table, step)...)
+	var pruner *storage.CandPruner
+	if candPruneEnabled.Load() {
+		// The seed predicate's slots are schema positions already, so the
+		// single-expression analysis applies unchanged.
+		ps := eval.AnalyzePrune(localWhere, table.Layout(step.Alias),
+			func(s int) value.Type { return schema[s].Type })
+		pruner = table.CandPruner(ps)
+	}
 	var cand []int
 	var candPos []sphere.Vec
-	if err := table.SearchRegionPos(area, func(row int, pos sphere.Vec) bool {
-		cand = append(cand, row)
-		candPos = append(candPos, pos)
+	sb := &storage.SearchBatch{Rows: make([]int, 0, bs), Pos: make([]sphere.Vec, 0, bs), Prune: pruner}
+	if err := table.SearchRegionBatch(area, sb, func(rows []int, poss []sphere.Vec) bool {
+		cand = append(cand, rows...)
+		candPos = append(candPos, poss...)
 		return true
 	}); err != nil {
 		return nil, err
@@ -215,8 +241,8 @@ func (n *Node) extendStep(p *plan.Plan, table *storage.Table, step plan.Step, ar
 	// MapEnv's bare-name fallback). Binding errors therefore surface here,
 	// before any tuple is touched.
 	npc := len(priorCols)
-	schemaLen := len(table.Schema())
-	width := npc + schemaLen
+	schema := table.Schema()
+	width := npc + len(schema)
 	tl := table.Layout(step.Alias)
 	localProg, err := eval.CompileTyped(localWhere, offsetLayout(tl, npc))
 	if err != nil {
@@ -241,6 +267,39 @@ func (n *Node) extendStep(p *plan.Plan, table *storage.Table, step plan.Step, ar
 		if crossProgs[i], err = eval.CompileTyped(cw, combined); err != nil {
 			return nil, fmt.Errorf("compiling cross predicate %q: %w", step.CrossWhere[i], err)
 		}
+	}
+	// Pre-gather pruning: mine the step's whole predicate sequence (local
+	// conjuncts, then each cross predicate's, the evaluation order below)
+	// for comparisons of a candidate column against a constant, and build
+	// one shared per-block pruner over this archive's zone maps. Workers
+	// consult it below the HTM search, so candidates from provably dead
+	// blocks never get a position test, a chi-square gate entry, or a
+	// typed gather. The residual programs above run unchanged on the
+	// survivors — zone statistics prove blocks dead, never rows live.
+	var pruner *storage.CandPruner
+	if candPruneEnabled.Load() {
+		seq := []eval.PruneExpr{{Expr: localWhere, Layout: offsetLayout(tl, npc)}}
+		for _, cw := range crossWhere {
+			seq = append(seq, eval.PruneExpr{Expr: cw, Layout: combined})
+		}
+		ps := eval.AnalyzeChainPrune(seq,
+			func(s int) value.Type {
+				if s < npc {
+					return priorCols[s].Type
+				}
+				return schema[s-npc].Type
+			},
+			func(s int) (int, bool) { return s - npc, s >= npc },
+		)
+		pruner = table.CandPruner(ps)
+	}
+	// Adaptive batching: the step's flush threshold follows the local
+	// predicate's observed selectivity, so a step whose full batches are
+	// mostly discarded stops gathering and broadcasting full-width ones.
+	sizer := eval.NewBatchSizer()
+	accept := func(_ int, pos sphere.Vec) bool {
+		// Every observation in the result must lie in the query AREA.
+		return area.Contains(pos)
 	}
 	// Slot classes for batch filling: carried-column slots are broadcast
 	// once per chunk (they are constant for a tuple), the local
@@ -269,8 +328,7 @@ func (n *Node) extendStep(p *plan.Plan, table *storage.Table, step plan.Step, ar
 		batch    *eval.TBatch
 		localEv  *eval.TypedEval
 		crossEvs []*eval.TypedEval
-		rows     []int
-		poss     []sphere.Vec
+		sb       storage.SearchBatch
 		accs     []xmatch.Accumulator
 		gate     []int
 	}
@@ -278,10 +336,14 @@ func (n *Node) extendStep(p *plan.Plan, table *storage.Table, step plan.Step, ar
 		sc := &extScratch{
 			batch:   eval.NewTBatch(width, bs),
 			localEv: localProg.NewEval(bs),
-			rows:    make([]int, 0, bs),
-			poss:    make([]sphere.Vec, 0, bs),
-			accs:    make([]xmatch.Accumulator, bs),
-			gate:    make([]int, 0, bs),
+			sb: storage.SearchBatch{
+				Rows:   make([]int, 0, bs),
+				Pos:    make([]sphere.Vec, 0, bs),
+				Prune:  pruner,
+				Accept: accept,
+			},
+			accs: make([]xmatch.Accumulator, bs),
+			gate: make([]int, 0, bs),
 		}
 		for _, cp := range crossProgs {
 			sc.crossEvs = append(sc.crossEvs, cp.NewEval(bs))
@@ -297,10 +359,10 @@ func (n *Node) extendStep(p *plan.Plan, table *storage.Table, step plan.Step, ar
 	})
 
 	// Each incoming tuple extends independently (§5.3 is embarrassingly
-	// parallel per partial tuple); workers each take whole tuples, batch
-	// the tuple's candidates in search order, and the per-tuple extension
-	// groups are merged in input order, so the output is identical to the
-	// sequential, row-at-a-time scan's.
+	// parallel per partial tuple); workers each take whole tuples, draw
+	// the tuple's candidate blocks from the pruned batch search in search
+	// order, and the per-tuple extension groups are merged in input order,
+	// so the output is identical to the sequential, row-at-a-time scan's.
 	rows, err := forEachOrdered(tmp.RowCount(), n.parallelism(p.Parallelism), func(tRow int) ([][]value.Value, error) {
 		row := tmp.Row(tRow)
 		acc, err := xmatch.CellsToAcc(row)
@@ -312,18 +374,11 @@ func (n *Node) extendStep(p *plan.Plan, table *storage.Table, step plan.Step, ar
 			return nil, nil
 		}
 		sc := scratch.get()
-		defer func() {
-			sc.rows = sc.rows[:0]
-			sc.poss = sc.poss[:0]
-			scratch.put(sc)
-		}()
+		defer scratch.put(sc)
 		var ext [][]value.Value
 		var stepErr error
-		flush := func() bool {
-			cn := len(sc.rows)
-			if cn == 0 {
-				return true
-			}
+		process := func(cand []int, poss []sphere.Vec) bool {
+			cn := len(cand)
 			sc.batch.SetLen(cn)
 			for _, s := range priorSlots {
 				// Carried columns are constant per tuple: broadcast the cell
@@ -332,25 +387,26 @@ func (n *Node) extendStep(p *plan.Plan, table *storage.Table, step plan.Step, ar
 				sc.batch.Col(s).Broadcast(row[xmatch.NumAccCols+s], cn)
 			}
 			for _, ci := range localRefs {
-				table.GatherColumn(sc.batch.Col(npc+ci), ci, sc.rows)
+				table.GatherColumn(sc.batch.Col(npc+ci), ci, cand)
 			}
 			sel, _, err := localProg.Filter(sc.localEv, sc.batch, sc.localEv.Seq(cn))
 			if err != nil {
 				stepErr = err
 				return false
 			}
+			sizer.Observe(cn, len(sel))
 			// The chi-square gate sits between the local and the cross
 			// predicates, as in the row-at-a-time loop.
 			gate := sc.gate[:0]
 			for _, i := range sel {
-				next := acc.Add(sc.poss[i], step.SigmaArcsec)
+				next := acc.Add(poss[i], step.SigmaArcsec)
 				if next.Matches(p.Threshold) {
 					sc.accs[i] = next
 					gate = append(gate, i)
 				}
 			}
 			for _, ci := range crossRefs {
-				table.GatherColumnSel(sc.batch.Col(npc+ci), ci, sc.rows, gate)
+				table.GatherColumnSel(sc.batch.Col(npc+ci), ci, cand, gate)
 			}
 			for i, cp := range crossProgs {
 				if len(gate) == 0 {
@@ -364,31 +420,15 @@ func (n *Node) extendStep(p *plan.Plan, table *storage.Table, step plan.Step, ar
 			for _, i := range gate {
 				cells := xmatch.AccToCells(sc.accs[i])
 				cells = append(cells, row[xmatch.NumAccCols:]...)
-				cells = append(cells, n.columnCells(table, step, sc.rows[i])...)
+				cells = append(cells, n.columnCells(table, step, cand[i])...)
 				ext = append(ext, cells)
 			}
-			sc.rows = sc.rows[:0]
-			sc.poss = sc.poss[:0]
 			return true
 		}
 		searchCap := sphere.CapAround(acc.Best(), radius)
-		err = table.SearchCapPos(searchCap, func(cand int, pos sphere.Vec) bool {
-			// Every observation in the result must lie in the query AREA.
-			if !area.Contains(pos) {
-				return true
-			}
-			sc.rows = append(sc.rows, cand)
-			sc.poss = append(sc.poss, pos)
-			if len(sc.rows) == bs {
-				return flush()
-			}
-			return true
-		})
-		if err != nil {
+		sc.sb.Limit = sizer.Size()
+		if err := table.SearchCapBatch(searchCap, &sc.sb, process); err != nil {
 			return nil, err
-		}
-		if stepErr == nil {
-			flush()
 		}
 		if stepErr != nil {
 			return nil, stepErr
@@ -470,21 +510,40 @@ func (n *Node) dropOutStep(p *plan.Plan, table *storage.Table, step plan.Step, a
 	if err != nil {
 		return nil, fmt.Errorf("compiling local predicate %q: %w", step.LocalWhere, err)
 	}
-	schemaLen := len(table.Schema())
+	schema := table.Schema()
 	refs := localProg.Refs()
 	bs := eval.BatchSize()
+	// A candidate from a pruned block can never pass the veto predicate
+	// (its conjunct is never TRUE there), so dropping it below the search
+	// cannot flip a veto — and the exactness conditions guarantee it
+	// cannot surface or hide an error either.
+	var pruner *storage.CandPruner
+	if candPruneEnabled.Load() {
+		// Veto-predicate slots are schema positions, like the seed step's.
+		ps := eval.AnalyzePrune(localWhere, table.Layout(step.Alias),
+			func(s int) value.Type { return schema[s].Type })
+		pruner = table.CandPruner(ps)
+	}
+	// Drop-out steps profit most from adaptive batching: a veto usually
+	// arrives early in a batch, and everything gathered past it was
+	// wasted work, so frequently-vetoing steps shrink their batches.
+	sizer := eval.NewBatchSizer()
+	accept := func(_ int, pos sphere.Vec) bool { return area.Contains(pos) }
 	type vetoScratch struct {
 		batch *eval.TBatch
 		ev    *eval.TypedEval
-		rows  []int
-		poss  []sphere.Vec
+		sb    storage.SearchBatch
 	}
 	scratch := newScratchList(func() *vetoScratch {
 		return &vetoScratch{
-			batch: eval.NewTBatch(schemaLen, bs),
+			batch: eval.NewTBatch(len(schema), bs),
 			ev:    localProg.NewEval(bs),
-			rows:  make([]int, 0, bs),
-			poss:  make([]sphere.Vec, 0, bs),
+			sb: storage.SearchBatch{
+				Rows:   make([]int, 0, bs),
+				Pos:    make([]sphere.Vec, 0, bs),
+				Prune:  pruner,
+				Accept: accept,
+			},
 		}
 	})
 	defer scratch.release(func(sc *vetoScratch) { sc.batch.Release(); sc.ev.Release() })
@@ -507,22 +566,20 @@ func (n *Node) dropOutStep(p *plan.Plan, table *storage.Table, step plan.Step, a
 		if radius > 0 {
 			sc := scratch.get()
 			var stepErr error
-			flush := func() bool {
-				cn := len(sc.rows)
-				if cn == 0 {
-					return true
-				}
+			process := func(cand []int, poss []sphere.Vec) bool {
+				cn := len(cand)
 				sc.batch.SetLen(cn)
 				for _, ci := range refs {
-					table.GatherColumn(sc.batch.Col(ci), ci, sc.rows)
+					table.GatherColumn(sc.batch.Col(ci), ci, cand)
 				}
 				sel, _, err := localProg.Filter(sc.ev, sc.batch, sc.ev.Seq(cn))
 				// sel holds the candidates before any failing one, in
 				// search order: a gate match among them vetoes before the
 				// failure would have been reached.
 				for _, i := range sel {
-					if acc.Add(sc.poss[i], step.SigmaArcsec).Matches(p.Threshold) {
+					if acc.Add(poss[i], step.SigmaArcsec).Matches(p.Threshold) {
 						vetoed = true
+						sizer.Observe(cn, i+1)
 						return false
 					}
 				}
@@ -530,27 +587,12 @@ func (n *Node) dropOutStep(p *plan.Plan, table *storage.Table, step plan.Step, a
 					stepErr = err
 					return false
 				}
-				sc.rows = sc.rows[:0]
-				sc.poss = sc.poss[:0]
+				sizer.Observe(cn, cn)
 				return true
 			}
 			searchCap := sphere.CapAround(acc.Best(), radius)
-			err = table.SearchCapPos(searchCap, func(cand int, pos sphere.Vec) bool {
-				if !area.Contains(pos) {
-					return true
-				}
-				sc.rows = append(sc.rows, cand)
-				sc.poss = append(sc.poss, pos)
-				if len(sc.rows) == bs {
-					return flush()
-				}
-				return true
-			})
-			if err == nil && stepErr == nil && !vetoed {
-				flush()
-			}
-			sc.rows = sc.rows[:0]
-			sc.poss = sc.poss[:0]
+			sc.sb.Limit = sizer.Size()
+			err = table.SearchCapBatch(searchCap, &sc.sb, process)
 			scratch.put(sc)
 			if err != nil {
 				return nil, err

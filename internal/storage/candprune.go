@@ -1,0 +1,109 @@
+package storage
+
+// Candidate zone pruning: predicate pushdown below the HTM search. The
+// spatial searches enumerate candidate rows in trixel order, scattered
+// across the table's zone blocks; a CandPruner maps each candidate back
+// to its per-ZoneBlockRows block and consults the same zone statistics
+// (and the same eval.AnalyzePrune exactness contract) the block-aligned
+// base-table scan uses, so candidates from provably dead blocks are
+// dropped before a position is computed, a containment test runs, or a
+// single cell is gathered into typed scratch.
+//
+// Dropping a candidate is exact under the zonemap.go conditions because a
+// pruned row can contribute neither output nor error to the consumer:
+// its conjunct is never TRUE there (no output — for a chain step that
+// also means no chi-square gate entry and no drop-out veto), and either
+// the whole predicate sequence is statically error-free or the conjunct
+// is strictly FALSE with an error-free prefix, so the engines'
+// left-to-right AND short-circuit provably killed everything after it.
+// Candidate order among the surviving rows is untouched, which keeps the
+// first-error row — and the drop-out steps' veto-beats-error semantics —
+// bit-identical to the unpruned search.
+//
+// Verdicts are memoized per block so a search stream touching the same
+// block thousands of times pays the min/max tests once. The memo is
+// race-safe (atomic CAS) because extend and drop-out steps share one
+// pruner across their worker pool.
+
+import (
+	"sync/atomic"
+
+	"skyquery/internal/eval"
+)
+
+// candBlocksPruned counts zone blocks proven dead during candidate
+// enumeration (each block counts once per CandPruner, i.e. once per chain
+// step or region scan that touches it).
+var candBlocksPruned atomic.Int64
+
+// candRowsGathered counts candidate rows that survived pruning and were
+// emitted in a search batch — the rows whose columns the consumer may
+// gather. Together the two counters prove end to end that pruned blocks
+// never feed a gather.
+var candRowsGathered atomic.Int64
+
+// CandBlocksPruned returns the cumulative number of candidate zone blocks
+// pruned below the HTM search (test instrumentation — callers assert
+// deltas around a query).
+func CandBlocksPruned() int64 { return candBlocksPruned.Load() }
+
+// CandRowsGathered returns the cumulative number of candidate rows
+// emitted by batch spatial searches (test instrumentation).
+func CandRowsGathered() int64 { return candRowsGathered.Load() }
+
+const (
+	blockUnknown int32 = iota
+	blockLive
+	blockDead
+)
+
+// CandPruner holds one search consumer's prunable conjuncts against one
+// table, with memoized per-block verdicts. Build it with Table.CandPruner
+// once per chain step (or scan) and share it across workers.
+type CandPruner struct {
+	ps      eval.PruneSet
+	zs      *zoneSet
+	verdict []atomic.Int32
+}
+
+// CandPruner returns a pruner applying the prune set's conjuncts to this
+// table's zone blocks, or nil when the set has no pruners (or the table
+// is empty) — a nil pruner disables pruning in SearchBatch.
+func (t *Table) CandPruner(ps eval.PruneSet) *CandPruner {
+	if len(ps.Pruners) == 0 {
+		return nil
+	}
+	n := t.RowCount()
+	if n == 0 {
+		return nil
+	}
+	return &CandPruner{
+		ps:      ps,
+		zs:      t.zoneMaps(n),
+		verdict: make([]atomic.Int32, (n+ZoneBlockRows-1)/ZoneBlockRows),
+	}
+}
+
+// Pruned reports whether the row's zone block is provably dead for this
+// pruner's conjuncts. Rows appended after the zone maps were built (no
+// block statistics) are never pruned.
+func (p *CandPruner) Pruned(row int) bool {
+	b := row / ZoneBlockRows
+	if b >= len(p.verdict) {
+		return false
+	}
+	switch p.verdict[b].Load() {
+	case blockDead:
+		return true
+	case blockLive:
+		return false
+	}
+	v := blockLive
+	if p.zs.prunable(b, p.ps) {
+		v = blockDead
+	}
+	if p.verdict[b].CompareAndSwap(blockUnknown, v) && v == blockDead {
+		candBlocksPruned.Add(1)
+	}
+	return v == blockDead
+}

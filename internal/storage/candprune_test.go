@@ -1,0 +1,240 @@
+package storage
+
+import (
+	"testing"
+
+	"skyquery/internal/eval"
+	"skyquery/internal/sphere"
+	"skyquery/internal/sqlparse"
+	"skyquery/internal/value"
+)
+
+// prunableSet parses a WHERE source and extracts its prune set against the
+// table's schema layout, as Select and the chain steps do.
+func prunableSet(t *testing.T, tab *Table, src string) eval.PruneSet {
+	t.Helper()
+	e, err := sqlparse.ParseExpr(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eval.AnalyzePrune(e, tab.Layout(""), func(s int) value.Type { return tab.Schema()[s].Type })
+}
+
+// TestSearchCapBatchMatchesPerRow pins the batch search against the
+// per-row search: same rows, same order, same positions, at degenerate
+// and full batch limits, including the final partial flush.
+func TestSearchCapBatchMatchesPerRow(t *testing.T) {
+	tab, err := NewTable("obj", objSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillObjects(t, tab, 3000, 42)
+	if err := tab.EnableSpatial(SpatialConfig{RACol: "ra", DecCol: "dec"}); err != nil {
+		t.Fatal(err)
+	}
+	c := sphere.NewCap(10, 20, 60)
+
+	var wantRows []int
+	var wantPos []sphere.Vec
+	if err := tab.SearchCapPos(c, func(row int, pos sphere.Vec) bool {
+		wantRows = append(wantRows, row)
+		wantPos = append(wantPos, pos)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(wantRows) == 0 {
+		t.Fatal("test cap matched no rows")
+	}
+
+	for _, limit := range []int{1, 7, 1024} {
+		sb := &SearchBatch{Rows: make([]int, 0, 1024), Pos: make([]sphere.Vec, 0, 1024), Limit: limit}
+		var gotRows []int
+		var gotPos []sphere.Vec
+		batches := 0
+		if err := tab.SearchCapBatch(c, sb, func(rows []int, pos []sphere.Vec) bool {
+			if len(rows) == 0 || len(rows) > limit || len(pos) != len(rows) {
+				t.Fatalf("limit %d: bad batch shape %d rows / %d pos", limit, len(rows), len(pos))
+			}
+			gotRows = append(gotRows, rows...)
+			gotPos = append(gotPos, pos...)
+			batches++
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(gotRows) != len(wantRows) {
+			t.Fatalf("limit %d: %d rows, want %d", limit, len(gotRows), len(wantRows))
+		}
+		for i := range gotRows {
+			if gotRows[i] != wantRows[i] || gotPos[i] != wantPos[i] {
+				t.Fatalf("limit %d: row %d = (%d, %v), want (%d, %v)",
+					limit, i, gotRows[i], gotPos[i], wantRows[i], wantPos[i])
+			}
+		}
+		if wantBatches := (len(wantRows) + limit - 1) / limit; batches != wantBatches {
+			t.Errorf("limit %d: %d batches, want %d", limit, batches, wantBatches)
+		}
+	}
+
+	// fn returning false stops the search: exactly one batch arrives.
+	sb := &SearchBatch{Rows: make([]int, 0, 8), Limit: 8}
+	calls := 0
+	if err := tab.SearchCapBatch(c, sb, func([]int, []sphere.Vec) bool {
+		calls++
+		return false
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("stopped search delivered %d batches", calls)
+	}
+
+	// A buffer-less search is an error, not a silent no-op.
+	if err := tab.SearchCapBatch(c, &SearchBatch{}, func([]int, []sphere.Vec) bool { return true }); err == nil {
+		t.Fatal("expected an error for a SearchBatch without buffers")
+	}
+}
+
+// TestCandPrunerDropsDeadBlocks proves candidates from provably dead zone
+// blocks never enter a batch: object_id equals the row index, so a
+// comparison against a constant kills exactly the trailing blocks.
+func TestCandPrunerDropsDeadBlocks(t *testing.T) {
+	tab, err := NewTable("obj", objSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillObjects(t, tab, 3000, 42) // 3 zone blocks; block b holds object_ids [1024b, 1024b+1023]
+	if err := tab.EnableSpatial(SpatialConfig{RACol: "ra", DecCol: "dec"}); err != nil {
+		t.Fatal(err)
+	}
+	c := sphere.NewCap(10, 20, 60)
+
+	var unpruned []int
+	if err := tab.SearchCapPos(c, func(row int, _ sphere.Vec) bool {
+		unpruned = append(unpruned, row)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	ps := prunableSet(t, tab, "object_id < 500")
+	if len(ps.Pruners) != 1 || !ps.Safe {
+		t.Fatalf("prune set = %+v", ps)
+	}
+	pruner := tab.CandPruner(ps)
+	if pruner == nil {
+		t.Fatal("nil pruner for a prunable predicate")
+	}
+
+	blocksBefore, rowsBefore := CandBlocksPruned(), CandRowsGathered()
+	sb := &SearchBatch{Rows: make([]int, 0, 256), Prune: pruner}
+	var got []int
+	if err := tab.SearchCapBatch(c, sb, func(rows []int, _ []sphere.Vec) bool {
+		got = append(got, rows...)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Surviving candidates are exactly the unpruned stream restricted to
+	// the live block (rows 0..1023 — the block's min of 0 keeps it alive
+	// even for object_ids 500..1023), in unchanged order.
+	var want []int
+	for _, r := range unpruned {
+		if r < 1024 {
+			want = append(want, r)
+		}
+	}
+	if len(want) == 0 || len(want) == len(unpruned) {
+		t.Fatalf("degenerate test split: %d of %d candidates live", len(want), len(unpruned))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d candidates survived, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("candidate %d = row %d, want %d", i, got[i], want[i])
+		}
+	}
+	if d := CandRowsGathered() - rowsBefore; d != int64(len(got)) {
+		t.Errorf("CandRowsGathered delta %d, want %d", d, len(got))
+	}
+	if d := CandBlocksPruned() - blocksBefore; d < 1 || d > 2 {
+		t.Errorf("CandBlocksPruned delta %d, want 1..2 (the dead blocks the cap touches)", d)
+	}
+
+	// The memoized verdicts answer consistently on re-consultation and the
+	// block counter does not double-count.
+	blocksBefore = CandBlocksPruned()
+	for _, r := range []int{0, 1500, 2500, 2999} {
+		want := r >= 1024
+		if pruner.Pruned(r) != want {
+			t.Errorf("Pruned(%d) = %v, want %v", r, !want, want)
+		}
+	}
+	if d := CandBlocksPruned() - blocksBefore; d != 0 {
+		t.Errorf("re-consultation counted %d new pruned blocks", d)
+	}
+}
+
+// TestSelectAreaCandidatePruning runs an AREA query whose WHERE is
+// candidate-prunable through Select and checks the result against a
+// row-at-a-time reference, plus that pruning actually cut the predicate
+// work below the HTM search.
+func TestSelectAreaCandidatePruning(t *testing.T) {
+	tab, err := NewTable("obj", objSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillObjects(t, tab, 3000, 42)
+	if err := tab.EnableSpatial(SpatialConfig{RACol: "ra", DecCol: "dec"}); err != nil {
+		t.Fatal(err)
+	}
+	region := sphere.NewCap(10, 20, 60)
+
+	q, err := sqlparse.Parse("SELECT object_id, flux FROM obj WHERE object_id < 500 AND flux >= 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Row-at-a-time reference over the per-row search.
+	var want [][]value.Value
+	if err := tab.SearchCapPos(region, func(row int, _ sphere.Vec) bool {
+		if id := tab.ValueUnlocked(row, 0); !id.IsNull() && id.AsInt() < 500 {
+			want = append(want, []value.Value{tab.ValueUnlocked(row, 0), tab.ValueUnlocked(row, 3)})
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	blocksBefore := CandBlocksPruned()
+	predBefore := PredRowsEvaluated()
+	res, err := tab.Select("", q, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(want) {
+		t.Fatalf("%d rows, want %d", len(res.Rows), len(want))
+	}
+	for i := range res.Rows {
+		for j := range res.Rows[i] {
+			if !value.Equal(res.Rows[i][j], want[i][j]) {
+				t.Fatalf("row %d col %d = %v, want %v", i, j, res.Rows[i][j], want[i][j])
+			}
+		}
+	}
+	if CandBlocksPruned() == blocksBefore {
+		t.Error("AREA scan pruned no candidate blocks")
+	}
+	// Only live-block candidates may have been evaluated: strictly fewer
+	// than the cap's full candidate count.
+	var total int64
+	if err := tab.SearchCap(region, func(int) bool { total++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if d := PredRowsEvaluated() - predBefore; d >= total {
+		t.Errorf("evaluated %d candidate rows, want fewer than the cap's %d", d, total)
+	}
+}

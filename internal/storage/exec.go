@@ -355,36 +355,29 @@ func (t *Table) Select(alias string, q *sqlparse.Query, region sphere.Region) (*
 		return nil
 	}
 
-	// flushGather is the region-scan path: typed gather of the predicate
-	// columns for the collected candidate rows.
-	flushGather := func() error {
-		n := len(sc.rowIdx)
-		if n == 0 {
-			// Empty selection (e.g. an AREA whose HTM cover yields no
-			// candidates): bail out before any column fill or predicate
-			// evaluation.
-			return nil
-		}
-		defer func() { sc.rowIdx = sc.rowIdx[:0] }()
-		for _, s := range whereRefs {
-			t.GatherColumn(batch.Col(s), s, sc.rowIdx)
-		}
-		return evalBatch(n, func(sel []int) {
-			for _, s := range postRefs {
-				t.GatherColumnSel(batch.Col(s), s, sc.rowIdx, sel)
-			}
-		})
+	// The prunable WHERE conjuncts serve both scan modes: the contiguous
+	// scan skips whole blocks, and the region scan drops HTM candidates
+	// from dead blocks below the search (CandPruner).
+	var ps eval.PruneSet
+	if q.Where != nil {
+		ps = eval.AnalyzePrune(q.Where, layout, func(s int) value.Type { return t.schema[s].Type })
 	}
 
+	// flushGather is the region-scan path: typed gather of the predicate
+	// columns for a batch of candidate rows. An AREA whose HTM cover
+	// yields no candidates never reaches it (the batch search only emits
+	// non-empty batches), so an empty selection costs zero predicate work.
 	var evalErr error
-	visit := func(row int) bool {
-		sc.rowIdx = append(sc.rowIdx, row)
-		if len(sc.rowIdx) == bs {
-			if evalErr = flushGather(); evalErr != nil || done {
-				return false
-			}
+	flushGather := func(rows []int, _ []sphere.Vec) bool {
+		for _, s := range whereRefs {
+			t.GatherColumn(batch.Col(s), s, rows)
 		}
-		return true
+		evalErr = evalBatch(len(rows), func(sel []int) {
+			for _, s := range postRefs {
+				t.GatherColumnSel(batch.Col(s), s, rows, sel)
+			}
+		})
+		return evalErr == nil && !done
 	}
 
 	// scanContig is the base-table path: walk the table block-aligned,
@@ -392,13 +385,9 @@ func (t *Table) Select(alias string, q *sqlparse.Query, region sphere.Region) (*
 	// the kernels as zero-copy column views.
 	scanContig := func() error {
 		n := t.RowCount()
-		var ps eval.PruneSet
 		var zones *zoneSet
-		if q.Where != nil {
-			ps = eval.AnalyzePrune(q.Where, layout, func(s int) value.Type { return t.schema[s].Type })
-			if len(ps.Pruners) > 0 {
-				zones = t.zoneMaps(n)
-			}
+		if len(ps.Pruners) > 0 {
+			zones = t.zoneMaps(n)
 		}
 		for blkLo := 0; blkLo < n && !done; blkLo += ZoneBlockRows {
 			blkHi := blkLo + ZoneBlockRows
@@ -432,12 +421,17 @@ func (t *Table) Select(alias string, q *sqlparse.Query, region sphere.Region) (*
 
 	if region != nil {
 		if t.HasSpatial() {
-			if err := t.SearchRegion(region, visit); err != nil {
+			// The batch search prunes candidates from dead zone blocks
+			// below the HTM walk, so they never reach flushGather.
+			sb := &SearchBatch{Rows: sc.rowIdx, Limit: bs, Prune: t.CandPruner(ps)}
+			if err := t.SearchRegionBatch(region, sb, flushGather); err != nil {
 				return nil, err
 			}
+			sc.rowIdx = sb.Rows[:0]
 		} else {
 			// No index: fall back to a full scan with an explicit position
-			// test.
+			// test (no candidate pruning — the path exists for tables
+			// without an HTM index and stays row-at-a-time).
 			ra := t.schema.Index("ra")
 			de := t.schema.Index("dec")
 			if ra < 0 || de < 0 {
@@ -449,11 +443,18 @@ func (t *Table) Select(alias string, q *sqlparse.Query, region sphere.Region) (*
 				if !region.Contains(sphere.FromRaDec(raf, def)) {
 					return true
 				}
-				return visit(row)
+				sc.rowIdx = append(sc.rowIdx, row)
+				if len(sc.rowIdx) == bs {
+					ok := flushGather(sc.rowIdx, nil)
+					sc.rowIdx = sc.rowIdx[:0]
+					return ok
+				}
+				return true
 			})
-		}
-		if evalErr == nil && !done {
-			evalErr = flushGather() // the final partial batch of candidates
+			if evalErr == nil && !done && len(sc.rowIdx) > 0 {
+				flushGather(sc.rowIdx, nil) // the final partial batch
+				sc.rowIdx = sc.rowIdx[:0]
+			}
 		}
 	} else {
 		evalErr = scanContig()

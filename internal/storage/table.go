@@ -21,7 +21,12 @@
 //     through eval.AnalyzePrune before touching a block, so predicates
 //     that exclude whole blocks never gather a cell or run a kernel; the
 //     pruning conditions are exact about values, NULLs, NaN and the row
-//     engines' error order.
+//     engines' error order. The same statistics also prune *below* the
+//     HTM searches: the batch search variants (SearchCapBatch,
+//     SearchRegionBatch) consult a CandPruner (candprune.go) per
+//     candidate row, dropping candidates from provably dead blocks before
+//     a position is computed or a cell gathered, and yield the survivors
+//     as candidate row blocks instead of per-row callbacks.
 package storage
 
 import (
@@ -472,7 +477,7 @@ func (t *Table) Position(row int) (sphere.Vec, error) {
 // parallel chain executor relies on this. Appends must not run
 // concurrently with searches (the table-level contract above).
 func (t *Table) SearchCap(c sphere.Cap, fn func(row int) bool) error {
-	return t.searchCap(c, false, func(row int, _ sphere.Vec) bool { return fn(row) })
+	return t.searchCap(c, false, nil, func(row int, _ sphere.Vec) bool { return fn(row) })
 }
 
 // SearchCapPos is SearchCap but hands the callback each row's unit-vector
@@ -482,10 +487,15 @@ func (t *Table) SearchCap(c sphere.Cap, fn func(row int) bool) error {
 // read lock for every candidate — a shared-cache-line cost that throttles
 // the parallel executor.
 func (t *Table) SearchCapPos(c sphere.Cap, fn func(row int, pos sphere.Vec) bool) error {
-	return t.searchCap(c, true, fn)
+	return t.searchCap(c, true, nil, fn)
 }
 
-func (t *Table) searchCap(c sphere.Cap, needPos bool, fn func(row int, pos sphere.Vec) bool) error {
+// searchCap is the shared HTM walk behind every cap search. prune, when
+// non-nil, is consulted per candidate row before its position is computed
+// or any containment test runs: a pruned row is skipped entirely. It is
+// the hook the zone-map candidate pruning (CandPruner) plugs in under the
+// index walk.
+func (t *Table) searchCap(c sphere.Cap, needPos bool, prune func(row int) bool, fn func(row int, pos sphere.Vec) bool) error {
 	t.mu.RLock()
 	s := t.spatial
 	t.mu.RUnlock()
@@ -511,29 +521,26 @@ func (t *Table) searchCap(c sphere.Cap, needPos bool, fn func(row int, pos spher
 
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	emit := func(ranges []htm.Range, test bool) bool {
-		for _, r := range ranges {
-			lo := sort.Search(len(s.order), func(i int) bool { return s.ids[s.order[i]] >= r.Lo })
-			for i := lo; i < len(s.order) && s.ids[s.order[i]] <= r.Hi; i++ {
-				row := int(s.order[i])
-				var pos sphere.Vec
-				if test || needPos {
-					pos = t.positionLocked(row)
-				}
-				if test && !c.Contains(pos) {
-					continue
-				}
-				if !fn(row, pos) {
-					return false
-				}
+	cov.Each(func(r htm.Range, test bool) bool {
+		lo := sort.Search(len(s.order), func(i int) bool { return s.ids[s.order[i]] >= r.Lo })
+		for i := lo; i < len(s.order) && s.ids[s.order[i]] <= r.Hi; i++ {
+			row := int(s.order[i])
+			if prune != nil && prune(row) {
+				continue
+			}
+			var pos sphere.Vec
+			if test || needPos {
+				pos = t.positionLocked(row)
+			}
+			if test && !c.Contains(pos) {
+				continue
+			}
+			if !fn(row, pos) {
+				return false
 			}
 		}
 		return true
-	}
-	if !emit(cov.Inner, false) {
-		return nil
-	}
-	emit(cov.Partial, true)
+	})
 	return nil
 }
 
@@ -551,10 +558,108 @@ func (t *Table) SearchRegionPos(reg sphere.Region, fn func(row int, pos sphere.V
 		return t.SearchCapPos(c, fn)
 	}
 	bound := reg.Bounding()
-	return t.searchCap(bound, true, func(row int, pos sphere.Vec) bool {
+	return t.searchCap(bound, true, nil, func(row int, pos sphere.Vec) bool {
 		if !reg.Contains(pos) {
 			return true
 		}
 		return fn(row, pos)
 	})
+}
+
+// SearchBatch carries the configuration and reusable buffers of the
+// block-aligned batch searches (SearchCapBatch, SearchRegionBatch), which
+// yield candidate row blocks instead of per-row callbacks.
+type SearchBatch struct {
+	// Rows and Pos are the caller-owned candidate buffers; the capacity of
+	// Rows bounds the batch size. The search appends into them and hands
+	// the filled prefixes to the callback. Pos may be nil when the caller
+	// does not need candidate positions.
+	Rows []int
+	Pos  []sphere.Vec
+	// Limit is the flush threshold: a batch is emitted once it holds this
+	// many candidates (the final batch may be smaller). 0 or anything
+	// beyond cap(Rows) clamps to cap(Rows). Adaptive sites re-read their
+	// eval.BatchSizer into Limit before each search.
+	Limit int
+	// Prune, when set, drops candidates whose zone block it proves dead —
+	// before the candidate's position is computed, before any containment
+	// test, and before the candidate can enter a batch.
+	Prune *CandPruner
+	// Accept, when set, filters candidates before buffering (the chain
+	// steps' AREA containment test). It runs after Prune.
+	Accept func(row int, pos sphere.Vec) bool
+}
+
+// SearchCapBatch is SearchCapPos yielding candidate row blocks: fn
+// receives batches of up to the configured limit, in search order, with
+// zone-pruned candidates already removed (see SearchBatch). The slices
+// passed to fn alias the SearchBatch buffers and are only valid during
+// the call; fn returning false stops the search (no final flush).
+func (t *Table) SearchCapBatch(c sphere.Cap, sb *SearchBatch, fn func(rows []int, pos []sphere.Vec) bool) error {
+	limit := sb.Limit
+	if cp := cap(sb.Rows); limit <= 0 || limit > cp {
+		limit = cp
+	}
+	if limit <= 0 {
+		return fmt.Errorf("storage: batch search on %q needs a row buffer with capacity", t.name)
+	}
+	sb.Rows = sb.Rows[:0]
+	if sb.Pos != nil {
+		sb.Pos = sb.Pos[:0]
+	}
+	flush := func() bool {
+		candRowsGathered.Add(int64(len(sb.Rows)))
+		ok := fn(sb.Rows, sb.Pos)
+		sb.Rows = sb.Rows[:0]
+		if sb.Pos != nil {
+			sb.Pos = sb.Pos[:0]
+		}
+		return ok
+	}
+	var prune func(int) bool
+	if sb.Prune != nil {
+		prune = sb.Prune.Pruned
+	}
+	stopped := false
+	needPos := sb.Pos != nil || sb.Accept != nil
+	err := t.searchCap(c, needPos, prune, func(row int, pos sphere.Vec) bool {
+		if sb.Accept != nil && !sb.Accept(row, pos) {
+			return true
+		}
+		sb.Rows = append(sb.Rows, row)
+		if sb.Pos != nil {
+			sb.Pos = append(sb.Pos, pos)
+		}
+		if len(sb.Rows) >= limit {
+			if !flush() {
+				stopped = true
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil || stopped {
+		return err
+	}
+	if len(sb.Rows) > 0 {
+		flush()
+	}
+	return nil
+}
+
+// SearchRegionBatch is SearchCapBatch generalized to any region, with the
+// region containment test folded in ahead of sb.Accept.
+func (t *Table) SearchRegionBatch(reg sphere.Region, sb *SearchBatch, fn func(rows []int, pos []sphere.Vec) bool) error {
+	if c, ok := reg.(sphere.Cap); ok {
+		return t.SearchCapBatch(c, sb, fn)
+	}
+	inner := sb.Accept
+	sb.Accept = func(row int, pos sphere.Vec) bool {
+		if !reg.Contains(pos) {
+			return false
+		}
+		return inner == nil || inner(row, pos)
+	}
+	defer func() { sb.Accept = inner }()
+	return t.SearchCapBatch(reg.Bounding(), sb, fn)
 }

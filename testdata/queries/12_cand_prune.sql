@@ -1,0 +1,5 @@
+SELECT O.object_id, T.object_id, O.flux
+FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T
+WHERE AREA(185.0, -0.5, 900) AND XMATCH(O, T) < 3.5
+AND O.object_id <= 120 AND T.flux > 1.0
+ORDER BY O.object_id, T.object_id
