@@ -5,6 +5,13 @@
 //
 //	skyquery-node -name SDSS -sigma 0.1 -completeness 0.95 \
 //	    -addr :8081 -url http://localhost:8081 -portal http://localhost:8080
+//
+// With -data the archive lives in a disk-backed store instead of RAM:
+// the first run generates the survey and persists it; later runs (and
+// runs after a crash — the WAL tail is replayed, torn records truncated)
+// recover the same rows from disk and skip generation.
+//
+//	skyquery-node -name SDSS -data /var/lib/skyquery/sdss
 package main
 
 import (
@@ -18,8 +25,11 @@ import (
 
 	"skyquery/internal/client"
 	"skyquery/internal/skynode"
+	"skyquery/internal/soap"
 	"skyquery/internal/sphere"
+	"skyquery/internal/storage"
 	"skyquery/internal/survey"
+	"skyquery/internal/value"
 )
 
 func main() {
@@ -33,6 +43,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "field seed (share across nodes for overlapping surveys)")
 	nodeSeed := flag.Int64("node-seed", 0, "observation seed (defaults to a hash of -name)")
 	parallelism := flag.Int("parallelism", 0, "chain-step worker pool size (0 = plan hint, then GOMAXPROCS; 1 = sequential)")
+	dataDir := flag.String("data", "", "store directory for a disk-backed archive (empty = in-memory; first run generates and persists, later runs recover)")
+	hotBlocks := flag.Int("hot-blocks", 0, "sealed 1024-row blocks kept resident per table (0 = default 16); only with -data")
+	fsync := flag.Bool("fsync", false, "fsync the write-ahead log on every append; only with -data")
+	callTimeout := flag.Duration("call-timeout", 0, "HTTP deadline for daisy-chain calls to other nodes (0 = 2m default, negative = none)")
 	addr := flag.String("addr", ":8081", "listen address")
 	publicURL := flag.String("url", "", "public URL for WSDL and registration (defaults to http://<host>:<port>)")
 	portalURL := flag.String("portal", "", "portal endpoint to register with on startup")
@@ -46,27 +60,37 @@ func main() {
 	if *nodeSeed == 0 {
 		*nodeSeed = int64(hash(*name))
 	}
-
-	log.Printf("generating field: %d bodies in %s", *bodies, reg)
-	field := survey.GenerateField(reg, *bodies, 0.4, *seed)
-	arch := survey.Observe(field, survey.Config{
+	surveyCfg := survey.Config{
 		Name:         *name,
 		SigmaArcsec:  *sigma,
 		Completeness: *completeness,
 		ExtraDensity: *extra,
 		FluxOffset:   *fluxOffset,
 		Seed:         *nodeSeed,
-	})
-	db, err := arch.BuildDB()
+	}
+
+	var db *storage.DB
+	if *dataDir != "" {
+		db, err = openDataDir(*dataDir, storage.StoreOptions{HotBlocks: *hotBlocks, Fsync: *fsync},
+			reg, *bodies, *seed, surveyCfg)
+	} else {
+		log.Printf("generating field: %d bodies in %s", *bodies, reg)
+		field := survey.GenerateField(reg, *bodies, 0.4, *seed)
+		arch := survey.Observe(field, surveyCfg)
+		db, err = arch.BuildDB()
+		if err == nil {
+			log.Printf("%s", arch)
+		}
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("%s", arch)
 
 	cfg := skynode.Config{
 		Name: *name, DB: db, PrimaryTable: survey.TableName,
 		RACol: "ra", DecCol: "dec", SigmaArcsec: *sigma,
 		Parallelism: *parallelism,
+		Client:      &soap.Client{Timeout: *callTimeout},
 	}
 	if *verbose {
 		cfg.OnEvent = func(e skynode.Event) { log.Printf("[%s] %s", e.Kind, e.Detail) }
@@ -107,6 +131,57 @@ func main() {
 		log.Printf("registered with portal %s", *portalURL)
 	}
 	select {} // serve forever
+}
+
+// openDataDir opens (recovering if needed) a disk-backed archive. A store
+// that already holds the survey table serves it as recovered; an empty
+// store gets the survey generated and persisted on this first run.
+func openDataDir(dir string, opts storage.StoreOptions, reg sphere.Cap, bodies int, fieldSeed int64, cfg survey.Config) (*storage.DB, error) {
+	st, err := storage.OpenStore(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range st.Recovery() {
+		torn := ""
+		if r.Torn {
+			torn = fmt.Sprintf(", truncated a torn WAL tail (%d bytes)", r.TornBytes)
+		}
+		log.Printf("recovered %s: %d durable rows, %d replayed from the WAL%s",
+			r.Table, r.DurableRows, r.ReplayedRows, torn)
+	}
+	if tbl, ok := st.DB().Table(survey.TableName); ok {
+		log.Printf("serving %d rows of %s from %s", tbl.RowCount(), survey.TableName, dir)
+		return st.DB(), nil
+	}
+
+	log.Printf("empty store: generating field (%d bodies in %s) and persisting to %s", bodies, reg, dir)
+	field := survey.GenerateField(reg, bodies, 0.4, fieldSeed)
+	arch := survey.Observe(field, cfg)
+	tbl, err := st.Create(survey.TableName, survey.Schema(),
+		&storage.SpatialConfig{RACol: "ra", DecCol: "dec", Level: cfg.SpatialLevel})
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range arch.Obs {
+		ra, dec := o.Pos.RaDec()
+		typ := "STAR"
+		if o.Galaxy {
+			typ = "GALAXY"
+		}
+		err := tbl.Append(
+			value.Int(o.ObjectID), value.Int(o.BodyID),
+			value.Float(ra), value.Float(dec), value.Float(o.Flux),
+			value.String(typ), value.Null,
+		)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := st.Flush(); err != nil {
+		return nil, err
+	}
+	log.Printf("%s", arch)
+	return st.DB(), nil
 }
 
 // parseRegion parses "ra,dec,radiusDeg".

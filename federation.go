@@ -61,6 +61,11 @@ type Options struct {
 	// IncludeMatchColumns adds _matchRA/_matchDec/_logLikelihood/_nObs to
 	// cross-match results.
 	IncludeMatchColumns bool
+	// CallTimeout bounds every portal→node SOAP call end to end (0 = the
+	// soap.DefaultCallTimeout of 2 minutes; negative = no deadline). It
+	// is the guard against a stalled node pinning a federated query
+	// forever.
+	CallTimeout time.Duration
 	// Parallelism bounds the worker pool every node's cross-match chain
 	// step partitions its tuples across, and is also written into plans
 	// as the Portal's hint. 0 means GOMAXPROCS; 1 recovers the sequential
@@ -129,7 +134,14 @@ func Launch(opts Options) (*Federation, error) {
 		BandwidthBps: opts.WANBandwidthBps,
 		RecordCalls:  opts.RecordCalls,
 	}
-	soapClient := &soap.Client{HTTPClient: tr.Client(), MessageLimit: opts.MessageLimit}
+	callTimeout := opts.CallTimeout
+	switch {
+	case callTimeout == 0:
+		callTimeout = soap.DefaultCallTimeout
+	case callTimeout < 0:
+		callTimeout = 0
+	}
+	soapClient := &soap.Client{HTTPClient: tr.ClientWithTimeout(callTimeout), MessageLimit: opts.MessageLimit}
 
 	f := &Federation{
 		Nodes:     map[string]*skynode.Node{},

@@ -162,7 +162,16 @@ func (t *Transport) Calls() []Call {
 	return append([]Call(nil), t.calls...)
 }
 
-// Client returns an *http.Client using this transport.
+// Client returns an *http.Client using this transport, with no deadline
+// (callers that need one use ClientWithTimeout).
 func (t *Transport) Client() *http.Client {
-	return &http.Client{Transport: t}
+	return t.ClientWithTimeout(0)
+}
+
+// ClientWithTimeout returns an *http.Client using this transport whose
+// calls are bounded end to end by d (0 = no deadline). The simulated
+// latency and bandwidth sleeps count against the deadline, exactly like
+// the real network time they stand in for.
+func (t *Transport) ClientWithTimeout(d time.Duration) *http.Client {
+	return &http.Client{Transport: t, Timeout: d}
 }

@@ -206,3 +206,27 @@ func TestResponseStillReadable(t *testing.T) {
 		t.Errorf("body = %q", body)
 	}
 }
+
+func TestClientWithTimeoutBoundsStalledServer(t *testing.T) {
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	t.Cleanup(func() {
+		close(release)
+		ts.Close()
+	})
+	tr := &Transport{}
+	c := tr.ClientWithTimeout(50 * time.Millisecond)
+	start := time.Now()
+	_, err := c.Get(ts.URL)
+	if err == nil {
+		t.Fatal("request against a stalled server returned nil")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("request took %v; the 50ms deadline did not bound it", elapsed)
+	}
+	if tr.Client().Timeout != 0 {
+		t.Error("plain Client() grew a deadline; callers that want one use ClientWithTimeout")
+	}
+}

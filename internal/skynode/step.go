@@ -188,6 +188,11 @@ func (n *Node) seedStep(p *plan.Plan, table *storage.Table, step plan.Step, area
 		chunk := cand[lo:hi]
 		sc := scratch.get()
 		defer scratch.put(sc)
+		// The search that produced cand has returned, so its read lock is
+		// gone; the gathers and cell reads below need their own section to
+		// stay consistent against concurrent appends.
+		table.BeginRead()
+		defer table.EndRead()
 		sc.batch.SetLen(len(chunk))
 		for _, ci := range refs {
 			table.GatherColumn(sc.batch.Col(ci), ci, chunk)

@@ -16,6 +16,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 )
 
 // EnvelopeNS is the SOAP 1.1 envelope namespace.
@@ -23,6 +24,12 @@ const EnvelopeNS = "http://schemas.xmlsoap.org/soap/envelope/"
 
 // DefaultMessageLimit mirrors the ~10 MB ceiling of the paper's XML parser.
 const DefaultMessageLimit = 10 << 20
+
+// DefaultCallTimeout bounds a SOAP call end to end when the caller does
+// not choose its own. A portal must not hang forever on a stalled node:
+// without a deadline a single wedged SkyNode pins the mediator's worker
+// (and the user's query) indefinitely.
+const DefaultCallTimeout = 2 * time.Minute
 
 // Fault is a SOAP fault, used both on the wire and as a Go error.
 type Fault struct {
@@ -264,18 +271,41 @@ func (s *Server) writeFault(w http.ResponseWriter, f *Fault) {
 
 // Client issues SOAP calls.
 type Client struct {
-	// HTTPClient defaults to http.DefaultClient.
+	// HTTPClient, when set, is used as-is — including its own Timeout —
+	// and the Timeout field below is ignored; the caller owns deadlines.
 	HTTPClient *http.Client
 	// MessageLimit bounds response sizes the client will parse; 0 means
 	// DefaultMessageLimit, negative means unlimited.
 	MessageLimit int64
+	// Timeout bounds each call end to end (connect, write, read) when
+	// HTTPClient is nil: 0 means DefaultCallTimeout, negative disables
+	// the deadline. The zero-value Client therefore times out rather
+	// than hanging forever on a stalled server.
+	Timeout time.Duration
+
+	mu     sync.Mutex
+	cached *http.Client
 }
 
 func (c *Client) httpClient() *http.Client {
 	if c.HTTPClient != nil {
 		return c.HTTPClient
 	}
-	return http.DefaultClient
+	d := c.Timeout
+	switch {
+	case d == 0:
+		d = DefaultCallTimeout
+	case d < 0:
+		d = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cached == nil || c.cached.Timeout != d {
+		// Shares the process-wide transport (and its connection pool); only
+		// the deadline is ours.
+		c.cached = &http.Client{Timeout: d}
+	}
+	return c.cached
 }
 
 func (c *Client) limit() int64 {

@@ -1,0 +1,61 @@
+package soap
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// stalledServer accepts the request and then never answers until the test
+// ends — the wedged-SkyNode scenario a portal must survive.
+func stalledServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	t.Cleanup(func() {
+		close(release)
+		ts.Close()
+	})
+	return ts
+}
+
+func TestCallTimesOutOnStalledServer(t *testing.T) {
+	ts := stalledServer(t)
+	c := &Client{Timeout: 50 * time.Millisecond}
+	start := time.Now()
+	err := c.Call(ts.URL, "urn:test:Echo", &echoRequest{Text: "x"}, &echoResponse{})
+	if err == nil {
+		t.Fatal("Call against a stalled server returned nil")
+	}
+	if !strings.Contains(err.Error(), "deadline") && !strings.Contains(err.Error(), "Timeout") {
+		t.Errorf("error does not look like a deadline: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("Call took %v; the 50ms deadline did not bound it", elapsed)
+	}
+}
+
+func TestZeroValueClientHasDefaultDeadline(t *testing.T) {
+	c := &Client{}
+	hc := c.httpClient()
+	if hc.Timeout != DefaultCallTimeout {
+		t.Errorf("zero-value Client deadline = %v, want %v", hc.Timeout, DefaultCallTimeout)
+	}
+	// Negative disables; the cached client is rebuilt when the field moves.
+	c.Timeout = -1
+	if hc = c.httpClient(); hc.Timeout != 0 {
+		t.Errorf("negative Timeout deadline = %v, want none", hc.Timeout)
+	}
+}
+
+func TestExplicitHTTPClientWinsOverTimeout(t *testing.T) {
+	own := &http.Client{Timeout: 7 * time.Second}
+	c := &Client{HTTPClient: own, Timeout: time.Millisecond}
+	if got := c.httpClient(); got != own {
+		t.Error("Client did not use the caller-owned HTTPClient")
+	}
+}

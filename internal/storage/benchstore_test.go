@@ -1,0 +1,144 @@
+package storage
+
+// BenchmarkStoreScan measures the cost of the hot/cold split: the same
+// selective scan over the same rows, once with every sealed block
+// resident in Table memory and once with a one-block hot tier and a
+// deliberately thrashing hydration cache, so every pass decodes cold
+// blocks from disk. TestWriteBenchStoreJSON records both numbers as the
+// "store_scan" key of the tracked BENCH_scan.json trajectory:
+//
+//	go test ./internal/storage/ -run TestWriteBenchStoreJSON -bench-store-json "$(pwd)/BENCH_scan.json"
+//
+// Like the other trajectory writers the test is a no-op skip unless the
+// flag is set.
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"testing"
+
+	"skyquery/internal/sqlparse"
+)
+
+const benchStoreRows = 8 * ZoneBlockRows
+
+const benchStoreQuery = "SELECT id, flux FROM obj WHERE flux > 5"
+
+// openBenchStore builds an 8-block store once, closes it, and reopens it
+// with the given tiering so recovery (not the build) decides what is hot.
+func openBenchStore(tb testing.TB, opts StoreOptions) *Table {
+	tb.Helper()
+	dir := tb.TempDir()
+	st, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tbl, err := st.Create("obj", storeSchema(), &storeSpatial)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < benchStoreRows; i++ {
+		if err := tbl.Append(storeRow(i)...); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	st2, err := OpenStore(dir, opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { st2.Close() })
+	t2, ok := st2.DB().Table("obj")
+	if !ok {
+		tb.Fatal("reopened store lost the table")
+	}
+	return t2
+}
+
+func benchStoreScan(b *testing.B, opts StoreOptions) {
+	tbl := openBenchStore(b, opts)
+	q, err := sqlparse.Parse(benchStoreQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := tbl.Select("", q, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatal("degenerate empty scan")
+		}
+	}
+}
+
+func BenchmarkStoreScan(b *testing.B) {
+	// Hot tier covers all 8 sealed blocks: pure in-memory scan.
+	b.Run("hot", func(b *testing.B) {
+		benchStoreScan(b, StoreOptions{HotBlocks: benchStoreRows / ZoneBlockRows})
+	})
+	// One hot block and a 2-column-block cache against 7 cold blocks × 2
+	// scanned columns: the FIFO cache thrashes, so each op hydrates from
+	// disk rather than replaying the first op's cache.
+	b.Run("cold", func(b *testing.B) {
+		benchStoreScan(b, StoreOptions{HotBlocks: 1, CacheBlocks: 2})
+	})
+}
+
+var benchStoreJSON = flag.String("bench-store-json", "", "merge the hot/cold store scan benchmark into this BENCH_scan.json")
+
+func TestWriteBenchStoreJSON(t *testing.T) {
+	if *benchStoreJSON == "" {
+		t.Skip("pass -bench-store-json=PATH (an existing BENCH_scan.json) to record the store scan benchmark")
+	}
+	raw, err := os.ReadFile(*benchStoreJSON)
+	if err != nil {
+		t.Fatalf("the eval trajectory must be written first (TestWriteBenchScanJSON): %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("parsing %s: %v", *benchStoreJSON, err)
+	}
+
+	measure := func(opts StoreOptions) (nsPerOp int64, hydrated int64) {
+		before := ColdBlocksHydrated()
+		res := testing.Benchmark(func(b *testing.B) { benchStoreScan(b, opts) })
+		return res.NsPerOp(), ColdBlocksHydrated() - before
+	}
+	hotNs, _ := measure(StoreOptions{HotBlocks: benchStoreRows / ZoneBlockRows})
+	coldNs, hydrated := measure(StoreOptions{HotBlocks: 1, CacheBlocks: 2})
+	if hydrated == 0 {
+		t.Fatal("cold benchmark hydrated no blocks; the numbers would be meaningless")
+	}
+
+	perRow := func(ns int64) float64 {
+		return float64(int64(float64(ns)/benchStoreRows*10000+0.5)) / 10000
+	}
+	doc["store_scan"] = map[string]any{
+		"benchmark": "BenchmarkStoreScan: selective scan over a reopened disk-backed table, all blocks hot vs one hot block with a thrashing hydration cache",
+		"query":     benchStoreQuery,
+		"rows":      benchStoreRows,
+		"hot": map[string]any{
+			"ns_per_op":  hotNs,
+			"ns_per_row": perRow(hotNs),
+		},
+		"cold": map[string]any{
+			"ns_per_op":  coldNs,
+			"ns_per_row": perRow(coldNs),
+		},
+	}
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*benchStoreJSON, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("merged store_scan: hot %d ns/op, cold %d ns/op (%d cold blocks hydrated)", hotNs, coldNs, hydrated)
+}

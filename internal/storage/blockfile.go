@@ -1,0 +1,200 @@
+package storage
+
+// Column-block codec: the on-disk image of one ZoneBlockRows-row block of
+// one column. Block files (one per column, named col_<i>.blk) are plain
+// concatenations of these images; all framing — offsets, sizes, CRCs and
+// the zone statistics of every block — lives in the table footer
+// (footer.go), which is the atomic commit point. Bytes past the last
+// footer-referenced block are uncommitted garbage from an interrupted
+// flush and are overwritten by the next one.
+//
+// Image layout (little-endian throughout):
+//
+//	u8  kind        1=INT 2=FLOAT 3=STRING 4=BOOL
+//	u32 rows
+//	nulls bitmap    ceil(rows/8) bytes, bit i set = row i NULL
+//	payload         INT/FLOAT: rows x u64 (float64 bits for FLOAT)
+//	                STRING:    per row uvarint length + raw bytes
+//	                BOOL:      value bitmap, ceil(rows/8) bytes
+//
+// NULL cells store their zero value in the payload (length 0 for STRING),
+// exactly mirroring the in-memory columns, so a decoded block is
+// bit-identical to the column slice pair it was flushed from.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+const (
+	blockKindInt uint8 = iota + 1
+	blockKindFloat
+	blockKindString
+	blockKindBool
+)
+
+// appendBools packs a bool slice as a bitmap.
+func appendBools(dst []byte, bs []bool) []byte {
+	n := (len(bs) + 7) / 8
+	at := len(dst)
+	dst = append(dst, make([]byte, n)...)
+	for i, b := range bs {
+		if b {
+			dst[at+i/8] |= 1 << (i % 8)
+		}
+	}
+	return dst
+}
+
+func decodeBools(data []byte, n int) ([]bool, []byte, error) {
+	nb := (n + 7) / 8
+	if len(data) < nb {
+		return nil, nil, fmt.Errorf("storage: truncated bitmap: need %d bytes, have %d", nb, len(data))
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = data[i/8]&(1<<(i%8)) != 0
+	}
+	return out, data[nb:], nil
+}
+
+// appendBlock encodes rows [lo, hi) of a column (memory-relative indices).
+func appendBlock(dst []byte, col column, lo, hi int) []byte {
+	n := hi - lo
+	switch c := col.(type) {
+	case *intColumn:
+		dst = append(dst, blockKindInt)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
+		dst = appendBools(dst, c.nulls[lo:hi])
+		for _, v := range c.vals[lo:hi] {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+		}
+	case *floatColumn:
+		dst = append(dst, blockKindFloat)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
+		dst = appendBools(dst, c.nulls[lo:hi])
+		for _, v := range c.vals[lo:hi] {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+		}
+	case *stringColumn:
+		dst = append(dst, blockKindString)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
+		dst = appendBools(dst, c.nulls[lo:hi])
+		for _, v := range c.vals[lo:hi] {
+			dst = binary.AppendUvarint(dst, uint64(len(v)))
+			dst = append(dst, v...)
+		}
+	case *boolColumn:
+		dst = append(dst, blockKindBool)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
+		dst = appendBools(dst, c.nulls[lo:hi])
+		dst = appendBools(dst, c.vals[lo:hi])
+	}
+	return dst
+}
+
+// decodeBlock decodes one block image into a fresh column.
+func decodeBlock(data []byte) (column, int, error) {
+	if len(data) < 5 {
+		return nil, 0, fmt.Errorf("storage: block image too short (%d bytes)", len(data))
+	}
+	kind := data[0]
+	n := int(binary.LittleEndian.Uint32(data[1:5]))
+	if n < 0 || n > ZoneBlockRows {
+		return nil, 0, fmt.Errorf("storage: block row count %d out of range", n)
+	}
+	rest := data[5:]
+	nulls, rest, err := decodeBools(rest, n)
+	if err != nil {
+		return nil, 0, err
+	}
+	switch kind {
+	case blockKindInt:
+		if len(rest) < 8*n {
+			return nil, 0, fmt.Errorf("storage: truncated INT block payload")
+		}
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(binary.LittleEndian.Uint64(rest[8*i:]))
+		}
+		return &intColumn{vals: vals, nulls: nulls}, n, nil
+	case blockKindFloat:
+		if len(rest) < 8*n {
+			return nil, 0, fmt.Errorf("storage: truncated FLOAT block payload")
+		}
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(rest[8*i:]))
+		}
+		return &floatColumn{vals: vals, nulls: nulls}, n, nil
+	case blockKindString:
+		vals := make([]string, n)
+		for i := range vals {
+			l, k := binary.Uvarint(rest)
+			if k <= 0 || uint64(len(rest)-k) < l {
+				return nil, 0, fmt.Errorf("storage: truncated STRING block payload at row %d", i)
+			}
+			vals[i] = string(rest[k : k+int(l)])
+			rest = rest[k+int(l):]
+		}
+		return &stringColumn{vals: vals, nulls: nulls}, n, nil
+	case blockKindBool:
+		vals, _, err := decodeBools(rest, n)
+		if err != nil {
+			return nil, 0, err
+		}
+		return &boolColumn{vals: vals, nulls: nulls}, n, nil
+	}
+	return nil, 0, fmt.Errorf("storage: unknown block kind %d", kind)
+}
+
+// appendColumn appends every row of src (a decoded block) onto dst. The
+// concrete types must match; they always do because both derive from the
+// same schema slot.
+func appendColumn(dst, src column) error {
+	switch d := dst.(type) {
+	case *intColumn:
+		s, ok := src.(*intColumn)
+		if !ok {
+			return fmt.Errorf("storage: block type mismatch: want INT")
+		}
+		d.vals = append(d.vals, s.vals...)
+		d.nulls = append(d.nulls, s.nulls...)
+	case *floatColumn:
+		s, ok := src.(*floatColumn)
+		if !ok {
+			return fmt.Errorf("storage: block type mismatch: want FLOAT")
+		}
+		d.vals = append(d.vals, s.vals...)
+		d.nulls = append(d.nulls, s.nulls...)
+	case *stringColumn:
+		s, ok := src.(*stringColumn)
+		if !ok {
+			return fmt.Errorf("storage: block type mismatch: want STRING")
+		}
+		d.vals = append(d.vals, s.vals...)
+		d.nulls = append(d.nulls, s.nulls...)
+	case *boolColumn:
+		s, ok := src.(*boolColumn)
+		if !ok {
+			return fmt.Errorf("storage: block type mismatch: want BOOL")
+		}
+		d.vals = append(d.vals, s.vals...)
+		d.nulls = append(d.nulls, s.nulls...)
+	}
+	return nil
+}
+
+// blockZone computes the zone statistics of rows [lo, hi) of a column
+// (memory-relative indices); numeric is false for STRING/BOOL columns,
+// whose blocks carry no statistics.
+func blockZone(col column, lo, hi int) (z zone, numeric bool) {
+	switch c := col.(type) {
+	case *intColumn:
+		return zoneOfInts(c.vals[lo:hi], c.nulls[lo:hi]), true
+	case *floatColumn:
+		return zoneOfFloats(c.vals[lo:hi], c.nulls[lo:hi]), true
+	}
+	return zone{}, false
+}

@@ -61,8 +61,14 @@ const (
 // table, with memoized per-block verdicts. Build it with Table.CandPruner
 // once per chain step (or scan) and share it across workers.
 type CandPruner struct {
-	ps      eval.PruneSet
-	zs      *zoneSet
+	ps eval.PruneSet
+	zs *zoneSet
+	// rows is the snapshot row count the zone maps were built at. Rows at
+	// or past it have no (or only partial) statistics and are never
+	// pruned — the block-count guard alone is not enough, because a row
+	// appended into a partial trailing block after the snapshot lands in
+	// a block that does have statistics, just not ones that cover it.
+	rows    int
 	verdict []atomic.Int32
 }
 
@@ -80,18 +86,21 @@ func (t *Table) CandPruner(ps eval.PruneSet) *CandPruner {
 	return &CandPruner{
 		ps:      ps,
 		zs:      t.zoneMaps(n),
+		rows:    n,
 		verdict: make([]atomic.Int32, (n+ZoneBlockRows-1)/ZoneBlockRows),
 	}
 }
 
 // Pruned reports whether the row's zone block is provably dead for this
-// pruner's conjuncts. Rows appended after the zone maps were built (no
-// block statistics) are never pruned.
+// pruner's conjuncts. Rows appended after the zone maps were built are
+// never pruned: the guard is the snapshot row count, not the block
+// count, because a fresh row in a partial trailing block would otherwise
+// be judged against statistics that do not cover it.
 func (p *CandPruner) Pruned(row int) bool {
-	b := row / ZoneBlockRows
-	if b >= len(p.verdict) {
+	if row >= p.rows {
 		return false
 	}
+	b := row / ZoneBlockRows
 	switch p.verdict[b].Load() {
 	case blockDead:
 		return true

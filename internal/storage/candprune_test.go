@@ -178,6 +178,67 @@ func TestCandPrunerDropsDeadBlocks(t *testing.T) {
 	}
 }
 
+// TestCandPrunerFreshRowsSurvive is the regression test for the stale
+// partial-block verdict: a pruner built at n rows must never prune rows
+// appended after n, even though those rows land in a block that already
+// has (dead) statistics. Before the fix the guard was the block count, so
+// a fresh row appended into the partial trailing block was judged against
+// statistics that do not cover it and wrongly dropped.
+func TestCandPrunerFreshRowsSurvive(t *testing.T) {
+	tab, err := NewTable("obj", objSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillObjects(t, tab, 1500, 42) // block 0 full, block 1 partial (rows 1024..1499)
+	if err := tab.EnableSpatial(SpatialConfig{RACol: "ra", DecCol: "dec"}); err != nil {
+		t.Fatal(err)
+	}
+	c := sphere.NewCap(10, 20, 60)
+
+	// object_id equals the row index, so this kills block 1 at snapshot
+	// time: its minimum is 1024.
+	ps := prunableSet(t, tab, "object_id < 500")
+	pruner := tab.CandPruner(ps)
+	if pruner == nil {
+		t.Fatal("nil pruner")
+	}
+	if !pruner.Pruned(1100) {
+		t.Fatal("trailing partial block not dead at snapshot time; test is vacuous")
+	}
+
+	// Appends land in that same partial block — rows 1500..1519, with
+	// object_ids that satisfy the predicate, at the cap's center.
+	const fresh = 20
+	for i := 0; i < fresh; i++ {
+		err := tab.Append(value.Int(int64(i)), value.Float(10), value.Float(20),
+			value.Float(1), value.String("STAR"), value.Bool(false))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sb := &SearchBatch{Rows: make([]int, 0, 256), Prune: pruner}
+	seen := map[int]bool{}
+	if err := tab.SearchCapBatch(c, sb, func(rows []int, _ []sphere.Vec) bool {
+		for _, r := range rows {
+			seen[r] = true
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for r := 1500; r < 1500+fresh; r++ {
+		if !seen[r] {
+			t.Errorf("fresh row %d was pruned by stale block statistics", r)
+		}
+	}
+	for r := range seen {
+		if r >= 1024 && r < 1500 {
+			t.Errorf("snapshot-covered dead-block row %d escaped pruning", r)
+		}
+	}
+}
+
 // TestSelectAreaCandidatePruning runs an AREA query whose WHERE is
 // candidate-prunable through Select and checks the result against a
 // row-at-a-time reference, plus that pruning actually cut the predicate

@@ -37,6 +37,18 @@ func (db *DB) Create(name string, schema Schema) (*Table, error) {
 	return t, nil
 }
 
+// addTable registers an already-built table (Store recovery constructs
+// tables from footers rather than through Create).
+func (db *DB) addTable(t *Table) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[t.name]; ok {
+		return fmt.Errorf("storage: table %q already exists", t.name)
+	}
+	db.tables[t.name] = t
+	return nil
+}
+
 // CreateTemp creates a uniquely named temporary table and returns it. Temp
 // table names begin with "#", following the SQL Server convention the
 // SkyQuery nodes used.

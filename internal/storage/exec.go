@@ -38,7 +38,7 @@ func (e rowEnv) Lookup(table, column string) (value.Value, error) {
 	if ci < 0 {
 		return value.Null, fmt.Errorf("storage: unknown column %q in table %q", column, e.t.name)
 	}
-	return e.t.cols[ci].get(e.row), nil
+	return e.t.cellLocked(e.row, ci), nil
 }
 
 // Env returns an eval.Env bound to one row of the table, resolving
@@ -82,7 +82,7 @@ func (t *Table) Layout(alias string) eval.Layout {
 // callback, or the bulk-load-then-read phase discipline).
 func (t *Table) FillRow(buf []value.Value, row int, slots []int) {
 	for _, ci := range slots {
-		buf[ci] = t.cols[ci].get(row)
+		buf[ci] = t.cellLocked(row, ci)
 	}
 }
 
@@ -389,15 +389,14 @@ func (t *Table) Select(alias string, q *sqlparse.Query, region sphere.Region) (*
 		if len(ps.Pruners) > 0 {
 			zones = t.zoneMaps(n)
 		}
-		for blkLo := 0; blkLo < n && !done; blkLo += ZoneBlockRows {
-			blkHi := blkLo + ZoneBlockRows
-			if blkHi > n {
-				blkHi = n
-			}
-			if zones != nil && zones.prunable(blkLo/ZoneBlockRows, ps) {
-				zoneBlocksPruned.Add(1)
-				continue
-			}
+		// Each surviving block is one read-lock window: the zero-copy views
+		// must be consumed before the lock drops, because on a disk-backed
+		// table a concurrent flush may evict the viewed memory under the
+		// write lock. Between blocks the lock is released so appends can
+		// interleave with long scans.
+		scanBlock := func(blkLo, blkHi int) error {
+			t.mu.RLock()
+			defer t.mu.RUnlock()
 			for lo := blkLo; lo < blkHi && !done; lo += bs {
 				hi := lo + bs
 				if hi > blkHi {
@@ -415,6 +414,20 @@ func (t *Table) Select(alias string, q *sqlparse.Query, region sphere.Region) (*
 					return err
 				}
 			}
+			return nil
+		}
+		for blkLo := 0; blkLo < n && !done; blkLo += ZoneBlockRows {
+			blkHi := blkLo + ZoneBlockRows
+			if blkHi > n {
+				blkHi = n
+			}
+			if zones != nil && zones.prunable(blkLo/ZoneBlockRows, ps) {
+				zoneBlocksPruned.Add(1)
+				continue
+			}
+			if err := scanBlock(blkLo, blkHi); err != nil {
+				return err
+			}
 		}
 		return nil
 	}
@@ -431,30 +444,35 @@ func (t *Table) Select(alias string, q *sqlparse.Query, region sphere.Region) (*
 		} else {
 			// No index: fall back to a full scan with an explicit position
 			// test (no candidate pruning — the path exists for tables
-			// without an HTM index and stays row-at-a-time).
+			// without an HTM index and stays row-at-a-time). The whole scan
+			// is a single read section: the position tests and the gathers
+			// must observe one consistent snapshot.
 			ra := t.schema.Index("ra")
 			de := t.schema.Index("dec")
 			if ra < 0 || de < 0 {
 				return nil, fmt.Errorf("storage: table %q has no spatial index and no ra/dec columns for AREA", t.name)
 			}
-			t.Scan(func(row int) bool {
-				raf, _ := t.cols[ra].get(row).AsFloat()
-				def, _ := t.cols[de].get(row).AsFloat()
+			t.BeginRead()
+			for row := 0; row < t.rows; row++ {
+				raf, _ := t.cellLocked(row, ra).AsFloat()
+				def, _ := t.cellLocked(row, de).AsFloat()
 				if !region.Contains(sphere.FromRaDec(raf, def)) {
-					return true
+					continue
 				}
 				sc.rowIdx = append(sc.rowIdx, row)
 				if len(sc.rowIdx) == bs {
 					ok := flushGather(sc.rowIdx, nil)
 					sc.rowIdx = sc.rowIdx[:0]
-					return ok
+					if !ok {
+						break
+					}
 				}
-				return true
-			})
+			}
 			if evalErr == nil && !done && len(sc.rowIdx) > 0 {
 				flushGather(sc.rowIdx, nil) // the final partial batch
 				sc.rowIdx = sc.rowIdx[:0]
 			}
+			t.EndRead()
 		}
 	} else {
 		evalErr = scanContig()

@@ -1,11 +1,25 @@
 // Package storage is the embedded database engine behind each SkyNode: a
-// columnar in-memory store with typed columns, predicate scans, an HTM
-// spatial index for the range searches of §5.4, temporary tables for the
-// cross-match chain (§5.3), and a small single-table SQL executor that
-// answers the Portal's performance queries.
+// columnar store with typed columns, predicate scans, an HTM spatial
+// index for the range searches of §5.4, temporary tables for the
+// cross-match chain (§5.3), a small single-table SQL executor that
+// answers the Portal's performance queries, and an optional disk-backed
+// tier (Store) so archives survive restarts and grow past RAM.
 //
 // The paper treats component DBMSs as black boxes; this package is the
 // concrete box the reproduction ships so the federation is self-contained.
+//
+// # On-disk format
+//
+// A disk-backed table (store.go) is a directory of per-column block
+// files holding sealed ZoneBlockRows-row blocks (blockfile.go), an
+// htm.bin of per-row HTM leaf IDs, a footer that is the atomic commit
+// point — schema, durable row count, and per-block offset/size/CRC plus
+// zone statistics and HTM ID ranges (footer.go) — and a write-ahead log
+// framing every acknowledged append with a per-record CRC (wal.go).
+// Recovery reads the footer, replays the WAL tail and truncates a torn
+// tail; the full protocol and its invariants are documented in store.go.
+// Sealed blocks beyond the hot budget are evicted from Table memory and
+// hydrate back on demand through the ColumnView/GatherColumn seam.
 //
 // Scans run the typed batch engine (eval.CompileTyped) straight over the
 // columnar backends. Two disciplines matter:
@@ -13,8 +27,9 @@
 //   - Read discipline: the typed column views (Int64Col, ColumnView and
 //     the Gather* helpers in typedcol.go) hand out the live backing
 //     slices. Like ValueUnlocked they must only be used inside a read
-//     context — a Scan/Search* callback or the federation's
-//     bulk-load-then-read phase discipline — and never written through.
+//     context — a Scan/Search* callback, a BeginRead/EndRead section, or
+//     the federation's bulk-load-then-read phase discipline — and never
+//     written through.
 //   - Zone-map discipline (zonemap.go): per-ZoneBlockRows-block min/max +
 //     null-count statistics are built lazily at first scan after load and
 //     invalidated by row-count changes. A base-table scan consults them
@@ -202,11 +217,13 @@ func newColumn(t value.Type) (column, error) {
 	return nil, fmt.Errorf("storage: unsupported column type %v", t)
 }
 
-// Table is a columnar table. Concurrent readers are safe with each other;
-// Append must not run concurrently with reads of the same table. That is
-// the federation's natural pattern: survey tables are bulk-loaded once and
-// then only read, while each chain step writes to its own private
-// temporary table.
+// Table is a columnar table. Concurrent readers are safe with each
+// other, and appends are safe with concurrent reads: every read path
+// runs under the table's read lock (scans and searches take it
+// internally; external multi-call read sections bracket themselves with
+// BeginRead/EndRead), so a reader sees a consistent row-count snapshot
+// and never a half-appended row. Rows appended mid-query simply miss
+// that query's snapshot, exactly as if the query had started earlier.
 type Table struct {
 	name   string
 	schema Schema
@@ -215,6 +232,13 @@ type Table struct {
 	cols    []column
 	rows    int
 	spatial *spatialIndex
+
+	// Disk-backed tables (store.go): cols holds only rows [memBase, rows)
+	// — the hot sealed blocks plus the unsealed tail. memBase is always
+	// ZoneBlockRows-aligned and 0 for plain in-memory tables; rows below
+	// it are cold and hydrate from sealed blocks via persist.
+	memBase int
+	persist *tableStore
 
 	// zones caches the zone maps of the first zones.rows rows (see
 	// zonemap.go); append-only tables make row count the only staleness
@@ -260,27 +284,78 @@ func (t *Table) RowCount() int {
 }
 
 // Append adds one row; vals must match the schema arity and types
-// (NULL is accepted in any column).
+// (NULL is accepted in any column). On a disk-backed table the row is
+// framed into the write-ahead log before Append returns — a returned nil
+// is the durability acknowledgement — and filling a block may trigger a
+// flush that seals blocks and evicts cold ones.
 func (t *Table) Append(vals ...value.Value) error {
 	if len(vals) != len(t.schema) {
 		return fmt.Errorf("storage: table %q expects %d values, got %d", t.name, len(t.schema), len(vals))
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	memLen := t.rows - t.memBase
 	for i, v := range vals {
 		if err := t.cols[i].append(v); err != nil {
 			// Roll back the partial row to keep columns aligned.
 			for j := 0; j < i; j++ {
-				t.truncateColumnLocked(j, t.rows)
+				t.truncateColumnLocked(j, memLen)
 			}
 			return fmt.Errorf("storage: table %q column %q: %w", t.name, t.schema[i].Name, err)
+		}
+	}
+	if t.persist != nil {
+		// Log after the memory append: a crash in between loses a row that
+		// was never acknowledged, while a log failure rolls memory back, so
+		// an acknowledged row is always in both places.
+		if err := t.persist.wal.appendRow(vals); err != nil {
+			for j := range t.cols {
+				t.truncateColumnLocked(j, memLen)
+			}
+			return fmt.Errorf("storage: table %q: %w", t.name, err)
 		}
 	}
 	t.rows++
 	if t.spatial != nil {
 		t.spatial.dirty.Store(true)
 	}
+	if t.persist != nil && t.rows%ZoneBlockRows == 0 &&
+		t.rows-t.persist.durable >= t.persist.opts.FlushBlocks*ZoneBlockRows {
+		if err := t.persist.flushLocked(); err != nil {
+			// The row itself is durable (memory + WAL); surface the failed
+			// seal so the caller can stop ingesting.
+			return fmt.Errorf("storage: table %q flush: %w", t.name, err)
+		}
+	}
 	return nil
+}
+
+// BeginRead acquires the table's read lock for a multi-call read section
+// — a sequence of ValueUnlocked/Gather*/Fill* calls that must observe a
+// consistent snapshot against concurrent appends. Pair with EndRead.
+// Do not call Append, or any locked accessor (Value, Row, RowCount,
+// Scan, Search*), from inside the section.
+func (t *Table) BeginRead() { t.mu.RLock() }
+
+// EndRead releases the read lock taken by BeginRead.
+func (t *Table) EndRead() { t.mu.RUnlock() }
+
+// cellLocked returns the cell at (absolute row, col); the caller is in a
+// read context. Rows below memBase hydrate from the cold tier.
+func (t *Table) cellLocked(row, ci int) value.Value {
+	if row >= t.memBase {
+		return t.cols[ci].get(row - t.memBase)
+	}
+	return t.persist.coldCell(ci, row)
+}
+
+// rowLocked returns a copy of row i (read context).
+func (t *Table) rowLocked(i int) []value.Value {
+	out := make([]value.Value, len(t.cols))
+	for c := range t.cols {
+		out[c] = t.cellLocked(i, c)
+	}
+	return out
 }
 
 func (t *Table) truncateColumnLocked(i, n int) {
@@ -304,26 +379,23 @@ func (t *Table) truncateColumnLocked(i, n int) {
 func (t *Table) Value(row, col int) value.Value {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return t.cols[col].get(row)
+	return t.cellLocked(row, col)
 }
 
 // ValueUnlocked is Value without the read lock, for code that is already
-// inside a read context — a Search* callback, or the bulk-load-then-read
-// phase discipline the federation follows (row environments created by Env
-// read the same way). Callers outside such a context must use Value.
+// inside a read context — a Search* callback, a BeginRead/EndRead
+// section, or the bulk-load-then-read phase discipline the federation
+// follows (row environments created by Env read the same way). Callers
+// outside such a context must use Value.
 func (t *Table) ValueUnlocked(row, col int) value.Value {
-	return t.cols[col].get(row)
+	return t.cellLocked(row, col)
 }
 
 // Row returns a copy of row i.
 func (t *Table) Row(i int) []value.Value {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	out := make([]value.Value, len(t.cols))
-	for c := range t.cols {
-		out[c] = t.cols[c].get(i)
-	}
-	return out
+	return t.rowLocked(i)
 }
 
 // Scan calls fn for each row index in order until fn returns false.
@@ -346,9 +418,8 @@ func (t *Table) Scan(fn func(row int) bool) {
 // ValueUnlocked it must run inside a read context (a Scan or Search*
 // callback, or the bulk-load-then-read phase discipline).
 func (t *Table) FillColumn(dst []value.Value, ci int, rows []int) {
-	col := t.cols[ci]
 	for i, r := range rows {
-		dst[i] = col.get(r)
+		dst[i] = t.cellLocked(r, ci)
 	}
 }
 
@@ -356,9 +427,8 @@ func (t *Table) FillColumn(dst []value.Value, ci int, rows []int) {
 // dst[i] = cell(rows[i], ci) for i in sel. Scan sites use it to gather
 // projection columns only for the rows that survived the predicate.
 func (t *Table) FillColumnSel(dst []value.Value, ci int, rows []int, sel []int) {
-	col := t.cols[ci]
 	for _, i := range sel {
-		dst[i] = col.get(rows[i])
+		dst[i] = t.cellLocked(rows[i], ci)
 	}
 }
 
@@ -378,8 +448,12 @@ type spatialIndex struct {
 	cfg   SpatialConfig
 	raIdx int
 	deIdx int
-	ids   []htm.ID // per-row leaf trixel, in row order
-	order []int32  // row indices sorted by ids
+
+	// snap is the published index data. Snapshots are immutable once
+	// stored: a rebuild extends a copy and publishes a fresh snapshot, so
+	// a search walking an older one is never disturbed — it just sees the
+	// rows that existed when that snapshot was built.
+	snap atomic.Pointer[spatialSnap]
 
 	// dirty marks the index stale after appends. It is rebuilt lazily on
 	// the next search, under rebuildMu rather than the table's write lock:
@@ -388,6 +462,12 @@ type spatialIndex struct {
 	// Value, Row inside search callbacks).
 	dirty     atomic.Bool
 	rebuildMu sync.Mutex
+}
+
+// spatialSnap is one immutable build of the index data.
+type spatialSnap struct {
+	ids   []htm.ID // per-row leaf trixel, in row order
+	order []int32  // row indices sorted by ids
 }
 
 // EnableSpatial builds an HTM index over the given position columns.
@@ -431,29 +511,64 @@ func (t *Table) SpatialLevel() int {
 	return t.spatial.cfg.Level
 }
 
-// rebuildSpatialLocked rebuilds the index from the table's current rows.
-// The caller must hold t.mu (either mode suffices: the read lock excludes
-// appends, and writers to the index itself serialize on rebuildMu or hold
-// the write lock as EnableSpatial does).
+// rebuildSpatialLocked extends the index to the table's current rows and
+// publishes a fresh snapshot. The caller must hold t.mu (either mode
+// suffices: the read lock excludes appends, and writers to the index
+// itself serialize on rebuildMu or hold the write lock as EnableSpatial
+// does). IDs of rows covered by the previous snapshot are reused, never
+// recomputed — appends extend, they do not move rows — so incremental
+// rebuilds cost only the new suffix plus the sort, and never touch the
+// cold tier.
 func (t *Table) rebuildSpatialLocked() {
 	s := t.spatial
-	s.ids = make([]htm.ID, t.rows)
-	s.order = make([]int32, t.rows)
-	for i := 0; i < t.rows; i++ {
-		v := t.positionLocked(i)
-		s.ids[i] = htm.Lookup(v, s.cfg.Level)
-		s.order[i] = int32(i)
+	var ids []htm.ID
+	if old := s.snap.Load(); old != nil && len(old.ids) <= t.rows {
+		// Full-capacity slice: the first append below copies, keeping the
+		// published snapshot immutable.
+		ids = old.ids[:len(old.ids):len(old.ids)]
 	}
-	sort.Slice(s.order, func(a, b int) bool {
-		return s.ids[s.order[a]] < s.ids[s.order[b]]
+	for i := len(ids); i < t.rows; i++ {
+		ids = append(ids, htm.Lookup(t.positionLocked(i), s.cfg.Level))
+	}
+	order := make([]int32, len(ids))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return ids[order[a]] < ids[order[b]]
 	})
+	s.snap.Store(&spatialSnap{ids: ids, order: order})
 	s.dirty.Store(false)
 }
 
 func (t *Table) positionLocked(row int) sphere.Vec {
-	ra, _ := t.cols[t.spatial.raIdx].get(row).AsFloat()
-	de, _ := t.cols[t.spatial.deIdx].get(row).AsFloat()
+	ra, _ := t.cellLocked(row, t.spatial.raIdx).AsFloat()
+	de, _ := t.cellLocked(row, t.spatial.deIdx).AsFloat()
 	return sphere.FromRaDec(ra, de)
+}
+
+// enableSpatialSeeded is EnableSpatial for recovery: the IDs of sealed
+// rows come from htm.bin instead of being recomputed (which would
+// hydrate every cold block); any missing suffix — replayed WAL rows, or
+// a truncated ID file — is computed from in-memory positions.
+func (t *Table) enableSpatialSeeded(cfg SpatialConfig, ids []htm.ID) error {
+	ra := t.schema.Index(cfg.RACol)
+	de := t.schema.Index(cfg.DecCol)
+	if ra < 0 || de < 0 {
+		return fmt.Errorf("storage: spatial columns %q/%q not in table %q", cfg.RACol, cfg.DecCol, t.name)
+	}
+	if cfg.Level < 1 || cfg.Level > htm.MaxLevel {
+		return fmt.Errorf("storage: spatial level %d out of range", cfg.Level)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(ids) > t.rows {
+		ids = ids[:t.rows]
+	}
+	t.spatial = &spatialIndex{cfg: cfg, raIdx: ra, deIdx: de}
+	t.spatial.snap.Store(&spatialSnap{ids: ids[:len(ids):len(ids)], order: nil})
+	t.rebuildSpatialLocked()
+	return nil
 }
 
 // Position returns the unit vector of a row's position. It requires a
@@ -474,8 +589,9 @@ func (t *Table) Position(row int) (sphere.Vec, error) {
 //
 // Searches are safe for concurrent use with other readers, including
 // callbacks that read the table (Position, Value, Row, Env lookups); the
-// parallel chain executor relies on this. Appends must not run
-// concurrently with searches (the table-level contract above).
+// parallel chain executor relies on this. Appends may run concurrently:
+// the search walks an immutable index snapshot under the read lock, so
+// it sees a consistent prefix of the table and never a fresher row.
 func (t *Table) SearchCap(c sphere.Cap, fn func(row int) bool) error {
 	return t.searchCap(c, false, nil, func(row int, _ sphere.Vec) bool { return fn(row) })
 }
@@ -521,10 +637,11 @@ func (t *Table) searchCap(c sphere.Cap, needPos bool, prune func(row int) bool, 
 
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	sn := s.snap.Load()
 	cov.Each(func(r htm.Range, test bool) bool {
-		lo := sort.Search(len(s.order), func(i int) bool { return s.ids[s.order[i]] >= r.Lo })
-		for i := lo; i < len(s.order) && s.ids[s.order[i]] <= r.Hi; i++ {
-			row := int(s.order[i])
+		lo := sort.Search(len(sn.order), func(i int) bool { return sn.ids[sn.order[i]] >= r.Lo })
+		for i := lo; i < len(sn.order) && sn.ids[sn.order[i]] <= r.Hi; i++ {
+			row := int(sn.order[i])
 			if prune != nil && prune(row) {
 				continue
 			}

@@ -1,0 +1,345 @@
+package storage
+
+// Write-ahead log. Every acknowledged Append on a disk-backed table is
+// framed into wal.log before Append returns; rows only leave the log once
+// they are sealed into full column blocks and the footer commit has made
+// them durable (store.go). Recovery therefore only ever replays the
+// unsealed tail.
+//
+// File layout (little-endian):
+//
+//	header  "SKYWAL1\n" + u64 baseRow
+//	record  u32 size | u32 crc32(payload) | payload
+//	payload u8 kind (1 = row) | u16 cells | cell...
+//	cell    u8 tag (0 NULL, 1 INT, 2 FLOAT, 3 STRING, 4 BOOL) + value
+//	        INT: u64   FLOAT: u64 bits   STRING: uvarint len + bytes
+//	        BOOL: u8
+//
+// baseRow is the absolute row index of the first record: a flush rewrites
+// the log to hold only the unsealed tail, and a crash between the footer
+// rename and that rewrite leaves records the footer already covers —
+// replay skips the first (durableRows - baseRow) records, so the two
+// commit points never need to move atomically together.
+//
+// Torn-tail rule: the first record whose frame is incomplete, whose CRC
+// mismatches, or whose payload does not decode ends the log; everything
+// before it is replayed, everything from its offset on is discarded
+// (recovery truncates the file there). A torn tail is the expected
+// signature of a crash mid-append and never loses an acknowledged row,
+// because Append does not return success before the record is written.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"skyquery/internal/value"
+)
+
+const (
+	walMagic      = "SKYWAL1\n"
+	walHeaderSize = len(walMagic) + 8
+	walRecRow     = 1
+
+	cellTagNull uint8 = iota
+	cellTagInt
+	cellTagFloat
+	cellTagString
+	cellTagBool
+)
+
+func appendCell(dst []byte, v value.Value) []byte {
+	switch {
+	case v.IsNull():
+		return append(dst, cellTagNull)
+	case v.Type() == value.IntType:
+		dst = append(dst, cellTagInt)
+		return binary.LittleEndian.AppendUint64(dst, uint64(v.AsInt()))
+	case v.Type() == value.FloatType:
+		f, _ := v.AsFloat()
+		dst = append(dst, cellTagFloat)
+		return binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+	case v.Type() == value.StringType:
+		dst = append(dst, cellTagString)
+		s := v.AsString()
+		dst = binary.AppendUvarint(dst, uint64(len(s)))
+		return append(dst, s...)
+	default:
+		dst = append(dst, cellTagBool)
+		if v.AsBool() {
+			return append(dst, 1)
+		}
+		return append(dst, 0)
+	}
+}
+
+func decodeCell(data []byte) (value.Value, []byte, error) {
+	if len(data) == 0 {
+		return value.Null, nil, fmt.Errorf("storage: truncated WAL cell")
+	}
+	tag, rest := data[0], data[1:]
+	switch tag {
+	case cellTagNull:
+		return value.Null, rest, nil
+	case cellTagInt:
+		if len(rest) < 8 {
+			return value.Null, nil, fmt.Errorf("storage: truncated INT cell")
+		}
+		return value.Int(int64(binary.LittleEndian.Uint64(rest))), rest[8:], nil
+	case cellTagFloat:
+		if len(rest) < 8 {
+			return value.Null, nil, fmt.Errorf("storage: truncated FLOAT cell")
+		}
+		return value.Float(math.Float64frombits(binary.LittleEndian.Uint64(rest))), rest[8:], nil
+	case cellTagString:
+		l, k := binary.Uvarint(rest)
+		if k <= 0 || uint64(len(rest)-k) < l {
+			return value.Null, nil, fmt.Errorf("storage: truncated STRING cell")
+		}
+		return value.String(string(rest[k : k+int(l)])), rest[k+int(l):], nil
+	case cellTagBool:
+		if len(rest) < 1 {
+			return value.Null, nil, fmt.Errorf("storage: truncated BOOL cell")
+		}
+		return value.Bool(rest[0] != 0), rest[1:], nil
+	}
+	return value.Null, nil, fmt.Errorf("storage: unknown WAL cell tag %d", tag)
+}
+
+// appendWALRecord frames one row record onto dst.
+func appendWALRecord(dst []byte, vals []value.Value) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // size + crc, patched below
+	p := len(dst)
+	dst = append(dst, walRecRow)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(vals)))
+	for _, v := range vals {
+		dst = appendCell(dst, v)
+	}
+	payload := dst[p:]
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.ChecksumIEEE(payload))
+	return dst
+}
+
+func decodeWALRow(payload []byte) ([]value.Value, error) {
+	if len(payload) < 3 || payload[0] != walRecRow {
+		return nil, fmt.Errorf("storage: bad WAL record kind")
+	}
+	n := int(binary.LittleEndian.Uint16(payload[1:3]))
+	rest := payload[3:]
+	vals := make([]value.Value, n)
+	var err error
+	for i := 0; i < n; i++ {
+		if vals[i], rest, err = decodeCell(rest); err != nil {
+			return nil, err
+		}
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("storage: %d trailing bytes in WAL record", len(rest))
+	}
+	return vals, nil
+}
+
+// walWriter appends framed records to an open log.
+type walWriter struct {
+	f     *os.File
+	path  string
+	buf   []byte
+	fsync bool
+}
+
+func (w *walWriter) appendRow(vals []value.Value) error {
+	w.buf = appendWALRecord(w.buf[:0], vals)
+	if _, err := w.f.Write(w.buf); err != nil {
+		return fmt.Errorf("storage: wal append: %w", err)
+	}
+	if w.fsync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("storage: wal sync: %w", err)
+		}
+	}
+	return nil
+}
+
+func (w *walWriter) close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// createWAL writes a fresh log holding the given rows (header baseRow =
+// base) at path, atomically via temp + rename.
+func createWAL(path string, base int, rows [][]value.Value, doSync bool) (*walWriter, error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, err
+	}
+	buf := append([]byte(nil), walMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(base))
+	for _, r := range rows {
+		buf = appendWALRecord(buf, r)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return nil, err
+	}
+	syncDir(path)
+	nf, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := nf.Seek(0, io.SeekEnd); err != nil {
+		nf.Close()
+		return nil, err
+	}
+	return &walWriter{f: nf, path: path, fsync: doSync}, nil
+}
+
+// walScan is the decoded state of a log file.
+type walScan struct {
+	base int // absolute row index of the first record
+	rows [][]value.Value
+	good int64 // offset just past the last valid record
+	size int64 // file size
+	torn bool  // trailing bytes past good did not form a valid record
+}
+
+// readWAL decodes a log file. A missing file reads as an empty, clean log
+// with base defaultBase. Torn or trailing-garbage bytes set torn and stop
+// the scan; a corrupt header reads as a torn-at-zero log (the file was
+// being created when the crash hit).
+func readWAL(path string, defaultBase int) (*walScan, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &walScan{base: defaultBase}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	ws := &walScan{base: defaultBase, size: int64(len(data))}
+	if len(data) < walHeaderSize || string(data[:len(walMagic)]) != walMagic {
+		ws.torn = len(data) > 0
+		return ws, nil
+	}
+	ws.base = int(binary.LittleEndian.Uint64(data[len(walMagic):walHeaderSize]))
+	off := int64(walHeaderSize)
+	ws.good = off
+	for off < ws.size {
+		rest := data[off:]
+		if len(rest) < 8 {
+			ws.torn = true
+			break
+		}
+		size := binary.LittleEndian.Uint32(rest)
+		crc := binary.LittleEndian.Uint32(rest[4:])
+		if int64(size) > int64(len(rest))-8 {
+			ws.torn = true
+			break
+		}
+		payload := rest[8 : 8+size]
+		if crc32.ChecksumIEEE(payload) != crc {
+			ws.torn = true
+			break
+		}
+		vals, err := decodeWALRow(payload)
+		if err != nil {
+			ws.torn = true
+			break
+		}
+		ws.rows = append(ws.rows, vals)
+		off += 8 + int64(size)
+		ws.good = off
+	}
+	return ws, nil
+}
+
+// WALRecord is one decoded log record, as surfaced by InspectWAL.
+type WALRecord struct {
+	// Index is the record's position in the log; Row is the absolute table
+	// row it would replay into (BaseRow + Index).
+	Index, Row int
+	// Offset is the record's byte offset in the file.
+	Offset int64
+	// Cells holds the row values.
+	Cells []value.Value
+}
+
+// WALInfo summarizes a log file for InspectWAL.
+type WALInfo struct {
+	Path      string
+	BaseRow   int   // absolute row index of the first record
+	Records   int   // valid records
+	GoodBytes int64 // bytes forming the header and valid records
+	FileBytes int64 // total file size
+	// Torn reports bytes past GoodBytes that do not form a valid record —
+	// the signature of a crash mid-append. Recovery truncates them.
+	Torn bool
+}
+
+// InspectWAL decodes a write-ahead log without replaying it, calling fn
+// (when non-nil) for each valid record until it returns false. It is the
+// library behind the skyquery-walinspect command.
+func InspectWAL(path string, fn func(WALRecord) bool) (*WALInfo, error) {
+	if _, err := os.Stat(path); err != nil {
+		return nil, err
+	}
+	ws, err := readWAL(path, 0)
+	if err != nil {
+		return nil, err
+	}
+	info := &WALInfo{
+		Path: path, BaseRow: ws.base, Records: len(ws.rows),
+		GoodBytes: ws.good, FileBytes: ws.size, Torn: ws.torn,
+	}
+	if fn != nil {
+		off := int64(walHeaderSize)
+		for i, cells := range ws.rows {
+			rec := WALRecord{Index: i, Row: ws.base + i, Offset: off, Cells: cells}
+			// Re-measure the frame to advance the offset.
+			off += int64(len(appendWALRecord(nil, cells)))
+			if !fn(rec) {
+				break
+			}
+		}
+	}
+	return info, nil
+}
+
+// syncDir fsyncs the directory containing path, making a just-renamed
+// file durable. Errors are ignored: on filesystems that refuse directory
+// fsync the rename is still ordered by the prior file sync.
+func syncDir(path string) {
+	d, err := os.Open(dirOf(path))
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' || path[i] == os.PathSeparator {
+			return path[:i+1]
+		}
+	}
+	return "."
+}

@@ -1,0 +1,149 @@
+package storage
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"skyquery/internal/value"
+)
+
+// walRows is a value-type obstacle course: every cell tag, NULLs in every
+// type, negative ints, NaN and empty strings.
+func walRows() [][]value.Value {
+	return [][]value.Value{
+		{value.Int(42), value.Float(1.5), value.String("alpha"), value.Bool(true)},
+		{value.Int(-7), value.Float(math.NaN()), value.String(""), value.Bool(false)},
+		{value.Null, value.Null, value.Null, value.Null},
+		{value.Int(1 << 60), value.Float(-0.0), value.String("β remains utf-8"), value.Null},
+	}
+}
+
+func cellsEqual(t *testing.T, got, want []value.Value, ctx string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d cells, want %d", ctx, len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.IsNull() != w.IsNull() {
+			t.Fatalf("%s cell %d: null mismatch (%v vs %v)", ctx, i, g, w)
+		}
+		if g.IsNull() {
+			continue
+		}
+		if gf, ok := g.AsFloat(); ok {
+			wf, _ := w.AsFloat()
+			if math.IsNaN(gf) != math.IsNaN(wf) || (!math.IsNaN(gf) && gf != wf) {
+				t.Fatalf("%s cell %d: %v != %v", ctx, i, g, w)
+			}
+			continue
+		}
+		if g.String() != w.String() {
+			t.Fatalf("%s cell %d: %v != %v", ctx, i, g, w)
+		}
+	}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	rows := walRows()
+	w, err := createWAL(path, 2048, rows[:2], false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows[2:] {
+		if err := w.appendRow(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	ws, err := readWAL(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.base != 2048 || ws.torn || len(ws.rows) != len(rows) {
+		t.Fatalf("scan = base %d torn %v rows %d, want 2048 false %d", ws.base, ws.torn, len(ws.rows), len(rows))
+	}
+	for i := range rows {
+		cellsEqual(t, ws.rows[i], rows[i], "row")
+	}
+}
+
+func TestWALTornTailTruncates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	rows := walRows()
+	w, err := createWAL(path, 0, rows, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.close()
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+		want int // surviving records
+	}{
+		{"truncated mid-record", func(b []byte) []byte { return b[:len(b)-3] }, len(rows) - 1},
+		{"flipped payload bit", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)-1] ^= 0x40
+			return c
+		}, len(rows) - 1},
+		{"garbage appended", func(b []byte) []byte { return append(append([]byte(nil), b...), 0xde, 0xad) }, len(rows)},
+		{"header only half written", func(b []byte) []byte { return b[:5] }, 0},
+	}
+	for _, c := range cases {
+		if err := os.WriteFile(path, c.mut(clean), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ws, err := readWAL(path, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if !ws.torn {
+			t.Errorf("%s: not marked torn", c.name)
+		}
+		if len(ws.rows) != c.want {
+			t.Errorf("%s: %d records survived, want %d", c.name, len(ws.rows), c.want)
+		}
+	}
+	// A missing file is an empty clean log at the caller's base.
+	ws, err := readWAL(filepath.Join(t.TempDir(), "absent.log"), 777)
+	if err != nil || ws.torn || ws.base != 777 || len(ws.rows) != 0 {
+		t.Errorf("missing file: %+v, %v", ws, err)
+	}
+}
+
+func TestInspectWAL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	rows := walRows()
+	w, err := createWAL(path, 100, rows, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.close()
+	var seen []WALRecord
+	info, err := InspectWAL(path, func(r WALRecord) bool {
+		seen = append(seen, r)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.BaseRow != 100 || info.Records != len(rows) || info.Torn || info.GoodBytes != info.FileBytes {
+		t.Fatalf("info = %+v", info)
+	}
+	if len(seen) != len(rows) || seen[2].Row != 102 || seen[0].Offset != int64(walHeaderSize) {
+		t.Fatalf("records = %+v", seen)
+	}
+	if _, err := InspectWAL(filepath.Join(t.TempDir(), "absent.log"), nil); err == nil {
+		t.Error("InspectWAL on a missing file returned nil error")
+	}
+}

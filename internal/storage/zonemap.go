@@ -45,18 +45,80 @@ type zoneSet struct {
 }
 
 // zoneMaps returns the zone maps covering the table's first n rows,
-// rebuilding when the cached set was built at a different count. It runs
-// under the same read discipline as the scan that calls it (no concurrent
-// appends); concurrent scans serialize the rebuild on zoneMu.
+// rebuilding when the cached set was built at a different count. The
+// rebuild runs under the table's read lock (so it never observes a
+// half-appended row); concurrent scans serialize it on zoneMu. zoneMu
+// nests outside the read lock and is never taken by a writer, so the
+// pair cannot deadlock against a queued append.
 func (t *Table) zoneMaps(n int) *zoneSet {
 	t.zoneMu.Lock()
 	defer t.zoneMu.Unlock()
 	if t.zones == nil || t.zones.rows != n {
+		t.mu.RLock()
 		t.zones = buildZoneSet(t, n)
+		t.mu.RUnlock()
 	}
 	return t.zones
 }
 
+// zoneOfInts computes one block's statistics from an INT column slice.
+func zoneOfInts(vals []int64, nulls []bool) zone {
+	z := zone{rows: int32(len(vals))}
+	first := true
+	var mn, mx int64
+	for i, v := range vals {
+		if nulls[i] {
+			z.nulls++
+			continue
+		}
+		if first {
+			mn, mx, first = v, v, false
+			continue
+		}
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	z.min, z.max = float64(mn), float64(mx)
+	return z
+}
+
+// zoneOfFloats is zoneOfInts for FLOAT columns (NaN-aware).
+func zoneOfFloats(vals []float64, nulls []bool) zone {
+	z := zone{rows: int32(len(vals))}
+	first := true
+	for i, v := range vals {
+		if nulls[i] {
+			z.nulls++
+			continue
+		}
+		if math.IsNaN(v) {
+			z.hasNaN = true
+			continue
+		}
+		if first {
+			z.min, z.max, first = v, v, false
+			continue
+		}
+		if v < z.min {
+			z.min = v
+		}
+		if v > z.max {
+			z.max = v
+		}
+	}
+	return z
+}
+
+// buildZoneSet computes the per-block statistics of the first n rows
+// (caller holds the read lock). Blocks below the hot/cold boundary take
+// their statistics straight from the footer metadata — no block data is
+// read. When n cuts inside a sealed cold block (a snapshot older than
+// the seal) the full-block statistics stand in: wider min/max and extra
+// null counts only make pruning more conservative, never wrong.
 func buildZoneSet(t *Table, n int) *zoneSet {
 	zs := &zoneSet{rows: n, cols: make([][]zone, len(t.cols))}
 	nBlocks := (n + ZoneBlockRows - 1) / ZoneBlockRows
@@ -67,28 +129,11 @@ func buildZoneSet(t *Table, n int) *zoneSet {
 			for b := range blocks {
 				lo := b * ZoneBlockRows
 				hi := min(lo+ZoneBlockRows, n)
-				z := &blocks[b]
-				z.rows = int32(hi - lo)
-				first := true
-				var mn, mx int64
-				for i := lo; i < hi; i++ {
-					if c.nulls[i] {
-						z.nulls++
-						continue
-					}
-					v := c.vals[i]
-					if first {
-						mn, mx, first = v, v, false
-						continue
-					}
-					if v < mn {
-						mn = v
-					}
-					if v > mx {
-						mx = v
-					}
+				if hi <= t.memBase {
+					blocks[b] = t.persist.blocks[ci][b].z
+					continue
 				}
-				z.min, z.max = float64(mn), float64(mx)
+				blocks[b] = zoneOfInts(c.vals[lo-t.memBase:hi-t.memBase], c.nulls[lo-t.memBase:hi-t.memBase])
 			}
 			zs.cols[ci] = blocks
 		case *floatColumn:
@@ -96,30 +141,11 @@ func buildZoneSet(t *Table, n int) *zoneSet {
 			for b := range blocks {
 				lo := b * ZoneBlockRows
 				hi := min(lo+ZoneBlockRows, n)
-				z := &blocks[b]
-				z.rows = int32(hi - lo)
-				first := true
-				for i := lo; i < hi; i++ {
-					if c.nulls[i] {
-						z.nulls++
-						continue
-					}
-					v := c.vals[i]
-					if math.IsNaN(v) {
-						z.hasNaN = true
-						continue
-					}
-					if first {
-						z.min, z.max, first = v, v, false
-						continue
-					}
-					if v < z.min {
-						z.min = v
-					}
-					if v > z.max {
-						z.max = v
-					}
+				if hi <= t.memBase {
+					blocks[b] = t.persist.blocks[ci][b].z
+					continue
 				}
+				blocks[b] = zoneOfFloats(c.vals[lo-t.memBase:hi-t.memBase], c.nulls[lo-t.memBase:hi-t.memBase])
 			}
 			zs.cols[ci] = blocks
 		}
