@@ -1,0 +1,356 @@
+package skyquery
+
+// The wire slice of the benchmark trajectory, and the serving-path load
+// proofs:
+//
+//   - TestWireCodecSpeedup (always on): the binary columnar codec must
+//     beat the XML codec by >= 3x on a 10k-row encode+decode round trip.
+//   - TestSustainedConcurrentLoad (always on): 256 concurrent clients
+//     against an admission-controlled federation — every query completes
+//     (queueing and retries absorb the overload), and the heap stays
+//     bounded.
+//   - TestWriteBenchWireJSON (flag-gated): merges wire_codec and
+//     concurrent_load entries into BENCH_scan.json:
+//
+//	go test . -run TestWriteBenchWireJSON -bench-wire-json "$(pwd)/BENCH_scan.json"
+//
+//   - TestWirePerfGate (flag-gated, CI): re-measures the codecs and fails
+//     when columnar throughput regresses >15% against the checked-in
+//     trajectory, or the 3x claim stops holding:
+//
+//	go test . -run TestWirePerfGate -wire-gate-baseline "$(pwd)/BENCH_scan.json" -v
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"skyquery/internal/dataset"
+	"skyquery/internal/value"
+)
+
+var (
+	benchWireJSON    = flag.String("bench-wire-json", "", "merge the wire codec + concurrent load benchmarks into this BENCH_scan.json")
+	wireGateBaseline = flag.String("wire-gate-baseline", "", "fail if columnar wire throughput regresses vs this BENCH_scan.json")
+)
+
+// benchWireRows is the canonical row count of the codec measurement.
+const benchWireRows = 10000
+
+// benchWireDataSet builds the canonical 10k-row mixed-type result set.
+func benchWireDataSet() *dataset.DataSet {
+	d := dataset.New(
+		dataset.Column{Name: "object_id", Type: value.IntType},
+		dataset.Column{Name: "ra", Type: value.FloatType},
+		dataset.Column{Name: "dec", Type: value.FloatType},
+		dataset.Column{Name: "type", Type: value.StringType},
+		dataset.Column{Name: "flag", Type: value.BoolType},
+	)
+	for i := 0; i < benchWireRows; i++ {
+		typ := value.String("GALAXY")
+		if i%3 == 0 {
+			typ = value.String("STAR")
+		}
+		row := []value.Value{
+			value.Int(int64(i)),
+			value.Float(185 + float64(i)/77777),
+			value.Float(-0.5 + float64(i)/99999),
+			typ,
+			value.Bool(i%7 == 0),
+		}
+		if i%11 == 5 {
+			row[4] = value.Null
+		}
+		d.Append(row)
+	}
+	return d
+}
+
+// wireCodecResult is one codec's encode+decode measurement.
+type wireCodecResult struct {
+	NsPerOp int64   `json:"encode_decode_ns_per_op"`
+	Bytes   int     `json:"encoded_bytes"`
+	MBPerS  float64 `json:"mb_per_s"`
+}
+
+// measureWireCodecs times the full encode+decode round trip of the
+// canonical data set through both codecs and reports throughput over
+// the encoded bytes.
+func measureWireCodecs(t testing.TB) (xmlRes, colRes wireCodecResult) {
+	d := benchWireDataSet()
+
+	timeIt := func(op func()) int64 {
+		op() // warm up (allocator, code paths)
+		const minRounds, minTime = 3, 200 * time.Millisecond
+		var rounds int
+		start := time.Now()
+		for rounds = 0; rounds < minRounds || time.Since(start) < minTime; rounds++ {
+			op()
+		}
+		return time.Since(start).Nanoseconds() / int64(rounds)
+	}
+
+	xmlRes.Bytes = d.XMLSize()
+	xmlRes.NsPerOp = timeIt(func() {
+		var buf bytes.Buffer
+		if err := d.EncodeXML(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dataset.DecodeXML(&buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	colRes.Bytes = d.ColumnarSize()
+	colRes.NsPerOp = timeIt(func() {
+		var buf bytes.Buffer
+		if err := d.EncodeColumnar(&buf, 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dataset.DecodeColumnar(&buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	mbps := func(r wireCodecResult) float64 {
+		return float64(r.Bytes) / (float64(r.NsPerOp) / 1e9) / (1 << 20)
+	}
+	xmlRes.MBPerS = mbps(xmlRes)
+	colRes.MBPerS = mbps(colRes)
+	return xmlRes, colRes
+}
+
+func TestWireCodecSpeedup(t *testing.T) {
+	xmlRes, colRes := measureWireCodecs(t)
+	speedup := float64(xmlRes.NsPerOp) / float64(colRes.NsPerOp)
+	t.Logf("10k rows encode+decode: XML %.1fms (%d bytes, %.0f MB/s), columnar %.1fms (%d bytes, %.0f MB/s), %.1fx",
+		float64(xmlRes.NsPerOp)/1e6, xmlRes.Bytes, xmlRes.MBPerS,
+		float64(colRes.NsPerOp)/1e6, colRes.Bytes, colRes.MBPerS, speedup)
+	if speedup < 3 {
+		t.Errorf("columnar codec is only %.2fx the XML codec, want >= 3x", speedup)
+	}
+	if colRes.Bytes >= xmlRes.Bytes {
+		t.Errorf("columnar encoding (%d bytes) should be smaller than XML (%d bytes)", colRes.Bytes, xmlRes.Bytes)
+	}
+}
+
+// loadDrillResult summarizes a sustained concurrent load run.
+type loadDrillResult struct {
+	Clients   int     `json:"clients"`
+	Completed int     `json:"completed"`
+	Failures  int     `json:"failures"`
+	QPS       float64 `json:"qps"`
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	Queued    int64   `json:"admission_queued"`
+	Shed      int64   `json:"admission_shed"`
+}
+
+// runLoadDrill holds `clients` concurrent SOAP clients against an
+// admission-controlled federation until each has issued `perClient`
+// queries, then reports throughput and latency percentiles.
+func runLoadDrill(t testing.TB, clients, perClient int) loadDrillResult {
+	f, err := Launch(Options{
+		Bodies: 1000,
+		Admission: Admission{
+			MaxConcurrent: 2,
+			MaxQueue:      8 * clients,
+			QueueTimeout:  60 * time.Second,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	sql := `SELECT O.object_id, T.object_id
+		FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T
+		WHERE AREA(185.0, -0.5, 900) AND XMATCH(O, T) < 3.0`
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		failures  []error
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := f.Client()
+			for j := 0; j < perClient; j++ {
+				qStart := time.Now()
+				res, err := c.Query(sql)
+				lat := time.Since(qStart)
+				if err == nil && res.NumRows() == 0 {
+					err = fmt.Errorf("empty result")
+				}
+				mu.Lock()
+				latencies = append(latencies, lat)
+				if err != nil {
+					failures = append(failures, err)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	for i, err := range failures {
+		if i >= 3 {
+			t.Logf("... and %d more failures", len(failures)-3)
+			break
+		}
+		t.Logf("failure: %v", err)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		return float64(latencies[int(p*float64(len(latencies)-1))].Microseconds()) / 1000
+	}
+	var queued, shed int64
+	for _, n := range f.Nodes {
+		s := n.AdmissionStats()
+		queued += s.Queued
+		shed += s.Shed
+	}
+	return loadDrillResult{
+		Clients:   clients,
+		Completed: len(latencies) - len(failures),
+		Failures:  len(failures),
+		QPS:       float64(len(latencies)-len(failures)) / elapsed.Seconds(),
+		P50Ms:     pct(0.50),
+		P99Ms:     pct(0.99),
+		Queued:    queued,
+		Shed:      shed,
+	}
+}
+
+func TestSustainedConcurrentLoad(t *testing.T) {
+	clients, perClient := 256, 1
+	if testing.Short() {
+		clients, perClient = 64, 1
+	}
+	var before runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+
+	res := runLoadDrill(t, clients, perClient)
+	t.Logf("%d clients x %d queries: %d completed, %d failed, %.1f qps, p50=%.0fms p99=%.0fms, queued=%d shed=%d",
+		clients, perClient, res.Completed, res.Failures, res.QPS, res.P50Ms, res.P99Ms, res.Queued, res.Shed)
+
+	if res.Failures != 0 {
+		t.Errorf("%d of %d queries failed under sustained load", res.Failures, clients*perClient)
+	}
+	if res.Completed != clients*perClient {
+		t.Errorf("completed %d, want %d", res.Completed, clients*perClient)
+	}
+	if res.Queued == 0 {
+		t.Error("admission gates never queued — the drill did not create pressure")
+	}
+
+	// The admission gate's whole point: memory stays bounded however
+	// many queries are in flight. The bound is generous (the assert is
+	// about "not proportional to 256 concurrent materializations").
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	growth := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	t.Logf("heap growth after drill: %.1f MB", float64(growth)/(1<<20))
+	if growth > 512<<20 {
+		t.Errorf("heap grew %d MB during the drill, want bounded", growth>>20)
+	}
+}
+
+func TestWriteBenchWireJSON(t *testing.T) {
+	if *benchWireJSON == "" {
+		t.Skip("pass -bench-wire-json=PATH (an existing BENCH_scan.json) to record the wire benchmarks")
+	}
+	raw, err := os.ReadFile(*benchWireJSON)
+	if err != nil {
+		t.Fatalf("the eval trajectory must be written first (TestWriteBenchScanJSON): %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("parsing %s: %v", *benchWireJSON, err)
+	}
+
+	xmlRes, colRes := measureWireCodecs(t)
+	speedup := float64(int64(float64(xmlRes.NsPerOp)/float64(colRes.NsPerOp)*100+0.5)) / 100
+	doc["wire_codec"] = map[string]any{
+		"benchmark": "10k-row mixed-type result set, full encode+decode round trip",
+		"rows":      benchWireRows,
+		"xml":       xmlRes,
+		"columnar":  colRes,
+		"speedup":   speedup,
+	}
+
+	load := runLoadDrill(t, 256, 1)
+	doc["concurrent_load"] = map[string]any{
+		"benchmark": "256 concurrent SOAP clients, two-archive cross-match, admission MaxConcurrent=2 per node",
+		"result":    load,
+	}
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*benchWireJSON, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("merged wire_codec (%.1fx) and concurrent_load (%.1f qps, p99 %.0fms)", speedup, load.QPS, load.P99Ms)
+}
+
+func TestWirePerfGate(t *testing.T) {
+	if *wireGateBaseline == "" {
+		t.Skip("pass -wire-gate-baseline=PATH (the checked-in BENCH_scan.json) to run the wire perf gate")
+	}
+	maxPct := 15.0
+	if s := os.Getenv("PERF_GATE_MAX_REGRESS_PCT"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("bad PERF_GATE_MAX_REGRESS_PCT %q: %v", s, err)
+		}
+		maxPct = v
+	}
+	raw, err := os.ReadFile(*wireGateBaseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base struct {
+		WireCodec struct {
+			Columnar wireCodecResult `json:"columnar"`
+		} `json:"wire_codec"`
+	}
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatalf("parsing baseline %s: %v", *wireGateBaseline, err)
+	}
+	if base.WireCodec.Columnar.MBPerS <= 0 {
+		t.Fatalf("baseline %s has no wire_codec.columnar measurement", *wireGateBaseline)
+	}
+
+	xmlRes, colRes := measureWireCodecs(t)
+	regressPct := (base.WireCodec.Columnar.MBPerS - colRes.MBPerS) / base.WireCodec.Columnar.MBPerS * 100
+	t.Logf("columnar: %.0f MB/s vs baseline %.0f (%+.1f%% slower, gate %+.1f%%)",
+		colRes.MBPerS, base.WireCodec.Columnar.MBPerS, regressPct, maxPct)
+	if regressPct > maxPct {
+		t.Errorf("columnar wire throughput regressed %.1f%% (%.0f -> %.0f MB/s), above the %.1f%% gate",
+			regressPct, base.WireCodec.Columnar.MBPerS, colRes.MBPerS, maxPct)
+	}
+	if speedup := float64(xmlRes.NsPerOp) / float64(colRes.NsPerOp); speedup < 3 {
+		t.Errorf("columnar is only %.2fx the XML codec, the >= 3x claim no longer holds", speedup)
+	}
+}

@@ -5,6 +5,14 @@
 //
 //	skyquery-bench            # run everything
 //	skyquery-bench -run C1,C5 # run selected experiments
+//
+// With -load N the command instead runs a sustained-load drill: it
+// launches an in-process federation with admission control enabled and
+// holds N concurrent clients querying the Portal over the full SOAP
+// path for -load-duration, reporting throughput, latency percentiles,
+// and how the admission gates behaved.
+//
+//	skyquery-bench -load 256 -load-duration 10s
 package main
 
 import (
@@ -12,16 +20,29 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
+	"skyquery"
 	"skyquery/internal/experiments"
 )
 
 func main() {
 	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	load := flag.Int("load", 0, "run the sustained-load drill with this many concurrent clients instead of experiments")
+	loadDuration := flag.Duration("load-duration", 10*time.Second, "how long the -load drill runs")
+	loadCodec := flag.String("load-codec", "", "wire codec for the -load drill: binary (default) or xml")
 	flag.Parse()
+
+	if *load > 0 {
+		if err := runLoad(*load, *loadDuration, *loadCodec); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	all := experiments.All()
 	if *list {
@@ -57,4 +78,92 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// runLoad is the sustained-load drill: clients concurrent SOAP clients
+// hammer one federated query for d, against nodes whose admission gates
+// queue and shed under pressure while the clients ride the sheds out
+// with retries. Zero failures is the pass condition — every query must
+// either complete or be retried to completion.
+func runLoad(clients int, d time.Duration, codecName string) error {
+	codec, ok := skyquery.ParseCodec(codecName)
+	if !ok {
+		return fmt.Errorf("bad -load-codec %q, want binary or xml", codecName)
+	}
+	f, err := skyquery.Launch(skyquery.Options{
+		Bodies: 2000,
+		Codec:  codec,
+		Admission: skyquery.Admission{
+			MaxConcurrent: 8,
+			MaxQueue:      4 * clients,
+			QueueTimeout:  30 * time.Second,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	region := skyquery.NewCap(185, -0.5, 0.25)
+	ra, dec := region.Center.RaDec()
+	sql := fmt.Sprintf(`SELECT O.object_id, T.object_id
+		FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T
+		WHERE AREA(%g, %g, %g) AND XMATCH(O, T) < 3.0`,
+		ra, dec, skyquery.ToArcsec(region.Radius))
+
+	log.Printf("load drill: %d clients for %s (codec %s)", clients, d, codec)
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		failures  int
+		rows      int64
+	)
+	deadline := time.Now().Add(d)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := f.Client()
+			for time.Now().Before(deadline) {
+				start := time.Now()
+				res, err := c.Query(sql)
+				lat := time.Since(start)
+				mu.Lock()
+				latencies = append(latencies, lat)
+				if err != nil {
+					failures++
+				} else {
+					rows += int64(res.NumRows())
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	completed := len(latencies) - failures
+	fmt.Printf("completed: %d queries, %d failures, %d result rows\n", completed, failures, rows)
+	fmt.Printf("throughput: %.1f qps\n", float64(completed)/d.Seconds())
+	fmt.Printf("latency: p50=%s p90=%s p99=%s max=%s\n",
+		pct(0.50).Round(time.Millisecond), pct(0.90).Round(time.Millisecond),
+		pct(0.99).Round(time.Millisecond), pct(1.0).Round(time.Millisecond))
+	for name, n := range f.Nodes {
+		s := n.AdmissionStats()
+		fmt.Printf("node %s admission: admitted=%d queued=%d shed=%d\n", name, s.Admitted, s.Queued, s.Shed)
+	}
+	hits := f.Portal.PlanCacheStats()
+	fmt.Printf("portal plan cache: hits=%d misses=%d\n", hits.Hits, hits.Misses)
+	if failures > 0 {
+		return fmt.Errorf("load drill: %d queries failed", failures)
+	}
+	return nil
 }

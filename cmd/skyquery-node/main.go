@@ -47,6 +47,11 @@ func main() {
 	hotBlocks := flag.Int("hot-blocks", 0, "sealed 1024-row blocks kept resident per table (0 = default 16); only with -data")
 	fsync := flag.Bool("fsync", false, "fsync the write-ahead log on every append; only with -data")
 	callTimeout := flag.Duration("call-timeout", 0, "HTTP deadline for daisy-chain calls to other nodes (0 = 2m default, negative = none)")
+	codec := flag.String("codec", "", "response wire codec: binary (negotiated, default) or xml")
+	maxConcurrent := flag.Int("max-concurrent", 0, "admission gate: concurrent step executions (0 = unlimited)")
+	memoryBudget := flag.Int64("memory-budget", 0, "admission gate: estimated bytes of step input in flight (0 = 256 MiB default, negative = unbounded); needs -max-concurrent")
+	admitQueue := flag.Int("admit-queue", 0, "admission gate: waiting steps before shedding (0 = 4x max-concurrent, negative = none)")
+	admitTimeout := flag.Duration("admit-timeout", 0, "admission gate: queue wait before shedding (0 = 5s default)")
 	addr := flag.String("addr", ":8081", "listen address")
 	publicURL := flag.String("url", "", "public URL for WSDL and registration (defaults to http://<host>:<port>)")
 	portalURL := flag.String("portal", "", "portal endpoint to register with on startup")
@@ -86,11 +91,22 @@ func main() {
 		log.Fatal(err)
 	}
 
+	nodeCodec, ok := soap.ParseCodec(*codec)
+	if !ok {
+		log.Fatalf("bad -codec %q, want binary or xml", *codec)
+	}
 	cfg := skynode.Config{
 		Name: *name, DB: db, PrimaryTable: survey.TableName,
 		RACol: "ra", DecCol: "dec", SigmaArcsec: *sigma,
 		Parallelism: *parallelism,
-		Client:      &soap.Client{Timeout: *callTimeout},
+		Client:      &soap.Client{Timeout: *callTimeout, Codec: nodeCodec},
+		Codec:       nodeCodec,
+		Admission: skynode.Admission{
+			MaxConcurrent: *maxConcurrent,
+			MemoryBudget:  *memoryBudget,
+			MaxQueue:      *admitQueue,
+			QueueTimeout:  *admitTimeout,
+		},
 	}
 	if *verbose {
 		cfg.OnEvent = func(e skynode.Event) { log.Printf("[%s] %s", e.Kind, e.Detail) }

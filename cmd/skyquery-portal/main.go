@@ -14,6 +14,7 @@ import (
 	"net/http"
 
 	"skyquery/internal/portal"
+	"skyquery/internal/soap"
 )
 
 func main() {
@@ -22,10 +23,24 @@ func main() {
 	chunkRows := flag.Int("chunk-rows", 5000, "rows per SOAP message for large results")
 	matchCols := flag.Bool("match-columns", false, "append _matchRA/_matchDec/_logLikelihood/_nObs to results")
 	parallelism := flag.Int("parallelism", 0, "chain-step worker hint written into plans (0 = node default, 1 = sequential)")
+	codec := flag.String("codec", "", "wire codec for node calls and client responses: binary (negotiated, default) or xml")
+	planCache := flag.Int("plan-cache", 0, "compiled-plan cache entries per generation (0 = 256 default, negative = disabled)")
+	retryOverloaded := flag.Int("retry-overloaded", 4, "retries with doubling backoff when a node sheds a query as overloaded")
 	verbose := flag.Bool("v", false, "log query trace events")
 	flag.Parse()
 
-	cfg := portal.Config{ChunkRows: *chunkRows, IncludeMatchColumns: *matchCols, Parallelism: *parallelism}
+	portalCodec, ok := soap.ParseCodec(*codec)
+	if !ok {
+		log.Fatalf("bad -codec %q, want binary or xml", *codec)
+	}
+	cfg := portal.Config{
+		ChunkRows:           *chunkRows,
+		IncludeMatchColumns: *matchCols,
+		Parallelism:         *parallelism,
+		PlanCacheSize:       *planCache,
+		Codec:               portalCodec,
+		Client:              &soap.Client{Codec: portalCodec, MaxRetries: *retryOverloaded},
+	}
 	if *verbose {
 		cfg.OnEvent = func(e portal.Event) { log.Printf("[%s] %s", e.Kind, e.Detail) }
 	}

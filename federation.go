@@ -14,6 +14,30 @@ import (
 	"skyquery/internal/survey"
 )
 
+// Codec selects the wire codec for SOAP response bodies.
+type Codec = soap.Codec
+
+// Codec values for Options.Codec and the daemons' -codec flag.
+const (
+	// CodecNegotiate (the default) answers requests from binary-capable
+	// clients with the columnar frame format and everyone else with XML.
+	CodecNegotiate = soap.CodecNegotiate
+	// CodecXML forces XML both ways — the paper-faithful wire format.
+	CodecXML = soap.CodecXML
+)
+
+// ParseCodec parses a codec name ("binary", "columnar", "negotiate",
+// "xml", or empty for the default).
+func ParseCodec(s string) (Codec, bool) { return soap.ParseCodec(s) }
+
+// Admission configures a node's step-execution admission gate (see
+// skynode.Admission). The zero value disables admission.
+type Admission = skynode.Admission
+
+// DefaultOverloadRetries is how often clients retry a query shed by an
+// overloaded node when Options.OverloadRetries is zero.
+const DefaultOverloadRetries = 4
+
 // NodeSpec attaches a hand-built archive database to a federation, for
 // callers that do not want a generated synthetic survey.
 type NodeSpec struct {
@@ -71,6 +95,20 @@ type Options struct {
 	// as the Portal's hint. 0 means GOMAXPROCS; 1 recovers the sequential
 	// executor. Results are bit-identical at every setting.
 	Parallelism int
+	// Codec selects the SOAP wire codec for every server and client in
+	// the federation. The default negotiates the binary columnar format;
+	// CodecXML restores the paper-faithful XML wire.
+	Codec Codec
+	// Admission configures every node's step-execution admission gate.
+	// The zero value disables admission (no limits, as before).
+	Admission Admission
+	// PlanCacheSize bounds the Portal's compiled-plan cache (entries per
+	// generation; 0 = the default 256, negative = disabled).
+	PlanCacheSize int
+	// OverloadRetries is how often SOAP clients retry a call shed by an
+	// overloaded node, with doubling backoff (0 = DefaultOverloadRetries,
+	// negative = never retry).
+	OverloadRetries int
 	// PortalEvents and NodeEvents receive trace events when set.
 	PortalEvents func(kind, detail string)
 	NodeEvents   func(node, kind, detail string)
@@ -109,6 +147,8 @@ type Federation struct {
 	mu      sync.Mutex
 	servers []*http.Server
 	lns     []net.Listener
+	codec   Codec
+	retries int
 }
 
 // Launch builds and starts a federation.
@@ -141,13 +181,27 @@ func Launch(opts Options) (*Federation, error) {
 	case callTimeout < 0:
 		callTimeout = 0
 	}
-	soapClient := &soap.Client{HTTPClient: tr.ClientWithTimeout(callTimeout), MessageLimit: opts.MessageLimit}
+	retries := opts.OverloadRetries
+	switch {
+	case retries == 0:
+		retries = DefaultOverloadRetries
+	case retries < 0:
+		retries = 0
+	}
+	soapClient := &soap.Client{
+		HTTPClient:   tr.ClientWithTimeout(callTimeout),
+		MessageLimit: opts.MessageLimit,
+		Codec:        opts.Codec,
+		MaxRetries:   retries,
+	}
 
 	f := &Federation{
 		Nodes:     map[string]*skynode.Node{},
 		NodeURLs:  map[string]string{},
 		Archives:  map[string]*survey.Archive{},
 		Transport: tr,
+		codec:     opts.Codec,
+		retries:   retries,
 	}
 
 	var portalEvents func(portal.Event)
@@ -161,6 +215,8 @@ func Launch(opts Options) (*Federation, error) {
 		MessageLimit:        opts.MessageLimit,
 		IncludeMatchColumns: opts.IncludeMatchColumns,
 		Parallelism:         opts.Parallelism,
+		PlanCacheSize:       opts.PlanCacheSize,
+		Codec:               opts.Codec,
 		OnEvent:             portalEvents,
 	})
 	portalURL, err := f.serve(f.Portal.Server())
@@ -223,6 +279,8 @@ func (f *Federation) attach(spec NodeSpec, soapClient *soap.Client, opts Options
 		ChunkRows:    opts.ChunkRows,
 		MessageLimit: opts.MessageLimit,
 		Parallelism:  opts.Parallelism,
+		Admission:    opts.Admission,
+		Codec:        opts.Codec,
 		OnEvent:      onEvent,
 	})
 	if err != nil {
@@ -278,7 +336,7 @@ func (f *Federation) BuildPlan(sql string) (*Plan, error) {
 // the full web-service path a remote astronomer would use.
 func (f *Federation) Client() *Client {
 	c := Dial(f.PortalURL)
-	c.SOAP = &soap.Client{HTTPClient: f.Transport.Client()}
+	c.SOAP = &soap.Client{HTTPClient: f.Transport.Client(), Codec: f.codec, MaxRetries: f.retries}
 	return c
 }
 

@@ -100,8 +100,43 @@ func (e *Engine) emit(kind, format string, args ...interface{}) {
 	e.OnEvent(Event{Kind: kind, Detail: fmt.Sprintf(format, args...)})
 }
 
+// Prepared is a compiled query: parsed, validated, and — for cross-match
+// queries — planned, with the count-star performance queries already
+// spent. A Prepared can be executed any number of times; each run stamps
+// a fresh query ID into a copy of the plan, so concurrent executions of
+// the same Prepared are independent. The Portal's plan cache holds these
+// across requests, amortizing the parse/validate/plan (and its count-star
+// round-trips) over every re-submission of the same query text.
+type Prepared struct {
+	key  string
+	q    *sqlparse.Query
+	plan *plan.Plan // nil for pass-through (non-XMATCH) queries
+}
+
+// Key returns the canonical form of the prepared query: the parser's
+// printed AST, identical for every formatting (whitespace, keyword case)
+// of the same query. Caches use it as their lookup key.
+func (p *Prepared) Key() string { return p.key }
+
+// IsCrossMatch reports whether the prepared query carries a chain plan
+// (false for single-archive pass-through queries).
+func (p *Prepared) IsCrossMatch() bool { return p.plan != nil }
+
 // Execute parses and runs a query, returning the final result set.
 func (e *Engine) Execute(sql string) (*dataset.DataSet, error) {
+	prep, err := e.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecutePrepared(prep)
+}
+
+// Prepare parses, validates, and plans a query without executing it.
+// For cross-match queries this includes the count-star performance
+// probes, so preparing is itself a federated operation. It emits the
+// "submit" event (Figure 3 step 1); re-running a cached Prepared should
+// announce the submission through EmitSubmit instead.
+func (e *Engine) Prepare(sql string) (*Prepared, error) {
 	q, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -110,19 +145,39 @@ func (e *Engine) Execute(sql string) (*dataset.DataSet, error) {
 	if err := sqlparse.Validate(q); err != nil {
 		return nil, err
 	}
-	if q.XMatch == nil {
-		return e.passThrough(q)
+	prep := &Prepared{key: q.String(), q: q}
+	if q.XMatch != nil {
+		p, err := e.BuildPlan(q)
+		if err != nil {
+			return nil, err
+		}
+		prep.plan = p
 	}
-	p, err := e.BuildPlan(q)
+	return prep, nil
+}
+
+// EmitSubmit announces a query submission. Prepare emits it on the
+// miss path; callers replaying a cached Prepared call this so the event
+// trace keeps its submit -> execute -> relay shape.
+func (e *Engine) EmitSubmit(sql string) {
+	e.emit("submit", "%s", strings.TrimSpace(sql))
+}
+
+// ExecutePrepared runs a previously prepared query. Cross-match plans
+// are executed on a copy stamped with a fresh query ID; the Prepared
+// itself is never mutated and stays valid for further executions.
+func (e *Engine) ExecutePrepared(prep *Prepared) (*dataset.DataSet, error) {
+	if prep.plan == nil {
+		return e.passThrough(prep.q)
+	}
+	pl := *prep.plan
+	pl.QueryID = e.queryID()
+	e.emit("execute", "chain: %s", &pl)
+	tuples, err := e.Services.CrossMatch(&pl)
 	if err != nil {
 		return nil, err
 	}
-	e.emit("execute", "chain: %s", p)
-	tuples, err := e.Services.CrossMatch(p)
-	if err != nil {
-		return nil, err
-	}
-	res, err := e.project(q, tuples)
+	res, err := e.project(prep.q, tuples)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,356 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"skyquery/internal/value"
+)
+
+func TestColumnarRoundTrip(t *testing.T) {
+	for _, rows := range []int{0, 1, 3, 64, 2500} {
+		d := sample(rows, int64(rows)+10)
+		var buf bytes.Buffer
+		if err := d.EncodeColumnar(&buf, 0); err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeColumnar(&buf)
+		if err != nil {
+			t.Fatalf("%d rows: %v", rows, err)
+		}
+		if !equal(d, got) {
+			t.Errorf("%d rows: columnar round trip mismatch", rows)
+		}
+	}
+}
+
+func TestColumnarPaging(t *testing.T) {
+	d := sample(103, 11)
+	var buf bytes.Buffer
+	if err := d.EncodeColumnar(&buf, 7); err != nil {
+		t.Fatal(err)
+	}
+	dec := NewColumnarDecoder(&buf)
+	cols, err := dec.ReadSchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := &DataSet{Columns: cols}
+	pages := 0
+	for {
+		n, err := dec.ReadPage(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+		if n > 7 {
+			t.Fatalf("page of %d rows, want <= 7", n)
+		}
+		pages++
+	}
+	if pages != 15 {
+		t.Errorf("pages = %d, want 15", pages)
+	}
+	if !equal(d, got) {
+		t.Error("paged round trip mismatch")
+	}
+}
+
+func TestColumnarSpecialFloats(t *testing.T) {
+	d := New(Column{Name: "f", Type: value.FloatType})
+	for _, f := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), math.Copysign(0, -1), 1e-308, math.MaxFloat64} {
+		d.Append([]value.Value{value.Float(f)})
+	}
+	d.Append([]value.Value{value.Null})
+	var buf bytes.Buffer
+	if err := d.EncodeColumnar(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeColumnar(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equal(d, got) {
+		t.Error("special floats mismatch")
+	}
+	// Bit-exactness for -0 (value.Equal treats -0 == +0).
+	f, _ := got.Rows[3][0].AsFloat()
+	if math.Float64bits(f) != math.Float64bits(math.Copysign(0, -1)) {
+		t.Error("-0 lost its sign bit")
+	}
+}
+
+func TestColumnarIntCellsInFloatColumn(t *testing.T) {
+	// The XML codec widens int cells through text re-parse; the native
+	// float path must do the same.
+	d := New(Column{Name: "f", Type: value.FloatType})
+	d.Append([]value.Value{value.Int(42)})
+	d.Append([]value.Value{value.Float(1.5)})
+	var buf bytes.Buffer
+	if err := d.EncodeColumnar(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeColumnar(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := got.Rows[0][0].AsFloat(); f != 42 || got.Rows[0][0].Type() != value.FloatType {
+		t.Errorf("int-in-float cell = %v", got.Rows[0][0])
+	}
+}
+
+func TestColumnarBoxedFallback(t *testing.T) {
+	// Off-schema cells (a string in an INT column) are legal in DataSet;
+	// the boxed column block must round-trip them exactly.
+	d := New(Column{Name: "x", Type: value.IntType}, Column{Name: "n", Type: value.NullType})
+	d.Append([]value.Value{value.Int(7), value.Null})
+	d.Append([]value.Value{value.String("stray"), value.Null})
+	d.Append([]value.Value{value.Bool(true), value.Null})
+	d.Append([]value.Value{value.Float(2.5), value.Null})
+	d.Append([]value.Value{value.Null, value.Null})
+	var buf bytes.Buffer
+	if err := d.EncodeColumnar(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeColumnar(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equal(d, got) {
+		t.Error("boxed fallback mismatch")
+	}
+	if got.Rows[1][0].AsString() != "stray" || got.Rows[3][0].Type() != value.FloatType {
+		t.Errorf("boxed cells lost their types: %v %v", got.Rows[1][0], got.Rows[3][0])
+	}
+}
+
+func TestColumnarNullVsEmptyString(t *testing.T) {
+	d := New(Column{Name: "s", Type: value.StringType})
+	d.Append([]value.Value{value.Null})
+	d.Append([]value.Value{value.String("")})
+	var buf bytes.Buffer
+	if err := d.EncodeColumnar(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeColumnar(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Rows[0][0].IsNull() {
+		t.Error("NULL lost in round trip")
+	}
+	if got.Rows[1][0].IsNull() {
+		t.Error("empty string became NULL")
+	}
+}
+
+func TestColumnarTornFrames(t *testing.T) {
+	d := sample(9, 12)
+	var buf bytes.Buffer
+	if err := d.EncodeColumnar(&buf, 4); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for n := 0; n < len(full); n++ {
+		if _, err := DecodeColumnar(bytes.NewReader(full[:n])); err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded without error", n, len(full))
+		}
+	}
+}
+
+func TestColumnarCorruption(t *testing.T) {
+	d := sample(9, 13)
+	var buf bytes.Buffer
+	if err := d.EncodeColumnar(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for i := range full {
+		mut := bytes.Clone(full)
+		mut[i] ^= 0x40
+		got, err := DecodeColumnar(bytes.NewReader(mut))
+		if err == nil && !equal(d, got) {
+			t.Fatalf("flip at byte %d decoded to a different set without error", i)
+		}
+	}
+}
+
+func TestColumnarGarbage(t *testing.T) {
+	if _, err := DecodeColumnar(strings.NewReader("junk stream")); err == nil {
+		t.Error("garbage should fail")
+	}
+	// A huge declared frame length must be rejected, not allocated.
+	hdr := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, err := DecodeColumnar(bytes.NewReader(hdr)); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Errorf("oversized frame err = %v", err)
+	}
+}
+
+func TestColumnarSmallerThanXML(t *testing.T) {
+	d := sample(2000, 14)
+	if cs, xs := d.ColumnarSize(), d.XMLSize(); cs == 0 || cs >= xs {
+		t.Errorf("columnar (%d) should be smaller than XML (%d)", cs, xs)
+	}
+}
+
+// fuzzReader derives structured choices from fuzz bytes.
+type fuzzReader struct {
+	data []byte
+	pos  int
+}
+
+func (f *fuzzReader) byte() byte {
+	if f.pos >= len(f.data) {
+		return 0
+	}
+	b := f.data[f.pos]
+	f.pos++
+	return b
+}
+
+func (f *fuzzReader) uint64() uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(f.byte())
+	}
+	return v
+}
+
+func (f *fuzzReader) str() string {
+	n := int(f.byte()) % 16
+	end := f.pos + n
+	if end > len(f.data) {
+		end = len(f.data)
+	}
+	s := string(f.data[f.pos:end])
+	f.pos = end
+	return s
+}
+
+// buildFuzzDataSet turns fuzz bytes into a schema-conforming DataSet.
+func buildFuzzDataSet(fr *fuzzReader) *DataSet {
+	ncols := int(fr.byte())%5 + 1
+	d := &DataSet{}
+	for i := 0; i < ncols; i++ {
+		t := value.Type(fr.byte() % 5)
+		d.Columns = append(d.Columns, Column{Name: "c" + string(rune('a'+i)), Type: t})
+	}
+	nrows := int(fr.byte()) % 60
+	for r := 0; r < nrows; r++ {
+		row := make([]value.Value, ncols)
+		for c := 0; c < ncols; c++ {
+			choice := fr.byte()
+			if choice%7 == 0 {
+				row[c] = value.Null
+				continue
+			}
+			switch d.Columns[c].Type {
+			case value.IntType:
+				row[c] = value.Int(int64(fr.uint64()))
+			case value.FloatType:
+				switch choice % 5 {
+				case 0:
+					row[c] = value.Float(math.NaN())
+				case 1:
+					row[c] = value.Int(int64(fr.uint64()) % 1000) // widened like XML
+				default:
+					row[c] = value.Float(math.Float64frombits(fr.uint64()))
+				}
+			case value.StringType:
+				row[c] = value.String(fr.str())
+			case value.BoolType:
+				row[c] = value.Bool(choice%2 == 0)
+			case value.NullType:
+				row[c] = value.Null
+			}
+		}
+		d.Rows = append(d.Rows, row)
+	}
+	return d
+}
+
+// xmlSafe reports whether every string cell survives XML text encoding
+// unmangled (valid UTF-8, no control characters, no \r normalization).
+func xmlSafe(d *DataSet) bool {
+	for _, row := range d.Rows {
+		for _, v := range row {
+			if v.Type() != value.StringType {
+				continue
+			}
+			s := v.AsString()
+			if !utf8.ValidString(s) {
+				return false
+			}
+			for _, r := range s {
+				if r < 0x20 && r != '\t' && r != '\n' {
+					return false
+				}
+				if r == 0xFFFD {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// FuzzBinaryCodec is the differential fuzz target: the columnar codec
+// must round-trip any schema-conforming DataSet exactly, agree with the
+// XML codec wherever XML is lossless, and reject torn or bit-flipped
+// streams instead of mis-decoding them.
+func FuzzBinaryCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 1, 2, 3, 10, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{1, 2, 4, 0, 0, 0, 0, 0, 0, 0, 0, 1, 5, 'h', 'i'})
+	f.Add(bytes.Repeat([]byte{0xff, 0x00, 0x7a}, 40))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := &fuzzReader{data: data}
+		d := buildFuzzDataSet(fr)
+
+		var bin bytes.Buffer
+		pageRows := int(fr.byte())%10 + 1
+		if err := d.EncodeColumnar(&bin, pageRows); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		encoded := bytes.Clone(bin.Bytes())
+		got, err := DecodeColumnar(&bin)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !equal(d, got) {
+			t.Fatal("columnar round trip mismatch")
+		}
+
+		// Differential vs the XML codec where XML is lossless.
+		if xmlSafe(d) {
+			var x bytes.Buffer
+			if err := d.EncodeXML(&x); err == nil {
+				if viaXML, err := DecodeXML(&x); err == nil {
+					if !equal(viaXML, got) {
+						t.Fatal("columnar and XML codecs disagree")
+					}
+				}
+			}
+		}
+
+		// Torn frame: any strict prefix must error.
+		if len(encoded) > 0 {
+			cut := int(fr.uint64() % uint64(len(encoded)))
+			if _, err := DecodeColumnar(bytes.NewReader(encoded[:cut])); err == nil {
+				t.Fatalf("torn stream (cut at %d/%d) decoded without error", cut, len(encoded))
+			}
+			// Bit flip: must error or still decode to the same set.
+			flip := int(fr.uint64() % uint64(len(encoded)))
+			mut := bytes.Clone(encoded)
+			mut[flip] ^= 1 << (fr.byte() % 8)
+			if mutGot, err := DecodeColumnar(bytes.NewReader(mut)); err == nil && !equal(d, mutGot) {
+				t.Fatalf("bit flip at %d decoded to a different set without error", flip)
+			}
+		}
+	})
+}

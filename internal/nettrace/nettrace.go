@@ -10,11 +10,46 @@ package nettrace
 import (
 	"bytes"
 	"io"
+	"net"
 	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// sharedTransport is the process-wide tuned *http.Transport every
+// federation client pools connections through. http.DefaultTransport's
+// MaxIdleConnsPerHost=2 throttles the portal's scatter calls: with
+// parallelism above 2, every burst tears down and re-establishes
+// connections to the same node. One shared transport with a deep
+// per-host idle pool keeps the daisy chain and the count-star fan-out
+// on warm keep-alive connections.
+var (
+	sharedOnce      sync.Once
+	sharedTransport *http.Transport
+)
+
+// SharedTransport returns the shared tuned transport. Callers must not
+// mutate it.
+func SharedTransport() *http.Transport {
+	sharedOnce.Do(func() {
+		sharedTransport = &http.Transport{
+			Proxy: http.ProxyFromEnvironment,
+			DialContext: (&net.Dialer{
+				Timeout:   30 * time.Second,
+				KeepAlive: 30 * time.Second,
+			}).DialContext,
+			// Deep enough for hundreds of in-flight federated queries
+			// against a handful of nodes.
+			MaxIdleConns:          1024,
+			MaxIdleConnsPerHost:   256,
+			IdleConnTimeout:       90 * time.Second,
+			TLSHandshakeTimeout:   10 * time.Second,
+			ExpectContinueTimeout: time.Second,
+		}
+	})
+	return sharedTransport
+}
 
 // Stats is a snapshot of transport counters.
 type Stats struct {
@@ -37,10 +72,9 @@ type Call struct {
 }
 
 // Transport is an http.RoundTripper that counts and optionally shapes
-// traffic. The zero value is usable and delegates to
-// http.DefaultTransport.
+// traffic. The zero value is usable and delegates to SharedTransport.
 type Transport struct {
-	// Base is the underlying transport; nil means http.DefaultTransport.
+	// Base is the underlying transport; nil means SharedTransport.
 	Base http.RoundTripper
 	// Latency is added once per request (round-trip time).
 	Latency time.Duration
@@ -63,7 +97,7 @@ func (t *Transport) base() http.RoundTripper {
 	if t.Base != nil {
 		return t.Base
 	}
-	return http.DefaultTransport
+	return SharedTransport()
 }
 
 // RoundTrip implements http.RoundTripper. The response body is fully

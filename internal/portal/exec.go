@@ -8,6 +8,7 @@ import (
 	"skyquery/internal/plan"
 	"skyquery/internal/skynode"
 	"skyquery/internal/soap"
+	"skyquery/internal/sqlparse"
 	"skyquery/internal/value"
 )
 
@@ -30,9 +31,39 @@ func (p *Portal) engine() *core.Engine {
 }
 
 // Query executes a query (cross-match or single-archive) and returns the
-// final result set.
+// final result set. Repeated submissions of the same query (under any
+// formatting) replay its cached prepared form, skipping parse, validate,
+// plan, and the count-star performance probes.
 func (p *Portal) Query(sql string) (*dataset.DataSet, error) {
-	return p.engine().Execute(sql)
+	eng := p.engine()
+	if p.plans == nil {
+		return eng.Execute(sql)
+	}
+	key, err := p.planKey(sql)
+	if err != nil {
+		return nil, err
+	}
+	if prep, ok := p.plans.get(key); ok {
+		eng.EmitSubmit(sql)
+		return eng.ExecutePrepared(prep)
+	}
+	prep, err := eng.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	p.plans.put(key, prep)
+	return eng.ExecutePrepared(prep)
+}
+
+// planKey builds the plan-cache key for a query: its canonical parsed
+// form (so formatting differences share an entry) plus the portal's
+// planning salt (so catalog or option changes do not).
+func (p *Portal) planKey(sql string) (string, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	return q.String() + "\x00" + p.planSalt(), nil
 }
 
 // PullQuery executes a cross-match with the pull-to-portal baseline

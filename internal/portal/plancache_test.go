@@ -1,0 +1,182 @@
+package portal
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// countKinds tallies event kinds in a slice.
+func countKinds(events []string, kind string) int {
+	n := 0
+	for _, k := range events {
+		if k == kind {
+			n++
+		}
+	}
+	return n
+}
+
+func TestPlanCacheHitSkipsPlanning(t *testing.T) {
+	f := newFed(t, 100, surveyConfigs())
+	q := paperStyleQuery("")
+
+	first, err := f.portal.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := f.portal.PlanCacheStats(); s.Misses != 1 || s.Hits != 0 || s.Entries != 1 {
+		t.Fatalf("after first query: %+v", s)
+	}
+	missEvents := f.eventLog()
+	if countKinds(missEvents, "perfquery.send") == 0 {
+		t.Fatal("miss path sent no performance queries")
+	}
+
+	f.clearEvents()
+	second, err := f.portal.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := f.portal.PlanCacheStats(); s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("after second query: %+v", s)
+	}
+	hitEvents := f.eventLog()
+	// The hit replays the plan: no count-star probes, no re-plan — but
+	// the trace keeps its submit -> execute -> relay shape.
+	if n := countKinds(hitEvents, "perfquery.send"); n != 0 {
+		t.Errorf("hit path sent %d performance queries", n)
+	}
+	if n := countKinds(hitEvents, "plan"); n != 0 {
+		t.Errorf("hit path re-planned %d times", n)
+	}
+	for _, kind := range []string{"submit", "execute", "relay"} {
+		if countKinds(hitEvents, kind) != 1 {
+			t.Errorf("hit path events = %v, want one %q", hitEvents, kind)
+		}
+	}
+
+	// Same rows both times.
+	if first.NumRows() == 0 || first.NumRows() != second.NumRows() {
+		t.Errorf("rows: first=%d second=%d", first.NumRows(), second.NumRows())
+	}
+}
+
+func TestPlanCacheNormalizedKey(t *testing.T) {
+	f := newFed(t, 100, surveyConfigs())
+	q := paperStyleQuery("")
+
+	if _, err := f.portal.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	// Same query, different formatting: extra whitespace and lower-cased
+	// keywords parse to the same canonical form and must hit.
+	// (Identifiers keep their case; only keywords are case-insensitive.)
+	reformatted := strings.NewReplacer(
+		"SELECT", "select", "FROM", "from", "WHERE", "where", "AND", "and",
+	).Replace(strings.Join(strings.Fields(q), "  "))
+	if _, err := f.portal.Query(reformatted); err != nil {
+		t.Fatal(err)
+	}
+	if s := f.portal.PlanCacheStats(); s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("reformatted query did not hit: %+v", s)
+	}
+
+	// A genuinely different query misses.
+	if _, err := f.portal.Query(paperStyleQuery("O.flux < 1000")); err != nil {
+		t.Fatal(err)
+	}
+	if s := f.portal.PlanCacheStats(); s.Misses != 2 || s.Entries != 2 {
+		t.Errorf("distinct query shared an entry: %+v", s)
+	}
+}
+
+func TestPlanCacheCatalogChangeInvalidates(t *testing.T) {
+	f := newFed(t, 100, surveyConfigs())
+	q := paperStyleQuery("")
+
+	if _, err := f.portal.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	// Re-registration (schema may have changed) bumps the catalog
+	// version: the cached plan's key no longer matches.
+	if err := f.portal.Register("SDSS", f.endpoints["SDSS"]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.portal.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	if s := f.portal.PlanCacheStats(); s.Hits != 0 || s.Misses != 2 {
+		t.Errorf("catalog change did not invalidate: %+v", s)
+	}
+	// Stable catalog again: the re-prepared plan hits.
+	if _, err := f.portal.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	if s := f.portal.PlanCacheStats(); s.Hits != 1 {
+		t.Errorf("re-prepared plan did not hit: %+v", s)
+	}
+}
+
+func TestPlanCacheOptionSalt(t *testing.T) {
+	// Portals planning with different options must derive different keys
+	// for the same SQL: a cached plan bakes in chunk size, parallelism,
+	// and the diagnostic-column choice.
+	base := New(Config{})
+	variants := []*Portal{
+		New(Config{ChunkRows: 100}),
+		New(Config{Parallelism: 2}),
+		New(Config{IncludeMatchColumns: true}),
+	}
+	sql := "SELECT o.x FROM a:t o WHERE o.x > 1"
+	baseKey, err := base.planKey(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range variants {
+		k, err := v.planKey(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == baseKey {
+			t.Errorf("variant %d shares the base key %q", i, k)
+		}
+	}
+	// ...while the same options agree, so restarts and replicas would
+	// still normalize identically.
+	again, err := New(Config{}).planKey(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != baseKey {
+		t.Errorf("identical configs disagree: %q vs %q", again, baseKey)
+	}
+}
+
+func TestPlanCacheDisabled(t *testing.T) {
+	f := newFed(t, 60, surveyConfigs()[:1])
+	f.portal.plans = newPlanCache(-1)
+	sql := fmt.Sprintf("SELECT o.object_id FROM SDSS:%s o", "PhotoObject")
+	for i := 0; i < 2; i++ {
+		if _, err := f.portal.Query(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := f.portal.PlanCacheStats(); s != (PlanCacheStats{}) {
+		t.Errorf("disabled cache counted: %+v", s)
+	}
+}
+
+func TestPlanCacheBounded(t *testing.T) {
+	c := newPlanCache(4)
+	for i := 0; i < 100; i++ {
+		c.put(fmt.Sprintf("q%d", i), nil)
+	}
+	if n := c.entries(); n > 8 {
+		t.Errorf("cache retained %d entries, want <= 2 generations of 4", n)
+	}
+	// The most recent insert survives rotation.
+	if _, ok := c.get("q99"); !ok {
+		t.Error("newest entry evicted")
+	}
+}

@@ -53,6 +53,13 @@ type Config struct {
 	// (GOMAXPROCS); 1 requests the sequential path. A node's own
 	// configuration overrides the hint.
 	Parallelism int
+	// PlanCacheSize bounds the compiled-plan cache (entries per
+	// generation, two generations live — see plancache.go). 0 means
+	// DefaultPlanCacheSize; negative disables plan caching.
+	PlanCacheSize int
+	// Codec selects the SOAP server's response codec policy; the default
+	// negotiates the binary columnar format with clients that accept it.
+	Codec soap.Codec
 	// OnEvent, when set, receives trace events; must be fast and
 	// concurrency-safe.
 	OnEvent func(Event)
@@ -78,6 +85,11 @@ type Portal struct {
 	catalog  map[string]*archiveInfo
 	querySeq atomic.Int64
 
+	// catalogVersion bumps on every registration; the plan cache salts
+	// its keys with it, so catalog changes invalidate cached plans.
+	catalogVersion atomic.Uint64
+	plans          *planCache
+
 	engineOnce sync.Once
 	coreEngine *core.Engine
 }
@@ -92,12 +104,14 @@ func New(cfg Config) *Portal {
 		client:  cfg.Client,
 		reg:     registry.New(),
 		catalog: map[string]*archiveInfo{},
+		plans:   newPlanCache(cfg.PlanCacheSize),
 	}
 	if p.client == nil {
 		p.client = &soap.Client{}
 	}
 	p.server = soap.NewServer()
 	p.server.MessageLimit = cfg.MessageLimit
+	p.server.Codec = cfg.Codec
 	p.server.Handle(ActionRegister, p.handleRegister)
 	p.server.Handle(ActionSkyQuery, p.handleSkyQuery)
 	p.server.Handle(soap.FetchAction, p.chunks.FetchHandler())
@@ -214,6 +228,7 @@ func (p *Portal) Register(name, endpoint string) error {
 	p.mu.Lock()
 	p.catalog[name] = &archiveInfo{Name: name, Endpoint: endpoint, Info: info, Tables: tables}
 	p.mu.Unlock()
+	p.catalogVersion.Add(1)
 	return p.reg.Register(registry.Entry{
 		Name:     name,
 		Endpoint: endpoint,

@@ -1,0 +1,260 @@
+package skynode
+
+import (
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"skyquery/internal/soap"
+	"skyquery/internal/survey"
+)
+
+func TestGateDisabled(t *testing.T) {
+	var g *Gate // nil = disabled
+	release, err := g.Acquire(1 << 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	if s := g.Stats(); s != (GateStats{}) {
+		t.Errorf("nil gate stats = %+v", s)
+	}
+	if NewGate("X", Admission{}) != nil {
+		t.Error("zero Admission should disable the gate")
+	}
+}
+
+func TestGateConcurrencyLimit(t *testing.T) {
+	g := NewGate("X", Admission{MaxConcurrent: 2, MaxQueue: 100, QueueTimeout: 5 * time.Second})
+	var inFlight, peak, done atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := g.Acquire(1 << 10)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			cur := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			inFlight.Add(-1)
+			release()
+			done.Add(1)
+		}()
+	}
+	wg.Wait()
+	if done.Load() != 20 {
+		t.Errorf("done = %d, want 20 (queued work must complete)", done.Load())
+	}
+	if p := peak.Load(); p > 2 {
+		t.Errorf("peak concurrency = %d, want <= 2", p)
+	}
+	s := g.Stats()
+	if s.Admitted != 20 || s.Shed != 0 || s.InFlight != 0 || s.QueueDepth != 0 || s.MemoryInUse != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Queued == 0 {
+		t.Error("expected some admissions to queue")
+	}
+}
+
+func TestGateQueueFullSheds(t *testing.T) {
+	g := NewGate("X", Admission{MaxConcurrent: 1, MaxQueue: -1})
+	release, err := g.Acquire(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = g.Acquire(0)
+	var over *ErrOverloaded
+	if !errors.As(err, &over) {
+		t.Fatalf("want *ErrOverloaded, got %v", err)
+	}
+	if over.Node != "X" || over.Waited != 0 {
+		t.Errorf("shed = %+v", over)
+	}
+	release()
+	// Capacity is back: admission succeeds again.
+	release2, err := g.Acquire(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release2()
+	if s := g.Stats(); s.Shed != 1 || s.Admitted != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestGateDeadlineSheds(t *testing.T) {
+	g := NewGate("X", Admission{MaxConcurrent: 1, MaxQueue: 4, QueueTimeout: 20 * time.Millisecond})
+	release, err := g.Acquire(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	start := time.Now()
+	_, err = g.Acquire(0)
+	var over *ErrOverloaded
+	if !errors.As(err, &over) {
+		t.Fatalf("want *ErrOverloaded, got %v", err)
+	}
+	if over.Waited <= 0 {
+		t.Errorf("deadline shed should report the wait, got %+v", over)
+	}
+	if e := time.Since(start); e < 15*time.Millisecond {
+		t.Errorf("shed after %v, want ~20ms queueing first", e)
+	}
+}
+
+func TestGateMemoryBudget(t *testing.T) {
+	g := NewGate("X", Admission{MaxConcurrent: 8, MemoryBudget: 1 << 20, MaxQueue: 4, QueueTimeout: time.Second})
+	// A request heavier than the whole budget is clamped, so it can run.
+	releaseBig, err := g.Acquire(1 << 40)
+	if err != nil {
+		t.Fatalf("over-budget single request must clamp and run: %v", err)
+	}
+	// Budget is saturated: the next admission queues until release.
+	admitted := make(chan struct{})
+	go func() {
+		release, err := g.Acquire(1 << 19)
+		if err != nil {
+			t.Error(err)
+		} else {
+			release()
+		}
+		close(admitted)
+	}()
+	select {
+	case <-admitted:
+		t.Fatal("second admission ran while the memory budget was exhausted")
+	case <-time.After(30 * time.Millisecond):
+	}
+	releaseBig()
+	select {
+	case <-admitted:
+	case <-time.After(time.Second):
+		t.Fatal("queued admission never ran after release")
+	}
+}
+
+func TestGateReleaseIdempotent(t *testing.T) {
+	g := NewGate("X", Admission{MaxConcurrent: 1})
+	release, err := g.Acquire(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	release() // double release must not free a second slot
+	if s := g.Stats(); s.InFlight != 0 {
+		t.Errorf("InFlight = %d", s.InFlight)
+	}
+	r1, err := g.Acquire(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1()
+	if s := g.Stats(); s.InFlight != 1 {
+		t.Errorf("InFlight after re-acquire = %d, want 1", s.InFlight)
+	}
+}
+
+// admissionNode builds a tiny node with the given admission config and
+// serves it over HTTP.
+func admissionNode(t *testing.T, adm Admission) (*Node, *httptest.Server) {
+	t.Helper()
+	field := survey.GenerateField(testRegion(), 50, 0.4, 1)
+	arch := survey.Observe(field, survey.Config{Name: "ADM", SigmaArcsec: 0.1, Completeness: 1, Seed: 7})
+	db, err := arch.BuildDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(Config{
+		Name: "ADM", DB: db, PrimaryTable: survey.TableName,
+		RACol: "ra", DecCol: "dec", SigmaArcsec: 0.1,
+		Admission: adm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(n.Server())
+	t.Cleanup(srv.Close)
+	return n, srv
+}
+
+func TestNodeShedsOverloadedFault(t *testing.T) {
+	n, srv := admissionNode(t, Admission{MaxConcurrent: 1, MaxQueue: -1})
+	// Deterministically saturate the gate, then query: the request must
+	// shed with the typed retryable fault, not queue and not execute.
+	release, err := n.gate.Acquire(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &soap.Client{}
+	var resp soap.ChunkedData
+	err = c.Call(srv.URL, ActionQuery,
+		&QueryRequest{SQL: fmt.Sprintf("SELECT object_id FROM %s", survey.TableName)}, &resp)
+	if !soap.IsOverloaded(err) {
+		t.Fatalf("want retryable overloaded fault, got %v", err)
+	}
+	if q, _, _ := n.Stats(); q != 0 {
+		t.Errorf("shed query still executed (queries=%d)", q)
+	}
+	if s := n.AdmissionStats(); s.Shed != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+
+	// After release the same call succeeds — and a retrying client rides
+	// out a temporarily held gate on its own.
+	release()
+	if err := c.Call(srv.URL, ActionQuery,
+		&QueryRequest{SQL: fmt.Sprintf("SELECT object_id FROM %s", survey.TableName)}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Data == nil || resp.Data.NumRows() == 0 {
+		t.Error("post-release query returned no rows")
+	}
+}
+
+func TestNodeQueuedQueriesComplete(t *testing.T) {
+	n, srv := admissionNode(t, Admission{MaxConcurrent: 1, MaxQueue: 64, QueueTimeout: 10 * time.Second})
+	// Hold the only slot briefly; concurrent queries must queue and then
+	// all complete once it frees — none shed, none lost.
+	release, err := n.gate.Acquire(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const queries = 8
+	errs := make(chan error, queries)
+	for i := 0; i < queries; i++ {
+		go func() {
+			var resp soap.ChunkedData
+			c := &soap.Client{}
+			errs <- c.Call(srv.URL, ActionQuery,
+				&QueryRequest{SQL: fmt.Sprintf("SELECT object_id FROM %s", survey.TableName)}, &resp)
+		}()
+	}
+	time.Sleep(50 * time.Millisecond) // let them reach the queue
+	release()
+	for i := 0; i < queries; i++ {
+		if err := <-errs; err != nil {
+			t.Errorf("queued query %d: %v", i, err)
+		}
+	}
+	if q, _, _ := n.Stats(); q != queries {
+		t.Errorf("executed %d queries, want %d", q, queries)
+	}
+	if s := n.AdmissionStats(); s.Shed != 0 {
+		t.Errorf("unexpected sheds: %+v", s)
+	}
+}

@@ -105,6 +105,13 @@ type Config struct {
 	// to GOMAXPROCS; 1 recovers the sequential executor. Output is
 	// bit-identical at every setting.
 	Parallelism int
+	// Admission configures the step-execution admission gate (see
+	// admission.go). The zero value disables admission: every step runs
+	// immediately, as before the gate existed.
+	Admission Admission
+	// Codec selects the server's response codec policy; the default
+	// negotiates the binary columnar format with clients that accept it.
+	Codec soap.Codec
 	// OnEvent, when set, receives trace events. It must be fast and
 	// concurrency-safe.
 	OnEvent func(Event)
@@ -116,6 +123,7 @@ type Node struct {
 	client *soap.Client
 	server *soap.Server
 	chunks soap.ChunkStore
+	gate   *Gate
 
 	// queriesServed counts Query service calls (cache-warming metric).
 	queriesServed atomic.Int64
@@ -152,12 +160,13 @@ func New(cfg Config) (*Node, error) {
 	if cfg.ChunkRows == 0 {
 		cfg.ChunkRows = 5000
 	}
-	n := &Node{cfg: cfg, client: cfg.Client}
+	n := &Node{cfg: cfg, client: cfg.Client, gate: NewGate(cfg.Name, cfg.Admission)}
 	if n.client == nil {
 		n.client = &soap.Client{}
 	}
 	n.server = soap.NewServer()
 	n.server.MessageLimit = cfg.MessageLimit
+	n.server.Codec = cfg.Codec
 	n.server.Handle(ActionInformation, n.handleInformation)
 	n.server.Handle(ActionMetadata, n.handleMetadata)
 	n.server.Handle(ActionQuery, n.handleQuery)
@@ -196,6 +205,21 @@ func (n *Node) SetWSDL(endpoint string) error {
 // Stats reports service counters.
 func (n *Node) Stats() (queries, tuplesIn, tuplesOut int64) {
 	return n.queriesServed.Load(), n.tuplesIn.Load(), n.tuplesOut.Load()
+}
+
+// AdmissionStats reports the admission gate's counters (all zero when
+// admission is disabled).
+func (n *Node) AdmissionStats() GateStats { return n.gate.Stats() }
+
+// admit funnels one step execution through the admission gate,
+// converting a shed into the retryable Overloaded SOAP fault.
+func (n *Node) admit(weight int64) (func(), error) {
+	release, err := n.gate.Acquire(weight)
+	if err != nil {
+		n.emit("admission.shed", "%v", err)
+		return nil, &soap.Fault{Code: "soap:Server", String: err.Error(), Detail: soap.FaultDetailOverloaded}
+	}
+	return release, nil
 }
 
 func (n *Node) emit(kind, format string, args ...interface{}) {

@@ -113,6 +113,11 @@ func (n *Node) handleQuery(r *soap.Request) (interface{}, error) {
 	if err != nil {
 		return nil, fmt.Errorf("skynode %s: %w", n.cfg.Name, err)
 	}
+	release, err := n.admit(0)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	res, err := n.cfg.DB.Execute(q)
 	if err != nil {
 		return nil, fmt.Errorf("skynode %s: %w", n.cfg.Name, err)
@@ -153,6 +158,15 @@ func (n *Node) handleCrossMatch(r *soap.Request) (interface{}, error) {
 		incoming = ds
 	}
 
+	// Admission sits after the downstream fetch on purpose: a slot held
+	// across the chain's network wait would let one slow downstream node
+	// pin this node's whole budget, and since each node gates only its
+	// own local step there is no lock-ordering cycle across the chain.
+	release, err := n.admit(estimateDataSetBytes(incoming))
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	out, err := n.localStep(p, step, incoming)
 	if err != nil {
 		return nil, fmt.Errorf("skynode %s: %w", n.cfg.Name, err)

@@ -1,8 +1,10 @@
 package soap
 
 import (
+	"encoding/binary"
 	"encoding/xml"
 	"fmt"
+	"io"
 	"strconv"
 	"sync"
 
@@ -31,6 +33,65 @@ type ChunkedData struct {
 	Remaining int `xml:"remaining,attr"`
 	// Data is the chunk payload.
 	Data *dataset.DataSet `xml:"DataSet"`
+}
+
+// chunkMagic opens a columnar-framed ChunkedData body: "SQCH".
+const chunkMagic = 0x48435153
+
+// maxChunkToken bounds the continuation-token length a decoder accepts.
+const maxChunkToken = 1 << 10
+
+// EncodeFrames implements BinaryPayload: a small fixed meta header
+// (magic, token, seq, remaining) followed by the data set's columnar
+// frame stream, whose CRC framing covers the bulk payload.
+func (cd *ChunkedData) EncodeFrames(w io.Writer) error {
+	if cd == nil || cd.Data == nil {
+		return fmt.Errorf("soap: chunked response has no data set")
+	}
+	if len(cd.Token) > maxChunkToken {
+		return fmt.Errorf("soap: chunk token of %d bytes too long", len(cd.Token))
+	}
+	var hdr []byte
+	hdr = binary.LittleEndian.AppendUint32(hdr, chunkMagic)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(cd.Token)))
+	hdr = append(hdr, cd.Token...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(cd.Seq))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(cd.Remaining))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	return cd.Data.EncodeColumnar(w, 0)
+}
+
+// DecodeFrames implements BinaryPayload, replacing the receiver.
+func (cd *ChunkedData) DecodeFrames(r io.Reader) error {
+	var fixed [8]byte
+	if _, err := io.ReadFull(r, fixed[:]); err != nil {
+		return fmt.Errorf("soap: chunk header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(fixed[:]) != chunkMagic {
+		return fmt.Errorf("soap: not a columnar chunk body (bad magic)")
+	}
+	tokenLen := binary.LittleEndian.Uint32(fixed[4:])
+	if tokenLen > maxChunkToken {
+		return fmt.Errorf("soap: chunk token of %d bytes too long", tokenLen)
+	}
+	buf := make([]byte, tokenLen+8)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return fmt.Errorf("soap: chunk header: %w", err)
+	}
+	cd.Token = string(buf[:tokenLen])
+	cd.Seq = int(int32(binary.LittleEndian.Uint32(buf[tokenLen:])))
+	cd.Remaining = int(int32(binary.LittleEndian.Uint32(buf[tokenLen+4:])))
+	if cd.Seq < 0 || cd.Remaining < 0 {
+		return fmt.Errorf("soap: chunk header has negative counters")
+	}
+	d, err := dataset.DecodeColumnar(r)
+	if err != nil {
+		return err
+	}
+	cd.Data = d
+	return nil
 }
 
 // FetchRequest asks for the next chunk of a pending transfer.

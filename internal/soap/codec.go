@@ -1,0 +1,89 @@
+package soap
+
+// Wire-codec negotiation. SOAP requests stay XML always (plans, fetch
+// requests, registrations are tiny); only responses that carry bulk
+// DataSets are worth a binary encoding. A client that can read the
+// columnar format advertises it with an Accept header on calls whose
+// response type implements BinaryPayload; a server that has the format
+// enabled answers such a request with a columnar body and a matching
+// Content-Type, and answers everyone else (including the 2003-era
+// paper-fidelity XML path) with the usual XML envelope. Faults are
+// always XML, so the error path is identical under either codec. See
+// docs/WIRE.md.
+
+import (
+	"io"
+	"strings"
+)
+
+// ContentTypeColumnar identifies a columnar-framed response body.
+const ContentTypeColumnar = "application/vnd.skyquery.columnar"
+
+// contentTypeXML is the classic SOAP 1.1 response type.
+const contentTypeXML = "text/xml; charset=utf-8"
+
+// Codec selects the wire codec a client advertises or a server serves.
+type Codec int
+
+const (
+	// CodecNegotiate (the default) advertises/serves the binary columnar
+	// format and falls back to XML when the peer does not speak it.
+	CodecNegotiate Codec = iota
+	// CodecXML forces the paper-fidelity XML codec in both directions.
+	CodecXML
+)
+
+// ParseCodec maps the -codec flag values to a Codec.
+func ParseCodec(s string) (Codec, bool) {
+	switch strings.ToLower(s) {
+	case "", "binary", "columnar", "negotiate":
+		return CodecNegotiate, true
+	case "xml":
+		return CodecXML, true
+	}
+	return CodecNegotiate, false
+}
+
+// String implements fmt.Stringer.
+func (c Codec) String() string {
+	if c == CodecXML {
+		return "xml"
+	}
+	return "binary"
+}
+
+// BinaryPayload is implemented by response payloads that can travel as
+// a columnar frame stream instead of a SOAP XML body. ChunkedData — the
+// carrier of every bulk DataSet in the federation — implements it.
+type BinaryPayload interface {
+	// EncodeFrames writes the payload as a self-delimiting frame stream.
+	EncodeFrames(w io.Writer) error
+	// DecodeFrames reads a stream written by EncodeFrames, replacing the
+	// receiver's contents.
+	DecodeFrames(r io.Reader) error
+}
+
+// acceptsColumnar reports whether an Accept header admits the columnar
+// content type.
+func acceptsColumnar(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mt := strings.TrimSpace(part)
+		if i := strings.IndexByte(mt, ';'); i >= 0 {
+			mt = strings.TrimSpace(mt[:i])
+		}
+		if mt == ContentTypeColumnar {
+			return true
+		}
+	}
+	return false
+}
+
+// isColumnar reports whether a response Content-Type is the columnar
+// format (parameters ignored).
+func isColumnar(contentType string) bool {
+	mt := contentType
+	if i := strings.IndexByte(mt, ';'); i >= 0 {
+		mt = mt[:i]
+	}
+	return strings.TrimSpace(mt) == ContentTypeColumnar
+}

@@ -1,0 +1,202 @@
+package soap
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"skyquery/internal/dataset"
+	"skyquery/internal/value"
+)
+
+func chunkSample(rows int) *dataset.DataSet {
+	d := dataset.New(
+		dataset.Column{Name: "id", Type: value.IntType},
+		dataset.Column{Name: "ra", Type: value.FloatType},
+		dataset.Column{Name: "name", Type: value.StringType},
+	)
+	for i := 0; i < rows; i++ {
+		row := []value.Value{value.Int(int64(i)), value.Float(float64(i) / 3), value.String("obj")}
+		if i%4 == 1 {
+			row[2] = value.Null
+		}
+		d.Append(row)
+	}
+	return d
+}
+
+func dataSetsEqual(a, b *dataset.DataSet) bool {
+	if !a.SchemaEqual(b) || len(a.Rows) != len(b.Rows) {
+		return false
+	}
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if !value.Equal(a.Rows[i][j], b.Rows[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestChunkedDataFrameRoundTrip(t *testing.T) {
+	in := &ChunkedData{Token: "xfer-9", Seq: 2, Remaining: 5, Data: chunkSample(37)}
+	var buf bytes.Buffer
+	if err := in.EncodeFrames(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out ChunkedData
+	if err := out.DecodeFrames(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if out.Token != in.Token || out.Seq != in.Seq || out.Remaining != in.Remaining {
+		t.Errorf("meta = %q/%d/%d", out.Token, out.Seq, out.Remaining)
+	}
+	if !dataSetsEqual(in.Data, out.Data) {
+		t.Error("data mismatch")
+	}
+}
+
+func TestChunkedDataFrameGarbage(t *testing.T) {
+	var out ChunkedData
+	if err := out.DecodeFrames(bytes.NewReader([]byte("definitely not frames"))); err == nil {
+		t.Error("garbage should fail")
+	}
+	if err := out.DecodeFrames(bytes.NewReader(nil)); err == nil {
+		t.Error("empty body should fail")
+	}
+}
+
+// newChunkServer serves one action returning a fixed chunked data set.
+func newChunkServer(t *testing.T, codec Codec, d *dataset.DataSet) *httptest.Server {
+	t.Helper()
+	s := NewServer()
+	s.Codec = codec
+	s.Handle("urn:test:Echo", func(r *Request) (interface{}, error) {
+		return &ChunkedData{Data: d}, nil
+	})
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestCodecNegotiation(t *testing.T) {
+	d := chunkSample(257)
+	cases := []struct {
+		name           string
+		server, client Codec
+	}{
+		{"binary-binary", CodecNegotiate, CodecNegotiate},
+		{"binary-server-xml-client", CodecNegotiate, CodecXML},
+		{"xml-server-binary-client", CodecXML, CodecNegotiate},
+		{"xml-xml", CodecXML, CodecXML},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := newChunkServer(t, tc.server, d)
+			c := &Client{Codec: tc.client}
+			var got ChunkedData
+			if err := c.Call(srv.URL, "urn:test:Echo", &struct{}{}, &got); err != nil {
+				t.Fatal(err)
+			}
+			if got.Data == nil || !dataSetsEqual(d, got.Data) {
+				t.Error("echoed data set mismatch")
+			}
+		})
+	}
+}
+
+func TestCodecNegotiationXMLForNonBinaryResponses(t *testing.T) {
+	// A response type without BinaryPayload must come back as XML even
+	// when both ends could speak columnar.
+	s := NewServer()
+	type pong struct {
+		N int `xml:"n,attr"`
+	}
+	s.Handle("urn:test:Ping", func(r *Request) (interface{}, error) {
+		return &pong{N: 7}, nil
+	})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	var got pong
+	if err := (&Client{}).Call(srv.URL, "urn:test:Ping", &struct{}{}, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.N != 7 {
+		t.Errorf("pong = %d", got.N)
+	}
+}
+
+func TestFaultsSurviveBinaryNegotiation(t *testing.T) {
+	s := NewServer()
+	s.Handle("urn:test:Boom", func(r *Request) (interface{}, error) {
+		return nil, &Fault{Code: "soap:Server", String: "no dice", Detail: FaultDetailOverloaded}
+	})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	var got ChunkedData
+	err := (&Client{}).Call(srv.URL, "urn:test:Boom", &struct{}{}, &got)
+	if !IsOverloaded(err) {
+		t.Fatalf("want overloaded fault, got %v", err)
+	}
+}
+
+func TestClientRetriesOverloaded(t *testing.T) {
+	var calls atomic.Int64
+	d := chunkSample(3)
+	s := NewServer()
+	s.Handle("urn:test:Flaky", func(r *Request) (interface{}, error) {
+		if calls.Add(1) <= 2 {
+			return nil, &Fault{Code: "soap:Server", String: "busy", Detail: FaultDetailOverloaded}
+		}
+		return &ChunkedData{Data: d}, nil
+	})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	// Without retries the typed fault surfaces.
+	var got ChunkedData
+	if err := (&Client{}).Call(srv.URL, "urn:test:Flaky", &struct{}{}, &got); !IsOverloaded(err) {
+		t.Fatalf("want overloaded fault, got %v", err)
+	}
+
+	calls.Store(0)
+	c := &Client{MaxRetries: 3, RetryBackoff: time.Millisecond}
+	if err := c.Call(srv.URL, "urn:test:Flaky", &struct{}{}, &got); err != nil {
+		t.Fatalf("retrying client failed: %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("calls = %d, want 3", calls.Load())
+	}
+	if !dataSetsEqual(d, got.Data) {
+		t.Error("retried response mismatch")
+	}
+
+	// Non-overload faults must not retry.
+	calls.Store(0)
+	s.Handle("urn:test:Hard", func(r *Request) (interface{}, error) {
+		calls.Add(1)
+		return nil, &Fault{Code: "soap:Server", String: "broken"}
+	})
+	err := c.Call(srv.URL, "urn:test:Hard", &struct{}{}, &got)
+	if err == nil || IsOverloaded(err) {
+		t.Fatalf("want plain fault, got %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("plain fault retried: %d calls", calls.Load())
+	}
+}
+
+func TestParseCodec(t *testing.T) {
+	for s, want := range map[string]Codec{"": CodecNegotiate, "binary": CodecNegotiate, "XML": CodecXML} {
+		got, ok := ParseCodec(s)
+		if !ok || got != want {
+			t.Errorf("ParseCodec(%q) = %v, %v", s, got, ok)
+		}
+	}
+	if _, ok := ParseCodec("carrier-pigeon"); ok {
+		t.Error("bad codec name accepted")
+	}
+}

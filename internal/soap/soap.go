@@ -17,6 +17,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"skyquery/internal/nettrace"
 )
 
 // EnvelopeNS is the SOAP 1.1 envelope namespace.
@@ -43,6 +45,21 @@ type Fault struct {
 func (f *Fault) Error() string {
 	return fmt.Sprintf("soap fault %s: %s", f.Code, f.String)
 }
+
+// FaultDetailOverloaded marks the 429-equivalent fault an admission
+// gate sheds load with. Callers may retry after a backoff: the server
+// refused to start the work, so the call is idempotent to repeat.
+const FaultDetailOverloaded = "Overloaded"
+
+// IsOverloaded reports whether err is a retryable overload-shed fault.
+func IsOverloaded(err error) bool {
+	f, ok := err.(*Fault)
+	return ok && f.Detail == FaultDetailOverloaded
+}
+
+// DefaultRetryBackoff is the base delay of the client's overload retry
+// schedule (doubled per attempt).
+const DefaultRetryBackoff = 25 * time.Millisecond
 
 // ErrMessageTooLarge reports a message that exceeded the configured limit,
 // standing in for the paper's parser running out of memory.
@@ -155,6 +172,10 @@ type Server struct {
 	MessageLimit int64
 	// WSDL, if non-empty, is served for GET requests with a ?wsdl query.
 	WSDL string
+	// Codec selects the response codec policy: CodecNegotiate (default)
+	// serves columnar bodies to clients that accept them, CodecXML always
+	// answers in XML.
+	Codec Codec
 
 	mu       sync.RWMutex
 	handlers map[string]Handler
@@ -249,12 +270,26 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.writeFault(w, &Fault{Code: "soap:Server", String: err.Error()})
 		return
 	}
+	if s.Codec == CodecNegotiate && acceptsColumnar(r.Header.Get("Accept")) {
+		if bp, ok := resp.(BinaryPayload); ok {
+			// Buffered so an encode failure can still become a clean
+			// XML fault instead of a torn stream.
+			var buf bytes.Buffer
+			if err := bp.EncodeFrames(&buf); err != nil {
+				s.writeFault(w, &Fault{Code: "soap:Server", String: "encode response: " + err.Error()})
+				return
+			}
+			w.Header().Set("Content-Type", ContentTypeColumnar)
+			w.Write(buf.Bytes())
+			return
+		}
+	}
 	out, err := Marshal(resp)
 	if err != nil {
 		s.writeFault(w, &Fault{Code: "soap:Server", String: "marshal response: " + err.Error()})
 		return
 	}
-	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	w.Header().Set("Content-Type", contentTypeXML)
 	w.Write(out)
 }
 
@@ -264,8 +299,13 @@ func (s *Server) writeFault(w http.ResponseWriter, f *Fault) {
 		http.Error(w, f.String, http.StatusInternalServerError)
 		return
 	}
-	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
-	w.WriteHeader(http.StatusInternalServerError)
+	w.Header().Set("Content-Type", contentTypeXML)
+	status := http.StatusInternalServerError
+	if f.Detail == FaultDetailOverloaded {
+		// The 429/503 analogue: the work was refused, not attempted.
+		status = http.StatusServiceUnavailable
+	}
+	w.WriteHeader(status)
 	w.Write(out)
 }
 
@@ -282,6 +322,16 @@ type Client struct {
 	// the deadline. The zero-value Client therefore times out rather
 	// than hanging forever on a stalled server.
 	Timeout time.Duration
+	// Codec selects the wire codec: CodecNegotiate (default) advertises
+	// the binary columnar format on calls whose response supports it and
+	// accepts whatever the server chooses; CodecXML never advertises it.
+	Codec Codec
+	// MaxRetries is how many times an overload-shed call (IsOverloaded)
+	// is retried after the first attempt; other errors never retry.
+	MaxRetries int
+	// RetryBackoff is the base delay before the first retry, doubling
+	// per attempt; 0 means DefaultRetryBackoff.
+	RetryBackoff time.Duration
 
 	mu     sync.Mutex
 	cached *http.Client
@@ -301,9 +351,11 @@ func (c *Client) httpClient() *http.Client {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.cached == nil || c.cached.Timeout != d {
-		// Shares the process-wide transport (and its connection pool); only
-		// the deadline is ours.
-		c.cached = &http.Client{Timeout: d}
+		// Shares the process-wide tuned transport (and its deep keep-alive
+		// pool); only the deadline is ours. The stock DefaultTransport
+		// caps idle connections at 2 per host, which forces reconnects on
+		// every scatter burst wider than that.
+		c.cached = &http.Client{Timeout: d, Transport: nettrace.SharedTransport()}
 	}
 	return c.cached
 }
@@ -322,7 +374,9 @@ func (c *Client) limit() int64 {
 // Call POSTs req as a SOAP envelope to url with the given SOAPAction and
 // decodes the response payload into resp (which may be nil). SOAP faults
 // come back as *Fault errors; oversized requests or responses come back as
-// *ErrMessageTooLarge.
+// *ErrMessageTooLarge. Overload-shed faults (IsOverloaded) are retried
+// MaxRetries times with exponential backoff — safe, because the server
+// refused the work before starting it.
 func (c *Client) Call(url, action string, req, resp interface{}) error {
 	payload, err := Marshal(req)
 	if err != nil {
@@ -333,12 +387,36 @@ func (c *Client) Call(url, action string, req, resp interface{}) error {
 		// logic did before chunking was added.
 		return &ErrMessageTooLarge{Size: int64(len(payload)), Limit: c.limit()}
 	}
+	for attempt := 0; ; attempt++ {
+		err := c.call(url, action, payload, resp)
+		if !IsOverloaded(err) || attempt >= c.MaxRetries {
+			return err
+		}
+		backoff := c.RetryBackoff
+		if backoff <= 0 {
+			backoff = DefaultRetryBackoff
+		}
+		if attempt < 10 {
+			backoff <<= attempt
+		} else {
+			backoff <<= 10
+		}
+		time.Sleep(backoff)
+	}
+}
+
+// call performs one HTTP exchange of an already-marshalled request.
+func (c *Client) call(url, action string, payload []byte, resp interface{}) error {
 	httpReq, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(payload))
 	if err != nil {
 		return fmt.Errorf("soap: %w", err)
 	}
-	httpReq.Header.Set("Content-Type", "text/xml; charset=utf-8")
+	httpReq.Header.Set("Content-Type", contentTypeXML)
 	httpReq.Header.Set("SOAPAction", `"`+action+`"`)
+	bp, binOK := resp.(BinaryPayload)
+	if binOK && c.Codec == CodecNegotiate {
+		httpReq.Header.Set("Accept", ContentTypeColumnar)
+	}
 	httpResp, err := c.httpClient().Do(httpReq)
 	if err != nil {
 		return fmt.Errorf("soap: call %s %s: %w", url, action, err)
@@ -351,6 +429,15 @@ func (c *Client) Call(url, action string, req, resp interface{}) error {
 	}
 	if int64(len(data)) > limit {
 		return &ErrMessageTooLarge{Size: int64(len(data)), Limit: limit}
+	}
+	if isColumnar(httpResp.Header.Get("Content-Type")) {
+		if !binOK {
+			return fmt.Errorf("soap: %s returned a columnar body for a non-columnar response type", action)
+		}
+		if err := bp.DecodeFrames(bytes.NewReader(data)); err != nil {
+			return fmt.Errorf("soap: columnar response: %w", err)
+		}
+		return nil
 	}
 	return Unmarshal(data, resp)
 }

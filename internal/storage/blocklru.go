@@ -1,0 +1,104 @@
+package storage
+
+import "sync/atomic"
+
+// blockCacheHits / blockCacheMisses count lookups in the per-table
+// cold-block hydration caches across the process (instrumentation in the
+// style of ColdBlocksHydrated — callers assert deltas).
+var (
+	blockCacheHits   atomic.Int64
+	blockCacheMisses atomic.Int64
+)
+
+// BlockCacheHits returns the cumulative cold-block cache hits.
+func BlockCacheHits() int64 { return blockCacheHits.Load() }
+
+// BlockCacheMisses returns the cumulative cold-block cache misses (each
+// miss hydrates the block from its column file).
+func BlockCacheMisses() int64 { return blockCacheMisses.Load() }
+
+// lruNode is one resident block in a blockLRU's recency list.
+type lruNode struct {
+	key        uint64
+	col        column
+	prev, next *lruNode // more recent, less recent
+}
+
+// blockLRU is the per-table cache of hydrated cold column blocks, in
+// least-recently-used order. Scans walk blocks cyclically, so the FIFO
+// this replaces evicted exactly the blocks about to be re-read whenever
+// a working set exceeded the cache by even one block; LRU keeps the
+// re-referenced part of the working set resident instead. Methods are
+// not synchronized — the owning tableStore's cacheMu guards every call.
+type blockLRU struct {
+	items      map[uint64]*lruNode
+	head, tail *lruNode // head = most recently used
+}
+
+// get returns the cached block for key, marking it most recently used.
+func (c *blockLRU) get(key uint64) (column, bool) {
+	n, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.moveToFront(n)
+	return n.col, true
+}
+
+// add inserts a block as most recently used, evicting from the LRU end
+// down to cap entries. A key already present is refreshed in place.
+func (c *blockLRU) add(key uint64, col column, cap int) {
+	if n, ok := c.items[key]; ok {
+		n.col = col
+		c.moveToFront(n)
+		return
+	}
+	if c.items == nil {
+		c.items = make(map[uint64]*lruNode, cap)
+	}
+	n := &lruNode{key: key, col: col}
+	c.items[key] = n
+	c.pushFront(n)
+	for len(c.items) > cap {
+		old := c.tail
+		c.unlink(old)
+		delete(c.items, old.key)
+	}
+}
+
+// len reports the number of resident blocks.
+func (c *blockLRU) len() int { return len(c.items) }
+
+func (c *blockLRU) pushFront(n *lruNode) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *blockLRU) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *blockLRU) moveToFront(n *lruNode) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}

@@ -124,9 +124,8 @@ type tableStore struct {
 	colSize   []int64       // end of committed data per column file
 	htmRanges []htmRange
 
-	cacheMu  sync.Mutex
-	cache    map[uint64]column // (column<<32|block) -> decoded block
-	cacheSeq []uint64
+	cacheMu sync.Mutex
+	cache   blockLRU // (column<<32|block) -> decoded block, LRU order
 }
 
 // OpenStore opens (creating if needed) a store directory, recovering
@@ -213,7 +212,6 @@ func (s *Store) Create(name string, schema Schema, spatial *SpatialConfig) (*Tab
 		table: t, dir: dir, opts: s.opts,
 		blocks:  make([][]blockMeta, len(schema)),
 		colSize: make([]int64, len(schema)),
-		cache:   map[uint64]column{},
 	}
 	for ci := range schema {
 		f, err := os.OpenFile(ts.colPath(ci), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
@@ -332,7 +330,6 @@ func openTableStore(dir string, opts StoreOptions) (*tableStore, RecoveryInfo, e
 		table: t, dir: dir, opts: opts,
 		durable: ftr.durable, blocks: ftr.blocks, htmRanges: ftr.htmRanges,
 		colSize: make([]int64, len(ftr.schema)),
-		cache:   map[uint64]column{},
 	}
 	ok := false
 	defer func() {
@@ -607,33 +604,29 @@ func dropColumnPrefix(col column, k int) {
 	}
 }
 
-// block returns sealed block b of column ci, hydrating through the FIFO
+// block returns sealed block b of column ci, hydrating through the LRU
 // cache. Callers hold the table's read lock (the block index only grows,
 // under the write lock).
 func (ts *tableStore) block(ci, b int) (column, error) {
 	key := uint64(ci)<<32 | uint64(b)
 	ts.cacheMu.Lock()
-	if col, hit := ts.cache[key]; hit {
+	if col, hit := ts.cache.get(key); hit {
 		ts.cacheMu.Unlock()
+		blockCacheHits.Add(1)
 		return col, nil
 	}
 	ts.cacheMu.Unlock()
+	blockCacheMisses.Add(1)
 	col, err := ts.readBlock(ci, b)
 	if err != nil {
 		return nil, err
 	}
 	coldBlocksHydrated.Add(1)
 	ts.cacheMu.Lock()
-	if prev, hit := ts.cache[key]; hit {
+	if prev, hit := ts.cache.get(key); hit {
 		col = prev // another reader won the race
 	} else {
-		ts.cache[key] = col
-		ts.cacheSeq = append(ts.cacheSeq, key)
-		for len(ts.cacheSeq) > ts.opts.CacheBlocks {
-			old := ts.cacheSeq[0]
-			ts.cacheSeq = ts.cacheSeq[1:]
-			delete(ts.cache, old)
-		}
+		ts.cache.add(key, col, ts.opts.CacheBlocks)
 	}
 	ts.cacheMu.Unlock()
 	return col, nil
