@@ -8,11 +8,15 @@
 //
 // With -load N the command instead runs a sustained-load drill: it
 // launches an in-process federation with admission control enabled and
-// holds N concurrent clients querying the Portal over the full SOAP
-// path for -load-duration, reporting throughput, latency percentiles,
-// and how the admission gates behaved.
+// holds N concurrent clients streaming query results off the Portal
+// over the full SOAP path for -load-duration, reporting throughput,
+// latency percentiles, how the admission gates behaved, and the peak
+// heap across the whole in-process federation. Each client consumes
+// rows through the streaming iterator without materializing results,
+// so peak heap is O(pages in flight), not O(result) — pass
+// -load-max-heap-mb to turn that bound into a hard failure (CI does).
 //
-//	skyquery-bench -load 256 -load-duration 10s
+//	skyquery-bench -load 256 -load-duration 10s -load-max-heap-mb 1024
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -35,10 +40,11 @@ func main() {
 	load := flag.Int("load", 0, "run the sustained-load drill with this many concurrent clients instead of experiments")
 	loadDuration := flag.Duration("load-duration", 10*time.Second, "how long the -load drill runs")
 	loadCodec := flag.String("load-codec", "", "wire codec for the -load drill: binary (default) or xml")
+	loadMaxHeapMB := flag.Int("load-max-heap-mb", 0, "fail the -load drill if peak heap exceeds this many MB (0 = report only)")
 	flag.Parse()
 
 	if *load > 0 {
-		if err := runLoad(*load, *loadDuration, *loadCodec); err != nil {
+		if err := runLoad(*load, *loadDuration, *loadCodec, *loadMaxHeapMB); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -83,9 +89,13 @@ func main() {
 // runLoad is the sustained-load drill: clients concurrent SOAP clients
 // hammer one federated query for d, against nodes whose admission gates
 // queue and shed under pressure while the clients ride the sheds out
-// with retries. Zero failures is the pass condition — every query must
-// either complete or be retried to completion.
-func runLoad(clients int, d time.Duration, codecName string) error {
+// with retries. Every client drains its result row by row off the
+// streaming iterator, never materializing it, so the whole federation's
+// peak heap must stay O(pages in flight). Zero failures is the pass
+// condition — every query must either complete or be retried to
+// completion — and maxHeapMB > 0 additionally fails the drill when the
+// sampled peak heap exceeds the bound.
+func runLoad(clients int, d time.Duration, codecName string, maxHeapMB int) error {
 	codec, ok := skyquery.ParseCodec(codecName)
 	if !ok {
 		return fmt.Errorf("bad -load-codec %q, want binary or xml", codecName)
@@ -118,6 +128,32 @@ func runLoad(clients int, d time.Duration, codecName string) error {
 		failures  int
 		rows      int64
 	)
+
+	// Sample HeapAlloc over the drill: the streamed consumption below
+	// holds it near O(clients x page), never O(clients x result).
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+	stopSampler := make(chan struct{})
+	peakCh := make(chan uint64, 1)
+	go func() {
+		var m runtime.MemStats
+		var peak uint64
+		for {
+			select {
+			case <-stopSampler:
+				peakCh <- peak
+				return
+			default:
+				runtime.ReadMemStats(&m)
+				if m.HeapAlloc > peak {
+					peak = m.HeapAlloc
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
 	deadline := time.Now().Add(d)
 	var wg sync.WaitGroup
 	for i := 0; i < clients; i++ {
@@ -127,20 +163,22 @@ func runLoad(clients int, d time.Duration, codecName string) error {
 			c := f.Client()
 			for time.Now().Before(deadline) {
 				start := time.Now()
-				res, err := c.Query(sql)
+				n, err := drainStreamed(c, sql)
 				lat := time.Since(start)
 				mu.Lock()
 				latencies = append(latencies, lat)
 				if err != nil {
 					failures++
 				} else {
-					rows += int64(res.NumRows())
+					rows += n
 				}
 				mu.Unlock()
 			}
 		}()
 	}
 	wg.Wait()
+	close(stopSampler)
+	peakHeap := <-peakCh
 
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	pct := func(p float64) time.Duration {
@@ -162,8 +200,29 @@ func runLoad(clients int, d time.Duration, codecName string) error {
 	}
 	hits := f.Portal.PlanCacheStats()
 	fmt.Printf("portal plan cache: hits=%d misses=%d\n", hits.Hits, hits.Misses)
+	fmt.Printf("peak heap: %d MB (baseline %d MB)\n", peakHeap>>20, base.HeapAlloc>>20)
 	if failures > 0 {
 		return fmt.Errorf("load drill: %d queries failed", failures)
 	}
+	if maxHeapMB > 0 && peakHeap > uint64(maxHeapMB)<<20 {
+		return fmt.Errorf("load drill: peak heap %d MB exceeds the %d MB bound — streamed consumption is buffering somewhere",
+			peakHeap>>20, maxHeapMB)
+	}
 	return nil
+}
+
+// drainStreamed consumes one query's result row by row off the
+// streaming iterator, returning the row count without ever holding the
+// result set.
+func drainStreamed(c *skyquery.Client, sql string) (int64, error) {
+	rows, err := c.QueryRows(sql)
+	if err != nil {
+		return 0, err
+	}
+	defer rows.Close()
+	var n int64
+	for rows.Next() {
+		n++
+	}
+	return n, rows.Err()
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"testing"
 
+	"skyquery/internal/portal"
 	"skyquery/internal/skynode"
 	"skyquery/internal/soap"
 	"skyquery/internal/value"
@@ -99,13 +100,21 @@ func TestConcurrentQueries(t *testing.T) {
 }
 
 func TestChunkedChainTransfers(t *testing.T) {
-	// Force tiny chunks: the chain and the final relay must reassemble
-	// across many Fetch calls.
-	f := launch(t, Options{Bodies: 500, ChunkRows: 25, RecordCalls: true})
-	res, err := f.Client().Query(`
+	// Force tiny chunks and make the buffered (non-streaming) SOAP call
+	// an old client makes: the final relay must reassemble across many
+	// Fetch calls. Streaming clients bypass this path — it is the
+	// fallback wire, and it must keep working.
+	const q = `
 		SELECT O.object_id, T.object_id
 		FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T
-		WHERE AREA(185.0, -0.5, 900) AND XMATCH(O, T) < 3.5`)
+		WHERE AREA(185.0, -0.5, 900) AND XMATCH(O, T) < 3.5`
+	f := launch(t, Options{Bodies: 500, ChunkRows: 25, RecordCalls: true})
+	sc := f.Client().SOAP
+	var first soap.ChunkedData
+	if err := sc.Call(f.PortalURL, portal.ActionSkyQuery, &portal.SkyQueryRequest{SQL: q}, &first); err != nil {
+		t.Fatal(err)
+	}
+	res, err := soap.FetchAll(sc, f.PortalURL, &first)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,10 +132,7 @@ func TestChunkedChainTransfers(t *testing.T) {
 	}
 	// Compare against an unchunked federation: same answer.
 	f2 := launch(t, Options{Bodies: 500})
-	res2, err := f2.Query(`
-		SELECT O.object_id, T.object_id
-		FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T
-		WHERE AREA(185.0, -0.5, 900) AND XMATCH(O, T) < 3.5`)
+	res2, err := f2.Query(q)
 	if err != nil {
 		t.Fatal(err)
 	}

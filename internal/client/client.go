@@ -10,6 +10,7 @@ import (
 	"skyquery/internal/dataset"
 	"skyquery/internal/portal"
 	"skyquery/internal/soap"
+	"skyquery/internal/value"
 )
 
 // Client talks to one Portal.
@@ -32,18 +33,99 @@ func (c *Client) soapClient() *soap.Client {
 	return &soap.Client{}
 }
 
-// Query submits a query and returns the full result set.
+// Query submits a query and returns the full result set. It is
+// QueryRows folded: the same streamed wire, drained to completion.
 func (c *Client) Query(sql string) (*dataset.DataSet, error) {
+	rows, err := c.QueryRows(sql)
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	ds := &dataset.DataSet{Columns: rows.Columns()}
+	for rows.Next() {
+		ds.Rows = append(ds.Rows, rows.Row())
+	}
+	if err := rows.Err(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// QueryRows submits a query and returns a row iterator over the result.
+// Rows are yielded as the federation produces them — the first row is
+// available before the chain has finished computing the last — and the
+// client holds one page at a time. Against a Portal that cannot stream,
+// the iterator degrades transparently to chunk-by-chunk fetching.
+func (c *Client) QueryRows(sql string) (*Rows, error) {
 	if c.PortalURL == "" {
 		return nil, fmt.Errorf("client: no portal URL configured")
 	}
-	sc := c.soapClient()
-	var first soap.ChunkedData
-	if err := sc.Call(c.PortalURL, portal.ActionSkyQuery, &portal.SkyQueryRequest{SQL: sql}, &first); err != nil {
+	ps, err := soap.OpenStream(c.soapClient(), c.PortalURL, portal.ActionSkyQuery, &portal.SkyQueryRequest{SQL: sql})
+	if err != nil {
 		return nil, err
 	}
-	return soap.FetchAll(sc, c.PortalURL, &first)
+	return &Rows{ps: ps}, nil
 }
+
+// Rows iterates a query result row by row. The usage pattern follows
+// database/sql:
+//
+//	rows, err := c.QueryRows(sql)
+//	...
+//	defer rows.Close()
+//	for rows.Next() {
+//		row := rows.Row()
+//		...
+//	}
+//	if err := rows.Err(); err != nil { ... }
+//
+// A mid-stream federation failure surfaces from Err as a typed
+// *dataset.StreamError — never as a silently truncated result.
+type Rows struct {
+	ps   *soap.PageStream
+	page [][]value.Value
+	idx  int
+	err  error
+	done bool
+}
+
+// Columns returns the result schema; valid immediately after QueryRows.
+func (r *Rows) Columns() []dataset.Column { return r.ps.Columns() }
+
+// Next advances to the next row, fetching the next page when the
+// current one is exhausted. It returns false at the end of the result
+// or on error; consult Err to tell the two apart.
+func (r *Rows) Next() bool {
+	if r.err != nil || r.done {
+		return false
+	}
+	r.idx++
+	for r.idx >= len(r.page) {
+		page, err := r.ps.Next()
+		if err != nil {
+			r.err = err
+			return false
+		}
+		if page == nil {
+			r.done = true
+			r.page = nil
+			return false
+		}
+		r.page = page
+		r.idx = 0
+	}
+	return true
+}
+
+// Row returns the current row. Valid after a true Next; the slice is
+// owned by the caller.
+func (r *Rows) Row() []value.Value { return r.page[r.idx] }
+
+// Err returns the error that ended iteration, if any.
+func (r *Rows) Err() error { return r.err }
+
+// Close releases the iterator; abandoning the result early is legal.
+func (r *Rows) Close() error { return r.ps.Close() }
 
 // Register announces a SkyNode to the Portal's Registration service on
 // behalf of the node (the node could equally call this itself).

@@ -185,27 +185,37 @@ func (e *Engine) ExecutePrepared(prep *Prepared) (*dataset.DataSet, error) {
 	return res, nil
 }
 
-// passThrough relays a non-XMATCH query to its single archive.
-func (e *Engine) passThrough(q *sqlparse.Query) (*dataset.DataSet, error) {
+// passThroughTarget resolves a non-XMATCH query to its single archive
+// and the local query text the node should run (archive qualifier
+// stripped: the node sees its local table name).
+func (e *Engine) passThroughTarget(q *sqlparse.Query) (*Archive, string, error) {
 	if len(q.From) != 1 {
-		return nil, fmt.Errorf("core: queries over multiple archives need an XMATCH clause")
+		return nil, "", fmt.Errorf("core: queries over multiple archives need an XMATCH clause")
 	}
 	ref := q.From[0]
 	if ref.Archive == "" {
-		return nil, fmt.Errorf("core: federated tables are written archive:table, got %q", ref.Table)
+		return nil, "", fmt.Errorf("core: federated tables are written archive:table, got %q", ref.Table)
 	}
 	a, err := e.Catalog.Archive(ref.Archive)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	if _, ok := a.Tables[ref.Table]; !ok {
-		return nil, fmt.Errorf("core: archive %s has no table %q", a.Name, ref.Table)
+		return nil, "", fmt.Errorf("core: archive %s has no table %q", a.Name, ref.Table)
 	}
-	// Strip the archive qualifier: the node sees its local table name.
 	local := *q
 	local.From = []sqlparse.TableRef{{Table: ref.Table, Alias: ref.Alias}}
+	return a, local.String(), nil
+}
+
+// passThrough relays a non-XMATCH query to its single archive.
+func (e *Engine) passThrough(q *sqlparse.Query) (*dataset.DataSet, error) {
+	a, local, err := e.passThroughTarget(q)
+	if err != nil {
+		return nil, err
+	}
 	e.emit("execute", "pass-through to %s", a.Name)
-	res, err := e.Services.TableQuery(a, local.String())
+	res, err := e.Services.TableQuery(a, local)
 	if err != nil {
 		return nil, err
 	}

@@ -10,23 +10,69 @@ import (
 	"skyquery/internal/xmatch"
 )
 
-// project evaluates the query's select list over the final partial tuples
-// returned by the chain, producing the client-visible result. COUNT(*)
-// queries return the match count. When IncludeMatchColumns is set, the
-// diagnostic columns _matchRA, _matchDec, _logLikelihood and _nObs are
-// appended from each tuple's accumulator.
-func (e *Engine) project(q *sqlparse.Query, tuples *dataset.DataSet) (*dataset.DataSet, error) {
-	if len(tuples.Columns) < xmatch.NumAccCols {
-		return nil, fmt.Errorf("core: malformed tuple set: %d columns", len(tuples.Columns))
+// projector evaluates the query's select list over the final partial
+// tuples returned by the chain, producing the client-visible result.
+// It is built once per execution — select and ORDER BY expressions are
+// compiled against the payload layout up front, so bad references fail
+// before any tuple is projected — and then fed pages of tuples as they
+// arrive. Three shapes fall out of the query:
+//
+//   - plain select lists project each page as it arrives and emit it
+//     immediately; TOP without ORDER BY truncates inside the page and
+//     tells the caller to stop pulling, so tuples past the boundary are
+//     never touched (streaming keeps them from even crossing the wire);
+//   - COUNT(*) folds each page into a counter and emits one row at
+//     finish;
+//   - ORDER BY must see every tuple before the first result row, so
+//     projected rows and their sort keys buffer until finish sorts them
+//     (and TOP truncates after the sort).
+//
+// Page boundaries never affect the produced cells — each page is
+// evaluated in chunks of eval.BatchSize exactly as the folded path
+// chunked the whole set — which is what keeps the streamed and folded
+// results bit-identical.
+type projector struct {
+	outCols      []dataset.Column
+	count        bool
+	countN       int64
+	hasOrder     bool
+	top          int
+	includeMatch bool
+
+	selExprs   []sqlparse.Expr
+	orderExprs []sqlparse.Expr
+	selProgs   []*eval.TypedProgram
+	orderProgs []*eval.TypedProgram
+	refs       []int
+
+	batch    *eval.TBatch
+	evs      []*eval.TypedEval
+	selEvs   []*eval.TypedEval
+	orderEvs []*eval.TypedEval
+	selOut   []*eval.Vector
+	orderOut []*eval.Vector
+	seqEv    *eval.TypedEval
+	payload  []dataset.Column
+
+	emitted  int             // plain mode: rows emitted so far (TOP stop)
+	buffered [][]value.Value // ORDER BY mode: projected rows awaiting sort
+	sortKeys [][]value.Value
+}
+
+// newProjector compiles the query's select list and sort keys against
+// the tuple schema.
+func (e *Engine) newProjector(q *sqlparse.Query, tupleCols []dataset.Column) (*projector, error) {
+	if len(tupleCols) < xmatch.NumAccCols {
+		return nil, fmt.Errorf("core: malformed tuple set: %d columns", len(tupleCols))
 	}
+	pr := &projector{top: q.Top, hasOrder: len(q.OrderBy) > 0, includeMatch: e.IncludeMatchColumns}
 	if q.Count {
-		out := dataset.New(dataset.Column{Name: "count", Type: value.IntType})
-		out.Rows = append(out.Rows, []value.Value{value.Int(int64(tuples.NumRows()))})
-		return out, nil
+		pr.count = true
+		pr.outCols = []dataset.Column{{Name: "count", Type: value.IntType}}
+		return pr, nil
 	}
 
 	// Result schema from the select list.
-	out := &dataset.DataSet{}
 	for _, item := range q.Select {
 		name := item.Alias
 		if name == "" {
@@ -35,10 +81,11 @@ func (e *Engine) project(q *sqlparse.Query, tuples *dataset.DataSet) (*dataset.D
 				name = cr.String()
 			}
 		}
-		out.Columns = append(out.Columns, dataset.Column{Name: name, Type: projType(item.Expr, tuples)})
+		pr.outCols = append(pr.outCols, dataset.Column{Name: name, Type: projType(item.Expr, tupleCols)})
+		pr.selExprs = append(pr.selExprs, item.Expr)
 	}
 	if e.IncludeMatchColumns {
-		out.Columns = append(out.Columns,
+		pr.outCols = append(pr.outCols,
 			dataset.Column{Name: "_matchRA", Type: value.FloatType},
 			dataset.Column{Name: "_matchDec", Type: value.FloatType},
 			dataset.Column{Name: "_logLikelihood", Type: value.FloatType},
@@ -46,109 +93,113 @@ func (e *Engine) project(q *sqlparse.Query, tuples *dataset.DataSet) (*dataset.D
 		)
 	}
 
-	// Compile the select list and sort keys once against the payload
-	// layout as typed batch programs. Bad references fail here, before
-	// any tuple is projected. Tuples are then projected in chunks of
-	// eval.BatchSize: the referenced payload columns are transposed into
-	// typed vectors (native when the cells match the dataset column type,
-	// boxed otherwise) and each program evaluates over them. TOP without
-	// ORDER BY truncates the chunk *before* evaluation, so tuples past
-	// the TOP boundary are never touched — exactly like the row-at-a-time
-	// loop that stopped there.
-	payload := tuples.Columns[xmatch.NumAccCols:]
+	pr.payload = tupleCols[xmatch.NumAccCols:]
 	layout := eval.MapLayout{}
-	for i, c := range payload {
+	for i, c := range pr.payload {
 		layout[c.Name] = i
 	}
-	selProgs := make([]*eval.TypedProgram, len(q.Select))
+	pr.selProgs = make([]*eval.TypedProgram, len(q.Select))
 	for i, item := range q.Select {
 		p, err := eval.CompileTyped(item.Expr, layout)
 		if err != nil {
 			return nil, fmt.Errorf("core: projecting %s: %w", item.Expr, err)
 		}
-		selProgs[i] = p
+		pr.selProgs[i] = p
 	}
-	orderProgs := make([]*eval.TypedProgram, len(q.OrderBy))
+	pr.orderProgs = make([]*eval.TypedProgram, len(q.OrderBy))
 	for i, o := range q.OrderBy {
 		p, err := eval.CompileTyped(o.Expr, layout)
 		if err != nil {
 			return nil, fmt.Errorf("core: ORDER BY %s: %w", o.Expr, err)
 		}
-		orderProgs[i] = p
+		pr.orderProgs[i] = p
+		pr.orderExprs = append(pr.orderExprs, o.Expr)
 	}
 
 	bs := eval.BatchSize()
-	batch := eval.NewTBatch(len(payload), bs)
-	defer batch.Release()
-	var evs []*eval.TypedEval
-	defer func() {
-		for _, ev := range evs {
-			ev.Release()
-		}
-	}()
-	selEvs := make([]*eval.TypedEval, len(selProgs))
-	selOut := make([]*eval.Vector, len(selProgs))
-	for i, p := range selProgs {
-		selEvs[i] = p.NewEval(bs)
-		evs = append(evs, selEvs[i])
+	pr.batch = eval.NewTBatch(len(pr.payload), bs)
+	pr.selEvs = make([]*eval.TypedEval, len(pr.selProgs))
+	pr.selOut = make([]*eval.Vector, len(pr.selProgs))
+	for i, p := range pr.selProgs {
+		pr.selEvs[i] = p.NewEval(bs)
+		pr.evs = append(pr.evs, pr.selEvs[i])
 	}
-	orderEvs := make([]*eval.TypedEval, len(orderProgs))
-	orderOut := make([]*eval.Vector, len(orderProgs))
-	for i, p := range orderProgs {
-		orderEvs[i] = p.NewEval(bs)
-		evs = append(evs, orderEvs[i])
+	pr.orderEvs = make([]*eval.TypedEval, len(pr.orderProgs))
+	pr.orderOut = make([]*eval.Vector, len(pr.orderProgs))
+	for i, p := range pr.orderProgs {
+		pr.orderEvs[i] = p.NewEval(bs)
+		pr.evs = append(pr.evs, pr.orderEvs[i])
 	}
 	var refLists [][]int
-	for _, p := range selProgs {
+	for _, p := range pr.selProgs {
 		refLists = append(refLists, p.Refs())
 	}
-	for _, p := range orderProgs {
+	for _, p := range pr.orderProgs {
 		refLists = append(refLists, p.Refs())
 	}
-	refs := eval.UnionRefs(refLists...)
-	seqEv := (*eval.TypedProgram)(nil).NewEval(bs)
-	evs = append(evs, seqEv)
+	pr.refs = eval.UnionRefs(refLists...)
+	pr.seqEv = (*eval.TypedProgram)(nil).NewEval(bs)
+	pr.evs = append(pr.evs, pr.seqEv)
+	return pr, nil
+}
 
-	hasOrder := len(q.OrderBy) > 0
-	var sortKeys [][]value.Value
-	for off := 0; off < len(tuples.Rows); off += bs {
-		cn := min(bs, len(tuples.Rows)-off)
-		if !hasOrder && q.Top > 0 {
-			if need := q.Top - len(out.Rows); cn > need {
+// needMore reports whether the projector still wants tuples. False once
+// a plain TOP has been satisfied — the caller can stop pulling (and, in
+// streaming, abandon the rest of the transfer).
+func (pr *projector) needMore() bool {
+	if pr.count || pr.hasOrder || pr.top <= 0 {
+		return true
+	}
+	return pr.emitted < pr.top
+}
+
+// page projects one page of tuples and returns the result rows ready to
+// emit now (nil for COUNT and ORDER BY, which produce only at finish).
+func (pr *projector) page(rows [][]value.Value) ([][]value.Value, error) {
+	if pr.count {
+		pr.countN += int64(len(rows))
+		return nil, nil
+	}
+	bs := eval.BatchSize()
+	var out [][]value.Value
+	for off := 0; off < len(rows); off += bs {
+		cn := min(bs, len(rows)-off)
+		if !pr.hasOrder && pr.top > 0 {
+			if need := pr.top - pr.emitted; cn > need {
 				cn = need
 			}
 		}
 		if cn <= 0 {
 			break
 		}
-		chunk := tuples.Rows[off : off+cn]
-		for _, s := range refs {
-			batch.Col(s).FillFromCells(cn, payload[s].Type, func(k int) value.Value {
+		chunk := rows[off : off+cn]
+		for _, s := range pr.refs {
+			pr.batch.Col(s).FillFromCells(cn, pr.payload[s].Type, func(k int) value.Value {
 				return chunk[k][xmatch.NumAccCols+s]
 			})
 		}
-		batch.SetLen(cn)
-		sel := seqEv.Seq(cn)
-		for i, p := range selProgs {
-			vec, _, err := p.EvalVec(selEvs[i], batch, sel)
+		pr.batch.SetLen(cn)
+		sel := pr.seqEv.Seq(cn)
+		for i, p := range pr.selProgs {
+			vec, _, err := p.EvalVec(pr.selEvs[i], pr.batch, sel)
 			if err != nil {
-				return nil, fmt.Errorf("core: projecting %s: %w", q.Select[i].Expr, err)
+				return nil, fmt.Errorf("core: projecting %s: %w", pr.selExprs[i], err)
 			}
-			selOut[i] = vec
+			pr.selOut[i] = vec
 		}
-		for i, p := range orderProgs {
-			vec, _, err := p.EvalVec(orderEvs[i], batch, sel)
+		for i, p := range pr.orderProgs {
+			vec, _, err := p.EvalVec(pr.orderEvs[i], pr.batch, sel)
 			if err != nil {
-				return nil, fmt.Errorf("core: ORDER BY %s: %w", q.OrderBy[i].Expr, err)
+				return nil, fmt.Errorf("core: ORDER BY %s: %w", pr.orderExprs[i], err)
 			}
-			orderOut[i] = vec
+			pr.orderOut[i] = vec
 		}
 		for k, row := range chunk {
-			cells := make([]value.Value, 0, len(out.Columns))
-			for i := range selProgs {
-				cells = append(cells, selOut[i].ValueAt(k))
+			cells := make([]value.Value, 0, len(pr.outCols))
+			for i := range pr.selProgs {
+				cells = append(cells, pr.selOut[i].ValueAt(k))
 			}
-			if e.IncludeMatchColumns {
+			if pr.includeMatch {
 				acc, err := xmatch.CellsToAcc(row)
 				if err != nil {
 					return nil, err
@@ -158,35 +209,88 @@ func (e *Engine) project(q *sqlparse.Query, tuples *dataset.DataSet) (*dataset.D
 					value.Float(ra), value.Float(dec),
 					value.Float(acc.LogLikelihood()), value.Int(int64(acc.N)))
 			}
-			out.Rows = append(out.Rows, cells)
-			if hasOrder {
-				keys := make([]value.Value, len(orderProgs))
-				for i := range orderProgs {
-					keys[i] = orderOut[i].ValueAt(k)
+			if pr.hasOrder {
+				pr.buffered = append(pr.buffered, cells)
+				keys := make([]value.Value, len(pr.orderProgs))
+				for i := range pr.orderProgs {
+					keys[i] = pr.orderOut[i].ValueAt(k)
 				}
-				sortKeys = append(sortKeys, keys)
+				pr.sortKeys = append(pr.sortKeys, keys)
+			} else {
+				out = append(out, cells)
 			}
 		}
 	}
-	if len(q.OrderBy) > 0 {
-		sorted, err := eval.SortRows(out.Rows, sortKeys, q.OrderBy)
-		if err != nil {
-			return nil, err
-		}
-		out.Rows = sorted
-		if q.Top > 0 && len(out.Rows) > q.Top {
-			out.Rows = out.Rows[:q.Top]
-		}
+	pr.emitted += len(out)
+	return out, nil
+}
+
+// finish returns whatever the projector held back: the COUNT(*) row, or
+// the sorted (and TOP-truncated) ORDER BY buffer. Plain queries return
+// nothing here. orderBy is the query's sort spec (unused in other
+// modes).
+func (pr *projector) finish(orderBy []sqlparse.OrderItem) ([][]value.Value, error) {
+	if pr.count {
+		return [][]value.Value{{value.Int(pr.countN)}}, nil
 	}
+	if !pr.hasOrder {
+		return nil, nil
+	}
+	sorted, err := eval.SortRows(pr.buffered, pr.sortKeys, orderBy)
+	if err != nil {
+		return nil, err
+	}
+	if pr.top > 0 && len(sorted) > pr.top {
+		sorted = sorted[:pr.top]
+	}
+	pr.buffered, pr.sortKeys = nil, nil
+	return sorted, nil
+}
+
+// close releases the projector's pooled batch and evaluator scratch.
+func (pr *projector) close() {
+	if pr.batch != nil {
+		pr.batch.Release()
+		pr.batch = nil
+	}
+	for _, ev := range pr.evs {
+		ev.Release()
+	}
+	pr.evs = nil
+}
+
+// project evaluates the query's select list over a fully materialized
+// tuple set (the folded path): one page through the projector, then
+// finish. The streaming path feeds the same projector page by page
+// instead (see ExecutePreparedStream).
+func (e *Engine) project(q *sqlparse.Query, tuples *dataset.DataSet) (*dataset.DataSet, error) {
+	pr, err := e.newProjector(q, tuples.Columns)
+	if err != nil {
+		return nil, err
+	}
+	defer pr.close()
+	out := &dataset.DataSet{Columns: pr.outCols}
+	head, err := pr.page(tuples.Rows)
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = head
+	tail, err := pr.finish(q.OrderBy)
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, tail...)
 	return out, nil
 }
 
 // projType infers a column type for a projected expression from the tuple
 // schema, defaulting to FLOAT.
-func projType(e sqlparse.Expr, tuples *dataset.DataSet) value.Type {
+func projType(e sqlparse.Expr, tupleCols []dataset.Column) value.Type {
 	if cr, ok := e.(*sqlparse.ColumnRef); ok {
-		if ci := tuples.ColumnIndex(cr.String()); ci >= 0 {
-			return tuples.Columns[ci].Type
+		for _, c := range tupleCols {
+			if c.Name == cr.String() {
+				return c.Type
+			}
 		}
 	}
 	switch n := e.(type) {
@@ -203,7 +307,7 @@ func projType(e sqlparse.Expr, tuples *dataset.DataSet) value.Type {
 		// Function results must be typed correctly or the wire codec
 		// rejects their cells (UPPER in a select list used to relay a
 		// STRING cell under a FLOAT column).
-		return eval.FuncResultType(n, func(arg sqlparse.Expr) value.Type { return projType(arg, tuples) })
+		return eval.FuncResultType(n, func(arg sqlparse.Expr) value.Type { return projType(arg, tupleCols) })
 	}
 	return value.FloatType
 }

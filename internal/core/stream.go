@@ -1,0 +1,205 @@
+package core
+
+// Streaming execution. The folded path materializes the chain's whole
+// partial-tuple set at the portal before projecting it; here the engine
+// instead pulls pages off a TupleStream as the chain produces them and
+// projects each page through the same compiled projector, so the
+// portal's peak memory is one page (plus the ORDER BY buffer when the
+// query sorts) and the first result rows leave for the client before
+// the chain has finished. Services that can deliver pages implement
+// StreamServices; against a Services that cannot, ExecutePreparedStream
+// degrades to the folded execution re-paged locally, so callers get one
+// iterator shape either way.
+
+import (
+	"skyquery/internal/dataset"
+	"skyquery/internal/plan"
+	"skyquery/internal/sqlparse"
+	"skyquery/internal/value"
+)
+
+// TupleStream delivers a bulk result page by page: Columns is the
+// schema, Next returns the next page of rows ((nil, nil) after the
+// last), Close releases the transfer (abandoning early is legal).
+type TupleStream interface {
+	Columns() []dataset.Column
+	Next() ([][]value.Value, error)
+	Close() error
+}
+
+// StreamServices is optionally implemented by a Services whose bulk
+// operations can deliver pages as the remote nodes produce them.
+type StreamServices interface {
+	// CrossMatchStream hands the plan to the first step's node and
+	// returns the partial tuples flowing back as a page stream.
+	CrossMatchStream(p *plan.Plan) (TupleStream, error)
+	// TableQueryStream runs a complete single-archive query and returns
+	// its rows as a page stream.
+	TableQueryStream(a *Archive, sql string) (TupleStream, error)
+}
+
+// ExecutePreparedStream runs a previously prepared query and returns
+// the result as a page stream. Result rows are bit-identical to
+// ExecutePrepared's — both paths share the compiled projector — but
+// they reach the caller page by page, before the chain completes.
+func (e *Engine) ExecutePreparedStream(prep *Prepared) (TupleStream, error) {
+	ss, ok := e.Services.(StreamServices)
+	if !ok {
+		ds, err := e.ExecutePrepared(prep)
+		if err != nil {
+			return nil, err
+		}
+		return NewSliceStream(ds, e.chunkRows()), nil
+	}
+	if prep.plan == nil {
+		a, local, err := e.passThroughTarget(prep.q)
+		if err != nil {
+			return nil, err
+		}
+		e.emit("execute", "pass-through to %s (streaming)", a.Name)
+		return ss.TableQueryStream(a, local)
+	}
+	pl := *prep.plan
+	pl.QueryID = e.queryID()
+	e.emit("execute", "chain: %s (streaming)", &pl)
+	ts, err := ss.CrossMatchStream(&pl)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := e.newProjector(prep.q, ts.Columns())
+	if err != nil {
+		ts.Close()
+		return nil, err
+	}
+	return &projectStream{e: e, q: prep.q, src: ts, pr: pr}, nil
+}
+
+// projectStream pulls tuple pages off the chain stream and projects
+// each one as it arrives.
+type projectStream struct {
+	e   *Engine
+	q   *sqlparse.Query
+	src TupleStream
+	pr  *projector
+
+	rows     int
+	finished bool
+	err      error
+	closed   bool
+}
+
+// Columns returns the projected result schema.
+func (s *projectStream) Columns() []dataset.Column { return s.pr.outCols }
+
+// Next returns the next page of result rows, or (nil, nil) after the
+// last one. Pages that project to nothing (COUNT and ORDER BY buffer
+// until the end; a veto-heavy page may be empty) are skipped, not
+// surfaced as empty pages.
+func (s *projectStream) Next() ([][]value.Value, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	for !s.finished {
+		if !s.pr.needMore() {
+			// Plain TOP satisfied: abandon the rest of the chain's
+			// transfer rather than draining it.
+			return s.finish(true)
+		}
+		page, err := s.src.Next()
+		if err != nil {
+			s.fail(err)
+			return nil, s.err
+		}
+		if page == nil {
+			return s.finish(false)
+		}
+		out, err := s.pr.page(page)
+		if err != nil {
+			s.fail(err)
+			return nil, s.err
+		}
+		if len(out) > 0 {
+			s.rows += len(out)
+			return out, nil
+		}
+	}
+	return nil, nil
+}
+
+// finish drains the projector's held-back rows (COUNT row, sorted ORDER
+// BY buffer) and emits the relay event.
+func (s *projectStream) finish(abandon bool) ([][]value.Value, error) {
+	s.finished = true
+	if abandon {
+		s.src.Close()
+	}
+	tail, err := s.pr.finish(s.q.OrderBy)
+	if err != nil {
+		s.fail(err)
+		return nil, s.err
+	}
+	s.rows += len(tail)
+	s.e.emit("relay", "%d rows to client", s.rows)
+	if len(tail) > 0 {
+		return tail, nil
+	}
+	return nil, nil
+}
+
+// fail records err and releases the stream's resources.
+func (s *projectStream) fail(err error) {
+	s.err = err
+	s.src.Close()
+	s.release()
+}
+
+// Close abandons the stream; safe after exhaustion and idempotent.
+func (s *projectStream) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.src.Close()
+	s.release()
+	return nil
+}
+
+func (s *projectStream) release() {
+	if s.pr != nil {
+		s.pr.close()
+	}
+}
+
+// SliceStream adapts a materialized data set to the TupleStream shape,
+// re-paged at chunkRows rows. It backs the non-streaming fallback.
+type SliceStream struct {
+	cols  []dataset.Column
+	rows  [][]value.Value
+	chunk int
+	off   int
+}
+
+// NewSliceStream wraps ds as a TupleStream of chunkRows-row pages.
+func NewSliceStream(ds *dataset.DataSet, chunkRows int) *SliceStream {
+	if chunkRows <= 0 {
+		chunkRows = 5000
+	}
+	return &SliceStream{cols: ds.Columns, rows: ds.Rows, chunk: chunkRows}
+}
+
+// Columns returns the schema.
+func (s *SliceStream) Columns() []dataset.Column { return s.cols }
+
+// Next returns the next page, or (nil, nil) when exhausted.
+func (s *SliceStream) Next() ([][]value.Value, error) {
+	if s.off >= len(s.rows) {
+		return nil, nil
+	}
+	end := min(s.off+s.chunk, len(s.rows))
+	page := s.rows[s.off:end]
+	s.off = end
+	return page, nil
+}
+
+// Close implements TupleStream.
+func (s *SliceStream) Close() error { return nil }

@@ -40,7 +40,26 @@ const (
 	// maxColumnarCols bounds the schema so a corrupt header cannot drive
 	// a huge per-row allocation downstream.
 	maxColumnarCols = 1 << 16
+
+	// errorMarker fills the row-count slot of an error frame. A producer
+	// that fails after the stream has started (HTTP status and headers
+	// long gone) ends the stream with one of these instead of a trailer,
+	// so the failure arrives as a typed error — never as a silently
+	// truncated result.
+	errorMarker = 0xFFFFFFFF
+
+	// maxStreamErrorLen truncates the message carried by an error frame.
+	maxStreamErrorLen = 16 << 10
 )
+
+// StreamError is the decoded form of an in-band error frame: the remote
+// producer failed mid-stream and said so.
+type StreamError struct {
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *StreamError) Error() string { return e.Msg }
 
 // Per-column block tags inside a page frame. Columns whose cells all
 // conform to the declared type use the native tag for that type; a
@@ -125,6 +144,29 @@ func (e *ColumnarEncoder) Close() error {
 	e.buf = e.buf[:0]
 	e.buf = binary.LittleEndian.AppendUint32(e.buf, 0)
 	return e.flushFrame()
+}
+
+// WriteError emits an error frame carrying msg and poisons the stream:
+// the receiver's next read returns a *StreamError instead of rows. It is
+// valid at any point — before the schema, between pages, in place of the
+// trailer — because a streaming producer can fail at any of those points.
+func (e *ColumnarEncoder) WriteError(msg string) error {
+	if len(msg) > maxStreamErrorLen {
+		msg = msg[:maxStreamErrorLen]
+	}
+	e.buf = e.buf[:0]
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, errorMarker)
+	e.buf = append(e.buf, msg...)
+	return e.flushFrame()
+}
+
+// streamError interprets a frame payload as an error frame, or returns
+// nil when it is not one.
+func streamError(p []byte) *StreamError {
+	if len(p) < 4 || binary.LittleEndian.Uint32(p) != errorMarker {
+		return nil
+	}
+	return &StreamError{Msg: string(p[4:])}
 }
 
 // flushFrame writes u32 length | payload | u32 CRC32C(payload).
@@ -366,6 +408,10 @@ func (d *ColumnarDecoder) ReadSchema() ([]Column, error) {
 		return nil, err
 	}
 	p := d.buf
+	if se := streamError(p); se != nil {
+		d.done = true
+		return nil, se
+	}
 	if len(p) < 8 || binary.LittleEndian.Uint32(p) != columnarMagic {
 		return nil, fmt.Errorf("dataset: not a columnar stream (bad magic)")
 	}
@@ -414,6 +460,10 @@ func (d *ColumnarDecoder) ReadPage(dst *DataSet) (int, error) {
 		return 0, err
 	}
 	p := d.buf
+	if se := streamError(p); se != nil {
+		d.done = true
+		return 0, se
+	}
 	if len(p) < 4 {
 		return 0, fmt.Errorf("dataset: columnar page truncated")
 	}

@@ -354,3 +354,71 @@ func FuzzBinaryCodec(f *testing.F) {
 		}
 	})
 }
+
+func TestColumnarErrorFrame(t *testing.T) {
+	// Mid-stream: schema + one page, then an error frame instead of the
+	// trailer. The rows before the failure decode; the failure itself
+	// arrives as a typed *StreamError, not a truncation.
+	d := sample(10, 3)
+	var buf bytes.Buffer
+	enc := NewColumnarEncoder(&buf)
+	if err := enc.WriteSchema(d.Columns); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.WritePage(d.Rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.WriteError("node b2 went away"); err != nil {
+		t.Fatal(err)
+	}
+	dec := NewColumnarDecoder(&buf)
+	if _, err := dec.ReadSchema(); err != nil {
+		t.Fatal(err)
+	}
+	got := &DataSet{Columns: d.Columns}
+	if n, err := dec.ReadPage(got); err != nil || n != 10 {
+		t.Fatalf("first page: n=%d err=%v", n, err)
+	}
+	_, err := dec.ReadPage(got)
+	se, ok := err.(*StreamError)
+	if !ok {
+		t.Fatalf("err = %v (%T), want *StreamError", err, err)
+	}
+	if se.Msg != "node b2 went away" {
+		t.Errorf("message = %q", se.Msg)
+	}
+	// The stream is poisoned: further reads stay done.
+	if n, err := dec.ReadPage(got); n != 0 || err != nil {
+		t.Errorf("read after error: n=%d err=%v", n, err)
+	}
+}
+
+func TestColumnarErrorBeforeSchema(t *testing.T) {
+	// A producer can fail before it knows its output schema (e.g. the
+	// downstream call that would provide it failed).
+	var buf bytes.Buffer
+	enc := NewColumnarEncoder(&buf)
+	if err := enc.WriteError("could not open downstream stream"); err != nil {
+		t.Fatal(err)
+	}
+	dec := NewColumnarDecoder(&buf)
+	_, err := dec.ReadSchema()
+	se, ok := err.(*StreamError)
+	if !ok || se.Msg != "could not open downstream stream" {
+		t.Fatalf("err = %v (%T), want *StreamError", err, err)
+	}
+}
+
+func TestColumnarErrorMessageTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewColumnarEncoder(&buf)
+	if err := enc.WriteError(strings.Repeat("x", maxStreamErrorLen+100)); err != nil {
+		t.Fatal(err)
+	}
+	dec := NewColumnarDecoder(&buf)
+	_, err := dec.ReadSchema()
+	se, ok := err.(*StreamError)
+	if !ok || len(se.Msg) != maxStreamErrorLen {
+		t.Fatalf("err = %T, len = %d", err, len(se.Msg))
+	}
+}

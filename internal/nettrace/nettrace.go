@@ -100,9 +100,12 @@ func (t *Transport) base() http.RoundTripper {
 	return SharedTransport()
 }
 
-// RoundTrip implements http.RoundTripper. The response body is fully
-// buffered so that byte counts and bandwidth delays are exact at return
-// time.
+// RoundTrip implements http.RoundTripper. The request body is buffered
+// (requests are small and the count must precede the send delay), but
+// the response body streams through a counting reader: bytes are
+// counted and the bandwidth delay charged as the consumer reads them.
+// Buffering the response here would silently fold the federation's
+// streamed page transfers back into store-and-forward at every hop.
 func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	var reqBytes int64
 	if req.Body != nil {
@@ -124,17 +127,7 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	data, err := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if err != nil {
-		return nil, err
-	}
-	respBytes := int64(len(data))
-	t.bytesReceived.Add(respBytes)
-	t.sleepFor(respBytes, false)
-	resp.Body = io.NopCloser(bytes.NewReader(data))
-	resp.ContentLength = respBytes
-
+	callIdx := -1
 	if t.RecordCalls {
 		action := req.Header.Get("SOAPAction")
 		if len(action) >= 2 && action[0] == '"' && action[len(action)-1] == '"' {
@@ -142,14 +135,62 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 		}
 		t.mu.Lock()
 		t.calls = append(t.calls, Call{
-			URL:           req.URL.String(),
-			Action:        action,
-			BytesSent:     reqBytes,
-			BytesReceived: respBytes,
+			URL:       req.URL.String(),
+			Action:    action,
+			BytesSent: reqBytes,
 		})
+		callIdx = len(t.calls) - 1
 		t.mu.Unlock()
 	}
+	resp.Body = &countingBody{rc: resp.Body, t: t, callIdx: callIdx}
 	return resp, nil
+}
+
+// countingBody streams a response body through, counting bytes and
+// charging the bandwidth delay as they flow to the consumer. The
+// per-call log entry's received count is finalized at EOF or Close.
+type countingBody struct {
+	rc      io.ReadCloser
+	t       *Transport
+	callIdx int // index into t.calls; -1 when not recording
+	n       int64
+	done    bool
+}
+
+// Read implements io.Reader.
+func (b *countingBody) Read(p []byte) (int, error) {
+	n, err := b.rc.Read(p)
+	if n > 0 {
+		b.n += int64(n)
+		b.t.bytesReceived.Add(int64(n))
+		b.t.sleepFor(int64(n), false)
+	}
+	if err == io.EOF {
+		b.finish()
+	}
+	return n, err
+}
+
+// Close implements io.Closer.
+func (b *countingBody) Close() error {
+	b.finish()
+	return b.rc.Close()
+}
+
+// finish writes the final received count into the per-call log (guarded
+// against a Reset that truncated the log mid-flight).
+func (b *countingBody) finish() {
+	if b.done {
+		return
+	}
+	b.done = true
+	if b.callIdx >= 0 {
+		b.t.mu.Lock()
+		if b.callIdx < len(b.t.calls) {
+			b.t.calls[b.callIdx].BytesReceived = b.n
+		}
+		b.t.mu.Unlock()
+	}
 }
 
 // sleepFor injects the shaped delay for a payload of n bytes; the

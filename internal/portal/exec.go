@@ -35,9 +35,32 @@ func (p *Portal) engine() *core.Engine {
 // formatting) replay its cached prepared form, skipping parse, validate,
 // plan, and the count-star performance probes.
 func (p *Portal) Query(sql string) (*dataset.DataSet, error) {
+	prep, err := p.prepared(sql)
+	if err != nil {
+		return nil, err
+	}
+	return p.engine().ExecutePrepared(prep)
+}
+
+// QueryStream executes a query and returns the result as a page stream:
+// rows reach the caller as the chain produces them, and the Portal holds
+// one page at a time instead of the folded result. Plan caching works
+// exactly as in Query.
+func (p *Portal) QueryStream(sql string) (core.TupleStream, error) {
+	prep, err := p.prepared(sql)
+	if err != nil {
+		return nil, err
+	}
+	return p.engine().ExecutePreparedStream(prep)
+}
+
+// prepared resolves sql to its compiled form through the plan cache
+// (cache hits replay the Prepared and re-announce the submission; a nil
+// cache prepares every time).
+func (p *Portal) prepared(sql string) (*core.Prepared, error) {
 	eng := p.engine()
 	if p.plans == nil {
-		return eng.Execute(sql)
+		return eng.Prepare(sql)
 	}
 	key, err := p.planKey(sql)
 	if err != nil {
@@ -45,14 +68,14 @@ func (p *Portal) Query(sql string) (*dataset.DataSet, error) {
 	}
 	if prep, ok := p.plans.get(key); ok {
 		eng.EmitSubmit(sql)
-		return eng.ExecutePrepared(prep)
+		return prep, nil
 	}
 	prep, err := eng.Prepare(sql)
 	if err != nil {
 		return nil, err
 	}
 	p.plans.put(key, prep)
-	return eng.ExecutePrepared(prep)
+	return prep, nil
 }
 
 // planKey builds the plan-cache key for a query: its canonical parsed
@@ -148,4 +171,20 @@ func (s *portalServices) CrossMatch(pl *plan.Plan) (*dataset.DataSet, error) {
 		return nil, err
 	}
 	return soap.FetchAll(s.p.client, firstStep.Endpoint, &first)
+}
+
+// CrossMatchStream implements core.StreamServices: the chain's partial
+// tuples flow back page by page, each chain node holding only its
+// in-flight page. A node that cannot stream degrades transparently to
+// chunk-by-chunk fetching inside the PageStream.
+func (s *portalServices) CrossMatchStream(pl *plan.Plan) (core.TupleStream, error) {
+	firstStep := pl.Steps[0]
+	return soap.OpenStream(s.p.client, firstStep.Endpoint, skynode.ActionCrossMatch,
+		&skynode.CrossMatchRequest{Plan: *pl})
+}
+
+// TableQueryStream implements core.StreamServices via the node's Query
+// service.
+func (s *portalServices) TableQueryStream(a *core.Archive, sql string) (core.TupleStream, error) {
+	return soap.OpenStream(s.p.client, a.Endpoint, skynode.ActionQuery, &skynode.QueryRequest{SQL: sql})
 }

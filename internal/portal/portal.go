@@ -188,6 +188,38 @@ func (p *Portal) handleSkyQuery(r *soap.Request) (interface{}, error) {
 	if err := r.Decode(&req); err != nil {
 		return nil, err
 	}
+	if r.WantsStream() {
+		// Prepare (parse, validate, plan, count-star probes) and open the
+		// chain before the response starts, so those failures still travel
+		// as ordinary XML faults; only errors after the first byte go
+		// in-band as columnar error frames.
+		prep, err := p.prepared(req.SQL)
+		if err != nil {
+			return nil, err
+		}
+		ts, err := p.engine().ExecutePreparedStream(prep)
+		if err != nil {
+			return nil, err
+		}
+		return &soap.ChunkedStream{Run: func(sw *soap.StreamWriter) error {
+			defer ts.Close()
+			if err := sw.Schema(ts.Columns()); err != nil {
+				return err
+			}
+			for {
+				page, err := ts.Next()
+				if err != nil {
+					return err
+				}
+				if page == nil {
+					return nil
+				}
+				if err := sw.Page(page); err != nil {
+					return err
+				}
+			}
+		}}, nil
+	}
 	res, err := p.Query(req.SQL)
 	if err != nil {
 		return nil, err

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"skyquery/internal/dataset"
+	"skyquery/internal/value"
 )
 
 // Default admission parameters (used for zero Admission fields when the
@@ -281,17 +282,23 @@ func estimateDataSetBytes(d *dataset.DataSet) int64 {
 	if d == nil {
 		return 0
 	}
-	const valueSize = 48 // unsafe.Sizeof(value.Value{}) rounded up
-	cells := int64(len(d.Rows)) * int64(len(d.Columns))
-	bytes := cells * valueSize
-	if len(d.Rows) > 0 {
-		// First row's string payload as the per-row sample — an estimate
-		// is all the budget needs, and it keeps this O(columns).
-		var rowStrings int64
-		for _, v := range d.Rows[0] {
-			rowStrings += int64(len(v.AsString()))
-		}
-		bytes += rowStrings * int64(len(d.Rows))
+	return estimateRowsBytes(d.Rows)
+}
+
+// estimateRowsBytes is the admission weight of one batch of tuples —
+// the streaming path charges it per in-flight page, so the gate sees
+// the real page-sized footprint instead of a whole-set estimate.
+func estimateRowsBytes(rows [][]value.Value) int64 {
+	if len(rows) == 0 {
+		return 0
 	}
-	return bytes
+	const valueSize = 48 // unsafe.Sizeof(value.Value{}) rounded up
+	bytes := int64(len(rows)) * int64(len(rows[0])) * valueSize
+	// First row's string payload as the per-row sample — an estimate
+	// is all the budget needs, and it keeps this O(columns).
+	var rowStrings int64
+	for _, v := range rows[0] {
+		rowStrings += int64(len(v.AsString()))
+	}
+	return bytes + rowStrings*int64(len(rows))
 }

@@ -8,6 +8,7 @@ import (
 	"skyquery/internal/plan"
 	"skyquery/internal/soap"
 	"skyquery/internal/sqlparse"
+	"skyquery/internal/value"
 )
 
 // InformationRequest asks for the archive constants (§5.1: "astronomy
@@ -124,7 +125,33 @@ func (n *Node) handleQuery(r *soap.Request) (interface{}, error) {
 	}
 	n.queriesServed.Add(1)
 	n.emit("query", "%d rows for %q", len(res.Rows), req.SQL)
-	return n.chunks.Respond(resultToDataSet(res), n.cfg.ChunkRows), nil
+	ds := resultToDataSet(res)
+	if r.WantsStream() {
+		// Stream the materialized result page by page instead of parking
+		// tail chunks: nothing waits in the ChunkStore and the caller
+		// holds one page at a time.
+		return &soap.ChunkedStream{Run: func(sw *soap.StreamWriter) error {
+			if err := sw.Schema(ds.Columns); err != nil {
+				return err
+			}
+			return writePaged(sw, ds.Rows, n.cfg.ChunkRows)
+		}}, nil
+	}
+	return n.chunks.Respond(ds, n.cfg.ChunkRows), nil
+}
+
+// writePaged emits rows to the stream in pages of at most chunkRows.
+func writePaged(sw *soap.StreamWriter, rows [][]value.Value, chunkRows int) error {
+	for off := 0; off < len(rows); off += chunkRows {
+		end := off + chunkRows
+		if end > len(rows) {
+			end = len(rows)
+		}
+		if err := sw.Page(rows[off:end]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (n *Node) handleCrossMatch(r *soap.Request) (interface{}, error) {
@@ -142,6 +169,13 @@ func (n *Node) handleCrossMatch(r *soap.Request) (interface{}, error) {
 	}
 	step := p.Steps[idx]
 	n.emit("xmatch.recv", "plan %s step %d/%d", p.QueryID, idx+1, len(p.Steps))
+	chunkRows := p.ChunkRows
+	if chunkRows == 0 {
+		chunkRows = n.cfg.ChunkRows
+	}
+	if r.WantsStream() {
+		return n.crossMatchStream(p, step, chunkRows), nil
+	}
 
 	var incoming *dataset.DataSet
 	if next := p.Next(n.cfg.Name); next != nil {
@@ -173,9 +207,119 @@ func (n *Node) handleCrossMatch(r *soap.Request) (interface{}, error) {
 	}
 	n.tuplesOut.Add(int64(out.NumRows()))
 	n.emit("xmatch.return", "%d tuples", out.NumRows())
-	chunkRows := p.ChunkRows
-	if chunkRows == 0 {
-		chunkRows = n.cfg.ChunkRows
-	}
 	return n.chunks.Respond(out, chunkRows), nil
+}
+
+// crossMatchStream is the page-at-a-time form of the chain step: the
+// downstream node's partial tuples are consumed as each page arrives,
+// every page runs through the same compiled stepRunner as the folded
+// path (which is what keeps the two wires bit-identical), and the
+// extended tuples are re-paged to the caller at chunkRows rows — an
+// extend step can amplify one incoming page arbitrarily, so output
+// paging cannot simply mirror input paging. Peak memory here is the
+// in-flight page plus its output, not the tuple set. Failures after
+// the first byte has been written cannot become SOAP faults any more;
+// they travel in-band as columnar error frames and surface to the
+// consumer as a typed *dataset.StreamError.
+func (n *Node) crossMatchStream(p *plan.Plan, step plan.Step, chunkRows int) *soap.ChunkedStream {
+	return &soap.ChunkedStream{Run: func(sw *soap.StreamWriter) error {
+		next := p.Next(n.cfg.Name)
+		if next == nil {
+			return n.seedStream(p, step, chunkRows, sw)
+		}
+		n.emit("xmatch.forward", "-> %s", next.Archive)
+		st, err := soap.OpenStream(n.client, next.Endpoint, ActionCrossMatch, &CrossMatchRequest{Plan: *p})
+		if err != nil {
+			return fmt.Errorf("skynode %s: chain call to %s: %w", n.cfg.Name, next.Archive, err)
+		}
+		defer st.Close()
+		r, err := n.newStepRunner(p, step, st.Columns())
+		if err != nil {
+			return fmt.Errorf("skynode %s: %w", n.cfg.Name, err)
+		}
+		defer r.close()
+		if step.DropOut {
+			n.emit("xmatch.dropout", "streaming pages")
+		} else {
+			n.emit("xmatch.step", "streaming pages")
+		}
+		if err := sw.Schema(r.outCols); err != nil {
+			return err
+		}
+		var pending [][]value.Value
+		for {
+			page, err := st.Next()
+			if err != nil {
+				return fmt.Errorf("skynode %s: stream from %s: %w", n.cfg.Name, next.Archive, err)
+			}
+			if page == nil {
+				break
+			}
+			n.tuplesIn.Add(int64(len(page)))
+			out, err := n.runPage(r, page)
+			if err != nil {
+				return fmt.Errorf("skynode %s: %w", n.cfg.Name, err)
+			}
+			pending = append(pending, out...)
+			for len(pending) >= chunkRows {
+				if err := sw.Page(pending[:chunkRows:chunkRows]); err != nil {
+					return err
+				}
+				// Copy the tail so written pages' row headers are not
+				// pinned by the pending slice's backing array.
+				rest := make([][]value.Value, len(pending)-chunkRows)
+				copy(rest, pending[chunkRows:])
+				pending = rest
+			}
+		}
+		if err := sw.Page(pending); err != nil {
+			return err
+		}
+		n.tuplesOut.Add(int64(sw.Rows()))
+		n.emit("xmatch.return", "%d tuples streamed", sw.Rows())
+		return nil
+	}}
+}
+
+// seedStream emits the seed step's 1-tuples in pages. The seed search
+// itself is one local computation (there is no upstream to stream
+// from), so admission is charged once around it and released before
+// the pages go out on the wire.
+func (n *Node) seedStream(p *plan.Plan, step plan.Step, chunkRows int, sw *soap.StreamWriter) error {
+	r, err := n.newStepRunner(p, step, nil)
+	if err != nil {
+		return fmt.Errorf("skynode %s: %w", n.cfg.Name, err)
+	}
+	defer r.close()
+	release, err := n.admit(0)
+	if err != nil {
+		return err
+	}
+	n.emit("xmatch.seed", "table %s", step.Table)
+	rows, seedErr := r.seed()
+	release()
+	if seedErr != nil {
+		return fmt.Errorf("skynode %s: %w", n.cfg.Name, seedErr)
+	}
+	if err := sw.Schema(r.outCols); err != nil {
+		return err
+	}
+	if err := writePaged(sw, rows, chunkRows); err != nil {
+		return err
+	}
+	n.tuplesOut.Add(int64(len(rows)))
+	n.emit("xmatch.return", "%d tuples streamed", len(rows))
+	return nil
+}
+
+// runPage charges admission for one in-flight page — its real
+// estimated bytes, not a whole-set guess — and holds the weight only
+// across the local compute, never across a network wait.
+func (n *Node) runPage(r *stepRunner, page [][]value.Value) ([][]value.Value, error) {
+	release, err := n.admit(estimateRowsBytes(page))
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return r.run(page)
 }

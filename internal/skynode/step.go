@@ -82,13 +82,29 @@ func (l *scratchList[T]) release(fn func(T)) {
 	l.all, l.free = nil, nil
 }
 
-// localStep performs this node's part of the cross match. For the seed
-// node (incoming == nil) it selects its objects in the AREA satisfying the
-// local predicate and emits 1-tuples. For a mandatory archive it extends
-// each incoming tuple with every nearby candidate that keeps the
-// chi-square within threshold. For a drop-out archive it vetoes tuples
-// that have such a candidate and passes the rest through unchanged.
-func (n *Node) localStep(p *plan.Plan, step plan.Step, incoming *dataset.DataSet) (*dataset.DataSet, error) {
+// stepRunner is one chain step compiled and ready to execute page by
+// page: predicates are parsed, compiled, and bound once when the runner
+// is built; each run call then processes one batch of incoming tuples
+// through the same pruned search → typed gather → chi-square gate →
+// residual pipeline. The folded (whole-set) path and the streaming path
+// share the same runner, which is what keeps them bit-identical.
+type stepRunner struct {
+	// outCols is the step's output tuple schema, known before any row is
+	// processed (streaming emits it as the schema frame up front).
+	outCols []dataset.Column
+	// seed produces the seed step's 1-tuples; nil for non-seed runners.
+	seed func() ([][]value.Value, error)
+	// run extends (or veto-filters) one batch of incoming tuples; nil
+	// for seed runners.
+	run func(rows [][]value.Value) ([][]value.Value, error)
+	// close releases the runner's pooled scratch. Must be called once.
+	close func()
+}
+
+// newStepRunner resolves the step's table, area, and predicates and
+// compiles the appropriate runner. incomingCols is nil for the seed
+// step; otherwise it is the incoming partial-tuple schema.
+func (n *Node) newStepRunner(p *plan.Plan, step plan.Step, incomingCols []dataset.Column) (*stepRunner, error) {
 	table, ok := n.cfg.DB.Table(step.Table)
 	if !ok {
 		return nil, fmt.Errorf("table %q does not exist", step.Table)
@@ -118,31 +134,91 @@ func (n *Node) localStep(p *plan.Plan, step plan.Step, incoming *dataset.DataSet
 		crossWhere = append(crossWhere, e)
 	}
 
-	if incoming == nil {
+	if incomingCols == nil {
 		if step.DropOut {
 			return nil, fmt.Errorf("drop-out archive cannot seed the chain")
 		}
-		n.emit("xmatch.seed", "table %s", step.Table)
-		return n.seedStep(p, table, step, area, localWhere)
+		return n.newSeedRunner(p, table, step, area, localWhere)
+	}
+	if len(incomingCols) < xmatch.NumAccCols {
+		return nil, fmt.Errorf("malformed partial-tuple schema: %d columns, want at least %d", len(incomingCols), xmatch.NumAccCols)
 	}
 	if step.DropOut {
-		n.emit("xmatch.dropout", "%d tuples in", incoming.NumRows())
-		return n.dropOutStep(p, table, step, area, localWhere, incoming)
+		return n.newDropOutRunner(p, table, step, area, localWhere, incomingCols)
 	}
-	n.emit("xmatch.step", "%d tuples in", incoming.NumRows())
-	return n.extendStep(p, table, step, area, localWhere, crossWhere, incoming)
+	return n.newExtendRunner(p, table, step, area, localWhere, crossWhere, incomingCols)
 }
 
-// seedStep runs the first (innermost) query of the chain: all objects in
-// the area passing the local predicate become 1-tuples. The HTM region
-// walk collects candidate rows in index order — with candidates from zone
-// blocks the local predicate provably kills dropped below the search,
-// before a position is computed or a cell gathered — then the survivors
-// are split into batches of eval.BatchSize rows, each batch runs the
-// typed local predicate over natively gathered column vectors, and the
-// batches are sharded across the worker pool with results merged back in
-// scan order — bit-identical to a sequential, row-at-a-time pass.
-func (n *Node) seedStep(p *plan.Plan, table *storage.Table, step plan.Step, area sphere.Region, localWhere sqlparse.Expr) (*dataset.DataSet, error) {
+// localStep performs this node's part of the cross match over a whole
+// incoming tuple set. For the seed node (incoming == nil) it selects its
+// objects in the AREA satisfying the local predicate and emits 1-tuples.
+// For a mandatory archive it extends each incoming tuple with every
+// nearby candidate that keeps the chi-square within threshold. For a
+// drop-out archive it vetoes tuples that have such a candidate and
+// passes the rest through unchanged. The streaming path runs the same
+// compiled step per incoming page instead (see crossMatchStream).
+func (n *Node) localStep(p *plan.Plan, step plan.Step, incoming *dataset.DataSet) (*dataset.DataSet, error) {
+	var incomingCols []dataset.Column
+	if incoming != nil {
+		incomingCols = incoming.Columns
+	}
+	r, err := n.newStepRunner(p, step, incomingCols)
+	if err != nil {
+		return nil, err
+	}
+	defer r.close()
+
+	if incoming == nil {
+		n.emit("xmatch.seed", "table %s", step.Table)
+		rows, err := r.seed()
+		if err != nil {
+			return nil, err
+		}
+		return &dataset.DataSet{Columns: r.outCols, Rows: rows}, nil
+	}
+
+	prefix := "xm_"
+	if step.DropOut {
+		n.emit("xmatch.dropout", "%d tuples in", incoming.NumRows())
+		prefix = "xd_"
+	} else {
+		n.emit("xmatch.step", "%d tuples in", incoming.NumRows())
+	}
+	// Paper fidelity for the folded path: the incoming tuples land in a
+	// temporary table first, as §5.3's stored procedure does, and the
+	// step reads them back from it.
+	tmp, err := n.cfg.DB.CreateTemp(prefix+step.Alias, datasetSchema(incoming))
+	if err != nil {
+		return nil, err
+	}
+	defer n.cfg.DB.Drop(tmp.Name())
+	for _, row := range incoming.Rows {
+		if err := tmp.Append(row...); err != nil {
+			return nil, err
+		}
+	}
+	rows := make([][]value.Value, tmp.RowCount())
+	for i := range rows {
+		rows[i] = tmp.Row(i)
+	}
+	outRows, err := r.run(rows)
+	if err != nil {
+		return nil, err
+	}
+	return &dataset.DataSet{Columns: r.outCols, Rows: outRows}, nil
+}
+
+// newSeedRunner compiles the first (innermost) query of the chain: all
+// objects in the area passing the local predicate become 1-tuples. The
+// HTM region walk collects candidate rows in index order — with
+// candidates from zone blocks the local predicate provably kills dropped
+// below the search, before a position is computed or a cell gathered —
+// then the survivors are split into batches of eval.BatchSize rows, each
+// batch runs the typed local predicate over natively gathered column
+// vectors, and the batches are sharded across the worker pool with
+// results merged back in scan order — bit-identical to a sequential,
+// row-at-a-time pass.
+func (n *Node) newSeedRunner(p *plan.Plan, table *storage.Table, step plan.Step, area sphere.Region, localWhere sqlparse.Expr) (*stepRunner, error) {
 	localProg, err := eval.CompileTyped(localWhere, table.Layout(step.Alias))
 	if err != nil {
 		return nil, fmt.Errorf("compiling local predicate %q: %w", step.LocalWhere, err)
@@ -161,8 +237,6 @@ func (n *Node) seedStep(p *plan.Plan, table *storage.Table, step plan.Step, area
 	scratch := newScratchList(func() *seedScratch {
 		return &seedScratch{batch: eval.NewTBatch(schemaLen, bs), ev: localProg.NewEval(bs)}
 	})
-	defer scratch.release(func(sc *seedScratch) { sc.batch.Release(); sc.ev.Release() })
-	out := dataset.New(n.tupleColumns(nil, table, step)...)
 	var pruner *storage.CandPruner
 	if candPruneEnabled.Load() {
 		// The seed predicate's slots are schema positions already, so the
@@ -171,72 +245,65 @@ func (n *Node) seedStep(p *plan.Plan, table *storage.Table, step plan.Step, area
 			func(s int) value.Type { return schema[s].Type })
 		pruner = table.CandPruner(ps)
 	}
-	var cand []int
-	var candPos []sphere.Vec
-	sb := &storage.SearchBatch{Rows: make([]int, 0, bs), Pos: make([]sphere.Vec, 0, bs), Prune: pruner}
-	if err := table.SearchRegionBatch(area, sb, func(rows []int, poss []sphere.Vec) bool {
-		cand = append(cand, rows...)
-		candPos = append(candPos, poss...)
-		return true
-	}); err != nil {
-		return nil, err
-	}
-	nBatches := (len(cand) + bs - 1) / bs
-	rows, err := forEachOrdered(nBatches, n.parallelism(p.Parallelism), func(bi int) ([][]value.Value, error) {
-		lo := bi * bs
-		hi := min(lo+bs, len(cand))
-		chunk := cand[lo:hi]
-		sc := scratch.get()
-		defer scratch.put(sc)
-		// The search that produced cand has returned, so its read lock is
-		// gone; the gathers and cell reads below need their own section to
-		// stay consistent against concurrent appends.
-		table.BeginRead()
-		defer table.EndRead()
-		sc.batch.SetLen(len(chunk))
-		for _, ci := range refs {
-			table.GatherColumn(sc.batch.Col(ci), ci, chunk)
-		}
-		sel, _, err := localProg.Filter(sc.ev, sc.batch, sc.ev.Seq(len(chunk)))
-		if err != nil {
+	seed := func() ([][]value.Value, error) {
+		var cand []int
+		var candPos []sphere.Vec
+		sb := &storage.SearchBatch{Rows: make([]int, 0, bs), Pos: make([]sphere.Vec, 0, bs), Prune: pruner}
+		if err := table.SearchRegionBatch(area, sb, func(rows []int, poss []sphere.Vec) bool {
+			cand = append(cand, rows...)
+			candPos = append(candPos, poss...)
+			return true
+		}); err != nil {
 			return nil, err
 		}
-		group := make([][]value.Value, 0, len(sel))
-		for _, i := range sel {
-			acc := xmatch.Accumulator{}.Add(candPos[lo+i], step.SigmaArcsec)
-			cells := xmatch.AccToCells(acc)
-			cells = append(cells, n.columnCells(table, step, chunk[i])...)
-			group = append(group, cells)
-		}
-		return group, nil
-	})
-	if err != nil {
-		return nil, err
+		nBatches := (len(cand) + bs - 1) / bs
+		return forEachOrdered(nBatches, n.parallelism(p.Parallelism), func(bi int) ([][]value.Value, error) {
+			lo := bi * bs
+			hi := min(lo+bs, len(cand))
+			chunk := cand[lo:hi]
+			sc := scratch.get()
+			defer scratch.put(sc)
+			// The search that produced cand has returned, so its read lock is
+			// gone; the gathers and cell reads below need their own section to
+			// stay consistent against concurrent appends.
+			table.BeginRead()
+			defer table.EndRead()
+			sc.batch.SetLen(len(chunk))
+			for _, ci := range refs {
+				table.GatherColumn(sc.batch.Col(ci), ci, chunk)
+			}
+			sel, _, err := localProg.Filter(sc.ev, sc.batch, sc.ev.Seq(len(chunk)))
+			if err != nil {
+				return nil, err
+			}
+			group := make([][]value.Value, 0, len(sel))
+			for _, i := range sel {
+				acc := xmatch.Accumulator{}.Add(candPos[lo+i], step.SigmaArcsec)
+				cells := xmatch.AccToCells(acc)
+				cells = append(cells, n.columnCells(table, step, chunk[i])...)
+				group = append(group, cells)
+			}
+			return group, nil
+		})
 	}
-	out.Rows = rows
-	return out, nil
+	return &stepRunner{
+		outCols: n.tupleColumns(nil, table, step),
+		seed:    seed,
+		close: func() {
+			scratch.release(func(sc *seedScratch) { sc.batch.Release(); sc.ev.Release() })
+		},
+	}, nil
 }
 
-// extendStep is the mandatory-archive chain step: §5.3's temporary-table
-// spatial join. The incoming partial tuples are first inserted into a
-// temporary table (as the paper's stored procedure does), then each tuple
-// searches this archive's primary table around its current best position.
-func (n *Node) extendStep(p *plan.Plan, table *storage.Table, step plan.Step, area sphere.Region,
-	localWhere sqlparse.Expr, crossWhere []sqlparse.Expr, incoming *dataset.DataSet) (*dataset.DataSet, error) {
+// newExtendRunner compiles the mandatory-archive chain step: §5.3's
+// spatial join, where each incoming tuple searches this archive's
+// primary table around its current best position. (The folded path
+// parks the incoming tuples in a temporary table first, as the paper's
+// stored procedure does; see localStep.)
+func (n *Node) newExtendRunner(p *plan.Plan, table *storage.Table, step plan.Step, area sphere.Region,
+	localWhere sqlparse.Expr, crossWhere []sqlparse.Expr, incomingCols []dataset.Column) (*stepRunner, error) {
 
-	tmp, err := n.cfg.DB.CreateTemp("xm_"+step.Alias, datasetSchema(incoming))
-	if err != nil {
-		return nil, err
-	}
-	defer n.cfg.DB.Drop(tmp.Name())
-	for _, row := range incoming.Rows {
-		if err := tmp.Append(row...); err != nil {
-			return nil, err
-		}
-	}
-
-	out := dataset.New(n.tupleColumns(incoming, table, step)...)
-	priorCols := incoming.Columns[xmatch.NumAccCols:]
+	priorCols := incomingCols[xmatch.NumAccCols:]
 
 	// Compile the step's predicates once against the combined tuple
 	// layout: slots [0, len(priorCols)) hold the incoming tuple's carried
@@ -355,96 +422,101 @@ func (n *Node) extendStep(p *plan.Plan, table *storage.Table, step plan.Step, ar
 		}
 		return sc
 	})
-	defer scratch.release(func(sc *extScratch) {
-		sc.batch.Release()
-		sc.localEv.Release()
-		for _, ev := range sc.crossEvs {
-			ev.Release()
-		}
-	})
-
 	// Each incoming tuple extends independently (§5.3 is embarrassingly
 	// parallel per partial tuple); workers each take whole tuples, draw
 	// the tuple's candidate blocks from the pruned batch search in search
 	// order, and the per-tuple extension groups are merged in input order,
 	// so the output is identical to the sequential, row-at-a-time scan's.
-	rows, err := forEachOrdered(tmp.RowCount(), n.parallelism(p.Parallelism), func(tRow int) ([][]value.Value, error) {
-		row := tmp.Row(tRow)
-		acc, err := xmatch.CellsToAcc(row)
-		if err != nil {
-			return nil, err
-		}
-		radius := acc.SearchRadius(p.Threshold, step.SigmaArcsec)
-		if radius <= 0 {
-			return nil, nil
-		}
-		sc := scratch.get()
-		defer scratch.put(sc)
-		var ext [][]value.Value
-		var stepErr error
-		process := func(cand []int, poss []sphere.Vec) bool {
-			cn := len(cand)
-			sc.batch.SetLen(cn)
-			for _, s := range priorSlots {
-				// Carried columns are constant per tuple: broadcast the cell
-				// in its own dynamic type, so typed kernels and the boxed
-				// row engines see identical operands.
-				sc.batch.Col(s).Broadcast(row[xmatch.NumAccCols+s], cn)
-			}
-			for _, ci := range localRefs {
-				table.GatherColumn(sc.batch.Col(npc+ci), ci, cand)
-			}
-			sel, _, err := localProg.Filter(sc.localEv, sc.batch, sc.localEv.Seq(cn))
+	// One run call handles one batch of tuples; the scratch free-list and
+	// the adaptive sizer persist across calls, so a streamed step warms up
+	// once, not per page.
+	run := func(rows [][]value.Value) ([][]value.Value, error) {
+		return forEachOrdered(len(rows), n.parallelism(p.Parallelism), func(tRow int) ([][]value.Value, error) {
+			row := rows[tRow]
+			acc, err := xmatch.CellsToAcc(row)
 			if err != nil {
-				stepErr = err
-				return false
+				return nil, err
 			}
-			sizer.Observe(cn, len(sel))
-			// The chi-square gate sits between the local and the cross
-			// predicates, as in the row-at-a-time loop.
-			gate := sc.gate[:0]
-			for _, i := range sel {
-				next := acc.Add(poss[i], step.SigmaArcsec)
-				if next.Matches(p.Threshold) {
-					sc.accs[i] = next
-					gate = append(gate, i)
+			radius := acc.SearchRadius(p.Threshold, step.SigmaArcsec)
+			if radius <= 0 {
+				return nil, nil
+			}
+			sc := scratch.get()
+			defer scratch.put(sc)
+			var ext [][]value.Value
+			var stepErr error
+			process := func(cand []int, poss []sphere.Vec) bool {
+				cn := len(cand)
+				sc.batch.SetLen(cn)
+				for _, s := range priorSlots {
+					// Carried columns are constant per tuple: broadcast the cell
+					// in its own dynamic type, so typed kernels and the boxed
+					// row engines see identical operands.
+					sc.batch.Col(s).Broadcast(row[xmatch.NumAccCols+s], cn)
 				}
-			}
-			for _, ci := range crossRefs {
-				table.GatherColumnSel(sc.batch.Col(npc+ci), ci, cand, gate)
-			}
-			for i, cp := range crossProgs {
-				if len(gate) == 0 {
-					break
+				for _, ci := range localRefs {
+					table.GatherColumn(sc.batch.Col(npc+ci), ci, cand)
 				}
-				if gate, _, err = cp.Filter(sc.crossEvs[i], sc.batch, gate); err != nil {
+				sel, _, err := localProg.Filter(sc.localEv, sc.batch, sc.localEv.Seq(cn))
+				if err != nil {
 					stepErr = err
 					return false
 				}
+				sizer.Observe(cn, len(sel))
+				// The chi-square gate sits between the local and the cross
+				// predicates, as in the row-at-a-time loop.
+				gate := sc.gate[:0]
+				for _, i := range sel {
+					next := acc.Add(poss[i], step.SigmaArcsec)
+					if next.Matches(p.Threshold) {
+						sc.accs[i] = next
+						gate = append(gate, i)
+					}
+				}
+				for _, ci := range crossRefs {
+					table.GatherColumnSel(sc.batch.Col(npc+ci), ci, cand, gate)
+				}
+				for i, cp := range crossProgs {
+					if len(gate) == 0 {
+						break
+					}
+					if gate, _, err = cp.Filter(sc.crossEvs[i], sc.batch, gate); err != nil {
+						stepErr = err
+						return false
+					}
+				}
+				for _, i := range gate {
+					cells := xmatch.AccToCells(sc.accs[i])
+					cells = append(cells, row[xmatch.NumAccCols:]...)
+					cells = append(cells, n.columnCells(table, step, cand[i])...)
+					ext = append(ext, cells)
+				}
+				return true
 			}
-			for _, i := range gate {
-				cells := xmatch.AccToCells(sc.accs[i])
-				cells = append(cells, row[xmatch.NumAccCols:]...)
-				cells = append(cells, n.columnCells(table, step, cand[i])...)
-				ext = append(ext, cells)
+			searchCap := sphere.CapAround(acc.Best(), radius)
+			sc.sb.Limit = sizer.Size()
+			if err := table.SearchCapBatch(searchCap, &sc.sb, process); err != nil {
+				return nil, err
 			}
-			return true
-		}
-		searchCap := sphere.CapAround(acc.Best(), radius)
-		sc.sb.Limit = sizer.Size()
-		if err := table.SearchCapBatch(searchCap, &sc.sb, process); err != nil {
-			return nil, err
-		}
-		if stepErr != nil {
-			return nil, stepErr
-		}
-		return ext, nil
-	})
-	if err != nil {
-		return nil, err
+			if stepErr != nil {
+				return nil, stepErr
+			}
+			return ext, nil
+		})
 	}
-	out.Rows = rows
-	return out, nil
+	return &stepRunner{
+		outCols: n.tupleColumns(incomingCols, table, step),
+		run:     run,
+		close: func() {
+			scratch.release(func(sc *extScratch) {
+				sc.batch.Release()
+				sc.localEv.Release()
+				for _, ev := range sc.crossEvs {
+					ev.Release()
+				}
+			})
+		},
+	}, nil
 }
 
 // offsetLayout shifts every slot of a layout by off: extendStep compiles
@@ -492,22 +564,11 @@ func candidateRefsExcept(npc int, progs []*eval.TypedProgram, exclude []int) []i
 	return out
 }
 
-// dropOutStep vetoes tuples with a matching observation in this archive:
-// the "exclusive outer join" of §5.2. Surviving tuples pass through with
-// their schema unchanged.
-func (n *Node) dropOutStep(p *plan.Plan, table *storage.Table, step plan.Step, area sphere.Region,
-	localWhere sqlparse.Expr, incoming *dataset.DataSet) (*dataset.DataSet, error) {
-
-	tmp, err := n.cfg.DB.CreateTemp("xd_"+step.Alias, datasetSchema(incoming))
-	if err != nil {
-		return nil, err
-	}
-	defer n.cfg.DB.Drop(tmp.Name())
-	for _, row := range incoming.Rows {
-		if err := tmp.Append(row...); err != nil {
-			return nil, err
-		}
-	}
+// newDropOutRunner compiles the drop-out step: it vetoes tuples with a
+// matching observation in this archive — the "exclusive outer join" of
+// §5.2. Surviving tuples pass through with their schema unchanged.
+func (n *Node) newDropOutRunner(p *plan.Plan, table *storage.Table, step plan.Step, area sphere.Region,
+	localWhere sqlparse.Expr, incomingCols []dataset.Column) (*stepRunner, error) {
 
 	// The veto predicate only sees this archive's candidate rows, so it
 	// compiles against the plain table layout.
@@ -551,80 +612,81 @@ func (n *Node) dropOutStep(p *plan.Plan, table *storage.Table, step plan.Step, a
 			},
 		}
 	})
-	defer scratch.release(func(sc *vetoScratch) { sc.batch.Release(); sc.ev.Release() })
-
-	out := &dataset.DataSet{Columns: incoming.Columns}
 	// Veto checks are independent per tuple; survivors are merged back in
-	// input order (see extendStep). Candidates batch in search order; the
-	// first gate-matching candidate vetoes. The row-at-a-time loop stopped
-	// there, so a predicate error at a *later* candidate of the same batch
-	// is suppressed exactly as that loop (which never reached it) would
-	// have — the veto wins, the error does not exist.
-	rows, err := forEachOrdered(tmp.RowCount(), n.parallelism(p.Parallelism), func(tRow int) ([][]value.Value, error) {
-		row := tmp.Row(tRow)
-		acc, err := xmatch.CellsToAcc(row)
-		if err != nil {
-			return nil, err
-		}
-		radius := acc.SearchRadius(p.Threshold, step.SigmaArcsec)
-		vetoed := false
-		if radius > 0 {
-			sc := scratch.get()
-			var stepErr error
-			process := func(cand []int, poss []sphere.Vec) bool {
-				cn := len(cand)
-				sc.batch.SetLen(cn)
-				for _, ci := range refs {
-					table.GatherColumn(sc.batch.Col(ci), ci, cand)
-				}
-				sel, _, err := localProg.Filter(sc.ev, sc.batch, sc.ev.Seq(cn))
-				// sel holds the candidates before any failing one, in
-				// search order: a gate match among them vetoes before the
-				// failure would have been reached.
-				for _, i := range sel {
-					if acc.Add(poss[i], step.SigmaArcsec).Matches(p.Threshold) {
-						vetoed = true
-						sizer.Observe(cn, i+1)
-						return false
-					}
-				}
-				if err != nil {
-					stepErr = err
-					return false
-				}
-				sizer.Observe(cn, cn)
-				return true
-			}
-			searchCap := sphere.CapAround(acc.Best(), radius)
-			sc.sb.Limit = sizer.Size()
-			err = table.SearchCapBatch(searchCap, &sc.sb, process)
-			scratch.put(sc)
+	// input order (see newExtendRunner). Candidates batch in search order;
+	// the first gate-matching candidate vetoes. The row-at-a-time loop
+	// stopped there, so a predicate error at a *later* candidate of the
+	// same batch is suppressed exactly as that loop (which never reached
+	// it) would have — the veto wins, the error does not exist.
+	run := func(rows [][]value.Value) ([][]value.Value, error) {
+		return forEachOrdered(len(rows), n.parallelism(p.Parallelism), func(tRow int) ([][]value.Value, error) {
+			row := rows[tRow]
+			acc, err := xmatch.CellsToAcc(row)
 			if err != nil {
 				return nil, err
 			}
-			if stepErr != nil {
-				return nil, stepErr
+			radius := acc.SearchRadius(p.Threshold, step.SigmaArcsec)
+			vetoed := false
+			if radius > 0 {
+				sc := scratch.get()
+				var stepErr error
+				process := func(cand []int, poss []sphere.Vec) bool {
+					cn := len(cand)
+					sc.batch.SetLen(cn)
+					for _, ci := range refs {
+						table.GatherColumn(sc.batch.Col(ci), ci, cand)
+					}
+					sel, _, err := localProg.Filter(sc.ev, sc.batch, sc.ev.Seq(cn))
+					// sel holds the candidates before any failing one, in
+					// search order: a gate match among them vetoes before the
+					// failure would have been reached.
+					for _, i := range sel {
+						if acc.Add(poss[i], step.SigmaArcsec).Matches(p.Threshold) {
+							vetoed = true
+							sizer.Observe(cn, i+1)
+							return false
+						}
+					}
+					if err != nil {
+						stepErr = err
+						return false
+					}
+					sizer.Observe(cn, cn)
+					return true
+				}
+				searchCap := sphere.CapAround(acc.Best(), radius)
+				sc.sb.Limit = sizer.Size()
+				err = table.SearchCapBatch(searchCap, &sc.sb, process)
+				scratch.put(sc)
+				if err != nil {
+					return nil, err
+				}
+				if stepErr != nil {
+					return nil, stepErr
+				}
 			}
-		}
-		if vetoed {
-			return nil, nil
-		}
-		return [][]value.Value{row}, nil
-	})
-	if err != nil {
-		return nil, err
+			if vetoed {
+				return nil, nil
+			}
+			return [][]value.Value{row}, nil
+		})
 	}
-	out.Rows = rows
-	return out, nil
+	return &stepRunner{
+		outCols: incomingCols,
+		run:     run,
+		close: func() {
+			scratch.release(func(sc *vetoScratch) { sc.batch.Release(); sc.ev.Release() })
+		},
+	}, nil
 }
 
 // tupleColumns builds the output tuple schema: accumulator columns, the
 // incoming tuple's carried columns, then this step's contributed columns
 // qualified as "alias.column".
-func (n *Node) tupleColumns(incoming *dataset.DataSet, table *storage.Table, step plan.Step) []dataset.Column {
+func (n *Node) tupleColumns(incomingCols []dataset.Column, table *storage.Table, step plan.Step) []dataset.Column {
 	cols := xmatch.AccColumns()
-	if incoming != nil {
-		cols = append(cols, incoming.Columns[xmatch.NumAccCols:]...)
+	if incomingCols != nil {
+		cols = append(cols, incomingCols[xmatch.NumAccCols:]...)
 	}
 	schema := table.Schema()
 	for _, c := range step.Columns {

@@ -63,6 +63,18 @@ type BinaryPayload interface {
 	DecodeFrames(r io.Reader) error
 }
 
+// FrameStreamer is implemented by response payloads that are produced
+// incrementally: instead of a pre-built frame buffer, StreamFrames
+// writes frames directly to the HTTP response as the work generates
+// them, so the first page reaches the caller before the last one
+// exists. A handler may only return one to a request whose
+// AcceptsColumnar flag is set; errors raised after streaming begins
+// travel in-band as columnar error frames (see dataset.StreamError),
+// never as SOAP faults — the HTTP status line is long gone.
+type FrameStreamer interface {
+	StreamFrames(w io.Writer) error
+}
+
 // acceptsColumnar reports whether an Accept header admits the columnar
 // content type.
 func acceptsColumnar(accept string) bool {

@@ -153,7 +153,12 @@ type Request struct {
 	Action string
 	// RemoteAddr is the caller's address as reported by HTTP.
 	RemoteAddr string
-	body       []byte
+	// AcceptsColumnar reports that the caller advertised the columnar
+	// format and this server negotiates it: the handler may answer with
+	// a FrameStreamer (or BinaryPayload) and it will go out columnar.
+	AcceptsColumnar bool
+	wantsStream     bool
+	body            []byte
 }
 
 // Decode unmarshals the request payload into the given struct.
@@ -261,7 +266,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.writeFault(w, &Fault{Code: "soap:Client", String: "bad envelope: " + err.Error()})
 		return
 	}
-	resp, err := h(&Request{Action: action, RemoteAddr: r.RemoteAddr, body: bytes.TrimSpace(env.Body.Inner)})
+	wantsColumnar := s.Codec == CodecNegotiate && acceptsColumnar(r.Header.Get("Accept"))
+	resp, err := h(&Request{
+		Action:          action,
+		RemoteAddr:      r.RemoteAddr,
+		AcceptsColumnar: wantsColumnar,
+		wantsStream:     r.Header.Get(streamHeader) != "",
+		body:            bytes.TrimSpace(env.Body.Inner),
+	})
 	if err != nil {
 		if f, ok := err.(*Fault); ok {
 			s.writeFault(w, f)
@@ -270,7 +282,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.writeFault(w, &Fault{Code: "soap:Server", String: err.Error()})
 		return
 	}
-	if s.Codec == CodecNegotiate && acceptsColumnar(r.Header.Get("Accept")) {
+	if wantsColumnar {
+		if fs, ok := resp.(FrameStreamer); ok {
+			// Unbuffered: frames go out as the handler's work produces
+			// them. Failures after this point are in-band error frames.
+			w.Header().Set("Content-Type", ContentTypeColumnar)
+			fs.StreamFrames(w)
+			return
+		}
 		if bp, ok := resp.(BinaryPayload); ok {
 			// Buffered so an encode failure can still become a clean
 			// XML fault instead of a torn stream.
@@ -392,17 +411,84 @@ func (c *Client) Call(url, action string, req, resp interface{}) error {
 		if !IsOverloaded(err) || attempt >= c.MaxRetries {
 			return err
 		}
-		backoff := c.RetryBackoff
-		if backoff <= 0 {
-			backoff = DefaultRetryBackoff
-		}
-		if attempt < 10 {
-			backoff <<= attempt
-		} else {
-			backoff <<= 10
-		}
-		time.Sleep(backoff)
+		c.sleepBackoff(attempt)
 	}
+}
+
+// sleepBackoff waits the overload-retry delay for the given attempt.
+func (c *Client) sleepBackoff(attempt int) {
+	backoff := c.RetryBackoff
+	if backoff <= 0 {
+		backoff = DefaultRetryBackoff
+	}
+	if attempt < 10 {
+		backoff <<= attempt
+	} else {
+		backoff <<= 10
+	}
+	time.Sleep(backoff)
+}
+
+// CallStream POSTs req like Call but asks for an incrementally
+// consumable response. When the server answers columnar, the raw body is
+// returned for frame-by-frame decoding — the caller owns closing it, and
+// the client's MessageLimit does not apply to it (the codec's per-frame
+// caps bound allocations instead, which is the point: the whole body
+// never sits in memory at once). When the server answers XML — the
+// fallback — the envelope is decoded into resp exactly as Call would and
+// the returned reader is nil. Overload sheds retry as in Call; they can
+// only happen before the server commits to streaming.
+func (c *Client) CallStream(url, action string, req, resp interface{}) (io.ReadCloser, error) {
+	payload, err := Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(payload)) > c.limit() {
+		return nil, &ErrMessageTooLarge{Size: int64(len(payload)), Limit: c.limit()}
+	}
+	for attempt := 0; ; attempt++ {
+		body, err := c.callStreamHdr(url, action, payload, resp, false)
+		if !IsOverloaded(err) || attempt >= c.MaxRetries {
+			return body, err
+		}
+		c.sleepBackoff(attempt)
+	}
+}
+
+// callStreamHdr performs one HTTP exchange of an already-marshalled
+// request, handing back the raw body when the server streams columnar
+// frames. stream additionally asks the server to produce pages
+// incrementally instead of parking tail chunks.
+func (c *Client) callStreamHdr(url, action string, payload []byte, resp interface{}, stream bool) (io.ReadCloser, error) {
+	httpReq, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("soap: %w", err)
+	}
+	httpReq.Header.Set("Content-Type", contentTypeXML)
+	httpReq.Header.Set("SOAPAction", `"`+action+`"`)
+	if c.Codec == CodecNegotiate {
+		httpReq.Header.Set("Accept", ContentTypeColumnar)
+		if stream {
+			httpReq.Header.Set(streamHeader, "pages")
+		}
+	}
+	httpResp, err := c.httpClient().Do(httpReq)
+	if err != nil {
+		return nil, fmt.Errorf("soap: call %s %s: %w", url, action, err)
+	}
+	if isColumnar(httpResp.Header.Get("Content-Type")) {
+		return httpResp.Body, nil
+	}
+	defer httpResp.Body.Close()
+	limit := c.limit()
+	data, err := io.ReadAll(io.LimitReader(httpResp.Body, limit+1))
+	if err != nil {
+		return nil, fmt.Errorf("soap: read response: %w", err)
+	}
+	if int64(len(data)) > limit {
+		return nil, &ErrMessageTooLarge{Size: int64(len(data)), Limit: limit}
+	}
+	return nil, Unmarshal(data, resp)
 }
 
 // call performs one HTTP exchange of an already-marshalled request.

@@ -147,6 +147,11 @@ const SurveyTableName = survey.TableName
 // Client talks to a (possibly remote) Portal over SOAP.
 type Client = client.Client
 
+// Rows is a streaming row iterator over a query result (see
+// Client.QueryRows): rows are yielded as the federation produces them,
+// before the last chunk of the transfer exists.
+type Rows = client.Rows
+
 // Dial returns a client for the Portal at the given SOAP endpoint URL.
 func Dial(portalURL string) *Client { return client.New(portalURL) }
 
