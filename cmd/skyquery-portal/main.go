@@ -26,6 +26,8 @@ func main() {
 	codec := flag.String("codec", "", "wire codec for node calls and client responses: binary (negotiated, default) or xml")
 	planCache := flag.Int("plan-cache", 0, "compiled-plan cache entries per generation (0 = 256 default, negative = disabled)")
 	retryOverloaded := flag.Int("retry-overloaded", 4, "retries with doubling backoff when a node sheds a query as overloaded")
+	countProbeOrder := flag.Bool("count-probe-order", false, "order chains by the count-star rule alone, ignoring node column statistics")
+	adaptiveReorder := flag.Bool("adaptive-reorder", false, "let chain nodes re-order the downstream suffix when live estimates diverge from the plan")
 	verbose := flag.Bool("v", false, "log query trace events")
 	flag.Parse()
 
@@ -38,6 +40,8 @@ func main() {
 		IncludeMatchColumns: *matchCols,
 		Parallelism:         *parallelism,
 		PlanCacheSize:       *planCache,
+		CountProbeOrder:     *countProbeOrder,
+		AdaptiveReorder:     *adaptiveReorder,
 		Codec:               portalCodec,
 		Client:              &soap.Client{Codec: portalCodec, MaxRetries: *retryOverloaded},
 	}

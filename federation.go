@@ -109,6 +109,14 @@ type Options struct {
 	// overloaded node, with doubling backoff (0 = DefaultOverloadRetries,
 	// negative = never retry).
 	OverloadRetries int
+	// CountProbeOrder reverts chain ordering to the pure count-star rule
+	// of §5.3, ignoring node column statistics. The default (false)
+	// orders by the transfer-cost model when statistics are available.
+	CountProbeOrder bool
+	// AdaptiveReorder stamps plans with permission for chain nodes to
+	// re-order the not-yet-called downstream suffix when live estimates
+	// diverge from the plan's. Results are bit-identical either way.
+	AdaptiveReorder bool
 	// PortalEvents and NodeEvents receive trace events when set.
 	PortalEvents func(kind, detail string)
 	NodeEvents   func(node, kind, detail string)
@@ -216,6 +224,8 @@ func Launch(opts Options) (*Federation, error) {
 		IncludeMatchColumns: opts.IncludeMatchColumns,
 		Parallelism:         opts.Parallelism,
 		PlanCacheSize:       opts.PlanCacheSize,
+		CountProbeOrder:     opts.CountProbeOrder,
+		AdaptiveReorder:     opts.AdaptiveReorder,
 		Codec:               opts.Codec,
 		OnEvent:             portalEvents,
 	})

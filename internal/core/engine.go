@@ -62,6 +62,48 @@ type Services interface {
 	TableQuery(a *Archive, sql string) (*dataset.DataSet, error)
 }
 
+// StatsProbe is the planner's statistics request for one archive: the
+// table, the query's AREA, and the archive-local predicate whose
+// selectivity the node should estimate against its column statistics.
+type StatsProbe struct {
+	Table      string
+	Alias      string
+	LocalWhere string
+	Area       plan.Area
+}
+
+// StatsEstimate is a node's answer to a StatsProbe.
+type StatsEstimate struct {
+	// TableRows is the table's current row count.
+	TableRows int64
+	// AreaRows is the spatial-index candidate bound inside the AREA.
+	AreaRows int64
+	// EstRows is the estimated surviving candidate count after AREA and
+	// local-predicate pruning.
+	EstRows float64
+	// Selectivity is the estimated surviving fraction of the local
+	// predicate (1 when there is none).
+	Selectivity float64
+	// HasStats is false when the node's store predates maintained column
+	// statistics; the planner then falls back to the count-star probe.
+	HasStats bool
+}
+
+// StatsServices is optionally implemented by a Services whose nodes can
+// answer StatsSummary probes. Any error — including the unknown-action
+// fault an older node raises — sends the planner to the count-star
+// fallback for that archive, so mixed federations plan without error.
+type StatsServices interface {
+	StatsSummary(a *Archive, probe *StatsProbe) (*StatsEstimate, error)
+}
+
+// ThroughputServices is optionally implemented by a Services that can
+// report the observed transfer throughput of an archive's path
+// (bytes/sec; 0 when nothing has been measured yet).
+type ThroughputServices interface {
+	ObservedThroughput(endpoint string) float64
+}
+
 // Event is a trace point; kinds follow Figure 3's numbered steps.
 type Event struct {
 	// Kind is one of "submit", "decompose", "perfquery.send",
@@ -87,6 +129,15 @@ type Engine struct {
 	// IncludeMatchColumns appends _matchRA, _matchDec, _logLikelihood,
 	// _nObs diagnostics to cross-match results.
 	IncludeMatchColumns bool
+	// CountProbeOrder reverts chain ordering to the pure count-star rule
+	// of §5.3, even when the Services can serve statistics. The default
+	// (false) orders by the transfer-cost model whenever statistics are
+	// available.
+	CountProbeOrder bool
+	// AdaptiveReorder stamps plans with permission for chain nodes to
+	// re-order the not-yet-called downstream suffix when live estimates
+	// diverge from the plan's (see plan.Plan.AdaptiveReorder).
+	AdaptiveReorder bool
 	// OnEvent, when set, receives trace events.
 	OnEvent func(Event)
 

@@ -114,45 +114,6 @@ func (e *Engine) BuildPlan(q *sqlparse.Query) (*plan.Plan, error) {
 		})
 	}
 
-	// Performance queries, fanned out concurrently, one per mandatory
-	// archive (§5.3). Drop-outs are not counted: they sit at the front of
-	// the call order regardless.
-	type countResult struct {
-		idx   int
-		count int64
-		err   error
-	}
-	ch := make(chan countResult, len(steps))
-	outstanding := 0
-	for i := range steps {
-		if steps[i].DropOut {
-			continue
-		}
-		outstanding++
-		go func(i int) {
-			sql := e.performanceQuery(q, steps[i])
-			e.emit("perfquery.send", "%s: %s", steps[i].Archive, sql)
-			a, err := e.Catalog.Archive(steps[i].Archive)
-			if err != nil {
-				ch <- countResult{idx: i, err: err}
-				return
-			}
-			c, err := e.Services.CountStar(a, sql)
-			ch <- countResult{idx: i, count: c, err: err}
-		}(i)
-	}
-	for ; outstanding > 0; outstanding-- {
-		r := <-ch
-		if r.err != nil {
-			return nil, fmt.Errorf("core: performance query at %s: %w", steps[r.idx].Archive, r.err)
-		}
-		steps[r.idx].Count = r.count
-		e.emit("perfquery.recv", "%s: count=%d", steps[r.idx].Archive, r.count)
-	}
-
-	ordered := plan.Order(steps)
-	assignCrossPredicates(ordered, d)
-
 	area := plan.Area{RA: q.Area.RA, Dec: q.Area.Dec, RadiusArcsec: q.Area.RadiusArcsec}
 	for _, v := range q.Area.Vertices {
 		area.Vertices = append(area.Vertices, plan.Vertex{RA: v[0], Dec: v[1]})
@@ -162,13 +123,103 @@ func (e *Engine) BuildPlan(q *sqlparse.Query) (*plan.Plan, error) {
 		// Portal rather than at every node.
 		return nil, err
 	}
+
+	// Planning probes, fanned out concurrently, one per mandatory archive
+	// ("asynchronous SOAP messages", §5.3). Drop-outs are not probed: they
+	// sit at the front of the call order regardless. Nodes that can serve
+	// statistics answer a StatsSummary probe — an index candidate bound
+	// plus a histogram selectivity estimate, no row counted — and any
+	// failure (an older node faults on the unknown action) falls back to
+	// the count-star performance query, so mixed federations plan without
+	// error.
+	type probeResult struct {
+		idx   int
+		count int64
+		est   *StatsEstimate
+		err   error
+	}
+	ss, _ := e.Services.(StatsServices)
+	if e.CountProbeOrder {
+		ss = nil
+	}
+	ch := make(chan probeResult, len(steps))
+	outstanding := 0
+	for i := range steps {
+		if steps[i].DropOut {
+			continue
+		}
+		outstanding++
+		go func(i int) {
+			a, err := e.Catalog.Archive(steps[i].Archive)
+			if err != nil {
+				ch <- probeResult{idx: i, err: err}
+				return
+			}
+			if ss != nil {
+				probe := &StatsProbe{
+					Table:      steps[i].Table,
+					Alias:      steps[i].Alias,
+					LocalWhere: steps[i].LocalWhere,
+					Area:       area,
+				}
+				e.emit("statsquery.send", "%s: table=%s where=%q", steps[i].Archive, probe.Table, probe.LocalWhere)
+				if est, err := ss.StatsSummary(a, probe); err == nil && est.HasStats {
+					ch <- probeResult{idx: i, count: est.AreaRows, est: est}
+					return
+				}
+			}
+			sql := e.performanceQuery(q, steps[i])
+			e.emit("perfquery.send", "%s: %s", steps[i].Archive, sql)
+			c, err := e.Services.CountStar(a, sql)
+			ch <- probeResult{idx: i, count: c, err: err}
+		}(i)
+	}
+	statsBased := 0
+	for ; outstanding > 0; outstanding-- {
+		r := <-ch
+		if r.err != nil {
+			return nil, fmt.Errorf("core: performance query at %s: %w", steps[r.idx].Archive, r.err)
+		}
+		steps[r.idx].Count = r.count
+		if r.est != nil {
+			steps[r.idx].EstRows = r.est.EstRows
+			steps[r.idx].StatsBased = true
+			statsBased++
+			e.emit("statsquery.recv", "%s: area=%d est=%.0f sel=%.3f",
+				steps[r.idx].Archive, r.est.AreaRows, r.est.EstRows, r.est.Selectivity)
+		} else {
+			steps[r.idx].EstRows = float64(r.count)
+			e.emit("perfquery.recv", "%s: count=%d", steps[r.idx].Archive, r.count)
+		}
+	}
+
+	// Chain order: cost-based whenever any archive produced a statistics
+	// estimate, the paper's count rule otherwise (and under
+	// CountProbeOrder). Costs weigh the estimated surviving candidates by
+	// per-row transfer bytes and by each path's observed throughput;
+	// archives that fell back to count-star still get a cost (their
+	// count is their row estimate), so mixed federations order on one
+	// consistent key.
+	var ordered []plan.Step
+	if statsBased > 0 {
+		e.assignCosts(steps)
+		ordered = plan.OrderByCost(steps)
+		for i := range ordered {
+			e.emit("plan.cost", "%s: est=%.0f rowBytes=%.0f cost=%.3g",
+				ordered[i].Archive, ordered[i].EstRows, ordered[i].RowBytes(), ordered[i].Cost)
+		}
+	} else {
+		ordered = plan.Order(steps)
+	}
+	assignCrossPredicates(ordered, d)
 	p := &plan.Plan{
-		QueryID:     e.queryID(),
-		Threshold:   q.XMatch.Threshold,
-		Area:        area,
-		Steps:       ordered,
-		ChunkRows:   e.chunkRows(),
-		Parallelism: e.Parallelism,
+		QueryID:         e.queryID(),
+		Threshold:       q.XMatch.Threshold,
+		Area:            area,
+		Steps:           ordered,
+		ChunkRows:       e.chunkRows(),
+		Parallelism:     e.Parallelism,
+		AdaptiveReorder: e.AdaptiveReorder,
 	}
 	for _, item := range q.Select {
 		p.SelectList = append(p.SelectList, item.Expr.String())
@@ -178,6 +229,36 @@ func (e *Engine) BuildPlan(q *sqlparse.Query) (*plan.Plan, error) {
 	}
 	e.emit("plan", "%s", p)
 	return p, nil
+}
+
+// assignCosts stamps every step's Cost using the shared transfer-cost
+// model. Throughput comes from the Services' observed per-path history
+// when it keeps one; archives whose path has no history yet are charged
+// the slowest measured throughput (conservative — an unmeasured WAN path
+// should not look free), and when nothing has been measured at all every
+// path costs its relative byte volume.
+func (e *Engine) assignCosts(steps []plan.Step) {
+	thr := make([]float64, len(steps))
+	if ts, ok := e.Services.(ThroughputServices); ok {
+		for i := range steps {
+			thr[i] = ts.ObservedThroughput(steps[i].Endpoint)
+		}
+		plan.EffectiveThroughputs(thr)
+		minPos := 0.0
+		for _, t := range thr {
+			if t > 0 && (minPos == 0 || t < minPos) {
+				minPos = t
+			}
+		}
+		for i := range thr {
+			if thr[i] <= 0 {
+				thr[i] = minPos // 0 when nothing measured; CostOf maps it to 1
+			}
+		}
+	}
+	for i := range steps {
+		steps[i].Cost = plan.CostOf(&steps[i], thr[i])
+	}
 }
 
 // performanceQuery builds the count-star probe for one archive: the AREA

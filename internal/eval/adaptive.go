@@ -22,18 +22,109 @@ package eval
 // may share one sizer (reads and updates are atomic; a lost update is
 // just a skipped adaptation step).
 
-import "sync/atomic"
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
 
-// MinAdaptiveBatch is the smallest flush threshold a BatchSizer will
-// select (clamped down further only when BatchSize() itself is smaller).
-// Below ~32 rows the per-batch fixed costs dominate any saved tail.
+// MinAdaptiveBatch is the default floor of a BatchSizer (clamped down
+// further only when BatchSize() itself is smaller). Below ~32 rows the
+// per-batch fixed costs usually dominate any saved tail — but a step
+// with a recorded utilization history can learn a lower floor from it
+// (LearnFloor): when full batches routinely do single-digit useful rows,
+// the saved gather tail outweighs the fixed costs well below 32.
 const MinAdaptiveBatch = 32
 
+// MinLearnedFloor is the hard lower bound on a trace-learned floor.
+const MinLearnedFloor = 4
+
+// minFloorTrace is how many recorded full batches LearnFloor needs
+// before it trusts a trace enough to lower the floor.
+const minFloorTrace = 16
+
+// BatchObs is one recorded batch: Filled rows entered it, Used did
+// useful work (the arguments of BatchSizer.Observe).
+type BatchObs struct{ Filled, Used int }
+
+// batchTraceCap bounds a BatchTrace ring: enough history to
+// characterize a step's utilization, small enough to keep per table.
+const batchTraceCap = 256
+
+// BatchTrace is a bounded ring of recorded batch observations for one
+// scan site (in the nodes: one per table). Sizers built from a trace
+// record into it, so the floor learned for the next query reflects the
+// utilization the last queries actually saw.
+type BatchTrace struct {
+	mu   sync.Mutex
+	obs  []BatchObs
+	next int
+}
+
+// Record folds one observed batch into the ring.
+func (t *BatchTrace) Record(filled, used int) {
+	if filled <= 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.obs) < batchTraceCap {
+		t.obs = append(t.obs, BatchObs{Filled: filled, Used: used})
+		return
+	}
+	t.obs[t.next] = BatchObs{Filled: filled, Used: used}
+	t.next = (t.next + 1) % batchTraceCap
+}
+
+// Snapshot returns a copy of the recorded observations.
+func (t *BatchTrace) Snapshot() []BatchObs {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]BatchObs(nil), t.obs...)
+}
+
+// LearnFloor derives a sizer floor from a recorded trace: the median
+// useful-row count of the recorded batches, doubled for headroom and
+// rounded up to a power of two, clamped to [MinLearnedFloor,
+// MinAdaptiveBatch]. A drop-out-heavy trace (vetoes land in the first
+// handful of rows, the rest of every full batch is wasted gather work)
+// learns a floor near MinLearnedFloor; balanced traces keep the default.
+// Traces shorter than minFloorTrace carry too little evidence and keep
+// the default floor too.
+func LearnFloor(trace []BatchObs) int {
+	used := make([]int, 0, len(trace))
+	for _, o := range trace {
+		if o.Filled > 0 {
+			used = append(used, o.Used)
+		}
+	}
+	if len(used) < minFloorTrace {
+		return MinAdaptiveBatch
+	}
+	sort.Ints(used)
+	median := used[len(used)/2]
+	floor := 2 * median
+	if floor < 2 {
+		floor = 2
+	}
+	floor = 1 << bits.Len(uint(floor-1)) // round up to a power of two
+	if floor < MinLearnedFloor {
+		floor = MinLearnedFloor
+	}
+	if floor > MinAdaptiveBatch {
+		floor = MinAdaptiveBatch
+	}
+	return floor
+}
+
 // BatchSizer adapts a scan site's flush threshold to observed batch
-// utilization. The zero value is not usable; construct with NewBatchSizer.
+// utilization. The zero value is not usable; construct with NewBatchSizer
+// or NewBatchSizerFromTrace.
 type BatchSizer struct {
 	size     atomic.Int64
 	min, max int64
+	trace    *BatchTrace
 }
 
 // NewBatchSizer returns a sizer starting at the configured BatchSize(),
@@ -48,6 +139,22 @@ func NewBatchSizer() *BatchSizer {
 	return s
 }
 
+// NewBatchSizerFromTrace is NewBatchSizer with a floor learned from the
+// trace's recorded history (it can only lower the default floor, never
+// raise it), and the sizer records its own full-batch observations back
+// into the trace for the next query. A nil trace is NewBatchSizer.
+func NewBatchSizerFromTrace(tr *BatchTrace) *BatchSizer {
+	s := NewBatchSizer()
+	if tr == nil {
+		return s
+	}
+	if f := int64(LearnFloor(tr.Snapshot())); f < s.min {
+		s.min = f
+	}
+	s.trace = tr
+	return s
+}
+
 // Size returns the current flush threshold.
 func (s *BatchSizer) Size() int { return int(s.size.Load()) }
 
@@ -59,6 +166,9 @@ func (s *BatchSizer) Observe(filled, used int) {
 	cur := s.size.Load()
 	if filled <= 0 || int64(filled) < cur {
 		return
+	}
+	if s.trace != nil {
+		s.trace.Record(filled, used)
 	}
 	switch {
 	case int64(used)*8 <= int64(filled):

@@ -1,0 +1,112 @@
+package eval
+
+// CompactTrue tests and the null-mask compaction micro-benchmark: the
+// word-at-a-time path must agree with the per-row reference on every
+// mask shape (dense runs, sparse bits, NULL-heavy, nil mask, non-word
+// tails), and the benchmark shows the win over the branchy loop.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// compactTrueScalar is the per-row reference implementation.
+func compactTrueScalar(dst []int, vals, nulls []bool, n int) []int {
+	for i := 0; i < n; i++ {
+		if vals[i] && (nulls == nil || !nulls[i]) {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+func TestCompactTrueMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	shapes := []struct {
+		name     string
+		trueFrac float64
+		nullFrac float64
+		nilNulls bool
+		lengths  []int
+	}{
+		{name: "dense", trueFrac: 0.95, nullFrac: 0.01, lengths: []int{0, 1, 7, 8, 9, 64, 1021, 1024}},
+		{name: "sparse", trueFrac: 0.02, nullFrac: 0.02, lengths: []int{15, 16, 1024}},
+		{name: "null-heavy", trueFrac: 0.9, nullFrac: 0.7, lengths: []int{63, 1024}},
+		{name: "all-true-nil-nulls", trueFrac: 1, nilNulls: true, lengths: []int{8, 200, 1024}},
+		{name: "all-false", trueFrac: 0, nullFrac: 0, lengths: []int{8, 1024}},
+	}
+	for _, sh := range shapes {
+		for _, n := range sh.lengths {
+			vals := make([]bool, n)
+			var nulls []bool
+			if !sh.nilNulls {
+				nulls = make([]bool, n)
+			}
+			for i := 0; i < n; i++ {
+				vals[i] = rng.Float64() < sh.trueFrac
+				if nulls != nil {
+					nulls[i] = rng.Float64() < sh.nullFrac
+				}
+			}
+			want := compactTrueScalar(nil, vals, nulls, n)
+			got := CompactTrue(nil, vals, nulls, n)
+			if len(got) != len(want) {
+				t.Fatalf("%s n=%d: %d indices, want %d", sh.name, n, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s n=%d: index %d = %d, want %d", sh.name, n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// benchMasks builds a 4096-row mask pair with the given pass fraction.
+func benchMasks(passFrac float64) (vals, nulls []bool) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 4096
+	vals, nulls = make([]bool, n), make([]bool, n)
+	for i := 0; i < n; i++ {
+		vals[i] = rng.Float64() < passFrac
+		nulls[i] = rng.Float64() < 0.05
+	}
+	return vals, nulls
+}
+
+func BenchmarkCompactTrueWord(b *testing.B) {
+	for _, frac := range []float64{0.02, 0.5, 0.98} {
+		vals, nulls := benchMasks(frac)
+		b.Run(benchFracName(frac), func(b *testing.B) {
+			dst := make([]int, 0, len(vals))
+			b.SetBytes(int64(len(vals)))
+			for i := 0; i < b.N; i++ {
+				dst = CompactTrue(dst[:0], vals, nulls, len(vals))
+			}
+		})
+	}
+}
+
+func BenchmarkCompactTrueScalar(b *testing.B) {
+	for _, frac := range []float64{0.02, 0.5, 0.98} {
+		vals, nulls := benchMasks(frac)
+		b.Run(benchFracName(frac), func(b *testing.B) {
+			dst := make([]int, 0, len(vals))
+			b.SetBytes(int64(len(vals)))
+			for i := 0; i < b.N; i++ {
+				dst = compactTrueScalar(dst[:0], vals, nulls, len(vals))
+			}
+		})
+	}
+}
+
+func benchFracName(f float64) string {
+	switch {
+	case f < 0.1:
+		return "sparse"
+	case f > 0.9:
+		return "dense"
+	default:
+		return "mixed"
+	}
+}

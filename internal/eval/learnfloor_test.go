@@ -1,0 +1,151 @@
+package eval
+
+// Trace-learned batch floors: a recorded drop-out-heavy trace (full
+// batches whose useful work lands in the first handful of rows) must
+// teach the sizer a floor below the MinAdaptiveBatch default, short or
+// balanced traces must not, and a sizer built from a trace must record
+// its own observations back for the next query.
+
+import "testing"
+
+// dropoutTrace records n full batches of the given fill where the veto
+// landed within the first few rows.
+func dropoutTrace(n, filled int) *BatchTrace {
+	tr := &BatchTrace{}
+	for i := 0; i < n; i++ {
+		tr.Record(filled, i%3) // used in {0,1,2}
+	}
+	return tr
+}
+
+func TestLearnFloorDropoutHeavyTrace(t *testing.T) {
+	tr := dropoutTrace(64, 1024)
+	if got := LearnFloor(tr.Snapshot()); got != MinLearnedFloor {
+		t.Fatalf("dropout-heavy floor = %d, want %d", got, MinLearnedFloor)
+	}
+}
+
+func TestLearnFloorKeepsDefault(t *testing.T) {
+	// Too little evidence: fewer than minFloorTrace observations.
+	short := dropoutTrace(minFloorTrace-1, 1024)
+	if got := LearnFloor(short.Snapshot()); got != MinAdaptiveBatch {
+		t.Fatalf("short trace floor = %d, want %d", got, MinAdaptiveBatch)
+	}
+	// Balanced utilization: median useful work far above the default
+	// floor must not lower it.
+	balanced := &BatchTrace{}
+	for i := 0; i < 64; i++ {
+		balanced.Record(1024, 512)
+	}
+	if got := LearnFloor(balanced.Snapshot()); got != MinAdaptiveBatch {
+		t.Fatalf("balanced trace floor = %d, want %d", got, MinAdaptiveBatch)
+	}
+	// Empty trace.
+	if got := LearnFloor(nil); got != MinAdaptiveBatch {
+		t.Fatalf("nil trace floor = %d, want %d", got, MinAdaptiveBatch)
+	}
+}
+
+func TestLearnFloorIntermediate(t *testing.T) {
+	// Median used = 6 -> 2*6 = 12 -> next power of two = 16.
+	tr := &BatchTrace{}
+	for i := 0; i < 32; i++ {
+		tr.Record(1024, 6)
+	}
+	if got := LearnFloor(tr.Snapshot()); got != 16 {
+		t.Fatalf("median-6 floor = %d, want 16", got)
+	}
+}
+
+func TestBatchSizerLearnedFloorShrink(t *testing.T) {
+	defer SetBatchSize(DefaultBatchSize)
+	SetBatchSize(1024)
+
+	tr := dropoutTrace(64, 1024)
+	s := NewBatchSizerFromTrace(tr)
+	if s.Size() != 1024 {
+		t.Fatalf("start size = %d, want 1024", s.Size())
+	}
+	// Wasted full batches walk the threshold all the way down to the
+	// learned floor, below the MinAdaptiveBatch a default sizer stops at.
+	for i := 0; i < 16; i++ {
+		s.Observe(s.Size(), 0)
+	}
+	if s.Size() != MinLearnedFloor {
+		t.Fatalf("shrunk size = %d, want learned floor %d", s.Size(), MinLearnedFloor)
+	}
+
+	def := NewBatchSizer()
+	for i := 0; i < 16; i++ {
+		def.Observe(def.Size(), 0)
+	}
+	if def.Size() != MinAdaptiveBatch {
+		t.Fatalf("default sizer shrunk to %d, want %d", def.Size(), MinAdaptiveBatch)
+	}
+}
+
+func TestBatchSizerFloorOnlyLowers(t *testing.T) {
+	defer SetBatchSize(DefaultBatchSize)
+	SetBatchSize(1024)
+
+	// A balanced trace learns MinAdaptiveBatch; the sizer's floor must
+	// stay there, never rise above the default.
+	balanced := &BatchTrace{}
+	for i := 0; i < 64; i++ {
+		balanced.Record(1024, 900)
+	}
+	s := NewBatchSizerFromTrace(balanced)
+	for i := 0; i < 16; i++ {
+		s.Observe(s.Size(), 0)
+	}
+	if s.Size() != MinAdaptiveBatch {
+		t.Fatalf("balanced-trace sizer floor = %d, want %d", s.Size(), MinAdaptiveBatch)
+	}
+}
+
+func TestBatchSizerRecordsIntoTrace(t *testing.T) {
+	defer SetBatchSize(DefaultBatchSize)
+	SetBatchSize(1024)
+
+	tr := &BatchTrace{}
+	s := NewBatchSizerFromTrace(tr)
+	s.Observe(1024, 3)
+	s.Observe(1024, 700)
+	s.Observe(100, 50) // partial: below threshold, not recorded
+	obs := tr.Snapshot()
+	if len(obs) != 2 {
+		t.Fatalf("recorded %d observations, want 2", len(obs))
+	}
+	if obs[0] != (BatchObs{Filled: 1024, Used: 3}) || obs[1] != (BatchObs{Filled: 1024, Used: 700}) {
+		t.Fatalf("recorded %v", obs)
+	}
+
+	// NewBatchSizer (no trace) must not panic or record anywhere.
+	plain := NewBatchSizer()
+	plain.Observe(1024, 0)
+}
+
+func TestBatchTraceRingBounded(t *testing.T) {
+	tr := &BatchTrace{}
+	for i := 0; i < batchTraceCap*2; i++ {
+		tr.Record(1024, i)
+	}
+	obs := tr.Snapshot()
+	if len(obs) != batchTraceCap {
+		t.Fatalf("ring holds %d, want %d", len(obs), batchTraceCap)
+	}
+	// The ring overwrote the oldest half: every surviving Used is from
+	// the second pass.
+	for _, o := range obs {
+		if o.Used < batchTraceCap {
+			t.Fatalf("ring kept stale observation %v", o)
+		}
+	}
+	// Ignored: non-positive fills.
+	tr2 := &BatchTrace{}
+	tr2.Record(0, 5)
+	tr2.Record(-1, 5)
+	if n := len(tr2.Snapshot()); n != 0 {
+		t.Fatalf("recorded %d bogus observations", n)
+	}
+}

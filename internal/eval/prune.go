@@ -1,9 +1,11 @@
 package eval
 
 // Zone-map prune analysis: given a WHERE expression, extract the top-level
-// AND conjuncts of the form  column <cmp> numeric-constant  (either
-// operand order) whose per-block min/max statistics can prove whole blocks
-// of a base-table scan irrelevant before any kernel runs. The storage
+// AND conjuncts of the form  column <cmp> constant  (either operand
+// order; numeric constants on numeric columns, string constants on string
+// columns, and LIKE patterns with a literal prefix) whose per-block
+// min/max statistics can prove whole blocks of a base-table scan
+// irrelevant before any kernel runs. The storage
 // layer owns the block statistics; this file owns the exactness argument,
 // which must match the row engines' evaluation order and error semantics:
 //
@@ -25,10 +27,11 @@ package eval
 //
 // "Error-free" is a conservative static judgment over the expression and
 // the base table's column types: literals, column references, IS NULL,
-// NOT, AND/OR of error-free parts, and comparisons whose two sides are
-// statically same-class (numeric/string/bool, NULL aside) cannot error at
-// evaluation time. Arithmetic (division by zero), LIKE, functions and the
-// scalar-tail forms are treated as potentially erroring.
+// NOT, AND/OR of error-free parts, comparisons whose two sides are
+// statically same-class (numeric/string/bool, NULL aside), and LIKE over
+// statically-string sides cannot error at evaluation time. Arithmetic
+// (division by zero), functions and the scalar-tail forms are treated as
+// potentially erroring.
 //
 // NaN disables pruning of a float block: value.Compare treats NaN as equal
 // to everything (see the cmp kernels), so no range test can bound it.
@@ -40,13 +43,26 @@ import (
 
 // Pruner is one prunable conjunct: slot <Op> Const (already normalized so
 // the column is on the left; Const is the constant widened to float64,
-// exactly the image the comparison kernels compare against).
+// exactly the image the comparison kernels compare against). String
+// conjuncts (IsStr) compare against Str with the same operators, plus
+// OpLikePrefix for LIKE patterns with a literal prefix: any matching
+// value lies in [Str, Hi) byte-wise (Hi == "" means unbounded above).
 type Pruner struct {
 	Slot       int
 	Op         string
 	Const      float64
+	Str        string // string constant (IsStr); the prefix for OpLikePrefix
+	Hi         string // OpLikePrefix: exclusive upper bound of the prefix range
+	IsStr      bool
 	PrefixSafe bool // every conjunct before this one is statically error-free
 }
+
+// OpLikePrefix marks a LIKE conjunct reduced to a byte-range test on the
+// pattern's literal prefix (the text before the first % or _). Matching
+// strings start with that prefix, so they sort in [prefix,
+// prefixSuccessor) — a sound range even though the pattern's tail may
+// reject more rows (pruning only needs never-TRUE, not exactly-TRUE).
+const OpLikePrefix = "like~"
 
 // PruneSet is the result of AnalyzePrune.
 type PruneSet struct {
@@ -55,6 +71,31 @@ type PruneSet struct {
 	// block may be pruned whenever a pruner is never TRUE on it (NULLs and
 	// conjunct order don't matter).
 	Safe bool
+}
+
+// NeverTrueStr is NeverTrue for string conjuncts: whether the conjunct
+// is FALSE-or-NULL for every non-NULL string v in [min, max] (byte-wise
+// order, exactly value.Compare's string order).
+func (p Pruner) NeverTrueStr(min, max string) bool {
+	switch p.Op {
+	case "=":
+		return p.Str < min || p.Str > max
+	case "<>":
+		return min == p.Str && max == p.Str
+	case "<":
+		return min >= p.Str
+	case "<=":
+		return min > p.Str
+	case ">":
+		return max <= p.Str
+	case ">=":
+		return max < p.Str
+	case OpLikePrefix:
+		// Every match starts with the prefix, so it is >= Str and (when
+		// the successor exists) < Hi.
+		return max < p.Str || (p.Hi != "" && min >= p.Hi)
+	}
+	return false
 }
 
 // NeverTrue reports whether v <Op> Const is FALSE-or-NULL for every
@@ -161,11 +202,16 @@ type pruneAnalyzer struct {
 	slotType func(int) value.Type
 }
 
-// pruner matches column-vs-numeric-literal comparisons on numeric columns.
+// pruner matches column-vs-literal comparisons — numeric literals on
+// numeric columns, string literals on string columns — plus LIKE with a
+// constant pattern carrying a literal prefix.
 func (a *pruneAnalyzer) pruner(e sqlparse.Expr) (Pruner, bool) {
 	b, ok := e.(*sqlparse.BinaryExpr)
 	if !ok {
 		return Pruner{}, false
+	}
+	if b.Op == "LIKE" {
+		return a.likePruner(b)
 	}
 	var flip string
 	switch b.Op {
@@ -188,7 +234,54 @@ func (a *pruneAnalyzer) pruner(e sqlparse.Expr) (Pruner, bool) {
 	if col, lit, ok := a.colAndLit(b.R, b.L); ok {
 		return Pruner{Slot: col, Op: flip, Const: lit}, true
 	}
+	if col, lit, ok := a.colAndStrLit(b.L, b.R); ok {
+		return Pruner{Slot: col, Op: b.Op, Str: lit, IsStr: true}, true
+	}
+	if col, lit, ok := a.colAndStrLit(b.R, b.L); ok {
+		return Pruner{Slot: col, Op: flip, Str: lit, IsStr: true}, true
+	}
 	return Pruner{}, false
+}
+
+// likePruner reduces  stringcol LIKE 'constant pattern'  to a prunable
+// range conjunct on the pattern's literal prefix. A pattern without
+// wildcards is an equality test; an empty prefix (pattern starts with a
+// wildcard) prunes nothing.
+func (a *pruneAnalyzer) likePruner(b *sqlparse.BinaryExpr) (Pruner, bool) {
+	col, pat, ok := a.colAndStrLit(b.L, b.R)
+	if !ok {
+		return Pruner{}, false
+	}
+	prefix, wild := likeLiteralPrefix(pat)
+	if !wild {
+		return Pruner{Slot: col, Op: "=", Str: pat, IsStr: true}, true
+	}
+	if prefix == "" {
+		return Pruner{}, false
+	}
+	return Pruner{Slot: col, Op: OpLikePrefix, Str: prefix, Hi: prefixSuccessor(prefix), IsStr: true}, true
+}
+
+// likeLiteralPrefix returns the pattern text before the first wildcard
+// (% or _) and whether the pattern contains a wildcard at all.
+func likeLiteralPrefix(pat string) (prefix string, wild bool) {
+	for i := 0; i < len(pat); i++ {
+		if pat[i] == '%' || pat[i] == '_' {
+			return pat[:i], true
+		}
+	}
+	return pat, false
+}
+
+// prefixSuccessor returns the smallest string greater than every string
+// with the given prefix (byte-wise), or "" when none exists (all 0xff).
+func prefixSuccessor(prefix string) string {
+	for i := len(prefix) - 1; i >= 0; i-- {
+		if prefix[i] != 0xff {
+			return prefix[:i] + string(prefix[i]+1)
+		}
+	}
+	return ""
 }
 
 func (a *pruneAnalyzer) colAndLit(ce, le sqlparse.Expr) (slot int, lit float64, ok bool) {
@@ -211,6 +304,28 @@ func (a *pruneAnalyzer) colAndLit(ce, le sqlparse.Expr) (slot int, lit float64, 
 	// The engines' literal typing (INT for integral spellings) widens to
 	// the same float64 either way.
 	return s, nl.Value, true
+}
+
+// colAndStrLit is colAndLit for string-literal comparisons on string
+// columns (value.Compare orders strings byte-wise, the order the string
+// zone statistics are computed in).
+func (a *pruneAnalyzer) colAndStrLit(ce, le sqlparse.Expr) (slot int, lit string, ok bool) {
+	cr, ok := ce.(*sqlparse.ColumnRef)
+	if !ok {
+		return 0, "", false
+	}
+	sl, ok := le.(*sqlparse.StringLit)
+	if !ok {
+		return 0, "", false
+	}
+	s, err := a.layout.Slot(cr.Table, cr.Column)
+	if err != nil {
+		return 0, "", false
+	}
+	if a.slotType(s) != value.StringType {
+		return 0, "", false
+	}
+	return s, sl.Value, true
 }
 
 // staticType returns a subexpression's statically certain value type
@@ -263,8 +378,16 @@ func (a *pruneAnalyzer) errFree(e sqlparse.Expr) bool {
 			lt, lok := a.staticType(n.L)
 			rt, rok := a.staticType(n.R)
 			return lok && rok && lt == rt && a.errFree(n.L) && a.errFree(n.R)
+		case "LIKE":
+			// LIKE is NULL-safe and its pattern compiler cannot fail (the
+			// translation quotes every non-wildcard rune), so with both
+			// sides statically strings it cannot error.
+			lt, lok := a.staticType(n.L)
+			rt, rok := a.staticType(n.R)
+			return lok && rok && lt == value.StringType && rt == value.StringType &&
+				a.errFree(n.L) && a.errFree(n.R)
 		}
-		return false // arithmetic can divide by zero or type-error; LIKE can type-error
+		return false // arithmetic can divide by zero or type-error
 	}
 	return false // functions, IN, BETWEEN, COALESCE: conservatively erroring
 }

@@ -377,9 +377,18 @@ func (p *TypedProgram) Filter(ev *TypedEval, b *TBatch, sel []int) (passed []int
 	}
 	out, errRow, err := p.root.eval(ev, b, sel)
 	passed = ev.out[:0]
-	for _, r := range selBefore(sel, errRow) {
-		if truthAt(out, r) {
-			passed = append(passed, r)
+	rows := selBefore(sel, errRow)
+	// A dense selection (the identity prefix every base-table scan feeds
+	// in) over a boolean vector compacts word-at-a-time; selections are
+	// strictly increasing, so first==0 and last==len-1 imply identity.
+	if out != nil && out.Kind == VecBool && len(rows) > 0 &&
+		rows[0] == 0 && rows[len(rows)-1] == len(rows)-1 {
+		passed = CompactTrue(passed, out.Bools, out.Nulls, len(rows))
+	} else {
+		for _, r := range rows {
+			if truthAt(out, r) {
+				passed = append(passed, r)
+			}
 		}
 	}
 	return passed, errRow, err

@@ -341,7 +341,7 @@ func TestAnalyzePrune(t *testing.T) {
 	}
 
 	ps := AnalyzePrune(parse("id > 100 AND flux <= 2.5 AND name = 'x'"), layout, slotType)
-	if !ps.Safe || len(ps.Pruners) != 2 {
+	if !ps.Safe || len(ps.Pruners) != 3 {
 		t.Fatalf("pruners = %+v", ps)
 	}
 	if p := ps.Pruners[0]; p.Slot != 0 || p.Op != ">" || p.Const != 100 || !p.PrefixSafe {
@@ -349,6 +349,9 @@ func TestAnalyzePrune(t *testing.T) {
 	}
 	if p := ps.Pruners[1]; p.Slot != 1 || p.Op != "<=" || p.Const != 2.5 || !p.PrefixSafe {
 		t.Errorf("pruner 1 = %+v", p)
+	}
+	if p := ps.Pruners[2]; p.Slot != 2 || p.Op != "=" || p.Str != "x" || !p.IsStr || !p.PrefixSafe {
+		t.Errorf("pruner 2 = %+v", p)
 	}
 
 	// Reversed operand order flips the comparison.
@@ -367,10 +370,16 @@ func TestAnalyzePrune(t *testing.T) {
 		t.Errorf("prefix safety = %+v", ps.Pruners)
 	}
 
-	// String columns and non-constant comparisons don't prune; OR spines
+	// String comparisons prune; non-constant comparisons don't; OR spines
 	// have no top-level conjuncts to mine.
-	if ps := AnalyzePrune(parse("name > 'a' AND id < flux"), layout, slotType); len(ps.Pruners) != 0 {
+	ps = AnalyzePrune(parse("name > 'a' AND id < flux"), layout, slotType)
+	if len(ps.Pruners) != 1 || !ps.Pruners[0].IsStr || ps.Pruners[0].Op != ">" || ps.Pruners[0].Str != "a" {
 		t.Errorf("unexpected pruners %+v", ps.Pruners)
+	}
+	// LIKE with a literal prefix prunes to the [prefix, successor) range.
+	ps = AnalyzePrune(parse("name LIKE 'NGC%'"), layout, slotType)
+	if len(ps.Pruners) != 1 || ps.Pruners[0].Op != OpLikePrefix || ps.Pruners[0].Str != "NGC" || ps.Pruners[0].Hi != "NGD" {
+		t.Errorf("LIKE pruners %+v", ps.Pruners)
 	}
 	if ps := AnalyzePrune(parse("id > 5 OR flux < 1"), layout, slotType); len(ps.Pruners) != 0 || !ps.Safe {
 		t.Errorf("OR pruners %+v safe=%v", ps.Pruners, ps.Safe)

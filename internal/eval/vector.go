@@ -19,7 +19,10 @@ package eval
 // batch scratch per call.
 
 import (
+	"encoding/binary"
+	"math/bits"
 	"sync"
+	"unsafe"
 
 	"skyquery/internal/value"
 )
@@ -370,6 +373,51 @@ func (v *Vector) FillFromCells(n int, typ value.Type, cell func(i int) value.Val
 	default:
 		boxedFallback()
 	}
+}
+
+// allPassWord is 8 mask bytes that are all 0x01: a full word of rows
+// passing the compaction filter.
+const allPassWord = 0x0101010101010101
+
+// CompactTrue appends to dst the row indices in [0, n) where vals[i] is
+// true and nulls[i] (when a mask is present) is not — the selection
+// compaction every dense batch filter ends with. Instead of branching
+// per row, it reads the two masks eight bytes at a time as uint64 words
+// (a Go bool is one byte holding 0 or 1, so the pass mask is just
+// vals &^ nulls) and dispatches on the word: all-zero words skip eight
+// rows with one compare, all-ones words append eight indices without a
+// branch per row, and mixed words walk their set bits directly. nulls
+// may be nil; when non-nil it must cover [0, n).
+func CompactTrue(dst []int, vals, nulls []bool, n int) []int {
+	i := 0
+	if n >= 8 {
+		vb := unsafe.Slice((*byte)(unsafe.Pointer(&vals[0])), n)
+		var nb []byte
+		if nulls != nil {
+			nb = unsafe.Slice((*byte)(unsafe.Pointer(&nulls[0])), n)
+		}
+		for ; i+8 <= n; i += 8 {
+			w := binary.LittleEndian.Uint64(vb[i:])
+			if nb != nil {
+				w &^= binary.LittleEndian.Uint64(nb[i:])
+			}
+			switch w {
+			case 0:
+			case allPassWord:
+				dst = append(dst, i, i+1, i+2, i+3, i+4, i+5, i+6, i+7)
+			default:
+				for ; w != 0; w &= w - 1 {
+					dst = append(dst, i+(bits.TrailingZeros64(w)>>3))
+				}
+			}
+		}
+	}
+	for ; i < n; i++ {
+		if vals[i] && (nulls == nil || !nulls[i]) {
+			dst = append(dst, i)
+		}
+	}
+	return dst
 }
 
 // TBatch is the typed counterpart of Batch: one Vector per row slot.

@@ -71,6 +71,67 @@ type Call struct {
 	BytesReceived int64
 }
 
+// Per-host observed throughput: every transfer through a Transport folds
+// its byte volume and wall time into a process-wide registry keyed by
+// destination host. The planner's cost model reads it back to weigh
+// estimated transfer volumes by how fast each node's path has actually
+// been — measured, not configured, so shaped links and congested WAN
+// paths surface on their own.
+var (
+	hostMu  sync.Mutex
+	hostObs = map[string]*hostRecord{}
+)
+
+type hostRecord struct {
+	bytes int64
+	nanos int64
+}
+
+// RecordTransfer folds one observed transfer (request + response bytes
+// over its total wall time) into the per-host registry.
+func RecordTransfer(host string, bytes int64, d time.Duration) {
+	if host == "" || bytes <= 0 || d <= 0 {
+		return
+	}
+	hostMu.Lock()
+	r := hostObs[host]
+	if r == nil {
+		r = &hostRecord{}
+		hostObs[host] = r
+	}
+	r.bytes += bytes
+	r.nanos += int64(d)
+	hostMu.Unlock()
+}
+
+// MinThroughputSampleBytes is the least total volume a host must have
+// transferred before ObservedThroughput reports a number. Timing a few
+// kilobytes of registration chatter measures scheduler noise, not the
+// path — and a cost model fed noise re-orders chains at random. Until a
+// host has moved this much, its path reads as unmeasured (0) and the
+// planner costs it on byte volume alone.
+const MinThroughputSampleBytes = 256 << 10
+
+// ObservedThroughput returns the mean observed bytes/second of transfers
+// to host, or 0 when less than MinThroughputSampleBytes has been
+// observed.
+func ObservedThroughput(host string) float64 {
+	hostMu.Lock()
+	defer hostMu.Unlock()
+	r := hostObs[host]
+	if r == nil || r.nanos == 0 || r.bytes < MinThroughputSampleBytes {
+		return 0
+	}
+	return float64(r.bytes) / (float64(r.nanos) / float64(time.Second))
+}
+
+// ResetThroughput clears the per-host registry (test isolation).
+func ResetThroughput() {
+	hostMu.Lock()
+	hostObs = map[string]*hostRecord{}
+	hostMu.Unlock()
+}
+
 // Transport is an http.RoundTripper that counts and optionally shapes
 // traffic. The zero value is usable and delegates to SharedTransport.
 type Transport struct {
@@ -123,6 +184,7 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	t.bytesSent.Add(reqBytes)
 	t.sleepFor(reqBytes, true)
 
+	start := time.Now()
 	resp, err := t.base().RoundTrip(req)
 	if err != nil {
 		return nil, err
@@ -142,7 +204,10 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 		callIdx = len(t.calls) - 1
 		t.mu.Unlock()
 	}
-	resp.Body = &countingBody{rc: resp.Body, t: t, callIdx: callIdx}
+	resp.Body = &countingBody{
+		rc: resp.Body, t: t, callIdx: callIdx,
+		host: req.URL.Host, sent: reqBytes, start: start,
+	}
 	return resp, nil
 }
 
@@ -153,6 +218,9 @@ type countingBody struct {
 	rc      io.ReadCloser
 	t       *Transport
 	callIdx int // index into t.calls; -1 when not recording
+	host    string
+	sent    int64
+	start   time.Time
 	n       int64
 	done    bool
 }
@@ -178,12 +246,14 @@ func (b *countingBody) Close() error {
 }
 
 // finish writes the final received count into the per-call log (guarded
-// against a Reset that truncated the log mid-flight).
+// against a Reset that truncated the log mid-flight) and folds the
+// transfer into the per-host throughput registry.
 func (b *countingBody) finish() {
 	if b.done {
 		return
 	}
 	b.done = true
+	RecordTransfer(b.host, b.sent+b.n, time.Since(b.start))
 	if b.callIdx >= 0 {
 		b.t.mu.Lock()
 		if b.callIdx < len(b.t.calls) {

@@ -47,6 +47,73 @@ type Step struct {
 	DropOut bool `xml:"dropout,attr,omitempty"`
 	// Count is the count-star bound returned by the performance query.
 	Count int64 `xml:"count,attr"`
+	// EstRows is the planner's estimate of this step's surviving
+	// candidates after AREA and local-predicate pruning: the StatsSummary
+	// histogram estimate when StatsBased, else the count-star bound.
+	EstRows float64 `xml:"estRows,attr,omitempty"`
+	// StatsBased marks EstRows as derived from column statistics (the
+	// StatsSummary service) rather than a count-star probe.
+	StatsBased bool `xml:"statsBased,attr,omitempty"`
+	// Cost is the planner's transfer-cost estimate for the step:
+	// EstRows x RowBytes / observed per-host throughput (seconds when
+	// throughput was measured, relative bytes otherwise). Zero when the
+	// plan was ordered by the count-star rule alone.
+	Cost float64 `xml:"cost,attr,omitempty"`
+}
+
+// RowBytes estimates the wire width of one of the step's tuples: the
+// per-row transfer volume its columns add to the partial result. A
+// coarse model (framing plus a fixed per-column width) — the planner
+// only compares these across steps, so the scale cancels.
+func (s *Step) RowBytes() float64 {
+	return 24 + 12*float64(len(s.Columns))
+}
+
+// CostOf is the shared transfer-cost model of the planner and the
+// mid-chain re-orderer: estimated surviving rows times per-row bytes,
+// divided by the observed throughput of the node's path (bytes/sec;
+// pass 1 when unknown to fall back to relative byte volume).
+func CostOf(s *Step, throughputBps float64) float64 {
+	if throughputBps <= 0 {
+		throughputBps = 1
+	}
+	est := s.EstRows
+	if est <= 0 {
+		est = float64(s.Count)
+	}
+	if est < 1 {
+		est = 1 // a step is never free: the call itself moves bytes
+	}
+	return est * s.RowBytes() / throughputBps
+}
+
+// ThroughputNoiseBand is the factor within which two measured path
+// throughputs are considered equal. Loopback and LAN measurements
+// scatter by small integer factors from scheduling and GC noise alone;
+// only differences beyond this band say something about topology.
+const ThroughputNoiseBand = 4.0
+
+// EffectiveThroughputs normalizes measured per-step throughputs for the
+// cost model: every path within ThroughputNoiseBand of the fastest is
+// priced at the fastest (noise does not re-order chains), slower paths
+// keep their measured value, and unmeasured paths (0) stay 0 for the
+// caller to substitute. The slice is modified in place and returned.
+func EffectiveThroughputs(thr []float64) []float64 {
+	max := 0.0
+	for _, t := range thr {
+		if t > max {
+			max = t
+		}
+	}
+	if max == 0 {
+		return thr
+	}
+	for i, t := range thr {
+		if t > 0 && t*ThroughputNoiseBand >= max {
+			thr[i] = max
+		}
+	}
+	return thr
 }
 
 // Area mirrors the AREA clause; the radius stays in arc seconds as
@@ -108,6 +175,12 @@ type Plan struct {
 	// 0 leaves the choice to the node (GOMAXPROCS), 1 forces the
 	// sequential path.
 	Parallelism int `xml:"parallelism,attr,omitempty"`
+	// AdaptiveReorder permits chain nodes to re-order the not-yet-called
+	// downstream suffix of the plan when their live cost estimates
+	// (observed per-host throughput, learned step selectivity) diverge
+	// from the plan's by more than the re-order threshold. Results are
+	// bit-identical either way; only transfer volume and latency change.
+	AdaptiveReorder bool `xml:"adaptiveReorder,attr,omitempty"`
 }
 
 // StepIndex returns the position of the step for the given archive, or -1.
@@ -189,6 +262,28 @@ func Order(steps []Step) []Step {
 	return out
 }
 
+// OrderByCost is Order with the cost model as the sort key: drop-outs
+// still lead the call order (they execute last, after every mandatory
+// fold), and within each group steps sort by decreasing Cost so the
+// cheapest transfer seeds the chain. Ties fall back to the count rule,
+// then the name rule, keeping the order total and deterministic.
+func OrderByCost(steps []Step) []Step {
+	out := append([]Step(nil), steps...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].DropOut != out[j].DropOut {
+			return out[i].DropOut
+		}
+		if out[i].Cost != out[j].Cost {
+			return out[i].Cost > out[j].Cost
+		}
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Archive < out[j].Archive
+	})
+	return out
+}
+
 // Marshal serializes the plan to XML for transport inside SOAP calls.
 func (p *Plan) Marshal() ([]byte, error) {
 	out, err := xml.Marshal(p)
@@ -209,11 +304,17 @@ func Unmarshal(data []byte) (*Plan, error) {
 
 // String renders a compact human-readable summary used in traces:
 //
-//	FIRST(dropout,count=120) -> SDSS(count=5000) -> TWOMASS(count=800)
+//	FIRST(dropout,count=120) -> SDSS(count=5000,est=3210,cost=1.2e+05) -> TWOMASS(count=800)
 func (p *Plan) String() string {
 	var parts []string
 	for _, s := range p.Steps {
 		attrs := []string{fmt.Sprintf("count=%d", s.Count)}
+		if s.StatsBased {
+			attrs = append(attrs, fmt.Sprintf("est=%.0f", s.EstRows))
+		}
+		if s.Cost > 0 {
+			attrs = append(attrs, fmt.Sprintf("cost=%.3g", s.Cost))
+		}
 		if s.DropOut {
 			attrs = append([]string{"dropout"}, attrs...)
 		}

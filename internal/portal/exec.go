@@ -1,10 +1,14 @@
 package portal
 
 import (
+	"errors"
 	"fmt"
+	"net/url"
+	"strings"
 
 	"skyquery/internal/core"
 	"skyquery/internal/dataset"
+	"skyquery/internal/nettrace"
 	"skyquery/internal/plan"
 	"skyquery/internal/skynode"
 	"skyquery/internal/soap"
@@ -22,6 +26,8 @@ func (p *Portal) engine() *core.Engine {
 			ChunkRows:           p.cfg.ChunkRows,
 			Parallelism:         p.cfg.Parallelism,
 			IncludeMatchColumns: p.cfg.IncludeMatchColumns,
+			CountProbeOrder:     p.cfg.CountProbeOrder,
+			AdaptiveReorder:     p.cfg.AdaptiveReorder,
 			OnEvent: func(ev core.Event) {
 				p.emit(ev.Kind, "%s", ev.Detail)
 			},
@@ -101,6 +107,45 @@ func (p *Portal) BuildPlan(sql string) (*plan.Plan, error) {
 	return p.engine().BuildPlanSQL(sql)
 }
 
+// Explain builds the query's plan without executing it and renders an
+// EXPLAIN-style summary: the chosen chain order on the first line, then
+// one line per step (in call order; execution unwinds in reverse, so
+// the last step seeds) with the planner's cardinality estimate —
+// statistics-based when the node answered a StatsSummary probe, the
+// count-star bound otherwise — the transfer-cost estimate, and the
+// predicate pushed to the node. Estimate-vs-actual counts for executed
+// queries surface in the event stream: "plan.cost" per planned step at
+// prepare time and "xmatch.estimate" from the seed node at run time.
+func (p *Portal) Explain(sql string) (string, error) {
+	pl, err := p.BuildPlan(sql)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "order: %s\n", pl)
+	for i, s := range pl.Steps {
+		role := "extend"
+		switch {
+		case s.DropOut:
+			role = "dropout"
+		case i == len(pl.Steps)-1:
+			role = "seed"
+		}
+		fmt.Fprintf(&b, "step %d: %s %s table=%s count=%d", i+1, s.Archive, role, s.Table, s.Count)
+		if s.StatsBased {
+			fmt.Fprintf(&b, " est=%.0f (stats)", s.EstRows)
+		}
+		if s.Cost > 0 {
+			fmt.Fprintf(&b, " cost=%.3g", s.Cost)
+		}
+		if s.LocalWhere != "" {
+			fmt.Fprintf(&b, " where=%q", s.LocalWhere)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
 // portalCatalog adapts the Portal's registration catalog to core.Catalog.
 type portalCatalog Portal
 
@@ -149,6 +194,48 @@ func (s *portalServices) CountStar(a *core.Archive, sql string) (int64, error) {
 		return 0, fmt.Errorf("portal: performance query returned %v, want INT", v.Type())
 	}
 	return v.AsInt(), nil
+}
+
+// StatsSummary implements core.StatsServices via the node's StatsSummary
+// service. Endpoints that have faulted on the action (older nodes) are
+// remembered and skipped — the planner goes straight to its count-star
+// fallback for them — until the node re-registers.
+func (s *portalServices) StatsSummary(a *core.Archive, probe *core.StatsProbe) (*core.StatsEstimate, error) {
+	if _, old := s.p.noStats.Load(a.Endpoint); old {
+		return nil, fmt.Errorf("portal: node %s has no StatsSummary service", a.Name)
+	}
+	var resp skynode.StatsResponse
+	err := s.p.client.Call(a.Endpoint, skynode.ActionStats, &skynode.StatsRequest{
+		Table:      probe.Table,
+		Alias:      probe.Alias,
+		LocalWhere: probe.LocalWhere,
+		Area:       probe.Area,
+	}, &resp)
+	if err != nil {
+		var f *soap.Fault
+		if errors.As(err, &f) && strings.Contains(f.String, "unknown SOAPAction") {
+			s.p.noStats.Store(a.Endpoint, true)
+		}
+		return nil, err
+	}
+	return &core.StatsEstimate{
+		TableRows:   resp.TableRows,
+		AreaRows:    resp.AreaRows,
+		EstRows:     resp.EstRows,
+		Selectivity: resp.Selectivity,
+		HasStats:    resp.HasStats,
+	}, nil
+}
+
+// ObservedThroughput implements core.ThroughputServices from the
+// process-wide per-host transfer registry that every instrumented
+// transport feeds.
+func (s *portalServices) ObservedThroughput(endpoint string) float64 {
+	u, err := url.Parse(endpoint)
+	if err != nil || u.Host == "" {
+		return 0
+	}
+	return nettrace.ObservedThroughput(u.Host)
 }
 
 // TableQuery implements core.Services via the node's Query service,

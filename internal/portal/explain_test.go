@@ -1,0 +1,90 @@
+package portal
+
+// The queryable plan summary: Portal.Explain must render the chosen
+// chain order plus per-step cardinality (statistics-based when the
+// nodes serve StatsSummary) and transfer-cost estimates, and planning
+// must log the same numbers through the portal event stream
+// ("plan.cost" per step).
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainRendersPlanSummary(t *testing.T) {
+	f := newFed(t, 150, surveyConfigs())
+	f.clearEvents()
+	out, err := f.portal.Explain(paperStyleQuery("O.flux > 20"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // order line + three archives
+		t.Fatalf("Explain rendered %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "order: ") || !strings.Contains(lines[0], " -> ") {
+		t.Errorf("order line = %q", lines[0])
+	}
+	for _, name := range []string{"SDSS", "TWOMASS", "FIRST"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("Explain output missing archive %s:\n%s", name, out)
+		}
+	}
+	// Fresh nodes answer StatsSummary, so every step line carries a
+	// statistics-based estimate and a transfer-cost figure.
+	for _, ln := range lines[1:] {
+		if !strings.Contains(ln, "est=") || !strings.Contains(ln, "(stats)") {
+			t.Errorf("step line without stats estimate: %q", ln)
+		}
+		if !strings.Contains(ln, "cost=") {
+			t.Errorf("step line without cost: %q", ln)
+		}
+	}
+	// The last step in call order seeds the chain (execution unwinds in
+	// reverse); the others extend.
+	if !strings.Contains(lines[len(lines)-1], " seed ") {
+		t.Errorf("last step not marked seed: %q", lines[len(lines)-1])
+	}
+	// The local predicate pushed to SDSS shows on its line.
+	found := false
+	for _, ln := range lines[1:] {
+		if strings.Contains(ln, "SDSS") && strings.Contains(ln, "flux") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("SDSS step line missing pushed predicate:\n%s", out)
+	}
+
+	// Planning logged the per-step cost model through the portal events.
+	ev := f.eventLog()
+	if n := countKinds(ev, "plan.cost"); n != 3 {
+		t.Errorf("plan.cost events = %d, want 3", n)
+	}
+	if n := countKinds(ev, "statsquery.recv"); n != 3 {
+		t.Errorf("statsquery.recv events = %d, want 3", n)
+	}
+}
+
+func TestExplainCountProbeMode(t *testing.T) {
+	f := newFedWith(t, 150, surveyConfigs(), Config{CountProbeOrder: true})
+	out, err := f.portal.Explain(paperStyleQuery(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count-star ordering carries no statistics estimates and no cost
+	// figures — only the probe counts.
+	if strings.Contains(out, "(stats)") || strings.Contains(out, "cost=") {
+		t.Errorf("count-probe Explain leaked stats fields:\n%s", out)
+	}
+	if !strings.Contains(out, "count=") {
+		t.Errorf("count-probe Explain missing counts:\n%s", out)
+	}
+}
+
+func TestExplainBadQuery(t *testing.T) {
+	f := newFed(t, 50, surveyConfigs()[:1])
+	if _, err := f.portal.Explain("garbage"); err == nil {
+		t.Error("Explain(garbage) succeeded, want error")
+	}
+}

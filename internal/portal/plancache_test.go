@@ -29,8 +29,8 @@ func TestPlanCacheHitSkipsPlanning(t *testing.T) {
 		t.Fatalf("after first query: %+v", s)
 	}
 	missEvents := f.eventLog()
-	if countKinds(missEvents, "perfquery.send") == 0 {
-		t.Fatal("miss path sent no performance queries")
+	if countKinds(missEvents, "perfquery.send")+countKinds(missEvents, "statsquery.send") == 0 {
+		t.Fatal("miss path sent no planning probes")
 	}
 
 	f.clearEvents()
@@ -44,8 +44,8 @@ func TestPlanCacheHitSkipsPlanning(t *testing.T) {
 	hitEvents := f.eventLog()
 	// The hit replays the plan: no count-star probes, no re-plan — but
 	// the trace keeps its submit -> execute -> relay shape.
-	if n := countKinds(hitEvents, "perfquery.send"); n != 0 {
-		t.Errorf("hit path sent %d performance queries", n)
+	if n := countKinds(hitEvents, "perfquery.send") + countKinds(hitEvents, "statsquery.send"); n != 0 {
+		t.Errorf("hit path sent %d planning probes", n)
 	}
 	if n := countKinds(hitEvents, "plan"); n != 0 {
 		t.Errorf("hit path re-planned %d times", n)

@@ -57,6 +57,14 @@ type Config struct {
 	// generation, two generations live — see plancache.go). 0 means
 	// DefaultPlanCacheSize; negative disables plan caching.
 	PlanCacheSize int
+	// CountProbeOrder reverts chain ordering to the pure count-star rule
+	// of §5.3. The default (false) probes nodes' StatsSummary service and
+	// orders by the transfer-cost model when statistics are available.
+	CountProbeOrder bool
+	// AdaptiveReorder stamps plans with permission for chain nodes to
+	// re-order the not-yet-called downstream suffix when live estimates
+	// diverge from the plan's. Results are bit-identical either way.
+	AdaptiveReorder bool
 	// Codec selects the SOAP server's response codec policy; the default
 	// negotiates the binary columnar format with clients that accept it.
 	Codec soap.Codec
@@ -89,6 +97,12 @@ type Portal struct {
 	// its keys with it, so catalog changes invalidate cached plans.
 	catalogVersion atomic.Uint64
 	plans          *planCache
+
+	// noStats caches endpoints whose node faulted on the StatsSummary
+	// action (an older node), so every later plan skips the probe and
+	// goes straight to the count-star fallback. Registration clears the
+	// endpoint's entry: a re-registered node may have been upgraded.
+	noStats sync.Map
 
 	engineOnce sync.Once
 	coreEngine *core.Engine
@@ -261,6 +275,9 @@ func (p *Portal) Register(name, endpoint string) error {
 	p.catalog[name] = &archiveInfo{Name: name, Endpoint: endpoint, Info: info, Tables: tables}
 	p.mu.Unlock()
 	p.catalogVersion.Add(1)
+	// A (re-)registered node may have been upgraded: forget any cached
+	// "no StatsSummary" verdict and let the next plan re-probe it.
+	p.noStats.Delete(endpoint)
 	return p.reg.Register(registry.Entry{
 		Name:     name,
 		Endpoint: endpoint,

@@ -57,13 +57,18 @@ func surveyConfigs() []survey.Config {
 }
 
 func newFed(t *testing.T, nBodies int, cfgs []survey.Config) *fed {
+	return newFedWith(t, nBodies, cfgs, Config{})
+}
+
+func newFedWith(t *testing.T, nBodies int, cfgs []survey.Config, pcfg Config) *fed {
 	t.Helper()
 	f := &fed{
 		field:     survey.GenerateField(testRegion(), nBodies, 0.4, 2001),
 		archives:  map[string]*survey.Archive{},
 		endpoints: map[string]string{},
 	}
-	f.portal = New(Config{OnEvent: func(e Event) { f.recordEvent(e.Kind) }})
+	pcfg.OnEvent = func(e Event) { f.recordEvent(e.Kind) }
+	f.portal = New(pcfg)
 	pts := httptest.NewServer(f.portal.Server())
 	t.Cleanup(pts.Close)
 	f.portalURL = pts.URL
@@ -377,15 +382,12 @@ func TestQueryErrors(t *testing.T) {
 	}
 }
 
-func TestPortalEventsFigure3Order(t *testing.T) {
-	f := newFed(t, 150, surveyConfigs())
-	f.clearEvents()
-	if _, err := f.portal.Query(paperStyleQuery("")); err != nil {
-		t.Fatal(err)
-	}
-	ev := f.eventLog()
-	// Figure 3 step order: submit(1-2) → perf queries(3-4) → plan(5) →
-	// execute(6) → relay(7-8).
+// checkFigure3Order asserts the Figure 3 step order — submit(1-2) →
+// planning probes(3-4) → plan(5) → execute(6) → relay(7-8) — with the
+// given probe event kinds (perfquery.* in count-probe mode,
+// statsquery.* when the nodes serve statistics).
+func checkFigure3Order(t *testing.T, ev []string, probeSend, probeRecv string) {
+	t.Helper()
 	idx := func(kind string) int {
 		for i, e := range ev {
 			if e == kind {
@@ -406,21 +408,44 @@ func TestPortalEventsFigure3Order(t *testing.T) {
 	if idx("submit") == -1 || idx("plan") == -1 || idx("execute") == -1 || idx("relay") == -1 {
 		t.Fatalf("missing events: %v", ev)
 	}
-	if !(idx("submit") < idx("perfquery.send") &&
-		lastIdx("perfquery.recv") < idx("plan") &&
+	if !(idx("submit") < idx(probeSend) &&
+		lastIdx(probeRecv) < idx("plan") &&
 		idx("plan") < idx("execute") &&
 		idx("execute") < idx("relay")) {
 		t.Errorf("event order wrong: %v", ev)
 	}
-	// Three mandatory archives → three perf queries.
-	n := 0
-	for _, e := range ev {
-		if e == "perfquery.recv" {
-			n++
-		}
+	// Three mandatory archives → three planning probes.
+	if n := countKinds(ev, probeRecv); n != 3 {
+		t.Errorf("planning probes = %d, want 3", n)
 	}
-	if n != 3 {
-		t.Errorf("perf queries = %d, want 3", n)
+}
+
+func TestPortalEventsFigure3Order(t *testing.T) {
+	f := newFed(t, 150, surveyConfigs())
+	f.clearEvents()
+	if _, err := f.portal.Query(paperStyleQuery("")); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh nodes serve StatsSummary, so the default mode plans from
+	// statistics probes; no count-star query should be needed.
+	ev := f.eventLog()
+	checkFigure3Order(t, ev, "statsquery.send", "statsquery.recv")
+	if n := countKinds(ev, "perfquery.send"); n != 0 {
+		t.Errorf("stats mode sent %d count-star probes, want 0", n)
+	}
+}
+
+func TestPortalEventsFigure3OrderCountProbe(t *testing.T) {
+	f := newFedWith(t, 150, surveyConfigs(), Config{CountProbeOrder: true})
+	f.clearEvents()
+	if _, err := f.portal.Query(paperStyleQuery("")); err != nil {
+		t.Fatal(err)
+	}
+	// CountProbeOrder restores the paper-faithful §5.3 flow exactly.
+	ev := f.eventLog()
+	checkFigure3Order(t, ev, "perfquery.send", "perfquery.recv")
+	if n := countKinds(ev, "statsquery.send"); n != 0 {
+		t.Errorf("count-probe mode sent %d stats probes, want 0", n)
 	}
 }
 

@@ -42,9 +42,11 @@ package skynode
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"skyquery/internal/dataset"
+	"skyquery/internal/eval"
 	"skyquery/internal/soap"
 	"skyquery/internal/storage"
 	"skyquery/internal/value"
@@ -59,9 +61,11 @@ const (
 	ActionCrossMatch  = "urn:skyquery:CrossMatch"
 )
 
-// Actions lists every SOAP action a SkyNode serves.
+// Actions lists every SOAP action a SkyNode serves. ActionStats is
+// declared in stats.go.
 var Actions = []string{
-	ActionInformation, ActionMetadata, ActionQuery, ActionCrossMatch, soap.FetchAction,
+	ActionInformation, ActionMetadata, ActionQuery, ActionCrossMatch,
+	ActionStats, soap.FetchAction,
 }
 
 // Event is a trace point emitted through Config.OnEvent; the F3 experiment
@@ -125,6 +129,16 @@ type Node struct {
 	chunks soap.ChunkStore
 	gate   *Gate
 
+	// calib learns per-table corrections for the statistics estimates
+	// (see reorder.go).
+	calib calibration
+
+	// traces holds per-table batch-utilization history: each chain step's
+	// adaptive sizer learns its floor from the table's recorded trace and
+	// records its own observations back for the next query.
+	traceMu sync.Mutex
+	traces  map[string]*eval.BatchTrace
+
 	// queriesServed counts Query service calls (cache-warming metric).
 	queriesServed atomic.Int64
 	// tuplesIn/tuplesOut count cross-match rows received and emitted.
@@ -171,6 +185,7 @@ func New(cfg Config) (*Node, error) {
 	n.server.Handle(ActionMetadata, n.handleMetadata)
 	n.server.Handle(ActionQuery, n.handleQuery)
 	n.server.Handle(ActionCrossMatch, n.handleCrossMatch)
+	n.server.Handle(ActionStats, n.handleStats)
 	n.server.Handle(soap.FetchAction, n.chunks.FetchHandler())
 	return n, nil
 }
@@ -192,6 +207,7 @@ func (n *Node) SetWSDL(endpoint string) error {
 			{Name: "Metadata", Action: ActionMetadata, Doc: "complete schema information"},
 			{Name: "Query", Action: ActionQuery, Doc: "general-purpose database querying"},
 			{Name: "CrossMatch", Action: ActionCrossMatch, Doc: "one step of the federated cross match"},
+			{Name: "StatsSummary", Action: ActionStats, Doc: "column-statistics selectivity estimate for planning"},
 			{Name: "Fetch", Action: soap.FetchAction, Doc: "continuation fetch for chunked results"},
 		},
 	})
@@ -210,6 +226,25 @@ func (n *Node) Stats() (queries, tuplesIn, tuplesOut int64) {
 // AdmissionStats reports the admission gate's counters (all zero when
 // admission is disabled).
 func (n *Node) AdmissionStats() GateStats { return n.gate.Stats() }
+
+// batchTrace returns the node's recorded batch-utilization trace for
+// the table, creating an empty one on first use. Chain steps build
+// their adaptive sizers from it, so a table whose history shows
+// drop-out-heavy batches starts the next query with a learned floor
+// below the MinAdaptiveBatch default.
+func (n *Node) batchTrace(table string) *eval.BatchTrace {
+	n.traceMu.Lock()
+	defer n.traceMu.Unlock()
+	if n.traces == nil {
+		n.traces = map[string]*eval.BatchTrace{}
+	}
+	tr := n.traces[table]
+	if tr == nil {
+		tr = &eval.BatchTrace{}
+		n.traces[table] = tr
+	}
+	return tr
+}
 
 // admit funnels one step execution through the admission gate,
 // converting a shed into the retryable Overloaded SOAP fault.

@@ -1,0 +1,254 @@
+package skynode
+
+import (
+	"math"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+
+	"skyquery/internal/nettrace"
+	"skyquery/internal/plan"
+	"skyquery/internal/sqlparse"
+)
+
+// Mid-chain adaptive re-ordering. All chain calls are issued downward
+// before any step executes, so a node at position idx can still change
+// the not-yet-called downstream suffix Steps[idx+1:]. When the plan
+// permits it (Plan.AdaptiveReorder), the node re-prices that suffix with
+// what it knows and the Portal did not: its own live per-host throughput
+// observations (the Portal planned from *its* vantage point; inter-node
+// paths can look very different) and its learned calibration of the
+// statistics estimates. If the refreshed costs diverge from the plan's
+// by more than ReorderThreshold and imply a different order, the suffix
+// is re-sorted and its cross predicates re-assigned before forwarding.
+//
+// Correctness never depends on the order: every permutation folds the
+// same archives over the same area with the same predicates, so the
+// surviving tuple set is identical — only raw row order, transfer volume
+// and latency change. Any anomaly while re-planning (an unparsable
+// predicate, an orphaned one) aborts the re-order and forwards the plan
+// unchanged.
+
+// ReorderThreshold is the live/planned cost divergence factor a
+// downstream step must exceed before a node considers re-ordering the
+// suffix. Below it, estimate noise would thrash the chain for nothing.
+const ReorderThreshold = 1.5
+
+// maybeReorderSuffix re-prices and, when justified, re-orders the
+// downstream suffix of p in place. idx is this node's position in call
+// order.
+func (n *Node) maybeReorderSuffix(p *plan.Plan, idx int) {
+	if !p.AdaptiveReorder || idx+2 >= len(p.Steps) {
+		return // a suffix of fewer than two steps has only one order
+	}
+	suffix := p.Steps[idx+1:]
+	thr := make([]float64, len(suffix))
+	for i := range suffix {
+		thr[i] = nettrace.ObservedThroughput(endpointHost(suffix[i].Endpoint))
+	}
+	plan.EffectiveThroughputs(thr)
+	// Hosts with no measurement are charged the slowest measured path,
+	// exactly as the Portal prices them (unknown must not read as free).
+	minPos := 0.0
+	for _, t := range thr {
+		if t > 0 && (minPos == 0 || t < minPos) {
+			minPos = t
+		}
+	}
+	for i := range thr {
+		if thr[i] <= 0 {
+			thr[i] = minPos
+		}
+	}
+	live := make([]float64, len(suffix))
+	diverged := false
+	for i := range suffix {
+		s := &suffix[i]
+		planned := s.Cost
+		if planned <= 0 {
+			// A count-probe plan carries no costs; price it from its
+			// counts so the comparison is like for like.
+			planned = plan.CostOf(s, 0)
+		}
+		live[i] = plan.CostOf(s, thr[i])
+		if r := n.calib.ratio(s.Table); r != 1 && s.StatsBased {
+			live[i] *= r
+		}
+		if live[i] > planned*ReorderThreshold || planned > live[i]*ReorderThreshold {
+			diverged = true
+		}
+	}
+	if !diverged {
+		return
+	}
+	reordered := append([]plan.Step(nil), suffix...)
+	for i := range reordered {
+		reordered[i].Cost = live[i]
+	}
+	reordered = plan.OrderByCost(reordered)
+	if sameStepOrder(reordered, suffix) {
+		return
+	}
+	if !reassignSuffixPredicates(reordered) {
+		return // safety: keep the plan we know is consistent
+	}
+	was := stepOrderString(suffix)
+	copy(suffix, reordered)
+	n.emit("xmatch.reorder", "%s => %s", was, stepOrderString(suffix))
+}
+
+// reassignSuffixPredicates redistributes the suffix steps' cross
+// predicates over their new order: each predicate moves to the first
+// step (in execution order, i.e. walking the call order backwards) whose
+// archive completes its alias set. The predicates of steps before the
+// suffix are untouched — those nodes have already been called with their
+// assignments. Returns false if any predicate cannot be parsed or
+// placed; the caller then aborts the re-order.
+func reassignSuffixPredicates(suffix []plan.Step) bool {
+	type pred struct {
+		src     string
+		aliases []string
+	}
+	var preds []pred
+	for i := range suffix {
+		for _, src := range suffix[i].CrossWhere {
+			e, err := sqlparse.ParseExpr(src)
+			if err != nil {
+				return false
+			}
+			preds = append(preds, pred{src: src, aliases: sqlparse.Tables(e)})
+		}
+		suffix[i].CrossWhere = nil
+	}
+	assigned := 0
+	available := map[string]bool{}
+	for i := len(suffix) - 1; i >= 0; i-- {
+		if suffix[i].DropOut {
+			continue
+		}
+		available[suffix[i].Alias] = true
+		for j := range preds {
+			if preds[j].src == "" {
+				continue
+			}
+			ready := true
+			for _, a := range preds[j].aliases {
+				if !available[a] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				suffix[i].CrossWhere = append(suffix[i].CrossWhere, preds[j].src)
+				preds[j].src = ""
+				assigned++
+			}
+		}
+		sort.Strings(suffix[i].CrossWhere)
+	}
+	return assigned == len(preds)
+}
+
+// sameStepOrder reports whether two step slices list archives in the
+// same order.
+func sameStepOrder(a, b []plan.Step) bool {
+	for i := range a {
+		if a[i].Archive != b[i].Archive {
+			return false
+		}
+	}
+	return true
+}
+
+// stepOrderString renders a call order compactly for trace events.
+func stepOrderString(steps []plan.Step) string {
+	names := make([]string, len(steps))
+	for i := range steps {
+		names[i] = steps[i].Archive
+	}
+	return strings.Join(names, "->")
+}
+
+// endpointHost extracts the host (the nettrace throughput-registry key)
+// from a SOAP endpoint URL.
+func endpointHost(endpoint string) string {
+	u, err := url.Parse(endpoint)
+	if err != nil {
+		return ""
+	}
+	return u.Host
+}
+
+// observeSeedEstimate feeds the calibration from a seed-step execution
+// and emits the estimate-vs-actual trace event the EXPLAIN tooling
+// reads. Only statistics-based estimates calibrate: a count-star bound
+// is already exact.
+func (n *Node) observeSeedEstimate(step plan.Step, actual int) {
+	if step.EstRows > 0 {
+		n.emit("xmatch.estimate", "table %s: est=%.0f actual=%d", step.Table, step.EstRows, actual)
+	}
+	if step.StatsBased && step.EstRows > 0 {
+		n.calib.observe(step.Table, step.EstRows, float64(actual))
+	}
+}
+
+// calibration learns, per table, how far the node's own statistics
+// estimates run from observed reality. Every seed-step execution
+// compares the plan's estimate for this node against the rows the step
+// actually produced (seed output is exactly "candidates in AREA passing
+// the local predicate" — the quantity StatsSummary estimates; extend
+// steps are skipped, their output confounds the incoming tuples). The
+// residual folds into a running ratio that future StatsSummary answers
+// and suffix re-pricings multiply in, damped and clamped so one odd
+// query cannot capsize the planner.
+type calibration struct {
+	mu     sync.Mutex
+	ratios map[string]float64
+}
+
+// calibClamp bounds the learned ratio: beyond 8x off, the statistics
+// themselves are the problem and scaling them further just amplifies
+// noise.
+const calibClamp = 8.0
+
+// observe folds one (estimate, actual) pair for the table into the
+// learned ratio with a half-step in log space.
+func (c *calibration) observe(table string, est, actual float64) {
+	if est <= 0 || actual < 0 {
+		return
+	}
+	if actual < 1 {
+		actual = 1 // log-space guard; "nothing survived" still calibrates
+	}
+	residual := actual / est
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ratios == nil {
+		c.ratios = map[string]float64{}
+	}
+	r, ok := c.ratios[table]
+	if !ok {
+		r = 1
+	}
+	r *= math.Sqrt(residual)
+	if r > calibClamp {
+		r = calibClamp
+	}
+	if r < 1/calibClamp {
+		r = 1 / calibClamp
+	}
+	c.ratios[table] = r
+}
+
+// ratio returns the learned correction for the table (1 when nothing has
+// been observed).
+func (c *calibration) ratio(table string) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.ratios[table]
+	if !ok {
+		return 1
+	}
+	return r
+}

@@ -169,6 +169,7 @@ func (n *Node) handleCrossMatch(r *soap.Request) (interface{}, error) {
 	}
 	step := p.Steps[idx]
 	n.emit("xmatch.recv", "plan %s step %d/%d", p.QueryID, idx+1, len(p.Steps))
+	n.maybeReorderSuffix(p, idx)
 	chunkRows := p.ChunkRows
 	if chunkRows == 0 {
 		chunkRows = n.cfg.ChunkRows
@@ -301,6 +302,7 @@ func (n *Node) seedStream(p *plan.Plan, step plan.Step, chunkRows int, sw *soap.
 	if seedErr != nil {
 		return fmt.Errorf("skynode %s: %w", n.cfg.Name, seedErr)
 	}
+	n.observeSeedEstimate(step, len(rows))
 	if err := sw.Schema(r.outCols); err != nil {
 		return err
 	}

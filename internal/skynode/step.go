@@ -174,6 +174,7 @@ func (n *Node) localStep(p *plan.Plan, step plan.Step, incoming *dataset.DataSet
 		if err != nil {
 			return nil, err
 		}
+		n.observeSeedEstimate(step, len(rows))
 		return &dataset.DataSet{Columns: r.outCols, Rows: rows}, nil
 	}
 
@@ -368,7 +369,8 @@ func (n *Node) newExtendRunner(p *plan.Plan, table *storage.Table, step plan.Ste
 	// Adaptive batching: the step's flush threshold follows the local
 	// predicate's observed selectivity, so a step whose full batches are
 	// mostly discarded stops gathering and broadcasting full-width ones.
-	sizer := eval.NewBatchSizer()
+	// The floor comes from the table's recorded utilization history.
+	sizer := eval.NewBatchSizerFromTrace(n.batchTrace(step.Table))
 	accept := func(_ int, pos sphere.Vec) bool {
 		// Every observation in the result must lie in the query AREA.
 		return area.Contains(pos)
@@ -592,8 +594,10 @@ func (n *Node) newDropOutRunner(p *plan.Plan, table *storage.Table, step plan.St
 	}
 	// Drop-out steps profit most from adaptive batching: a veto usually
 	// arrives early in a batch, and everything gathered past it was
-	// wasted work, so frequently-vetoing steps shrink their batches.
-	sizer := eval.NewBatchSizer()
+	// wasted work, so frequently-vetoing steps shrink their batches —
+	// and the table's recorded trace lets the next query start with a
+	// floor matched to how early the vetoes actually landed.
+	sizer := eval.NewBatchSizerFromTrace(n.batchTrace(step.Table))
 	accept := func(_ int, pos sphere.Vec) bool { return area.Contains(pos) }
 	type vetoScratch struct {
 		batch *eval.TBatch

@@ -1,0 +1,150 @@
+package stats
+
+// Binary codec for maintained column statistics: the form persisted in
+// the store footer (which versions and CRC-checks the enclosing frame).
+// The blob itself carries a leading version byte so the footer can ship
+// newer statistics encodings without another footer version bump.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+const codecVersion = 1
+
+// flag bits of the encoded header.
+const (
+	flagHasNaN = 1 << iota
+)
+
+// EncodeCol serializes maintained statistics (nil encodes as an empty
+// blob, decoded back to nil).
+func EncodeCol(c *Col) []byte {
+	if c == nil {
+		return nil
+	}
+	dst := []byte{codecVersion, byte(c.Kind)}
+	var flags byte
+	if c.HasNaN {
+		flags |= flagHasNaN
+	}
+	dst = append(dst, flags)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(c.Rows))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(c.Nulls))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(c.Vals))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(c.Min))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(c.Max))
+	dst = appendStr16(dst, c.StrMin)
+	dst = appendStr16(dst, c.StrMax)
+	var hashes []uint64
+	if c.Sketch != nil {
+		hashes = c.Sketch.Hashes
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(hashes)))
+	for _, h := range hashes {
+		dst = binary.LittleEndian.AppendUint64(dst, h)
+	}
+	var ents []SampleEnt
+	if c.Sample != nil {
+		ents = c.Sample.Ents
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(ents)))
+	for _, e := range ents {
+		dst = binary.LittleEndian.AppendUint64(dst, e.Hash)
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(e.Num))
+		dst = appendStr16(dst, e.Str)
+	}
+	return dst
+}
+
+// DecodeCol deserializes EncodeCol's output. An empty blob yields nil.
+func DecodeCol(data []byte) (*Col, error) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	if data[0] != codecVersion {
+		return nil, fmt.Errorf("stats: unsupported codec version %d", data[0])
+	}
+	if len(data) < 3+5*8 {
+		return nil, fmt.Errorf("stats: truncated column statistics")
+	}
+	c := &Col{Kind: Kind(data[1])}
+	flags := data[2]
+	c.HasNaN = flags&flagHasNaN != 0
+	rest := data[3:]
+	c.Rows = int64(binary.LittleEndian.Uint64(rest))
+	c.Nulls = int64(binary.LittleEndian.Uint64(rest[8:]))
+	c.Vals = int64(binary.LittleEndian.Uint64(rest[16:]))
+	c.Min = math.Float64frombits(binary.LittleEndian.Uint64(rest[24:]))
+	c.Max = math.Float64frombits(binary.LittleEndian.Uint64(rest[32:]))
+	rest = rest[40:]
+	var err error
+	if c.StrMin, rest, err = takeStr16(rest); err != nil {
+		return nil, err
+	}
+	if c.StrMax, rest, err = takeStr16(rest); err != nil {
+		return nil, err
+	}
+	if len(rest) < 4 {
+		return nil, fmt.Errorf("stats: truncated sketch")
+	}
+	nh := int(binary.LittleEndian.Uint32(rest))
+	rest = rest[4:]
+	if nh < 0 || len(rest) < 8*nh {
+		return nil, fmt.Errorf("stats: truncated sketch")
+	}
+	c.Sketch = NewKMV(0)
+	if nh > c.Sketch.K {
+		c.Sketch.K = nh
+	}
+	c.Sketch.Hashes = make([]uint64, nh)
+	for i := range c.Sketch.Hashes {
+		c.Sketch.Hashes[i] = binary.LittleEndian.Uint64(rest[8*i:])
+	}
+	rest = rest[8*nh:]
+	if len(rest) < 4 {
+		return nil, fmt.Errorf("stats: truncated sample")
+	}
+	ns := int(binary.LittleEndian.Uint32(rest))
+	rest = rest[4:]
+	c.Sample = NewSample(0)
+	if ns > c.Sample.K {
+		c.Sample.K = ns
+	}
+	c.Sample.Ents = make([]SampleEnt, 0, ns)
+	for i := 0; i < ns; i++ {
+		if len(rest) < 16 {
+			return nil, fmt.Errorf("stats: truncated sample entry")
+		}
+		e := SampleEnt{
+			Hash: binary.LittleEndian.Uint64(rest),
+			Num:  math.Float64frombits(binary.LittleEndian.Uint64(rest[8:])),
+		}
+		rest = rest[16:]
+		if e.Str, rest, err = takeStr16(rest); err != nil {
+			return nil, err
+		}
+		c.Sample.Ents = append(c.Sample.Ents, e)
+	}
+	return c, nil
+}
+
+func appendStr16(dst []byte, s string) []byte {
+	if len(s) > math.MaxUint16 {
+		s = s[:math.MaxUint16]
+	}
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+func takeStr16(data []byte) (string, []byte, error) {
+	if len(data) < 2 {
+		return "", nil, fmt.Errorf("stats: truncated string")
+	}
+	l := int(binary.LittleEndian.Uint16(data))
+	if len(data)-2 < l {
+		return "", nil, fmt.Errorf("stats: truncated string")
+	}
+	return string(data[2 : 2+l]), data[2+l:], nil
+}

@@ -1,0 +1,231 @@
+package stats
+
+// Selectivity estimation: how many rows of a table survive a set of
+// prunable predicate conjuncts (eval.Pruner — column <cmp> constant, the
+// exact set eval.AnalyzeChainPrune extracts from a chain step's predicate
+// sequence). Estimates combine the equi-depth histogram (empirical CDF
+// for range conjuncts), the KMV distinct count (equality conjuncts), and
+// the null fraction (a conjunct is TRUE only on non-NULL cells).
+// Conjuncts the analysis could not extract contribute factor 1 —
+// conservative: the planner never under-estimates a step because a
+// predicate was too complex to analyze.
+
+import (
+	"sort"
+
+	"skyquery/internal/eval"
+)
+
+// ColSummary is the derived, wire-shippable statistics snapshot of one
+// column: what StatsSummary returns and the estimator consumes.
+type ColSummary struct {
+	Kind     Kind
+	Rows     int64
+	Nulls    int64
+	Distinct float64
+	HasNaN   bool
+	Min, Max float64
+	StrMin   string
+	StrMax   string
+	// Bounds is the equi-depth histogram of a numeric column: sorted
+	// sample quantiles, Bounds[0] ~ min of the sample, last ~ max.
+	Bounds []float64
+	// Strs is the sorted string sample of a string column.
+	Strs []string
+}
+
+// Summarize derives the estimator's snapshot from maintained statistics.
+func Summarize(c *Col) *ColSummary {
+	if c == nil {
+		return nil
+	}
+	return &ColSummary{
+		Kind:     c.Kind,
+		Rows:     c.Rows,
+		Nulls:    c.Nulls,
+		Distinct: c.Distinct(),
+		HasNaN:   c.HasNaN,
+		Min:      c.Min,
+		Max:      c.Max,
+		StrMin:   c.StrMin,
+		StrMax:   c.StrMax,
+		Bounds:   c.EquiDepth(DefaultBuckets),
+		Strs:     c.StrSample(),
+	}
+}
+
+// Selectivity estimates the surviving fraction of a table's rows under
+// the conjuncts, assuming independence (product of per-conjunct
+// fractions, clamped to [0, 1]). col maps a pruner's column index to its
+// summary; nil means unknown and contributes factor 1.
+func Selectivity(prs []eval.Pruner, col func(int) *ColSummary) float64 {
+	sel := 1.0
+	for _, p := range prs {
+		sel *= ConjunctSelectivity(p, col(p.Slot))
+	}
+	if sel < 0 {
+		return 0
+	}
+	if sel > 1 {
+		return 1
+	}
+	return sel
+}
+
+// EstimateRows is rows × Selectivity, floored at 0.
+func EstimateRows(rows int64, prs []eval.Pruner, col func(int) *ColSummary) float64 {
+	if rows < 0 {
+		rows = 0
+	}
+	return float64(rows) * Selectivity(prs, col)
+}
+
+// ConjunctSelectivity estimates the fraction of rows on which one
+// conjunct is TRUE. Unknown columns (nil summary) or kinds that do not
+// match the conjunct return 1.
+func ConjunctSelectivity(p eval.Pruner, cs *ColSummary) float64 {
+	if cs == nil || cs.Rows == 0 {
+		return 1
+	}
+	notNull := 1 - float64(cs.Nulls)/float64(cs.Rows)
+	if notNull < 0 {
+		notNull = 0
+	}
+	var frac float64
+	switch {
+	case p.IsStr && cs.Kind == KindString:
+		frac = strFrac(p, cs)
+	case !p.IsStr && cs.Kind == KindNumeric:
+		if cs.HasNaN {
+			// NaN compares equal to everything in this engine: range
+			// statistics cannot bound those rows, so don't claim more
+			// than the null fraction.
+			return notNull
+		}
+		frac = numFrac(p, cs)
+	default:
+		return 1
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return notNull * frac
+}
+
+// eqFrac is the equality estimate: one value out of the distinct count.
+func eqFrac(cs *ColSummary) float64 {
+	d := cs.Distinct
+	if d < 1 {
+		d = 1
+	}
+	return 1 / d
+}
+
+func numFrac(p eval.Pruner, cs *ColSummary) float64 {
+	switch p.Op {
+	case "=":
+		if p.Const < cs.Min || p.Const > cs.Max {
+			return 0
+		}
+		return eqFrac(cs)
+	case "<>":
+		if p.Const < cs.Min || p.Const > cs.Max {
+			return 1
+		}
+		return 1 - eqFrac(cs)
+	case "<", "<=":
+		return numCDF(cs, p.Const)
+	case ">", ">=":
+		return 1 - numCDF(cs, p.Const)
+	}
+	return 1
+}
+
+// numCDF is the empirical CDF of the equi-depth histogram at x: the
+// fraction of (non-NULL) values below x, linearly interpolated inside
+// the bucket containing x.
+func numCDF(cs *ColSummary, x float64) float64 {
+	b := cs.Bounds
+	if len(b) < 2 {
+		// No histogram: fall back to a uniform assumption over [Min, Max].
+		if cs.Max <= cs.Min {
+			if x > cs.Min {
+				return 1
+			}
+			return 0
+		}
+		f := (x - cs.Min) / (cs.Max - cs.Min)
+		if f < 0 {
+			return 0
+		}
+		if f > 1 {
+			return 1
+		}
+		return f
+	}
+	if x <= b[0] {
+		return 0
+	}
+	if x >= b[len(b)-1] {
+		return 1
+	}
+	n := len(b) - 1 // buckets
+	i := sort.SearchFloat64s(b, x) - 1
+	if i < 0 {
+		i = 0
+	}
+	lo, hi := b[i], b[i+1]
+	interp := 1.0
+	if hi > lo {
+		interp = (x - lo) / (hi - lo)
+	}
+	return (float64(i) + interp) / float64(n)
+}
+
+func strFrac(p eval.Pruner, cs *ColSummary) float64 {
+	switch p.Op {
+	case "=":
+		if p.Str < cs.StrMin || p.Str > cs.StrMax {
+			return 0
+		}
+		return eqFrac(cs)
+	case "<>":
+		if p.Str < cs.StrMin || p.Str > cs.StrMax {
+			return 1
+		}
+		return 1 - eqFrac(cs)
+	case "<", "<=":
+		return strCDF(cs, p.Str)
+	case ">", ">=":
+		return 1 - strCDF(cs, p.Str)
+	case eval.OpLikePrefix:
+		// Rows matching the pattern carry the literal prefix: they lie in
+		// [Str, Hi) (Hi empty = unbounded above).
+		f := 1.0
+		if p.Hi != "" {
+			f = strCDF(cs, p.Hi)
+		}
+		return f - strCDF(cs, p.Str)
+	}
+	return 1
+}
+
+// strCDF is the empirical CDF of the sorted string sample at x.
+func strCDF(cs *ColSummary, x string) float64 {
+	s := cs.Strs
+	if len(s) == 0 {
+		// Only the bounds are known: all-or-nothing.
+		if x > cs.StrMax {
+			return 1
+		}
+		if x <= cs.StrMin {
+			return 0
+		}
+		return 0.5
+	}
+	i := sort.SearchStrings(s, x)
+	return float64(i) / float64(len(s))
+}

@@ -1,0 +1,217 @@
+package stats
+
+// The statistics primitives the planner prices chains with: the KMV
+// distinct sketch must estimate within its error bound, incremental
+// maintenance must equal a single pass (merge determinism is what makes
+// footer-persisted statistics trustworthy), and the selectivity
+// estimator must price range/equality/LIKE-prefix/null conjuncts
+// sensibly — never under 0, never over 1, factor 1 when it knows
+// nothing.
+
+import (
+	"math"
+	"testing"
+
+	"skyquery/internal/eval"
+)
+
+func TestKMVEstimate(t *testing.T) {
+	// Below capacity the sketch is exact.
+	s := NewKMV(0)
+	for i := 0; i < 100; i++ {
+		s.Add(Hash64(uint64(i % 10)))
+	}
+	if got := s.Estimate(); got != 10 {
+		t.Errorf("small distinct estimate = %g, want exactly 10", got)
+	}
+	// Above capacity: within ~3/sqrt(k) of the truth.
+	s = NewKMV(0)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		s.Add(Hash64(uint64(i)))
+	}
+	got := s.Estimate()
+	tol := 3 / math.Sqrt(float64(SketchK)) * n
+	if math.Abs(got-n) > tol {
+		t.Errorf("distinct estimate = %g, want %d +/- %g", got, n, tol)
+	}
+}
+
+func TestIncrementalEqualsSinglePass(t *testing.T) {
+	// The same rows folded in two chunks and then merged must equal one
+	// pass — the property that lets footer statistics extend over the
+	// in-memory tail.
+	vals := func(row int64) float64 { return float64((row*row + 3) % 977) }
+	one := NewCol(KindNumeric)
+	a, b := NewCol(KindNumeric), NewCol(KindNumeric)
+	const n = 4000
+	for row := int64(0); row < n; row++ {
+		one.AddNumeric(row, vals(row))
+		if row < n/3 {
+			a.AddNumeric(row, vals(row))
+		} else {
+			b.AddNumeric(row, vals(row))
+		}
+	}
+	a.Merge(b)
+	if a.Rows != one.Rows || a.Nulls != one.Nulls || a.Vals != one.Vals ||
+		a.Min != one.Min || a.Max != one.Max {
+		t.Fatalf("merged counters diverge: %+v vs %+v", a, one)
+	}
+	if got, want := a.Distinct(), one.Distinct(); got != want {
+		t.Errorf("merged distinct = %g, single-pass = %g", got, want)
+	}
+	am, om := a.EquiDepth(DefaultBuckets), one.EquiDepth(DefaultBuckets)
+	if len(am) != len(om) {
+		t.Fatalf("histogram lengths %d vs %d", len(am), len(om))
+	}
+	for i := range am {
+		if am[i] != om[i] {
+			t.Fatalf("histogram bound %d: %g vs %g", i, am[i], om[i])
+		}
+	}
+}
+
+// uniformSummary builds a numeric summary over 0..999, evenly spread.
+func uniformSummary() *ColSummary {
+	c := NewCol(KindNumeric)
+	for row := int64(0); row < 1000; row++ {
+		c.AddNumeric(row, float64(row))
+	}
+	return Summarize(c)
+}
+
+func TestNumericSelectivity(t *testing.T) {
+	cs := uniformSummary()
+	cases := []struct {
+		name   string
+		p      eval.Pruner
+		lo, hi float64
+	}{
+		{"range-half", eval.Pruner{Op: "<", Const: 500}, 0.3, 0.7},
+		{"range-all", eval.Pruner{Op: "<", Const: 5000}, 1, 1},
+		{"range-none", eval.Pruner{Op: ">", Const: 5000}, 0, 0},
+		{"eq-out-of-range", eval.Pruner{Op: "=", Const: -3}, 0, 0},
+		{"eq-in-range", eval.Pruner{Op: "=", Const: 500}, 0, 0.02},
+		{"neq-out-of-range", eval.Pruner{Op: "<>", Const: -3}, 1, 1},
+	}
+	for _, c := range cases {
+		got := ConjunctSelectivity(c.p, cs)
+		if got < c.lo || got > c.hi {
+			t.Errorf("%s: selectivity = %g, want [%g, %g]", c.name, got, c.lo, c.hi)
+		}
+	}
+}
+
+func TestSelectivityUnknownIsOne(t *testing.T) {
+	// nil summary, kind mismatch, NaN-poisoned ranges: never claim
+	// knowledge the statistics don't have.
+	if got := ConjunctSelectivity(eval.Pruner{Op: "<", Const: 1}, nil); got != 1 {
+		t.Errorf("nil summary = %g, want 1", got)
+	}
+	strCol := NewCol(KindString)
+	strCol.AddString(0, "a")
+	if got := ConjunctSelectivity(eval.Pruner{Op: "<", Const: 1}, Summarize(strCol)); got != 1 {
+		t.Errorf("numeric conjunct on string column = %g, want 1", got)
+	}
+	nan := NewCol(KindNumeric)
+	nan.AddNumeric(0, 1)
+	nan.AddNumeric(1, math.NaN())
+	nan.AddNull()
+	// NaN compares equal to everything in this engine, so the estimate
+	// caps at the non-NULL fraction (2 of 3 rows).
+	got := ConjunctSelectivity(eval.Pruner{Op: ">", Const: 1e9}, Summarize(nan))
+	if want := 2.0 / 3; math.Abs(got-want) > 1e-9 {
+		t.Errorf("NaN column = %g, want %g", got, want)
+	}
+}
+
+func TestNullFractionScales(t *testing.T) {
+	c := NewCol(KindNumeric)
+	for row := int64(0); row < 500; row++ {
+		c.AddNumeric(row, float64(row))
+	}
+	for i := 0; i < 500; i++ {
+		c.AddNull()
+	}
+	// Everything matches among non-NULLs, but half the rows are NULL.
+	got := ConjunctSelectivity(eval.Pruner{Op: "<", Const: 1e9}, Summarize(c))
+	if math.Abs(got-0.5) > 0.05 {
+		t.Errorf("half-NULL selectivity = %g, want ~0.5", got)
+	}
+}
+
+func TestStringSelectivity(t *testing.T) {
+	c := NewCol(KindString)
+	names := []string{"GALAXY", "STAR", "QSO", "UNKNOWN"}
+	for row := int64(0); row < 1000; row++ {
+		c.AddString(row, names[row%4])
+	}
+	cs := Summarize(c)
+	// LIKE 'GAL%': a quarter of the rows.
+	got := ConjunctSelectivity(eval.Pruner{
+		Op: eval.OpLikePrefix, Str: "GAL", Hi: "GAM", IsStr: true,
+	}, cs)
+	if got < 0.1 || got > 0.4 {
+		t.Errorf("LIKE 'GAL%%' selectivity = %g, want ~0.25", got)
+	}
+	// Equality outside the byte range: provably zero.
+	if got := ConjunctSelectivity(eval.Pruner{Op: "=", Str: "ZZZ", IsStr: true}, cs); got != 0 {
+		t.Errorf("out-of-range string equality = %g, want 0", got)
+	}
+	// Range below everything.
+	if got := ConjunctSelectivity(eval.Pruner{Op: "<", Str: "A", IsStr: true}, cs); got != 0 {
+		t.Errorf("below-min string range = %g, want 0", got)
+	}
+}
+
+func TestEstimateRowsComposes(t *testing.T) {
+	cs := uniformSummary()
+	col := func(int) *ColSummary { return cs }
+	prs := []eval.Pruner{
+		{Op: "<", Const: 500},
+		{Op: ">", Const: 100},
+	}
+	got := EstimateRows(1000, prs, col)
+	// Independence assumption: ~0.5 * ~0.9 of 1000.
+	if got < 300 || got > 600 {
+		t.Errorf("composed estimate = %g, want ~450", got)
+	}
+	if got := EstimateRows(-5, prs, col); got != 0 {
+		t.Errorf("negative rows = %g, want 0", got)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	c := NewCol(KindNumeric)
+	for row := int64(0); row < 3000; row++ {
+		if row%7 == 0 {
+			c.AddNull()
+			continue
+		}
+		c.AddNumeric(row, float64(row%311))
+	}
+	c.AddNumeric(3000, math.NaN())
+	blob := EncodeCol(c)
+	back, err := DecodeCol(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows != c.Rows || back.Nulls != c.Nulls || back.Vals != c.Vals ||
+		back.Min != c.Min || back.Max != c.Max || back.HasNaN != c.HasNaN ||
+		back.Kind != c.Kind {
+		t.Fatalf("decoded counters diverge: %+v vs %+v", back, c)
+	}
+	if back.Distinct() != c.Distinct() {
+		t.Errorf("decoded distinct = %g, want %g", back.Distinct(), c.Distinct())
+	}
+	ah, bh := c.EquiDepth(0), back.EquiDepth(0)
+	if len(ah) != len(bh) {
+		t.Fatalf("decoded histogram length %d, want %d", len(bh), len(ah))
+	}
+	for i := range ah {
+		if ah[i] != bh[i] {
+			t.Fatalf("decoded histogram bound %d: %g vs %g", i, bh[i], ah[i])
+		}
+	}
+}

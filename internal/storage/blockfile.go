@@ -198,3 +198,18 @@ func blockZone(col column, lo, hi int) (z zone, numeric bool) {
 	}
 	return zone{}, false
 }
+
+// blockStrZone is blockZone for STRING columns; isStr is false for every
+// other column type. Blocks whose bounds exceed the footer's u16 string
+// frame carry no zone (conservative: that block just never prunes).
+func blockStrZone(col column, lo, hi int) (z strZone, isStr bool) {
+	c, ok := col.(*stringColumn)
+	if !ok {
+		return strZone{}, false
+	}
+	z = zoneOfStrings(c.vals[lo:hi], c.nulls[lo:hi])
+	if len(z.min) > math.MaxUint16 || len(z.max) > math.MaxUint16 {
+		return strZone{}, false
+	}
+	return z, true
+}

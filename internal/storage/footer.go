@@ -21,10 +21,18 @@ package storage
 //	u8 hasSpatial, if set: ra col, dec col, u32 level
 //	u64 durableRows
 //	per column: u32 nblocks, per block:
-//	    u64 off, u32 size, u32 crc, u8 flags (1 numeric, 2 hasNaN),
+//	    u64 off, u32 size, u32 crc, u8 flags (1 numeric, 2 hasNaN, 4 string),
 //	    f64 min, f64 max, u32 nulls, u32 rows
+//	    [v2, string flag only] str min, str max
 //	u8 hasHTM, if set: u32 nblocks, per block: u64 idLo, u64 idHi
+//	[v2] u8 hasStats, if set: u32 ncols, per column: u32 len + stats blob
 //	u32 crc32 of everything above
+//
+// Version 2 added per-block string zones and the maintained column
+// statistics section. Version-1 footers (pre-stats stores) still decode:
+// string columns then carry no zones and colStats is nil — readers fall
+// back to statistics-free behavior (no string pruning, count-star
+// planning).
 
 import (
 	"encoding/binary"
@@ -34,12 +42,13 @@ import (
 	"os"
 
 	"skyquery/internal/htm"
+	"skyquery/internal/stats"
 	"skyquery/internal/value"
 )
 
 const (
 	footerMagic   = "SKYFTR1\n"
-	footerVersion = 1
+	footerVersion = 2
 	footerName    = "footer"
 )
 
@@ -50,6 +59,8 @@ type blockMeta struct {
 	crc     uint32
 	z       zone
 	numeric bool
+	sz      strZone
+	isStr   bool
 }
 
 // htmRange is the HTM leaf-ID span of one sealed block's rows.
@@ -65,6 +76,7 @@ type tableFooter struct {
 	durable   int
 	blocks    [][]blockMeta // [column][block]
 	htmRanges []htmRange    // per block; nil without spatial config
+	colStats  []*stats.Col  // per column over the durable rows; nil pre-v2
 }
 
 func appendStr(dst []byte, s string) []byte {
@@ -114,11 +126,24 @@ func encodeFooter(f *tableFooter) []byte {
 			if m.z.hasNaN {
 				flags |= 2
 			}
+			if m.isStr {
+				flags |= 4
+			}
 			dst = append(dst, flags)
+			// String blocks reuse the nulls/rows slots; min/max floats are
+			// written zero and the string bounds follow the record.
+			nulls, rows := m.z.nulls, m.z.rows
+			if m.isStr {
+				nulls, rows = m.sz.nulls, m.sz.rows
+			}
 			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(m.z.min))
 			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(m.z.max))
-			dst = binary.LittleEndian.AppendUint32(dst, uint32(m.z.nulls))
-			dst = binary.LittleEndian.AppendUint32(dst, uint32(m.z.rows))
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(nulls))
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(rows))
+			if m.isStr {
+				dst = appendStr(dst, m.sz.min)
+				dst = appendStr(dst, m.sz.max)
+			}
 		}
 	}
 	if f.htmRanges != nil {
@@ -127,6 +152,17 @@ func encodeFooter(f *tableFooter) []byte {
 		for _, r := range f.htmRanges {
 			dst = binary.LittleEndian.AppendUint64(dst, uint64(r.lo))
 			dst = binary.LittleEndian.AppendUint64(dst, uint64(r.hi))
+		}
+	} else {
+		dst = append(dst, 0)
+	}
+	if f.colStats != nil {
+		dst = append(dst, 1)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(f.colStats)))
+		for _, c := range f.colStats {
+			blob := stats.EncodeCol(c)
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(blob)))
+			dst = append(dst, blob...)
 		}
 	} else {
 		dst = append(dst, 0)
@@ -143,8 +179,9 @@ func decodeFooter(data []byte) (*tableFooter, error) {
 		return nil, fmt.Errorf("storage: footer checksum mismatch")
 	}
 	rest := data[len(footerMagic):]
-	if v := binary.LittleEndian.Uint32(rest); v != footerVersion {
-		return nil, fmt.Errorf("storage: footer version %d unsupported", v)
+	version := binary.LittleEndian.Uint32(rest)
+	if version < 1 || version > footerVersion {
+		return nil, fmt.Errorf("storage: footer version %d unsupported", version)
 	}
 	rest = rest[4:]
 	f := &tableFooter{}
@@ -218,11 +255,23 @@ func decodeFooter(data []byte) (*tableFooter, error) {
 			flags := rest[16]
 			m.numeric = flags&1 != 0
 			m.z.hasNaN = flags&2 != 0
+			m.isStr = version >= 2 && flags&4 != 0
 			m.z.min = math.Float64frombits(binary.LittleEndian.Uint64(rest[17:]))
 			m.z.max = math.Float64frombits(binary.LittleEndian.Uint64(rest[25:]))
-			m.z.nulls = int32(binary.LittleEndian.Uint32(rest[33:]))
-			m.z.rows = int32(binary.LittleEndian.Uint32(rest[37:]))
+			nulls := int32(binary.LittleEndian.Uint32(rest[33:]))
+			rows := int32(binary.LittleEndian.Uint32(rest[37:]))
 			rest = rest[41:]
+			if m.isStr {
+				m.sz.nulls, m.sz.rows = nulls, rows
+				if m.sz.min, rest, err = takeStr(rest); err != nil {
+					return nil, err
+				}
+				if m.sz.max, rest, err = takeStr(rest); err != nil {
+					return nil, err
+				}
+			} else {
+				m.z.nulls, m.z.rows = nulls, rows
+			}
 			f.blocks[ci] = append(f.blocks[ci], m)
 		}
 	}
@@ -247,6 +296,37 @@ func decodeFooter(data []byte) (*tableFooter, error) {
 				hi: htm.ID(binary.LittleEndian.Uint64(rest[8:])),
 			})
 			rest = rest[16:]
+		}
+	}
+	if version >= 2 {
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		hasStats := rest[0] == 1
+		rest = rest[1:]
+		if hasStats {
+			if err := need(4); err != nil {
+				return nil, err
+			}
+			nc := int(binary.LittleEndian.Uint32(rest))
+			rest = rest[4:]
+			f.colStats = make([]*stats.Col, 0, nc)
+			for i := 0; i < nc; i++ {
+				if err := need(4); err != nil {
+					return nil, err
+				}
+				l := int(binary.LittleEndian.Uint32(rest))
+				rest = rest[4:]
+				if err := need(l); err != nil {
+					return nil, err
+				}
+				c, err := stats.DecodeCol(rest[:l])
+				if err != nil {
+					return nil, err
+				}
+				rest = rest[l:]
+				f.colStats = append(f.colStats, c)
+			}
 		}
 	}
 	return f, nil

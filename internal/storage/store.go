@@ -43,6 +43,7 @@ import (
 	"sync/atomic"
 
 	"skyquery/internal/htm"
+	"skyquery/internal/stats"
 	"skyquery/internal/value"
 )
 
@@ -123,6 +124,7 @@ type tableStore struct {
 	blocks    [][]blockMeta // [column][block]
 	colSize   []int64       // end of committed data per column file
 	htmRanges []htmRange
+	colStats  []*stats.Col // per column, covering exactly the durable rows
 
 	cacheMu sync.Mutex
 	cache   blockLRU // (column<<32|block) -> decoded block, LRU order
@@ -210,8 +212,9 @@ func (s *Store) Create(name string, schema Schema, spatial *SpatialConfig) (*Tab
 	}
 	ts := &tableStore{
 		table: t, dir: dir, opts: s.opts,
-		blocks:  make([][]blockMeta, len(schema)),
-		colSize: make([]int64, len(schema)),
+		blocks:   make([][]blockMeta, len(schema)),
+		colSize:  make([]int64, len(schema)),
+		colStats: statsForSchema(schema),
 	}
 	for ci := range schema {
 		f, err := os.OpenFile(ts.colPath(ci), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
@@ -307,7 +310,7 @@ func (ts *tableStore) footer() *tableFooter {
 	t := ts.table
 	f := &tableFooter{
 		name: t.name, schema: t.schema, durable: ts.durable,
-		blocks: ts.blocks, htmRanges: ts.htmRanges,
+		blocks: ts.blocks, htmRanges: ts.htmRanges, colStats: ts.colStats,
 	}
 	if t.spatial != nil {
 		cfg := t.spatial.cfg
@@ -329,7 +332,13 @@ func openTableStore(dir string, opts StoreOptions) (*tableStore, RecoveryInfo, e
 	ts := &tableStore{
 		table: t, dir: dir, opts: opts,
 		durable: ftr.durable, blocks: ftr.blocks, htmRanges: ftr.htmRanges,
-		colSize: make([]int64, len(ftr.schema)),
+		colSize:  make([]int64, len(ftr.schema)),
+		colStats: ftr.colStats,
+	}
+	if ts.colStats == nil && ftr.durable == 0 {
+		// A pre-stats (v1) footer with nothing sealed loses no history:
+		// start maintaining statistics from the first flush.
+		ts.colStats = statsForSchema(ftr.schema)
 	}
 	ok := false
 	defer func() {
@@ -496,6 +505,7 @@ func (ts *tableStore) flushLocked() error {
 			buf = appendBlock(buf[:0], col, lo, hi)
 			m := blockMeta{off: ends[ci], size: uint32(len(buf)), crc: crc32.ChecksumIEEE(buf)}
 			m.z, m.numeric = blockZone(col, lo, hi)
+			m.sz, m.isStr = blockStrZone(col, lo, hi)
 			if _, err := ts.colFiles[ci].WriteAt(buf, m.off); err != nil {
 				return fmt.Errorf("storage: flush column %d: %w", ci, err)
 			}
@@ -533,11 +543,28 @@ func (ts *tableStore) flushLocked() error {
 		}
 	}
 
+	// Fold the sealed rows into the maintained statistics, working on
+	// clones so an error below leaves the committed state untouched. A
+	// store recovered from a pre-stats (v1) footer with durable rows has
+	// nil colStats and stays that way: the sealed history is unknown, and
+	// partial statistics would claim coverage they don't have. Readers
+	// fall back to count-star planning.
+	var newStats []*stats.Col
+	if ts.colStats != nil {
+		newStats = make([]*stats.Col, len(t.cols))
+		for ci, col := range t.cols {
+			cs := ts.colStats[ci].Clone()
+			foldColStats(cs, col, ts.durable, target, t.memBase)
+			newStats[ci] = cs
+		}
+	}
+
 	// Commit point: the footer rename.
 	commit := &tableFooter{
 		name: t.name, schema: t.schema, durable: target,
 		blocks:    make([][]blockMeta, len(t.cols)),
 		htmRanges: ts.htmRanges,
+		colStats:  newStats,
 	}
 	for ci := range t.cols {
 		commit.blocks[ci] = append(append([]blockMeta(nil), ts.blocks[ci]...), newMetas[ci]...)
@@ -554,6 +581,7 @@ func (ts *tableStore) flushLocked() error {
 	ts.htmRanges = commit.htmRanges
 	ts.colSize = ends
 	ts.durable = target
+	ts.colStats = newStats
 
 	// Shed the sealed rows from the log; a crash before this keeps them
 	// as already-durable records that replay skips via baseRow.
@@ -583,6 +611,66 @@ func (ts *tableStore) flushLocked() error {
 		t.memBase = newBase
 	}
 	return nil
+}
+
+// foldColStats folds rows [lo, hi) (absolute indices, resident in
+// memory at index-memBase) of one column into maintained statistics.
+// BOOL columns track row/null counters only.
+func foldColStats(cs *stats.Col, col column, lo, hi, memBase int) {
+	switch c := col.(type) {
+	case *intColumn:
+		for r := lo; r < hi; r++ {
+			if c.nulls[r-memBase] {
+				cs.AddNull()
+			} else {
+				cs.AddNumeric(int64(r), float64(c.vals[r-memBase]))
+			}
+		}
+	case *floatColumn:
+		for r := lo; r < hi; r++ {
+			if c.nulls[r-memBase] {
+				cs.AddNull()
+			} else {
+				cs.AddNumeric(int64(r), c.vals[r-memBase])
+			}
+		}
+	case *stringColumn:
+		for r := lo; r < hi; r++ {
+			if c.nulls[r-memBase] {
+				cs.AddNull()
+			} else {
+				cs.AddString(int64(r), c.vals[r-memBase])
+			}
+		}
+	case *boolColumn:
+		for r := lo; r < hi; r++ {
+			if c.nulls[r-memBase] {
+				cs.AddNull()
+			} else {
+				cs.Rows++
+			}
+		}
+	}
+}
+
+// statsKind maps a column type to its statistics kind.
+func statsKind(t value.Type) stats.Kind {
+	switch t {
+	case value.IntType, value.FloatType:
+		return stats.KindNumeric
+	case value.StringType:
+		return stats.KindString
+	}
+	return stats.KindNone
+}
+
+// statsForSchema returns fresh, empty statistics for every column.
+func statsForSchema(schema Schema) []*stats.Col {
+	out := make([]*stats.Col, len(schema))
+	for i, def := range schema {
+		out[i] = stats.NewCol(statsKind(def.Type))
+	}
+	return out
 }
 
 // dropColumnPrefix removes the first k rows of a column, copying the

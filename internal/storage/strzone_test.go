@@ -1,0 +1,157 @@
+package storage
+
+// String zone-map regression suite: byte-wise min/max zones over STRING
+// columns must prune exactly like the numeric path — catalog-name
+// prefixes (LIKE 'NGC%'), equality, ranges, and conjuncts mixing string
+// and numeric zones — and must mirror the numeric NULL/error-exactness
+// rules: all-NULL blocks prune only under Safe, PrefixSafe pruning
+// requires NULL-free blocks, and a string conjunct never hides an error
+// a row-at-a-time evaluation would have hit.
+
+import (
+	"fmt"
+	"testing"
+
+	"skyquery/internal/value"
+)
+
+// strZonePrefixes gives each block of strZoneTable a distinct catalog
+// prefix, in byte order, so every single-prefix predicate is dead on
+// three of the four blocks.
+var strZonePrefixes = []string{"ABELL", "IC", "NGC", "UGC"}
+
+// strZoneTable builds a block-aligned catalog table: 4 blocks of
+// ZoneBlockRows rows, id = row index, name = "<block prefix> %04d", and
+// note an all-NULL string column (the string analogue of zoneTable's
+// flags).
+func strZoneTable(t *testing.T) *Table {
+	t.Helper()
+	tab, err := NewTable("z", Schema{
+		{Name: "id", Type: value.IntType},
+		{Name: "name", Type: value.StringType},
+		{Name: "note", Type: value.StringType},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(strZonePrefixes) * ZoneBlockRows
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("%s %04d", strZonePrefixes[i/ZoneBlockRows], i)
+		if err := tab.Append(value.Int(int64(i)), value.String(name), value.Null); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tab
+}
+
+func TestStrZonePrunesDeadBlocks(t *testing.T) {
+	tab := strZoneTable(t)
+
+	// The headline case: a catalog-prefix LIKE evaluates only the NGC
+	// block; the other three are proven dead by their name zones.
+	res, rows, pruned, err := runZoneQuery(t, tab, `SELECT id FROM z WHERE name LIKE 'NGC 25%'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 100 || res.Rows[0][0].AsInt() != 2500 {
+		t.Fatalf("LIKE prefix: %d rows, first %v", len(res.Rows), res.Rows[:min(1, len(res.Rows))])
+	}
+	if rows != ZoneBlockRows || pruned != 3 {
+		t.Fatalf("LIKE prefix evaluated %d rows, pruned %d blocks; want %d and 3", rows, pruned, ZoneBlockRows)
+	}
+
+	// Equality on a single catalog name: one block evaluated, one row out.
+	res, rows, pruned, err = runZoneQuery(t, tab, `SELECT id FROM z WHERE name = 'IC 1500'`)
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].AsInt() != 1500 {
+		t.Fatalf("equality: %v err=%v", res.Rows, err)
+	}
+	if rows != ZoneBlockRows || pruned != 3 {
+		t.Fatalf("equality evaluated %d rows, pruned %d blocks; want %d and 3", rows, pruned, ZoneBlockRows)
+	}
+
+	// A byte-order range covering exactly one prefix.
+	res, rows, pruned, err = runZoneQuery(t, tab,
+		`SELECT COUNT(*) FROM z WHERE name >= 'UGC' AND name < 'UGD'`)
+	if err != nil || res.Rows[0][0].AsInt() != int64(ZoneBlockRows) {
+		t.Fatalf("range: %v err=%v", res.Rows, err)
+	}
+	if rows != ZoneBlockRows || pruned != 3 {
+		t.Fatalf("range evaluated %d rows, pruned %d blocks; want %d and 3", rows, pruned, ZoneBlockRows)
+	}
+
+	// Zero selectivity: nothing sorts after 'ZZZ', every block prunes.
+	res, rows, pruned, err = runZoneQuery(t, tab, `SELECT id FROM z WHERE name > 'ZZZ'`)
+	if err != nil || len(res.Rows) != 0 {
+		t.Fatalf("zero-selectivity: rows=%d err=%v", len(res.Rows), err)
+	}
+	if rows != 0 || pruned != 4 {
+		t.Fatalf("zero-selectivity evaluated %d rows, pruned %d blocks; want 0 and 4", rows, pruned)
+	}
+
+	// Mixed string + numeric conjuncts: every block is dead under one
+	// zone or the other (UGC ids start at 3072), so nothing is scanned.
+	res, rows, pruned, err = runZoneQuery(t, tab,
+		`SELECT id FROM z WHERE name LIKE 'UGC%' AND id < 100`)
+	if err != nil || len(res.Rows) != 0 {
+		t.Fatalf("mixed conjuncts: rows=%d err=%v", len(res.Rows), err)
+	}
+	if rows != 0 || pruned != 4 {
+		t.Fatalf("mixed conjuncts evaluated %d rows, pruned %d blocks; want 0 and 4", rows, pruned)
+	}
+
+	// All-NULL string column: the predicate is NULL everywhere and
+	// error-free, so every block prunes — the numeric flags rule, mirrored.
+	res, rows, pruned, err = runZoneQuery(t, tab, `SELECT id FROM z WHERE note = 'x'`)
+	if err != nil || len(res.Rows) != 0 {
+		t.Fatalf("all-NULL: rows=%d err=%v", len(res.Rows), err)
+	}
+	if rows != 0 || pruned != 4 {
+		t.Fatalf("all-NULL evaluated %d rows, pruned %d blocks; want 0 and 4", rows, pruned)
+	}
+
+	// A pattern without a literal prefix gives the zones nothing to work
+	// with: every block must be scanned, results still exact.
+	res, rows, pruned, err = runZoneQuery(t, tab, `SELECT COUNT(*) FROM z WHERE name LIKE '%0017'`)
+	if err != nil || res.Rows[0][0].AsInt() != 1 {
+		t.Fatalf("suffix pattern: %v err=%v", res.Rows, err)
+	}
+	if rows != 4*ZoneBlockRows || pruned != 0 {
+		t.Fatalf("suffix pattern evaluated %d rows, pruned %d blocks; want %d and 0", rows, pruned, 4*ZoneBlockRows)
+	}
+}
+
+func TestStrZonePruningErrorExactness(t *testing.T) {
+	tab := strZoneTable(t)
+
+	// The string conjunct is strictly FALSE on every row and comes first:
+	// row-at-a-time AND would short-circuit before the erroring conjunct,
+	// so pruning the whole scan is exact.
+	res, rows, _, err := runZoneQuery(t, tab,
+		`SELECT id FROM z WHERE name > 'ZZZ' AND 10 / (id - 5) < 0`)
+	if err != nil || len(res.Rows) != 0 || rows != 0 {
+		t.Fatalf("prefix-safe prune: rows=%d evaluated=%d err=%v", len(res.Rows), rows, err)
+	}
+
+	// Flipped order: the division by zero at id=5 evaluates first
+	// row-at-a-time, so pruning by the string zone would hide it.
+	_, _, pruned, err := runZoneQuery(t, tab,
+		`SELECT id FROM z WHERE 10 / (id - 5) < 0 AND name > 'ZZZ'`)
+	if err == nil {
+		t.Fatal("unsafe-prefix string prune suppressed a division by zero")
+	}
+	if pruned != 0 {
+		t.Fatalf("unsafe-prefix query pruned %d blocks", pruned)
+	}
+
+	// NULLs block non-Safe pruning, same as numeric: note = 'x' is NULL
+	// (not FALSE) on every row, so it never short-circuits the constant
+	// error after it.
+	_, _, pruned, err = runZoneQuery(t, tab,
+		`SELECT id FROM z WHERE note = 'x' AND 1 / 0 = 1`)
+	if err == nil {
+		t.Fatal("NULL string conjunct prune suppressed a constant error")
+	}
+	if pruned != 0 {
+		t.Fatalf("NULL-conjunct query pruned %d blocks", pruned)
+	}
+}

@@ -52,6 +52,7 @@ import (
 
 	"skyquery/internal/htm"
 	"skyquery/internal/sphere"
+	"skyquery/internal/stats"
 	"skyquery/internal/value"
 )
 
@@ -245,6 +246,12 @@ type Table struct {
 	// signal. zoneMu serializes the lazy rebuild across concurrent scans.
 	zoneMu sync.Mutex
 	zones  *zoneSet
+
+	// statsCache caches ColumnStats summaries at statsRows rows, under the
+	// same append-only staleness rule as zones.
+	statsMu    sync.Mutex
+	statsCache []*stats.ColSummary
+	statsRows  int
 }
 
 // NewTable creates a detached table (not registered in any DB).

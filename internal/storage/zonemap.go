@@ -38,10 +38,22 @@ type zone struct {
 	hasNaN   bool
 }
 
+// strZone is zone for STRING columns: byte-wise min/max over the
+// non-NULL values (the order value.Compare uses), null and row counts.
+// Strings have no NaN analogue; every other exactness rule of the
+// numeric path — all-NULL blocks prune only under Safe, PrefixSafe needs
+// nulls == 0 — carries over unchanged.
+type strZone struct {
+	min, max string
+	nulls    int32
+	rows     int32
+}
+
 // zoneSet is a table's zone maps at a fixed row count.
 type zoneSet struct {
 	rows int
-	cols [][]zone // indexed by column; nil for non-numeric columns
+	cols [][]zone    // indexed by column; nil for non-numeric columns
+	strs [][]strZone // indexed by column; nil for non-string columns
 }
 
 // zoneMaps returns the zone maps covering the table's first n rows,
@@ -86,6 +98,30 @@ func zoneOfInts(vals []int64, nulls []bool) zone {
 	return z
 }
 
+// zoneOfStrings computes one block's statistics from a STRING column
+// slice (byte-wise min/max, the order value.Compare uses on strings).
+func zoneOfStrings(vals []string, nulls []bool) strZone {
+	z := strZone{rows: int32(len(vals))}
+	first := true
+	for i, v := range vals {
+		if nulls[i] {
+			z.nulls++
+			continue
+		}
+		if first {
+			z.min, z.max, first = v, v, false
+			continue
+		}
+		if v < z.min {
+			z.min = v
+		}
+		if v > z.max {
+			z.max = v
+		}
+	}
+	return z
+}
+
 // zoneOfFloats is zoneOfInts for FLOAT columns (NaN-aware).
 func zoneOfFloats(vals []float64, nulls []bool) zone {
 	z := zone{rows: int32(len(vals))}
@@ -120,7 +156,7 @@ func zoneOfFloats(vals []float64, nulls []bool) zone {
 // the seal) the full-block statistics stand in: wider min/max and extra
 // null counts only make pruning more conservative, never wrong.
 func buildZoneSet(t *Table, n int) *zoneSet {
-	zs := &zoneSet{rows: n, cols: make([][]zone, len(t.cols))}
+	zs := &zoneSet{rows: n, cols: make([][]zone, len(t.cols)), strs: make([][]strZone, len(t.cols))}
 	nBlocks := (n + ZoneBlockRows - 1) / ZoneBlockRows
 	for ci, col := range t.cols {
 		switch c := col.(type) {
@@ -148,6 +184,18 @@ func buildZoneSet(t *Table, n int) *zoneSet {
 				blocks[b] = zoneOfFloats(c.vals[lo-t.memBase:hi-t.memBase], c.nulls[lo-t.memBase:hi-t.memBase])
 			}
 			zs.cols[ci] = blocks
+		case *stringColumn:
+			blocks := make([]strZone, nBlocks)
+			for b := range blocks {
+				lo := b * ZoneBlockRows
+				hi := min(lo+ZoneBlockRows, n)
+				if hi <= t.memBase {
+					blocks[b] = t.persist.blocks[ci][b].sz
+					continue
+				}
+				blocks[b] = zoneOfStrings(c.vals[lo-t.memBase:hi-t.memBase], c.nulls[lo-t.memBase:hi-t.memBase])
+			}
+			zs.strs[ci] = blocks
 		}
 	}
 	return zs
@@ -158,26 +206,42 @@ func buildZoneSet(t *Table, n int) *zoneSet {
 // block, under the error-exactness conditions documented above.
 func (zs *zoneSet) prunable(b int, ps eval.PruneSet) bool {
 	for _, p := range ps.Pruners {
-		blocks := zs.cols[p.Slot]
-		if blocks == nil || b >= len(blocks) {
-			continue
+		var allNull, rangeDead bool
+		var nulls int32
+		if p.IsStr {
+			if p.Slot >= len(zs.strs) || zs.strs[p.Slot] == nil || b >= len(zs.strs[p.Slot]) {
+				continue
+			}
+			z := zs.strs[p.Slot][b]
+			if z.rows == 0 {
+				continue
+			}
+			nulls = z.nulls
+			allNull = z.nulls == z.rows
+			rangeDead = !allNull && p.NeverTrueStr(z.min, z.max)
+		} else {
+			blocks := zs.cols[p.Slot]
+			if blocks == nil || b >= len(blocks) {
+				continue
+			}
+			z := blocks[b]
+			if z.rows == 0 {
+				continue
+			}
+			nulls = z.nulls
+			// allNull implies no NaN: hasNaN is only set for non-NULL cells.
+			allNull = z.nulls == z.rows
+			// A block with NaN values cannot be bounded by a range test (and
+			// its min/max are meaningless when every other cell is NULL).
+			rangeDead = !z.hasNaN && !allNull && p.NeverTrue(z.min, z.max)
 		}
-		z := blocks[b]
-		if z.rows == 0 {
-			continue
-		}
-		// allNull implies no NaN: hasNaN is only set for non-NULL cells.
-		allNull := z.nulls == z.rows
-		// A block with NaN values cannot be bounded by a range test (and
-		// its min/max are meaningless when every other cell is NULL).
-		rangeDead := !z.hasNaN && !allNull && p.NeverTrue(z.min, z.max)
 		if ps.Safe {
 			if allNull || rangeDead {
 				return true
 			}
 			continue
 		}
-		if p.PrefixSafe && z.nulls == 0 && rangeDead {
+		if p.PrefixSafe && nulls == 0 && rangeDead {
 			return true
 		}
 	}

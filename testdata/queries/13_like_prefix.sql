@@ -1,0 +1,4 @@
+SELECT TOP 20 O.object_id, O.type
+FROM SDSS:PhotoObject O
+WHERE O.type LIKE 'GAL%' AND O.flux > 20
+ORDER BY O.object_id
