@@ -1,0 +1,68 @@
+package skyquery
+
+// The root API surface added by the redesign: functional options,
+// Dial options, and the typed error re-exports.
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestLaunchWithOptions(t *testing.T) {
+	f, err := LaunchWith(WithBodies(300), WithShards(2), WithParallelism(2), WithChunkRows(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	res, err := f.Query(context.Background(), testQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Error("no rows from the functional-options federation")
+	}
+}
+
+func TestDialOptions(t *testing.T) {
+	c := Dial("http://portal.invalid/soap",
+		WithClientCodec(CodecXML),
+		WithClientTimeout(3*time.Second),
+		WithClientRetries(-1),
+	)
+	if c.SOAP.Codec != CodecXML || c.SOAP.Timeout != 3*time.Second || c.SOAP.MaxRetries != -1 {
+		t.Errorf("dial options not applied: %+v", c.SOAP)
+	}
+}
+
+func TestParseErrorPosition(t *testing.T) {
+	f := launch(t, Options{Bodies: 100})
+	_, err := f.Query(context.Background(), "SELECT O.ra\nFROM SDSS:PhotoObject O\nWHERRE O.ra > 0")
+	if err == nil {
+		t.Fatal("malformed query accepted")
+	}
+	pe, ok := AsParseError(err)
+	if !ok {
+		t.Fatalf("error is %T (%v), want *ParseError", err, err)
+	}
+	if pe.Line != 3 || pe.Col != 1 || pe.Category != ErrSyntax {
+		t.Errorf("ParseError position = line %d col %d category %q, want line 3 col 1 syntax (%v)",
+			pe.Line, pe.Col, pe.Category, pe)
+	}
+}
+
+func TestParseErrorSemanticCategory(t *testing.T) {
+	f := launch(t, Options{Bodies: 100})
+	_, err := f.Query(context.Background(),
+		"SELECT O.ra FROM SDSS:PhotoObject O WHERE AREA(185.0, -0.5, 60) AND AREA(185.0, -0.5, 60)")
+	if err == nil {
+		t.Fatal("duplicate AREA accepted")
+	}
+	pe, ok := AsParseError(err)
+	if !ok {
+		t.Fatalf("error is %T (%v), want *ParseError", err, err)
+	}
+	if pe.Category != ErrSemantic {
+		t.Errorf("category = %q, want %q (%v)", pe.Category, ErrSemantic, pe)
+	}
+}

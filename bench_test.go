@@ -10,6 +10,7 @@ package skyquery
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -57,7 +58,7 @@ func BenchmarkF1_FederationEndToEnd(b *testing.B) {
 	fed.Transport.Reset()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := c.Query(benchQuery)
+		res, err := c.Query(context.Background(), benchQuery)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -111,7 +112,7 @@ func BenchmarkF3_ExecutionTrace(b *testing.B) {
 	defer fed.Close()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := fed.Query(benchQuery); err != nil {
+		if _, err := fed.Query(context.Background(), benchQuery); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -143,7 +144,7 @@ func orderingFixture(b *testing.B) (*Federation, *Plan) {
 		if planFixture.err != nil {
 			return
 		}
-		planFixture.base, planFixture.err = planFixture.fed.BuildPlan(`
+		planFixture.base, planFixture.err = planFixture.fed.BuildPlan(context.Background(), `
 			SELECT d.object_id, m.object_id, s.object_id
 			FROM DEEP:PhotoObject d, MID:PhotoObject m, SPARSE:PhotoObject s
 			WHERE AREA(185.0, -0.5, 900) AND XMATCH(d, m, s) < 3.5`)
@@ -160,11 +161,11 @@ func runPlanData(b *testing.B, fed *Federation, p *Plan) *dataset.DataSet {
 	b.Helper()
 	c := &soap.Client{HTTPClient: fed.Transport.Client()}
 	var first soap.ChunkedData
-	if err := c.Call(p.Steps[0].Endpoint, skynode.ActionCrossMatch,
+	if err := c.Call(context.Background(), p.Steps[0].Endpoint, skynode.ActionCrossMatch,
 		&skynode.CrossMatchRequest{Plan: *p}, &first); err != nil {
 		b.Fatal(err)
 	}
-	ds, err := soap.FetchAll(c, p.Steps[0].Endpoint, &first)
+	ds, err := soap.FetchAll(context.Background(), c, p.Steps[0].Endpoint, &first)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -395,7 +396,7 @@ func BenchmarkC5_ChainVsPull(b *testing.B) {
 	b.Run("chain", func(b *testing.B) {
 		fed.Transport.Reset()
 		for i := 0; i < b.N; i++ {
-			if _, err := fed.Query(benchQuery); err != nil {
+			if _, err := fed.Query(context.Background(), benchQuery); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -404,7 +405,7 @@ func BenchmarkC5_ChainVsPull(b *testing.B) {
 	b.Run("pull", func(b *testing.B) {
 		fed.Transport.Reset()
 		for i := 0; i < b.N; i++ {
-			if _, err := fed.PullQuery(benchQuery); err != nil {
+			if _, err := fed.PullQuery(context.Background(), benchQuery); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -435,7 +436,7 @@ func parallelFixture(b *testing.B) (*Federation, *Plan) {
 		if parallelChainFixture.err != nil {
 			return
 		}
-		parallelChainFixture.base, parallelChainFixture.err = parallelChainFixture.fed.BuildPlan(benchQuery)
+		parallelChainFixture.base, parallelChainFixture.err = parallelChainFixture.fed.BuildPlan(context.Background(), benchQuery)
 	})
 	if parallelChainFixture.err != nil {
 		b.Fatal(parallelChainFixture.err)
@@ -505,7 +506,7 @@ func BenchmarkC6_Scaling(b *testing.B) {
 				WHERE AREA(185.0, -0.5, 900) AND XMATCH(%s) < 3.5`, from, aliases)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := fed.Query(sql); err != nil {
+				if _, err := fed.Query(context.Background(), sql); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -520,7 +521,7 @@ func BenchmarkC7_PerfQueries(b *testing.B) {
 	b.Run("plan-only", func(b *testing.B) {
 		fed.Transport.Reset()
 		for i := 0; i < b.N; i++ {
-			if _, err := fed.BuildPlan(benchQuery); err != nil {
+			if _, err := fed.BuildPlan(context.Background(), benchQuery); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -529,7 +530,7 @@ func BenchmarkC7_PerfQueries(b *testing.B) {
 	b.Run("full-query", func(b *testing.B) {
 		fed.Transport.Reset()
 		for i := 0; i < b.N; i++ {
-			if _, err := fed.Query(benchQuery); err != nil {
+			if _, err := fed.Query(context.Background(), benchQuery); err != nil {
 				b.Fatal(err)
 			}
 		}

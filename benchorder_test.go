@@ -17,6 +17,7 @@ package skyquery
 // floor, and records it as the "chain_order" entry of BENCH_scan.json.
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"math"
@@ -75,7 +76,7 @@ func runBenchOrder(t *testing.T, countProbe bool, bodies int) benchOrderRun {
 
 	baseCalls := len(f.Transport.Calls())
 	baseTotal := f.Transport.Stats().Total()
-	res, err := f.Query(benchOrderQuery)
+	res, err := f.Query(context.Background(), benchOrderQuery)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func runBenchOrder(t *testing.T, countProbe bool, bodies int) benchOrderRun {
 	// The plan order, re-derived after the measurement so the probes it
 	// fans out do not pollute the byte counts. The throughput registry
 	// is unchanged, so the order is the one the measured query ran with.
-	p, err := f.BuildPlan(benchOrderQuery)
+	p, err := f.BuildPlan(context.Background(), benchOrderQuery)
 	if err != nil {
 		t.Fatal(err)
 	}

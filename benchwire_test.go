@@ -22,6 +22,7 @@ package skyquery
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -189,7 +190,7 @@ func runLoadDrill(t testing.TB, clients, perClient int) loadDrillResult {
 			c := f.Client()
 			for j := 0; j < perClient; j++ {
 				qStart := time.Now()
-				res, err := c.Query(sql)
+				res, err := c.Query(context.Background(), sql)
 				lat := time.Since(qStart)
 				if err == nil && res.NumRows() == 0 {
 					err = fmt.Errorf("empty result")

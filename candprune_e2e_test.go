@@ -12,6 +12,7 @@ package skyquery
 // federation big enough to prune.)
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -33,7 +34,7 @@ const candPrunePartialQuery = `
 	SELECT O.object_id, T.object_id, O.flux
 	FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T
 	WHERE AREA(185.0, -0.5, 900) AND XMATCH(O, T) < 3.5
-	AND O.object_id <= 1100 AND T.flux > 0.5`
+	AND O.ra < 184.92 AND T.flux > 0.5`
 
 func TestCandPruningEndToEnd(t *testing.T) {
 	defer eval.SetBatchSize(eval.DefaultBatchSize)
@@ -54,7 +55,7 @@ func TestCandPruningEndToEnd(t *testing.T) {
 			// included.
 			rowsBefore := storage.CandRowsGathered()
 			blocksBefore := storage.CandBlocksPruned()
-			res, err := f.Query(candPruneZeroQuery)
+			res, err := f.Query(context.Background(), candPruneZeroQuery)
 			if err != nil {
 				t.Fatalf("zero query (par %d, batch %d): %v", par, bs, err)
 			}
@@ -71,14 +72,14 @@ func TestCandPruningEndToEnd(t *testing.T) {
 			// The partially prunable chain: pruning on and off must agree
 			// bit-for-bit, and pruning must have cut the gathered rows.
 			prunedRows0 := storage.CandRowsGathered()
-			pruned, err := f.Query(candPrunePartialQuery)
+			pruned, err := f.Query(context.Background(), candPrunePartialQuery)
 			if err != nil {
 				t.Fatalf("partial query (par %d, batch %d): %v", par, bs, err)
 			}
 			prunedDelta := storage.CandRowsGathered() - prunedRows0
 			skynode.SetCandPrune(false)
 			unprunedRows0 := storage.CandRowsGathered()
-			unpruned, err := f.Query(candPrunePartialQuery)
+			unpruned, err := f.Query(context.Background(), candPrunePartialQuery)
 			unprunedDelta := storage.CandRowsGathered() - unprunedRows0
 			skynode.SetCandPrune(true)
 			if err != nil {
@@ -155,7 +156,7 @@ func TestAppendDuringQuery(t *testing.T) {
 		return nil
 	}
 
-	before, err := f.Query(query)
+	before, err := f.Query(context.Background(), query)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestAppendDuringQuery(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for k := 0; k < 4; k++ {
-				if _, err := f.Query(query); err != nil {
+				if _, err := f.Query(context.Background(), query); err != nil {
 					errs <- fmt.Errorf("querier %d: %w", w, err)
 					return
 				}
@@ -190,7 +191,7 @@ func TestAppendDuringQuery(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	after, err := f.Query(query)
+	after, err := f.Query(context.Background(), query)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +211,7 @@ func TestAppendDuringQuery(t *testing.T) {
 
 	// Pruned and unpruned answers still agree on the final dataset.
 	skynode.SetCandPrune(false)
-	unpruned, err := f.Query(query)
+	unpruned, err := f.Query(context.Background(), query)
 	skynode.SetCandPrune(true)
 	if err != nil {
 		t.Fatal(err)

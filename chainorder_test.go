@@ -15,6 +15,7 @@ package skyquery
 // xmatch.reorder event, or the test fails.
 
 import (
+	"context"
 	"net/url"
 	"sort"
 	"strings"
@@ -131,7 +132,7 @@ func TestChainOrderDifferential(t *testing.T) {
 			for _, q := range queries {
 				for _, bs := range batchSizes {
 					eval.SetBatchSize(bs)
-					res, err := f.Query(q.sql)
+					res, err := f.Query(context.Background(), q.sql)
 					if err != nil {
 						t.Fatalf("mode %s par %d batch %d query %s: %v", m.name, par, bs, q.name, err)
 					}

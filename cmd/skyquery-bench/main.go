@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -215,7 +216,7 @@ func runLoad(clients int, d time.Duration, codecName string, maxHeapMB int) erro
 // streaming iterator, returning the row count without ever holding the
 // result set.
 func drainStreamed(c *skyquery.Client, sql string) (int64, error) {
-	rows, err := c.QueryRows(sql)
+	rows, err := c.QueryRows(context.Background(), sql)
 	if err != nil {
 		return 0, err
 	}

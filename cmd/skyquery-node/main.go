@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -24,6 +25,7 @@ import (
 	"strings"
 
 	"skyquery/internal/client"
+	"skyquery/internal/portal"
 	"skyquery/internal/skynode"
 	"skyquery/internal/soap"
 	"skyquery/internal/sphere"
@@ -52,6 +54,9 @@ func main() {
 	memoryBudget := flag.Int64("memory-budget", 0, "admission gate: estimated bytes of step input in flight (0 = 256 MiB default, negative = unbounded); needs -max-concurrent")
 	admitQueue := flag.Int("admit-queue", 0, "admission gate: waiting steps before shedding (0 = 4x max-concurrent, negative = none)")
 	admitTimeout := flag.Duration("admit-timeout", 0, "admission gate: queue wait before shedding (0 = 5s default)")
+	shardSpec := flag.String("shard", "", "serve one trixel-range shard of the archive, as INDEX:COUNT (e.g. 0:8); every process of the archive must share -region/-bodies/-seed/-node-seed so the deterministic partition agrees")
+	shardRange := flag.String("shard-range", "", "override the shard's trixel range as LO-HI at the survey's HTM level (advanced; the ranges of all shards must still tile the level)")
+	replicaOf := flag.String("replica-of", "", "leader endpoint this node is a read-replica follower of; registers with the follower bit set (requires -shard)")
 	addr := flag.String("addr", ":8081", "listen address")
 	publicURL := flag.String("url", "", "public URL for WSDL and registration (defaults to http://<host>:<port>)")
 	portalURL := flag.String("portal", "", "portal endpoint to register with on startup")
@@ -61,6 +66,13 @@ func main() {
 	reg, err := parseRegion(*region)
 	if err != nil {
 		log.Fatal(err)
+	}
+	shard, err := parseShard(*shardSpec, *shardRange)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *replicaOf != "" && shard == nil {
+		log.Fatal("-replica-of requires -shard: a follower replicates one shard")
 	}
 	if *nodeSeed == 0 {
 		*nodeSeed = int64(hash(*name))
@@ -74,15 +86,42 @@ func main() {
 		Seed:         *nodeSeed,
 	}
 
-	var db *storage.DB
-	if *dataDir != "" {
-		db, err = openDataDir(*dataDir, storage.StoreOptions{HotBlocks: *hotBlocks, Fsync: *fsync},
-			reg, *bodies, *seed, surveyCfg)
-	} else {
+	// generate observes the survey and, when sharded, keeps only this
+	// process's trixel-range partition. Every shard process regenerates
+	// the same field (deterministic in the shared seeds), so the ranges
+	// the partition cuts agree across the fleet without coordination.
+	generate := func() (*survey.Archive, error) {
 		log.Printf("generating field: %d bodies in %s", *bodies, reg)
 		field := survey.GenerateField(reg, *bodies, 0.4, *seed)
 		arch := survey.Observe(field, surveyCfg)
-		db, err = arch.BuildDB()
+		if shard == nil {
+			return arch, nil
+		}
+		parts := arch.Partition(shard.count)
+		part := parts[shard.index]
+		if !shard.hasRange {
+			shard.lo, shard.hi = part.Lo, part.Hi
+		}
+		shard.level = arch.SpatialLevel()
+		log.Printf("shard %d/%d: trixel range %d-%d, %d of %d observations",
+			shard.index, shard.count, shard.lo, shard.hi, len(part.Archive.Obs), len(arch.Obs))
+		return part.Archive, nil
+	}
+
+	var db *storage.DB
+	if *dataDir != "" {
+		db, err = openDataDir(*dataDir, storage.StoreOptions{HotBlocks: *hotBlocks, Fsync: *fsync}, generate)
+		if err == nil && shard != nil && shard.level == 0 {
+			// Recovered from disk without generating: the registration
+			// range is still derived from the deterministic partition.
+			_, err = generate()
+		}
+	} else {
+		var arch *survey.Archive
+		arch, err = generate()
+		if err == nil {
+			db, err = arch.BuildDB()
+		}
 		if err == nil {
 			log.Printf("%s", arch)
 		}
@@ -141,10 +180,25 @@ func main() {
 
 	if *portalURL != "" {
 		c := client.New(*portalURL)
-		if err := c.Register(*name, url); err != nil {
-			log.Fatalf("registration with %s failed: %v", *portalURL, err)
+		if shard != nil {
+			si := portal.ShardInfo{
+				Index: shard.index, Count: shard.count, Level: shard.level,
+				Lo: shard.lo, Hi: shard.hi, Follower: *replicaOf != "",
+			}
+			if err := c.RegisterShard(context.Background(), *name, url, si); err != nil {
+				log.Fatalf("shard registration with %s failed: %v", *portalURL, err)
+			}
+			role := "leader"
+			if si.Follower {
+				role = fmt.Sprintf("follower of %s", *replicaOf)
+			}
+			log.Printf("registered shard %d/%d (%s) with portal %s", shard.index, shard.count, role, *portalURL)
+		} else {
+			if err := c.Register(context.Background(), *name, url); err != nil {
+				log.Fatalf("registration with %s failed: %v", *portalURL, err)
+			}
+			log.Printf("registered with portal %s", *portalURL)
 		}
-		log.Printf("registered with portal %s", *portalURL)
 	}
 	select {} // serve forever
 }
@@ -152,7 +206,7 @@ func main() {
 // openDataDir opens (recovering if needed) a disk-backed archive. A store
 // that already holds the survey table serves it as recovered; an empty
 // store gets the survey generated and persisted on this first run.
-func openDataDir(dir string, opts storage.StoreOptions, reg sphere.Cap, bodies int, fieldSeed int64, cfg survey.Config) (*storage.DB, error) {
+func openDataDir(dir string, opts storage.StoreOptions, generate func() (*survey.Archive, error)) (*storage.DB, error) {
 	st, err := storage.OpenStore(dir, opts)
 	if err != nil {
 		return nil, err
@@ -170,15 +224,20 @@ func openDataDir(dir string, opts storage.StoreOptions, reg sphere.Cap, bodies i
 		return st.DB(), nil
 	}
 
-	log.Printf("empty store: generating field (%d bodies in %s) and persisting to %s", bodies, reg, dir)
-	field := survey.GenerateField(reg, bodies, 0.4, fieldSeed)
-	arch := survey.Observe(field, cfg)
-	tbl, err := st.Create(survey.TableName, survey.Schema(),
-		&storage.SpatialConfig{RACol: "ra", DecCol: "dec", Level: cfg.SpatialLevel})
+	log.Printf("empty store: generating the survey and persisting to %s", dir)
+	arch, err := generate()
 	if err != nil {
 		return nil, err
 	}
-	for _, o := range arch.Obs {
+	tbl, err := st.Create(survey.TableName, survey.Schema(),
+		&storage.SpatialConfig{RACol: "ra", DecCol: "dec", Level: arch.SpatialLevel()})
+	if err != nil {
+		return nil, err
+	}
+	// Canonical trixel order, exactly as BuildDB loads an in-memory
+	// archive — the on-disk shard serves the same row order as its
+	// in-memory twin, so shard layout never changes results.
+	for _, o := range arch.SortedObs() {
 		ra, dec := o.Pos.RaDec()
 		typ := "STAR"
 		if o.Galaxy {
@@ -198,6 +257,57 @@ func openDataDir(dir string, opts storage.StoreOptions, reg sphere.Cap, bodies i
 	}
 	log.Printf("%s", arch)
 	return st.DB(), nil
+}
+
+// shardCfg is the parsed -shard/-shard-range configuration.
+type shardCfg struct {
+	index, count int
+	lo, hi       uint64
+	hasRange     bool
+	level        int
+}
+
+// parseShard parses -shard "INDEX:COUNT" and the optional -shard-range
+// "LO-HI" override.
+func parseShard(spec, rng string) (*shardCfg, error) {
+	if spec == "" {
+		if rng != "" {
+			return nil, fmt.Errorf("-shard-range requires -shard")
+		}
+		return nil, nil
+	}
+	idx, cnt, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("bad -shard %q, want INDEX:COUNT (e.g. 0:8)", spec)
+	}
+	sc := &shardCfg{}
+	var err error
+	if sc.index, err = strconv.Atoi(strings.TrimSpace(idx)); err != nil {
+		return nil, fmt.Errorf("bad -shard %q: %v", spec, err)
+	}
+	if sc.count, err = strconv.Atoi(strings.TrimSpace(cnt)); err != nil {
+		return nil, fmt.Errorf("bad -shard %q: %v", spec, err)
+	}
+	if sc.count < 1 || sc.index < 0 || sc.index >= sc.count {
+		return nil, fmt.Errorf("bad -shard %q: want 0 <= INDEX < COUNT", spec)
+	}
+	if rng != "" {
+		lo, hi, ok := strings.Cut(rng, "-")
+		if !ok {
+			return nil, fmt.Errorf("bad -shard-range %q, want LO-HI", rng)
+		}
+		if sc.lo, err = strconv.ParseUint(strings.TrimSpace(lo), 10, 64); err != nil {
+			return nil, fmt.Errorf("bad -shard-range %q: %v", rng, err)
+		}
+		if sc.hi, err = strconv.ParseUint(strings.TrimSpace(hi), 10, 64); err != nil {
+			return nil, fmt.Errorf("bad -shard-range %q: %v", rng, err)
+		}
+		if sc.hi < sc.lo {
+			return nil, fmt.Errorf("bad -shard-range %q: HI < LO", rng)
+		}
+		sc.hasRange = true
+	}
+	return sc, nil
 }
 
 // parseRegion parses "ra,dec,radiusDeg".

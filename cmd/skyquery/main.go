@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -39,7 +40,7 @@ func main() {
 	}
 
 	c := client.New(*portalURL)
-	res, err := c.Query(sql)
+	res, err := c.Query(context.Background(), sql)
 	if err != nil {
 		log.Fatalf("query failed: %v", err)
 	}

@@ -9,6 +9,7 @@ package skyquery
 //	go test -race -run 'Concurrent|Determinism' .
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -63,7 +64,7 @@ func TestConcurrentQueriesMatchSerial(t *testing.T) {
 
 	want := make([]*Result, len(concurrencyQueries))
 	for i, q := range concurrencyQueries {
-		res, err := f.Query(q)
+		res, err := f.Query(context.Background(), q)
 		if err != nil {
 			t.Fatalf("serial query %d: %v", i, err)
 		}
@@ -83,7 +84,7 @@ func TestConcurrentQueriesMatchSerial(t *testing.T) {
 				// shapes overlap in flight.
 				for i := range concurrencyQueries {
 					q := (c + r + i) % len(concurrencyQueries)
-					res, err := f.Query(concurrencyQueries[q])
+					res, err := f.Query(context.Background(), concurrencyQueries[q])
 					if err != nil {
 						errs <- fmt.Errorf("client %d query %d: %v", c, q, err)
 						return
@@ -114,7 +115,7 @@ func TestParallelExecutorDeterminism(t *testing.T) {
 	serial := launch(t, opts(1))
 	want := make([]*Result, len(concurrencyQueries))
 	for i, q := range concurrencyQueries {
-		res, err := serial.Query(q)
+		res, err := serial.Query(context.Background(), q)
 		if err != nil {
 			t.Fatalf("sequential query %d: %v", i, err)
 		}
@@ -128,7 +129,7 @@ func TestParallelExecutorDeterminism(t *testing.T) {
 		t.Run(fmt.Sprintf("parallelism-%d", parallelism), func(t *testing.T) {
 			f := launch(t, opts(parallelism))
 			for i, q := range concurrencyQueries {
-				res, err := f.Query(q)
+				res, err := f.Query(context.Background(), q)
 				if err != nil {
 					t.Fatalf("query %d: %v", i, err)
 				}

@@ -1,0 +1,59 @@
+package skyquery
+
+// The typed errors a federation surfaces, re-exported at the root so
+// callers never import internal packages to inspect a failure:
+//
+//   - *ParseError: the query was rejected before any plan was built,
+//     with the line/column of the offending token and a syntax-vs-
+//     semantic category.
+//   - *ErrOverloaded: a node's admission gate shed the work; retryable,
+//     and the SOAP clients already retry it with doubling backoff.
+//   - *StreamError: the federation failed after the result stream
+//     started; the error travelled in-band so the result is known
+//     truncated, never silently short.
+
+import (
+	"errors"
+
+	"skyquery/internal/dataset"
+	"skyquery/internal/skynode"
+	"skyquery/internal/soap"
+	"skyquery/internal/sqlparse"
+)
+
+// ParseError reports a rejected query with the 1-based line and column
+// of the offending token and a Category of ErrSyntax or ErrSemantic.
+type ParseError = sqlparse.ParseError
+
+// ParseError categories.
+const (
+	ErrSyntax   = sqlparse.ErrSyntax
+	ErrSemantic = sqlparse.ErrSemantic
+)
+
+// ErrOverloaded is the typed, retryable error an admission gate returns
+// when it sheds work.
+type ErrOverloaded = skynode.ErrOverloaded
+
+// StreamError is the typed error a result stream surfaces when the
+// federation fails after streaming began.
+type StreamError = dataset.StreamError
+
+// IsOverloaded reports whether err is a retryable overload shed — either
+// a node-local *ErrOverloaded or its SOAP fault form seen by a client.
+func IsOverloaded(err error) bool {
+	var over *ErrOverloaded
+	return soap.IsOverloaded(err) || errors.As(err, &over)
+}
+
+// AsParseError unwraps a *ParseError from err, if one is there.
+func AsParseError(err error) (*ParseError, bool) {
+	var pe *ParseError
+	return pe, errors.As(err, &pe)
+}
+
+// AsStreamError unwraps a *StreamError from err, if one is there.
+func AsStreamError(err error) (*StreamError, bool) {
+	var se *StreamError
+	return se, errors.As(err, &se)
+}

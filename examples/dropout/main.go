@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,7 +18,7 @@ import (
 )
 
 func main() {
-	fed, err := skyquery.Launch(skyquery.Options{Bodies: 1500})
+	fed, err := skyquery.LaunchWith(skyquery.WithBodies(1500))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,15 +37,15 @@ func main() {
 		FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T
 		WHERE AREA(185.0, -0.5, 900) AND XMATCH(O, T) < 3.5`
 
-	all, err := fed.Query(pairOnly)
+	all, err := fed.Query(context.Background(), pairOnly)
 	if err != nil {
 		log.Fatal(err)
 	}
-	loud, err := fed.Query(both)
+	loud, err := fed.Query(context.Background(), both)
 	if err != nil {
 		log.Fatal(err)
 	}
-	quiet, err := fed.Query(radioQuiet)
+	quiet, err := fed.Query(context.Background(), radioQuiet)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -59,16 +60,17 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fed, err := skyquery.Launch(skyquery.Options{
-		Surveys: []skyquery.SurveySpec{}, // no generated surveys
-		Nodes: []skyquery.NodeSpec{
-			{Name: "OPTICAL", DB: dbA, PrimaryTable: "Sources",
+	fed, err := skyquery.LaunchWith(
+		// Hand-built archives only: attaching nodes suppresses the
+		// default generated surveys.
+		skyquery.WithNodes(
+			skyquery.NodeSpec{Name: "OPTICAL", DB: dbA, PrimaryTable: "Sources",
 				RACol: "ra", DecCol: "dec", SigmaArcsec: 0.1},
-			{Name: "INFRARED", DB: dbB, PrimaryTable: "Sources",
+			skyquery.NodeSpec{Name: "INFRARED", DB: dbB, PrimaryTable: "Sources",
 				RACol: "ra", DecCol: "dec", SigmaArcsec: 0.3},
-		},
-		RecordCalls: true,
-	})
+		),
+		skyquery.WithRecordedCalls(),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -82,7 +84,7 @@ func main() {
 
 	// Query through the SOAP client — the full web-service path.
 	c := fed.Client()
-	res, err := c.Query(`
+	res, err := c.Query(context.Background(), `
 		SELECT a.src_id, a.mag, b.src_id, b.mag
 		FROM OPTICAL:Sources a, INFRARED:Sources b
 		WHERE AREA(185.04, -0.48, 600) AND XMATCH(a, b) < 3.0 AND a.mag < 18`)

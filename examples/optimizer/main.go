@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,14 +18,14 @@ import (
 
 func main() {
 	// Skew the archives: SDSS-like is dense, the "radio" survey sparse.
-	fed, err := skyquery.Launch(skyquery.Options{
-		Bodies: 3000,
-		Surveys: []skyquery.SurveySpec{
-			{Name: "DEEP", SigmaArcsec: 0.1, Completeness: 0.98, Seed: 11},
-			{Name: "MID", SigmaArcsec: 0.2, Completeness: 0.6, Seed: 12},
-			{Name: "SPARSE", SigmaArcsec: 0.4, Completeness: 0.15, Seed: 13},
-		},
-	})
+	fed, err := skyquery.LaunchWith(
+		skyquery.WithBodies(3000),
+		skyquery.WithSurveys(
+			skyquery.SurveySpec{Name: "DEEP", SigmaArcsec: 0.1, Completeness: 0.98, Seed: 11},
+			skyquery.SurveySpec{Name: "MID", SigmaArcsec: 0.2, Completeness: 0.6, Seed: 12},
+			skyquery.SurveySpec{Name: "SPARSE", SigmaArcsec: 0.4, Completeness: 0.15, Seed: 13},
+		),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func main() {
 		WHERE AREA(185.0, -0.5, 900) AND XMATCH(d, m, s) < 3.5`
 
 	// 1. Show the plan the optimizer builds.
-	p, err := fed.BuildPlan(query)
+	p, err := fed.BuildPlan(context.Background(), query)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func main() {
 
 	// 2. Measure the optimizer's choice.
 	fed.Transport.Reset()
-	res, err := fed.Query(query)
+	res, err := fed.Query(context.Background(), query)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func main() {
 
 	// 3. Compare with the pull-to-portal strategy the paper rejects.
 	fed.Transport.Reset()
-	if _, err := fed.PullQuery(query); err != nil {
+	if _, err := fed.PullQuery(context.Background(), query); err != nil {
 		log.Fatal(err)
 	}
 	pull := fed.Transport.Stats()

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,10 +16,10 @@ func main() {
 	// Launch SDSS-, 2MASS- and FIRST-like synthetic archives around the
 	// paper's example position (185.0, -0.5), each behind its own SOAP
 	// endpoint, plus a Portal they register with.
-	fed, err := skyquery.Launch(skyquery.Options{
-		Bodies:              2000,
-		IncludeMatchColumns: true,
-	})
+	fed, err := skyquery.LaunchWith(
+		skyquery.WithBodies(2000),
+		skyquery.WithMatchColumns(),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func main() {
 		  AND O.type = 'GALAXY'
 		  AND (O.flux - T.flux) > 2`
 
-	res, err := fed.Query(query)
+	res, err := fed.Query(context.Background(), query)
 	if err != nil {
 		log.Fatal(err)
 	}

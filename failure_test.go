@@ -5,6 +5,7 @@ package skyquery
 // the contract.
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -20,7 +21,7 @@ func TestNodeDeathMidChainSurfacesError(t *testing.T) {
 	// planning): the chain must fail loudly, not hang or return partial
 	// results.
 	f := launch(t, Options{Bodies: 300})
-	p, err := f.BuildPlan(testQuery)
+	p, err := f.BuildPlan(context.Background(), testQuery)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,11 +45,11 @@ func TestNodeDeathMidChainSurfacesError(t *testing.T) {
 func execPlan(f *Federation, p *Plan) error {
 	c := &soap.Client{HTTPClient: f.Transport.Client()}
 	var first soap.ChunkedData
-	if err := c.Call(p.Steps[0].Endpoint, skynode.ActionCrossMatch,
+	if err := c.Call(context.Background(), p.Steps[0].Endpoint, skynode.ActionCrossMatch,
 		&skynode.CrossMatchRequest{Plan: *p}, &first); err != nil {
 		return err
 	}
-	_, err := soap.FetchAll(c, p.Steps[0].Endpoint, &first)
+	_, err := soap.FetchAll(context.Background(), c, p.Steps[0].Endpoint, &first)
 	return err
 }
 
@@ -58,7 +59,7 @@ func TestQueryAfterFederationClose(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	if _, err := f.Query(testQuery); err == nil {
+	if _, err := f.Query(context.Background(), testQuery); err == nil {
 		t.Error("query against a closed federation should fail")
 	}
 }
@@ -72,7 +73,7 @@ func TestConcurrentQueries(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			res, err := f.Query(testQuery)
+			res, err := f.Query(context.Background(), testQuery)
 			if err != nil {
 				errs <- err
 				return
@@ -111,10 +112,10 @@ func TestChunkedChainTransfers(t *testing.T) {
 	f := launch(t, Options{Bodies: 500, ChunkRows: 25, RecordCalls: true})
 	sc := f.Client().SOAP
 	var first soap.ChunkedData
-	if err := sc.Call(f.PortalURL, portal.ActionSkyQuery, &portal.SkyQueryRequest{SQL: q}, &first); err != nil {
+	if err := sc.Call(context.Background(), f.PortalURL, portal.ActionSkyQuery, &portal.SkyQueryRequest{SQL: q}, &first); err != nil {
 		t.Fatal(err)
 	}
-	res, err := soap.FetchAll(sc, f.PortalURL, &first)
+	res, err := soap.FetchAll(context.Background(), sc, f.PortalURL, &first)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestChunkedChainTransfers(t *testing.T) {
 	}
 	// Compare against an unchunked federation: same answer.
 	f2 := launch(t, Options{Bodies: 500})
-	res2, err := f2.Query(q)
+	res2, err := f2.Query(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestMessageLimitKillsBigUnchunkedResult(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	_, err = f.Query(`
+	_, err = f.Query(context.Background(), `
 		SELECT O.object_id, T.object_id
 		FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T
 		WHERE AREA(185.0, -0.5, 900) AND XMATCH(O, T) < 3.5`)
@@ -175,7 +176,7 @@ func TestMessageLimitKillsBigUnchunkedResult(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f2.Close()
-	res, err := f2.Query(`
+	res, err := f2.Query(context.Background(), `
 		SELECT O.object_id, T.object_id
 		FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T
 		WHERE AREA(185.0, -0.5, 900) AND XMATCH(O, T) < 3.5`)
@@ -190,7 +191,7 @@ func TestMessageLimitKillsBigUnchunkedResult(t *testing.T) {
 func TestEmptyAreaYieldsEmptyResult(t *testing.T) {
 	f := launch(t, Options{Bodies: 200})
 	// An AREA on the opposite side of the sky.
-	res, err := f.Query(`
+	res, err := f.Query(context.Background(), `
 		SELECT O.object_id, T.object_id
 		FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T
 		WHERE AREA(5.0, 0.5, 900) AND XMATCH(O, T) < 3.5`)
@@ -237,7 +238,7 @@ func TestNullsSurviveTheChain(t *testing.T) {
 		Nodes: []NodeSpec{{Name: "NULLY", DB: db, PrimaryTable: "Obs",
 			RACol: "ra", DecCol: "dec", SigmaArcsec: 0.2}},
 	})
-	res, err := f.Query(`SELECT n.id, n.flux FROM NULLY:Obs n, REF:PhotoObject r
+	res, err := f.Query(context.Background(), `SELECT n.id, n.flux FROM NULLY:Obs n, REF:PhotoObject r
 		WHERE AREA(185.0, -0.5, 900) AND XMATCH(n, r) < 3.5`)
 	if err != nil {
 		t.Fatal(err)

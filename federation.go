@@ -1,6 +1,7 @@
 package skyquery
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -109,6 +110,16 @@ type Options struct {
 	// overloaded node, with doubling backoff (0 = DefaultOverloadRetries,
 	// negative = never retry).
 	OverloadRetries int
+	// Shards partitions every generated survey archive into this many
+	// trixel-range shards, each served by its own SkyNode (0 or 1 = one
+	// node per archive, the paper's layout). Queries scatter to only the
+	// shards whose trixel ranges intersect the query cover; results are
+	// bit-identical at every shard count.
+	Shards int
+	// Replicas adds this many read-replica followers per shard. Queries
+	// prefer followers and fail over between replicas; appends go to the
+	// shard leader.
+	Replicas int
 	// CountProbeOrder reverts chain ordering to the pure count-star rule
 	// of §5.3, ignoring node column statistics. The default (false)
 	// orders by the transfer-cost model when statistics are available.
@@ -152,11 +163,26 @@ type Federation struct {
 	// Transport carries all traffic; read its Stats for bytes-on-wire.
 	Transport *Transport
 
-	mu      sync.Mutex
-	servers []*http.Server
-	lns     []net.Listener
-	codec   Codec
-	retries int
+	mu       sync.Mutex
+	servers  []*http.Server
+	lns      []net.Listener
+	nodeSrvs map[string]*http.Server
+	codec    Codec
+	retries  int
+}
+
+// KillNode abruptly shuts down the HTTP server of one node (a Nodes key
+// such as "SDSS", "SDSS/0", or "SDSS/0/r1"), cutting its in-flight
+// requests — the test stand-in for a crashed replica. The registry still
+// lists the endpoint; queries discover the failure and fail over.
+func (f *Federation) KillNode(key string) error {
+	f.mu.Lock()
+	srv := f.nodeSrvs[key]
+	f.mu.Unlock()
+	if srv == nil {
+		return fmt.Errorf("skyquery: no node %q", key)
+	}
+	return srv.Close()
 }
 
 // Launch builds and starts a federation.
@@ -235,6 +261,7 @@ func Launch(opts Options) (*Federation, error) {
 		return nil, err
 	}
 	f.PortalURL = portalURL
+	f.Portal.SetSelfURL(portalURL)
 	if err := f.Portal.SetWSDL(portalURL); err != nil {
 		f.Close()
 		return nil, err
@@ -246,22 +273,13 @@ func Launch(opts Options) (*Federation, error) {
 		nodeEvents = func(e skynode.Event) { fn(e.Node, e.Kind, e.Detail) }
 	}
 
-	// Generated surveys.
+	// Generated surveys, sharded when Options.Shards asks for it.
 	if len(opts.Surveys) > 0 {
 		f.Field = GenerateField(opts.Region, opts.Bodies, opts.GalaxyFraction, opts.Seed)
 		for _, cfg := range opts.Surveys {
 			a := survey.Observe(f.Field, cfg)
-			db, err := a.BuildDB()
-			if err != nil {
-				f.Close()
-				return nil, err
-			}
 			f.Archives[cfg.Name] = a
-			spec := NodeSpec{
-				Name: cfg.Name, DB: db, PrimaryTable: survey.TableName,
-				RACol: "ra", DecCol: "dec", SigmaArcsec: cfg.SigmaArcsec,
-			}
-			if err := f.attach(spec, soapClient, opts, nodeEvents); err != nil {
+			if err := f.attachSharded(a, cfg, soapClient, opts, nodeEvents); err != nil {
 				f.Close()
 				return nil, err
 			}
@@ -277,7 +295,66 @@ func Launch(opts Options) (*Federation, error) {
 	return f, nil
 }
 
-func (f *Federation) attach(spec NodeSpec, soapClient *soap.Client, opts Options, onEvent func(skynode.Event)) error {
+// attachSharded serves one generated archive: as a single node when
+// Options.Shards is 0 or 1 and no replicas are asked for, otherwise as
+// a trixel-range sharded replica set. Followers serve the same sealed
+// data as their shard leader (they share its database — the in-process
+// stand-in for replication of sealed column blocks).
+func (f *Federation) attachSharded(a *survey.Archive, cfg SurveySpec, soapClient *soap.Client, opts Options, onEvent func(skynode.Event)) error {
+	shards := opts.Shards
+	if shards <= 1 && opts.Replicas <= 0 {
+		db, err := a.BuildDB()
+		if err != nil {
+			return err
+		}
+		return f.attach(NodeSpec{
+			Name: cfg.Name, DB: db, PrimaryTable: survey.TableName,
+			RACol: "ra", DecCol: "dec", SigmaArcsec: cfg.SigmaArcsec,
+		}, soapClient, opts, onEvent)
+	}
+	if shards <= 0 {
+		shards = 1
+	}
+	parts := a.Partition(shards)
+	level := a.SpatialLevel()
+	for k, part := range parts {
+		db, err := part.Archive.BuildDB()
+		if err != nil {
+			return err
+		}
+		spec := NodeSpec{
+			Name: cfg.Name, DB: db, PrimaryTable: survey.TableName,
+			RACol: "ra", DecCol: "dec", SigmaArcsec: cfg.SigmaArcsec,
+		}
+		si := portal.ShardInfo{Index: k, Count: shards, Level: level, Lo: part.Lo, Hi: part.Hi}
+		url, err := f.serveNode(fmt.Sprintf("%s/%d", cfg.Name, k), spec, soapClient, opts, onEvent)
+		if err != nil {
+			return err
+		}
+		if err := f.Portal.RegisterShard(cfg.Name, url, si); err != nil {
+			return err
+		}
+		for r := 0; r < opts.Replicas; r++ {
+			// A follower shares the leader's database: identical sealed
+			// blocks, served from another node.
+			url, err := f.serveNode(fmt.Sprintf("%s/%d/r%d", cfg.Name, k, r+1), spec, soapClient, opts, onEvent)
+			if err != nil {
+				return err
+			}
+			fsi := si
+			fsi.Follower = true
+			if err := f.Portal.RegisterShard(cfg.Name, url, fsi); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// serveNode builds a SkyNode for the spec, serves it on loopback HTTP,
+// and records it under the given key (the archive name for flat nodes,
+// "archive/shard[/rN]" for shard replicas) without registering it.
+func (f *Federation) serveNode(key string, spec NodeSpec, soapClient *soap.Client, opts Options, onEvent func(skynode.Event)) (string, error) {
 	n, err := skynode.New(skynode.Config{
 		Name:         spec.Name,
 		DB:           spec.DB,
@@ -294,17 +371,31 @@ func (f *Federation) attach(spec NodeSpec, soapClient *soap.Client, opts Options
 		OnEvent:      onEvent,
 	})
 	if err != nil {
-		return err
+		return "", err
 	}
 	url, err := f.serve(n.Server())
 	if err != nil {
-		return err
+		return "", err
 	}
 	if err := n.SetWSDL(url); err != nil {
+		return "", err
+	}
+	f.Nodes[key] = n
+	f.NodeURLs[key] = url
+	f.mu.Lock()
+	if f.nodeSrvs == nil {
+		f.nodeSrvs = map[string]*http.Server{}
+	}
+	f.nodeSrvs[key] = f.servers[len(f.servers)-1]
+	f.mu.Unlock()
+	return url, nil
+}
+
+func (f *Federation) attach(spec NodeSpec, soapClient *soap.Client, opts Options, onEvent func(skynode.Event)) error {
+	url, err := f.serveNode(spec.Name, spec, soapClient, opts, onEvent)
+	if err != nil {
 		return err
 	}
-	f.Nodes[spec.Name] = n
-	f.NodeURLs[spec.Name] = url
 	return f.Portal.Register(spec.Name, url)
 }
 
@@ -325,21 +416,27 @@ func (f *Federation) serve(h http.Handler) (string, error) {
 }
 
 // Query submits a query to the federation's Portal (in-process; for the
-// SOAP path use Client()).
-func (f *Federation) Query(sql string) (*Result, error) {
-	return f.Portal.Query(sql)
+// SOAP path use Client()). Cancelling ctx aborts in-flight federation
+// work — scatter fan-out, chunk transfers, and node execution unwind.
+func (f *Federation) Query(ctx context.Context, sql string) (*Result, error) {
+	return f.Portal.Query(ctx, sql)
 }
 
 // PullQuery runs the pull-to-portal baseline executor for comparison
 // experiments.
-func (f *Federation) PullQuery(sql string) (*Result, error) {
-	return f.Portal.PullQuery(sql)
+func (f *Federation) PullQuery(ctx context.Context, sql string) (*Result, error) {
+	return f.Portal.PullQuery(ctx, sql)
 }
 
 // BuildPlan constructs (but does not execute) the plan for a cross-match
 // query, including the count-star probes.
-func (f *Federation) BuildPlan(sql string) (*Plan, error) {
-	return f.Portal.BuildPlan(sql)
+func (f *Federation) BuildPlan(ctx context.Context, sql string) (*Plan, error) {
+	return f.Portal.BuildPlan(ctx, sql)
+}
+
+// Explain builds the query's plan and renders an EXPLAIN-style summary.
+func (f *Federation) Explain(ctx context.Context, sql string) (string, error) {
+	return f.Portal.Explain(ctx, sql)
 }
 
 // Client returns a SOAP client bound to the Portal endpoint, exercising

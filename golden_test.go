@@ -18,6 +18,7 @@ package skyquery
 // the closest to a row-at-a-time reference execution).
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -93,7 +94,7 @@ func TestGoldenQueryCorpus(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := f.Query(string(sql))
+			res, err := f.Query(context.Background(), string(sql))
 			if err != nil {
 				t.Fatalf("%s: %v", file, err)
 			}
@@ -120,7 +121,7 @@ func TestGoldenQueryCorpus(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s: missing golden (run with -update-golden): %v", name, err)
 				}
-				res, err := f.Query(string(sql))
+				res, err := f.Query(context.Background(), string(sql))
 				if err != nil {
 					t.Errorf("%s: query failed: %v", name, err)
 					continue
@@ -132,7 +133,7 @@ func TestGoldenQueryCorpus(t *testing.T) {
 				// the ordered queries (row-for-row) and on cardinality for
 				// the rest (tuple order is strategy-dependent).
 				if strings.Contains(strings.ToUpper(string(sql)), "XMATCH") {
-					pull, err := f.PullQuery(string(sql))
+					pull, err := f.PullQuery(context.Background(), string(sql))
 					if err != nil {
 						t.Errorf("%s: pull baseline failed: %v", name, err)
 						continue

@@ -5,6 +5,7 @@
 package client
 
 import (
+	"context"
 	"fmt"
 
 	"skyquery/internal/dataset"
@@ -35,8 +36,9 @@ func (c *Client) soapClient() *soap.Client {
 
 // Query submits a query and returns the full result set. It is
 // QueryRows folded: the same streamed wire, drained to completion.
-func (c *Client) Query(sql string) (*dataset.DataSet, error) {
-	rows, err := c.QueryRows(sql)
+// Cancelling ctx aborts the in-flight federation work.
+func (c *Client) Query(ctx context.Context, sql string) (*dataset.DataSet, error) {
+	rows, err := c.QueryRows(ctx, sql)
 	if err != nil {
 		return nil, err
 	}
@@ -56,11 +58,13 @@ func (c *Client) Query(sql string) (*dataset.DataSet, error) {
 // available before the chain has finished computing the last — and the
 // client holds one page at a time. Against a Portal that cannot stream,
 // the iterator degrades transparently to chunk-by-chunk fetching.
-func (c *Client) QueryRows(sql string) (*Rows, error) {
+// Cancelling ctx aborts the stream mid-flight; the next Next reports
+// the cancellation through Err.
+func (c *Client) QueryRows(ctx context.Context, sql string) (*Rows, error) {
 	if c.PortalURL == "" {
 		return nil, fmt.Errorf("client: no portal URL configured")
 	}
-	ps, err := soap.OpenStream(c.soapClient(), c.PortalURL, portal.ActionSkyQuery, &portal.SkyQueryRequest{SQL: sql})
+	ps, err := soap.OpenStream(ctx, c.soapClient(), c.PortalURL, portal.ActionSkyQuery, &portal.SkyQueryRequest{SQL: sql})
 	if err != nil {
 		return nil, err
 	}
@@ -70,7 +74,7 @@ func (c *Client) QueryRows(sql string) (*Rows, error) {
 // Rows iterates a query result row by row. The usage pattern follows
 // database/sql:
 //
-//	rows, err := c.QueryRows(sql)
+//	rows, err := c.QueryRows(ctx, sql)
 //	...
 //	defer rows.Close()
 //	for rows.Next() {
@@ -129,15 +133,30 @@ func (r *Rows) Close() error { return r.ps.Close() }
 
 // Register announces a SkyNode to the Portal's Registration service on
 // behalf of the node (the node could equally call this itself).
-func (c *Client) Register(name, endpoint string) error {
+func (c *Client) Register(ctx context.Context, name, endpoint string) error {
 	var resp portal.RegisterResponse
-	err := c.soapClient().Call(c.PortalURL, portal.ActionRegister,
+	err := c.soapClient().Call(ctx, c.PortalURL, portal.ActionRegister,
 		&portal.RegisterRequest{Name: name, Endpoint: endpoint}, &resp)
 	if err != nil {
 		return err
 	}
 	if !resp.OK {
 		return fmt.Errorf("client: registration of %q rejected", name)
+	}
+	return nil
+}
+
+// RegisterShard announces a SkyNode as one replica of a trixel-range
+// shard of an archive (see portal.ShardInfo for the payload fields).
+func (c *Client) RegisterShard(ctx context.Context, name, endpoint string, si portal.ShardInfo) error {
+	var resp portal.RegisterResponse
+	err := c.soapClient().Call(ctx, c.PortalURL, portal.ActionRegister,
+		&portal.RegisterRequest{Name: name, Endpoint: endpoint, Shard: &si}, &resp)
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("client: shard registration of %q rejected", name)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -41,10 +42,10 @@ func startFederation(t *testing.T) (portalURL, nodeName, nodeURL string) {
 func TestRegisterAndQuery(t *testing.T) {
 	portalURL, name, nodeURL := startFederation(t)
 	c := New(portalURL)
-	if err := c.Register(name, nodeURL); err != nil {
+	if err := c.Register(context.Background(), name, nodeURL); err != nil {
 		t.Fatal(err)
 	}
-	res, err := c.Query(`SELECT TOP 3 O.object_id FROM SDSS:PhotoObject O WHERE O.type = 'GALAXY'`)
+	res, err := c.Query(context.Background(), `SELECT TOP 3 O.object_id FROM SDSS:PhotoObject O WHERE O.type = 'GALAXY'`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,10 +57,10 @@ func TestRegisterAndQuery(t *testing.T) {
 func TestQueryErrorsSurfaceAsFaults(t *testing.T) {
 	portalURL, name, nodeURL := startFederation(t)
 	c := New(portalURL)
-	if err := c.Register(name, nodeURL); err != nil {
+	if err := c.Register(context.Background(), name, nodeURL); err != nil {
 		t.Fatal(err)
 	}
-	_, err := c.Query(`SELECT O.object_id FROM GHOST:PhotoObject O`)
+	_, err := c.Query(context.Background(), `SELECT O.object_id FROM GHOST:PhotoObject O`)
 	if err == nil || !strings.Contains(err.Error(), "not part of the federation") {
 		t.Errorf("err = %v", err)
 	}
@@ -68,14 +69,14 @@ func TestQueryErrorsSurfaceAsFaults(t *testing.T) {
 func TestRegisterUnreachableNode(t *testing.T) {
 	portalURL, _, _ := startFederation(t)
 	c := New(portalURL)
-	if err := c.Register("DEAD", "http://127.0.0.1:1/none"); err == nil {
+	if err := c.Register(context.Background(), "DEAD", "http://127.0.0.1:1/none"); err == nil {
 		t.Error("registering an unreachable node should fail")
 	}
 }
 
 func TestClientWithoutPortal(t *testing.T) {
 	c := &Client{}
-	if _, err := c.Query("SELECT 1"); err == nil {
+	if _, err := c.Query(context.Background(), "SELECT 1"); err == nil {
 		t.Error("query without portal URL should fail")
 	}
 }
@@ -83,7 +84,7 @@ func TestClientWithoutPortal(t *testing.T) {
 func TestClientDefaultSOAP(t *testing.T) {
 	portalURL, name, nodeURL := startFederation(t)
 	c := &Client{PortalURL: portalURL} // nil SOAP field
-	if err := c.Register(name, nodeURL); err != nil {
+	if err := c.Register(context.Background(), name, nodeURL); err != nil {
 		t.Fatal(err)
 	}
 }

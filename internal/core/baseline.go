@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -21,7 +22,7 @@ import (
 // as the baseline for the chain-vs-pull experiment (C5): the chain ships
 // partial results whose size shrinks with match selectivity, while the
 // pull ships every candidate row regardless.
-func (e *Engine) PullExecute(sql string) (*dataset.DataSet, error) {
+func (e *Engine) PullExecute(ctx context.Context, sql string) (*dataset.DataSet, error) {
 	q, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -30,12 +31,12 @@ func (e *Engine) PullExecute(sql string) (*dataset.DataSet, error) {
 		return nil, err
 	}
 	if q.XMatch == nil {
-		return e.passThrough(q)
+		return e.passThrough(ctx, q)
 	}
 	// Reuse the planner for validation, archive resolution and ordering.
 	// The pull baseline still needs count-star probes to pick the same
 	// join order, so the comparison isolates the data-movement strategy.
-	p, err := e.BuildPlan(q)
+	p, err := e.BuildPlan(ctx, q)
 	if err != nil {
 		return nil, err
 	}
@@ -49,7 +50,7 @@ func (e *Engine) PullExecute(sql string) (*dataset.DataSet, error) {
 			return nil, err
 		}
 		sqlText := pullQuery(a, step, q)
-		ds, err := e.Services.TableQuery(a, sqlText)
+		ds, err := e.Services.TableQuery(ctx, a, sqlText)
 		if err != nil {
 			return nil, fmt.Errorf("core: pull from %s: %w", step.Archive, err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -35,14 +36,14 @@ type fakeServices struct {
 	tableData  *dataset.DataSet
 }
 
-func (s *fakeServices) CountStar(a *Archive, sql string) (int64, error) {
+func (s *fakeServices) CountStar(ctx context.Context, a *Archive, sql string, area plan.Area) (int64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.countCalls = append(s.countCalls, a.Name+": "+sql)
 	return s.counts[a.Name], nil
 }
 
-func (s *fakeServices) CrossMatch(p *plan.Plan) (*dataset.DataSet, error) {
+func (s *fakeServices) CrossMatch(ctx context.Context, p *plan.Plan) (*dataset.DataSet, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.crossPlans = append(s.crossPlans, p)
@@ -52,7 +53,7 @@ func (s *fakeServices) CrossMatch(p *plan.Plan) (*dataset.DataSet, error) {
 	return &dataset.DataSet{Columns: xmatch.AccColumns()}, nil
 }
 
-func (s *fakeServices) TableQuery(a *Archive, sql string) (*dataset.DataSet, error) {
+func (s *fakeServices) TableQuery(ctx context.Context, a *Archive, sql string) (*dataset.DataSet, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.tableCalls = append(s.tableCalls, a.Name+": "+sql)
@@ -95,7 +96,7 @@ const testSQL = `SELECT O.object_id, T.object_id
 
 func TestBuildPlanOrdering(t *testing.T) {
 	e, svc := newEngine(map[string]int64{"SDSS": 50, "TWOMASS": 900, "FIRST": 200})
-	p, err := e.BuildPlanSQL(testSQL)
+	p, err := e.BuildPlanSQL(context.Background(), testSQL)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestBuildPlanCrossPredicateAssignment(t *testing.T) {
 	// Execution order is reverse call order; the flux predicate references
 	// O and T and must fire at whichever of them executes second.
 	e, _ := newEngine(map[string]int64{"SDSS": 50, "TWOMASS": 900, "FIRST": 200})
-	p, err := e.BuildPlanSQL(testSQL)
+	p, err := e.BuildPlanSQL(context.Background(), testSQL)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestBuildPlanCrossPredicateAssignment(t *testing.T) {
 
 func TestBuildPlanColumns(t *testing.T) {
 	e, _ := newEngine(map[string]int64{"SDSS": 1, "TWOMASS": 2, "FIRST": 3})
-	p, err := e.BuildPlanSQL(testSQL)
+	p, err := e.BuildPlanSQL(context.Background(), testSQL)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +185,7 @@ func TestBuildPlanErrors(t *testing.T) {
 		{`SELECT O.object_id FROM PhotoObject O, TWOMASS:PhotoObject T WHERE ` + area + ` AND XMATCH(O, T) < 3`, "archive qualifier"},
 	}
 	for _, c := range cases {
-		_, err := e.BuildPlanSQL(c.sql)
+		_, err := e.BuildPlanSQL(context.Background(), c.sql)
 		if err == nil {
 			t.Errorf("BuildPlanSQL(%.60q) succeeded, want %q", c.sql, c.wantSub)
 			continue
@@ -218,7 +219,7 @@ func TestExecuteProjection(t *testing.T) {
 		[]value.Value{value.Int(1), value.Int(2), value.Float(9), value.Float(4)},
 		[]value.Value{value.Int(3), value.Int(4), value.Float(8), value.Float(1)},
 	)
-	res, err := e.Execute(testSQL)
+	res, err := e.Execute(context.Background(), testSQL)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +244,7 @@ func TestExecuteCount(t *testing.T) {
 	)
 	sql := `SELECT COUNT(*) FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T
 		WHERE AREA(185, -0.5, 900) AND XMATCH(O, T) < 3.5`
-	res, err := e.Execute(sql)
+	res, err := e.Execute(context.Background(), sql)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +264,7 @@ func TestExecuteTopAndMatchColumns(t *testing.T) {
 	)
 	sql := `SELECT TOP 2 O.object_id, T.object_id FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T
 		WHERE AREA(185, -0.5, 900) AND XMATCH(O, T) < 3.5`
-	res, err := e.Execute(sql)
+	res, err := e.Execute(context.Background(), sql)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +285,7 @@ func TestExecuteTopAndMatchColumns(t *testing.T) {
 
 func TestPassThrough(t *testing.T) {
 	e, svc := newEngine(nil)
-	_, err := e.Execute(`SELECT O.object_id FROM SDSS:PhotoObject O WHERE O.flux > 1`)
+	_, err := e.Execute(context.Background(), `SELECT O.object_id FROM SDSS:PhotoObject O WHERE O.flux > 1`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,7 +306,7 @@ func TestPassThroughErrors(t *testing.T) {
 		{`SELECT x FROM GHOST:PhotoObject`, "unknown archive"},
 	}
 	for _, c := range cases {
-		_, err := e.Execute(c.sql)
+		_, err := e.Execute(context.Background(), c.sql)
 		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
 			t.Errorf("Execute(%q) error = %v, want %q", c.sql, err, c.wantSub)
 		}
@@ -324,7 +325,7 @@ func TestEventsEmitted(t *testing.T) {
 	svc.tuples = tupleSet([]dataset.Column{{Name: "O.object_id", Type: value.IntType}})
 	sql := `SELECT O.object_id FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T
 		WHERE AREA(185, -0.5, 900) AND XMATCH(O, T) < 3.5`
-	if _, err := e.Execute(sql); err != nil {
+	if _, err := e.Execute(context.Background(), sql); err != nil {
 		t.Fatal(err)
 	}
 	joined := strings.Join(kinds, ",")
@@ -339,11 +340,11 @@ func TestQueryIDsUnique(t *testing.T) {
 	e, _ := newEngine(map[string]int64{"SDSS": 1, "TWOMASS": 2})
 	sql := `SELECT O.object_id FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T
 		WHERE AREA(185, -0.5, 900) AND XMATCH(O, T) < 3.5`
-	p1, err := e.BuildPlanSQL(sql)
+	p1, err := e.BuildPlanSQL(context.Background(), sql)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p2, err := e.BuildPlanSQL(sql)
+	p2, err := e.BuildPlanSQL(context.Background(), sql)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -357,7 +358,7 @@ func TestMalformedTupleSet(t *testing.T) {
 	svc.tuples = dataset.New(dataset.Column{Name: "only", Type: value.IntType})
 	sql := `SELECT O.object_id FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T
 		WHERE AREA(185, -0.5, 900) AND XMATCH(O, T) < 3.5`
-	if _, err := e.Execute(sql); err == nil || !strings.Contains(err.Error(), "malformed") {
+	if _, err := e.Execute(context.Background(), sql); err == nil || !strings.Contains(err.Error(), "malformed") {
 		t.Errorf("err = %v", err)
 	}
 }

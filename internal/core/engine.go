@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -49,17 +50,21 @@ type Catalog interface {
 	Archive(name string) (*Archive, error)
 }
 
-// Services performs the remote operations of the federation.
+// Services performs the remote operations of the federation. Every
+// method takes the query's context first: cancelling it aborts the
+// in-flight HTTP exchanges behind the call.
 type Services interface {
 	// CountStar runs a performance query (SELECT COUNT(*) ...) at the
-	// archive and returns the bound.
-	CountStar(a *Archive, sql string) (int64, error)
+	// archive and returns the bound. area is the query's AREA clause,
+	// passed structurally so a sharded backend can route the probe to
+	// only the shards whose trixel ranges the area covers.
+	CountStar(ctx context.Context, a *Archive, sql string, area plan.Area) (int64, error)
 	// CrossMatch hands the plan to the first step's node and returns the
 	// final partial-tuple set that flowed back up the chain.
-	CrossMatch(p *plan.Plan) (*dataset.DataSet, error)
+	CrossMatch(ctx context.Context, p *plan.Plan) (*dataset.DataSet, error)
 	// TableQuery runs a complete single-archive query and returns its
 	// rows (used for pass-through queries and the pull baseline).
-	TableQuery(a *Archive, sql string) (*dataset.DataSet, error)
+	TableQuery(ctx context.Context, a *Archive, sql string) (*dataset.DataSet, error)
 }
 
 // StatsProbe is the planner's statistics request for one archive: the
@@ -94,7 +99,7 @@ type StatsEstimate struct {
 // fault an older node raises — sends the planner to the count-star
 // fallback for that archive, so mixed federations plan without error.
 type StatsServices interface {
-	StatsSummary(a *Archive, probe *StatsProbe) (*StatsEstimate, error)
+	StatsSummary(ctx context.Context, a *Archive, probe *StatsProbe) (*StatsEstimate, error)
 }
 
 // ThroughputServices is optionally implemented by a Services that can
@@ -174,12 +179,13 @@ func (p *Prepared) Key() string { return p.key }
 func (p *Prepared) IsCrossMatch() bool { return p.plan != nil }
 
 // Execute parses and runs a query, returning the final result set.
-func (e *Engine) Execute(sql string) (*dataset.DataSet, error) {
-	prep, err := e.Prepare(sql)
+// Cancelling ctx aborts the probes and the chain mid-flight.
+func (e *Engine) Execute(ctx context.Context, sql string) (*dataset.DataSet, error) {
+	prep, err := e.Prepare(ctx, sql)
 	if err != nil {
 		return nil, err
 	}
-	return e.ExecutePrepared(prep)
+	return e.ExecutePrepared(ctx, prep)
 }
 
 // Prepare parses, validates, and plans a query without executing it.
@@ -187,7 +193,7 @@ func (e *Engine) Execute(sql string) (*dataset.DataSet, error) {
 // probes, so preparing is itself a federated operation. It emits the
 // "submit" event (Figure 3 step 1); re-running a cached Prepared should
 // announce the submission through EmitSubmit instead.
-func (e *Engine) Prepare(sql string) (*Prepared, error) {
+func (e *Engine) Prepare(ctx context.Context, sql string) (*Prepared, error) {
 	q, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -198,7 +204,7 @@ func (e *Engine) Prepare(sql string) (*Prepared, error) {
 	}
 	prep := &Prepared{key: q.String(), q: q}
 	if q.XMatch != nil {
-		p, err := e.BuildPlan(q)
+		p, err := e.BuildPlan(ctx, q)
 		if err != nil {
 			return nil, err
 		}
@@ -217,14 +223,14 @@ func (e *Engine) EmitSubmit(sql string) {
 // ExecutePrepared runs a previously prepared query. Cross-match plans
 // are executed on a copy stamped with a fresh query ID; the Prepared
 // itself is never mutated and stays valid for further executions.
-func (e *Engine) ExecutePrepared(prep *Prepared) (*dataset.DataSet, error) {
+func (e *Engine) ExecutePrepared(ctx context.Context, prep *Prepared) (*dataset.DataSet, error) {
 	if prep.plan == nil {
-		return e.passThrough(prep.q)
+		return e.passThrough(ctx, prep.q)
 	}
 	pl := *prep.plan
 	pl.QueryID = e.queryID()
 	e.emit("execute", "chain: %s", &pl)
-	tuples, err := e.Services.CrossMatch(&pl)
+	tuples, err := e.Services.CrossMatch(ctx, &pl)
 	if err != nil {
 		return nil, err
 	}
@@ -260,13 +266,13 @@ func (e *Engine) passThroughTarget(q *sqlparse.Query) (*Archive, string, error) 
 }
 
 // passThrough relays a non-XMATCH query to its single archive.
-func (e *Engine) passThrough(q *sqlparse.Query) (*dataset.DataSet, error) {
+func (e *Engine) passThrough(ctx context.Context, q *sqlparse.Query) (*dataset.DataSet, error) {
 	a, local, err := e.passThroughTarget(q)
 	if err != nil {
 		return nil, err
 	}
 	e.emit("execute", "pass-through to %s", a.Name)
-	res, err := e.Services.TableQuery(a, local)
+	res, err := e.Services.TableQuery(ctx, a, local)
 	if err != nil {
 		return nil, err
 	}

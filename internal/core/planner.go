@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -15,7 +16,7 @@ import (
 // ("asynchronous SOAP messages", §5.3), orders the steps by the paper's
 // rule, and assigns each cross-archive predicate to the chain step where
 // it first becomes evaluable.
-func (e *Engine) BuildPlan(q *sqlparse.Query) (*plan.Plan, error) {
+func (e *Engine) BuildPlan(ctx context.Context, q *sqlparse.Query) (*plan.Plan, error) {
 	if q.XMatch == nil {
 		return nil, fmt.Errorf("core: BuildPlan needs an XMATCH query")
 	}
@@ -163,14 +164,14 @@ func (e *Engine) BuildPlan(q *sqlparse.Query) (*plan.Plan, error) {
 					Area:       area,
 				}
 				e.emit("statsquery.send", "%s: table=%s where=%q", steps[i].Archive, probe.Table, probe.LocalWhere)
-				if est, err := ss.StatsSummary(a, probe); err == nil && est.HasStats {
+				if est, err := ss.StatsSummary(ctx, a, probe); err == nil && est.HasStats {
 					ch <- probeResult{idx: i, count: est.AreaRows, est: est}
 					return
 				}
 			}
 			sql := e.performanceQuery(q, steps[i])
 			e.emit("perfquery.send", "%s: %s", steps[i].Archive, sql)
-			c, err := e.Services.CountStar(a, sql)
+			c, err := e.Services.CountStar(ctx, a, sql, area)
 			ch <- probeResult{idx: i, count: c, err: err}
 		}(i)
 	}
@@ -315,7 +316,7 @@ func checkExprColumns(e sqlparse.Expr, alias string, ti TableInfo) error {
 
 // BuildPlanSQL parses and validates sql, then builds its plan. It is the
 // string-level convenience wrapper around BuildPlan.
-func (e *Engine) BuildPlanSQL(sql string) (*plan.Plan, error) {
+func (e *Engine) BuildPlanSQL(ctx context.Context, sql string) (*plan.Plan, error) {
 	q, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -323,5 +324,5 @@ func (e *Engine) BuildPlanSQL(sql string) (*plan.Plan, error) {
 	if err := sqlparse.Validate(q); err != nil {
 		return nil, err
 	}
-	return e.BuildPlan(q)
+	return e.BuildPlan(ctx, q)
 }

@@ -12,6 +12,8 @@ package core
 // iterator shape either way.
 
 import (
+	"context"
+
 	"skyquery/internal/dataset"
 	"skyquery/internal/plan"
 	"skyquery/internal/sqlparse"
@@ -32,20 +34,20 @@ type TupleStream interface {
 type StreamServices interface {
 	// CrossMatchStream hands the plan to the first step's node and
 	// returns the partial tuples flowing back as a page stream.
-	CrossMatchStream(p *plan.Plan) (TupleStream, error)
+	CrossMatchStream(ctx context.Context, p *plan.Plan) (TupleStream, error)
 	// TableQueryStream runs a complete single-archive query and returns
 	// its rows as a page stream.
-	TableQueryStream(a *Archive, sql string) (TupleStream, error)
+	TableQueryStream(ctx context.Context, a *Archive, sql string) (TupleStream, error)
 }
 
 // ExecutePreparedStream runs a previously prepared query and returns
 // the result as a page stream. Result rows are bit-identical to
 // ExecutePrepared's — both paths share the compiled projector — but
 // they reach the caller page by page, before the chain completes.
-func (e *Engine) ExecutePreparedStream(prep *Prepared) (TupleStream, error) {
+func (e *Engine) ExecutePreparedStream(ctx context.Context, prep *Prepared) (TupleStream, error) {
 	ss, ok := e.Services.(StreamServices)
 	if !ok {
-		ds, err := e.ExecutePrepared(prep)
+		ds, err := e.ExecutePrepared(ctx, prep)
 		if err != nil {
 			return nil, err
 		}
@@ -57,12 +59,12 @@ func (e *Engine) ExecutePreparedStream(prep *Prepared) (TupleStream, error) {
 			return nil, err
 		}
 		e.emit("execute", "pass-through to %s (streaming)", a.Name)
-		return ss.TableQueryStream(a, local)
+		return ss.TableQueryStream(ctx, a, local)
 	}
 	pl := *prep.plan
 	pl.QueryID = e.queryID()
 	e.emit("execute", "chain: %s (streaming)", &pl)
-	ts, err := ss.CrossMatchStream(&pl)
+	ts, err := ss.CrossMatchStream(ctx, &pl)
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -42,11 +43,11 @@ const skewedQuery = `
 func runPlanDirect(fed *skyquery.Federation, p *plan.Plan) (int, error) {
 	c := &soap.Client{HTTPClient: fed.Transport.Client()}
 	var first soap.ChunkedData
-	if err := c.Call(p.Steps[0].Endpoint, skynode.ActionCrossMatch,
+	if err := c.Call(context.Background(), p.Steps[0].Endpoint, skynode.ActionCrossMatch,
 		&skynode.CrossMatchRequest{Plan: *p}, &first); err != nil {
 		return 0, err
 	}
-	ds, err := soap.FetchAll(c, p.Steps[0].Endpoint, &first)
+	ds, err := soap.FetchAll(context.Background(), c, p.Steps[0].Endpoint, &first)
 	if err != nil {
 		return 0, err
 	}
@@ -63,7 +64,7 @@ func C1PlanOrdering() (*Table, error) {
 	}
 	defer fed.Close()
 
-	base, err := fed.BuildPlan(skewedQuery)
+	base, err := fed.BuildPlan(context.Background(), skewedQuery)
 	if err != nil {
 		return nil, err
 	}
@@ -165,7 +166,7 @@ func C2Chunking() (*Table, error) {
 		}
 		start := time.Now()
 		var first soap.ChunkedData
-		err := c.Call(url, "urn:exp:Big", &soap.FetchRequest{}, &first)
+		err := c.Call(context.Background(), url, "urn:exp:Big", &soap.FetchRequest{}, &first)
 		if err != nil {
 			var tooBig *soap.ErrMessageTooLarge
 			var fault *soap.Fault
@@ -175,7 +176,7 @@ func C2Chunking() (*Table, error) {
 			}
 			return nil, err
 		}
-		got, err := soap.FetchAll(c, url, &first)
+		got, err := soap.FetchAll(context.Background(), c, url, &first)
 		if err != nil {
 			var tooBig *soap.ErrMessageTooLarge
 			if errors.As(err, &tooBig) {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -41,7 +42,7 @@ func C5ChainVsPull() (*Table, error) {
 		}
 		fed.Transport.Reset()
 		start := time.Now()
-		res, err := fed.Query(sql)
+		res, err := fed.Query(context.Background(), sql)
 		if err != nil {
 			return nil, err
 		}
@@ -50,7 +51,7 @@ func C5ChainVsPull() (*Table, error) {
 
 		fed.Transport.Reset()
 		start = time.Now()
-		pullRes, err := fed.PullQuery(sql)
+		pullRes, err := fed.PullQuery(context.Background(), sql)
 		if err != nil {
 			return nil, err
 		}
@@ -107,7 +108,7 @@ func C6Scaling() (*Table, error) {
 			WHERE AREA(185.0, -0.5, 900) AND XMATCH(%s) < 3.5`, from, aliases)
 		fed.Transport.Reset()
 		start := time.Now()
-		res, err := fed.Query(sql)
+		res, err := fed.Query(context.Background(), sql)
 		if err != nil {
 			fed.Close()
 			return nil, err
@@ -133,7 +134,7 @@ func C6Scaling() (*Table, error) {
 			WHERE AREA(185.0, -0.5, %g) AND XMATCH(O, T, P) < 3.5`, radiusArcsec)
 		fed.Transport.Reset()
 		start := time.Now()
-		res, err := fed.Query(sql)
+		res, err := fed.Query(context.Background(), sql)
 		if err != nil {
 			return nil, err
 		}
@@ -169,7 +170,7 @@ func C7PerfQueries() (*Table, error) {
 	fed.Transport.Reset()
 	start := time.Now()
 	for i := 0; i < reps; i++ {
-		if _, err := fed.BuildPlan(paperQuery); err != nil {
+		if _, err := fed.BuildPlan(context.Background(), paperQuery); err != nil {
 			return nil, err
 		}
 	}
@@ -189,7 +190,7 @@ func C7PerfQueries() (*Table, error) {
 	fed.Transport.Reset()
 	start = time.Now()
 	for i := 0; i < reps; i++ {
-		if _, err := fed.Query(paperQuery); err != nil {
+		if _, err := fed.Query(context.Background(), paperQuery); err != nil {
 			return nil, err
 		}
 	}

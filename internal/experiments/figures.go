@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -44,7 +45,7 @@ func F1Federation() (*Table, error) {
 	t.Add("join", "Information call-backs", handshake["Information"])
 
 	fed.Transport.Reset()
-	res, err := fed.Client().Query(paperQuery)
+	res, err := fed.Client().Query(context.Background(), paperQuery)
 	if err != nil {
 		return nil, err
 	}
@@ -87,7 +88,7 @@ func F2XMatchSemantics() (*Table, error) {
 		Title:  "Figure 2 — XMATCH selection with and without drop-out",
 		Header: []string{"clause", "selected set", "interpretation"},
 	}
-	all, err := fed.Query(`SELECT O.body, T.body, P.body
+	all, err := fed.Query(context.Background(), `SELECT O.body, T.body, P.body
 		FROM O:Obs O, T:Obs T, P:Obs P
 		WHERE AREA(185.0, -0.5, 60) AND XMATCH(O, T, P) < 3.5`)
 	if err != nil {
@@ -98,7 +99,7 @@ func F2XMatchSemantics() (*Table, error) {
 			fmt.Sprintf("{%sO, %sT, %sP}", row[0].AsString(), row[1].AsString(), row[2].AsString()),
 			"all three observations within the error bound")
 	}
-	drop, err := fed.Query(`SELECT O.body, T.body
+	drop, err := fed.Query(context.Background(), `SELECT O.body, T.body
 		FROM O:Obs O, T:Obs T, P:Obs P
 		WHERE AREA(185.0, -0.5, 60) AND XMATCH(O, T, !P) < 3.5`)
 	if err != nil {
@@ -184,7 +185,7 @@ func F3ExecutionTrace() (*Table, error) {
 	}
 	defer fed.Close()
 
-	if _, err := fed.Query(paperQuery); err != nil {
+	if _, err := fed.Query(context.Background(), paperQuery); err != nil {
 		return nil, err
 	}
 

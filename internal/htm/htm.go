@@ -34,6 +34,13 @@ type ID uint64
 // the ID still fits comfortably in 52 bits.
 const MaxLevel = 24
 
+// LevelRange returns the inclusive range of all valid trixel IDs at a
+// level: the full-sky ID universe a sharded archive's trixel ranges must
+// tile. Root trixels are 8..15, and each level appends two bits.
+func LevelRange(level int) Range {
+	return Range{Lo: ID(8) << (2 * uint(level)), Hi: ID(16)<<(2*uint(level)) - 1}
+}
+
 // rootVertices are the 6 octahedron corners the standard HTM starts from.
 var rootVertices = [6]sphere.Vec{
 	{X: 0, Y: 0, Z: 1},  // v0: north pole
@@ -240,21 +247,32 @@ type Cover struct {
 	Partial []Range
 }
 
-// Each enumerates the cover's ranges in the emission order of a range
-// search — inner ranges first (objects there need no containment test),
-// then partial ranges (objects must be tested individually) — until fn
-// returns false. It is the block-aligned enumeration protocol behind the
-// storage layer's spatial searches: a consumer drains each contiguous ID
-// range as one index scan instead of re-deriving the inner/partial split.
+// Each enumerates the cover's ranges in canonical trixel order — inner
+// and partial ranges interleaved by ascending ID, each tagged with
+// whether its objects still need an individual containment test — until
+// fn returns false. It is the block-aligned enumeration protocol behind
+// the storage layer's spatial searches: a consumer drains each contiguous
+// ID range as one index scan instead of re-deriving the inner/partial
+// split. The global ascending order is load-bearing for the sharded
+// federation: a shard holding trixels [lo,hi] emits exactly the slice of
+// this enumeration that falls in its range, so concatenating shard
+// outputs in range order reproduces the single-node order at any shard
+// count.
 func (c Cover) Each(fn func(r Range, needTest bool) bool) {
-	for _, r := range c.Inner {
-		if !fn(r, false) {
-			return
-		}
-	}
-	for _, r := range c.Partial {
-		if !fn(r, true) {
-			return
+	i, p := 0, 0
+	for i < len(c.Inner) || p < len(c.Partial) {
+		takeInner := p >= len(c.Partial) ||
+			(i < len(c.Inner) && c.Inner[i].Lo <= c.Partial[p].Lo)
+		if takeInner {
+			if !fn(c.Inner[i], false) {
+				return
+			}
+			i++
+		} else {
+			if !fn(c.Partial[p], true) {
+				return
+			}
+			p++
 		}
 	}
 }

@@ -190,15 +190,29 @@ func TestCoverEach(t *testing.T) {
 	if len(rs) != len(cov.Inner)+len(cov.Partial) {
 		t.Fatalf("Each yielded %d ranges, want %d", len(rs), len(cov.Inner)+len(cov.Partial))
 	}
-	for i, r := range cov.Inner {
-		if rs[i] != r || tests[i] {
-			t.Fatalf("range %d = %v (test=%v), want inner %v", i, rs[i], tests[i], r)
+	// Canonical trixel order: ascending by Lo across the inner/partial
+	// interleave, each range tagged with its classification.
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Lo <= rs[i-1].Lo {
+			t.Fatalf("range %d = %v not in ascending trixel order after %v", i, rs[i], rs[i-1])
 		}
 	}
-	for i, r := range cov.Partial {
-		j := len(cov.Inner) + i
-		if rs[j] != r || !tests[j] {
-			t.Fatalf("range %d = %v (test=%v), want partial %v", j, rs[j], tests[j], r)
+	seen := map[Range]bool{}
+	for i, r := range rs {
+		seen[r] = true
+		want := false
+		for _, p := range cov.Partial {
+			if p == r {
+				want = true
+			}
+		}
+		if tests[i] != want {
+			t.Fatalf("range %d = %v tagged needTest=%v, want %v", i, rs[i], tests[i], want)
+		}
+	}
+	for _, r := range append(append([]Range(nil), cov.Inner...), cov.Partial...) {
+		if !seen[r] {
+			t.Fatalf("range %v missing from enumeration", r)
 		}
 	}
 	// Early stop.

@@ -1,6 +1,7 @@
 package portal
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/url"
@@ -40,33 +41,33 @@ func (p *Portal) engine() *core.Engine {
 // final result set. Repeated submissions of the same query (under any
 // formatting) replay its cached prepared form, skipping parse, validate,
 // plan, and the count-star performance probes.
-func (p *Portal) Query(sql string) (*dataset.DataSet, error) {
-	prep, err := p.prepared(sql)
+func (p *Portal) Query(ctx context.Context, sql string) (*dataset.DataSet, error) {
+	prep, err := p.prepared(ctx, sql)
 	if err != nil {
 		return nil, err
 	}
-	return p.engine().ExecutePrepared(prep)
+	return p.engine().ExecutePrepared(ctx, prep)
 }
 
 // QueryStream executes a query and returns the result as a page stream:
 // rows reach the caller as the chain produces them, and the Portal holds
 // one page at a time instead of the folded result. Plan caching works
 // exactly as in Query.
-func (p *Portal) QueryStream(sql string) (core.TupleStream, error) {
-	prep, err := p.prepared(sql)
+func (p *Portal) QueryStream(ctx context.Context, sql string) (core.TupleStream, error) {
+	prep, err := p.prepared(ctx, sql)
 	if err != nil {
 		return nil, err
 	}
-	return p.engine().ExecutePreparedStream(prep)
+	return p.engine().ExecutePreparedStream(ctx, prep)
 }
 
 // prepared resolves sql to its compiled form through the plan cache
 // (cache hits replay the Prepared and re-announce the submission; a nil
 // cache prepares every time).
-func (p *Portal) prepared(sql string) (*core.Prepared, error) {
+func (p *Portal) prepared(ctx context.Context, sql string) (*core.Prepared, error) {
 	eng := p.engine()
 	if p.plans == nil {
-		return eng.Prepare(sql)
+		return eng.Prepare(ctx, sql)
 	}
 	key, err := p.planKey(sql)
 	if err != nil {
@@ -76,7 +77,7 @@ func (p *Portal) prepared(sql string) (*core.Prepared, error) {
 		eng.EmitSubmit(sql)
 		return prep, nil
 	}
-	prep, err := eng.Prepare(sql)
+	prep, err := eng.Prepare(ctx, sql)
 	if err != nil {
 		return nil, err
 	}
@@ -97,14 +98,14 @@ func (p *Portal) planKey(sql string) (string, error) {
 
 // PullQuery executes a cross-match with the pull-to-portal baseline
 // strategy (see core.PullExecute); used by the comparison experiments.
-func (p *Portal) PullQuery(sql string) (*dataset.DataSet, error) {
-	return p.engine().PullExecute(sql)
+func (p *Portal) PullQuery(ctx context.Context, sql string) (*dataset.DataSet, error) {
+	return p.engine().PullExecute(ctx, sql)
 }
 
 // BuildPlan parses the query and constructs (but does not execute) its
 // plan, including the count-star probes. Useful for tools and tests.
-func (p *Portal) BuildPlan(sql string) (*plan.Plan, error) {
-	return p.engine().BuildPlanSQL(sql)
+func (p *Portal) BuildPlan(ctx context.Context, sql string) (*plan.Plan, error) {
+	return p.engine().BuildPlanSQL(ctx, sql)
 }
 
 // Explain builds the query's plan without executing it and renders an
@@ -116,8 +117,8 @@ func (p *Portal) BuildPlan(sql string) (*plan.Plan, error) {
 // predicate pushed to the node. Estimate-vs-actual counts for executed
 // queries surface in the event stream: "plan.cost" per planned step at
 // prepare time and "xmatch.estimate" from the seed node at run time.
-func (p *Portal) Explain(sql string) (string, error) {
-	pl, err := p.BuildPlan(sql)
+func (p *Portal) Explain(ctx context.Context, sql string) (string, error) {
+	pl, err := p.BuildPlan(ctx, sql)
 	if err != nil {
 		return "", err
 	}
@@ -180,12 +181,22 @@ type portalServices struct {
 	p *Portal
 }
 
-// CountStar implements core.Services via the node's Query service.
-func (s *portalServices) CountStar(a *core.Archive, sql string) (int64, error) {
-	ds, err := s.TableQuery(a, sql)
+// CountStar implements core.Services via the node's Query service. For
+// a sharded archive the probe scatters to the shards whose trixel
+// ranges the query area covers and the per-shard counts are summed.
+func (s *portalServices) CountStar(ctx context.Context, a *core.Archive, sql string, area plan.Area) (int64, error) {
+	if m := s.p.shardMapFor(a.Name); m != nil {
+		return s.p.scatterCount(ctx, m, sql, &area)
+	}
+	ds, err := s.TableQuery(ctx, a, sql)
 	if err != nil {
 		return 0, err
 	}
+	return oneIntCell(ds)
+}
+
+// oneIntCell extracts the single INT cell of a 1x1 result set.
+func oneIntCell(ds *dataset.DataSet) (int64, error) {
 	if ds.NumRows() != 1 || len(ds.Columns) != 1 {
 		return 0, fmt.Errorf("portal: performance query returned %dx%d, want 1x1", ds.NumRows(), len(ds.Columns))
 	}
@@ -200,12 +211,15 @@ func (s *portalServices) CountStar(a *core.Archive, sql string) (int64, error) {
 // service. Endpoints that have faulted on the action (older nodes) are
 // remembered and skipped — the planner goes straight to its count-star
 // fallback for them — until the node re-registers.
-func (s *portalServices) StatsSummary(a *core.Archive, probe *core.StatsProbe) (*core.StatsEstimate, error) {
+func (s *portalServices) StatsSummary(ctx context.Context, a *core.Archive, probe *core.StatsProbe) (*core.StatsEstimate, error) {
+	if m := s.p.shardMapFor(a.Name); m != nil {
+		return s.p.scatterStats(ctx, m, probe)
+	}
 	if _, old := s.p.noStats.Load(a.Endpoint); old {
 		return nil, fmt.Errorf("portal: node %s has no StatsSummary service", a.Name)
 	}
 	var resp skynode.StatsResponse
-	err := s.p.client.Call(a.Endpoint, skynode.ActionStats, &skynode.StatsRequest{
+	err := s.p.client.Call(ctx, a.Endpoint, skynode.ActionStats, &skynode.StatsRequest{
 		Table:      probe.Table,
 		Alias:      probe.Alias,
 		LocalWhere: probe.LocalWhere,
@@ -240,38 +254,56 @@ func (s *portalServices) ObservedThroughput(endpoint string) float64 {
 
 // TableQuery implements core.Services via the node's Query service,
 // draining chunked responses.
-func (s *portalServices) TableQuery(a *core.Archive, sql string) (*dataset.DataSet, error) {
+func (s *portalServices) TableQuery(ctx context.Context, a *core.Archive, sql string) (*dataset.DataSet, error) {
+	if m := s.p.shardMapFor(a.Name); m != nil {
+		return s.p.scatterTableQuery(ctx, m, sql)
+	}
 	var first soap.ChunkedData
-	if err := s.p.client.Call(a.Endpoint, skynode.ActionQuery, &skynode.QueryRequest{SQL: sql}, &first); err != nil {
+	if err := s.p.client.Call(ctx, a.Endpoint, skynode.ActionQuery, &skynode.QueryRequest{SQL: sql}, &first); err != nil {
 		return nil, err
 	}
-	return soap.FetchAll(s.p.client, a.Endpoint, &first)
+	return soap.FetchAll(ctx, s.p.client, a.Endpoint, &first)
 }
 
 // CrossMatch implements core.Services: it sends the plan to the first
 // step's node and drains the chunked tuple response.
-func (s *portalServices) CrossMatch(pl *plan.Plan) (*dataset.DataSet, error) {
+func (s *portalServices) CrossMatch(ctx context.Context, pl *plan.Plan) (*dataset.DataSet, error) {
+	if s.p.planSharded(pl) {
+		return s.p.scatterCrossMatch(ctx, pl)
+	}
 	firstStep := pl.Steps[0]
 	var first soap.ChunkedData
-	if err := s.p.client.Call(firstStep.Endpoint, skynode.ActionCrossMatch,
+	if err := s.p.client.Call(ctx, firstStep.Endpoint, skynode.ActionCrossMatch,
 		&skynode.CrossMatchRequest{Plan: *pl}, &first); err != nil {
 		return nil, err
 	}
-	return soap.FetchAll(s.p.client, firstStep.Endpoint, &first)
+	return soap.FetchAll(ctx, s.p.client, firstStep.Endpoint, &first)
 }
 
 // CrossMatchStream implements core.StreamServices: the chain's partial
 // tuples flow back page by page, each chain node holding only its
 // in-flight page. A node that cannot stream degrades transparently to
 // chunk-by-chunk fetching inside the PageStream.
-func (s *portalServices) CrossMatchStream(pl *plan.Plan) (core.TupleStream, error) {
+func (s *portalServices) CrossMatchStream(ctx context.Context, pl *plan.Plan) (core.TupleStream, error) {
+	if s.p.planSharded(pl) {
+		return s.p.scatterCrossMatchStream(ctx, pl)
+	}
 	firstStep := pl.Steps[0]
-	return soap.OpenStream(s.p.client, firstStep.Endpoint, skynode.ActionCrossMatch,
+	return soap.OpenStream(ctx, s.p.client, firstStep.Endpoint, skynode.ActionCrossMatch,
 		&skynode.CrossMatchRequest{Plan: *pl})
 }
 
 // TableQueryStream implements core.StreamServices via the node's Query
 // service.
-func (s *portalServices) TableQueryStream(a *core.Archive, sql string) (core.TupleStream, error) {
-	return soap.OpenStream(s.p.client, a.Endpoint, skynode.ActionQuery, &skynode.QueryRequest{SQL: sql})
+func (s *portalServices) TableQueryStream(ctx context.Context, a *core.Archive, sql string) (core.TupleStream, error) {
+	if m := s.p.shardMapFor(a.Name); m != nil {
+		// A sharded pass-through may need a portal-side global sort, so
+		// it folds; the result is re-paged for the iterator shape.
+		ds, err := s.p.scatterTableQuery(ctx, m, sql)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewSliceStream(ds, s.p.cfg.ChunkRows), nil
+	}
+	return soap.OpenStream(ctx, s.p.client, a.Endpoint, skynode.ActionQuery, &skynode.QueryRequest{SQL: sql})
 }

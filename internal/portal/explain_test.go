@@ -7,6 +7,7 @@ package portal
 // ("plan.cost" per step).
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -14,7 +15,7 @@ import (
 func TestExplainRendersPlanSummary(t *testing.T) {
 	f := newFed(t, 150, surveyConfigs())
 	f.clearEvents()
-	out, err := f.portal.Explain(paperStyleQuery("O.flux > 20"))
+	out, err := f.portal.Explain(context.Background(), paperStyleQuery("O.flux > 20"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestExplainRendersPlanSummary(t *testing.T) {
 
 func TestExplainCountProbeMode(t *testing.T) {
 	f := newFedWith(t, 150, surveyConfigs(), Config{CountProbeOrder: true})
-	out, err := f.portal.Explain(paperStyleQuery(""))
+	out, err := f.portal.Explain(context.Background(), paperStyleQuery(""))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestExplainCountProbeMode(t *testing.T) {
 
 func TestExplainBadQuery(t *testing.T) {
 	f := newFed(t, 50, surveyConfigs()[:1])
-	if _, err := f.portal.Explain("garbage"); err == nil {
+	if _, err := f.portal.Explain(context.Background(), "garbage"); err == nil {
 		t.Error("Explain(garbage) succeeded, want error")
 	}
 }

@@ -1,6 +1,7 @@
 package portal
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -21,7 +22,7 @@ func TestPlanCacheHitSkipsPlanning(t *testing.T) {
 	f := newFed(t, 100, surveyConfigs())
 	q := paperStyleQuery("")
 
-	first, err := f.portal.Query(q)
+	first, err := f.portal.Query(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +35,7 @@ func TestPlanCacheHitSkipsPlanning(t *testing.T) {
 	}
 
 	f.clearEvents()
-	second, err := f.portal.Query(q)
+	second, err := f.portal.Query(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestPlanCacheNormalizedKey(t *testing.T) {
 	f := newFed(t, 100, surveyConfigs())
 	q := paperStyleQuery("")
 
-	if _, err := f.portal.Query(q); err != nil {
+	if _, err := f.portal.Query(context.Background(), q); err != nil {
 		t.Fatal(err)
 	}
 	// Same query, different formatting: extra whitespace and lower-cased
@@ -75,7 +76,7 @@ func TestPlanCacheNormalizedKey(t *testing.T) {
 	reformatted := strings.NewReplacer(
 		"SELECT", "select", "FROM", "from", "WHERE", "where", "AND", "and",
 	).Replace(strings.Join(strings.Fields(q), "  "))
-	if _, err := f.portal.Query(reformatted); err != nil {
+	if _, err := f.portal.Query(context.Background(), reformatted); err != nil {
 		t.Fatal(err)
 	}
 	if s := f.portal.PlanCacheStats(); s.Hits != 1 || s.Misses != 1 {
@@ -83,7 +84,7 @@ func TestPlanCacheNormalizedKey(t *testing.T) {
 	}
 
 	// A genuinely different query misses.
-	if _, err := f.portal.Query(paperStyleQuery("O.flux < 1000")); err != nil {
+	if _, err := f.portal.Query(context.Background(), paperStyleQuery("O.flux < 1000")); err != nil {
 		t.Fatal(err)
 	}
 	if s := f.portal.PlanCacheStats(); s.Misses != 2 || s.Entries != 2 {
@@ -95,7 +96,7 @@ func TestPlanCacheCatalogChangeInvalidates(t *testing.T) {
 	f := newFed(t, 100, surveyConfigs())
 	q := paperStyleQuery("")
 
-	if _, err := f.portal.Query(q); err != nil {
+	if _, err := f.portal.Query(context.Background(), q); err != nil {
 		t.Fatal(err)
 	}
 	// Re-registration (schema may have changed) bumps the catalog
@@ -103,14 +104,14 @@ func TestPlanCacheCatalogChangeInvalidates(t *testing.T) {
 	if err := f.portal.Register("SDSS", f.endpoints["SDSS"]); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.portal.Query(q); err != nil {
+	if _, err := f.portal.Query(context.Background(), q); err != nil {
 		t.Fatal(err)
 	}
 	if s := f.portal.PlanCacheStats(); s.Hits != 0 || s.Misses != 2 {
 		t.Errorf("catalog change did not invalidate: %+v", s)
 	}
 	// Stable catalog again: the re-prepared plan hits.
-	if _, err := f.portal.Query(q); err != nil {
+	if _, err := f.portal.Query(context.Background(), q); err != nil {
 		t.Fatal(err)
 	}
 	if s := f.portal.PlanCacheStats(); s.Hits != 1 {
@@ -158,7 +159,7 @@ func TestPlanCacheDisabled(t *testing.T) {
 	f.portal.plans = newPlanCache(-1)
 	sql := fmt.Sprintf("SELECT o.object_id FROM SDSS:%s o", "PhotoObject")
 	for i := 0; i < 2; i++ {
-		if _, err := f.portal.Query(sql); err != nil {
+		if _, err := f.portal.Query(context.Background(), sql); err != nil {
 			t.Fatal(err)
 		}
 	}

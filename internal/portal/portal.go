@@ -9,6 +9,7 @@
 package portal
 
 import (
+	"context"
 	"encoding/xml"
 	"fmt"
 	"sync"
@@ -91,7 +92,12 @@ type Portal struct {
 
 	mu       sync.RWMutex
 	catalog  map[string]*archiveInfo
+	self     string
 	querySeq atomic.Int64
+
+	// shardDown remembers replica endpoints that failed a scatter call,
+	// each until its cooldown expires (see scatter.go).
+	shardDown sync.Map
 
 	// catalogVersion bumps on every registration; the plan cache salts
 	// its keys with it, so catalog changes invalidate cached plans.
@@ -135,8 +141,28 @@ func New(cfg Config) *Portal {
 // Server returns the Portal's SOAP server (an http.Handler).
 func (p *Portal) Server() *soap.Server { return p.server }
 
+// SetSelfURL records the Portal's own public URL. Sharded chain
+// execution requires it: nodes fetch their step's incoming tuples back
+// from the Portal's chunk stash at this address.
+func (p *Portal) SetSelfURL(u string) {
+	p.mu.Lock()
+	p.self = u
+	p.mu.Unlock()
+}
+
+func (p *Portal) selfURL() string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.self
+}
+
 // Registry exposes the service registry (read-mostly; useful for tools).
 func (p *Portal) Registry() *registry.Registry { return p.reg }
+
+// ChunkPending reports how many chunked transfers (client result tails
+// and scatter stash tokens) the Portal currently holds parked (test
+// instrumentation: cancelled work must release these promptly).
+func (p *Portal) ChunkPending() int { return p.chunks.Pending() }
 
 // SetWSDL generates and installs the Portal's WSDL for its public URL.
 func (p *Portal) SetWSDL(endpoint string) error {
@@ -170,6 +196,22 @@ type RegisterRequest struct {
 	Name     string   `xml:"name,attr"`
 	Endpoint string   `xml:"endpoint,attr"`
 	Services []string `xml:"Service,omitempty"`
+	// Shard, when present, registers the node as one replica of a shard
+	// of the archive instead of the whole archive (see WIRE.md).
+	Shard *ShardInfo `xml:"Shard,omitempty"`
+}
+
+// ShardInfo is the registration payload announcing a node as one
+// replica of a trixel-range shard: shard Index of Count, holding the
+// inclusive trixel range [Lo, Hi] at HTM level Level. Follower marks a
+// read replica; the default registers the shard's append leader.
+type ShardInfo struct {
+	Index    int    `xml:"index,attr"`
+	Count    int    `xml:"count,attr"`
+	Level    int    `xml:"level,attr"`
+	Lo       uint64 `xml:"lo,attr"`
+	Hi       uint64 `xml:"hi,attr"`
+	Follower bool   `xml:"follower,attr,omitempty"`
 }
 
 // RegisterResponse acknowledges a registration.
@@ -191,7 +233,11 @@ func (p *Portal) handleRegister(r *soap.Request) (interface{}, error) {
 	if err := r.Decode(&req); err != nil {
 		return nil, err
 	}
-	if err := p.Register(req.Name, req.Endpoint); err != nil {
+	if req.Shard != nil {
+		if err := p.RegisterShard(req.Name, req.Endpoint, *req.Shard); err != nil {
+			return nil, err
+		}
+	} else if err := p.Register(req.Name, req.Endpoint); err != nil {
 		return nil, err
 	}
 	return &RegisterResponse{OK: true, Members: p.reg.Len()}, nil
@@ -202,16 +248,17 @@ func (p *Portal) handleSkyQuery(r *soap.Request) (interface{}, error) {
 	if err := r.Decode(&req); err != nil {
 		return nil, err
 	}
+	ctx := r.Context()
 	if r.WantsStream() {
 		// Prepare (parse, validate, plan, count-star probes) and open the
 		// chain before the response starts, so those failures still travel
 		// as ordinary XML faults; only errors after the first byte go
 		// in-band as columnar error frames.
-		prep, err := p.prepared(req.SQL)
+		prep, err := p.prepared(ctx, req.SQL)
 		if err != nil {
 			return nil, err
 		}
-		ts, err := p.engine().ExecutePreparedStream(prep)
+		ts, err := p.engine().ExecutePreparedStream(ctx, prep)
 		if err != nil {
 			return nil, err
 		}
@@ -234,7 +281,7 @@ func (p *Portal) handleSkyQuery(r *soap.Request) (interface{}, error) {
 			}
 		}}, nil
 	}
-	res, err := p.Query(req.SQL)
+	res, err := p.Query(ctx, req.SQL)
 	if err != nil {
 		return nil, err
 	}
@@ -249,12 +296,13 @@ func (p *Portal) Register(name, endpoint string) error {
 	if name == "" || endpoint == "" {
 		return fmt.Errorf("portal: registration needs a name and an endpoint")
 	}
+	ctx := context.Background()
 	var meta skynode.MetadataResponse
-	if err := p.client.Call(endpoint, skynode.ActionMetadata, &skynode.MetadataRequest{}, &meta); err != nil {
+	if err := p.client.Call(ctx, endpoint, skynode.ActionMetadata, &skynode.MetadataRequest{}, &meta); err != nil {
 		return fmt.Errorf("portal: metadata call-back to %s: %w", name, err)
 	}
 	var info skynode.InformationResponse
-	if err := p.client.Call(endpoint, skynode.ActionInformation, &skynode.InformationRequest{}, &info); err != nil {
+	if err := p.client.Call(ctx, endpoint, skynode.ActionInformation, &skynode.InformationRequest{}, &info); err != nil {
 		return fmt.Errorf("portal: information call-back to %s: %w", name, err)
 	}
 	if info.Name != name {
@@ -288,6 +336,24 @@ func (p *Portal) Register(name, endpoint string) error {
 			"objectCount":  fmt.Sprintf("%d", info.ObjectCount),
 		},
 	})
+}
+
+// RegisterShard registers a node as one replica of a shard of the
+// archive: the usual Metadata/Information call-backs validate the node
+// and catalog its schema, then the shard's range and role merge into
+// the archive's shard map. The archive becomes queryable once its
+// shards tile the full trixel universe at their level, each with a
+// leader; queries against a partially-registered shard map fail loudly.
+func (p *Portal) RegisterShard(name, endpoint string, si ShardInfo) error {
+	if err := p.Register(name, endpoint); err != nil {
+		return err
+	}
+	if err := p.reg.RegisterShard(name, si.Index, registry.ShardRange{Lo: si.Lo, Hi: si.Hi},
+		si.Level, si.Count, endpoint, si.Follower); err != nil {
+		return err
+	}
+	p.emit("register.shard", "%s/%d [%d,%d] %s", name, si.Index, si.Lo, si.Hi, endpoint)
+	return nil
 }
 
 // archive returns the catalog entry for a registered archive.

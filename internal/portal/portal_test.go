@@ -1,6 +1,7 @@
 package portal
 
 import (
+	"context"
 	"fmt"
 	"net/http/httptest"
 	"sort"
@@ -200,7 +201,7 @@ func TestRegistrationErrors(t *testing.T) {
 
 func TestFederatedQueryMatchesOracle(t *testing.T) {
 	f := newFed(t, 300, surveyConfigs())
-	res, err := f.portal.Query(paperStyleQuery(""))
+	res, err := f.portal.Query(context.Background(), paperStyleQuery(""))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +227,7 @@ func TestFederatedDropOutMatchesOracle(t *testing.T) {
 		FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T, FIRST:PhotoObject P
 		WHERE AREA(%g, %g, %g) AND XMATCH(O, T, !P) < 3.0`,
 		ra, dec, sphere.ToArcsec(reg.Radius))
-	res, err := f.portal.Query(sql)
+	res, err := f.portal.Query(context.Background(), sql)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +247,7 @@ func TestFederatedDropOutMatchesOracle(t *testing.T) {
 
 func TestFederatedQueryWithPredicates(t *testing.T) {
 	f := newFed(t, 300, surveyConfigs())
-	res, err := f.portal.Query(paperStyleQuery("O.type = 'GALAXY' AND (O.flux - T.flux) > 3"))
+	res, err := f.portal.Query(context.Background(), paperStyleQuery("O.type = 'GALAXY' AND (O.flux - T.flux) > 3"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +286,7 @@ func TestFederatedCount(t *testing.T) {
 		FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T, FIRST:PhotoObject P
 		WHERE AREA(%g, %g, %g) AND XMATCH(O, T, P) < 3.0`,
 		ra, dec, sphere.ToArcsec(reg.Radius))
-	res, err := f.portal.Query(sql)
+	res, err := f.portal.Query(context.Background(), sql)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,7 +299,7 @@ func TestFederatedCount(t *testing.T) {
 func TestPlanOrderingByCounts(t *testing.T) {
 	f := newFed(t, 300, surveyConfigs())
 	// Selective predicate on SDSS shrinks its count below the others.
-	p, err := f.portal.BuildPlan(paperStyleQuery("O.type = 'GALAXY'"))
+	p, err := f.portal.BuildPlan(context.Background(), paperStyleQuery("O.type = 'GALAXY'"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +329,7 @@ func TestPlanDropOutsFirst(t *testing.T) {
 		FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T, FIRST:PhotoObject P
 		WHERE AREA(%g, %g, %g) AND XMATCH(O, !T, !P) < 3.0`,
 		ra, dec, sphere.ToArcsec(reg.Radius))
-	p, err := f.portal.BuildPlan(sql)
+	p, err := f.portal.BuildPlan(context.Background(), sql)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -339,7 +340,7 @@ func TestPlanDropOutsFirst(t *testing.T) {
 
 func TestPassThroughQuery(t *testing.T) {
 	f := newFed(t, 200, surveyConfigs()[:1])
-	res, err := f.portal.Query(`SELECT TOP 5 O.object_id, O.flux FROM SDSS:PhotoObject O WHERE O.type = 'GALAXY'`)
+	res, err := f.portal.Query(context.Background(), `SELECT TOP 5 O.object_id, O.flux FROM SDSS:PhotoObject O WHERE O.type = 'GALAXY'`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -371,7 +372,7 @@ func TestQueryErrors(t *testing.T) {
 		{`SELECT O.object_id FROM PhotoObject O, TWOMASS:PhotoObject T WHERE ` + area + ` AND XMATCH(O, T) < 3`, "archive qualifier"},
 	}
 	for _, c := range cases {
-		_, err := f.portal.Query(c.sql)
+		_, err := f.portal.Query(context.Background(), c.sql)
 		if err == nil {
 			t.Errorf("Query(%.60q) succeeded, want error %q", c.sql, c.wantSub)
 			continue
@@ -423,7 +424,7 @@ func checkFigure3Order(t *testing.T, ev []string, probeSend, probeRecv string) {
 func TestPortalEventsFigure3Order(t *testing.T) {
 	f := newFed(t, 150, surveyConfigs())
 	f.clearEvents()
-	if _, err := f.portal.Query(paperStyleQuery("")); err != nil {
+	if _, err := f.portal.Query(context.Background(), paperStyleQuery("")); err != nil {
 		t.Fatal(err)
 	}
 	// Fresh nodes serve StatsSummary, so the default mode plans from
@@ -438,7 +439,7 @@ func TestPortalEventsFigure3Order(t *testing.T) {
 func TestPortalEventsFigure3OrderCountProbe(t *testing.T) {
 	f := newFedWith(t, 150, surveyConfigs(), Config{CountProbeOrder: true})
 	f.clearEvents()
-	if _, err := f.portal.Query(paperStyleQuery("")); err != nil {
+	if _, err := f.portal.Query(context.Background(), paperStyleQuery("")); err != nil {
 		t.Fatal(err)
 	}
 	// CountProbeOrder restores the paper-faithful §5.3 flow exactly.
@@ -453,15 +454,15 @@ func TestSkyQueryServiceOverSOAP(t *testing.T) {
 	f := newFed(t, 200, surveyConfigs())
 	c := &soap.Client{}
 	var first soap.ChunkedData
-	err := c.Call(f.portalURL, ActionSkyQuery, &SkyQueryRequest{SQL: paperStyleQuery("")}, &first)
+	err := c.Call(context.Background(), f.portalURL, ActionSkyQuery, &SkyQueryRequest{SQL: paperStyleQuery("")}, &first)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ds, err := soap.FetchAll(c, f.portalURL, &first)
+	ds, err := soap.FetchAll(context.Background(), c, f.portalURL, &first)
 	if err != nil {
 		t.Fatal(err)
 	}
-	direct, err := f.portal.Query(paperStyleQuery(""))
+	direct, err := f.portal.Query(context.Background(), paperStyleQuery(""))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -485,7 +486,7 @@ func TestRegisterOverSOAP(t *testing.T) {
 	defer ts.Close()
 	c := &soap.Client{}
 	var resp RegisterResponse
-	err = c.Call(f.portalURL, ActionRegister, &RegisterRequest{Name: cfg.Name, Endpoint: ts.URL}, &resp)
+	err = c.Call(context.Background(), f.portalURL, ActionRegister, &RegisterRequest{Name: cfg.Name, Endpoint: ts.URL}, &resp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -508,7 +509,7 @@ func TestIncludeMatchColumns(t *testing.T) {
 		FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T
 		WHERE AREA(%g, %g, %g) AND XMATCH(O, T) < 3.5`,
 		ra, dec, sphere.ToArcsec(reg.Radius))
-	res, err := f2.Query(sql)
+	res, err := f2.Query(context.Background(), sql)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -544,7 +545,7 @@ func TestTopOnFederatedQuery(t *testing.T) {
 		FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T
 		WHERE AREA(%g, %g, %g) AND XMATCH(O, T) < 3.5`,
 		ra, dec, sphere.ToArcsec(reg.Radius))
-	res, err := f.portal.Query(sql)
+	res, err := f.portal.Query(context.Background(), sql)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -556,11 +557,11 @@ func TestTopOnFederatedQuery(t *testing.T) {
 func TestPullQueryMatchesChain(t *testing.T) {
 	f := newFed(t, 250, surveyConfigs())
 	sql := paperStyleQuery("O.type = 'GALAXY'")
-	chain, err := f.portal.Query(sql)
+	chain, err := f.portal.Query(context.Background(), sql)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pull, err := f.portal.PullQuery(sql)
+	pull, err := f.portal.PullQuery(context.Background(), sql)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -41,8 +41,9 @@ func (e Entry) clone() Entry {
 // Registry is an in-memory service repository, safe for concurrent use.
 // The zero value is ready to use.
 type Registry struct {
-	mu      sync.RWMutex
-	entries map[string]Entry
+	mu        sync.RWMutex
+	entries   map[string]Entry
+	shardMaps map[string]*ShardMap
 	// now is replaceable for tests.
 	now func() time.Time
 }

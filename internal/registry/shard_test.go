@@ -1,0 +1,140 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+)
+
+// A toy universe: trixel IDs 32..63 (level-1-style numerology is not
+// required for these tests; Complete takes the bounds explicitly).
+const uniLo, uniHi = 32, 63
+
+func mustShard(t *testing.T, r *Registry, archive string, idx int, lo, hi uint64, count int, url string, follower bool) {
+	t.Helper()
+	if err := r.RegisterShard(archive, idx, ShardRange{lo, hi}, 1, count, url, follower); err != nil {
+		t.Fatalf("RegisterShard(%s/%d): %v", archive, idx, err)
+	}
+}
+
+func TestShardMapAccretion(t *testing.T) {
+	r := &Registry{}
+	if m := r.ShardMap("SDSS"); m != nil {
+		t.Fatalf("unsharded archive has map %+v", m)
+	}
+	mustShard(t, r, "SDSS", 0, uniLo, 47, 2, "http://a", false)
+	mustShard(t, r, "SDSS", 1, 48, uniHi, 2, "http://b", false)
+	mustShard(t, r, "SDSS", 1, 48, uniHi, 2, "http://b2", true)
+
+	m := r.ShardMap("SDSS")
+	if m == nil {
+		t.Fatal("no shard map after registration")
+	}
+	if err := m.Complete(uniLo, uniHi); err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	if got := m.Shards[1].Replicas(); len(got) != 2 || got[0] != "http://b2" || got[1] != "http://b" {
+		t.Fatalf("replicas = %v, want follower-first then leader", got)
+	}
+	// Clone-on-read: mutating the returned map must not leak back.
+	m.Shards[0].Leader = "http://evil"
+	m.Shards[1].Followers[0] = "http://evil"
+	m2 := r.ShardMap("SDSS")
+	if m2.Shards[0].Leader != "http://a" || m2.Shards[1].Followers[0] != "http://b2" {
+		t.Fatal("ShardMap did not clone; caller mutation leaked into registry")
+	}
+}
+
+func TestShardMapRejectsOverlap(t *testing.T) {
+	r := &Registry{}
+	mustShard(t, r, "SDSS", 0, uniLo, 47, 2, "http://a", false)
+	err := r.RegisterShard("SDSS", 1, ShardRange{40, uniHi}, 1, 2, "http://b", false)
+	if err == nil || !strings.Contains(err.Error(), "overlaps") {
+		t.Fatalf("overlapping range accepted: %v", err)
+	}
+}
+
+func TestShardMapRejectsRangeChange(t *testing.T) {
+	r := &Registry{}
+	mustShard(t, r, "SDSS", 0, uniLo, 47, 2, "http://a", false)
+	err := r.RegisterShard("SDSS", 0, ShardRange{uniLo, 50}, 1, 2, "http://a", false)
+	if err == nil || !strings.Contains(err.Error(), "re-registers range") {
+		t.Fatalf("range mutation accepted: %v", err)
+	}
+	// Same index + same range is a benign re-registration and replaces
+	// the leader.
+	mustShard(t, r, "SDSS", 0, uniLo, 47, 2, "http://a-new", false)
+	if got := r.ShardMap("SDSS").Shards[0].Leader; got != "http://a-new" {
+		t.Fatalf("leader after re-registration = %q", got)
+	}
+}
+
+func TestShardMapRejectsBadShape(t *testing.T) {
+	r := &Registry{}
+	if err := r.RegisterShard("S", 2, ShardRange{uniLo, uniHi}, 1, 2, "http://a", false); err == nil {
+		t.Fatal("index >= count accepted")
+	}
+	if err := r.RegisterShard("S", 0, ShardRange{50, 40}, 1, 2, "http://a", false); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	if err := r.RegisterShard("S", 0, ShardRange{uniLo, uniHi}, 1, 1, "", false); err == nil {
+		t.Fatal("empty endpoint accepted")
+	}
+	mustShard(t, r, "S", 0, uniLo, 47, 2, "http://a", false)
+	if err := r.RegisterShard("S", 1, ShardRange{48, uniHi}, 2, 2, "http://b", false); err == nil {
+		t.Fatal("mismatched level accepted")
+	}
+	if err := r.RegisterShard("S", 1, ShardRange{48, uniHi}, 1, 3, "http://b", false); err == nil {
+		t.Fatal("mismatched count accepted")
+	}
+}
+
+func TestShardMapCompleteGaps(t *testing.T) {
+	r := &Registry{}
+	mustShard(t, r, "S", 0, uniLo, 40, 2, "http://a", false)
+	if err := r.ShardMap("S").Complete(uniLo, uniHi); err == nil {
+		t.Fatal("incomplete map reported Complete")
+	}
+	// Register shard 1 leaving a hole (41 missing): Add allows it
+	// (non-overlapping), Complete must reject it.
+	mustShard(t, r, "S", 1, 42, uniHi, 2, "http://b", false)
+	if err := r.ShardMap("S").Complete(uniLo, uniHi); err == nil || !strings.Contains(err.Error(), "gap") {
+		t.Fatalf("gapped map passed Complete: %v", err)
+	}
+
+	r2 := &Registry{}
+	mustShard(t, r2, "S", 0, uniLo, 47, 2, "http://a", false)
+	mustShard(t, r2, "S", 1, 48, uniHi-2, 2, "http://b", false)
+	if err := r2.ShardMap("S").Complete(uniLo, uniHi); err == nil {
+		t.Fatal("short-tiled map passed Complete")
+	}
+
+	// Follower-only shard (no leader) is not routable.
+	r3 := &Registry{}
+	mustShard(t, r3, "S", 0, uniLo, 47, 2, "http://a", false)
+	mustShard(t, r3, "S", 1, 48, uniHi, 2, "http://b-f", true)
+	if err := r3.ShardMap("S").Complete(uniLo, uniHi); err == nil || !strings.Contains(err.Error(), "no leader") {
+		t.Fatalf("leaderless shard passed Complete: %v", err)
+	}
+}
+
+func TestShardRangeOps(t *testing.T) {
+	a := ShardRange{10, 20}
+	if !a.Contains(10) || !a.Contains(20) || a.Contains(21) || a.Contains(9) {
+		t.Fatal("Contains is not inclusive [Lo,Hi]")
+	}
+	cases := []struct {
+		b    ShardRange
+		want bool
+	}{
+		{ShardRange{20, 30}, true},
+		{ShardRange{21, 30}, false},
+		{ShardRange{0, 10}, true},
+		{ShardRange{0, 9}, false},
+		{ShardRange{12, 15}, true},
+	}
+	for _, c := range cases {
+		if got := a.Overlaps(c.b); got != c.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package skynode
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http/httptest"
@@ -202,7 +203,7 @@ func TestNodeShedsOverloadedFault(t *testing.T) {
 	}
 	c := &soap.Client{}
 	var resp soap.ChunkedData
-	err = c.Call(srv.URL, ActionQuery,
+	err = c.Call(context.Background(), srv.URL, ActionQuery,
 		&QueryRequest{SQL: fmt.Sprintf("SELECT object_id FROM %s", survey.TableName)}, &resp)
 	if !soap.IsOverloaded(err) {
 		t.Fatalf("want retryable overloaded fault, got %v", err)
@@ -217,7 +218,7 @@ func TestNodeShedsOverloadedFault(t *testing.T) {
 	// After release the same call succeeds — and a retrying client rides
 	// out a temporarily held gate on its own.
 	release()
-	if err := c.Call(srv.URL, ActionQuery,
+	if err := c.Call(context.Background(), srv.URL, ActionQuery,
 		&QueryRequest{SQL: fmt.Sprintf("SELECT object_id FROM %s", survey.TableName)}, &resp); err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +241,7 @@ func TestNodeQueuedQueriesComplete(t *testing.T) {
 		go func() {
 			var resp soap.ChunkedData
 			c := &soap.Client{}
-			errs <- c.Call(srv.URL, ActionQuery,
+			errs <- c.Call(context.Background(), srv.URL, ActionQuery,
 				&QueryRequest{SQL: fmt.Sprintf("SELECT object_id FROM %s", survey.TableName)}, &resp)
 		}()
 	}

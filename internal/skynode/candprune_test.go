@@ -85,7 +85,7 @@ func runStep(t *testing.T, n *Node, p *plan.Plan, step plan.Step, in *dataset.Da
 func TestSeedStepCandPruning(t *testing.T) {
 	nodes := pruneNodes(t, 5000)
 	step := plan.Step{Archive: "SDSS", Alias: "O", Table: survey.TableName, SigmaArcsec: 0.1,
-		LocalWhere: "O.object_id <= 1024 AND O.flux > 0", Columns: []string{"object_id", "flux"}}
+		LocalWhere: "O.ra < 184.92 AND O.flux > 0", Columns: []string{"object_id", "flux"}}
 	p := prunePlan(step)
 
 	want, b0, r0 := runStep(t, nodes["SDSS"], p, step, nil, false)
@@ -113,7 +113,7 @@ func TestExtendStepCandPruning(t *testing.T) {
 	seedStep := plan.Step{Archive: "TWOMASS", Alias: "T", Table: survey.TableName, SigmaArcsec: 0.2,
 		Columns: []string{"object_id", "flux"}}
 	extStep := plan.Step{Archive: "SDSS", Alias: "O", Table: survey.TableName, SigmaArcsec: 0.1,
-		LocalWhere: "O.object_id <= 1500", CrossWhere: []string{"O.flux - T.flux > -100"},
+		LocalWhere: "O.ra < 184.92", CrossWhere: []string{"O.flux - T.flux > -100"},
 		Columns: []string{"object_id", "flux"}}
 	p := prunePlan(extStep, seedStep)
 
@@ -144,7 +144,7 @@ func TestDropOutStepCandPruning(t *testing.T) {
 	seedStep := plan.Step{Archive: "TWOMASS", Alias: "T", Table: survey.TableName, SigmaArcsec: 0.2,
 		Columns: []string{"object_id"}}
 	dropStep := plan.Step{Archive: "FIRST", Alias: "P", Table: survey.TableName, SigmaArcsec: 0.4,
-		LocalWhere: "P.object_id <= 600", DropOut: true}
+		LocalWhere: "P.ra < 184.92", DropOut: true}
 	p := prunePlan(dropStep, seedStep)
 
 	seed, _, _ := runStep(t, nodes["TWOMASS"], p, seedStep, nil, false)

@@ -227,6 +227,12 @@ func (n *Node) Stats() (queries, tuplesIn, tuplesOut int64) {
 // admission is disabled).
 func (n *Node) AdmissionStats() GateStats { return n.gate.Stats() }
 
+// ChunkPending reports how many chunked transfers the node currently
+// holds parked for continuation fetches (test instrumentation: a
+// cancelled consumer must release these promptly, not leak them to the
+// TTL sweep).
+func (n *Node) ChunkPending() int { return n.chunks.Pending() }
+
 // batchTrace returns the node's recorded batch-utilization trace for
 // the table, creating an empty one on first use. Chain steps build
 // their adaptive sizers from it, so a table whose history shows

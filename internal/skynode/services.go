@@ -1,6 +1,7 @@
 package skynode
 
 import (
+	"context"
 	"encoding/xml"
 	"fmt"
 
@@ -66,6 +67,22 @@ type QueryRequest struct {
 type CrossMatchRequest struct {
 	XMLName xml.Name  `xml:"CrossMatch"`
 	Plan    plan.Plan `xml:"Plan"`
+	// Isolated tells the node to execute only its own chain step: the
+	// step's incoming tuples come from Incoming (absent for a seed step)
+	// instead of a chain call to the next step's node, and the node must
+	// not re-order the plan suffix. The portal's scatter tier sets it
+	// when any archive in the plan is sharded — the portal becomes the
+	// coordinator between steps, merging shard outputs deterministically.
+	Isolated bool `xml:"isolated,attr,omitempty"`
+	// Incoming locates the step's input tuples: a transfer stashed in
+	// the coordinator's ChunkStore, drained by token from Endpoint.
+	Incoming *IncomingRef `xml:"Incoming,omitempty"`
+}
+
+// IncomingRef points a chain step at its stashed incoming tuples.
+type IncomingRef struct {
+	Endpoint string `xml:"endpoint,attr"`
+	Token    string `xml:"token,attr"`
 }
 
 func (n *Node) handleInformation(r *soap.Request) (interface{}, error) {
@@ -169,28 +186,21 @@ func (n *Node) handleCrossMatch(r *soap.Request) (interface{}, error) {
 	}
 	step := p.Steps[idx]
 	n.emit("xmatch.recv", "plan %s step %d/%d", p.QueryID, idx+1, len(p.Steps))
-	n.maybeReorderSuffix(p, idx)
+	if !req.Isolated {
+		n.maybeReorderSuffix(p, idx)
+	}
 	chunkRows := p.ChunkRows
 	if chunkRows == 0 {
 		chunkRows = n.cfg.ChunkRows
 	}
+	ctx := r.Context()
 	if r.WantsStream() {
-		return n.crossMatchStream(p, step, chunkRows), nil
+		return n.crossMatchStream(ctx, &req, p, step, chunkRows), nil
 	}
 
-	var incoming *dataset.DataSet
-	if next := p.Next(n.cfg.Name); next != nil {
-		n.emit("xmatch.forward", "-> %s", next.Archive)
-		var first soap.ChunkedData
-		if err := n.client.Call(next.Endpoint, ActionCrossMatch, &CrossMatchRequest{Plan: *p}, &first); err != nil {
-			return nil, fmt.Errorf("skynode %s: chain call to %s: %w", n.cfg.Name, next.Archive, err)
-		}
-		ds, err := soap.FetchAll(n.client, next.Endpoint, &first)
-		if err != nil {
-			return nil, fmt.Errorf("skynode %s: fetch from %s: %w", n.cfg.Name, next.Archive, err)
-		}
-		n.tuplesIn.Add(int64(ds.NumRows()))
-		incoming = ds
+	incoming, err := n.stepIncoming(ctx, &req, p)
+	if err != nil {
+		return nil, err
 	}
 
 	// Admission sits after the downstream fetch on purpose: a slot held
@@ -211,6 +221,39 @@ func (n *Node) handleCrossMatch(r *soap.Request) (interface{}, error) {
 	return n.chunks.Respond(out, chunkRows), nil
 }
 
+// stepIncoming materializes the folded path's incoming tuples: fetched
+// from the coordinator's stash in isolated mode, pulled from the next
+// chain node otherwise. Seed steps (no downstream, no stash) get nil.
+func (n *Node) stepIncoming(ctx context.Context, req *CrossMatchRequest, p *plan.Plan) (*dataset.DataSet, error) {
+	if req.Isolated {
+		if req.Incoming == nil {
+			return nil, nil
+		}
+		n.emit("xmatch.incoming", "stashed at %s", req.Incoming.Endpoint)
+		ds, err := soap.FetchToken(ctx, n.client, req.Incoming.Endpoint, req.Incoming.Token)
+		if err != nil {
+			return nil, fmt.Errorf("skynode %s: fetch incoming: %w", n.cfg.Name, err)
+		}
+		n.tuplesIn.Add(int64(ds.NumRows()))
+		return ds, nil
+	}
+	next := p.Next(n.cfg.Name)
+	if next == nil {
+		return nil, nil
+	}
+	n.emit("xmatch.forward", "-> %s", next.Archive)
+	var first soap.ChunkedData
+	if err := n.client.Call(ctx, next.Endpoint, ActionCrossMatch, &CrossMatchRequest{Plan: *p}, &first); err != nil {
+		return nil, fmt.Errorf("skynode %s: chain call to %s: %w", n.cfg.Name, next.Archive, err)
+	}
+	ds, err := soap.FetchAll(ctx, n.client, next.Endpoint, &first)
+	if err != nil {
+		return nil, fmt.Errorf("skynode %s: fetch from %s: %w", n.cfg.Name, next.Archive, err)
+	}
+	n.tuplesIn.Add(int64(ds.NumRows()))
+	return ds, nil
+}
+
 // crossMatchStream is the page-at-a-time form of the chain step: the
 // downstream node's partial tuples are consumed as each page arrives,
 // every page runs through the same compiled stepRunner as the folded
@@ -222,14 +265,17 @@ func (n *Node) handleCrossMatch(r *soap.Request) (interface{}, error) {
 // the first byte has been written cannot become SOAP faults any more;
 // they travel in-band as columnar error frames and surface to the
 // consumer as a typed *dataset.StreamError.
-func (n *Node) crossMatchStream(p *plan.Plan, step plan.Step, chunkRows int) *soap.ChunkedStream {
+func (n *Node) crossMatchStream(ctx context.Context, req *CrossMatchRequest, p *plan.Plan, step plan.Step, chunkRows int) *soap.ChunkedStream {
 	return &soap.ChunkedStream{Run: func(sw *soap.StreamWriter) error {
+		if req.Isolated {
+			return n.isolatedStream(ctx, req, p, step, chunkRows, sw)
+		}
 		next := p.Next(n.cfg.Name)
 		if next == nil {
 			return n.seedStream(p, step, chunkRows, sw)
 		}
 		n.emit("xmatch.forward", "-> %s", next.Archive)
-		st, err := soap.OpenStream(n.client, next.Endpoint, ActionCrossMatch, &CrossMatchRequest{Plan: *p})
+		st, err := soap.OpenStream(ctx, n.client, next.Endpoint, ActionCrossMatch, &CrossMatchRequest{Plan: *p})
 		if err != nil {
 			return fmt.Errorf("skynode %s: chain call to %s: %w", n.cfg.Name, next.Archive, err)
 		}
@@ -280,6 +326,49 @@ func (n *Node) crossMatchStream(p *plan.Plan, step plan.Step, chunkRows int) *so
 		n.emit("xmatch.return", "%d tuples streamed", sw.Rows())
 		return nil
 	}}
+}
+
+// isolatedStream is the streamed form of an isolated chain step: the
+// incoming tuples come from the coordinator's stash (or nowhere, for a
+// seed), run through the step, and the outputs stream back re-paged.
+// The incoming set is materialized — it was already folded when the
+// coordinator stashed it — so only the output side streams.
+func (n *Node) isolatedStream(ctx context.Context, req *CrossMatchRequest, p *plan.Plan, step plan.Step, chunkRows int, sw *soap.StreamWriter) error {
+	if req.Incoming == nil {
+		return n.seedStream(p, step, chunkRows, sw)
+	}
+	incoming, err := n.stepIncoming(ctx, req, p)
+	if err != nil {
+		return err
+	}
+	r, err := n.newStepRunner(p, step, incoming.Columns)
+	if err != nil {
+		return fmt.Errorf("skynode %s: %w", n.cfg.Name, err)
+	}
+	defer r.close()
+	if step.DropOut {
+		n.emit("xmatch.dropout", "isolated step")
+	} else {
+		n.emit("xmatch.step", "isolated step")
+	}
+	release, err := n.admit(estimateDataSetBytes(incoming))
+	if err != nil {
+		return err
+	}
+	out, stepErr := r.run(incoming.Rows)
+	release()
+	if stepErr != nil {
+		return fmt.Errorf("skynode %s: %w", n.cfg.Name, stepErr)
+	}
+	if err := sw.Schema(r.outCols); err != nil {
+		return err
+	}
+	if err := writePaged(sw, out, chunkRows); err != nil {
+		return err
+	}
+	n.tuplesOut.Add(int64(len(out)))
+	n.emit("xmatch.return", "%d tuples streamed", len(out))
+	return nil
 }
 
 // seedStream emits the seed step's 1-tuples in pages. The seed search

@@ -1,6 +1,7 @@
 package skynode
 
 import (
+	"context"
 	"fmt"
 	"net/http/httptest"
 	"sort"
@@ -86,7 +87,7 @@ func TestInformationService(t *testing.T) {
 	_, archives, _, endpoints := testFederation(t, 200, defaultConfigs()[:1])
 	c := &soap.Client{}
 	var info InformationResponse
-	if err := c.Call(endpoints[0], ActionInformation, &InformationRequest{}, &info); err != nil {
+	if err := c.Call(context.Background(), endpoints[0], ActionInformation, &InformationRequest{}, &info); err != nil {
 		t.Fatal(err)
 	}
 	if info.Name != "SDSS" || info.SigmaArcsec != 0.1 {
@@ -107,7 +108,7 @@ func TestMetadataService(t *testing.T) {
 	_, _, _, endpoints := testFederation(t, 100, defaultConfigs()[:1])
 	c := &soap.Client{}
 	var meta MetadataResponse
-	if err := c.Call(endpoints[0], ActionMetadata, &MetadataRequest{}, &meta); err != nil {
+	if err := c.Call(context.Background(), endpoints[0], ActionMetadata, &MetadataRequest{}, &meta); err != nil {
 		t.Fatal(err)
 	}
 	if len(meta.Tables) != 1 {
@@ -128,10 +129,10 @@ func TestQueryServiceCount(t *testing.T) {
 	c := &soap.Client{}
 	var first soap.ChunkedData
 	sql := fmt.Sprintf("SELECT COUNT(*) FROM %s o WHERE AREA(185, -0.5, %g)", survey.TableName, 0.25*3600)
-	if err := c.Call(endpoints[0], ActionQuery, &QueryRequest{SQL: sql}, &first); err != nil {
+	if err := c.Call(context.Background(), endpoints[0], ActionQuery, &QueryRequest{SQL: sql}, &first); err != nil {
 		t.Fatal(err)
 	}
-	ds, err := soap.FetchAll(c, endpoints[0], &first)
+	ds, err := soap.FetchAll(context.Background(), c, endpoints[0], &first)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestQueryServiceErrors(t *testing.T) {
 		"SELECT o.nope FROM PhotoObject o",
 		"SELECT o.object_id FROM Missing o",
 	} {
-		err := c.Call(endpoints[0], ActionQuery, &QueryRequest{SQL: sql}, &first)
+		err := c.Call(context.Background(), endpoints[0], ActionQuery, &QueryRequest{SQL: sql}, &first)
 		if err == nil {
 			t.Errorf("query %q should fail", sql)
 		}
@@ -201,10 +202,10 @@ func runChain(t *testing.T, p plan.Plan) [][]value.Value {
 	t.Helper()
 	c := &soap.Client{}
 	var first soap.ChunkedData
-	if err := c.Call(p.Steps[0].Endpoint, ActionCrossMatch, &CrossMatchRequest{Plan: p}, &first); err != nil {
+	if err := c.Call(context.Background(), p.Steps[0].Endpoint, ActionCrossMatch, &CrossMatchRequest{Plan: p}, &first); err != nil {
 		t.Fatal(err)
 	}
-	ds, err := soap.FetchAll(c, p.Steps[0].Endpoint, &first)
+	ds, err := soap.FetchAll(context.Background(), c, p.Steps[0].Endpoint, &first)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -480,7 +481,7 @@ func TestCrossMatchRejectsForeignPlan(t *testing.T) {
 	p.Steps[0].Archive = "SOMEONE_ELSE"
 	c := &soap.Client{}
 	var first soap.ChunkedData
-	err := c.Call(endpoints[0], ActionCrossMatch, &CrossMatchRequest{Plan: p}, &first)
+	err := c.Call(context.Background(), endpoints[0], ActionCrossMatch, &CrossMatchRequest{Plan: p}, &first)
 	if err == nil || !strings.Contains(err.Error(), "not part of plan") {
 		t.Errorf("err = %v", err)
 	}
@@ -492,7 +493,7 @@ func TestCrossMatchRejectsInvalidPlan(t *testing.T) {
 	p.Threshold = -1
 	c := &soap.Client{}
 	var first soap.ChunkedData
-	if err := c.Call(endpoints[0], ActionCrossMatch, &CrossMatchRequest{Plan: p}, &first); err == nil {
+	if err := c.Call(context.Background(), endpoints[0], ActionCrossMatch, &CrossMatchRequest{Plan: p}, &first); err == nil {
 		t.Error("invalid plan accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package soap
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/binary"
 	"encoding/hex"
@@ -325,6 +326,45 @@ func (cs *ChunkStore) FetchHandler() Handler {
 	}
 }
 
+// Stash parks a data set in the store under n fresh tokens, each serving
+// the complete set from chunk zero: the distribution mechanism of the
+// scatter tier, where every shard of a step fetches its own copy of the
+// step's incoming tuples. The chunk slices are shared across tokens
+// (data sets are read-only once published), so the memory cost is one
+// split regardless of fan-out. Each token follows the normal transfer
+// lifecycle: drained to exhaustion, explicitly released, or TTL-swept.
+func (cs *ChunkStore) Stash(d *dataset.DataSet, maxRows, n int) []string {
+	chunks := d.Split(maxRows)
+	tokens := make([]string, n)
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	now := cs.clock()
+	cs.sweepLocked(now)
+	if cs.pending == nil {
+		cs.pending = map[string]*transfer{}
+	}
+	for i := range tokens {
+		for len(cs.pending) >= cs.maxPending() {
+			cs.evictOldestLocked()
+		}
+		token := randomToken()
+		cs.pending[token] = &transfer{chunks: chunks, nextSeq: 0, expires: now.Add(cs.ttl())}
+		cs.order = append(cs.order, token)
+		tokens[i] = token
+	}
+	return tokens
+}
+
+// FetchToken drains a stashed transfer from its first chunk: the callee
+// side of Stash. The sequence is validated exactly as in FetchAll.
+func FetchToken(ctx context.Context, c *Client, url, token string) (*dataset.DataSet, error) {
+	var first ChunkedData
+	if err := c.Call(ctx, url, FetchAction, &FetchRequest{Token: token}, &first); err != nil {
+		return nil, fmt.Errorf("soap: fetch stashed transfer: %w", err)
+	}
+	return FetchAll(ctx, c, url, &first)
+}
+
 // chunkFollower validates the chunk sequence of one transfer as a caller
 // drains it: Seq must advance by exactly one per chunk, the total chunk
 // count is capped by the first chunk's Remaining, each chunk's Remaining
@@ -385,13 +425,15 @@ func checkChunkToken(token string, left int) error {
 }
 
 // releaseTransfer tells url to drop a transfer the caller cannot finish
-// draining. Best effort: the server's TTL sweep is the backstop.
+// draining. Best effort: the server's TTL sweep is the backstop. The
+// release deliberately runs on a fresh context: it must go out even when
+// the caller abandoned the transfer *because* its context was cancelled.
 func releaseTransfer(c *Client, url, token string) {
 	if token == "" {
 		return
 	}
 	var ack ReleaseResponse
-	_ = c.Call(url, FetchAction, &FetchRequest{Token: token, Release: true}, &ack)
+	_ = c.Call(context.Background(), url, FetchAction, &FetchRequest{Token: token, Release: true}, &ack)
 }
 
 // FetchAll drains a chunked response: given the first chunk, it pulls the
@@ -399,7 +441,7 @@ func releaseTransfer(c *Client, url, token string) {
 // The chunk sequence is validated (monotonic Seq, chunk count capped by
 // the first chunk's Remaining); on any mid-drain failure the transfer is
 // released server-side.
-func FetchAll(c *Client, url string, first *ChunkedData) (*dataset.DataSet, error) {
+func FetchAll(ctx context.Context, c *Client, url string, first *ChunkedData) (*dataset.DataSet, error) {
 	if first == nil || first.Data == nil {
 		return nil, fmt.Errorf("soap: empty chunked response")
 	}
@@ -410,7 +452,7 @@ func FetchAll(c *Client, url string, first *ChunkedData) (*dataset.DataSet, erro
 	chunks := []*dataset.DataSet{first.Data}
 	for follow.token != "" {
 		var next ChunkedData
-		if err := c.Call(url, FetchAction, &FetchRequest{Token: follow.token}, &next); err != nil {
+		if err := c.Call(ctx, url, FetchAction, &FetchRequest{Token: follow.token}, &next); err != nil {
 			releaseTransfer(c, url, follow.token)
 			return nil, fmt.Errorf("soap: fetch chunk: %w", err)
 		}

@@ -2,6 +2,7 @@ package soap
 
 import (
 	"bytes"
+	"context"
 	"net/http/httptest"
 	"sync/atomic"
 	"testing"
@@ -98,7 +99,7 @@ func TestCodecNegotiation(t *testing.T) {
 			srv := newChunkServer(t, tc.server, d)
 			c := &Client{Codec: tc.client}
 			var got ChunkedData
-			if err := c.Call(srv.URL, "urn:test:Echo", &struct{}{}, &got); err != nil {
+			if err := c.Call(context.Background(), srv.URL, "urn:test:Echo", &struct{}{}, &got); err != nil {
 				t.Fatal(err)
 			}
 			if got.Data == nil || !dataSetsEqual(d, got.Data) {
@@ -121,7 +122,7 @@ func TestCodecNegotiationXMLForNonBinaryResponses(t *testing.T) {
 	srv := httptest.NewServer(s)
 	defer srv.Close()
 	var got pong
-	if err := (&Client{}).Call(srv.URL, "urn:test:Ping", &struct{}{}, &got); err != nil {
+	if err := (&Client{}).Call(context.Background(), srv.URL, "urn:test:Ping", &struct{}{}, &got); err != nil {
 		t.Fatal(err)
 	}
 	if got.N != 7 {
@@ -137,7 +138,7 @@ func TestFaultsSurviveBinaryNegotiation(t *testing.T) {
 	srv := httptest.NewServer(s)
 	defer srv.Close()
 	var got ChunkedData
-	err := (&Client{}).Call(srv.URL, "urn:test:Boom", &struct{}{}, &got)
+	err := (&Client{}).Call(context.Background(), srv.URL, "urn:test:Boom", &struct{}{}, &got)
 	if !IsOverloaded(err) {
 		t.Fatalf("want overloaded fault, got %v", err)
 	}
@@ -158,13 +159,13 @@ func TestClientRetriesOverloaded(t *testing.T) {
 
 	// Without retries the typed fault surfaces.
 	var got ChunkedData
-	if err := (&Client{}).Call(srv.URL, "urn:test:Flaky", &struct{}{}, &got); !IsOverloaded(err) {
+	if err := (&Client{}).Call(context.Background(), srv.URL, "urn:test:Flaky", &struct{}{}, &got); !IsOverloaded(err) {
 		t.Fatalf("want overloaded fault, got %v", err)
 	}
 
 	calls.Store(0)
 	c := &Client{MaxRetries: 3, RetryBackoff: time.Millisecond}
-	if err := c.Call(srv.URL, "urn:test:Flaky", &struct{}{}, &got); err != nil {
+	if err := c.Call(context.Background(), srv.URL, "urn:test:Flaky", &struct{}{}, &got); err != nil {
 		t.Fatalf("retrying client failed: %v", err)
 	}
 	if calls.Load() != 3 {
@@ -180,7 +181,7 @@ func TestClientRetriesOverloaded(t *testing.T) {
 		calls.Add(1)
 		return nil, &Fault{Code: "soap:Server", String: "broken"}
 	})
-	err := c.Call(srv.URL, "urn:test:Hard", &struct{}{}, &got)
+	err := c.Call(context.Background(), srv.URL, "urn:test:Hard", &struct{}{}, &got)
 	if err == nil || IsOverloaded(err) {
 		t.Fatalf("want plain fault, got %v", err)
 	}

@@ -10,6 +10,7 @@ package soap
 
 import (
 	"bytes"
+	"context"
 	"encoding/xml"
 	"fmt"
 	"io"
@@ -157,8 +158,21 @@ type Request struct {
 	// format and this server negotiates it: the handler may answer with
 	// a FrameStreamer (or BinaryPayload) and it will go out columnar.
 	AcceptsColumnar bool
-	wantsStream     bool
-	body            []byte
+	// Ctx is the request's context: it is cancelled when the caller
+	// disconnects or cancels, and handlers should thread it into any
+	// downstream calls so federated work aborts end to end.
+	Ctx         context.Context
+	wantsStream bool
+	body        []byte
+}
+
+// Context returns the request's context, or context.Background for
+// requests constructed without one (tests, local dispatch).
+func (r *Request) Context() context.Context {
+	if r.Ctx != nil {
+		return r.Ctx
+	}
+	return context.Background()
 }
 
 // Decode unmarshals the request payload into the given struct.
@@ -271,6 +285,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		Action:          action,
 		RemoteAddr:      r.RemoteAddr,
 		AcceptsColumnar: wantsColumnar,
+		Ctx:             r.Context(),
 		wantsStream:     r.Header.Get(streamHeader) != "",
 		body:            bytes.TrimSpace(env.Body.Inner),
 	})
@@ -396,7 +411,7 @@ func (c *Client) limit() int64 {
 // *ErrMessageTooLarge. Overload-shed faults (IsOverloaded) are retried
 // MaxRetries times with exponential backoff — safe, because the server
 // refused the work before starting it.
-func (c *Client) Call(url, action string, req, resp interface{}) error {
+func (c *Client) Call(ctx context.Context, url, action string, req, resp interface{}) error {
 	payload, err := Marshal(req)
 	if err != nil {
 		return err
@@ -407,16 +422,19 @@ func (c *Client) Call(url, action string, req, resp interface{}) error {
 		return &ErrMessageTooLarge{Size: int64(len(payload)), Limit: c.limit()}
 	}
 	for attempt := 0; ; attempt++ {
-		err := c.call(url, action, payload, resp)
+		err := c.call(ctx, url, action, payload, resp)
 		if !IsOverloaded(err) || attempt >= c.MaxRetries {
 			return err
 		}
-		c.sleepBackoff(attempt)
+		if err := c.sleepBackoff(ctx, attempt); err != nil {
+			return err
+		}
 	}
 }
 
-// sleepBackoff waits the overload-retry delay for the given attempt.
-func (c *Client) sleepBackoff(attempt int) {
+// sleepBackoff waits the overload-retry delay for the given attempt, or
+// returns early with the context's error when the caller cancels.
+func (c *Client) sleepBackoff(ctx context.Context, attempt int) error {
 	backoff := c.RetryBackoff
 	if backoff <= 0 {
 		backoff = DefaultRetryBackoff
@@ -426,7 +444,14 @@ func (c *Client) sleepBackoff(attempt int) {
 	} else {
 		backoff <<= 10
 	}
-	time.Sleep(backoff)
+	t := time.NewTimer(backoff)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // CallStream POSTs req like Call but asks for an incrementally
@@ -438,7 +463,7 @@ func (c *Client) sleepBackoff(attempt int) {
 // fallback — the envelope is decoded into resp exactly as Call would and
 // the returned reader is nil. Overload sheds retry as in Call; they can
 // only happen before the server commits to streaming.
-func (c *Client) CallStream(url, action string, req, resp interface{}) (io.ReadCloser, error) {
+func (c *Client) CallStream(ctx context.Context, url, action string, req, resp interface{}) (io.ReadCloser, error) {
 	payload, err := Marshal(req)
 	if err != nil {
 		return nil, err
@@ -447,11 +472,13 @@ func (c *Client) CallStream(url, action string, req, resp interface{}) (io.ReadC
 		return nil, &ErrMessageTooLarge{Size: int64(len(payload)), Limit: c.limit()}
 	}
 	for attempt := 0; ; attempt++ {
-		body, err := c.callStreamHdr(url, action, payload, resp, false)
+		body, err := c.callStreamHdr(ctx, url, action, payload, resp, false)
 		if !IsOverloaded(err) || attempt >= c.MaxRetries {
 			return body, err
 		}
-		c.sleepBackoff(attempt)
+		if err := c.sleepBackoff(ctx, attempt); err != nil {
+			return nil, err
+		}
 	}
 }
 
@@ -459,8 +486,8 @@ func (c *Client) CallStream(url, action string, req, resp interface{}) (io.ReadC
 // request, handing back the raw body when the server streams columnar
 // frames. stream additionally asks the server to produce pages
 // incrementally instead of parking tail chunks.
-func (c *Client) callStreamHdr(url, action string, payload []byte, resp interface{}, stream bool) (io.ReadCloser, error) {
-	httpReq, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(payload))
+func (c *Client) callStreamHdr(ctx context.Context, url, action string, payload []byte, resp interface{}, stream bool) (io.ReadCloser, error) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
 	if err != nil {
 		return nil, fmt.Errorf("soap: %w", err)
 	}
@@ -492,8 +519,8 @@ func (c *Client) callStreamHdr(url, action string, payload []byte, resp interfac
 }
 
 // call performs one HTTP exchange of an already-marshalled request.
-func (c *Client) call(url, action string, payload []byte, resp interface{}) error {
-	httpReq, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(payload))
+func (c *Client) call(ctx context.Context, url, action string, payload []byte, resp interface{}) error {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
 	if err != nil {
 		return fmt.Errorf("soap: %w", err)
 	}
@@ -531,8 +558,8 @@ func (c *Client) call(url, action string, payload []byte, resp interface{}) erro
 // Go issues Call on a new goroutine and delivers the error on the returned
 // channel: the "asynchronous SOAP messages" of §5.3 used for fanning out
 // performance queries.
-func (c *Client) Go(url, action string, req, resp interface{}) <-chan error {
+func (c *Client) Go(ctx context.Context, url, action string, req, resp interface{}) <-chan error {
 	ch := make(chan error, 1)
-	go func() { ch <- c.Call(url, action, req, resp) }()
+	go func() { ch <- c.Call(ctx, url, action, req, resp) }()
 	return ch
 }

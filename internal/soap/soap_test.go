@@ -1,6 +1,7 @@
 package soap
 
 import (
+	"context"
 	"encoding/xml"
 	"errors"
 	"fmt"
@@ -50,7 +51,7 @@ func TestCallRoundTrip(t *testing.T) {
 	_, ts := newEchoServer(t)
 	c := &Client{}
 	var resp echoResponse
-	err := c.Call(ts.URL, "urn:test:Echo", &echoRequest{Text: "hello <xml> & stuff", N: 21}, &resp)
+	err := c.Call(context.Background(), ts.URL, "urn:test:Echo", &echoRequest{Text: "hello <xml> & stuff", N: 21}, &resp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestCallRoundTrip(t *testing.T) {
 func TestServerFaultFromError(t *testing.T) {
 	_, ts := newEchoServer(t)
 	c := &Client{}
-	err := c.Call(ts.URL, "urn:test:Fail", &echoRequest{}, nil)
+	err := c.Call(context.Background(), ts.URL, "urn:test:Fail", &echoRequest{}, nil)
 	var f *Fault
 	if !errors.As(err, &f) {
 		t.Fatalf("want *Fault, got %T: %v", err, err)
@@ -75,7 +76,7 @@ func TestServerFaultFromError(t *testing.T) {
 func TestServerCustomFault(t *testing.T) {
 	_, ts := newEchoServer(t)
 	c := &Client{}
-	err := c.Call(ts.URL, "urn:test:CustomFault", &echoRequest{}, nil)
+	err := c.Call(context.Background(), ts.URL, "urn:test:CustomFault", &echoRequest{}, nil)
 	var f *Fault
 	if !errors.As(err, &f) {
 		t.Fatalf("want *Fault, got %T", err)
@@ -88,7 +89,7 @@ func TestServerCustomFault(t *testing.T) {
 func TestUnknownAction(t *testing.T) {
 	_, ts := newEchoServer(t)
 	c := &Client{}
-	err := c.Call(ts.URL, "urn:test:Nope", &echoRequest{}, nil)
+	err := c.Call(context.Background(), ts.URL, "urn:test:Nope", &echoRequest{}, nil)
 	var f *Fault
 	if !errors.As(err, &f) {
 		t.Fatalf("want *Fault, got %T: %v", err, err)
@@ -162,7 +163,7 @@ func TestRequestTooLarge(t *testing.T) {
 	defer ts.Close()
 	c := &Client{MessageLimit: -1}
 	big := strings.Repeat("x", 2048)
-	err := c.Call(ts.URL, "urn:test:Echo", &echoRequest{Text: big}, nil)
+	err := c.Call(context.Background(), ts.URL, "urn:test:Echo", &echoRequest{Text: big}, nil)
 	var f *Fault
 	if !errors.As(err, &f) {
 		t.Fatalf("want fault, got %T: %v", err, err)
@@ -174,7 +175,7 @@ func TestRequestTooLarge(t *testing.T) {
 
 func TestClientRefusesOversizedRequest(t *testing.T) {
 	c := &Client{MessageLimit: 128}
-	err := c.Call("http://unused.invalid", "urn:test:Echo",
+	err := c.Call(context.Background(), "http://unused.invalid", "urn:test:Echo",
 		&echoRequest{Text: strings.Repeat("y", 1024)}, nil)
 	var tooBig *ErrMessageTooLarge
 	if !errors.As(err, &tooBig) {
@@ -190,7 +191,7 @@ func TestClientResponseLimit(t *testing.T) {
 	ts := httptest.NewServer(s)
 	defer ts.Close()
 	c := &Client{MessageLimit: 256}
-	err := c.Call(ts.URL, "urn:test:Big", &echoRequest{}, &echoResponse{})
+	err := c.Call(context.Background(), ts.URL, "urn:test:Big", &echoRequest{}, &echoResponse{})
 	var tooBig *ErrMessageTooLarge
 	if !errors.As(err, &tooBig) {
 		t.Fatalf("want ErrMessageTooLarge, got %T: %v", err, err)
@@ -206,7 +207,7 @@ func TestGoAsync(t *testing.T) {
 	resps := make([]echoResponse, 5)
 	chans := make([]<-chan error, 5)
 	for i := range chans {
-		chans[i] = c.Go(ts.URL, "urn:test:Echo", &echoRequest{N: i}, &resps[i])
+		chans[i] = c.Go(context.Background(), ts.URL, "urn:test:Echo", &echoRequest{N: i}, &resps[i])
 	}
 	for i, ch := range chans {
 		if err := <-ch; err != nil {
@@ -337,10 +338,10 @@ func TestChunkedTransferOverHTTP(t *testing.T) {
 
 	c := &Client{MessageLimit: 64 << 10}
 	var first ChunkedData
-	if err := c.Call(ts.URL, "urn:test:BigQuery", &FetchRequest{}, &first); err != nil {
+	if err := c.Call(context.Background(), ts.URL, "urn:test:BigQuery", &FetchRequest{}, &first); err != nil {
 		t.Fatal(err)
 	}
-	got, err := FetchAll(c, ts.URL, &first)
+	got, err := FetchAll(context.Background(), c, ts.URL, &first)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -373,16 +374,16 @@ func TestMonolithicFailsWhereChunkedSucceeds(t *testing.T) {
 
 	c := &Client{MessageLimit: limit}
 	var first ChunkedData
-	err := c.Call(ts.URL, "urn:test:Mono", &FetchRequest{}, &first)
+	err := c.Call(context.Background(), ts.URL, "urn:test:Mono", &FetchRequest{}, &first)
 	var tooBig *ErrMessageTooLarge
 	if !errors.As(err, &tooBig) {
 		t.Fatalf("monolithic should exceed the limit, got %v", err)
 	}
 
-	if err := c.Call(ts.URL, "urn:test:Chunked", &FetchRequest{}, &first); err != nil {
+	if err := c.Call(context.Background(), ts.URL, "urn:test:Chunked", &FetchRequest{}, &first); err != nil {
 		t.Fatalf("chunked first call: %v", err)
 	}
-	got, err := FetchAll(c, ts.URL, &first)
+	got, err := FetchAll(context.Background(), c, ts.URL, &first)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -392,10 +393,10 @@ func TestMonolithicFailsWhereChunkedSucceeds(t *testing.T) {
 }
 
 func TestFetchAllErrors(t *testing.T) {
-	if _, err := FetchAll(&Client{}, "http://unused.invalid", nil); err == nil {
+	if _, err := FetchAll(context.Background(), &Client{}, "http://unused.invalid", nil); err == nil {
 		t.Error("nil first chunk should fail")
 	}
-	if _, err := FetchAll(&Client{}, "http://unused.invalid", &ChunkedData{}); err == nil {
+	if _, err := FetchAll(context.Background(), &Client{}, "http://unused.invalid", &ChunkedData{}); err == nil {
 		t.Error("chunk without data should fail")
 	}
 }
@@ -425,9 +426,9 @@ func TestHandlerPanicsAreNotSwallowed(t *testing.T) {
 	ts := httptest.NewServer(s)
 	defer ts.Close()
 	c := &Client{}
-	_ = c.Call(ts.URL, "urn:test:Panic", &echoRequest{}, nil) // error of some kind
+	_ = c.Call(context.Background(), ts.URL, "urn:test:Panic", &echoRequest{}, nil) // error of some kind
 	var resp echoResponse
-	if err := c.Call(ts.URL, "urn:test:OK", &echoRequest{}, &resp); err != nil {
+	if err := c.Call(context.Background(), ts.URL, "urn:test:OK", &echoRequest{}, &resp); err != nil {
 		t.Fatalf("server dead after panic: %v", err)
 	}
 }

@@ -14,6 +14,7 @@ package soap
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -129,6 +130,7 @@ func (r *Request) WantsStream() bool {
 // only one page is materialized at a time.
 type PageStream struct {
 	c    *Client
+	ctx  context.Context
 	url  string
 	cols []dataset.Column
 
@@ -146,9 +148,9 @@ type PageStream struct {
 // OpenStream issues req to url and returns a PageStream over the
 // response, whatever shape the server chose: a streamed columnar body, a
 // buffered columnar chunked response, or the XML chunked fallback.
-func OpenStream(c *Client, url, action string, req interface{}) (*PageStream, error) {
+func OpenStream(ctx context.Context, c *Client, url, action string, req interface{}) (*PageStream, error) {
 	var first ChunkedData
-	body, err := c.callForStream(url, action, req, &first)
+	body, err := c.callForStream(ctx, url, action, req, &first)
 	if err != nil {
 		return nil, err
 	}
@@ -161,7 +163,7 @@ func OpenStream(c *Client, url, action string, req interface{}) (*PageStream, er
 		if err != nil {
 			return nil, err
 		}
-		return &PageStream{c: c, url: url, cols: first.Data.Columns, buf: first.Data.Rows, follow: follow}, nil
+		return &PageStream{c: c, ctx: ctx, url: url, cols: first.Data.Columns, buf: first.Data.Rows, follow: follow}, nil
 	}
 	// Columnar body: an embedded frame stream, possibly (when the server
 	// buffered and chunked) with a continuation token for more chunks.
@@ -184,12 +186,12 @@ func OpenStream(c *Client, url, action string, req interface{}) (*PageStream, er
 		}
 		return nil, err
 	}
-	return &PageStream{c: c, url: url, cols: cols, body: body, dec: dec, follow: follow}, nil
+	return &PageStream{c: c, ctx: ctx, url: url, cols: cols, body: body, dec: dec, follow: follow}, nil
 }
 
 // callForStream is CallStream plus the header that tells a streaming-
 // capable server to produce pages instead of parking tail chunks.
-func (c *Client) callForStream(url, action string, req, resp interface{}) (io.ReadCloser, error) {
+func (c *Client) callForStream(ctx context.Context, url, action string, req, resp interface{}) (io.ReadCloser, error) {
 	payload, err := Marshal(req)
 	if err != nil {
 		return nil, err
@@ -198,16 +200,25 @@ func (c *Client) callForStream(url, action string, req, resp interface{}) (io.Re
 		return nil, &ErrMessageTooLarge{Size: int64(len(payload)), Limit: c.limit()}
 	}
 	for attempt := 0; ; attempt++ {
-		body, err := c.callStreamHdr(url, action, payload, resp, true)
+		body, err := c.callStreamHdr(ctx, url, action, payload, resp, true)
 		if !IsOverloaded(err) || attempt >= c.MaxRetries {
 			return body, err
 		}
-		c.sleepBackoff(attempt)
+		if err := c.sleepBackoff(ctx, attempt); err != nil {
+			return nil, err
+		}
 	}
 }
 
 // Columns returns the stream's schema.
 func (ps *PageStream) Columns() []dataset.Column { return ps.cols }
+
+func (ps *PageStream) context() context.Context {
+	if ps.ctx != nil {
+		return ps.ctx
+	}
+	return context.Background()
+}
 
 // Next returns the next page of rows, or (nil, nil) after the last one.
 // The returned slice is owned by the caller. After an error the stream
@@ -246,7 +257,7 @@ func (ps *PageStream) Next() ([][]value.Value, error) {
 			return nil, nil
 		}
 		var next ChunkedData
-		if err := ps.c.Call(ps.url, FetchAction, &FetchRequest{Token: ps.follow.token}, &next); err != nil {
+		if err := ps.c.Call(ps.context(), ps.url, FetchAction, &FetchRequest{Token: ps.follow.token}, &next); err != nil {
 			ps.fail(fmt.Errorf("soap: fetch chunk: %w", err))
 			return nil, ps.err
 		}

@@ -1,6 +1,7 @@
 package soap
 
 import (
+	"context"
 	"errors"
 	"net/http/httptest"
 	"strings"
@@ -111,7 +112,7 @@ func TestFetchAllRejectsReplayedChunk(t *testing.T) {
 	first := &ChunkedData{Token: "stuck", Seq: 0, Remaining: 4, Data: sampleDataSet(5)}
 	done := make(chan error, 1)
 	go func() {
-		_, err := FetchAll(&Client{}, ts.URL, first)
+		_, err := FetchAll(context.Background(), &Client{}, ts.URL, first)
 		done <- err
 	}()
 	select {
@@ -140,7 +141,7 @@ func TestFetchAllEnforcesAnnouncedCount(t *testing.T) {
 	first := &ChunkedData{Token: "greedy", Seq: 0, Remaining: 2, Data: sampleDataSet(5)}
 	done := make(chan error, 1)
 	go func() {
-		_, err := FetchAll(&Client{}, ts.URL, first)
+		_, err := FetchAll(context.Background(), &Client{}, ts.URL, first)
 		done <- err
 	}()
 	select {
@@ -226,7 +227,7 @@ func drainStream(t *testing.T, ps *PageStream) (*dataset.DataSet, int, error) {
 func TestOpenStreamRoundTrip(t *testing.T) {
 	const rows = 2500
 	_, ts := streamServer(t, rows, 100, -1)
-	ps, err := OpenStream(&Client{}, ts.URL, "urn:test:Stream", &FetchRequest{})
+	ps, err := OpenStream(context.Background(), &Client{}, ts.URL, "urn:test:Stream", &FetchRequest{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +253,7 @@ func TestOpenStreamMidStreamErrorIsTyped(t *testing.T) {
 	// The stream dies after two pages: the rows so far decode, then a
 	// typed *dataset.StreamError — never a silently truncated result.
 	_, ts := streamServer(t, 1000, 100, 2)
-	ps, err := OpenStream(&Client{}, ts.URL, "urn:test:Stream", &FetchRequest{})
+	ps, err := OpenStream(context.Background(), &Client{}, ts.URL, "urn:test:Stream", &FetchRequest{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +281,7 @@ func TestOpenStreamXMLFallback(t *testing.T) {
 	const rows = 2500
 	cs, ts := streamServer(t, rows, 100, -1)
 	c := &Client{Codec: CodecXML}
-	ps, err := OpenStream(c, ts.URL, "urn:test:Stream", &FetchRequest{})
+	ps, err := OpenStream(context.Background(), c, ts.URL, "urn:test:Stream", &FetchRequest{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,7 +306,7 @@ func TestOpenStreamCloseReleasesTransfer(t *testing.T) {
 	// immediately (the portal error path), not wait for the TTL sweep.
 	cs, ts := streamServer(t, 2500, 100, -1)
 	c := &Client{Codec: CodecXML}
-	ps, err := OpenStream(c, ts.URL, "urn:test:Stream", &FetchRequest{})
+	ps, err := OpenStream(context.Background(), c, ts.URL, "urn:test:Stream", &FetchRequest{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -359,7 +360,7 @@ func TestStreamBufferedFallbackSameRows(t *testing.T) {
 	_, ts := streamServer(t, rows, 100, -1)
 	c := &Client{}
 
-	ps, err := OpenStream(c, ts.URL, "urn:test:Stream", &FetchRequest{})
+	ps, err := OpenStream(context.Background(), c, ts.URL, "urn:test:Stream", &FetchRequest{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -370,10 +371,10 @@ func TestStreamBufferedFallbackSameRows(t *testing.T) {
 	}
 
 	var first ChunkedData
-	if err := c.Call(ts.URL, "urn:test:Stream", &FetchRequest{}, &first); err != nil {
+	if err := c.Call(context.Background(), ts.URL, "urn:test:Stream", &FetchRequest{}, &first); err != nil {
 		t.Fatal(err)
 	}
-	folded, err := FetchAll(c, ts.URL, &first)
+	folded, err := FetchAll(context.Background(), c, ts.URL, &first)
 	if err != nil {
 		t.Fatal(err)
 	}

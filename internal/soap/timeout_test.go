@@ -1,6 +1,7 @@
 package soap
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -27,7 +28,7 @@ func TestCallTimesOutOnStalledServer(t *testing.T) {
 	ts := stalledServer(t)
 	c := &Client{Timeout: 50 * time.Millisecond}
 	start := time.Now()
-	err := c.Call(ts.URL, "urn:test:Echo", &echoRequest{Text: "x"}, &echoResponse{})
+	err := c.Call(context.Background(), ts.URL, "urn:test:Echo", &echoRequest{Text: "x"}, &echoResponse{})
 	if err == nil {
 		t.Fatal("Call against a stalled server returned nil")
 	}

@@ -5,14 +5,56 @@ import (
 	"strconv"
 )
 
-// ParseError describes a syntax error with its byte offset in the query.
+// Error categories reported by ParseError.Category.
+const (
+	// ErrSyntax marks token-level errors: the input is not a sentence of
+	// the dialect's grammar.
+	ErrSyntax = "syntax"
+	// ErrSemantic marks errors in a grammatically valid query: misplaced
+	// AREA/XMATCH clauses, bad thresholds, duplicates.
+	ErrSemantic = "semantic"
+)
+
+// ParseError describes a rejected query with the position of the
+// offending token — byte offset plus 1-based line and column, so editors
+// and REPLs can point at it — and a coarse Category (ErrSyntax or
+// ErrSemantic) distinguishing "not the grammar" from "grammatical but
+// meaningless".
 type ParseError struct {
-	Pos int
-	Msg string
+	Pos      int // byte offset into the input
+	Line     int // 1-based line of Pos (0 when no position is known)
+	Col      int // 1-based column of Pos in bytes (0 when unknown)
+	Category string
+	Msg      string
 }
 
 func (e *ParseError) Error() string {
-	return fmt.Sprintf("sqlparse: at offset %d: %s", e.Pos, e.Msg)
+	if e.Line > 0 {
+		return fmt.Sprintf("sqlparse: line %d, column %d: %s", e.Line, e.Col, e.Msg)
+	}
+	return fmt.Sprintf("sqlparse: %s", e.Msg)
+}
+
+// position converts a byte offset into 1-based line and column.
+func position(input string, pos int) (line, col int) {
+	if pos > len(input) {
+		pos = len(input)
+	}
+	line, col = 1, 1
+	for i := 0; i < pos; i++ {
+		if input[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return line, col
+}
+
+// semanticErr builds a positionless semantic-category ParseError.
+func semanticErr(format string, args ...interface{}) *ParseError {
+	return &ParseError{Category: ErrSemantic, Msg: fmt.Sprintf(format, args...)}
 }
 
 // Parse parses a query in the SkyQuery dialect.
@@ -54,7 +96,11 @@ func (p *parser) advance() {
 }
 
 func (p *parser) errf(format string, args ...interface{}) error {
-	return &ParseError{Pos: p.tok.pos, Msg: fmt.Sprintf(format, args...)}
+	line, col := position(p.lex.input, p.tok.pos)
+	return &ParseError{
+		Pos: p.tok.pos, Line: line, Col: col,
+		Category: ErrSyntax, Msg: fmt.Sprintf(format, args...),
+	}
 }
 
 // expectKeyword consumes the given keyword or fails.
@@ -637,27 +683,27 @@ func extractSpatial(q *Query, where Expr) error {
 		switch n := c.(type) {
 		case *areaExpr:
 			if q.Area != nil {
-				return &ParseError{Msg: "duplicate AREA clause"}
+				return semanticErr("duplicate AREA clause")
 			}
 			a := n.clause
 			q.Area = &a
 			continue
 		case *xmatchExpr:
-			return &ParseError{Msg: "XMATCH must be compared to a threshold, e.g. XMATCH(O, T) < 3.5"}
+			return semanticErr("XMATCH must be compared to a threshold, e.g. XMATCH(O, T) < 3.5")
 		case *BinaryExpr:
 			if x, ok := n.L.(*xmatchExpr); ok {
 				if n.Op != "<" && n.Op != "<=" {
-					return &ParseError{Msg: fmt.Sprintf("XMATCH threshold must use < or <=, got %s", n.Op)}
+					return semanticErr("XMATCH threshold must use < or <=, got %s", n.Op)
 				}
 				num, ok := n.R.(*NumberLit)
 				if !ok {
-					return &ParseError{Msg: "XMATCH threshold must be a number"}
+					return semanticErr("XMATCH threshold must be a number")
 				}
 				if num.Value <= 0 {
-					return &ParseError{Msg: fmt.Sprintf("XMATCH threshold must be positive, got %v", num.Value)}
+					return semanticErr("XMATCH threshold must be positive, got %v", num.Value)
 				}
 				if q.XMatch != nil {
-					return &ParseError{Msg: "duplicate XMATCH clause"}
+					return semanticErr("duplicate XMATCH clause")
 				}
 				cl := x.clause
 				cl.Threshold = num.Value
@@ -670,7 +716,7 @@ func extractSpatial(q *Query, where Expr) error {
 		Walk(c, func(e Expr) {
 			switch e.(type) {
 			case *areaExpr, *xmatchExpr:
-				nested = &ParseError{Msg: "AREA/XMATCH may only appear as top-level AND conditions"}
+				nested = semanticErr("AREA/XMATCH may only appear as top-level AND conditions")
 			}
 		})
 		if nested != nil {

@@ -542,7 +542,14 @@ func (t *Table) rebuildSpatialLocked() {
 		order[i] = int32(i)
 	}
 	sort.Slice(order, func(a, b int) bool {
-		return ids[order[a]] < ids[order[b]]
+		// Tie-break equal trixels by row order so enumeration within one
+		// trixel is append order — a shard loaded with any subset of the
+		// table in the same relative order ties identically.
+		ia, ib := ids[order[a]], ids[order[b]]
+		if ia != ib {
+			return ia < ib
+		}
+		return order[a] < order[b]
 	})
 	s.snap.Store(&spatialSnap{ids: ids, order: order})
 	s.dirty.Store(false)

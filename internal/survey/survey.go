@@ -13,7 +13,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
+	"skyquery/internal/htm"
 	"skyquery/internal/sphere"
 	"skyquery/internal/storage"
 	"skyquery/internal/value"
@@ -184,15 +186,119 @@ func Schema() storage.Schema {
 	}
 }
 
+// SpatialLevel resolves the archive's HTM leaf level (the storage
+// default when the config leaves it zero).
+func (a *Archive) SpatialLevel() int {
+	if a.Config.SpatialLevel != 0 {
+		return a.Config.SpatialLevel
+	}
+	return storage.DefaultSpatialLevel
+}
+
+// SortedObs returns the observations ordered by (leaf trixel ID,
+// original index): the canonical insertion order. Loading archives in
+// trixel order makes a table's scan order independent of how the
+// archive is partitioned — a shard holding trixels [lo,hi] stores
+// exactly a contiguous slice of this order, so concatenating shard
+// scans in range order reproduces the single-node scan at any shard
+// count. Query results must therefore be bit-identical across shard
+// counts even for queries with no ORDER BY.
+func (a *Archive) SortedObs() []Observation {
+	level := a.SpatialLevel()
+	obs := append([]Observation(nil), a.Obs...)
+	ids := make([]htm.ID, len(obs))
+	for i, o := range obs {
+		ids[i] = htm.Lookup(o.Pos, level)
+	}
+	order := make([]int, len(obs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		a, b := order[x], order[y]
+		if ids[a] != ids[b] {
+			return ids[a] < ids[b]
+		}
+		return a < b
+	})
+	out := make([]Observation, len(obs))
+	for i, j := range order {
+		out[i] = obs[j]
+	}
+	return out
+}
+
+// Partition splits the archive into n shards by trixel range: the
+// observations in canonical trixel order, cut into n contiguous runs of
+// roughly equal size at trixel boundaries. The returned ranges tile the
+// full trixel universe at the archive's spatial level — every sky
+// position routes to exactly one shard, including empty ones.
+func (a *Archive) Partition(n int) []ShardPart {
+	level := a.SpatialLevel()
+	uni := htm.LevelRange(level)
+	if n <= 1 {
+		return []ShardPart{{Archive: a, Lo: uint64(uni.Lo), Hi: uint64(uni.Hi)}}
+	}
+	obs := a.SortedObs()
+	ids := make([]htm.ID, len(obs))
+	for i, o := range obs {
+		ids[i] = htm.Lookup(o.Pos, level)
+	}
+	parts := make([]ShardPart, n)
+	lo := uint64(uni.Lo)
+	start := 0
+	for k := 0; k < n; k++ {
+		end := len(obs)
+		if k < n-1 {
+			// Aim at an even row split, then push the cut forward to the
+			// next trixel boundary so no trixel straddles two shards.
+			end = (len(obs) * (k + 1)) / n
+			if end < start {
+				end = start
+			}
+			for end > start && end < len(obs) && ids[end] == ids[end-1] {
+				end++
+			}
+		}
+		hi := uint64(uni.Hi)
+		if k < n-1 {
+			if end < len(obs) {
+				hi = uint64(ids[end]) - 1
+			} else {
+				// Out of observations: split the remaining ID space evenly
+				// among the empty tail shards.
+				left := uint64(uni.Hi) - lo + 1
+				hi = lo + left/uint64(n-k) - 1
+			}
+		}
+		sub := &Archive{Config: a.Config, Obs: obs[start:end]}
+		parts[k] = ShardPart{Archive: sub, Lo: lo, Hi: hi}
+		lo = hi + 1
+		start = end
+	}
+	return parts
+}
+
+// ShardPart is one trixel-range shard of a partitioned archive.
+type ShardPart struct {
+	// Archive holds the shard's slice of the observations.
+	Archive *Archive
+	// Lo, Hi is the shard's inclusive trixel range at the archive's
+	// spatial level.
+	Lo, Hi uint64
+}
+
 // BuildDB loads the archive into a fresh storage database with an HTM
-// index on the primary table.
+// index on the primary table. Rows load in canonical trixel order (see
+// SortedObs), which keeps scan order — and therefore every query
+// result — independent of archive partitioning.
 func (a *Archive) BuildDB() (*storage.DB, error) {
 	db := storage.NewDB()
 	t, err := db.Create(TableName, Schema())
 	if err != nil {
 		return nil, err
 	}
-	for _, o := range a.Obs {
+	for _, o := range a.SortedObs() {
 		ra, dec := o.Pos.RaDec()
 		typ := "STAR"
 		if o.Galaxy {

@@ -4,6 +4,7 @@ package skyquery
 // cross-match projection, and interaction with TOP.
 
 import (
+	"context"
 	"testing"
 
 	"skyquery/internal/value"
@@ -11,7 +12,7 @@ import (
 
 func TestOrderByPassThrough(t *testing.T) {
 	f := launch(t, Options{Bodies: 200, Surveys: DefaultSurveys()[:1]})
-	res, err := f.Query(`SELECT O.object_id, O.flux FROM SDSS:PhotoObject O
+	res, err := f.Query(context.Background(), `SELECT O.object_id, O.flux FROM SDSS:PhotoObject O
 		WHERE O.type = 'GALAXY' ORDER BY O.flux DESC`)
 	if err != nil {
 		t.Fatal(err)
@@ -31,7 +32,7 @@ func TestOrderByPassThrough(t *testing.T) {
 
 func TestOrderByAscendingDefault(t *testing.T) {
 	f := launch(t, Options{Bodies: 150, Surveys: DefaultSurveys()[:1]})
-	res, err := f.Query(`SELECT O.flux FROM SDSS:PhotoObject O ORDER BY O.flux`)
+	res, err := f.Query(context.Background(), `SELECT O.flux FROM SDSS:PhotoObject O ORDER BY O.flux`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,11 +48,11 @@ func TestOrderByAscendingDefault(t *testing.T) {
 
 func TestOrderByWithTopIsSortThenLimit(t *testing.T) {
 	f := launch(t, Options{Bodies: 300, Surveys: DefaultSurveys()[:1]})
-	all, err := f.Query(`SELECT O.flux FROM SDSS:PhotoObject O ORDER BY O.flux DESC`)
+	all, err := f.Query(context.Background(), `SELECT O.flux FROM SDSS:PhotoObject O ORDER BY O.flux DESC`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	top, err := f.Query(`SELECT TOP 5 O.flux FROM SDSS:PhotoObject O ORDER BY O.flux DESC`)
+	top, err := f.Query(context.Background(), `SELECT TOP 5 O.flux FROM SDSS:PhotoObject O ORDER BY O.flux DESC`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestOrderByWithTopIsSortThenLimit(t *testing.T) {
 
 func TestOrderByFederated(t *testing.T) {
 	f := launch(t, Options{Bodies: 300})
-	res, err := f.Query(`
+	res, err := f.Query(context.Background(), `
 		SELECT O.object_id, O.flux
 		FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T
 		WHERE AREA(185.0, -0.5, 900) AND XMATCH(O, T) < 3.5
@@ -99,7 +100,7 @@ func TestOrderByColumnNotInSelect(t *testing.T) {
 	// Sorting by a column that is not projected: the planner must ship it
 	// along the chain anyway.
 	f := launch(t, Options{Bodies: 200})
-	res, err := f.Query(`
+	res, err := f.Query(context.Background(), `
 		SELECT O.object_id
 		FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T
 		WHERE AREA(185.0, -0.5, 900) AND XMATCH(O, T) < 3.5
@@ -127,11 +128,11 @@ func TestOrderByColumnNotInSelect(t *testing.T) {
 
 func TestOrderByValidationErrors(t *testing.T) {
 	f := launch(t, Options{Bodies: 100, Surveys: DefaultSurveys()[:2]})
-	if _, err := f.Query(`SELECT O.object_id FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T
+	if _, err := f.Query(context.Background(), `SELECT O.object_id FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T
 		WHERE AREA(185.0, -0.5, 900) AND XMATCH(O, T) < 3.5 ORDER BY z.q`); err == nil {
 		t.Error("ORDER BY with unknown alias should fail")
 	}
-	if _, err := f.Query(`SELECT O.object_id FROM SDSS:PhotoObject O
+	if _, err := f.Query(context.Background(), `SELECT O.object_id FROM SDSS:PhotoObject O
 		ORDER BY O.nosuch`); err == nil {
 		t.Error("ORDER BY with unknown column should fail")
 	}
@@ -162,7 +163,7 @@ func TestOrderByNullsFirst(t *testing.T) {
 		Nodes: []NodeSpec{{Name: "N", DB: db, PrimaryTable: "T",
 			RACol: "ra", DecCol: "dec", SigmaArcsec: 0.1}},
 	})
-	res, err := f.Query(`SELECT n.id, n.v FROM N:T n ORDER BY n.v`)
+	res, err := f.Query(context.Background(), `SELECT n.id, n.v FROM N:T n ORDER BY n.v`)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,6 +13,7 @@ package skyquery
 //     hydrating cold blocks from disk.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -39,7 +40,7 @@ func buildStore(t *testing.T, a *survey.Archive, dir string, opts storage.StoreO
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, o := range a.Obs {
+	for _, o := range a.SortedObs() {
 		ra, dec := o.Pos.RaDec()
 		typ := "STAR"
 		if o.Galaxy {
@@ -112,7 +113,7 @@ func TestPersistentGoldenCorpus(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s: missing golden: %v", name, err)
 				}
-				res, err := f.Query(string(sql))
+				res, err := f.Query(context.Background(), string(sql))
 				if err != nil {
 					t.Errorf("%s: query failed: %v", name, err)
 					continue
@@ -157,11 +158,11 @@ func TestPersistentColdFederationIdentity(t *testing.T) {
 		ram := launch(t, Options{Nodes: ramSpecs, Parallelism: par})
 		disk := launch(t, Options{Nodes: diskSpecs, Parallelism: par})
 		for qi, q := range queries {
-			want, err := ram.Query(q)
+			want, err := ram.Query(context.Background(), q)
 			if err != nil {
 				t.Fatalf("ram query %d (par %d): %v", qi, par, err)
 			}
-			got, err := disk.Query(q)
+			got, err := disk.Query(context.Background(), q)
 			if err != nil {
 				t.Fatalf("disk query %d (par %d): %v", qi, par, err)
 			}

@@ -5,6 +5,7 @@ package skyquery
 // simple circles").
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -20,7 +21,7 @@ const polyQuery = `
 
 func TestPolygonAreaEndToEnd(t *testing.T) {
 	f := launch(t, Options{Bodies: 600})
-	res, err := f.Query(polyQuery)
+	res, err := f.Query(context.Background(), polyQuery)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,12 +52,12 @@ func TestPolygonAreaEndToEnd(t *testing.T) {
 
 func TestPolygonSubsetOfBoundingCircle(t *testing.T) {
 	f := launch(t, Options{Bodies: 600})
-	polyRes, err := f.Query(polyQuery)
+	polyRes, err := f.Query(context.Background(), polyQuery)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// A circle that covers the square must match at least as much.
-	circleRes, err := f.Query(`
+	circleRes, err := f.Query(context.Background(), `
 		SELECT O.object_id, T.object_id
 		FROM SDSS:PhotoObject O, TWOMASS:PhotoObject T
 		WHERE AREA(185.0, -0.5, 900) AND XMATCH(O, T) < 3.5`)
@@ -76,7 +77,7 @@ func TestPolygonCountStarProbes(t *testing.T) {
 	// Performance queries must carry the polygon AREA verbatim so counts
 	// reflect the true region.
 	f := launch(t, Options{Bodies: 400})
-	p, err := f.BuildPlan(polyQuery)
+	p, err := f.BuildPlan(context.Background(), polyQuery)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestPolygonRejectsBadShapes(t *testing.T) {
 			WHERE AREA(184.9, -0.4, 185.1, -0.4) AND XMATCH(O, T) < 3.5`, "AREA takes"},
 	}
 	for _, c := range cases {
-		_, err := f.Query(c.sql)
+		_, err := f.Query(context.Background(), c.sql)
 		if err == nil {
 			t.Errorf("Query(%.50q) succeeded, want %q", c.sql, c.wantSub)
 			continue
@@ -123,7 +124,7 @@ func TestPolygonRoundTripThroughDialect(t *testing.T) {
 	// The polygon clause must survive String() -> Parse (used when local
 	// queries are shipped in plans).
 	f := launch(t, Options{Bodies: 100, Surveys: DefaultSurveys()[:2]})
-	p, err := f.BuildPlan(polyQuery)
+	p, err := f.BuildPlan(context.Background(), polyQuery)
 	if err != nil {
 		t.Fatal(err)
 	}

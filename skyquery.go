@@ -25,6 +25,27 @@
 //   - run the pull-to-portal baseline and inspect execution plans, for
 //     the experiments in EXPERIMENTS.md.
 //
+// # Contexts, options, errors
+//
+// Every public query entry point is context-first: cancelling the
+// context aborts the in-flight federation work and promptly releases
+// server-side resources (admission slots, parked chunk transfers).
+// Federations are configured with functional options
+// (LaunchWith(WithBodies(2000), WithShards(8), ...)); clients with
+// Dial(url, WithClientCodec(...), ...). Failures surface as typed,
+// root-exported errors: *ParseError (line/column + syntax-vs-semantic
+// category), *ErrOverloaded (retryable admission shed), *StreamError
+// (mid-stream federation failure — never a silently truncated result).
+//
+// # Sharding
+//
+// An archive may be partitioned by HTM trixel ranges across N shards,
+// each with follower replicas (Options.Shards/Replicas, or the daemons'
+// -shard/-replica-of flags). Queries scatter to only the shards whose
+// trixel ranges intersect the query cover, prefer followers, and fail
+// over on error; results are bit-identical at every shard count. See
+// docs/FEDERATION.md.
+//
 // # Parallelism
 //
 // Each node's cross-match chain step (§5.3) partitions its partial tuples
@@ -152,8 +173,15 @@ type Client = client.Client
 // before the last chunk of the transfer exists.
 type Rows = client.Rows
 
-// Dial returns a client for the Portal at the given SOAP endpoint URL.
-func Dial(portalURL string) *Client { return client.New(portalURL) }
+// Dial returns a client for the Portal at the given SOAP endpoint URL,
+// configured by any DialOptions (see options.go).
+func Dial(portalURL string, opts ...DialOption) *Client {
+	c := client.New(portalURL)
+	for _, apply := range opts {
+		apply(c)
+	}
+	return c
+}
 
 // Values builds a row of values from Go primitives: int/int64 become INT,
 // float64 FLOAT, string STRING, bool BOOL, nil NULL.

@@ -1,6 +1,7 @@
 package skyquery
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -40,7 +41,7 @@ func TestLaunchDefaults(t *testing.T) {
 
 func TestQueryPaperExample(t *testing.T) {
 	f := launch(t, Options{Bodies: 400})
-	res, err := f.Query(testQuery)
+	res, err := f.Query(context.Background(), testQuery)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,11 +59,11 @@ func TestQueryPaperExample(t *testing.T) {
 func TestClientSOAPPath(t *testing.T) {
 	f := launch(t, Options{Bodies: 300})
 	c := f.Client()
-	res, err := c.Query(testQuery)
+	res, err := c.Query(context.Background(), testQuery)
 	if err != nil {
 		t.Fatal(err)
 	}
-	direct, err := f.Query(testQuery)
+	direct, err := f.Query(context.Background(), testQuery)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,11 +78,11 @@ func TestClientSOAPPath(t *testing.T) {
 
 func TestChainVsPullAgreement(t *testing.T) {
 	f := launch(t, Options{Bodies: 300})
-	chain, err := f.Query(testQuery)
+	chain, err := f.Query(context.Background(), testQuery)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pull, err := f.PullQuery(testQuery)
+	pull, err := f.PullQuery(context.Background(), testQuery)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestChainVsPullAgreement(t *testing.T) {
 
 func TestBuildPlanExposed(t *testing.T) {
 	f := launch(t, Options{Bodies: 200})
-	p, err := f.BuildPlan(testQuery)
+	p, err := f.BuildPlan(context.Background(), testQuery)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestCustomNodeSpec(t *testing.T) {
 			RACol: "ra", DecCol: "dec", SigmaArcsec: 0.3,
 		}},
 	})
-	res, err := f.Query(`SELECT c.id FROM CUSTOM:Objects c, SDSS:PhotoObject s
+	res, err := f.Query(context.Background(), `SELECT c.id FROM CUSTOM:Objects c, SDSS:PhotoObject s
 		WHERE AREA(185.0, -0.5, 900) AND XMATCH(c, s) < 3.5`)
 	if err != nil {
 		t.Fatal(err)
@@ -148,7 +149,7 @@ func TestWANShaping(t *testing.T) {
 		WANLatency: 5 * time.Millisecond,
 	})
 	start := time.Now()
-	if _, err := f.Query(testQuery); err != nil {
+	if _, err := f.Query(context.Background(), testQuery); err != nil {
 		t.Fatal(err)
 	}
 	// At least registration + perf queries + chain calls each paid 5ms.

@@ -10,6 +10,7 @@ package skyquery
 // being produced.
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -60,12 +61,12 @@ func TestStreamGoldenDifferential(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s: missing golden: %v", name, err)
 				}
-				folded, err := f.Query(string(sql))
+				folded, err := f.Query(context.Background(), string(sql))
 				if err != nil {
 					t.Errorf("%s: folded query failed: %v", name, err)
 					continue
 				}
-				rows, err := c.QueryRows(string(sql))
+				rows, err := c.QueryRows(context.Background(), string(sql))
 				if err != nil {
 					t.Errorf("%s: stream open failed: %v", name, err)
 					continue
@@ -100,7 +101,7 @@ func TestStreamGoldenDifferential(t *testing.T) {
 // node, never as a silently truncated result.
 func TestStreamMidChainNodeDeathTypedError(t *testing.T) {
 	f := launch(t, Options{Bodies: 300})
-	p, err := f.BuildPlan(testQuery)
+	p, err := f.BuildPlan(context.Background(), testQuery)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestStreamMidChainNodeDeathTypedError(t *testing.T) {
 
 	c := &soap.Client{HTTPClient: f.Transport.Client()}
 	var streamErr *dataset.StreamError
-	ps, err := soap.OpenStream(c, p.Steps[0].Endpoint, skynode.ActionCrossMatch,
+	ps, err := soap.OpenStream(context.Background(), c, p.Steps[0].Endpoint, skynode.ActionCrossMatch,
 		&skynode.CrossMatchRequest{Plan: *p})
 	if err != nil {
 		// The error frame can land before the schema frame; OpenStream
@@ -255,7 +256,7 @@ func runStreamMemDrill(t testing.TB) streamMemResult {
 	// The count ordering (§5.3) must put the heavy archive portal-adjacent
 	// and seed from the small one, or the fixture is not testing what it
 	// claims: the payload column must ride the streamed pages.
-	p, err := f.BuildPlan(sql)
+	p, err := f.BuildPlan(context.Background(), sql)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,7 +306,7 @@ func runStreamMemDrill(t testing.TB) streamMemResult {
 	streamRows := 0
 	firstRowEarly := false
 	streamPeak, err := peakDelta(func() error {
-		rows, err := c.QueryRows(sql)
+		rows, err := c.QueryRows(context.Background(), sql)
 		if err != nil {
 			return err
 		}
@@ -333,7 +334,7 @@ func runStreamMemDrill(t testing.TB) streamMemResult {
 	// streamed one must peak far below it.
 	foldRows := 0
 	foldPeak, err := peakDelta(func() error {
-		res, err := f.Query(sql)
+		res, err := f.Query(context.Background(), sql)
 		if err != nil {
 			return err
 		}

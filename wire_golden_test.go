@@ -10,6 +10,7 @@ package skyquery
 // ordering change anywhere in the result.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -57,7 +58,7 @@ func TestWireGoldenCorpus(t *testing.T) {
 					if err != nil {
 						t.Fatalf("%s: missing golden: %v", name, err)
 					}
-					res, err := c.Query(string(sql))
+					res, err := c.Query(context.Background(), string(sql))
 					if err != nil {
 						t.Errorf("%s: query failed: %v", name, err)
 						continue
@@ -80,7 +81,7 @@ func TestWireBinaryActuallyNegotiated(t *testing.T) {
 	bytesOnWire := func(codec Codec) int64 {
 		f := launch(t, Options{Bodies: 400, Codec: codec})
 		defer f.Close()
-		if _, err := f.Client().Query(testQuery); err != nil {
+		if _, err := f.Client().Query(context.Background(), testQuery); err != nil {
 			t.Fatal(err)
 		}
 		return f.Transport.Stats().BytesReceived

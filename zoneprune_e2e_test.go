@@ -8,6 +8,7 @@ package skyquery
 // this test pins that the work was never done.)
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -28,7 +29,7 @@ func TestZoneMapPruningEndToEnd(t *testing.T) {
 			}
 			rowsBefore := storage.PredRowsEvaluated()
 			prunedBefore := storage.ZoneBlocksPruned()
-			res, err := f.Query(string(sql))
+			res, err := f.Query(context.Background(), string(sql))
 			if err != nil {
 				t.Fatalf("%s (batch %d): %v", file, bs, err)
 			}
